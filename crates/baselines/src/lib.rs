@@ -1,0 +1,236 @@
+//! Baseline energy policies the paper compares Perseus against (§6.1).
+//!
+//! * [`all_max_freq`] — the default mode of operation: every computation at
+//!   the maximum SM clock. All savings percentages are relative to this.
+//! * [`min_energy_oracle`] — every computation at its minimum-energy
+//!   frequency: the §2.4 upper bound on possible savings (it slows the
+//!   iteration, so it is a bound, not a policy).
+//! * [`zeus_global_frontier`] — **ZeusGlobal** (§6.4): scan one global
+//!   frequency cap for all stages. Unaware of stage imbalance, it cannot
+//!   remove intrinsic bloat.
+//! * [`zeus_per_stage_frontier`] — **ZeusPerStage** (§6.4): per-stage
+//!   frequencies that balance *forward* computation time. Unaware of the
+//!   critical path, it slows critical computations too.
+//! * [`envpipe`] — **EnvPipe** [Choi et al., ATC'23] re-implemented from
+//!   the paper's description: the final stage is assumed heaviest and kept
+//!   at maximum frequency, while earlier stages' forward/backward clocks
+//!   are greedily lowered along the envelope as long as the iteration time
+//!   stays within a small tolerance. Two structural handicaps reproduce
+//!   the paper's findings: (1) stage-uniform frequencies cannot slow
+//!   warmup/flush microbatches individually, and (2) the tolerance-based
+//!   acceptance can degrade iteration time when the last stage is *not*
+//!   the bottleneck.
+
+use perseus_core::{CoreError, EnergySchedule, PlanContext};
+use perseus_gpu::FreqMHz;
+use perseus_pipeline::{node_start_times, CompKind};
+
+/// Every computation at maximum frequency — the savings baseline.
+///
+/// # Errors
+///
+/// Propagates realization errors from [`EnergySchedule::realize`].
+pub fn all_max_freq(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
+    EnergySchedule::realize(ctx, ctx.fastest_durations())
+}
+
+/// Every computation at its minimum-energy frequency: the largest possible
+/// savings under the problem setting (§2.4), at the cost of slowdown.
+///
+/// # Errors
+///
+/// Propagates realization errors from [`EnergySchedule::realize`].
+pub fn min_energy_oracle(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
+    EnergySchedule::realize(ctx, ctx.min_energy_durations())
+}
+
+/// §2.4 potential-savings bound: relative per-iteration energy reduction of
+/// the min-energy oracle versus all-max (each evaluated at its own
+/// iteration time, no straggler).
+///
+/// # Errors
+///
+/// Propagates realization errors.
+pub fn potential_savings(ctx: &PlanContext<'_>) -> Result<f64, CoreError> {
+    let base = all_max_freq(ctx)?.energy_report(ctx, None);
+    let oracle = min_energy_oracle(ctx)?.energy_report(ctx, None);
+    Ok(1.0 - oracle.total_j() / base.total_j())
+}
+
+/// Plans every computation at frequency `cap` (clamped per computation to
+/// its profiled range) and realizes the schedule.
+fn schedule_at_cap(ctx: &PlanContext<'_>, cap: FreqMHz) -> Result<EnergySchedule, CoreError> {
+    let mut planned = ctx.fastest_durations();
+    for id in ctx.pipe.dag.node_ids() {
+        if ctx.info(id).is_some() {
+            let profile = ctx.profile_of(id).expect("comp has profile");
+            if let Some(entry) = profile.entry_at(cap) {
+                planned[id.index()] = entry.time_s;
+            } else {
+                // Cap below the profiled range: Zeus stops at the
+                // minimum-energy frequency, like the §5 sweep.
+                planned[id.index()] = profile.t_max();
+            }
+        }
+    }
+    EnergySchedule::realize(ctx, planned)
+}
+
+/// ZeusGlobal: one schedule per global frequency cap, descending from the
+/// maximum clock to the deepest cap that any computation's profile covers.
+/// The caller Pareto-filters `(time, energy)` for frontier plots.
+///
+/// # Errors
+///
+/// Propagates realization errors.
+pub fn zeus_global_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
+    let mut out = Vec::new();
+    for f in ctx.gpu.frequencies().into_iter().rev() {
+        out.push(schedule_at_cap(ctx, f)?);
+        // Stop once every computation has saturated at its min-energy
+        // duration (deeper caps change nothing).
+        let all_saturated = ctx.pipe.dag.node_ids().all(|id| match ctx.info(id) {
+            Some(info) => {
+                out.last().expect("just pushed").planned[id.index()] >= info.t_max - 1e-12
+            }
+            None => true,
+        });
+        if all_saturated {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// ZeusPerStage: for each target forward latency (swept over the feasible
+/// range), every stage picks the slowest frequency whose *forward* time
+/// meets the target; the stage's backward runs at the same clock (one
+/// power knob per GPU). Balances forward times but ignores the critical
+/// path.
+///
+/// # Errors
+///
+/// Propagates realization errors.
+pub fn zeus_per_stage_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
+    // Per-stage forward profiles define the sweep range: from the slowest
+    // stage's fastest forward to the slowest stage's min-energy forward.
+    let n_stages = ctx.pipe.n_stages;
+    let mut fwd_tmin = vec![0.0f64; n_stages];
+    let mut fwd_tmax = vec![0.0f64; n_stages];
+    for (id, c) in ctx.pipe.computations() {
+        if c.kind == CompKind::Forward {
+            let info = ctx.info(id).expect("comp");
+            fwd_tmin[c.stage] = info.t_min;
+            fwd_tmax[c.stage] = info.t_max;
+        }
+    }
+    let lo = fwd_tmin.iter().copied().fold(0.0, f64::max);
+    let hi = fwd_tmax.iter().copied().fold(0.0, f64::max);
+    let steps = 60;
+    let mut out = Vec::with_capacity(steps + 1);
+    for i in 0..=steps {
+        let target = lo + (hi - lo) * i as f64 / steps as f64;
+        // Pick per-stage clocks off the forward profiles.
+        let mut stage_freq: Vec<Option<FreqMHz>> = vec![None; n_stages];
+        for (id, c) in ctx.pipe.computations() {
+            if c.kind == CompKind::Forward && stage_freq[c.stage].is_none() {
+                let profile = ctx.profile_of(id).expect("comp");
+                let entry = profile
+                    .slowest_within(target.max(profile.t_min()))
+                    .expect("target clamped to profiled range");
+                stage_freq[c.stage] = Some(entry.freq);
+            }
+        }
+        // Apply the stage clock to every computation on that stage.
+        let mut planned = ctx.fastest_durations();
+        for (id, c) in ctx.pipe.computations() {
+            let profile = ctx.profile_of(id).expect("comp");
+            let f = stage_freq[c.stage].expect("every stage has forwards");
+            let t = profile.entry_at(f).map_or_else(|| profile.t_max(), |e| e.time_s);
+            planned[id.index()] = t;
+        }
+        out.push(EnergySchedule::realize(ctx, planned)?);
+    }
+    Ok(out)
+}
+
+/// Tuning for the EnvPipe re-implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvPipeOptions {
+    /// Relative iteration-time inflation EnvPipe tolerates while lowering
+    /// clocks (its envelope slack check is locally greedy, not exact).
+    pub tolerance: f64,
+}
+
+impl Default for EnvPipeOptions {
+    fn default() -> Self {
+        EnvPipeOptions { tolerance: 0.005 }
+    }
+}
+
+/// EnvPipe: greedy stage-uniform frequency reduction keeping the last
+/// stage at maximum clock. See the module docs for the modeling notes.
+///
+/// # Errors
+///
+/// Propagates realization errors.
+pub fn envpipe(ctx: &PlanContext<'_>, opts: EnvPipeOptions) -> Result<EnergySchedule, CoreError> {
+    let n_stages = ctx.pipe.n_stages;
+    let spec = ctx.gpu;
+    let fastest = ctx.fastest_durations();
+    let (_, t0) = node_start_times(&ctx.pipe.dag, |id, _| fastest[id.index()]);
+    let budget = t0 * (1.0 + opts.tolerance);
+
+    // State: per (stage, kind) clock, initialized to maximum.
+    let kinds = [CompKind::Forward, CompKind::Backward, CompKind::Recompute];
+    let kidx = |k: CompKind| match k {
+        CompKind::Forward => 0usize,
+        CompKind::Backward => 1,
+        CompKind::Recompute => 2,
+    };
+    let mut clock = vec![[spec.max_freq(); 3]; n_stages];
+
+    let planned_for = |clock: &Vec<[FreqMHz; 3]>, ctx: &PlanContext<'_>| -> Vec<f64> {
+        let mut planned = ctx.fastest_durations();
+        for (id, c) in ctx.pipe.computations() {
+            let profile = ctx.profile_of(id).expect("comp");
+            let f = clock[c.stage][kidx(c.kind)];
+            planned[id.index()] =
+                profile.entry_at(f).map_or_else(|| profile.t_max(), |e| e.time_s);
+        }
+        planned
+    };
+
+    // Greedy outer loop: sweep stages from first to second-to-last (the
+    // envelope order), lowering each knob while the iteration time stays
+    // within budget. The last stage is never touched (EnvPipe's core
+    // assumption).
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for s in 0..n_stages.saturating_sub(1) {
+            for k in kinds {
+                let cur = clock[s][kidx(k)];
+                if cur == spec.min_freq() {
+                    continue;
+                }
+                let next = FreqMHz(cur.0 - spec.step_mhz);
+                if !spec.supports(next) {
+                    continue;
+                }
+                clock[s][kidx(k)] = next;
+                let planned = planned_for(&clock, ctx);
+                let (_, t) = node_start_times(&ctx.pipe.dag, |id, _| planned[id.index()]);
+                if t <= budget {
+                    improved = true;
+                } else {
+                    clock[s][kidx(k)] = cur; // revert
+                }
+            }
+        }
+    }
+    EnergySchedule::realize(ctx, planned_for(&clock, ctx))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,178 @@
+use perseus_core::{characterize, FrontierOptions, PlanContext};
+use perseus_gpu::{GpuSpec, Workload};
+use perseus_models::StageWorkloads;
+use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleKind};
+
+use crate::{
+    all_max_freq, envpipe, min_energy_oracle, potential_savings, zeus_global_frontier,
+    zeus_per_stage_frontier, EnvPipeOptions,
+};
+
+fn stages_with_scales(scales: &[f64]) -> Vec<StageWorkloads> {
+    scales
+        .iter()
+        .map(|&k| StageWorkloads {
+            fwd: Workload::new(40.0 * k, 0.004 * k, 0.85),
+            bwd: Workload::new(80.0 * k, 0.008 * k, 0.92),
+        })
+        .collect()
+}
+
+fn build_pipe(n: usize, m: usize) -> PipelineDag {
+    PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap()
+}
+
+#[test]
+fn all_max_freq_uses_max_clock_everywhere() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0; 3])).unwrap();
+    let s = all_max_freq(&ctx).unwrap();
+    for id in pipe.dag.node_ids() {
+        if let Some(f) = s.freq_of(id) {
+            assert_eq!(f, gpu.max_freq());
+        }
+    }
+}
+
+#[test]
+fn oracle_saves_but_slows() {
+    let gpu = GpuSpec::a40();
+    let pipe = build_pipe(4, 6);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9, 1.2]))
+            .unwrap();
+    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
+    let oracle = min_energy_oracle(&ctx).unwrap().energy_report(&ctx, None);
+    assert!(oracle.total_j() < base.total_j());
+    assert!(oracle.iter_time_s > base.iter_time_s);
+    let p = potential_savings(&ctx).unwrap();
+    assert!(p > 0.05 && p < 0.6, "potential savings {p}");
+}
+
+#[test]
+fn zeus_global_frontier_shape() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.15, 0.95]))
+            .unwrap();
+    let points = zeus_global_frontier(&ctx).unwrap();
+    assert!(points.len() > 10);
+    // First point is all-max; times increase as the cap deepens.
+    assert!(points.first().unwrap().time_s <= points.last().unwrap().time_s);
+    // Energy at the last (deepest useful) cap is below the first.
+    let first = points.first().unwrap().energy_report(&ctx, None);
+    let last = points.last().unwrap().energy_report(&ctx, None);
+    assert!(last.total_j() < first.total_j());
+}
+
+#[test]
+fn perseus_pareto_dominates_zeus_global() {
+    // §6.4 / Figure 9: for any ZeusGlobal point there is a Perseus frontier
+    // point no slower and no hungrier (modulo tiny numerical slack).
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.15, 0.9, 1.25]))
+            .unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    let zeus = zeus_global_frontier(&ctx).unwrap();
+    for z in &zeus {
+        let zr = z.energy_report(&ctx, None);
+        let p = frontier.lookup(zr.iter_time_s);
+        let pr = p.schedule.energy_report(&ctx, None);
+        assert!(
+            pr.total_j() <= zr.total_j() * 1.005,
+            "Perseus {} J at {} s vs Zeus {} J at {} s",
+            pr.total_j(),
+            pr.iter_time_s,
+            zr.total_j(),
+            zr.iter_time_s
+        );
+    }
+}
+
+#[test]
+fn zeus_per_stage_balances_forward_times() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.2, 0.9, 1.1]))
+            .unwrap();
+    let points = zeus_per_stage_frontier(&ctx).unwrap();
+    assert!(points.len() > 10);
+    // At deep targets, per-stage forward durations converge toward the
+    // target: the spread between stages shrinks versus all-max.
+    let spread = |s: &perseus_core::EnergySchedule| {
+        let mut per_stage = [0.0f64; 4];
+        for (id, c) in pipe.computations() {
+            if c.kind == perseus_pipeline::CompKind::Forward && c.microbatch == 0 {
+                per_stage[c.stage] = s.realized_dur[id.index()];
+            }
+        }
+        let max = per_stage.iter().copied().fold(f64::MIN, f64::max);
+        let min = per_stage.iter().copied().fold(f64::MAX, f64::min);
+        max / min
+    };
+    let unbalanced = spread(&all_max_freq(&ctx).unwrap());
+    let first = spread(points.first().unwrap());
+    let mid = spread(&points[points.len() / 2]);
+    assert!(first < unbalanced, "balancing should shrink the spread: {first} vs {unbalanced}");
+    assert!(mid < unbalanced, "balancing should persist across the sweep: {mid} vs {unbalanced}");
+}
+
+#[test]
+fn envpipe_keeps_last_stage_at_max() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.95, 1.2]))
+            .unwrap();
+    let s = envpipe(&ctx, EnvPipeOptions::default()).unwrap();
+    for (id, c) in pipe.computations() {
+        if c.stage == 3 {
+            assert_eq!(s.freq_of(id), Some(gpu.max_freq()), "last stage must stay at max");
+        }
+    }
+}
+
+#[test]
+fn envpipe_saves_energy_within_tolerance() {
+    let gpu = GpuSpec::a40();
+    let pipe = build_pipe(4, 8);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9, 1.25]))
+            .unwrap();
+    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
+    let ep = envpipe(&ctx, EnvPipeOptions::default()).unwrap().energy_report(&ctx, None);
+    let savings = 1.0 - ep.total_j() / base.total_j();
+    let slowdown = ep.iter_time_s / base.iter_time_s - 1.0;
+    assert!(savings > 0.01, "EnvPipe should save something: {savings}");
+    assert!(slowdown <= 0.0055, "EnvPipe slowdown within tolerance: {slowdown}");
+}
+
+#[test]
+fn perseus_beats_envpipe_when_last_stage_is_light() {
+    // §6.2: EnvPipe's "last stage is heaviest" assumption fails when the
+    // bottleneck is elsewhere — Perseus can also slow the last stage.
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 8);
+    // Heaviest stage is stage 1; last stage is light.
+    let ctx = PlanContext::from_model_profiles(
+        &pipe,
+        &gpu,
+        &stages_with_scales(&[1.0, 1.3, 1.0, 0.75]),
+    )
+    .unwrap();
+    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
+    let ep = envpipe(&ctx, EnvPipeOptions::default()).unwrap().energy_report(&ctx, None);
+    let s_perseus = 1.0 - perseus.total_j() / base.total_j();
+    let s_envpipe = 1.0 - ep.total_j() / base.total_j();
+    assert!(
+        s_perseus > s_envpipe,
+        "Perseus {s_perseus:.4} should beat EnvPipe {s_envpipe:.4} here"
+    );
+}

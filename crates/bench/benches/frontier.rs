@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end frontier characterization versus stage and
+//! microbatch counts — the §6.5 "algorithm runtime" claim (polynomial in
+//! N and M, Appendix E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perseus_core::{characterize, FrontierOptions, PlanContext};
+use perseus_gpu::{GpuSpec, Workload};
+use perseus_models::StageWorkloads;
+use perseus_pipeline::{PipelineBuilder, ScheduleKind};
+
+fn stages_for(n: usize) -> Vec<StageWorkloads> {
+    (0..n)
+        .map(|s| {
+            let k = 1.0 + 0.05 * (s % 3) as f64;
+            StageWorkloads {
+                fwd: Workload::new(40.0 * k, 0.004, 0.85),
+                bwd: Workload::new(80.0 * k, 0.008, 0.92),
+            }
+        })
+        .collect()
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let gpu = GpuSpec::a100_pcie();
+    let mut group = c.benchmark_group("frontier");
+    group.sample_size(10);
+    for (n, m) in [(4usize, 8usize), (4, 32), (8, 32), (8, 96)] {
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().expect("pipe");
+        let stages = stages_for(n);
+        group.bench_with_input(BenchmarkId::new("characterize", format!("N{n}M{m}")), &pipe, |b, pipe| {
+            b.iter(|| {
+                let ctx = PlanContext::from_model_profiles(pipe, &gpu, &stages).expect("ctx");
+                characterize(&ctx, &FrontierOptions::default()).expect("frontier")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontier);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: the straggler reaction path — `T' -> schedule` lookup
+//! must be effectively free (§3.2 "quickly reacts ... by looking up").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perseus_core::{characterize, FrontierOptions, PlanContext};
+use perseus_gpu::{GpuSpec, Workload};
+use perseus_models::StageWorkloads;
+use perseus_pipeline::{PipelineBuilder, ScheduleKind};
+
+fn bench_lookup(c: &mut Criterion) {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 16).build().expect("pipe");
+    let stages: Vec<StageWorkloads> = (0..4)
+        .map(|s| {
+            let k = 1.0 + 0.05 * (s % 3) as f64;
+            StageWorkloads {
+                fwd: Workload::new(40.0 * k, 0.004, 0.85),
+                bwd: Workload::new(80.0 * k, 0.008, 0.92),
+            }
+        })
+        .collect();
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).expect("ctx");
+    let frontier = characterize(&ctx, &FrontierOptions::default()).expect("frontier");
+    let t_min = frontier.t_min();
+
+    let mut i = 0u64;
+    c.bench_function("frontier_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let t_prime = t_min * (1.0 + (i % 64) as f64 * 0.01);
+            frontier.lookup(t_prime).planned_time_s
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

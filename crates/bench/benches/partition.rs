@@ -1,0 +1,31 @@
+//! Criterion bench: minimum-imbalance partitioning (Appendix B) on the
+//! zoo's largest models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perseus_gpu::GpuSpec;
+use perseus_models::{min_imbalance_partition, zoo};
+
+fn bench_partition(c: &mut Criterion) {
+    let gpu = GpuSpec::a100_pcie();
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for (model, name) in [
+        (zoo::gpt3_xl(4), "gpt3-xl(25)"),
+        (zoo::gpt3_175b(1), "gpt3-175b(97)"),
+        (zoo::bloom_176b(1), "bloom-176b(71)"),
+        (zoo::wide_resnet101_8(32), "wrn101(35)"),
+    ] {
+        let weights = model.fwd_latency_weights(&gpu);
+        for stages in [4usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(name, stages),
+                &weights,
+                |b, w| b.iter(|| min_imbalance_partition(w, stages).expect("partition")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: pipeline DAG construction for the supported schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perseus_pipeline::{PipelineBuilder, ScheduleKind};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_build");
+    for kind in [ScheduleKind::OneFOneB, ScheduleKind::GPipe, ScheduleKind::EarlyRecompute1F1B] {
+        for (n, m) in [(4usize, 32usize), (8, 128), (8, 256)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), format!("N{n}M{m}")),
+                &(n, m),
+                |b, &(n, m)| {
+                    b.iter(|| PipelineBuilder::new(kind, n, m).build().expect("pipe"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

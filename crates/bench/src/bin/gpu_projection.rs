@@ -1,0 +1,45 @@
+//! GPU-generation projection (§6.2.1's closing claim): newer GPUs with
+//! higher maximum clocks and TDPs should show larger percentage *and*
+//! absolute savings. Runs GPT-3 2.7B through V100 → A100 → A40 → H100.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin gpu_projection`
+
+use perseus_cluster::{ClusterConfig, Emulator, Policy};
+use perseus_core::FrontierOptions;
+use perseus_gpu::GpuSpec;
+use perseus_models::zoo;
+use perseus_pipeline::ScheduleKind;
+
+fn main() {
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>12}",
+        "GPU", "clocks", "savings %", "J saved/it", "slowdown %"
+    );
+    for gpu in [GpuSpec::v100(), GpuSpec::a100_pcie(), GpuSpec::a40(), GpuSpec::h100_sxm()] {
+        let emu = Emulator::new(ClusterConfig {
+            model: zoo::gpt3_2_7b(4),
+            gpu: gpu.clone(),
+            n_stages: 4,
+            n_microbatches: 24,
+            n_pipelines: 1,
+            tensor_parallel: 1,
+            schedule: ScheduleKind::OneFOneB,
+            frontier: FrontierOptions::default(),
+        })
+        .expect("emulator");
+        let base = emu.report(Policy::AllMax, None).expect("base");
+        let p = emu.report(Policy::Perseus, None).expect("perseus");
+        let saved = base.total_j() - p.total_j();
+        println!(
+            "{:<24} {:>4}-{:<5} {:>12.1} {:>12.0} {:>12.2}",
+            gpu.name,
+            gpu.min_freq_mhz,
+            gpu.max_freq_mhz,
+            (1.0 - p.total_j() / base.total_j()) * 100.0,
+            saved,
+            (p.non_straggler.iter_time_s / base.non_straggler.iter_time_s - 1.0) * 100.0,
+        );
+    }
+    println!("\nPaper claim (§6.2.1): wider clock ranges (A40 1740, H100 1980 MHz) and");
+    println!("higher TDPs yield larger relative and absolute savings than A100/V100.");
+}

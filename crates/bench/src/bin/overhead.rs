@@ -1,0 +1,65 @@
+//! §6.5: Perseus overhead — online profiling time (simulated GPU-seconds
+//! added to the start of training) and optimization-algorithm wall-clock
+//! runtime, plus the claimed O(1) straggler lookup.
+//!
+//! Paper reference: profiling added ~13 min to training start; the
+//! algorithm averaged 6.5 min (longest: Bloom 3B, 15.7 min); the 8,192-GPU
+//! emulation took 87 s; lookups are instant.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin overhead`
+
+use std::time::Instant;
+
+use perseus_bench::{a100_workloads, testbed_emulator};
+use perseus_gpu::{GpuSpec, SimGpu};
+use perseus_profiler::OnlineProfiler;
+
+fn main() {
+    println!("== Profiling overhead (simulated GPU time, §5 sweep, 3 reps/freq) ==");
+    let gpu_spec = GpuSpec::a100_pcie();
+    for w in a100_workloads() {
+        let model = (w.model)(w.microbatch);
+        let weights = model.fwd_latency_weights(&gpu_spec);
+        let part = perseus_models::min_imbalance_partition(&weights, 4).expect("partition");
+        let stages = model.stage_workloads(&part, &gpu_spec).expect("stages");
+        let mut total = 0.0;
+        for sw in &stages {
+            let mut gpu = SimGpu::new(gpu_spec.clone());
+            let profiler = OnlineProfiler::default();
+            let _ = profiler.profile(&mut gpu, &sw.fwd);
+            let _ = profiler.profile(&mut gpu, &sw.bwd);
+            total = f64::max(total, gpu.clock_s()); // stages profile in parallel
+        }
+        println!("{:<18} {:>8.1} s of training time (stages profile concurrently)", w.name, total);
+    }
+
+    println!("\n== Algorithm runtime (frontier characterization, wall clock) ==");
+    for w in a100_workloads() {
+        let t0 = Instant::now();
+        let emu = match testbed_emulator(&w, gpu_spec.clone(), 4) {
+            Ok(e) => e,
+            Err(e) => {
+                println!("{:<18} failed: {e}", w.name);
+                continue;
+            }
+        };
+        let dt = t0.elapsed();
+        println!(
+            "{:<18} {:>8.2?} for {} frontier points",
+            w.name,
+            dt,
+            emu.frontier().points().len()
+        );
+
+        // Lookup latency: §3.2 claims instant reaction to stragglers.
+        let t0 = Instant::now();
+        let reps = 10_000;
+        let mut acc = 0.0;
+        for i in 0..reps {
+            let t_prime = emu.frontier().t_min() * (1.0 + (i % 50) as f64 * 0.01);
+            acc += emu.frontier().lookup(t_prime).planned_time_s;
+        }
+        let per = t0.elapsed() / reps;
+        println!("{:<18} lookup: {per:?} per query (checksum {acc:.1})", "");
+    }
+}

@@ -1,0 +1,56 @@
+//! §2.4 / §6.2.3: potential energy savings (every computation at its
+//! minimum-energy frequency — an upper bound that slows training) and the
+//! fraction of that potential Perseus realizes with negligible slowdown.
+//!
+//! Paper reference: potential ≈ 16% (A100) and 27% (A40) on average;
+//! Perseus realizes ≈ 74% (A100) and 89% (A40) of it.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin potential_savings`
+
+use perseus_bench::{a100_workloads, a40_workloads, testbed_emulator};
+use perseus_cluster::Policy;
+use perseus_gpu::GpuSpec;
+
+fn main() {
+    for (gpu, stages, workloads, label) in [
+        (GpuSpec::a100_pcie(), 4usize, a100_workloads(), "A100, four stages"),
+        (GpuSpec::a40(), 8, a40_workloads(), "A40, eight stages"),
+    ] {
+        println!("== Potential vs realized savings ({label}) ==");
+        println!(
+            "{:<18} {:>12} {:>12} {:>12} {:>10}",
+            "Model", "potential%", "perseus%", "realized", "oracle slow%"
+        );
+        let mut pot_sum = 0.0;
+        let mut real_sum = 0.0;
+        let mut n = 0.0;
+        for w in workloads {
+            let emu = match testbed_emulator(&w, gpu.clone(), stages) {
+                Ok(e) => e,
+                Err(e) => {
+                    println!("{:<18} failed: {e}", w.name);
+                    continue;
+                }
+            };
+            let oracle = emu.savings(Policy::MinEnergyOracle, None).expect("oracle");
+            let perseus = emu.savings(Policy::Perseus, None).expect("perseus");
+            let frac = perseus.savings_pct / oracle.savings_pct;
+            pot_sum += oracle.savings_pct;
+            real_sum += frac;
+            n += 1.0;
+            println!(
+                "{:<18} {:>12.1} {:>12.1} {:>11.0}% {:>10.1}",
+                w.name,
+                oracle.savings_pct,
+                perseus.savings_pct,
+                frac * 100.0,
+                oracle.slowdown_pct
+            );
+        }
+        println!(
+            "average potential {:.1}%, average realized fraction {:.0}%\n",
+            pot_sum / n,
+            real_sum / n * 100.0
+        );
+    }
+}

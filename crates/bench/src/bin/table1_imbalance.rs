@@ -1,0 +1,43 @@
+//! Table 1 / Table 7: minimum imbalance ratios for all zoo models under
+//! four and eight pipeline stages, on A100 and A40, plus the partition
+//! boundary lists of Appendix B.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin table1_imbalance`
+
+use perseus_gpu::GpuSpec;
+use perseus_models::{min_imbalance_partition, zoo};
+
+fn main() {
+    for gpu in [GpuSpec::a100_pcie(), GpuSpec::a40()] {
+        println!("== {} ==", gpu.name);
+        println!(
+            "{:<22} {:>7} {:>9} {:>9}  {:<28} partition (8)",
+            "Model", "#Params", "4 stages", "8 stages", "partition (4)"
+        );
+        for (ctor, name) in zoo::all_presets() {
+            let model = ctor(4);
+            let weights = model.fwd_latency_weights(&gpu);
+            let mut ratios = Vec::new();
+            let mut parts = Vec::new();
+            for stages in [4usize, 8] {
+                match min_imbalance_partition(&weights, stages) {
+                    Ok(p) => {
+                        ratios.push(format!("{:.2}", p.imbalance_ratio(&weights)));
+                        parts.push(format!("{:?}", p.boundaries()));
+                    }
+                    Err(e) => {
+                        ratios.push(format!("({e})"));
+                        parts.push(String::new());
+                    }
+                }
+            }
+            println!(
+                "{:<22} {:>6.1}B {:>9} {:>9}  {:<28} {}",
+                name, model.params_b, ratios[0], ratios[1], parts[0], parts[1]
+            );
+        }
+        println!();
+    }
+    println!("Paper reference (Table 1, A100): GPT-3 1.3B 1.17/1.33, Bloom 3B 1.13/1.25,");
+    println!("BERT 0.1B 1.33/2.00, T5 3B 1.06/1.16, WRN101 1.09/1.25. 1.00 = perfect balance.");
+}

@@ -1,0 +1,412 @@
+//! The cluster emulator: one pipeline characterized, `D` replicas
+//! accounted (§4.4: operator-parallel replicas share one energy schedule,
+//! so it suffices to optimize a single data-parallel copy).
+
+use std::fmt;
+
+use perseus_baselines::{all_max_freq, envpipe, min_energy_oracle, zeus_global_frontier, EnvPipeOptions};
+use perseus_core::{
+    characterize, CoreError, EnergySchedule, FrontierOptions, ParetoFrontier, PipelineEnergy,
+    PlanContext,
+};
+use perseus_gpu::{FreqMHz, GpuSpec};
+use perseus_models::{min_imbalance_partition, ModelError, ModelSpec, PartitionError, StageWorkloads};
+use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleError, ScheduleKind};
+
+/// Emulation input: the model, hardware, and parallelization layout.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Model to train (costs per microbatch; tensor parallelism is applied
+    /// by the emulator).
+    pub model: ModelSpec,
+    /// GPU every accelerator in the cluster uses.
+    pub gpu: GpuSpec,
+    /// Pipeline stages.
+    pub n_stages: usize,
+    /// Microbatches per pipeline per iteration.
+    pub n_microbatches: usize,
+    /// Data-parallel pipeline count.
+    pub n_pipelines: usize,
+    /// Tensor parallel degree (GPUs per stage).
+    pub tensor_parallel: usize,
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Frontier characterization options.
+    pub frontier: FrontierOptions,
+}
+
+impl ClusterConfig {
+    /// Total GPUs: pipelines × stages × tensor parallel degree.
+    pub fn n_gpus(&self) -> usize {
+        self.n_pipelines * self.n_stages * self.tensor_parallel
+    }
+}
+
+/// Errors from emulator construction and queries.
+#[derive(Debug)]
+pub enum EmulatorError {
+    /// Stage partitioning failed.
+    Partition(PartitionError),
+    /// Model/partition mismatch or invalid tensor parallel degree.
+    Model(ModelError),
+    /// Pipeline construction failed.
+    Schedule(ScheduleError),
+    /// Frontier characterization failed.
+    Core(CoreError),
+    /// A straggler degree below 1.0 was requested.
+    InvalidDegree(f64),
+}
+
+impl fmt::Display for EmulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmulatorError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            EmulatorError::Model(e) => write!(f, "model error: {e}"),
+            EmulatorError::Schedule(e) => write!(f, "schedule error: {e}"),
+            EmulatorError::Core(e) => write!(f, "frontier error: {e}"),
+            EmulatorError::InvalidDegree(d) => write!(f, "straggler degree {d} must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for EmulatorError {}
+
+impl From<PartitionError> for EmulatorError {
+    fn from(e: PartitionError) -> Self {
+        EmulatorError::Partition(e)
+    }
+}
+impl From<ModelError> for EmulatorError {
+    fn from(e: ModelError) -> Self {
+        EmulatorError::Model(e)
+    }
+}
+impl From<ScheduleError> for EmulatorError {
+    fn from(e: ScheduleError) -> Self {
+        EmulatorError::Schedule(e)
+    }
+}
+impl From<CoreError> for EmulatorError {
+    fn from(e: CoreError) -> Self {
+        EmulatorError::Core(e)
+    }
+}
+
+/// Energy policy applied to the non-straggler pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Every computation at maximum frequency (the baseline).
+    AllMax,
+    /// Perseus: frontier lookup at `T_opt = min(T*, T')`.
+    Perseus,
+    /// EnvPipe: intrinsic-only heuristic, unaware of stragglers.
+    EnvPipe,
+    /// ZeusGlobal: the lowest-energy global frequency cap whose iteration
+    /// time does not exceed `T'`.
+    ZeusGlobal,
+    /// Every computation at its minimum-energy frequency (§2.4 oracle).
+    MinEnergyOracle,
+}
+
+/// Root causes behind straggler pipelines (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StragglerCause {
+    /// Datacenter thermal/power capping pins the pipeline's clocks.
+    ThermalThrottle {
+        /// Frequency cap imposed on every GPU of the straggler pipeline.
+        freq_cap: FreqMHz,
+    },
+    /// Storage/network input stalls before each first-stage forward.
+    IoStall {
+        /// Extra seconds per microbatch.
+        stall_s: f64,
+    },
+    /// Generic announced slowdown (e.g. a heterogeneous recovery pipeline).
+    Slowdown {
+        /// Iteration-time inflation factor, ≥ 1.
+        degree: f64,
+    },
+}
+
+/// Per-pipeline and cluster-level energy summary.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Energy of one non-straggler pipeline (Eq. 3, straggler wait
+    /// included).
+    pub non_straggler: PipelineEnergy,
+    /// Energy of the straggler pipeline, if one exists.
+    pub straggler: Option<PipelineEnergy>,
+    /// Straggler iteration time everyone synchronizes on.
+    pub sync_time_s: f64,
+    /// Pipelines in the cluster.
+    pub n_pipelines: usize,
+    /// GPUs per stage (energy multiplier — §4.4 replicates the schedule
+    /// across operator-parallel GPUs).
+    pub tensor_parallel: usize,
+}
+
+impl ClusterReport {
+    /// Total cluster energy for one iteration, joules.
+    pub fn total_j(&self) -> f64 {
+        let stragglers = usize::from(self.straggler.is_some());
+        let non = (self.n_pipelines - stragglers) as f64 * self.non_straggler.total_j();
+        let s = self.straggler.as_ref().map_or(0.0, PipelineEnergy::total_j);
+        (non + s) * self.tensor_parallel as f64
+    }
+
+    /// Average cluster power draw, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        self.total_j() / self.sync_time_s
+    }
+}
+
+/// Relative savings of a policy versus the all-max baseline under the same
+/// straggler conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct Savings {
+    /// `1 − E_policy / E_allmax`, as a percentage.
+    pub savings_pct: f64,
+    /// Iteration-time inflation of the policy pipeline versus the all-max
+    /// pipeline (no-straggler comparison), as a percentage.
+    pub slowdown_pct: f64,
+}
+
+/// The emulator: one partitioned, profiled, characterized pipeline.
+pub struct Emulator {
+    config: ClusterConfig,
+    pipe: PipelineDag,
+    stages: Vec<StageWorkloads>,
+    frontier: ParetoFrontier,
+}
+
+impl Emulator {
+    /// Partitions the model (minimum-imbalance, Appendix B), builds the
+    /// pipeline DAG, derives model-grounded profiles, and characterizes
+    /// the Pareto frontier.
+    ///
+    /// # Errors
+    ///
+    /// Any of the construction stages can fail; see [`EmulatorError`].
+    pub fn new(config: ClusterConfig) -> Result<Emulator, EmulatorError> {
+        let model = config.model.with_tensor_parallel(config.tensor_parallel)?;
+        let weights = model.fwd_latency_weights(&config.gpu);
+        // Interleaved schedules split the model into stages × chunks
+        // virtual stages; `stage_workloads` then yields one entry per
+        // virtual stage, which is exactly what the planner expects.
+        let virtual_stages = config.n_stages * config.schedule.chunks();
+        let partition = min_imbalance_partition(&weights, virtual_stages)?;
+        let stages = model.stage_workloads(&partition, &config.gpu)?;
+        let pipe =
+            PipelineBuilder::new(config.schedule, config.n_stages, config.n_microbatches).build()?;
+        let frontier = {
+            let ctx = PlanContext::from_model_profiles(&pipe, &config.gpu, &stages)?;
+            characterize(&ctx, &config.frontier)?
+        };
+        Ok(Emulator { config, pipe, stages, frontier })
+    }
+
+    /// The emulated pipeline DAG.
+    pub fn pipe(&self) -> &PipelineDag {
+        &self.pipe
+    }
+
+    /// Per-stage workloads after partitioning.
+    pub fn stages(&self) -> &[StageWorkloads] {
+        &self.stages
+    }
+
+    /// The characterized frontier of one pipeline.
+    pub fn frontier(&self) -> &ParetoFrontier {
+        &self.frontier
+    }
+
+    /// The configuration this emulator was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Builds a fresh planning context (cheap; profiles are re-fitted).
+    pub fn ctx(&self) -> PlanContext<'_> {
+        PlanContext::from_model_profiles(&self.pipe, &self.config.gpu, &self.stages)
+            .expect("context construction succeeded in new()")
+    }
+
+    /// Translates a straggler cause into the straggler's iteration time.
+    pub fn straggler_iteration_time(&self, cause: StragglerCause) -> Result<f64, EmulatorError> {
+        let ctx = self.ctx();
+        let base = all_max_freq(&ctx)?.time_s;
+        Ok(match cause {
+            StragglerCause::Slowdown { degree } => {
+                if degree < 1.0 {
+                    return Err(EmulatorError::InvalidDegree(degree));
+                }
+                base * degree
+            }
+            StragglerCause::ThermalThrottle { freq_cap } => {
+                // The straggler's computations all run at the capped clock.
+                let cap = self.config.gpu.clamp_freq(freq_cap);
+                let mut planned = ctx.fastest_durations();
+                for id in self.pipe.dag.node_ids() {
+                    if ctx.info(id).is_some() {
+                        let profile = ctx.profile_of(id).expect("comp");
+                        if let Some(e) = profile.entry_at(cap) {
+                            planned[id.index()] = e.time_s;
+                        }
+                    }
+                }
+                let (_, t) =
+                    perseus_pipeline::node_start_times(&self.pipe.dag, |id, _| planned[id.index()]);
+                t.max(base)
+            }
+            StragglerCause::IoStall { stall_s } => {
+                let stalled = PipelineBuilder::new(
+                    self.config.schedule,
+                    self.config.n_stages,
+                    self.config.n_microbatches,
+                )
+                .with_data_loading(stall_s, self.config.gpu.blocking_w)
+                .build()?;
+                let ctx2 =
+                    PlanContext::from_model_profiles(&stalled, &self.config.gpu, &self.stages)?;
+                let t = all_max_freq(&ctx2)?.time_s;
+                t.max(base)
+            }
+        })
+    }
+
+    /// The schedule a policy picks for non-straggler pipelines given the
+    /// straggler iteration time `t_prime` (`None` = no straggler).
+    fn policy_schedule(
+        &self,
+        ctx: &PlanContext<'_>,
+        policy: Policy,
+        t_prime: Option<f64>,
+    ) -> Result<EnergySchedule, EmulatorError> {
+        Ok(match policy {
+            Policy::AllMax => all_max_freq(ctx)?,
+            Policy::MinEnergyOracle => min_energy_oracle(ctx)?,
+            Policy::EnvPipe => envpipe(ctx, EnvPipeOptions::default())?,
+            Policy::Perseus => {
+                let t = t_prime.unwrap_or_else(|| self.frontier.t_min());
+                self.frontier.lookup(t).schedule.clone()
+            }
+            Policy::ZeusGlobal => {
+                // Without a straggler, Zeus must not slow training: the
+                // deadline is the pipeline's own all-max iteration time
+                // (it still banks the near-free top-clock savings).
+                let deadline = match t_prime {
+                    Some(t) => t,
+                    None => all_max_freq(ctx)?.time_s * (1.0 + 1e-9),
+                };
+                let sweep = zeus_global_frontier(ctx)?;
+                let mut best: Option<EnergySchedule> = None;
+                for s in sweep {
+                    if s.time_s <= deadline || best.is_none() {
+                        let better = match &best {
+                            None => true,
+                            Some(b) => {
+                                s.time_s <= deadline
+                                    && (b.time_s > deadline || s.compute_j < b.compute_j)
+                            }
+                        };
+                        if better {
+                            best = Some(s);
+                        }
+                    }
+                }
+                best.expect("sweep is non-empty")
+            }
+        })
+    }
+
+    /// Emulates one synchronized iteration: non-straggler pipelines run
+    /// `policy`, the straggler (if any) runs at max frequency but `cause`
+    /// inflates its iteration time, and everyone blocks until it finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction failures.
+    pub fn report(
+        &self,
+        policy: Policy,
+        cause: Option<StragglerCause>,
+    ) -> Result<ClusterReport, EmulatorError> {
+        let ctx = self.ctx();
+        let t_prime = match cause {
+            Some(c) => Some(self.straggler_iteration_time(c)?),
+            None => None,
+        };
+        let schedule = self.policy_schedule(&ctx, policy, t_prime)?;
+        let non_straggler = schedule.energy_report(&ctx, t_prime);
+        let sync = t_prime.unwrap_or(non_straggler.iter_time_s).max(non_straggler.iter_time_s);
+
+        // The straggler itself runs at max frequency; its computations are
+        // stretched to fill T' (e.g. throttled clocks), so we charge its
+        // max-frequency computation energy plus blocking to fill the gap.
+        let straggler = t_prime.map(|t| {
+            let base = all_max_freq(&ctx).expect("all-max realizes");
+            let mut r = base.energy_report(&ctx, Some(t));
+            r.sync_time_s = t;
+            r
+        });
+        Ok(ClusterReport {
+            non_straggler,
+            straggler,
+            sync_time_s: sync,
+            n_pipelines: self.config.n_pipelines,
+            tensor_parallel: self.config.tensor_parallel,
+        })
+    }
+
+    /// Like [`Emulator::report`], but the deployed schedule answers a
+    /// (possibly stale) *believed* straggler iteration time while blocking
+    /// is charged against the *actual* one — the accounting needed to
+    /// simulate reaction latency over a training segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction failures.
+    pub fn report_with_belief(
+        &self,
+        policy: Policy,
+        believed_t_prime: Option<f64>,
+        actual_t_prime: Option<f64>,
+    ) -> Result<ClusterReport, EmulatorError> {
+        let ctx = self.ctx();
+        let schedule = self.policy_schedule(&ctx, policy, believed_t_prime)?;
+        // If the belief is stale the non-straggler pipeline itself may be
+        // the slowest participant.
+        let sync = actual_t_prime.unwrap_or(0.0).max(schedule.time_s);
+        let non_straggler = schedule.energy_report(&ctx, Some(sync));
+        let straggler = actual_t_prime.map(|t| {
+            let base = all_max_freq(&ctx).expect("all-max realizes");
+            let mut r = base.energy_report(&ctx, Some(sync.max(t)));
+            r.sync_time_s = sync.max(t);
+            r
+        });
+        Ok(ClusterReport {
+            non_straggler,
+            straggler,
+            sync_time_s: sync,
+            n_pipelines: self.config.n_pipelines,
+            tensor_parallel: self.config.tensor_parallel,
+        })
+    }
+
+    /// Table 4-style savings of `policy` versus all-max under an optional
+    /// generic straggler of `degree`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation failures.
+    pub fn savings(&self, policy: Policy, degree: Option<f64>) -> Result<Savings, EmulatorError> {
+        let cause = degree.map(|d| StragglerCause::Slowdown { degree: d });
+        let base = self.report(Policy::AllMax, cause)?;
+        let with = self.report(policy, cause)?;
+        let savings_pct =
+            (1.0 - with.non_straggler.total_j() / base.non_straggler.total_j()) * 100.0;
+        let slowdown_pct =
+            (with.non_straggler.iter_time_s / base.non_straggler.iter_time_s - 1.0) * 100.0;
+        Ok(Savings { savings_pct, slowdown_pct })
+    }
+}

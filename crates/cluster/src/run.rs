@@ -1,0 +1,159 @@
+//! Multi-iteration training-segment simulation (an extension beyond the
+//! paper's per-iteration tables): replay a straggler *trace* — stragglers
+//! appearing, changing degree, and recovering over the course of training —
+//! and account energy iteration by iteration, including the cost of the
+//! server's reaction latency.
+//!
+//! §2.3 notes stragglers are usually announced by the infrastructure; this
+//! module quantifies what announcement latency is worth: while the server
+//! has not reacted yet, non-straggler pipelines either waste energy
+//! (straggler appeared, schedule still fast) or *become the straggler
+//! themselves* (straggler recovered, schedule still slow).
+
+use crate::emulator::{Emulator, EmulatorError, Policy, StragglerCause};
+
+/// One event of a straggler trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Iteration index at which the event takes effect.
+    pub at_iteration: usize,
+    /// Pipeline the event concerns.
+    pub pipeline: usize,
+    /// New cause, or `None` when the pipeline recovers.
+    pub cause: Option<StragglerCause>,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Iterations to simulate.
+    pub iterations: usize,
+    /// Iterations between a straggler state change and the schedule that
+    /// accounts for it reaching the clients (0 = instant reaction; the
+    /// paper's lookup makes the server side effectively free, so this is
+    /// dominated by notification/deployment latency).
+    pub reaction_delay_iters: usize,
+}
+
+/// Per-iteration record of a simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationRecord {
+    /// Synchronized iteration time (everyone waits for the slowest).
+    pub sync_time_s: f64,
+    /// Cluster energy of this iteration, joules.
+    pub energy_j: f64,
+    /// The straggler iteration time the deployed schedule believed in.
+    pub believed_t_prime_s: Option<f64>,
+    /// The actual straggler iteration time.
+    pub actual_t_prime_s: Option<f64>,
+}
+
+/// Aggregate result of a simulated training segment.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Policy that was simulated.
+    pub policy: Policy,
+    /// Total cluster energy over the segment, joules.
+    pub total_energy_j: f64,
+    /// Total wall-clock time of the segment, seconds.
+    pub total_time_s: f64,
+    /// Per-iteration records.
+    pub per_iteration: Vec<IterationRecord>,
+}
+
+impl RunSummary {
+    /// Average cluster power over the segment, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        self.total_energy_j / self.total_time_s
+    }
+}
+
+/// Simulates `cfg.iterations` synchronized iterations of `emu`'s cluster
+/// under `policy`, replaying `trace` (events may arrive in any order;
+/// later events for the same pipeline override earlier ones).
+///
+/// The straggler itself always runs at maximum frequency; `policy` governs
+/// the non-straggler pipelines, reacting to trace events after
+/// `cfg.reaction_delay_iters` iterations.
+///
+/// # Errors
+///
+/// Propagates emulation failures (e.g. invalid straggler degrees).
+pub fn simulate_run(
+    emu: &Emulator,
+    policy: Policy,
+    trace: &[TraceEvent],
+    cfg: &RunConfig,
+) -> Result<RunSummary, EmulatorError> {
+    let mut events: Vec<TraceEvent> = trace.to_vec();
+    events.sort_by_key(|e| e.at_iteration);
+
+    // Straggler state per pipeline at iteration i, and the (delayed) state
+    // the deployed schedule believes in.
+    let state_at = |iter: usize| -> Vec<(usize, StragglerCause)> {
+        let mut active: std::collections::HashMap<usize, StragglerCause> =
+            std::collections::HashMap::new();
+        for e in events.iter().take_while(|e| e.at_iteration <= iter) {
+            match e.cause {
+                Some(c) => {
+                    active.insert(e.pipeline, c);
+                }
+                None => {
+                    active.remove(&e.pipeline);
+                }
+            }
+        }
+        active.into_iter().collect()
+    };
+    let t_prime_of = |state: &[(usize, StragglerCause)]| -> Result<Option<f64>, EmulatorError> {
+        let mut worst: Option<f64> = None;
+        for &(_, cause) in state {
+            let t = emu.straggler_iteration_time(cause)?;
+            worst = Some(worst.map_or(t, |w: f64| w.max(t)));
+        }
+        Ok(worst)
+    };
+
+    let mut per_iteration = Vec::with_capacity(cfg.iterations);
+    let mut total_energy = 0.0;
+    let mut total_time = 0.0;
+    for iter in 0..cfg.iterations {
+        let actual = t_prime_of(&state_at(iter))?;
+        let believed =
+            t_prime_of(&state_at(iter.saturating_sub(cfg.reaction_delay_iters)))?;
+        let report = emu.report_with_belief(policy, believed, actual)?;
+        total_energy += report.total_j();
+        total_time += report.sync_time_s;
+        per_iteration.push(IterationRecord {
+            sync_time_s: report.sync_time_s,
+            energy_j: report.total_j(),
+            believed_t_prime_s: believed,
+            actual_t_prime_s: actual,
+        });
+    }
+    Ok(RunSummary { policy, total_energy_j: total_energy, total_time_s: total_time, per_iteration })
+}
+
+/// A synthetic thermal-cycling trace: `pipeline` throttles to
+/// `degree` every `period` iterations for `duty` iterations (datacenter
+/// hot spots oscillate like this, §2.3).
+pub fn thermal_cycle_trace(
+    pipeline: usize,
+    degree: f64,
+    period: usize,
+    duty: usize,
+    iterations: usize,
+) -> Vec<TraceEvent> {
+    let mut trace = Vec::new();
+    let mut at = 0;
+    while at < iterations {
+        trace.push(TraceEvent {
+            at_iteration: at,
+            pipeline,
+            cause: Some(StragglerCause::Slowdown { degree }),
+        });
+        trace.push(TraceEvent { at_iteration: (at + duty).min(iterations), pipeline, cause: None });
+        at += period;
+    }
+    trace
+}

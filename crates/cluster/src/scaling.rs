@@ -1,0 +1,49 @@
+//! Strong-scaling configurations (paper Table 5).
+
+/// One row of Table 5: strong scaling holds the global batch size constant
+/// while pipelines multiply, so each pipeline sees fewer microbatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingConfig {
+    /// Total GPU count.
+    pub n_gpus: usize,
+    /// Number of data-parallel pipelines.
+    pub n_pipelines: usize,
+    /// Microbatches per pipeline per iteration.
+    pub n_microbatches: usize,
+    /// Global batch size (constant across rows).
+    pub global_batch: usize,
+    /// Tensor parallel degree within a stage.
+    pub tensor_parallel: usize,
+    /// Pipeline stages.
+    pub n_stages: usize,
+}
+
+/// The paper's Table 5: 1,024–8,192 GPUs, tensor parallel 8, eight
+/// pipeline stages, global batch 1,536.
+pub fn strong_scaling_table5() -> Vec<ScalingConfig> {
+    [(1024, 16, 96), (2048, 32, 48), (4096, 64, 24), (8192, 128, 12)]
+        .into_iter()
+        .map(|(n_gpus, n_pipelines, n_microbatches)| ScalingConfig {
+            n_gpus,
+            n_pipelines,
+            n_microbatches,
+            global_batch: 1536,
+            tensor_parallel: 8,
+            n_stages: 8,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_is_consistent() {
+        for c in strong_scaling_table5() {
+            assert_eq!(c.n_gpus, c.n_pipelines * c.tensor_parallel * c.n_stages);
+            // Strong scaling: pipelines × microbatches is constant.
+            assert_eq!(c.n_pipelines * c.n_microbatches, 1536);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Planning context: the pipeline DAG joined with per-computation profiles
+//! and fitted time–energy curves.
+
+use std::fmt;
+
+use perseus_dag::NodeId;
+use perseus_gpu::GpuSpec;
+use perseus_pipeline::{CompKind, OpKey, PipeNode, PipelineDag};
+use perseus_profiler::{ExpFit, FitError, OpProfile, ProfileDb};
+
+/// Per-node planning information resolved from the profiles.
+#[derive(Debug, Clone)]
+pub struct NodePlanInfo {
+    /// Pipeline DAG node this refers to.
+    pub node: NodeId,
+    /// Profiling key (stage × kind).
+    pub key: OpKey,
+    /// Shortest achievable duration (max frequency).
+    pub t_min: f64,
+    /// Duration at the minimum-energy frequency.
+    pub t_max: f64,
+    /// Fitted continuous time–energy curve.
+    pub fit: ExpFit,
+}
+
+/// Errors from planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A computation type has no profile.
+    MissingProfile {
+        /// Stage of the missing profile.
+        stage: usize,
+        /// Kind of the missing profile.
+        kind: CompKind,
+    },
+    /// The per-stage workload slice does not match the pipeline's virtual
+    /// stage count.
+    StageCountMismatch {
+        /// Workloads the pipeline needs (`n_stages × chunks`).
+        expected: usize,
+        /// Workloads supplied.
+        got: usize,
+    },
+    /// A profile could not be fitted.
+    Fit(FitError),
+    /// The frontier has no points (internal invariant breach).
+    EmptyFrontier,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingProfile { stage, kind } => {
+                write!(f, "no profile for stage {stage} {kind}")
+            }
+            CoreError::StageCountMismatch { expected, got } => {
+                write!(f, "need {expected} per-virtual-stage workloads, got {got}")
+            }
+            CoreError::Fit(e) => write!(f, "profile fit failed: {e}"),
+            CoreError::EmptyFrontier => write!(f, "frontier characterization produced no points"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<FitError> for CoreError {
+    fn from(e: FitError) -> Self {
+        CoreError::Fit(e)
+    }
+}
+
+/// Everything the frontier algorithm needs about one pipeline.
+#[derive(Debug)]
+pub struct PlanContext<'a> {
+    /// The pipeline computation DAG.
+    pub pipe: &'a PipelineDag,
+    /// The GPU the pipeline runs on (supplies `P_blocking`).
+    pub gpu: &'a GpuSpec,
+    /// Per-computation-type profiles.
+    pub profiles: ProfileDb<OpKey>,
+    /// Resolved planning info, indexed densely by pipeline DAG node index
+    /// (`None` for events and fixed-time nodes).
+    pub plan_info: Vec<Option<NodePlanInfo>>,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Builds a context from an existing profile database (e.g. produced by
+    /// the client's online profiler).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingProfile`] if any (stage, kind) pair that occurs
+    /// in the DAG has no profile, [`CoreError::Fit`] if a fit fails.
+    pub fn new(
+        pipe: &'a PipelineDag,
+        gpu: &'a GpuSpec,
+        profiles: ProfileDb<OpKey>,
+    ) -> Result<PlanContext<'a>, CoreError> {
+        let mut plan_info: Vec<Option<NodePlanInfo>> = vec![None; pipe.dag.node_count()];
+        for (node, comp) in pipe.computations() {
+            let key = comp.op_key();
+            let profile = profiles
+                .get(&key)
+                .ok_or(CoreError::MissingProfile { stage: key.stage, kind: key.kind })?;
+            let fit = profile.fit()?;
+            plan_info[node.index()] = Some(NodePlanInfo {
+                node,
+                key,
+                t_min: profile.t_min(),
+                t_max: profile.t_max(),
+                fit,
+            });
+        }
+        Ok(PlanContext { pipe, gpu, profiles, plan_info })
+    }
+
+    /// Convenience constructor for emulation: derives noise-free profiles
+    /// straight from the GPU model and per-(virtual-)stage workloads
+    /// (§6.3's profiling-grounded emulator). `stages` is indexed by the
+    /// virtual stage id `chunk · n_stages + stage` (for non-interleaved
+    /// schedules that is simply the stage index); recompute reuses the
+    /// forward workload.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::StageCountMismatch`] if `stages` does not cover one
+    /// workload per virtual stage; otherwise same as [`PlanContext::new`].
+    pub fn from_model_profiles(
+        pipe: &'a PipelineDag,
+        gpu: &'a GpuSpec,
+        stages: &[perseus_models::StageWorkloads],
+    ) -> Result<PlanContext<'a>, CoreError> {
+        let expected = pipe.n_stages * pipe.chunks();
+        if stages.len() != expected {
+            return Err(CoreError::StageCountMismatch { expected, got: stages.len() });
+        }
+        let mut profiles: ProfileDb<OpKey> = ProfileDb::new();
+        let n = pipe.n_stages;
+        for (vs, sw) in stages.iter().enumerate() {
+            let (stage, chunk) = (vs % n, vs / n);
+            profiles.insert(
+                OpKey { stage, chunk, kind: CompKind::Forward },
+                OpProfile::from_model(gpu, &sw.fwd),
+            );
+            profiles.insert(
+                OpKey { stage, chunk, kind: CompKind::Backward },
+                OpProfile::from_model(gpu, &sw.bwd),
+            );
+            profiles.insert(
+                OpKey { stage, chunk, kind: CompKind::Recompute },
+                OpProfile::from_model(gpu, &sw.fwd),
+            );
+        }
+        PlanContext::new(pipe, gpu, profiles)
+    }
+
+    /// Planning info for `node`, if it is a computation.
+    pub fn info(&self, node: NodeId) -> Option<&NodePlanInfo> {
+        self.plan_info[node.index()].as_ref()
+    }
+
+    /// The profile backing `node`'s computation.
+    pub fn profile_of(&self, node: NodeId) -> Option<&OpProfile> {
+        self.info(node).and_then(|i| self.profiles.get(&i.key))
+    }
+
+    /// Baseline planned durations: every computation at its fastest
+    /// (`t_min`); fixed ops at their constant duration.
+    pub fn fastest_durations(&self) -> Vec<f64> {
+        self.durations_by(|i| i.t_min)
+    }
+
+    /// Minimum-energy planned durations: every computation at its
+    /// min-energy duration (`t_max`) — Algorithm 1's starting schedule.
+    pub fn min_energy_durations(&self) -> Vec<f64> {
+        self.durations_by(|i| i.t_max)
+    }
+
+    fn durations_by(&self, f: impl Fn(&NodePlanInfo) -> f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.pipe.dag.node_count()];
+        for id in self.pipe.dag.node_ids() {
+            out[id.index()] = match self.pipe.dag.node(id) {
+                PipeNode::Comp(_) => {
+                    f(self.plan_info[id.index()].as_ref().expect("comp has plan info"))
+                }
+                PipeNode::Fixed { time_s, .. } => *time_s,
+                _ => 0.0,
+            };
+        }
+        out
+    }
+}

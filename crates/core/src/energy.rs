@@ -1,0 +1,83 @@
+//! Pipeline energy accounting (paper Eq. 3).
+//!
+//! One pipeline's iteration energy is:
+//!
+//! 1. computation energy `Σ e_i(f_i)`,
+//! 2. `P_blocking` × the time GPUs block between computations
+//!    (`N·T − Σ t_i`),
+//! 3. `P_blocking` × the time all `N` GPUs wait for the straggler
+//!    (`N · (T' − T)`), plus energy of fixed-time operations.
+
+use perseus_dag::NodeId;
+use perseus_pipeline::{node_start_times, PipeNode, PipelineDag};
+
+/// Energy breakdown of one pipeline iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineEnergy {
+    /// The pipeline's own makespan `T`, seconds.
+    pub iter_time_s: f64,
+    /// End of the iteration including straggler wait: `max(T, T')`.
+    pub sync_time_s: f64,
+    /// Computation energy `Σ e_i`, joules.
+    pub compute_j: f64,
+    /// Energy of fixed-time operations (data loading, P2P), joules.
+    pub fixed_j: f64,
+    /// Blocking energy within the pipeline and while waiting for the
+    /// straggler, joules.
+    pub blocking_j: f64,
+}
+
+impl PipelineEnergy {
+    /// Total energy of the iteration, joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.fixed_j + self.blocking_j
+    }
+
+    /// Average power over the synchronized iteration, watts per pipeline.
+    pub fn avg_power_w(&self) -> f64 {
+        self.total_j() / self.sync_time_s
+    }
+}
+
+/// Evaluates Eq. 3 for a pipeline whose node durations and energies are
+/// given by `dur` / `energy` (realized or planned).
+///
+/// `t_prime` is the straggler's iteration time; pass `None` when there is
+/// no straggler (then `sync_time = T`). Each of the `n_stages` GPUs blocks
+/// whenever it is not executing one of its own nodes.
+pub fn pipeline_energy(
+    pipe: &PipelineDag,
+    dur: impl Fn(NodeId, &PipeNode) -> f64,
+    energy: impl Fn(NodeId, &PipeNode) -> f64,
+    p_blocking_w: f64,
+    t_prime: Option<f64>,
+) -> PipelineEnergy {
+    let (_, makespan) = node_start_times(&pipe.dag, &dur);
+    let sync = t_prime.map_or(makespan, |t| t.max(makespan));
+
+    let mut busy = vec![0.0f64; pipe.n_stages];
+    let mut compute_j = 0.0;
+    let mut fixed_j = 0.0;
+    for id in pipe.dag.node_ids() {
+        let node = pipe.dag.node(id);
+        match node {
+            PipeNode::Comp(c) => {
+                busy[c.stage] += dur(id, node);
+                compute_j += energy(id, node);
+            }
+            PipeNode::Fixed { stage, .. } => {
+                busy[*stage] += dur(id, node);
+                fixed_j += energy(id, node);
+            }
+            _ => {}
+        }
+    }
+    let blocking_time: f64 = busy.iter().map(|b| (sync - b).max(0.0)).sum();
+    PipelineEnergy {
+        iter_time_s: makespan,
+        sync_time_s: sync,
+        compute_j,
+        fixed_j,
+        blocking_j: p_blocking_w * blocking_time,
+    }
+}

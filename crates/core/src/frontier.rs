@@ -1,0 +1,307 @@
+//! Algorithm 1: iteratively discovering the iteration time–energy Pareto
+//! frontier, plus the straggler lookup of §3.1.
+
+use perseus_dag::NodeId;
+use perseus_gpu::FreqMHz;
+use perseus_pipeline::{node_start_times, PipeNode};
+
+use crate::context::{CoreError, PlanContext};
+use crate::cut::{get_next_pareto_with, CutOutcome, CutSolver};
+use crate::energy::{pipeline_energy, PipelineEnergy};
+
+/// A realized energy schedule: planned per-computation durations lowered
+/// to concrete GPU frequencies (§4.3's conversion rule: the slowest
+/// frequency that runs no slower than planned).
+#[derive(Debug, Clone)]
+pub struct EnergySchedule {
+    /// Planned duration per pipeline DAG node (0 for events).
+    pub planned: Vec<f64>,
+    /// Assigned SM frequency per node (`None` for events / fixed ops).
+    pub freqs: Vec<Option<FreqMHz>>,
+    /// Realized duration per node at the assigned frequency.
+    pub realized_dur: Vec<f64>,
+    /// Realized energy per node at the assigned frequency.
+    pub realized_energy: Vec<f64>,
+    /// Realized iteration time (makespan with realized durations).
+    pub time_s: f64,
+    /// Realized computation + fixed-op energy, joules (no blocking).
+    pub compute_j: f64,
+}
+
+impl EnergySchedule {
+    /// Realizes planned durations into frequencies and evaluates the
+    /// resulting schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingProfile`] never occurs if `ctx` built the same
+    /// DAG; kept as `Result` for forward compatibility.
+    pub fn realize(ctx: &PlanContext<'_>, planned: Vec<f64>) -> Result<EnergySchedule, CoreError> {
+        let n = ctx.pipe.dag.node_count();
+        let mut freqs = vec![None; n];
+        let mut realized_dur = vec![0.0f64; n];
+        let mut realized_energy = vec![0.0f64; n];
+        for id in ctx.pipe.dag.node_ids() {
+            match ctx.pipe.dag.node(id) {
+                PipeNode::Comp(_) => {
+                    let info = ctx.info(id).expect("comp node has plan info");
+                    let profile = ctx.profile_of(id).expect("comp node has profile");
+                    let deadline = planned[id.index()].clamp(info.t_min, info.t_max);
+                    let entry = profile
+                        .slowest_within(deadline)
+                        .expect("clamped deadline is always satisfiable");
+                    freqs[id.index()] = Some(entry.freq);
+                    realized_dur[id.index()] = entry.time_s;
+                    realized_energy[id.index()] = entry.energy_j;
+                }
+                PipeNode::Fixed { time_s, power_w, .. } => {
+                    realized_dur[id.index()] = *time_s;
+                    realized_energy[id.index()] = time_s * power_w;
+                }
+                _ => {}
+            }
+        }
+        let (_, time_s) = node_start_times(&ctx.pipe.dag, |id, _| realized_dur[id.index()]);
+        let compute_j = realized_energy.iter().sum();
+        Ok(EnergySchedule { planned, freqs, realized_dur, realized_energy, time_s, compute_j })
+    }
+
+    /// Full Eq. 3 energy report for this schedule given straggler time
+    /// `t_prime` (`None` = no straggler).
+    pub fn energy_report(&self, ctx: &PlanContext<'_>, t_prime: Option<f64>) -> PipelineEnergy {
+        pipeline_energy(
+            ctx.pipe,
+            |id, _| self.realized_dur[id.index()],
+            |id, _| self.realized_energy[id.index()],
+            ctx.gpu.blocking_w,
+            t_prime,
+        )
+    }
+
+    /// The frequency assigned to `node`, if it is a computation.
+    pub fn freq_of(&self, node: NodeId) -> Option<FreqMHz> {
+        self.freqs[node.index()]
+    }
+}
+
+/// One point on the frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Planned iteration time (continuous relaxation), seconds.
+    pub planned_time_s: f64,
+    /// Planned computation energy `Σ e_i(t_i)` from the fitted curves,
+    /// joules (blocking energy is T′-dependent and reported separately via
+    /// [`EnergySchedule::energy_report`]).
+    pub planned_energy_j: f64,
+    /// The realized schedule (frequencies, realized time and energy).
+    pub schedule: EnergySchedule,
+}
+
+/// The iteration time–energy Pareto frontier of one pipeline.
+///
+/// Points ascend in planned time from `T_min` (all computations at max
+/// frequency — after intrinsic-bloat removal) to `T*` (the minimum-energy
+/// iteration time). Slowing past `T*` would *increase* energy, so lookups
+/// clamp to it (Eq. 2: `T_opt = min(T*, T')`).
+#[derive(Debug, Clone)]
+pub struct ParetoFrontier {
+    points: Vec<FrontierPoint>,
+}
+
+impl ParetoFrontier {
+    /// All frontier points, ascending in planned iteration time.
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Shortest iteration time on the frontier.
+    pub fn t_min(&self) -> f64 {
+        self.points.first().expect("frontier is non-empty").planned_time_s
+    }
+
+    /// Minimum-energy iteration time `T*`.
+    pub fn t_star(&self) -> f64 {
+        self.points.last().expect("frontier is non-empty").planned_time_s
+    }
+
+    /// The fastest schedule (used when there is no straggler — removes
+    /// intrinsic bloat at unchanged iteration time).
+    pub fn fastest(&self) -> &FrontierPoint {
+        self.points.first().expect("frontier is non-empty")
+    }
+
+    /// The minimum-energy schedule (`T*` point).
+    pub fn most_efficient(&self) -> &FrontierPoint {
+        self.points.last().expect("frontier is non-empty")
+    }
+
+    /// §3.1 straggler reaction: the Pareto-optimal schedule for straggler
+    /// iteration time `t_prime`, i.e. the slowest schedule not exceeding
+    /// `T_opt = min(T*, T')`.
+    pub fn lookup(&self, t_prime: f64) -> &FrontierPoint {
+        let t_opt = t_prime.min(self.t_star());
+        // Points ascend in time; binary search the last point <= t_opt.
+        let mut best = 0usize;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.planned_time_s <= t_opt + 1e-12 {
+                best = i;
+            } else {
+                break;
+            }
+        }
+        &self.points[best]
+    }
+}
+
+/// Tuning knobs for [`characterize`].
+#[derive(Debug, Clone)]
+pub struct FrontierOptions {
+    /// Unit time `τ` by which each step shortens the iteration (§4.2; the
+    /// paper uses 1 ms). `None` derives τ from the workload: 5% of the
+    /// median per-computation time range (`t_max − t_min`), clamped to
+    /// `[0.2 ms, 20 ms]`. τ must sit well below per-computation slack —
+    /// not the iteration span — or the sweep overshoots the slack of
+    /// non-critical paths and leaves savings on the table.
+    pub tau_s: Option<f64>,
+    /// Hard cap on cut iterations (safety net; Appendix E shows O(N+M)
+    /// iterations suffice for pipeline DAGs).
+    pub max_iters: usize,
+    /// Run the stretch-into-slack pass after each cut (default true).
+    /// Disabling it reverts to pure fixed-step cuts — exposed for the
+    /// ablation study, not for production use (coarse steps then leak
+    /// overshoot energy).
+    pub stretch: bool,
+}
+
+impl Default for FrontierOptions {
+    fn default() -> Self {
+        FrontierOptions { tau_s: None, max_iters: 100_000, stretch: true }
+    }
+}
+
+/// Workload-derived default unit time: 5% of the median per-computation
+/// time range.
+fn default_tau(ctx: &PlanContext<'_>) -> f64 {
+    let mut spans: Vec<f64> = ctx
+        .plan_info
+        .iter()
+        .flatten()
+        .map(|i| i.t_max - i.t_min)
+        .filter(|s| *s > 0.0)
+        .collect();
+    if spans.is_empty() {
+        return 1e-3;
+    }
+    spans.sort_by(f64::total_cmp);
+    (spans[spans.len() / 2] * 0.05).clamp(0.2e-3, 20e-3)
+}
+
+/// Stretches every computation into its schedule gap without moving any
+/// start time: with start times fixed at the current earliest schedule,
+/// `dur(v)` may grow to `min(t_max_v, min over successors of
+/// start(succ) − start(v))` (sink-adjacent nodes are bounded by the
+/// makespan). Because the fitted energy decreases on `[t_min, t_max]`,
+/// this is a pure improvement — it reclaims both the step overshoot of the
+/// coarse τ sweep and everything a backward-crossing (lower-bound)
+/// slowdown in the exact Phillips–Dessouky formulation would have
+/// captured.
+fn stretch_into_slack(ctx: &PlanContext<'_>, planned: &mut [f64]) {
+    let dag = &ctx.pipe.dag;
+    let (starts, makespan) = node_start_times(dag, |id, _| planned[id.index()]);
+    for id in dag.node_ids() {
+        let Some(info) = ctx.info(id) else { continue };
+        let mut limit = makespan;
+        for e in dag.out_edges(id) {
+            limit = limit.min(starts[e.dst.index()]);
+        }
+        let gap = limit - starts[id.index()];
+        if gap > planned[id.index()] {
+            planned[id.index()] = gap.min(info.t_max).max(planned[id.index()]);
+        }
+    }
+}
+
+/// Algorithm 1: characterizes the full Pareto frontier of `ctx`'s pipeline.
+///
+/// Starts from the minimum-energy schedule (every computation at its
+/// min-energy duration) and repeatedly applies
+/// [`get_next_pareto_with`](crate::get_next_pareto_with) until
+/// the iteration time can no longer be reduced.
+///
+/// # Errors
+///
+/// Propagates profile/fit errors from realization; returns
+/// [`CoreError::EmptyFrontier`] only if the pipeline has no computations.
+pub fn characterize(
+    ctx: &PlanContext<'_>,
+    opts: &FrontierOptions,
+) -> Result<ParetoFrontier, CoreError> {
+    if ctx.pipe.computation_count() == 0 {
+        return Err(CoreError::EmptyFrontier);
+    }
+    let fastest = ctx.fastest_durations();
+    let (_, t_floor) = node_start_times(&ctx.pipe.dag, |id, _| fastest[id.index()]);
+    let mut planned = ctx.min_energy_durations();
+    let (_, t_star) = node_start_times(&ctx.pipe.dag, |id, _| planned[id.index()]);
+    // Default τ balances per-computation resolution against the number of
+    // sweep iterations for very long pipelines (the stretch pass makes
+    // coarse steps safe).
+    let tau = opts
+        .tau_s
+        .unwrap_or_else(|| default_tau(ctx).max((t_star - t_floor) / 512.0))
+        .max(1e-6);
+    let solver = CutSolver::new(ctx.pipe);
+
+    let mut raw_points: Vec<(f64, Vec<f64>)> = vec![(t_star, planned.clone())];
+    let mut makespan = t_star;
+    // Sweep all the way to the floor: the early-stop margin must stay well
+    // below any slowdown a user could measure, even for short iterations.
+    let floor_margin = (tau * 0.5).min(t_floor * 5e-4);
+    for _ in 0..opts.max_iters {
+        if makespan <= t_floor + floor_margin {
+            break;
+        }
+        match get_next_pareto_with(ctx, &solver, &mut planned, tau) {
+            CutOutcome::Reduced { new_makespan, .. } => {
+                // Steps may legitimately shrink below τ when a cut edge has
+                // little headroom left; only a truly stalled step ends the
+                // sweep.
+                if new_makespan >= makespan - tau * 1e-7 {
+                    break;
+                }
+                makespan = new_makespan;
+                if opts.stretch {
+                    stretch_into_slack(ctx, &mut planned);
+                }
+                raw_points.push((new_makespan, planned.clone()));
+            }
+            CutOutcome::AtMinimumTime => break,
+        }
+    }
+
+    // Ascending time; drop any non-Pareto stragglers produced by clamping.
+    raw_points.reverse();
+    let mut points = Vec::with_capacity(raw_points.len());
+    let mut best_energy = f64::INFINITY;
+    for (time, durations) in raw_points {
+        let mut planned_energy = 0.0;
+        for id in ctx.pipe.dag.node_ids() {
+            if let Some(info) = ctx.info(id) {
+                planned_energy += info.fit.energy(durations[id.index()]);
+            }
+        }
+        if planned_energy < best_energy {
+            best_energy = planned_energy;
+            let schedule = EnergySchedule::realize(ctx, durations)?;
+            points.push(FrontierPoint {
+                planned_time_s: time,
+                planned_energy_j: planned_energy,
+                schedule,
+            });
+        }
+    }
+    if points.is_empty() {
+        return Err(CoreError::EmptyFrontier);
+    }
+    Ok(ParetoFrontier { points })
+}

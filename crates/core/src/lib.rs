@@ -1,0 +1,53 @@
+//! Perseus core: the "iteration time–energy" Pareto frontier.
+//!
+//! This crate implements the paper's primary contribution (§4):
+//!
+//! * **Energy schedules** — planned time and energy for every computation
+//!   in the pipeline DAG, realized as per-computation GPU frequencies.
+//! * **Iterative frontier discovery** (Algorithm 1) — start from the
+//!   minimum-energy schedule (`T*`, every computation at its min-energy
+//!   duration), then repeatedly shorten the iteration time by the unit
+//!   time `τ` with minimal energy increase until `T_min` is reached.
+//! * **`GetNextPareto`** (Algorithm 2, Appendix D) — convert the pipeline
+//!   DAG to edge-centric form, keep only critical computations, annotate
+//!   flow capacities `(0, e⁺) / (e⁻, ∞) / (e⁻, e⁺)` from the fitted
+//!   exponential, and solve a minimum cut (max flow with lower bounds):
+//!   forward cut edges speed up by τ, backward cut edges slow down by τ.
+//! * **Energy accounting** (Eq. 3/4) — a pipeline's energy is computation
+//!   energy plus `P_blocking` times all the time its GPUs spend blocked,
+//!   including waiting for a straggler; the frontier is characterized
+//!   against the T′-independent part (Eq. 4).
+//! * **Straggler reaction** (§3.1) — `T_opt = min(T*, T′)` answered by a
+//!   frontier lookup.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseus_core::{characterize, FrontierOptions, PlanContext};
+//! use perseus_gpu::GpuSpec;
+//! use perseus_pipeline::{PipelineBuilder, ScheduleKind};
+//! use perseus_models::{zoo, min_imbalance_partition};
+//!
+//! let gpu = GpuSpec::a100_pcie();
+//! let model = zoo::gpt3_xl(4);
+//! let weights = model.fwd_latency_weights(&gpu);
+//! let part = min_imbalance_partition(&weights, 4).unwrap();
+//! let stages = model.stage_workloads(&part, &gpu).unwrap();
+//! let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8).build().unwrap();
+//! let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+//! let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+//! assert!(frontier.t_min() < frontier.t_star());
+//! ```
+
+mod context;
+mod cut;
+mod energy;
+mod frontier;
+
+pub use context::{CoreError, NodePlanInfo, PlanContext};
+pub use cut::{get_next_pareto, get_next_pareto_with, CutOutcome, CutSolver};
+pub use energy::{pipeline_energy, PipelineEnergy};
+pub use frontier::{characterize, EnergySchedule, FrontierOptions, FrontierPoint, ParetoFrontier};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,437 @@
+use perseus_gpu::{GpuSpec, Workload};
+use perseus_models::StageWorkloads;
+use perseus_pipeline::{node_start_times, PipelineBuilder, PipelineDag, ScheduleKind};
+
+use crate::context::PlanContext;
+use crate::cut::{get_next_pareto, CutOutcome};
+use crate::frontier::{characterize, EnergySchedule, FrontierOptions, ParetoFrontier};
+
+/// Stage workloads with a configurable per-stage scale, mimicking stage
+/// imbalance. `scales[s]` multiplies stage `s`'s work.
+fn stages_with_scales(scales: &[f64]) -> Vec<StageWorkloads> {
+    scales
+        .iter()
+        .map(|&k| StageWorkloads {
+            fwd: Workload::new(40.0 * k, 0.004 * k, 0.85),
+            bwd: Workload::new(80.0 * k, 0.008 * k, 0.92),
+        })
+        .collect()
+}
+
+fn build_pipe(n: usize, m: usize) -> PipelineDag {
+    PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap()
+}
+
+fn frontier_for(
+    gpu: &GpuSpec,
+    pipe: &PipelineDag,
+    scales: &[f64],
+    tau: Option<f64>,
+) -> ParetoFrontier {
+    let stages = stages_with_scales(scales);
+    let ctx = PlanContext::from_model_profiles(pipe, gpu, &stages).unwrap();
+    characterize(&ctx, &FrontierOptions { tau_s: tau, max_iters: 100_000, stretch: true }).unwrap()
+}
+
+#[test]
+fn frontier_is_monotone_tradeoff() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let frontier = frontier_for(&gpu, &pipe, &[1.0, 1.1, 0.95, 1.2], None);
+    assert!(frontier.points().len() > 10, "frontier too sparse: {}", frontier.points().len());
+    for pair in frontier.points().windows(2) {
+        assert!(pair[0].planned_time_s < pair[1].planned_time_s);
+        assert!(pair[0].planned_energy_j > pair[1].planned_energy_j);
+    }
+    assert!(frontier.t_min() < frontier.t_star());
+}
+
+#[test]
+fn fastest_point_matches_max_frequency_iteration_time() {
+    // Intrinsic bloat removal must not slow the pipeline: the leftmost
+    // frontier point runs at (essentially) the all-max-frequency time.
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let stages = stages_with_scales(&[1.0, 1.1, 0.95, 1.2]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    let fastest = ctx.fastest_durations();
+    let (_, t_floor) = node_start_times(&pipe.dag, |id, _| fastest[id.index()]);
+    let slowdown = frontier.t_min() / t_floor - 1.0;
+    assert!(slowdown < 0.02, "fastest frontier point {:.2}% slower than floor", slowdown * 100.0);
+}
+
+#[test]
+fn fastest_point_saves_energy_versus_all_max() {
+    // The whole point of intrinsic bloat removal: same time, less energy.
+    let gpu = GpuSpec::a40();
+    let pipe = build_pipe(4, 8);
+    let stages = stages_with_scales(&[1.0, 1.15, 0.9, 1.25]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+
+    let all_max = EnergySchedule::realize(&ctx, ctx.fastest_durations()).unwrap();
+    let base = all_max.energy_report(&ctx, None);
+    let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
+    let savings = 1.0 - perseus.total_j() / base.total_j();
+    let slowdown = perseus.iter_time_s / base.iter_time_s - 1.0;
+    assert!(savings > 0.02, "expected intrinsic savings, got {:.2}%", savings * 100.0);
+    assert!(slowdown < 0.02, "slowdown {:.2}%", slowdown * 100.0);
+}
+
+#[test]
+fn balanced_pipeline_still_has_warmup_flush_slack() {
+    // Even with perfectly balanced stages, the 1F1B warmup/flush phases
+    // leave non-critical computations (§6.3 discussion of Table 6).
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 8);
+    let stages = stages_with_scales(&[1.0, 1.0, 1.0, 1.0]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    let all_max = EnergySchedule::realize(&ctx, ctx.fastest_durations()).unwrap();
+    let base = all_max.energy_report(&ctx, None);
+    let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
+    let savings = 1.0 - perseus.total_j() / base.total_j();
+    assert!(savings > 0.005, "warmup/flush slack should yield savings: {savings}");
+}
+
+#[test]
+fn lookup_clamps_to_t_star_and_t_min() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(2, 4);
+    let frontier = frontier_for(&gpu, &pipe, &[1.0, 1.2], None);
+    // Faster than feasible -> fastest point.
+    let p = frontier.lookup(frontier.t_min() * 0.5);
+    assert_eq!(p.planned_time_s, frontier.t_min());
+    // Slower than T* -> clamp to T* (going past T* wastes energy).
+    let p = frontier.lookup(frontier.t_star() * 10.0);
+    assert_eq!(p.planned_time_s, frontier.t_star());
+    // In between: the slowest point not exceeding T'.
+    let mid = 0.5 * (frontier.t_min() + frontier.t_star());
+    let p = frontier.lookup(mid);
+    assert!(p.planned_time_s <= mid + 1e-12);
+    let next_idx =
+        frontier.points().iter().position(|q| q.planned_time_s > p.planned_time_s).unwrap();
+    assert!(frontier.points()[next_idx].planned_time_s > mid);
+}
+
+#[test]
+fn straggler_reduces_energy_up_to_t_star() {
+    // Eq. 2 behavior: energy at lookup(T') decreases as T' grows toward
+    // T*, then plateaus (compute part) while blocking keeps growing.
+    let gpu = GpuSpec::a40();
+    let pipe = build_pipe(4, 6);
+    let stages = stages_with_scales(&[1.0, 1.1, 1.0, 1.15]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+
+    let t = frontier.t_min();
+    let mut prev_compute = f64::INFINITY;
+    for factor in [1.0, 1.1, 1.2, 1.3] {
+        let t_prime = t * factor;
+        let point = frontier.lookup(t_prime);
+        let report = point.schedule.energy_report(&ctx, Some(t_prime));
+        assert!(
+            report.compute_j <= prev_compute + 1e-9,
+            "compute energy should not increase with more slack"
+        );
+        prev_compute = report.compute_j;
+        // The chosen schedule never exceeds the straggler's time.
+        assert!(point.schedule.time_s <= t_prime + 1e-9);
+    }
+}
+
+#[test]
+fn get_next_pareto_reduces_makespan_by_tau() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let stages = stages_with_scales(&[1.0, 1.2, 0.9]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let mut planned = ctx.min_energy_durations();
+    let (_, t0) = node_start_times(&pipe.dag, |id, _| planned[id.index()]);
+    let tau = 1e-3;
+    match get_next_pareto(&ctx, &mut planned, tau) {
+        CutOutcome::Reduced { new_makespan, sped_up, .. } => {
+            assert!(!sped_up.is_empty());
+            let drop = t0 - new_makespan;
+            assert!(
+                drop > tau * 0.5 && drop < tau * 1.5,
+                "expected ~tau reduction, got {drop} (tau {tau})"
+            );
+        }
+        CutOutcome::AtMinimumTime => panic!("min-energy schedule must be reducible"),
+    }
+}
+
+#[test]
+fn get_next_pareto_stops_at_minimum_time() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(2, 3);
+    let stages = stages_with_scales(&[1.0, 1.0]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let mut planned = ctx.fastest_durations();
+    assert_eq!(get_next_pareto(&ctx, &mut planned, 1e-3), CutOutcome::AtMinimumTime);
+}
+
+#[test]
+fn planned_durations_stay_within_bounds() {
+    let gpu = GpuSpec::a40();
+    let pipe = build_pipe(4, 5);
+    let stages = stages_with_scales(&[1.0, 1.3, 0.8, 1.1]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    for p in frontier.points() {
+        for id in pipe.dag.node_ids() {
+            if let Some(info) = ctx.info(id) {
+                let t = p.schedule.planned[id.index()];
+                assert!(t >= info.t_min - 1e-9, "planned {t} below t_min {}", info.t_min);
+                assert!(t <= info.t_max + 1e-9, "planned {t} above t_max {}", info.t_max);
+            }
+        }
+    }
+}
+
+#[test]
+fn realized_schedule_is_feasible() {
+    // §4.3: realized durations never exceed planned ones, and assigned
+    // frequencies are supported clock steps.
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 6);
+    let stages = stages_with_scales(&[1.0, 1.2, 1.05]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    for p in [frontier.fastest(), frontier.lookup(frontier.t_star() * 0.7), frontier.most_efficient()]
+    {
+        for id in pipe.dag.node_ids() {
+            if let Some(f) = p.schedule.freq_of(id) {
+                assert!(gpu.supports(f), "unsupported frequency {f:?}");
+                let planned = p.schedule.planned[id.index()].max(ctx.info(id).unwrap().t_min);
+                assert!(p.schedule.realized_dur[id.index()] <= planned + 1e-9);
+            }
+        }
+        assert!(p.schedule.time_s <= p.planned_time_s + 1e-9);
+    }
+}
+
+#[test]
+fn energy_report_accounts_blocking_and_straggler_wait() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(2, 3);
+    let stages = stages_with_scales(&[1.0, 1.0]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let sched = EnergySchedule::realize(&ctx, ctx.fastest_durations()).unwrap();
+    let free = sched.energy_report(&ctx, None);
+    let waiting = sched.energy_report(&ctx, Some(free.iter_time_s * 1.5));
+    assert_eq!(free.compute_j, waiting.compute_j);
+    // Waiting on the straggler adds N * (T' - T) * P_blocking.
+    let extra = waiting.blocking_j - free.blocking_j;
+    let expected = 2.0 * (free.iter_time_s * 0.5) * gpu.blocking_w;
+    assert!((extra - expected).abs() / expected < 1e-9, "extra {extra} expected {expected}");
+    assert!(waiting.total_j() > free.total_j());
+    assert!(waiting.avg_power_w() < free.avg_power_w());
+}
+
+#[test]
+fn fixed_ops_are_never_modified() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 4)
+        .with_data_loading(0.02, 45.0)
+        .build()
+        .unwrap();
+    let stages = stages_with_scales(&[1.0, 1.1]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    for p in frontier.points() {
+        for (id, _, time_s, power_w) in pipe.fixed_ops() {
+            assert_eq!(p.schedule.planned[id.index()], time_s);
+            assert_eq!(p.schedule.freq_of(id), None);
+            assert!((p.schedule.realized_energy[id.index()] - time_s * power_w).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn missing_profile_is_reported() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(2, 2);
+    let profiles = perseus_profiler::ProfileDb::new();
+    match PlanContext::new(&pipe, &gpu, profiles) {
+        Err(crate::CoreError::MissingProfile { stage: _, kind: _ }) => {}
+        other => panic!("expected MissingProfile, got {other:?}"),
+    }
+}
+
+#[test]
+fn explicit_tau_controls_granularity() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(2, 3);
+    let coarse = frontier_for(&gpu, &pipe, &[1.0, 1.2], Some(20e-3));
+    let fine = frontier_for(&gpu, &pipe, &[1.0, 1.2], Some(2e-3));
+    assert!(fine.points().len() > coarse.points().len());
+}
+
+#[test]
+fn more_imbalance_means_more_intrinsic_savings() {
+    // §6.2: stage imbalance is what creates intrinsic bloat.
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let savings_for = |scales: &[f64]| {
+        let stages = stages_with_scales(scales);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+        let base = EnergySchedule::realize(&ctx, ctx.fastest_durations())
+            .unwrap()
+            .energy_report(&ctx, None);
+        let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
+        1.0 - perseus.total_j() / base.total_j()
+    };
+    let balanced = savings_for(&[1.0, 1.0, 1.0, 1.0]);
+    let imbalanced = savings_for(&[1.0, 1.0, 1.0, 1.4]);
+    assert!(
+        imbalanced > balanced,
+        "imbalanced {imbalanced} should beat balanced {balanced}"
+    );
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn frontier_invariants_hold_for_random_pipelines(
+            n in 2usize..5,
+            m in 2usize..7,
+            scales in proptest::collection::vec(0.7f64..1.4, 2..5),
+        ) {
+            prop_assume!(scales.len() >= n);
+            let gpu = GpuSpec::a100_pcie();
+            let pipe = build_pipe(n, m);
+            let stages = stages_with_scales(&scales[..n]);
+            let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+            let frontier =
+                characterize(&ctx, &FrontierOptions { tau_s: Some(5e-3), max_iters: 50_000, stretch: true })
+                    .unwrap();
+            // Monotone tradeoff.
+            for pair in frontier.points().windows(2) {
+                prop_assert!(pair[0].planned_time_s < pair[1].planned_time_s);
+                prop_assert!(pair[0].planned_energy_j >= pair[1].planned_energy_j);
+            }
+            // Realized schedules never slower than planned.
+            for p in frontier.points() {
+                prop_assert!(p.schedule.time_s <= p.planned_time_s + 1e-9);
+            }
+        }
+    }
+}
+
+/// Exhaustive cross-validation: on a tiny pipeline with a coarse frequency
+/// set, enumerate EVERY frequency assignment, build the true Pareto front
+/// of realized (time, total energy), and check that Perseus's frontier
+/// tracks it closely. This validates the whole chain — continuous
+/// relaxation, graph-cut sweep, stretch pass, frequency quantization —
+/// against ground truth.
+#[test]
+fn frontier_matches_brute_force_on_tiny_instance() {
+    use perseus_pipeline::PipeNode;
+
+    let gpu = GpuSpec {
+        name: "tiny-test-gpu",
+        min_freq_mhz: 600,
+        max_freq_mhz: 1000,
+        step_mhz: 100,
+        tdp_w: 300.0,
+        static_w: 80.0,
+        blocking_w: 70.0,
+        alpha: 2.2,
+        flops_per_mhz_s: 1.0e11,
+        cap_knee: 1.0, // pure linear DVFS keeps the ground truth clean
+    };
+    let pipe = build_pipe(2, 2);
+    let stages = vec![
+        StageWorkloads {
+            fwd: Workload::new(50.0, 0.004, 0.85),
+            bwd: Workload::new(100.0, 0.008, 0.92),
+        },
+        StageWorkloads {
+            fwd: Workload::new(65.0, 0.005, 0.85),
+            bwd: Workload::new(130.0, 0.010, 0.92),
+        },
+    ];
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+
+    // Enumerate all 5^8 assignments over the computation nodes.
+    let comps: Vec<_> = pipe.computations().map(|(id, _)| id).collect();
+    assert_eq!(comps.len(), 8);
+    let freqs = gpu.frequencies();
+    let n_f = freqs.len();
+    let mut brute: Vec<(f64, f64)> = Vec::with_capacity(n_f.pow(8));
+    let mut assignment = vec![0usize; comps.len()];
+    loop {
+        // Evaluate this assignment.
+        let mut dur = vec![0.0f64; pipe.dag.node_count()];
+        let mut energy = vec![0.0f64; pipe.dag.node_count()];
+        for (slot, &id) in comps.iter().enumerate() {
+            let profile = ctx.profile_of(id).unwrap();
+            let e = profile.entry_at(freqs[assignment[slot]]).unwrap();
+            dur[id.index()] = e.time_s;
+            energy[id.index()] = e.energy_j;
+        }
+        let report = crate::pipeline_energy(
+            &pipe,
+            |id, _: &PipeNode| dur[id.index()],
+            |id, _: &PipeNode| energy[id.index()],
+            gpu.blocking_w,
+            None,
+        );
+        brute.push((report.iter_time_s, report.total_j()));
+        // Next assignment (odometer).
+        let mut k = 0;
+        loop {
+            assignment[k] += 1;
+            if assignment[k] < n_f {
+                break;
+            }
+            assignment[k] = 0;
+            k += 1;
+            if k == comps.len() {
+                break;
+            }
+        }
+        if k == comps.len() {
+            break;
+        }
+    }
+    // True Pareto front (ascending time, strictly descending energy).
+    brute.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    let mut best = f64::INFINITY;
+    for (t, e) in brute {
+        if e < best {
+            best = e;
+            front.push((t, e));
+        }
+    }
+
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    // For every ground-truth Pareto point, Perseus must offer a schedule
+    // that is no slower and at most a few percent hungrier (continuous
+    // relaxation + τ quantization account for the gap).
+    for &(t_b, e_b) in &front {
+        let candidate = frontier
+            .points()
+            .iter()
+            .filter(|p| p.schedule.time_s <= t_b + 1e-9)
+            .map(|p| p.schedule.energy_report(&ctx, None).total_j())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            candidate <= e_b * 1.05,
+            "at T={t_b:.4}: perseus best {candidate:.2} J vs brute optimum {e_b:.2} J"
+        );
+    }
+    // And the fastest point must hit the true minimum time exactly.
+    let t_floor = front.first().unwrap().0;
+    assert!((frontier.fastest().schedule.time_s - t_floor).abs() < 1e-9);
+}

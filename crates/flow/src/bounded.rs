@@ -1,0 +1,263 @@
+//! Maximum flow with edge lower bounds — paper Algorithm 3.
+//!
+//! The Capacity DAG of `GetNextPareto` assigns each critical computation a
+//! flow interval `(l, u)` (paper Eq. 8). The Max-Flow Min-Cut theorem still
+//! holds with lower bounds (Ford & Fulkerson, ch. 1 §9), so the minimum cut
+//! can be recovered after a two-phase reduction:
+//!
+//! 1. add dummy terminals `s'`, `t'` and a `t -> s` back edge to turn the
+//!    bounded problem into a plain circulation feasibility max-flow,
+//! 2. if the dummy flow saturates (a feasible flow exists), translate it
+//!    back and augment `s -> t` on the residual network.
+
+use std::fmt;
+
+use crate::graph::FlowGraph;
+
+/// One edge of a bounded flow problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedEdge {
+    /// Tail node.
+    pub src: usize,
+    /// Head node.
+    pub dst: usize,
+    /// Minimum flow that must pass through this edge.
+    pub lower: f64,
+    /// Maximum flow this edge admits. Use [`BoundedFlowProblem::unbounded`]
+    /// as a stand-in for infinity; the solver substitutes a capacity that
+    /// can never bind.
+    pub upper: f64,
+}
+
+/// Errors from the bounded max-flow solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// No feasible flow satisfies all lower bounds.
+    Infeasible {
+        /// Total lower-bound mass that must be routed.
+        required: f64,
+        /// Mass the feasibility phase managed to route.
+        achieved: f64,
+    },
+    /// An edge has `lower > upper`, or a negative/NaN bound.
+    InvalidBounds { edge: usize },
+    /// Source or sink index out of range, or `s == t`.
+    InvalidTerminals,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Infeasible { required, achieved } => {
+                write!(f, "no feasible flow: routed {achieved} of required {required}")
+            }
+            FlowError::InvalidBounds { edge } => write!(f, "edge {edge} has invalid bounds"),
+            FlowError::InvalidTerminals => write!(f, "invalid source/sink"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A max-flow problem over nodes `0..n` whose edges carry `(lower, upper)`
+/// flow bounds.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedFlowProblem {
+    n: usize,
+    edges: Vec<BoundedEdge>,
+}
+
+/// Solution of a [`BoundedFlowProblem`].
+#[derive(Debug, Clone)]
+pub struct BoundedFlowSolution {
+    /// Flow on each edge, in insertion order. Satisfies
+    /// `lower <= flow <= upper` and conservation at non-terminals.
+    pub flow: Vec<f64>,
+    /// Value of the maximum `s -> t` flow.
+    pub value: f64,
+    /// `source_side[v]` is true iff `v` lies on the source side of the
+    /// minimum cut (reachable from `s` in the final residual network).
+    pub source_side: Vec<bool>,
+}
+
+impl BoundedFlowSolution {
+    /// Edges crossing the cut forward (source side -> sink side). In the
+    /// Capacity DAG these are the computations to **speed up** by `τ`.
+    pub fn forward_cut_edges(&self, problem: &BoundedFlowProblem) -> Vec<usize> {
+        problem
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| self.source_side[e.src] && !self.source_side[e.dst])
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Edges crossing the cut backward (sink side -> source side). In the
+    /// Capacity DAG these are the computations to **slow down** by `τ`.
+    pub fn backward_cut_edges(&self, problem: &BoundedFlowProblem) -> Vec<usize> {
+        problem
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !self.source_side[e.src] && self.source_side[e.dst])
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl BoundedFlowProblem {
+    /// Creates an empty problem over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BoundedFlowProblem { n, edges: Vec::new() }
+    }
+
+    /// Sentinel upper bound meaning "unconstrained". The solver replaces it
+    /// with a finite capacity exceeding any possible flow, so min-cut sides
+    /// never include such an edge in a finite cut.
+    pub fn unbounded() -> f64 {
+        f64::INFINITY
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Edges added so far.
+    pub fn edges(&self) -> &[BoundedEdge] {
+        &self.edges
+    }
+
+    /// Adds an edge with bounds `(lower, upper)`; returns its index.
+    pub fn add_edge(&mut self, src: usize, dst: usize, lower: f64, upper: f64) -> usize {
+        self.edges.push(BoundedEdge { src, dst, lower, upper });
+        self.edges.len() - 1
+    }
+
+    fn validate(&self, s: usize, t: usize) -> Result<(), FlowError> {
+        if s >= self.n || t >= self.n || s == t {
+            return Err(FlowError::InvalidTerminals);
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let bad = e.src >= self.n
+                || e.dst >= self.n
+                || e.lower.is_nan()
+                || e.upper.is_nan()
+                || e.lower < 0.0
+                || e.lower > e.upper;
+            if bad {
+                return Err(FlowError::InvalidBounds { edge: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Finite stand-in for infinite capacity: larger than any flow that the
+    /// finite edges and lower bounds can carry, but small enough to keep
+    /// `f64` arithmetic accurate at the problem's own scale.
+    fn big(&self) -> f64 {
+        let mut total = 1.0;
+        for e in &self.edges {
+            total += e.lower;
+            if e.upper.is_finite() {
+                total += e.upper;
+            }
+        }
+        total * 4.0
+    }
+
+    /// Solves max `s -> t` flow subject to the edge bounds and returns the
+    /// flow plus the minimum cut.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Infeasible`] if the lower bounds admit no feasible flow,
+    /// [`FlowError::InvalidBounds`] / [`FlowError::InvalidTerminals`] on
+    /// malformed input.
+    pub fn solve(&self, s: usize, t: usize) -> Result<BoundedFlowSolution, FlowError> {
+        self.validate(s, t)?;
+        let big = self.big();
+        let cap = |u: f64| if u.is_finite() { u } else { big };
+
+        // Phase 1: feasibility via dummy terminals (Algorithm 3 lines 1-10).
+        let sp = self.n; // s'
+        let tp = self.n + 1; // t'
+        let mut g1 = FlowGraph::new(self.n + 2);
+        let mut required = 0.0;
+        let mut in_lower = vec![0.0f64; self.n];
+        let mut out_lower = vec![0.0f64; self.n];
+        let mut phase1_edges = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            in_lower[e.dst] += e.lower;
+            out_lower[e.src] += e.lower;
+            phase1_edges.push(g1.add_edge(e.src, e.dst, cap(e.upper) - e.lower));
+        }
+        for v in 0..self.n {
+            if in_lower[v] > 0.0 {
+                g1.add_edge(sp, v, in_lower[v]);
+                required += in_lower[v];
+            }
+            if out_lower[v] > 0.0 {
+                g1.add_edge(v, tp, out_lower[v]);
+            }
+        }
+        g1.add_edge(t, s, big);
+        let achieved = g1.max_flow(sp, tp);
+        // Saturation check (Algorithm 3 line 9), with a relative tolerance.
+        let tol = 1e-9 * required.max(1.0);
+        if achieved + tol < required {
+            return Err(FlowError::Infeasible { required, achieved });
+        }
+
+        // Phase 2: translate back (f = f' + l) and augment s -> t on the
+        // residual network (Algorithm 3 lines 11-16).
+        let mut g2 = FlowGraph::new(self.n);
+        let mut phase2_edges = Vec::with_capacity(self.edges.len());
+        let mut base_flow = Vec::with_capacity(self.edges.len());
+        for (i, e) in self.edges.iter().enumerate() {
+            let f = g1.flow_on(phase1_edges[i]) + e.lower;
+            base_flow.push(f);
+            let fwd = (cap(e.upper) - f).max(0.0);
+            let back = (f - e.lower).max(0.0);
+            phase2_edges.push(g2.add_edge_with_back(e.src, e.dst, fwd, back));
+        }
+        let extra = g2.max_flow(s, t);
+        let source_side = g2.residual_reachable(s);
+
+        let mut flow = Vec::with_capacity(self.edges.len());
+        for (i, e) in self.edges.iter().enumerate() {
+            let f = base_flow[i] + g2.flow_on(phase2_edges[i]);
+            // Clamp floating-point crumbs back into the bounds.
+            flow.push(f.clamp(e.lower, cap(e.upper)));
+        }
+        // The s -> t value is the net outflow of s.
+        let mut value = 0.0;
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src == s {
+                value += flow[i];
+            }
+            if e.dst == s {
+                value -= flow[i];
+            }
+        }
+        let _ = extra;
+        Ok(BoundedFlowSolution { flow, value, source_side })
+    }
+
+    /// Capacity of the cut described by `source_side`: sum of the upper
+    /// bounds of forward-crossing edges minus the lower bounds of
+    /// backward-crossing edges (the Ford–Fulkerson cut value with lower
+    /// bounds). Infinite if a forward edge is unbounded.
+    pub fn cut_capacity(&self, source_side: &[bool]) -> f64 {
+        let mut c = 0.0;
+        for e in &self.edges {
+            if source_side[e.src] && !source_side[e.dst] {
+                c += e.upper; // may be +inf
+            } else if !source_side[e.src] && source_side[e.dst] {
+                c -= e.lower;
+            }
+        }
+        c
+    }
+}

@@ -1,0 +1,37 @@
+//! Maximum-flow substrate for Perseus.
+//!
+//! `GetNextPareto` (paper §4.3, Appendix D) finds the cheapest way to
+//! shorten every critical path by the unit time `τ` by solving a minimum
+//! cut on a *Capacity DAG* whose edges carry both **lower and upper** flow
+//! bounds. This crate implements:
+//!
+//! * [`FlowGraph`] — a residual-pair network with Dinic max flow (the paper
+//!   analyzes Edmonds–Karp; Dinic has the same answers, faster)
+//!   ([`FlowGraph::max_flow`]) and residual reachability for min-cut
+//!   extraction,
+//! * [`BoundedFlowProblem`] — max flow with edge lower bounds via the
+//!   dummy-source/sink transformation (paper Algorithm 3), returning the
+//!   min cut of the original network.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseus_flow::FlowGraph;
+//!
+//! let mut g = FlowGraph::new(4);
+//! let (s, t) = (0, 3);
+//! g.add_edge(s, 1, 3.0);
+//! g.add_edge(s, 2, 2.0);
+//! g.add_edge(1, t, 2.0);
+//! g.add_edge(2, t, 3.0);
+//! assert_eq!(g.max_flow(s, t), 4.0);
+//! ```
+
+mod bounded;
+mod graph;
+
+pub use bounded::{BoundedEdge, BoundedFlowProblem, BoundedFlowSolution, FlowError};
+pub use graph::FlowGraph;
+
+#[cfg(test)]
+mod tests;

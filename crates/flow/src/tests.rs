@@ -1,0 +1,357 @@
+use crate::{BoundedFlowProblem, FlowError, FlowGraph};
+
+#[test]
+fn trivial_single_edge() {
+    let mut g = FlowGraph::new(2);
+    let e = g.add_edge(0, 1, 5.0);
+    assert_eq!(g.max_flow(0, 1), 5.0);
+    assert_eq!(g.flow_on(e), 5.0);
+    assert_eq!(g.residual_of(e), 0.0);
+}
+
+#[test]
+fn classic_cormen_network() {
+    // CLRS figure 26.1-style network, max flow 23.
+    let mut g = FlowGraph::new(6);
+    g.add_edge(0, 1, 16.0);
+    g.add_edge(0, 2, 13.0);
+    g.add_edge(1, 3, 12.0);
+    g.add_edge(2, 1, 4.0);
+    g.add_edge(2, 4, 14.0);
+    g.add_edge(3, 2, 9.0);
+    g.add_edge(3, 5, 20.0);
+    g.add_edge(4, 3, 7.0);
+    g.add_edge(4, 5, 4.0);
+    assert_eq!(g.max_flow(0, 5), 23.0);
+}
+
+#[test]
+fn disconnected_network_zero_flow() {
+    let mut g = FlowGraph::new(4);
+    g.add_edge(0, 1, 10.0);
+    g.add_edge(2, 3, 10.0);
+    assert_eq!(g.max_flow(0, 3), 0.0);
+}
+
+#[test]
+fn min_cut_separates_terminals() {
+    let mut g = FlowGraph::new(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 0.5);
+    g.add_edge(2, 3, 1.0);
+    let f = g.max_flow(0, 3);
+    assert_eq!(f, 0.5);
+    let side = g.residual_reachable(0);
+    assert!(side[0] && side[1]);
+    assert!(!side[2] && !side[3]);
+}
+
+#[test]
+fn repeated_max_flow_is_idempotent() {
+    let mut g = FlowGraph::new(3);
+    g.add_edge(0, 1, 2.0);
+    g.add_edge(1, 2, 3.0);
+    assert_eq!(g.max_flow(0, 2), 2.0);
+    assert_eq!(g.max_flow(0, 2), 0.0);
+}
+
+#[test]
+fn fractional_capacities() {
+    let mut g = FlowGraph::new(3);
+    g.add_edge(0, 1, 0.125);
+    g.add_edge(0, 1, 0.375);
+    g.add_edge(1, 2, 10.0);
+    assert!((g.max_flow(0, 2) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+#[should_panic(expected = "source and sink must differ")]
+fn same_terminals_panic() {
+    let mut g = FlowGraph::new(2);
+    g.max_flow(1, 1);
+}
+
+#[test]
+#[should_panic(expected = "capacities must be non-negative")]
+fn negative_capacity_panics() {
+    let mut g = FlowGraph::new(2);
+    g.add_edge(0, 1, -1.0);
+}
+
+// ---- bounded flow ----
+
+#[test]
+fn bounded_no_lower_bounds_matches_plain() {
+    let mut p = BoundedFlowProblem::new(4);
+    p.add_edge(0, 1, 0.0, 3.0);
+    p.add_edge(0, 2, 0.0, 2.0);
+    p.add_edge(1, 3, 0.0, 2.0);
+    p.add_edge(2, 3, 0.0, 3.0);
+    let sol = p.solve(0, 3).unwrap();
+    assert!((sol.value - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn bounded_lower_bound_forces_flow() {
+    // Path s -> a -> t, with s->a requiring at least 2 units.
+    let mut p = BoundedFlowProblem::new(3);
+    p.add_edge(0, 1, 2.0, 5.0);
+    p.add_edge(1, 2, 0.0, 10.0);
+    let sol = p.solve(0, 2).unwrap();
+    assert!(sol.flow[0] >= 2.0 - 1e-9);
+    assert!((sol.value - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn bounded_infeasible_detected() {
+    // s -> a must carry >= 5 but a -> t can carry at most 1.
+    let mut p = BoundedFlowProblem::new(3);
+    p.add_edge(0, 1, 5.0, 6.0);
+    p.add_edge(1, 2, 0.0, 1.0);
+    match p.solve(0, 2) {
+        Err(FlowError::Infeasible { .. }) => {}
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn bounded_invalid_bounds_detected() {
+    let mut p = BoundedFlowProblem::new(2);
+    p.add_edge(0, 1, 3.0, 1.0);
+    assert!(matches!(p.solve(0, 1), Err(FlowError::InvalidBounds { edge: 0 })));
+}
+
+#[test]
+fn bounded_invalid_terminals() {
+    let p = BoundedFlowProblem::new(2);
+    assert!(matches!(p.solve(0, 0), Err(FlowError::InvalidTerminals)));
+    assert!(matches!(p.solve(0, 9), Err(FlowError::InvalidTerminals)));
+}
+
+#[test]
+fn bounded_unbounded_edge_never_in_cut() {
+    // Two parallel paths; one has an unbounded edge, so the min cut must
+    // cross the other.
+    let inf = BoundedFlowProblem::unbounded();
+    let mut p = BoundedFlowProblem::new(4);
+    let _a = p.add_edge(0, 1, 0.0, inf);
+    let _b = p.add_edge(1, 3, 0.0, 4.0);
+    let _c = p.add_edge(0, 2, 0.0, 1.0);
+    let _d = p.add_edge(2, 3, 0.0, inf);
+    let sol = p.solve(0, 3).unwrap();
+    assert!((sol.value - 5.0).abs() < 1e-9);
+    let fwd = sol.forward_cut_edges(&p);
+    for &e in &fwd {
+        assert!(p.edges()[e].upper.is_finite(), "cut crossed an unbounded edge");
+    }
+    assert!(p.cut_capacity(&sol.source_side).is_finite());
+}
+
+#[test]
+fn bounded_backward_cut_edge_reported() {
+    // s -> a (cap 2), a -> t (cap 10), plus a forced edge t -> a with
+    // lower bound 1 fed back by... simpler: two nodes between which a
+    // forced reverse edge crosses the natural cut.
+    //
+    //   s --(0,1)--> a --(0,10)--> t
+    //   s --(0,10)-> b --(0,1)--> t
+    //   b --(1,2)--> a          (forced; crosses back over the {s,b}|{a,t} cut)
+    let mut p = BoundedFlowProblem::new(4);
+    let (s, a, b, t) = (0, 1, 2, 3);
+    p.add_edge(s, a, 0.0, 1.0);
+    p.add_edge(a, t, 0.0, 10.0);
+    p.add_edge(s, b, 0.0, 10.0);
+    p.add_edge(b, t, 0.0, 1.0);
+    let forced = p.add_edge(b, a, 1.0, 2.0);
+    let sol = p.solve(s, t).unwrap();
+    assert!(sol.flow[forced] >= 1.0 - 1e-9);
+    // Max flow: s->a->t carries 1, s->b->t carries 1, s->b->a->t carries
+    // up to 2 through the forced edge: total 4.
+    assert!((sol.value - 4.0).abs() < 1e-6, "value = {}", sol.value);
+}
+
+#[test]
+fn bounded_flow_conservation() {
+    let inf = BoundedFlowProblem::unbounded();
+    let mut p = BoundedFlowProblem::new(5);
+    p.add_edge(0, 1, 1.0, 4.0);
+    p.add_edge(0, 2, 0.0, 3.0);
+    p.add_edge(1, 3, 0.5, inf);
+    p.add_edge(2, 3, 0.0, 2.0);
+    p.add_edge(1, 2, 0.0, 1.0);
+    p.add_edge(3, 4, 0.0, 6.0);
+    let sol = p.solve(0, 4).unwrap();
+    // Conservation at internal nodes.
+    for v in 1..4 {
+        let mut net = 0.0;
+        for (i, e) in p.edges().iter().enumerate() {
+            if e.dst == v {
+                net += sol.flow[i];
+            }
+            if e.src == v {
+                net -= sol.flow[i];
+            }
+        }
+        assert!(net.abs() < 1e-6, "conservation violated at {v}: {net}");
+    }
+    // Bounds respected.
+    for (i, e) in p.edges().iter().enumerate() {
+        assert!(sol.flow[i] >= e.lower - 1e-9);
+        assert!(sol.flow[i] <= e.upper + 1e-9);
+    }
+}
+
+#[test]
+fn bounded_value_equals_cut_capacity() {
+    let mut p = BoundedFlowProblem::new(4);
+    p.add_edge(0, 1, 0.0, 3.0);
+    p.add_edge(0, 2, 1.0, 2.0);
+    p.add_edge(1, 3, 0.0, 2.0);
+    p.add_edge(2, 3, 0.0, 3.0);
+    p.add_edge(1, 2, 0.0, 1.0);
+    let sol = p.solve(0, 3).unwrap();
+    let cut = p.cut_capacity(&sol.source_side);
+    assert!((sol.value - cut).abs() < 1e-6, "value {} != cut {}", sol.value, cut);
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Net {
+        n: usize,
+        edges: Vec<(usize, usize, f64)>,
+    }
+
+    fn arb_net() -> impl Strategy<Value = Net> {
+        (3usize..10, proptest::collection::vec((any::<u16>(), any::<u16>(), 0.1f64..8.0), 2..40))
+            .prop_map(|(n, raw)| {
+                let edges = raw
+                    .into_iter()
+                    .map(|(a, b, c)| ((a as usize) % n, (b as usize) % n, c))
+                    .filter(|(a, b, _)| a != b)
+                    .collect();
+                Net { n, edges }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn maxflow_equals_mincut(net in arb_net()) {
+            let mut g = FlowGraph::new(net.n);
+            for &(u, v, c) in &net.edges { g.add_edge(u, v, c); }
+            let f = g.max_flow(0, net.n - 1);
+            let side = g.residual_reachable(0);
+            prop_assert!(side[0]);
+            prop_assert!(!side[net.n - 1]);
+            let cut: f64 = net
+                .edges
+                .iter()
+                .filter(|&&(u, v, _)| side[u] && !side[v])
+                .map(|&(_, _, c)| c)
+                .sum();
+            prop_assert!((f - cut).abs() < 1e-6, "flow {} cut {}", f, cut);
+        }
+
+        #[test]
+        fn flow_conservation_holds(net in arb_net()) {
+            let mut g = FlowGraph::new(net.n);
+            let handles: Vec<usize> = net.edges.iter().map(|&(u, v, c)| g.add_edge(u, v, c)).collect();
+            let _ = g.max_flow(0, net.n - 1);
+            for v in 1..net.n - 1 {
+                let mut imb = 0.0;
+                for (i, &(u, w, _)) in net.edges.iter().enumerate() {
+                    if w == v { imb += g.flow_on(handles[i]); }
+                    if u == v { imb -= g.flow_on(handles[i]); }
+                }
+                prop_assert!(imb.abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn flows_within_capacity(net in arb_net()) {
+            let mut g = FlowGraph::new(net.n);
+            let handles: Vec<usize> = net.edges.iter().map(|&(u, v, c)| g.add_edge(u, v, c)).collect();
+            let _ = g.max_flow(0, net.n - 1);
+            for (i, &(_, _, c)) in net.edges.iter().enumerate() {
+                let f = g.flow_on(handles[i]);
+                prop_assert!(f >= -1e-9 && f <= c + 1e-9);
+            }
+        }
+
+        #[test]
+        fn bounded_with_zero_lowers_matches_plain(net in arb_net()) {
+            let mut g = FlowGraph::new(net.n);
+            for &(u, v, c) in &net.edges { g.add_edge(u, v, c); }
+            let plain = g.max_flow(0, net.n - 1);
+
+            let mut p = BoundedFlowProblem::new(net.n);
+            for &(u, v, c) in &net.edges { p.add_edge(u, v, 0.0, c); }
+            let sol = p.solve(0, net.n - 1).unwrap();
+            prop_assert!((sol.value - plain).abs() < 1e-6);
+        }
+
+        #[test]
+        fn bounded_small_lowers_feasible_and_consistent(net in arb_net()) {
+            // Lower bounds of 0 except tiny ones on edges out of the source,
+            // which are always feasible when the source has outgoing capacity
+            // to... not necessarily; accept either outcome but verify
+            // consistency when feasible.
+            let mut p = BoundedFlowProblem::new(net.n);
+            for &(u, v, c) in &net.edges {
+                let lower = if u == 0 { (c * 0.1).min(0.2) } else { 0.0 };
+                p.add_edge(u, v, lower, c);
+            }
+            if let Ok(sol) = p.solve(0, net.n - 1) {
+                for (i, e) in p.edges().iter().enumerate() {
+                    prop_assert!(sol.flow[i] >= e.lower - 1e-9);
+                    prop_assert!(sol.flow[i] <= e.upper + 1e-9);
+                }
+                for v in 1..net.n - 1 {
+                    let mut imb = 0.0;
+                    for (i, e) in p.edges().iter().enumerate() {
+                        if e.dst == v { imb += sol.flow[i]; }
+                        if e.src == v { imb -= sol.flow[i]; }
+                    }
+                    prop_assert!(imb.abs() < 1e-6);
+                }
+                prop_assert!(sol.source_side[0]);
+                prop_assert!(!sol.source_side[net.n - 1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn dinic_handles_deep_serial_chains() {
+    // Pipeline-shaped: a 5k-edge chain with a single bottleneck.
+    let n = 5001;
+    let mut g = FlowGraph::new(n);
+    for i in 0..n - 1 {
+        let cap = if i == 2500 { 1.5 } else { 10.0 };
+        g.add_edge(i, i + 1, cap);
+    }
+    assert_eq!(g.max_flow(0, n - 1), 1.5);
+    let side = g.residual_reachable(0);
+    assert!(side[2500] && !side[2501], "cut must fall at the bottleneck");
+}
+
+#[test]
+fn parallel_multi_edges_accumulate() {
+    let mut g = FlowGraph::new(2);
+    for _ in 0..50 {
+        g.add_edge(0, 1, 0.1);
+    }
+    assert!((g.max_flow(0, 1) - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn bounded_zero_capacity_edges_are_legal() {
+    let mut p = BoundedFlowProblem::new(3);
+    p.add_edge(0, 1, 0.0, 0.0);
+    p.add_edge(1, 2, 0.0, 5.0);
+    let sol = p.solve(0, 2).unwrap();
+    assert_eq!(sol.value, 0.0);
+    assert!(sol.source_side[0]);
+}

@@ -1,0 +1,196 @@
+//! NVML-shaped simulated device.
+//!
+//! Mirrors the subset of NVML that the Perseus client uses: lock the SM
+//! clock (≈10 ms latency, §3.2 footnote 2), read an energy counter, and run
+//! work. Adds two knobs real datacenters impose on you whether you like it
+//! or not: measurement noise and thermal/power throttling (a straggler
+//! source from §2.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+use crate::model::{FreqMHz, GpuSpec, Workload};
+
+/// Multiplicative Gaussian measurement noise applied to simulated time and
+/// energy readings.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Relative standard deviation of time readings (e.g. `0.01` = 1%).
+    pub time_rel_sigma: f64,
+    /// Relative standard deviation of energy readings.
+    pub energy_rel_sigma: f64,
+    /// RNG seed, so simulations are reproducible.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// A small, realistic noise level (±1% time, ±1.5% energy).
+    pub fn realistic(seed: u64) -> NoiseModel {
+        NoiseModel { time_rel_sigma: 0.01, energy_rel_sigma: 0.015, seed }
+    }
+}
+
+/// Errors from [`SimGpu`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The requested SM clock is not in the device's supported list.
+    UnsupportedFrequency(FreqMHz),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnsupportedFrequency(x) => write!(f, "unsupported SM clock {x}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Default latency of an NVML `nvmlDeviceSetGpuLockedClocks` call.
+pub const DEFAULT_FREQ_SET_LATENCY_S: f64 = 0.010;
+
+/// A simulated GPU with a virtual clock and an energy counter.
+///
+/// All time is simulated: [`SimGpu::run`] advances the device's clock by
+/// the model-predicted latency and charges the energy counter; nothing
+/// sleeps. This keeps cluster-scale emulation fast and deterministic.
+#[derive(Debug, Clone)]
+pub struct SimGpu {
+    spec: GpuSpec,
+    locked: FreqMHz,
+    throttle_cap: Option<FreqMHz>,
+    clock_s: f64,
+    energy_j: f64,
+    freq_sets: u64,
+    freq_set_latency_s: f64,
+    noise: Option<(NoiseModel, StdRng)>,
+}
+
+impl SimGpu {
+    /// Creates a device locked at its maximum frequency (the default mode
+    /// of operation the paper measures savings against).
+    pub fn new(spec: GpuSpec) -> SimGpu {
+        let locked = spec.max_freq();
+        SimGpu {
+            spec,
+            locked,
+            throttle_cap: None,
+            clock_s: 0.0,
+            energy_j: 0.0,
+            freq_sets: 0,
+            freq_set_latency_s: DEFAULT_FREQ_SET_LATENCY_S,
+            noise: None,
+        }
+    }
+
+    /// Enables measurement noise.
+    pub fn with_noise(mut self, noise: NoiseModel) -> SimGpu {
+        self.noise = Some((noise, StdRng::seed_from_u64(noise.seed)));
+        self
+    }
+
+    /// Static spec of this device.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Currently locked SM clock (before throttling).
+    pub fn locked_freq(&self) -> FreqMHz {
+        self.locked
+    }
+
+    /// The clock the silicon actually runs at: the locked clock, capped by
+    /// any active thermal/power throttle.
+    pub fn effective_freq(&self) -> FreqMHz {
+        match self.throttle_cap {
+            Some(cap) if cap < self.locked => cap,
+            _ => self.locked,
+        }
+    }
+
+    /// Simulated wall-clock time of this device, seconds.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Total energy consumed so far, joules (NVML's
+    /// `nvmlDeviceGetTotalEnergyConsumption` equivalent).
+    pub fn energy_counter_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Number of frequency-set calls issued (overhead accounting, §6.5).
+    pub fn freq_set_count(&self) -> u64 {
+        self.freq_sets
+    }
+
+    /// Locks the SM clock, charging the NVML call latency. No-op (and free)
+    /// if the clock is already at `f` — the asynchronous controller in the
+    /// client relies on this.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnsupportedFrequency`] if `f` is not a supported step.
+    pub fn set_frequency(&mut self, f: FreqMHz) -> Result<(), DeviceError> {
+        if !self.spec.supports(f) {
+            return Err(DeviceError::UnsupportedFrequency(f));
+        }
+        if f != self.locked {
+            self.locked = f;
+            self.freq_sets += 1;
+            // The set call runs on the host; the GPU keeps idling meanwhile.
+            self.clock_s += self.freq_set_latency_s;
+            self.energy_j += self.spec.blocking_w * self.freq_set_latency_s;
+        }
+        Ok(())
+    }
+
+    /// Applies (or clears, with `None`) a thermal/power throttle cap. Used
+    /// to inject §2.3-style stragglers.
+    pub fn set_throttle_cap(&mut self, cap: Option<FreqMHz>) {
+        self.throttle_cap = cap.map(|c| self.spec.clamp_freq(c));
+    }
+
+    /// Executes `w` at the effective clock; returns `(time_s, energy_j)` as
+    /// the profiler would measure them (noise included if enabled) and
+    /// advances the device clock and energy counter.
+    pub fn run(&mut self, w: &Workload) -> (f64, f64) {
+        let f = self.effective_freq();
+        let mut t = self.spec.time(w, f);
+        let mut e = self.spec.energy(w, f);
+        if let Some((n, rng)) = &mut self.noise {
+            t *= gaussian_factor(rng, n.time_rel_sigma);
+            e *= gaussian_factor(rng, n.energy_rel_sigma);
+        }
+        self.clock_s += t;
+        self.energy_j += e;
+        (t, e)
+    }
+
+    /// Blocks on communication for `dur_s` seconds, charging
+    /// `P_blocking · dur_s` joules.
+    pub fn block(&mut self, dur_s: f64) {
+        self.clock_s += dur_s;
+        self.energy_j += self.spec.blocking_w * dur_s;
+    }
+
+    /// Resets clock and energy counter (not the locked frequency).
+    pub fn reset_counters(&mut self) {
+        self.clock_s = 0.0;
+        self.energy_j = 0.0;
+        self.freq_sets = 0;
+    }
+}
+
+/// Multiplicative noise factor `max(0.5, 1 + N(0, sigma))`, via Box–Muller.
+fn gaussian_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (1.0 + sigma * z).max(0.5)
+}

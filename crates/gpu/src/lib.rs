@@ -1,0 +1,47 @@
+//! Simulated GPU substrate for Perseus.
+//!
+//! The paper controls execution speed by locking the GPU's SM frequency
+//! through NVML (§3.2, footnote 2) and measures per-computation time and
+//! energy. We have no physical GPUs (the training stack is absent), so this
+//! crate substitutes an **analytic device model** that preserves the two
+//! properties the Perseus algorithm actually consumes:
+//!
+//! 1. **Discrete frequency choices** with realistic ranges (A100:
+//!    210–1410 MHz, A40: 210–1740 MHz, H100: 210–1980 MHz, 15 MHz steps)
+//!    and a convex Pareto-optimal time–energy curve per computation with an
+//!    *interior* minimum-energy frequency (§5: "profiled from the highest
+//!    to the lowest ... stopped when energy consumption increases").
+//! 2. A constant blocking power `P_blocking` drawn while the GPU waits on
+//!    communication (Eq. 3).
+//!
+//! The time model splits a computation into a clock-proportional part and a
+//! clock-insensitive part: `t(f) = w_c / f + t_m`. The power model is
+//! `P(f) = P_static + (TDP − P_static) · util · (f / f_max)^α` with
+//! `α ≈ 2.4` (dynamic power ∝ C·V²·f, with voltage rising with frequency).
+//!
+//! [`SimGpu`] wraps the model in an NVML-shaped device: lock/unlock SM
+//! clocks with a ~10 ms set latency, run workloads, accumulate an energy
+//! counter, and optionally inject measurement noise and thermal throttling.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseus_gpu::{GpuSpec, Workload};
+//!
+//! let a100 = GpuSpec::a100_pcie();
+//! let w = Workload::new(40.0, 0.01, 0.9); // 40 MHz·s compute, 10 ms mem
+//! let t_fast = a100.time(&w, a100.max_freq());
+//! let t_slow = a100.time(&w, a100.min_freq());
+//! assert!(t_fast < t_slow);
+//! let f_opt = a100.min_energy_freq(&w);
+//! assert!(f_opt > a100.min_freq() && f_opt < a100.max_freq());
+//! ```
+
+mod device;
+mod model;
+
+pub use device::{DeviceError, NoiseModel, SimGpu};
+pub use model::{FreqMHz, GpuSpec, ParetoPoint, Workload, CAP_ZONE_SLOPE};
+
+#[cfg(test)]
+mod tests;

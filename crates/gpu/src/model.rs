@@ -1,0 +1,346 @@
+//! Analytic GPU time/power/energy model.
+
+use std::fmt;
+
+/// An SM clock frequency in MHz.
+///
+/// NVML exposes the supported clocks as a discrete list; Perseus plans in
+/// terms of these discrete values (§4.1 notes this discreteness is one
+/// source of NP-hardness).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FreqMHz(pub u32);
+
+impl FreqMHz {
+    /// Frequency as `f64` MHz, for arithmetic.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Debug for FreqMHz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.0)
+    }
+}
+
+impl fmt::Display for FreqMHz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+/// One computation's execution characteristics, frequency-independent.
+///
+/// * `compute` — clock-proportional work in MHz·s: a computation with
+///   `compute = 1410.0` takes one second of pure compute at 1410 MHz.
+/// * `mem_time` — clock-insensitive seconds (memory stalls, kernel launch,
+///   exposed communication); constant across frequencies.
+/// * `util` — fraction of the dynamic power envelope this computation
+///   exercises while running (0..=1]. Backward passes typically run hotter
+///   than forward passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Clock-proportional work, in MHz·s.
+    pub compute: f64,
+    /// Clock-insensitive latency, in seconds.
+    pub mem_time: f64,
+    /// Dynamic-power utilization in (0, 1].
+    pub util: f64,
+}
+
+impl Workload {
+    /// Creates a workload; clamps `util` into `(0, 1]`.
+    pub fn new(compute: f64, mem_time: f64, util: f64) -> Self {
+        Workload { compute: compute.max(0.0), mem_time: mem_time.max(0.0), util: util.clamp(0.05, 1.0) }
+    }
+
+    /// A workload scaled by `k` (e.g. replicating a layer `k` times).
+    pub fn scaled(&self, k: f64) -> Workload {
+        Workload { compute: self.compute * k, mem_time: self.mem_time * k, util: self.util }
+    }
+
+    /// Sum of two workloads executed back to back (utilization averaged,
+    /// weighted by duration at a nominal 1 GHz clock, which keeps the
+    /// MHz·s compute term and the seconds mem term commensurable).
+    pub fn fused(&self, other: &Workload) -> Workload {
+        const NOMINAL_MHZ: f64 = 1000.0;
+        let wa = self.compute / NOMINAL_MHZ + self.mem_time;
+        let wb = other.compute / NOMINAL_MHZ + other.mem_time;
+        let total = (wa + wb).max(1e-12);
+        Workload {
+            compute: self.compute + other.compute,
+            mem_time: self.mem_time + other.mem_time,
+            util: (self.util * wa + other.util * wb) / total,
+        }
+    }
+}
+
+/// Marginal throughput slope above the cap knee: clocks past
+/// `cap_knee · f_max` still speed execution up, but only at 12% of the
+/// proportional rate. Strictly positive so execution time stays strictly
+/// monotone in clock (real measurements never tie exactly, and §4.3's
+/// slowest-frequency-within-deadline conversion relies on max frequency
+/// being uniquely fastest).
+pub const CAP_ZONE_SLOPE: f64 = 0.12;
+
+/// A single (frequency, time, energy) operating point of a computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// SM frequency producing this point.
+    pub freq: FreqMHz,
+    /// Computation latency in seconds.
+    pub time_s: f64,
+    /// Computation energy in joules.
+    pub energy_j: f64,
+}
+
+/// Static description of a GPU model: its supported SM frequencies and its
+/// power envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"NVIDIA A100-PCIe-80GB"`.
+    pub name: &'static str,
+    /// Lowest supported SM clock (MHz).
+    pub min_freq_mhz: u32,
+    /// Highest supported SM clock (MHz).
+    pub max_freq_mhz: u32,
+    /// Clock step (MHz); NVIDIA GPUs expose 15 MHz steps.
+    pub step_mhz: u32,
+    /// Board power limit in watts.
+    pub tdp_w: f64,
+    /// Static (leakage + idle-active) power in watts, drawn whenever the
+    /// SMs are clocked, regardless of frequency.
+    pub static_w: f64,
+    /// Power drawn while blocking on communication, in watts
+    /// (`P_blocking` in Eq. 3). Between idle and static-active.
+    pub blocking_w: f64,
+    /// Dynamic-power exponent: `P_dyn ∝ (f/f_max)^α`.
+    pub alpha: f64,
+    /// Effective achievable FLOP/s per MHz of SM clock for large GEMM-heavy
+    /// kernels (peak tensor throughput × sustained efficiency ÷ max clock).
+    /// Converts model FLOP counts into clock-proportional work.
+    pub flops_per_mhz_s: f64,
+    /// Clock-to-throughput cap knee `x_c ∈ (0, 1]`: sustained throughput
+    /// scales linearly with clock up to `x_c · f_max` and nearly flattens
+    /// above (marginal gain [`CAP_ZONE_SLOPE`]) — power-limit throttling
+    /// and memory walls make the top clock bins almost pure waste.
+    /// `x_c = 1` recovers ideal linear scaling. This near-flat zone is
+    /// what makes small slowdowns nearly free in time yet valuable in
+    /// energy — the effect Perseus exploits (the Zeus paper measured it
+    /// directly: cutting an A100's power limit well below TDP barely
+    /// moves training throughput).
+    pub cap_knee: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 PCIe 80 GB: 210–1410 MHz, 300 W (testbed GPU of §6.1).
+    pub fn a100_pcie() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA A100-PCIe-80GB",
+            min_freq_mhz: 210,
+            max_freq_mhz: 1410,
+            step_mhz: 15,
+            tdp_w: 300.0,
+            static_w: 105.0,
+            blocking_w: 75.0,
+            alpha: 2.6,
+            flops_per_mhz_s: 1.0e11,
+            cap_knee: 0.95,
+        }
+    }
+
+    /// NVIDIA A100 SXM 80 GB: 210–1410 MHz, 400 W (used for the paper's
+    /// large-scale emulation, §6.3).
+    pub fn a100_sxm() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA A100-SXM-80GB",
+            min_freq_mhz: 210,
+            max_freq_mhz: 1410,
+            step_mhz: 15,
+            tdp_w: 400.0,
+            static_w: 132.0,
+            blocking_w: 85.0,
+            alpha: 2.6,
+            flops_per_mhz_s: 1.05e11,
+            cap_knee: 0.93,
+        }
+    }
+
+    /// NVIDIA A40 48 GB: 210–1740 MHz, 300 W (testbed GPU of §6.1). The
+    /// wider clock range is why the paper reports larger savings on A40.
+    pub fn a40() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA A40-48GB",
+            min_freq_mhz: 210,
+            max_freq_mhz: 1740,
+            step_mhz: 15,
+            tdp_w: 300.0,
+            static_w: 98.0,
+            blocking_w: 62.0,
+            alpha: 3.1,
+            flops_per_mhz_s: 3.6e10,
+            cap_knee: 0.93,
+        }
+    }
+
+    /// NVIDIA H100 SXM: 210–1980 MHz, 700 W (§6.2 projects better savings
+    /// for newer GPUs with higher max clocks).
+    pub fn h100_sxm() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA H100-SXM",
+            min_freq_mhz: 210,
+            max_freq_mhz: 1980,
+            step_mhz: 15,
+            tdp_w: 700.0,
+            static_w: 185.0,
+            blocking_w: 110.0,
+            alpha: 3.0,
+            flops_per_mhz_s: 2.0e11,
+            cap_knee: 0.90,
+        }
+    }
+
+    /// NVIDIA V100 SXM2: 135–1530 MHz, 300 W.
+    pub fn v100() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA V100-SXM2-32GB",
+            min_freq_mhz: 135,
+            max_freq_mhz: 1530,
+            step_mhz: 15,
+            tdp_w: 300.0,
+            static_w: 100.0,
+            blocking_w: 60.0,
+            alpha: 2.4,
+            flops_per_mhz_s: 3.3e10,
+            cap_knee: 0.96,
+        }
+    }
+
+    /// Lowest supported frequency.
+    pub fn min_freq(&self) -> FreqMHz {
+        FreqMHz(self.min_freq_mhz)
+    }
+
+    /// Highest supported frequency.
+    pub fn max_freq(&self) -> FreqMHz {
+        FreqMHz(self.max_freq_mhz)
+    }
+
+    /// All supported SM frequencies, ascending.
+    pub fn frequencies(&self) -> Vec<FreqMHz> {
+        (self.min_freq_mhz..=self.max_freq_mhz).step_by(self.step_mhz as usize).map(FreqMHz).collect()
+    }
+
+    /// True iff `f` is one of the supported clock steps.
+    pub fn supports(&self, f: FreqMHz) -> bool {
+        f.0 >= self.min_freq_mhz
+            && f.0 <= self.max_freq_mhz
+            && (f.0 - self.min_freq_mhz).is_multiple_of(self.step_mhz)
+    }
+
+    /// Clamps an arbitrary frequency to the nearest supported step.
+    pub fn clamp_freq(&self, f: FreqMHz) -> FreqMHz {
+        let c = f.0.clamp(self.min_freq_mhz, self.max_freq_mhz);
+        let steps = (c - self.min_freq_mhz + self.step_mhz / 2) / self.step_mhz;
+        FreqMHz(self.min_freq_mhz + steps * self.step_mhz)
+    }
+
+    /// Sustained-throughput multiplier at frequency `f`, normalized to 1 at
+    /// `f_max`: linear in clock up to the cap knee, rising at
+    /// [`CAP_ZONE_SLOPE`] above it.
+    pub fn perf_curve(&self, f: FreqMHz) -> f64 {
+        let x = f.as_f64() / self.max_freq_mhz as f64;
+        let k = self.cap_knee;
+        let raw = if x <= k { x } else { k + (x - k) * CAP_ZONE_SLOPE };
+        raw / (k + (1.0 - k) * CAP_ZONE_SLOPE)
+    }
+
+    /// Latency of `w` at frequency `f`:
+    /// `w.compute / (f_max · p(f/f_max)) + w.mem_time` — the
+    /// clock-proportional part scales with *sustained* throughput, which
+    /// saturates near the top clocks (see [`GpuSpec::cap_knee`]).
+    pub fn time(&self, w: &Workload, f: FreqMHz) -> f64 {
+        w.compute / (self.max_freq_mhz as f64 * self.perf_curve(f)) + w.mem_time
+    }
+
+    /// Average power while executing at `f` with utilization `util`.
+    pub fn power(&self, f: FreqMHz, util: f64) -> f64 {
+        let x = f.as_f64() / self.max_freq_mhz as f64;
+        self.static_w + (self.tdp_w - self.static_w) * util * x.powf(self.alpha)
+    }
+
+    /// Energy of executing `w` at `f`, in joules.
+    pub fn energy(&self, w: &Workload, f: FreqMHz) -> f64 {
+        self.power(f, w.util) * self.time(w, f)
+    }
+
+    /// The frequency minimizing [`GpuSpec::energy`] for `w`.
+    ///
+    /// Because static power dominates at low clocks, this optimum is
+    /// interior (above `min_freq`) for any compute-bound workload — the
+    /// fact §5's profiler exploits by stopping its downward sweep when
+    /// energy starts increasing.
+    pub fn min_energy_freq(&self, w: &Workload) -> FreqMHz {
+        let mut best = self.max_freq();
+        let mut best_e = f64::INFINITY;
+        for f in self.frequencies() {
+            let e = self.energy(w, f);
+            if e < best_e {
+                best_e = e;
+                best = f;
+            }
+        }
+        best
+    }
+
+    /// The slowest frequency whose execution time does not exceed
+    /// `deadline` seconds, or `None` if even `max_freq` is too slow.
+    ///
+    /// This is §4.3's "convert planned time to the slowest GPU frequency
+    /// that executes *faster* than t": on the critical path, slightly fast
+    /// is safe, slightly slow delays the whole DAG.
+    pub fn slowest_freq_within(&self, w: &Workload, deadline: f64) -> Option<FreqMHz> {
+        // time is monotone decreasing in f: binary search the frequency list.
+        let freqs = self.frequencies();
+        if self.time(w, *freqs.last().expect("non-empty table")) > deadline + 1e-12 {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, freqs.len() - 1);
+        // Invariant: time(freqs[hi]) <= deadline.
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.time(w, freqs[mid]) <= deadline + 1e-12 {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(freqs[hi])
+    }
+
+    /// All Pareto-optimal (time, energy) operating points of `w`,
+    /// ascending in time (descending in frequency from `max_freq` down to
+    /// the minimum-energy frequency).
+    ///
+    /// A point is kept iff no other frequency gives both less-or-equal time
+    /// and strictly less energy.
+    pub fn pareto_points(&self, w: &Workload) -> Vec<ParetoPoint> {
+        let mut pts: Vec<ParetoPoint> = self
+            .frequencies()
+            .into_iter()
+            .map(|f| ParetoPoint { freq: f, time_s: self.time(w, f), energy_j: self.energy(w, f) })
+            .collect();
+        // Ascending time == descending frequency.
+        pts.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        let mut out: Vec<ParetoPoint> = Vec::with_capacity(pts.len());
+        let mut best_e = f64::INFINITY;
+        for p in pts {
+            if p.energy_j < best_e {
+                best_e = p.energy_j;
+                out.push(p);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,43 @@
+//! Large-model workload zoo and pipeline partitioning for Perseus.
+//!
+//! The only property of a DNN that Perseus consumes is the per-layer
+//! forward/backward latency profile at each GPU frequency: stage imbalance
+//! (Table 1 / Table 7 of the paper) is what creates intrinsic energy bloat.
+//! This crate provides analytic layer-cost models for the paper's five
+//! workloads — GPT-3, Bloom, BERT, T5, and Wide-ResNet — and the
+//! *minimum-imbalance pipeline partitioning* of Appendix B.
+//!
+//! The imbalance mechanism is reproduced structurally, not numerically:
+//! GPT-3/Bloom/BERT are stacks of identical transformer layers whose final
+//! stage also carries a very large language-modeling head (vocab 50k / 251k
+//! / 31k); T5 has computationally heavier decoder layers (extra cross
+//! attention); Wide-ResNet has four unequal bottleneck groups.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseus_models::{zoo, partition::min_imbalance_partition};
+//! use perseus_gpu::GpuSpec;
+//!
+//! let model = zoo::gpt3_xl(4); // GPT-3 1.3B, microbatch size 4
+//! let gpu = GpuSpec::a100_pcie();
+//! let weights = model.fwd_latency_weights(&gpu);
+//! let part = min_imbalance_partition(&weights, 4).unwrap();
+//! assert_eq!(part.num_stages(), 4);
+//! assert!(part.imbalance_ratio(&weights) < 1.5);
+//! ```
+
+pub mod layers;
+pub mod partition;
+pub mod resnet;
+pub mod transformer;
+pub mod zoo;
+
+mod spec;
+
+pub use layers::{LayerCost, LayerKind};
+pub use partition::{min_imbalance_partition, uniform_partition, Partition, PartitionError};
+pub use spec::{ModelError, ModelSpec, StageWorkloads};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,115 @@
+//! Analytic FLOP model for Wide-ResNet (Zagoruyko & Komodakis, BMVC 2016),
+//! scaled up with the width factor as in the paper's evaluation (§6.1 uses
+//! width factor 8 to reach 0.8B/1.5B parameters).
+//!
+//! A bottleneck block is three convolutions (1×1 reduce, 3×3, 1×1 expand)
+//! wrapped with a skip connection; Appendix B partitions at bottleneck
+//! granularity because frameworks cannot split skip connections across
+//! stages. Early groups run at large spatial resolutions with few channels
+//! and are partly memory-bound, which is what keeps Wide-ResNet stages
+//! imbalanced even under optimal partitioning.
+
+use crate::layers::{LayerCost, LayerKind};
+
+/// Structural hyperparameters of a Wide-ResNet.
+#[derive(Debug, Clone, Copy)]
+pub struct WideResNetConfig {
+    /// Blocks per group, e.g. `[3, 4, 6, 3]` for ResNet-50 or
+    /// `[3, 4, 23, 3]` for ResNet-101.
+    pub blocks: [usize; 4],
+    /// Widening factor applied to the bottleneck's 3×3 width.
+    pub width_factor: usize,
+    /// Input image side length (ImageNet: 224).
+    pub image_size: usize,
+    /// Number of classes in the classifier head.
+    pub classes: usize,
+}
+
+/// Sustained-efficiency factor per group: early groups (large spatial,
+/// few channels) achieve lower tensor-core utilization, so a FLOP there is
+/// "slower" than a FLOP in group 3.
+const GROUP_EFFICIENCY: [f64; 4] = [0.50, 0.66, 0.82, 0.88];
+/// Memory-bound fraction of forward latency per group.
+const GROUP_MEM_FRAC: [f64; 4] = [0.30, 0.22, 0.14, 0.10];
+
+/// `2 · K² · C_in · C_out · H_out · W_out` — FLOPs of one convolution.
+fn conv_flops(k: usize, c_in: usize, c_out: usize, hw: usize) -> f64 {
+    2.0 * (k * k) as f64 * c_in as f64 * c_out as f64 * (hw * hw) as f64
+}
+
+fn bottleneck_flops(c_in: usize, width: usize, c_out: usize, hw_out: usize, downsample: bool) -> f64 {
+    // 1x1 reduce runs at the input resolution when stride 1; with stride 2
+    // torchvision puts the stride on the 3x3 conv, so the 1x1 reduce runs
+    // at the input resolution (2x the output side).
+    let hw_in = if downsample { hw_out * 2 } else { hw_out };
+    let mut f = conv_flops(1, c_in, width, hw_in);
+    f += conv_flops(3, width, width, hw_out);
+    f += conv_flops(1, width, c_out, hw_out);
+    if downsample || c_in != c_out {
+        f += conv_flops(1, c_in, c_out, hw_out);
+    }
+    f
+}
+
+/// Builds the partitionable layer list of a Wide-ResNet: conv stem, all
+/// bottleneck blocks, classifier head. Costs are per microbatch of
+/// `microbatch` images.
+pub fn wide_resnet_layers(cfg: &WideResNetConfig, microbatch: usize) -> Vec<LayerCost> {
+    let mb = microbatch as f64;
+    let mut layers = Vec::new();
+    let hw_stem = cfg.image_size / 2; // 7x7 stride-2 stem
+    let stem_flops = conv_flops(7, 3, 64, hw_stem) * mb / 0.35; // stem is memory-bound
+    layers.push(LayerCost {
+        name: "stem".into(),
+        kind: LayerKind::ConvStem,
+        fwd_tflops: stem_flops,
+        bwd_tflops: 2.0 * stem_flops,
+        fwd_mem_frac: 0.45,
+        bwd_mem_frac: 0.45,
+        fwd_util: 0.6,
+        bwd_util: 0.7,
+    });
+
+    let mut c_in = 64;
+    // Output spatial sides after each group for image_size 224: 56,28,14,7.
+    let mut hw = cfg.image_size / 4;
+    for g in 0..4 {
+        let planes = 64usize << g;
+        let width = planes * cfg.width_factor;
+        let c_out = planes * 4;
+        for b in 0..cfg.blocks[g] {
+            let downsample = b == 0 && g > 0;
+            let hw_out = if downsample { hw / 2 } else { hw };
+            let raw = bottleneck_flops(c_in, width, c_out, hw_out, downsample) * mb;
+            let tflops = raw / GROUP_EFFICIENCY[g];
+            layers.push(LayerCost {
+                name: format!("group{g}.block{b}"),
+                kind: LayerKind::Bottleneck { group: g as u8 },
+                fwd_tflops: tflops,
+                bwd_tflops: 2.0 * tflops,
+                fwd_mem_frac: GROUP_MEM_FRAC[g],
+                bwd_mem_frac: GROUP_MEM_FRAC[g] + 0.03,
+                fwd_util: 0.75,
+                bwd_util: 0.85,
+            });
+            c_in = c_out;
+            if downsample {
+                hw = hw_out;
+            }
+        }
+    }
+
+    // Global average pool + linear classifier: tiny compute, memory-bound.
+    let head_flops = 2.0 * c_in as f64 * cfg.classes as f64 * mb / 0.2;
+    layers.push(LayerCost {
+        name: "classifier".into(),
+        kind: LayerKind::Classifier,
+        fwd_tflops: head_flops,
+        bwd_tflops: 2.0 * head_flops,
+        fwd_mem_frac: 0.6,
+        bwd_mem_frac: 0.6,
+        fwd_util: 0.4,
+        bwd_util: 0.5,
+    });
+    layers
+}

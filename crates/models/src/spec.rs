@@ -1,0 +1,134 @@
+//! Model specification: an ordered list of partitionable layers plus
+//! helpers to turn a stage partition into per-stage GPU workloads.
+
+use std::fmt;
+
+use perseus_gpu::{GpuSpec, Workload};
+
+use crate::layers::LayerCost;
+use crate::partition::Partition;
+
+/// Errors from model/partition composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The partition's layer count does not match the model.
+    PartitionMismatch {
+        /// Layers in the model.
+        model_layers: usize,
+        /// Layers covered by the partition.
+        partition_layers: usize,
+    },
+    /// Tensor-parallel degree must be at least 1.
+    InvalidTensorParallel(usize),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::PartitionMismatch { model_layers, partition_layers } => write!(
+                f,
+                "partition covers {partition_layers} layers but the model has {model_layers}"
+            ),
+            ModelError::InvalidTensorParallel(d) => {
+                write!(f, "invalid tensor parallel degree {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The forward and backward workloads of one pipeline stage (all its
+/// layers, executed back to back for one microbatch).
+#[derive(Debug, Clone, Copy)]
+pub struct StageWorkloads {
+    /// Forward pass of the whole stage.
+    pub fwd: Workload,
+    /// Backward pass of the whole stage.
+    pub bwd: Workload,
+}
+
+/// A trainable model described as an ordered list of partitionable layers.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Human-readable name, e.g. `"gpt3-xl"`.
+    pub name: String,
+    /// Approximate parameter count, in billions (for reporting only).
+    pub params_b: f64,
+    /// Per-pipeline microbatch size these costs were built for.
+    pub microbatch: usize,
+    /// Ordered partitionable layers.
+    pub layers: Vec<LayerCost>,
+}
+
+impl ModelSpec {
+    /// Number of partitionable layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward latency of each layer at the GPU's max clock — the weights
+    /// that minimum-imbalance partitioning balances (Appendix B considers
+    /// only forward latency; backward is roughly proportional).
+    pub fn fwd_latency_weights(&self, gpu: &GpuSpec) -> Vec<f64> {
+        self.layers.iter().map(|l| l.fwd_latency_at_max(gpu)).collect()
+    }
+
+    /// Applies tensor parallelism of degree `tp`: every layer's compute is
+    /// divided equally across `tp` GPUs (§4.4 — operator parallelism splits
+    /// operations in equal sizes, so one GPU per stage is profiled and the
+    /// schedule is replicated).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidTensorParallel`] if `tp == 0`.
+    pub fn with_tensor_parallel(&self, tp: usize) -> Result<ModelSpec, ModelError> {
+        if tp == 0 {
+            return Err(ModelError::InvalidTensorParallel(tp));
+        }
+        let k = 1.0 / tp as f64;
+        Ok(ModelSpec {
+            name: format!("{}-tp{tp}", self.name),
+            params_b: self.params_b,
+            microbatch: self.microbatch,
+            layers: self.layers.iter().map(|l| l.scaled(k)).collect(),
+        })
+    }
+
+    /// Per-stage forward/backward workloads under `partition` on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::PartitionMismatch`] if the partition does not cover
+    /// exactly this model's layers.
+    pub fn stage_workloads(
+        &self,
+        partition: &Partition,
+        gpu: &GpuSpec,
+    ) -> Result<Vec<StageWorkloads>, ModelError> {
+        if partition.num_layers() != self.layers.len() {
+            return Err(ModelError::PartitionMismatch {
+                model_layers: self.layers.len(),
+                partition_layers: partition.num_layers(),
+            });
+        }
+        let mut out = Vec::with_capacity(partition.num_stages());
+        for stage in partition.stage_ranges() {
+            let mut fwd = Workload::new(0.0, 0.0, 0.5);
+            let mut bwd = Workload::new(0.0, 0.0, 0.5);
+            let mut first = true;
+            for l in &self.layers[stage] {
+                if first {
+                    fwd = l.fwd_workload(gpu);
+                    bwd = l.bwd_workload(gpu);
+                    first = false;
+                } else {
+                    fwd = fwd.fused(&l.fwd_workload(gpu));
+                    bwd = bwd.fused(&l.bwd_workload(gpu));
+                }
+            }
+            out.push(StageWorkloads { fwd, bwd });
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,328 @@
+use perseus_gpu::GpuSpec;
+
+use crate::partition::{min_imbalance_partition, uniform_partition, Partition, PartitionError};
+use crate::zoo;
+use crate::LayerKind;
+
+#[test]
+fn partition_unit_counts_match_appendix_b() {
+    // Appendix B Table 7: partition boundary lists end at these counts.
+    assert_eq!(zoo::gpt3_xl(4).num_layers(), 25);
+    assert_eq!(zoo::gpt3_2_7b(4).num_layers(), 33);
+    assert_eq!(zoo::gpt3_6_7b(4).num_layers(), 33);
+    assert_eq!(zoo::gpt3_13b(4).num_layers(), 41);
+    assert_eq!(zoo::gpt3_175b(1).num_layers(), 97);
+    assert_eq!(zoo::bloom_3b(4).num_layers(), 31);
+    assert_eq!(zoo::bloom_7b(4).num_layers(), 31);
+    assert_eq!(zoo::bloom_176b(1).num_layers(), 71);
+    assert_eq!(zoo::bert_base(8).num_layers(), 13);
+    assert_eq!(zoo::bert_large(8).num_layers(), 25);
+    assert_eq!(zoo::bert_huge(8).num_layers(), 25);
+    assert_eq!(zoo::t5_base(4).num_layers(), 25);
+    assert_eq!(zoo::t5_large(4).num_layers(), 49);
+    assert_eq!(zoo::t5_3b(4).num_layers(), 49);
+    assert_eq!(zoo::wide_resnet50_8(32).num_layers(), 18);
+    assert_eq!(zoo::wide_resnet101_8(32).num_layers(), 35);
+}
+
+#[test]
+fn lm_head_is_last_layer() {
+    for (ctor, name) in zoo::all_presets() {
+        let m = ctor(4);
+        let last = m.layers.last().unwrap();
+        match last.kind {
+            LayerKind::LmHead | LayerKind::Classifier => {}
+            other => panic!("{name}: last layer is {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bloom_head_heavier_than_gpt3_head() {
+    // Bloom's 251k vocabulary vs GPT-3's 50k: its head must weigh several
+    // transformer layers (Appendix B).
+    let bloom = zoo::bloom_3b(4);
+    let gpt = zoo::gpt3_2_7b(4); // same d_model
+    let rel = |m: &crate::ModelSpec| {
+        let head = m.layers.last().unwrap().fwd_tflops;
+        head / m.layers[0].fwd_tflops
+    };
+    assert!(rel(&bloom) > 3.0, "bloom head/layer = {}", rel(&bloom));
+    assert!(rel(&gpt) < 1.5, "gpt head/layer = {}", rel(&gpt));
+}
+
+#[test]
+fn t5_decoders_heavier_than_encoders() {
+    let t5 = zoo::t5_3b(4);
+    let enc = &t5.layers[0];
+    let dec = &t5.layers[24];
+    assert!(matches!(enc.kind, LayerKind::TransformerEncoder));
+    assert!(matches!(dec.kind, LayerKind::TransformerCrossDecoder));
+    let ratio = dec.fwd_tflops / enc.fwd_tflops;
+    assert!(ratio > 1.2 && ratio < 1.7, "dec/enc = {ratio}");
+}
+
+#[test]
+fn backward_roughly_double_forward() {
+    for (ctor, _) in zoo::all_presets() {
+        for l in &ctor(4).layers {
+            let r = l.bwd_tflops / l.fwd_tflops;
+            assert!((r - 2.0).abs() < 0.01, "{}: bwd/fwd = {r}", l.name);
+        }
+    }
+}
+
+#[test]
+fn imbalance_ratios_match_paper_trends() {
+    // Table 1 / Table 7 qualitative shape:
+    //  * minimum-imbalance partitioning cannot reach 1.00,
+    //  * 8 stages are more imbalanced than 4,
+    //  * the huge 175B model is nearly balanced,
+    //  * BERT base (tiny, 13 units) is the most imbalanced.
+    let gpu = GpuSpec::a100_pcie();
+    let ratio = |m: &crate::ModelSpec, n: usize| {
+        let w = m.fwd_latency_weights(&gpu);
+        min_imbalance_partition(&w, n).unwrap().imbalance_ratio(&w)
+    };
+    let gpt_xl = zoo::gpt3_xl(4);
+    let r4 = ratio(&gpt_xl, 4);
+    let r8 = ratio(&gpt_xl, 8);
+    assert!(r4 > 1.05 && r4 < 1.30, "gpt3-xl 4 stages: {r4}");
+    assert!(r8 > r4, "more stages should be harder to balance: {r8} vs {r4}");
+
+    let r175 = ratio(&zoo::gpt3_175b(1), 4);
+    assert!(r175 < 1.06, "gpt3-175b should be nearly balanced: {r175}");
+
+    let bert = ratio(&zoo::bert_base(8), 8);
+    assert!(bert > 1.5, "bert-base 8 stages should be badly imbalanced: {bert}");
+
+    let bloom = ratio(&zoo::bloom_3b(4), 4);
+    assert!(bloom > 1.03 && bloom < 1.35, "bloom-3b: {bloom}");
+
+    let t5 = ratio(&zoo::t5_3b(4), 4);
+    assert!(t5 < 1.25, "t5-3b should balance reasonably: {t5}");
+}
+
+#[test]
+fn min_imbalance_beats_uniform_for_bloom() {
+    // The naive equal-layer-count split dumps the giant Bloom head on top
+    // of a full stage; weight-aware partitioning must do better.
+    let gpu = GpuSpec::a100_pcie();
+    let m = zoo::bloom_3b(4);
+    let w = m.fwd_latency_weights(&gpu);
+    let uni = uniform_partition(w.len(), 4).unwrap().imbalance_ratio(&w);
+    let opt = min_imbalance_partition(&w, 4).unwrap().imbalance_ratio(&w);
+    assert!(opt < uni, "optimal {opt} should beat uniform {uni}");
+}
+
+#[test]
+fn min_imbalance_is_optimal_on_small_instances() {
+    // Brute-force all partitions for small L and N and compare.
+    fn brute(weights: &[f64], stages: usize) -> f64 {
+        fn rec(weights: &[f64], start: usize, left: usize, acc: &mut Vec<f64>, best: &mut f64) {
+            let l = weights.len();
+            if left == 1 {
+                let s: f64 = weights[start..].iter().sum();
+                acc.push(s);
+                let max = acc.iter().copied().fold(f64::MIN, f64::max);
+                let min = acc.iter().copied().fold(f64::MAX, f64::min);
+                *best = best.min(max / min);
+                acc.pop();
+                return;
+            }
+            for end in start + 1..=(l - left + 1) {
+                let s: f64 = weights[start..end].iter().sum();
+                acc.push(s);
+                rec(weights, end, left - 1, acc, best);
+                acc.pop();
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(weights, 0, stages, &mut Vec::new(), &mut best);
+        best
+    }
+
+    let cases: Vec<(Vec<f64>, usize)> = vec![
+        (vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0], 3),
+        (vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0], 3),
+        (vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 4),
+        (vec![5.0, 5.0, 5.0, 1.0], 2),
+        (vec![2.0, 2.0, 2.0, 2.0, 7.0], 4),
+    ];
+    for (w, n) in cases {
+        let opt = min_imbalance_partition(&w, n).unwrap().imbalance_ratio(&w);
+        let want = brute(&w, n);
+        assert!(
+            (opt - want).abs() < 1e-9,
+            "weights {w:?} stages {n}: got {opt}, brute force {want}"
+        );
+    }
+}
+
+#[test]
+fn partition_errors() {
+    assert!(matches!(
+        min_imbalance_partition(&[1.0, 2.0], 3),
+        Err(PartitionError::TooManyStages { .. })
+    ));
+    assert!(matches!(min_imbalance_partition(&[1.0], 0), Err(PartitionError::ZeroStages)));
+    assert!(matches!(
+        min_imbalance_partition(&[1.0, -2.0], 1),
+        Err(PartitionError::InvalidWeight { index: 1 })
+    ));
+    assert!(matches!(
+        min_imbalance_partition(&[1.0, f64::NAN], 1),
+        Err(PartitionError::InvalidWeight { index: 1 })
+    ));
+}
+
+#[test]
+fn uniform_partition_counts() {
+    let p = uniform_partition(10, 4).unwrap();
+    assert_eq!(p.boundaries(), &[0, 3, 6, 8, 10]);
+    let p = uniform_partition(8, 4).unwrap();
+    assert_eq!(p.boundaries(), &[0, 2, 4, 6, 8]);
+}
+
+#[test]
+fn partition_accessors() {
+    let p = Partition::from_boundaries(vec![0, 3, 5]);
+    assert_eq!(p.num_stages(), 2);
+    assert_eq!(p.num_layers(), 5);
+    assert_eq!(p.stage_range(0), 0..3);
+    assert_eq!(p.stage_range(1), 3..5);
+    let w = [1.0, 1.0, 1.0, 2.0, 2.0];
+    assert_eq!(p.stage_weights(&w), vec![3.0, 4.0]);
+    assert!((p.imbalance_ratio(&w) - 4.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn stage_workloads_cover_model() {
+    let gpu = GpuSpec::a100_pcie();
+    let m = zoo::gpt3_xl(4);
+    let w = m.fwd_latency_weights(&gpu);
+    let p = min_imbalance_partition(&w, 4).unwrap();
+    let stages = m.stage_workloads(&p, &gpu).unwrap();
+    assert_eq!(stages.len(), 4);
+    // Total forward latency at max clock is preserved by stage fusion.
+    let total_layers: f64 = w.iter().sum();
+    let total_stages: f64 =
+        stages.iter().map(|s| gpu.time(&s.fwd, gpu.max_freq())).sum();
+    assert!((total_layers - total_stages).abs() / total_layers < 1e-9);
+    // Backward slower than forward.
+    for s in &stages {
+        assert!(gpu.time(&s.bwd, gpu.max_freq()) > gpu.time(&s.fwd, gpu.max_freq()));
+    }
+}
+
+#[test]
+fn stage_workloads_partition_mismatch() {
+    let gpu = GpuSpec::a100_pcie();
+    let m = zoo::gpt3_xl(4);
+    let p = Partition::from_boundaries(vec![0, 5, 10]);
+    assert!(matches!(
+        m.stage_workloads(&p, &gpu),
+        Err(crate::ModelError::PartitionMismatch { .. })
+    ));
+}
+
+#[test]
+fn tensor_parallel_divides_compute() {
+    let m = zoo::gpt3_6_7b(4);
+    let tp = m.with_tensor_parallel(4).unwrap();
+    for (a, b) in m.layers.iter().zip(&tp.layers) {
+        assert!((b.fwd_tflops - a.fwd_tflops / 4.0).abs() < 1e-6);
+    }
+    assert!(m.with_tensor_parallel(0).is_err());
+}
+
+#[test]
+fn wide_resnet_groups_have_distinct_costs() {
+    let m = zoo::wide_resnet101_8(32);
+    // Group boundary blocks (with downsampling) differ from steady blocks,
+    // and groups differ from each other — the source of WRN imbalance.
+    let g0 = m.layers.iter().find(|l| l.name == "group0.block1").unwrap();
+    let g3 = m.layers.iter().find(|l| l.name == "group3.block1").unwrap();
+    assert!((g0.fwd_tflops - g3.fwd_tflops).abs() / g0.fwd_tflops > 0.05);
+}
+
+#[test]
+fn a40_slower_than_a100() {
+    let m = zoo::gpt3_xl(4);
+    let a100: f64 = m.fwd_latency_weights(&GpuSpec::a100_pcie()).iter().sum();
+    let a40: f64 = m.fwd_latency_weights(&GpuSpec::a40()).iter().sum();
+    assert!(a40 > 1.5 * a100, "A40 should be much slower: {a40} vs {a100}");
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn partition_covers_everything(
+            weights in proptest::collection::vec(0.1f64..10.0, 4..30),
+            stages in 1usize..6,
+        ) {
+            prop_assume!(stages <= weights.len());
+            let p = min_imbalance_partition(&weights, stages).unwrap();
+            prop_assert_eq!(p.num_stages(), stages);
+            prop_assert_eq!(p.num_layers(), weights.len());
+            // Stages tile the layer range exactly.
+            let mut covered = 0;
+            for r in p.stage_ranges() {
+                prop_assert_eq!(r.start, covered);
+                covered = r.end;
+                prop_assert!(r.end > r.start);
+            }
+            prop_assert_eq!(covered, weights.len());
+        }
+
+        #[test]
+        fn optimal_no_worse_than_uniform(
+            weights in proptest::collection::vec(0.1f64..10.0, 4..30),
+            stages in 2usize..6,
+        ) {
+            prop_assume!(stages <= weights.len());
+            let opt = min_imbalance_partition(&weights, stages).unwrap().imbalance_ratio(&weights);
+            let uni = uniform_partition(weights.len(), stages).unwrap().imbalance_ratio(&weights);
+            prop_assert!(opt <= uni + 1e-9, "optimal {} worse than uniform {}", opt, uni);
+        }
+
+        #[test]
+        fn ratio_at_least_one(
+            weights in proptest::collection::vec(0.1f64..10.0, 4..20),
+            stages in 1usize..5,
+        ) {
+            prop_assume!(stages <= weights.len());
+            let r = min_imbalance_partition(&weights, stages).unwrap().imbalance_ratio(&weights);
+            prop_assert!(r >= 1.0 - 1e-12);
+        }
+    }
+}
+
+#[test]
+fn extended_zoo_models_are_wellformed() {
+    let gpu = GpuSpec::a100_pcie();
+    for (ctor, name) in [
+        (zoo::llama2_7b as fn(usize) -> crate::ModelSpec, "llama2-7b"),
+        (zoo::llama2_70b, "llama2-70b"),
+        (zoo::falcon_40b, "falcon-40b"),
+        (zoo::megatron_530b, "megatron-530b"),
+    ] {
+        let m = ctor(2);
+        assert!(m.num_layers() > 30, "{name}");
+        let w = m.fwd_latency_weights(&gpu);
+        let p = min_imbalance_partition(&w, 8).unwrap();
+        let r = p.imbalance_ratio(&w);
+        assert!((1.0..1.6).contains(&r), "{name}: ratio {r}");
+    }
+    // Larger models balance better (same trend as Table 1).
+    let ratio = |m: &crate::ModelSpec| {
+        let w = m.fwd_latency_weights(&gpu);
+        min_imbalance_partition(&w, 8).unwrap().imbalance_ratio(&w)
+    };
+    assert!(ratio(&zoo::megatron_530b(2)) < ratio(&zoo::llama2_7b(2)));
+}

@@ -1,0 +1,129 @@
+//! Analytic FLOP models for transformer-family workloads.
+//!
+//! FLOP formulas follow the standard accounting (2 FLOPs per MAC):
+//!
+//! * attention projections: `2 · (3·d_model·d_attn + d_attn·d_model)` per
+//!   token = `8·d_model·d_attn`,
+//! * attention scores + weighted sum: `4 · seq_kv · d_attn` per token,
+//! * feed-forward: `4 · d_model · d_ff` per token,
+//! * LM head: `2 · d_model · vocab` per token.
+//!
+//! Backward ≈ 2× forward. Kernel-efficiency factors (documented on the
+//! constants below) convert raw FLOPs into "time-FLOPs"; they are the
+//! calibration knobs standing in for the paper's in-vivo measurements.
+
+use crate::layers::{LayerCost, LayerKind};
+
+/// The LM-head GEMM (hidden × vocab) is one huge dense matmul and runs
+/// closer to peak throughput than a full transformer layer, so its
+/// time-FLOPs are discounted. Calibrated so GPT-3 1.3B's head weighs about
+/// one transformer layer, matching the Appendix B partitions.
+const LM_HEAD_EFFICIENCY: f64 = 1.7;
+
+/// Memory-bound fraction of a transformer layer's forward latency
+/// (softmax, layernorm, residual adds, kernel launches).
+const LAYER_MEM_FRAC_FWD: f64 = 0.10;
+/// Backward has larger activations traffic.
+const LAYER_MEM_FRAC_BWD: f64 = 0.12;
+/// LM head is one big GEMM: almost fully clock-bound.
+const HEAD_MEM_FRAC: f64 = 0.04;
+
+/// Structural hyperparameters of a transformer-family model.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Model (residual stream) width.
+    pub d_model: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Total attention width (`heads × d_head`); differs from `d_model`
+    /// in T5-3B and friends.
+    pub d_attn: usize,
+    /// Number of transformer layers (for enc-dec: per side).
+    pub n_layers: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length used for training.
+    pub seq_len: usize,
+}
+
+impl TransformerConfig {
+    /// Forward FLOPs per token of one self-attention + FFN layer.
+    fn layer_flops_per_token(&self) -> f64 {
+        let proj = 8.0 * self.d_model as f64 * self.d_attn as f64;
+        let scores = 4.0 * self.seq_len as f64 * self.d_attn as f64;
+        let ffn = 4.0 * self.d_model as f64 * self.d_ff as f64;
+        proj + scores + ffn
+    }
+
+    /// Extra forward FLOPs per token of a cross-attention block
+    /// (T5 decoder layers).
+    fn cross_attn_flops_per_token(&self, src_len: usize) -> f64 {
+        8.0 * self.d_model as f64 * self.d_attn as f64 + 4.0 * src_len as f64 * self.d_attn as f64
+    }
+
+    /// Forward FLOPs per token of the LM head, already discounted by the
+    /// GEMM-efficiency factor.
+    fn head_tflops_per_token(&self) -> f64 {
+        2.0 * self.d_model as f64 * self.vocab as f64 / LM_HEAD_EFFICIENCY
+    }
+}
+
+fn make_layer(name: String, kind: LayerKind, fwd_tflops: f64) -> LayerCost {
+    let (fwd_mem, bwd_mem) = match kind {
+        LayerKind::LmHead => (HEAD_MEM_FRAC, HEAD_MEM_FRAC),
+        _ => (LAYER_MEM_FRAC_FWD, LAYER_MEM_FRAC_BWD),
+    };
+    let (fwd_util, bwd_util) = match kind {
+        LayerKind::LmHead => (0.95, 0.97),
+        _ => (0.85, 0.92),
+    };
+    LayerCost {
+        name,
+        kind,
+        fwd_tflops,
+        bwd_tflops: 2.0 * fwd_tflops,
+        fwd_mem_frac: fwd_mem,
+        bwd_mem_frac: bwd_mem,
+        fwd_util,
+        bwd_util,
+    }
+}
+
+/// Builds the partitionable layer list of a decoder-only model
+/// (GPT-3, Bloom) or encoder-only model (BERT): `n_layers` identical
+/// transformer layers plus one LM head. The embedding lookup is fused into
+/// the first layer (it is memory-bound and cheap).
+///
+/// `microbatch` is the per-pipeline microbatch size; costs are per
+/// microbatch.
+pub fn decoder_only_layers(
+    cfg: &TransformerConfig,
+    microbatch: usize,
+    decoder: bool,
+) -> Vec<LayerCost> {
+    let tokens = (microbatch * cfg.seq_len) as f64;
+    let layer_flops = cfg.layer_flops_per_token() * tokens;
+    let kind = if decoder { LayerKind::TransformerDecoder } else { LayerKind::TransformerEncoder };
+    let mut layers: Vec<LayerCost> = (0..cfg.n_layers)
+        .map(|i| make_layer(format!("layer.{i}"), kind, layer_flops))
+        .collect();
+    layers.push(make_layer("lm_head".into(), LayerKind::LmHead, cfg.head_tflops_per_token() * tokens));
+    layers
+}
+
+/// Builds the layer list of a T5-style encoder-decoder: `n_layers`
+/// encoders, then `n_layers` decoders (each with an extra cross-attention
+/// block, making them heavier), then the LM head.
+pub fn encoder_decoder_layers(cfg: &TransformerConfig, microbatch: usize) -> Vec<LayerCost> {
+    let tokens = (microbatch * cfg.seq_len) as f64;
+    let enc_flops = cfg.layer_flops_per_token() * tokens;
+    let dec_flops = (cfg.layer_flops_per_token() + cfg.cross_attn_flops_per_token(cfg.seq_len)) * tokens;
+    let mut layers: Vec<LayerCost> = (0..cfg.n_layers)
+        .map(|i| make_layer(format!("encoder.{i}"), LayerKind::TransformerEncoder, enc_flops))
+        .collect();
+    layers.extend((0..cfg.n_layers).map(|i| {
+        make_layer(format!("decoder.{i}"), LayerKind::TransformerCrossDecoder, dec_flops)
+    }));
+    layers.push(make_layer("lm_head".into(), LayerKind::LmHead, cfg.head_tflops_per_token() * tokens));
+    layers
+}

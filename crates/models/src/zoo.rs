@@ -1,0 +1,340 @@
+//! Preset model configurations matching the paper's workloads (§6.1,
+//! Appendix B Tables 7–10).
+//!
+//! Each constructor takes the per-pipeline `microbatch` size, because layer
+//! costs are per microbatch. Sequence lengths follow the original model
+//! publications (GPT-3/Bloom: 2048, BERT/T5: 512).
+//!
+//! Partitionable-unit counts match Appendix B Table 7 exactly: e.g. GPT-3
+//! 1.3B has 24 transformer layers + 1 LM head = 25 units (`[0, .., 25]`),
+//! Bloom 176B has 70 + 1 = 71, T5-3B has 24 + 24 + 1 = 49, Wide-ResNet101
+//! has stem + 33 bottlenecks + classifier = 35.
+
+use crate::resnet::{wide_resnet_layers, WideResNetConfig};
+use crate::spec::ModelSpec;
+use crate::transformer::{decoder_only_layers, encoder_decoder_layers, TransformerConfig};
+
+fn decoder_model(
+    name: &str,
+    params_b: f64,
+    cfg: TransformerConfig,
+    microbatch: usize,
+    decoder: bool,
+) -> ModelSpec {
+    ModelSpec {
+        name: name.to_string(),
+        params_b,
+        microbatch,
+        layers: decoder_only_layers(&cfg, microbatch, decoder),
+    }
+}
+
+/// GPT-3 XL, 1.3B parameters: 24 layers, d_model 2048 [Brown et al.].
+pub fn gpt3_xl(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 2048,
+        d_ff: 8192,
+        d_attn: 2048,
+        n_layers: 24,
+        vocab: 50257,
+        seq_len: 2048,
+    };
+    decoder_model("gpt3-xl", 1.3, cfg, microbatch, true)
+}
+
+/// GPT-3 2.7B: 32 layers, d_model 2560.
+pub fn gpt3_2_7b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 2560,
+        d_ff: 10240,
+        d_attn: 2560,
+        n_layers: 32,
+        vocab: 50257,
+        seq_len: 2048,
+    };
+    decoder_model("gpt3-2.7b", 2.7, cfg, microbatch, true)
+}
+
+/// GPT-3 6.7B: 32 layers, d_model 4096.
+pub fn gpt3_6_7b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 4096,
+        d_ff: 16384,
+        d_attn: 4096,
+        n_layers: 32,
+        vocab: 50257,
+        seq_len: 2048,
+    };
+    decoder_model("gpt3-6.7b", 6.7, cfg, microbatch, true)
+}
+
+/// GPT-3 13B: 40 layers, d_model 5140.
+pub fn gpt3_13b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 5140,
+        d_ff: 20560,
+        d_attn: 5140,
+        n_layers: 40,
+        vocab: 50257,
+        seq_len: 2048,
+    };
+    decoder_model("gpt3-13b", 13.0, cfg, microbatch, true)
+}
+
+/// GPT-3 175B: 96 layers, d_model 12288 (large-scale emulation, §6.3).
+pub fn gpt3_175b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 12288,
+        d_ff: 49152,
+        d_attn: 12288,
+        n_layers: 96,
+        vocab: 50257,
+        seq_len: 2048,
+    };
+    decoder_model("gpt3-175b", 175.0, cfg, microbatch, true)
+}
+
+/// Bloom 3B: 30 layers, d_model 2560, vocab 250,880 — the huge multilingual
+/// vocabulary makes the LM head dominate its stage (Appendix B).
+pub fn bloom_3b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 2560,
+        d_ff: 10240,
+        d_attn: 2560,
+        n_layers: 30,
+        vocab: 250_880,
+        seq_len: 2048,
+    };
+    decoder_model("bloom-3b", 3.0, cfg, microbatch, true)
+}
+
+/// Bloom 7.1B: 30 layers, d_model 4096, vocab 250,880.
+pub fn bloom_7b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 4096,
+        d_ff: 16384,
+        d_attn: 4096,
+        n_layers: 30,
+        vocab: 250_880,
+        seq_len: 2048,
+    };
+    decoder_model("bloom-7b", 7.1, cfg, microbatch, true)
+}
+
+/// Bloom 176B: 70 layers, d_model 14336, vocab 250,880 (§6.3 emulation).
+pub fn bloom_176b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 14336,
+        d_ff: 57344,
+        d_attn: 14336,
+        n_layers: 70,
+        vocab: 250_880,
+        seq_len: 2048,
+    };
+    decoder_model("bloom-176b", 176.0, cfg, microbatch, true)
+}
+
+/// BERT Base, 0.1B: 12 layers, d_model 768.
+pub fn bert_base(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 768,
+        d_ff: 3072,
+        d_attn: 768,
+        n_layers: 12,
+        vocab: 30_522,
+        seq_len: 512,
+    };
+    decoder_model("bert-base", 0.1, cfg, microbatch, false)
+}
+
+/// BERT Large, 0.3B: 24 layers, d_model 1024.
+pub fn bert_large(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 1024,
+        d_ff: 4096,
+        d_attn: 1024,
+        n_layers: 24,
+        vocab: 30_522,
+        seq_len: 512,
+    };
+    decoder_model("bert-large", 0.3, cfg, microbatch, false)
+}
+
+/// BERT Huge, 1.3B: the paper's custom variant with hidden dimension 2048
+/// (Appendix B.3), 24 layers.
+pub fn bert_huge(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 2048,
+        d_ff: 8192,
+        d_attn: 2048,
+        n_layers: 24,
+        vocab: 30_522,
+        seq_len: 512,
+    };
+    decoder_model("bert-huge", 1.3, cfg, microbatch, false)
+}
+
+/// T5 Base, 0.2B: 12 encoder + 12 decoder layers, d_model 768.
+pub fn t5_base(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 768,
+        d_ff: 3072,
+        d_attn: 768,
+        n_layers: 12,
+        vocab: 32_128,
+        seq_len: 512,
+    };
+    ModelSpec {
+        name: "t5-base".into(),
+        params_b: 0.2,
+        microbatch,
+        layers: encoder_decoder_layers(&cfg, microbatch),
+    }
+}
+
+/// T5 Large, 0.7B: 24 + 24 layers, d_model 1024.
+pub fn t5_large(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 1024,
+        d_ff: 4096,
+        d_attn: 1024,
+        n_layers: 24,
+        vocab: 32_128,
+        seq_len: 512,
+    };
+    ModelSpec {
+        name: "t5-large".into(),
+        params_b: 0.7,
+        microbatch,
+        layers: encoder_decoder_layers(&cfg, microbatch),
+    }
+}
+
+/// T5 3B: 24 + 24 layers, d_model 1024 with the unusually wide attention
+/// (d_attn 4096) and FFN (d_ff 16384) of the original checkpoint.
+pub fn t5_3b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 1024,
+        d_ff: 16_384,
+        d_attn: 4096,
+        n_layers: 24,
+        vocab: 32_128,
+        seq_len: 512,
+    };
+    ModelSpec {
+        name: "t5-3b".into(),
+        params_b: 3.0,
+        microbatch,
+        layers: encoder_decoder_layers(&cfg, microbatch),
+    }
+}
+
+/// Wide-ResNet-50 with width factor 8 (0.8B parameters).
+pub fn wide_resnet50_8(microbatch: usize) -> ModelSpec {
+    let cfg =
+        WideResNetConfig { blocks: [3, 4, 6, 3], width_factor: 8, image_size: 224, classes: 1000 };
+    ModelSpec {
+        name: "wide-resnet50-8".into(),
+        params_b: 0.8,
+        microbatch,
+        layers: wide_resnet_layers(&cfg, microbatch),
+    }
+}
+
+/// Wide-ResNet-101 with width factor 8 (1.5B parameters).
+pub fn wide_resnet101_8(microbatch: usize) -> ModelSpec {
+    let cfg =
+        WideResNetConfig { blocks: [3, 4, 23, 3], width_factor: 8, image_size: 224, classes: 1000 };
+    ModelSpec {
+        name: "wide-resnet101-8".into(),
+        params_b: 1.5,
+        microbatch,
+        layers: wide_resnet_layers(&cfg, microbatch),
+    }
+}
+
+/// A zoo entry: `(constructor, canonical name)`.
+pub type Preset = (fn(usize) -> ModelSpec, &'static str);
+
+/// Every preset in the zoo, for sweep-style experiments.
+pub fn all_presets() -> Vec<Preset> {
+    vec![
+        (gpt3_xl, "gpt3-xl"),
+        (gpt3_2_7b, "gpt3-2.7b"),
+        (gpt3_6_7b, "gpt3-6.7b"),
+        (gpt3_13b, "gpt3-13b"),
+        (gpt3_175b, "gpt3-175b"),
+        (bloom_3b, "bloom-3b"),
+        (bloom_7b, "bloom-7b"),
+        (bloom_176b, "bloom-176b"),
+        (bert_base, "bert-base"),
+        (bert_large, "bert-large"),
+        (bert_huge, "bert-huge"),
+        (t5_base, "t5-base"),
+        (t5_large, "t5-large"),
+        (t5_3b, "t5-3b"),
+        (wide_resnet50_8, "wide-resnet50-8"),
+        (wide_resnet101_8, "wide-resnet101-8"),
+        (llama2_7b, "llama2-7b"),
+        (llama2_70b, "llama2-70b"),
+        (falcon_40b, "falcon-40b"),
+        (megatron_530b, "megatron-530b"),
+    ]
+}
+
+/// Llama-2 7B: 32 layers, d_model 4096, SwiGLU FFN (three matrices of
+/// inner width 11008 ≡ a two-matrix FFN of width 16512), 32k vocabulary,
+/// 4k context.
+pub fn llama2_7b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 4096,
+        // SwiGLU uses three d×d_ff matrices; the two-matrix accounting in
+        // `layer_flops_per_token` absorbs the extra one as d_ff × 1.5.
+        d_ff: 16_512,
+        d_attn: 4096,
+        n_layers: 32,
+        vocab: 32_000,
+        seq_len: 4096,
+    };
+    decoder_model("llama2-7b", 6.7, cfg, microbatch, true)
+}
+
+/// Llama-2 70B: 80 layers, d_model 8192, SwiGLU width 28672 (≡ 43008).
+pub fn llama2_70b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 8192,
+        d_ff: 43_008,
+        d_attn: 8192,
+        n_layers: 80,
+        vocab: 32_000,
+        seq_len: 4096,
+    };
+    decoder_model("llama2-70b", 69.0, cfg, microbatch, true)
+}
+
+/// Falcon-40B: 60 layers, d_model 8192, 65k vocabulary.
+pub fn falcon_40b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 8192,
+        d_ff: 32_768,
+        d_attn: 8192,
+        n_layers: 60,
+        vocab: 65_024,
+        seq_len: 2048,
+    };
+    decoder_model("falcon-40b", 41.0, cfg, microbatch, true)
+}
+
+/// Megatron-Turing NLG 530B: 105 layers, d_model 20480 — the largest
+/// published dense 3D-parallel training run of the paper's era.
+pub fn megatron_530b(microbatch: usize) -> ModelSpec {
+    let cfg = TransformerConfig {
+        d_model: 20_480,
+        d_ff: 81_920,
+        d_attn: 20_480,
+        n_layers: 105,
+        vocab: 51_200,
+        seq_len: 2048,
+    };
+    decoder_model("megatron-530b", 530.0, cfg, microbatch, true)
+}

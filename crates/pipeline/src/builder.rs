@@ -1,0 +1,328 @@
+//! Lowering a pipeline schedule to a computation DAG.
+
+use std::fmt;
+
+use perseus_dag::{Dag, NodeId};
+
+use crate::schedule::{stage_program, CompKind, Computation, ScheduleKind};
+
+/// Node payload of a pipeline computation DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipeNode {
+    /// Virtual start-of-iteration event (zero duration).
+    Source,
+    /// Virtual end-of-iteration event (zero duration).
+    Sink,
+    /// A frequency-controllable computation.
+    Comp(Computation),
+    /// A constant-time operation (§4.4): data loading, P2P transfer over a
+    /// slow link, etc. Takes `time_s` regardless of GPU frequency and draws
+    /// `power_w` while running. The optimizer treats it as a node with a
+    /// single frequency choice.
+    Fixed {
+        /// Human-readable label, e.g. `"dataload.3"`.
+        label: String,
+        /// Stage whose GPU hosts this operation.
+        stage: usize,
+        /// Frequency-independent duration.
+        time_s: f64,
+        /// Power drawn while the operation runs.
+        power_w: f64,
+    },
+}
+
+impl PipeNode {
+    /// The computation payload, if this is a computation node.
+    pub fn as_comp(&self) -> Option<&Computation> {
+        match self {
+            PipeNode::Comp(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The pipeline stage this node executes on, if any.
+    pub fn stage(&self) -> Option<usize> {
+        match self {
+            PipeNode::Comp(c) => Some(c.stage),
+            PipeNode::Fixed { stage, .. } => Some(*stage),
+            _ => None,
+        }
+    }
+}
+
+/// Why an edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Consecutive instructions on the same stage (execution order).
+    IntraStage,
+    /// Activation / gradient hand-off between adjacent (virtual) stages.
+    InterStage,
+    /// Virtual source/sink attachment.
+    Boundary,
+}
+
+/// Errors from pipeline construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Stage or microbatch count of zero.
+    EmptyPipeline,
+    /// Interleaved 1F1B requires the microbatch count to be a multiple of
+    /// the stage count (the Megatron constraint).
+    MicrobatchesNotDivisible {
+        /// Requested microbatches.
+        microbatches: usize,
+        /// Stage count they must divide by.
+        stages: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyPipeline => write!(f, "stages and microbatches must be positive"),
+            ScheduleError::MicrobatchesNotDivisible { microbatches, stages } => write!(
+                f,
+                "interleaved 1F1B needs microbatches ({microbatches}) divisible by stages ({stages})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Builder for a [`PipelineDag`], with optional constant-time operations.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    kind: ScheduleKind,
+    n_stages: usize,
+    n_microbatches: usize,
+    data_load_time_s: f64,
+    data_load_power_w: f64,
+    p2p_time_s: f64,
+    p2p_power_w: f64,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder for `kind` with `n_stages` stages and
+    /// `n_microbatches` microbatches.
+    pub fn new(kind: ScheduleKind, n_stages: usize, n_microbatches: usize) -> PipelineBuilder {
+        PipelineBuilder {
+            kind,
+            n_stages,
+            n_microbatches,
+            data_load_time_s: 0.0,
+            data_load_power_w: 0.0,
+            p2p_time_s: 0.0,
+            p2p_power_w: 0.0,
+        }
+    }
+
+    /// Inserts a fixed-duration data-loading operation before each first-
+    /// stage chunk-0 forward (a constant-time operation per §4.4; also the
+    /// noise source behind Wide-ResNet's ragged frontier in Appendix G).
+    pub fn with_data_loading(mut self, time_s: f64, power_w: f64) -> PipelineBuilder {
+        self.data_load_time_s = time_s;
+        self.data_load_power_w = power_w;
+        self
+    }
+
+    /// Inserts a fixed-duration P2P transfer on every inter-stage edge
+    /// (models slow links; zero by default because NVLink latencies are
+    /// negligible next to computation).
+    pub fn with_p2p_latency(mut self, time_s: f64, power_w: f64) -> PipelineBuilder {
+        self.p2p_time_s = time_s;
+        self.p2p_power_w = power_w;
+        self
+    }
+
+    /// Builds the DAG.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::EmptyPipeline`] if either dimension is zero;
+    /// [`ScheduleError::MicrobatchesNotDivisible`] for invalid interleaved
+    /// configurations.
+    pub fn build(&self) -> Result<PipelineDag, ScheduleError> {
+        if self.n_stages == 0 || self.n_microbatches == 0 {
+            return Err(ScheduleError::EmptyPipeline);
+        }
+        let (n, m) = (self.n_stages, self.n_microbatches);
+        let v = self.kind.chunks();
+        if v > 1 && m % n != 0 {
+            return Err(ScheduleError::MicrobatchesNotDivisible { microbatches: m, stages: n });
+        }
+        let mut dag: Dag<PipeNode, DepKind> =
+            Dag::with_capacity(2 * n * m * v + 2, 4 * n * m * v);
+        let source = dag.add_node(PipeNode::Source);
+        let sink = dag.add_node(PipeNode::Sink);
+
+        // Create computation nodes per stage program.
+        let programs: Vec<Vec<crate::schedule::Instruction>> =
+            (0..n).map(|s| stage_program(self.kind, s, n, m)).collect();
+        let idx = |kind: CompKind| match kind {
+            CompKind::Forward => 0usize,
+            CompKind::Backward => 1,
+            CompKind::Recompute => 2,
+        };
+        // node id of each (stage, mb, chunk, kind)
+        let slot = |s: usize, mb: usize, c: usize| (s * m + mb) * v + c;
+        let mut node_of = vec![[None::<NodeId>; 3]; n * m * v];
+        for (s, prog) in programs.iter().enumerate() {
+            for ins in prog {
+                let c = Computation {
+                    stage: s,
+                    microbatch: ins.microbatch,
+                    chunk: ins.chunk,
+                    kind: ins.kind,
+                };
+                let id = dag.add_node(PipeNode::Comp(c));
+                node_of[slot(s, ins.microbatch, ins.chunk)][idx(ins.kind)] = Some(id);
+            }
+        }
+        let node = |s: usize, mb: usize, c: usize, k: CompKind| -> NodeId {
+            node_of[slot(s, mb, c)][idx(k)].expect("schedule emits every computation")
+        };
+
+        // Intra-stage program order.
+        for (s, prog) in programs.iter().enumerate() {
+            // Optional data loading before each first-stage forward of the
+            // first chunk (inputs enter the pipeline there).
+            if s == 0 && self.data_load_time_s > 0.0 {
+                for mb in 0..m {
+                    let load = dag.add_node(PipeNode::Fixed {
+                        label: format!("dataload.{mb}"),
+                        stage: 0,
+                        time_s: self.data_load_time_s,
+                        power_w: self.data_load_power_w,
+                    });
+                    dag.add_edge_unchecked(source, load, DepKind::Boundary);
+                    dag.add_edge_unchecked(
+                        load,
+                        node(0, mb, 0, CompKind::Forward),
+                        DepKind::InterStage,
+                    );
+                }
+            }
+            for pair in prog.windows(2) {
+                let a = node(s, pair[0].microbatch, pair[0].chunk, pair[0].kind);
+                let b = node(s, pair[1].microbatch, pair[1].chunk, pair[1].kind);
+                dag.add_edge_unchecked(a, b, DepKind::IntraStage);
+            }
+            let first = prog.first().expect("non-empty program");
+            let last = prog.last().expect("non-empty program");
+            dag.add_edge_unchecked(
+                source,
+                node(s, first.microbatch, first.chunk, first.kind),
+                DepKind::Boundary,
+            );
+            dag.add_edge_unchecked(
+                node(s, last.microbatch, last.chunk, last.kind),
+                sink,
+                DepKind::Boundary,
+            );
+        }
+
+        // Inter-stage activation / gradient dependencies over the virtual
+        // stage sequence 0 .. N·v − 1 (virtual stage u = chunk·N + stage).
+        let connect = |dag: &mut Dag<PipeNode, DepKind>, a: NodeId, b: NodeId, stage: usize| {
+            if self.p2p_time_s > 0.0 {
+                let hop = dag.add_node(PipeNode::Fixed {
+                    label: format!("p2p.s{stage}"),
+                    stage,
+                    time_s: self.p2p_time_s,
+                    power_w: self.p2p_power_w,
+                });
+                dag.add_edge_unchecked(a, hop, DepKind::InterStage);
+                dag.add_edge_unchecked(hop, b, DepKind::InterStage);
+            } else {
+                dag.add_edge_unchecked(a, b, DepKind::InterStage);
+            }
+        };
+        let by_vstage = |u: usize| (u % n, u / n); // (stage, chunk)
+        let total_vstages = n * v;
+        for mb in 0..m {
+            for u in 0..total_vstages - 1 {
+                let (s0, c0) = by_vstage(u);
+                let (s1, c1) = by_vstage(u + 1);
+                let a = node(s0, mb, c0, CompKind::Forward);
+                let b = node(s1, mb, c1, CompKind::Forward);
+                connect(&mut dag, a, b, s0);
+                let a = node(s1, mb, c1, CompKind::Backward);
+                let b = node(s0, mb, c0, CompKind::Backward);
+                connect(&mut dag, a, b, s1);
+            }
+            // Turnaround at the last virtual stage: its backward (or its
+            // recompute) needs its own forward.
+            let (s_last, c_last) = by_vstage(total_vstages - 1);
+            let turn_src = node(s_last, mb, c_last, CompKind::Forward);
+            let turn_dst = if matches!(self.kind, ScheduleKind::EarlyRecompute1F1B) {
+                node(s_last, mb, c_last, CompKind::Recompute)
+            } else {
+                node(s_last, mb, c_last, CompKind::Backward)
+            };
+            dag.add_edge_unchecked(turn_src, turn_dst, DepKind::InterStage);
+            // Recompute of (s, c, mb) requires the stage's own forward; the
+            // backward then requires the recompute.
+            if matches!(self.kind, ScheduleKind::EarlyRecompute1F1B) {
+                for s in 0..n {
+                    let f = node(s, mb, 0, CompKind::Forward);
+                    let r = node(s, mb, 0, CompKind::Recompute);
+                    let b = node(s, mb, 0, CompKind::Backward);
+                    dag.add_edge_unchecked(f, r, DepKind::IntraStage);
+                    dag.add_edge_unchecked(r, b, DepKind::IntraStage);
+                }
+            }
+        }
+
+        Ok(PipelineDag {
+            dag,
+            source,
+            sink,
+            kind: self.kind,
+            n_stages: n,
+            n_microbatches: m,
+        })
+    }
+}
+
+/// A lowered pipeline iteration: the computation DAG plus metadata.
+#[derive(Debug, Clone)]
+pub struct PipelineDag {
+    /// The node-centric computation DAG (§3.2).
+    pub dag: Dag<PipeNode, DepKind>,
+    /// Virtual start event.
+    pub source: NodeId,
+    /// Virtual end event.
+    pub sink: NodeId,
+    /// Schedule that generated this DAG.
+    pub kind: ScheduleKind,
+    /// Pipeline depth.
+    pub n_stages: usize,
+    /// Microbatches per iteration.
+    pub n_microbatches: usize,
+}
+
+impl PipelineDag {
+    /// Iterator over `(node, computation)` for all computation nodes.
+    pub fn computations(&self) -> impl Iterator<Item = (NodeId, &Computation)> + '_ {
+        self.dag.node_ids().filter_map(move |id| self.dag.node(id).as_comp().map(|c| (id, c)))
+    }
+
+    /// Iterator over `(node, stage, time_s, power_w)` for fixed-time nodes.
+    pub fn fixed_ops(&self) -> impl Iterator<Item = (NodeId, usize, f64, f64)> + '_ {
+        self.dag.node_ids().filter_map(move |id| match self.dag.node(id) {
+            PipeNode::Fixed { stage, time_s, power_w, .. } => Some((id, *stage, *time_s, *power_w)),
+            _ => None,
+        })
+    }
+
+    /// Total computation nodes.
+    pub fn computation_count(&self) -> usize {
+        self.computations().count()
+    }
+
+    /// Model chunks per stage (1 unless interleaved).
+    pub fn chunks(&self) -> usize {
+        self.kind.chunks()
+    }
+}

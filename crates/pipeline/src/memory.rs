@@ -1,0 +1,123 @@
+//! Activation-memory analysis of pipeline schedules.
+//!
+//! The paper enables activation recomputation "to allow large batch sizes
+//! to fit in GPUs" (§5): the schedule choice decides how many microbatch
+//! activations each stage must hold simultaneously. This module derives
+//! that peak from the instruction programs — useful for choosing between
+//! GPipe (peak `M` everywhere), 1F1B (peak `≈ N − s`), and interleaved
+//! 1F1B (per-chunk stashes) before committing to a configuration.
+
+use crate::schedule::{stage_program, CompKind, ScheduleKind};
+
+/// Peak activation stash per stage, in units of "one microbatch's boundary
+/// activations for one model chunk".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryProfile {
+    /// Peak simultaneously-held activations, indexed by stage.
+    pub peak_activations: Vec<usize>,
+}
+
+impl MemoryProfile {
+    /// The worst stage's peak (memory capacity must cover it).
+    pub fn max_peak(&self) -> usize {
+        self.peak_activations.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the activation peaks of `kind` with `n_stages` stages and
+/// `n_microbatches` microbatches.
+///
+/// A `Forward` stores one activation unit; the matching `Backward`
+/// releases it. `Recompute` is neutral: with early recomputation the
+/// stage keeps only the boundary activation (already counted by its
+/// forward) and rebuilds the rest transiently.
+pub fn activation_memory(
+    kind: ScheduleKind,
+    n_stages: usize,
+    n_microbatches: usize,
+) -> MemoryProfile {
+    let peak_activations = (0..n_stages)
+        .map(|s| {
+            let mut held: i64 = 0;
+            let mut peak: i64 = 0;
+            for ins in stage_program(kind, s, n_stages, n_microbatches) {
+                match ins.kind {
+                    CompKind::Forward => {
+                        held += 1;
+                        peak = peak.max(held);
+                    }
+                    CompKind::Backward => held -= 1,
+                    CompKind::Recompute => {}
+                }
+            }
+            debug_assert_eq!(held, 0, "every forward must be released by a backward");
+            peak as usize
+        })
+        .collect();
+    MemoryProfile { peak_activations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpipe_holds_all_microbatches() {
+        let p = activation_memory(ScheduleKind::GPipe, 4, 8);
+        assert_eq!(p.peak_activations, vec![8, 8, 8, 8]);
+        assert_eq!(p.max_peak(), 8);
+    }
+
+    #[test]
+    fn one_f_one_b_peak_is_pipeline_depth_bound() {
+        // The memory win of 1F1B [Narayanan et al. '21]: stage s holds at
+        // most min(N - s, M) activations, independent of M beyond that.
+        for (n, m) in [(4usize, 8usize), (4, 16), (8, 32), (2, 1)] {
+            let p = activation_memory(ScheduleKind::OneFOneB, n, m);
+            for (s, &peak) in p.peak_activations.iter().enumerate() {
+                assert_eq!(peak, (n - s).min(m), "N={n} M={m} stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_recompute_matches_plain_1f1b_boundaries() {
+        let plain = activation_memory(ScheduleKind::OneFOneB, 4, 8);
+        let er = activation_memory(ScheduleKind::EarlyRecompute1F1B, 4, 8);
+        assert_eq!(plain, er, "recompute instructions must not change boundary stashes");
+    }
+
+    #[test]
+    fn interleaving_trades_memory_for_bubble() {
+        // v chunks: stage 0 stashes more in-flight activations than plain
+        // 1F1B (deeper warmup), but far fewer than GPipe.
+        let n = 4;
+        let m = 16;
+        let plain = activation_memory(ScheduleKind::OneFOneB, n, m).max_peak();
+        let inter =
+            activation_memory(ScheduleKind::Interleaved1F1B { chunks: 2 }, n, m).max_peak();
+        let gpipe = activation_memory(ScheduleKind::GPipe, n, m).max_peak();
+        assert!(inter > plain, "interleaving stashes more: {inter} vs {plain}");
+        assert!(inter < gpipe, "but far less than GPipe: {inter} vs {gpipe}");
+    }
+
+    #[test]
+    fn memory_never_negative_and_balanced() {
+        // The debug_assert inside checks balance; exercise many shapes.
+        for kind in [
+            ScheduleKind::OneFOneB,
+            ScheduleKind::GPipe,
+            ScheduleKind::EarlyRecompute1F1B,
+            ScheduleKind::Interleaved1F1B { chunks: 2 },
+        ] {
+            for (n, m) in [(2usize, 4usize), (4, 8), (8, 16)] {
+                if kind.chunks() > 1 && m % n != 0 {
+                    continue;
+                }
+                let p = activation_memory(kind, n, m);
+                assert_eq!(p.peak_activations.len(), n);
+                assert!(p.max_peak() >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+use std::collections::HashMap;
+
+use perseus_dag::NodeId;
+
+use crate::builder::{PipeNode, PipelineBuilder, ScheduleError};
+use crate::render::{node_start_times, render_timeline};
+use crate::schedule::{stage_program, CompKind, ScheduleKind};
+
+const ALL_KINDS: [ScheduleKind; 3] =
+    [ScheduleKind::OneFOneB, ScheduleKind::GPipe, ScheduleKind::EarlyRecompute1F1B];
+
+#[test]
+fn programs_emit_every_computation_once() {
+    for kind in ALL_KINDS {
+        for (n, m) in [(2, 2), (4, 8), (8, 3), (1, 5), (4, 1)] {
+            for s in 0..n {
+                let prog = stage_program(kind, s, n, m);
+                let mut fwd = vec![0; m];
+                let mut bwd = vec![0; m];
+                let mut rec = vec![0; m];
+                for i in &prog {
+                    match i.kind {
+                        CompKind::Forward => fwd[i.microbatch] += 1,
+                        CompKind::Backward => bwd[i.microbatch] += 1,
+                        CompKind::Recompute => rec[i.microbatch] += 1,
+                    }
+                }
+                assert!(fwd.iter().all(|&c| c == 1), "{kind:?} stage {s}: fwd {fwd:?}");
+                assert!(bwd.iter().all(|&c| c == 1), "{kind:?} stage {s}: bwd {bwd:?}");
+                if kind == ScheduleKind::EarlyRecompute1F1B {
+                    assert!(rec.iter().all(|&c| c == 1));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_f_one_b_warmup_depths() {
+    // First stage of a 4-deep pipeline warms up 3 forwards; last stage 0.
+    let prog = stage_program(ScheduleKind::OneFOneB, 0, 4, 8);
+    let warmup: Vec<_> = prog.iter().take_while(|i| i.kind == CompKind::Forward).collect();
+    assert_eq!(warmup.len(), 4); // 3 warmup + the first steady forward
+    let prog = stage_program(ScheduleKind::OneFOneB, 3, 4, 8);
+    assert_eq!(prog[0].kind, CompKind::Forward);
+    assert_eq!(prog[1].kind, CompKind::Backward); // immediate 1F1B
+}
+
+#[test]
+fn backward_before_forward_never_happens_per_microbatch() {
+    for kind in ALL_KINDS {
+        let prog = stage_program(kind, 1, 4, 6);
+        let mut seen_fwd = [false; 6];
+        for i in &prog {
+            match i.kind {
+                CompKind::Forward => seen_fwd[i.microbatch] = true,
+                _ => assert!(seen_fwd[i.microbatch], "{kind:?}: {i:?} before its forward"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dag_is_acyclic_and_complete() {
+    for kind in ALL_KINDS {
+        let pipe = PipelineBuilder::new(kind, 4, 6).build().unwrap();
+        assert!(pipe.dag.topo_order().is_ok(), "{kind:?} produced a cycle");
+        let per_mb = if kind == ScheduleKind::EarlyRecompute1F1B { 3 } else { 2 };
+        assert_eq!(pipe.computation_count(), 4 * 6 * per_mb);
+    }
+}
+
+#[test]
+fn empty_pipeline_rejected() {
+    assert_eq!(
+        PipelineBuilder::new(ScheduleKind::OneFOneB, 0, 4).build().unwrap_err(),
+        ScheduleError::EmptyPipeline
+    );
+    assert_eq!(
+        PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 0).build().unwrap_err(),
+        ScheduleError::EmptyPipeline
+    );
+}
+
+/// Uniform durations: forward 1, backward 2, recompute 1, events 0.
+fn unit_dur(_: NodeId, n: &PipeNode) -> f64 {
+    match n {
+        PipeNode::Comp(c) => match c.kind {
+            CompKind::Forward | CompKind::Recompute => 1.0,
+            CompKind::Backward => 2.0,
+        },
+        PipeNode::Fixed { time_s, .. } => *time_s,
+        _ => 0.0,
+    }
+}
+
+#[test]
+fn one_f_one_b_makespan_matches_analytic_formula() {
+    // With uniform stage times t_f, t_b, 1F1B's iteration time is
+    // (M - 1) · (t_f + t_b) + N · (t_f + t_b)  =  (M + N - 1)(t_f + t_b)
+    // (critical path: fill to last stage, M 1F1B rounds, drain).
+    for (n, m) in [(2, 4), (4, 8), (4, 4), (8, 16)] {
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap();
+        let (_, makespan) = node_start_times(&pipe.dag, unit_dur);
+        let expected = (m + n - 1) as f64 * 3.0;
+        assert!(
+            (makespan - expected).abs() < 1e-9,
+            "N={n} M={m}: makespan {makespan} != {expected}"
+        );
+    }
+}
+
+#[test]
+fn gpipe_slower_or_equal_to_1f1b_in_memory_but_same_time_uniform() {
+    // With uniform stages, GPipe's makespan equals 1F1B's:
+    // (M + N - 1) forwards + (M + N - 1) backwards.
+    let n = 4;
+    let m = 8;
+    let gpipe = PipelineBuilder::new(ScheduleKind::GPipe, n, m).build().unwrap();
+    let (_, t_gpipe) = node_start_times(&gpipe.dag, unit_dur);
+    let expected = (m + n - 1) as f64 * 3.0;
+    assert!((t_gpipe - expected).abs() < 1e-9, "gpipe {t_gpipe} != {expected}");
+}
+
+#[test]
+fn imbalanced_stages_create_gaps() {
+    // Make stage 1 slower: downstream stages must block, so the makespan
+    // exceeds the balanced bound.
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8).build().unwrap();
+    let dur = |_: NodeId, n: &PipeNode| match n {
+        PipeNode::Comp(c) => {
+            let scale = if c.stage == 1 { 1.5 } else { 1.0 };
+            match c.kind {
+                CompKind::Forward | CompKind::Recompute => scale,
+                CompKind::Backward => 2.0 * scale,
+            }
+        }
+        _ => 0.0,
+    };
+    let (_, t) = node_start_times(&pipe.dag, dur);
+    let balanced = (8 + 4 - 1) as f64 * 3.0;
+    assert!(t > balanced, "imbalance must lengthen the pipeline: {t} vs {balanced}");
+}
+
+#[test]
+fn early_recompute_lengthens_iteration() {
+    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8).build().unwrap();
+    let er = PipelineBuilder::new(ScheduleKind::EarlyRecompute1F1B, 4, 8).build().unwrap();
+    let (_, t_plain) = node_start_times(&plain.dag, unit_dur);
+    let (_, t_er) = node_start_times(&er.dag, unit_dur);
+    assert!(t_er > t_plain);
+}
+
+#[test]
+fn data_loading_delays_start() {
+    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 4).build().unwrap();
+    let loaded = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 4)
+        .with_data_loading(0.5, 40.0)
+        .build()
+        .unwrap();
+    let (_, t0) = node_start_times(&plain.dag, unit_dur);
+    let (_, t1) = node_start_times(&loaded.dag, unit_dur);
+    assert!(t1 >= t0 + 0.5, "{t1} vs {t0}");
+    assert!(loaded.fixed_ops().count() == 4);
+}
+
+#[test]
+fn p2p_latency_inserts_hops() {
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 2)
+        .with_p2p_latency(0.1, 30.0)
+        .build()
+        .unwrap();
+    // (N-1) forward hops + (N-1) backward hops per microbatch.
+    assert_eq!(pipe.fixed_ops().count(), 2 * 2 * 2);
+    let (_, t) = node_start_times(&pipe.dag, unit_dur);
+    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 2).build().unwrap();
+    let (_, t0) = node_start_times(&plain.dag, unit_dur);
+    assert!(t > t0);
+}
+
+#[test]
+fn dependencies_respected_in_start_times() {
+    for kind in ALL_KINDS {
+        let pipe = PipelineBuilder::new(kind, 4, 6).build().unwrap();
+        let (starts, _) = node_start_times(&pipe.dag, unit_dur);
+        let mut start_of: HashMap<(usize, usize, CompKind), f64> = HashMap::new();
+        let mut dur_of: HashMap<(usize, usize, CompKind), f64> = HashMap::new();
+        for (id, c) in pipe.computations() {
+            start_of.insert((c.stage, c.microbatch, c.kind), starts[id.index()]);
+            dur_of.insert((c.stage, c.microbatch, c.kind), unit_dur(id, pipe.dag.node(id)));
+        }
+        for mb in 0..6 {
+            for s in 0..3 {
+                // Forward flows down.
+                let a = start_of[&(s, mb, CompKind::Forward)] + dur_of[&(s, mb, CompKind::Forward)];
+                assert!(start_of[&(s + 1, mb, CompKind::Forward)] >= a - 1e-9);
+                // Backward flows up.
+                let b =
+                    start_of[&(s + 1, mb, CompKind::Backward)] + dur_of[&(s + 1, mb, CompKind::Backward)];
+                assert!(start_of[&(s, mb, CompKind::Backward)] >= b - 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn timeline_renders_all_stages() {
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6).build().unwrap();
+    let s = render_timeline(&pipe, unit_dur, 80);
+    assert_eq!(s.lines().count(), 5); // 4 stage rows + makespan line
+    assert!(s.contains("S0 |"));
+    assert!(s.contains("S3 |"));
+    assert!(s.contains("makespan"));
+    assert!(s.contains('b'), "backward blocks should appear");
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dag_always_acyclic(
+            n in 1usize..9,
+            m in 1usize..17,
+            kind_idx in 0usize..3,
+        ) {
+            let kind = ALL_KINDS[kind_idx];
+            let pipe = PipelineBuilder::new(kind, n, m).build().unwrap();
+            prop_assert!(pipe.dag.topo_order().is_ok());
+        }
+
+        #[test]
+        fn makespan_lower_bound_is_busiest_stage(
+            n in 1usize..6,
+            m in 1usize..10,
+            fscale in 0.5f64..3.0,
+        ) {
+            // Makespan >= any single stage's total busy time.
+            let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap();
+            let dur = |_: NodeId, node: &PipeNode| match node {
+                PipeNode::Comp(c) => match c.kind {
+                    CompKind::Forward | CompKind::Recompute => fscale,
+                    CompKind::Backward => 2.0 * fscale,
+                },
+                _ => 0.0,
+            };
+            let (_, t) = node_start_times(&pipe.dag, dur);
+            let busiest = m as f64 * 3.0 * fscale;
+            prop_assert!(t >= busiest - 1e-9);
+        }
+    }
+}
+
+mod interleaved {
+    use super::*;
+    use crate::schedule::Computation;
+
+    const V: usize = 2;
+
+    fn kind() -> ScheduleKind {
+        ScheduleKind::Interleaved1F1B { chunks: V }
+    }
+
+    #[test]
+    fn emits_every_chunk_microbatch_pair_once() {
+        let (n, m) = (4usize, 8usize);
+        for s in 0..n {
+            let prog = stage_program(kind(), s, n, m);
+            let mut fwd = vec![0usize; m * V];
+            let mut bwd = vec![0usize; m * V];
+            for i in &prog {
+                let slot = i.chunk * m + i.microbatch;
+                match i.kind {
+                    CompKind::Forward => fwd[slot] += 1,
+                    CompKind::Backward => bwd[slot] += 1,
+                    CompKind::Recompute => unreachable!("no recompute in interleaved"),
+                }
+            }
+            assert!(fwd.iter().all(|&c| c == 1), "stage {s} fwd: {fwd:?}");
+            assert!(bwd.iter().all(|&c| c == 1), "stage {s} bwd: {bwd:?}");
+        }
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_complete() {
+        let pipe = PipelineBuilder::new(kind(), 4, 8).build().unwrap();
+        assert!(pipe.dag.topo_order().is_ok());
+        assert_eq!(pipe.computation_count(), 4 * 8 * V * 2);
+        assert_eq!(pipe.chunks(), V);
+    }
+
+    #[test]
+    fn rejects_non_divisible_microbatches() {
+        let err = PipelineBuilder::new(kind(), 4, 6).build().unwrap_err();
+        assert!(matches!(err, ScheduleError::MicrobatchesNotDivisible { .. }));
+    }
+
+    #[test]
+    fn shrinks_pipeline_bubble_versus_plain_1f1b() {
+        // Interleaving's whole point: with v chunks the warmup bubble
+        // shrinks ~v-fold. Compare makespans with uniform per-computation
+        // durations scaled so total work per stage matches (each chunk
+        // carries 1/v of the stage's layers).
+        let (n, m) = (4usize, 8usize);
+        let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap();
+        let inter = PipelineBuilder::new(kind(), n, m).build().unwrap();
+        let dur_plain = |_: NodeId, node: &PipeNode| match node {
+            PipeNode::Comp(c) => match c.kind {
+                CompKind::Forward | CompKind::Recompute => 1.0,
+                CompKind::Backward => 2.0,
+            },
+            _ => 0.0,
+        };
+        let dur_inter = |_: NodeId, node: &PipeNode| match node {
+            PipeNode::Comp(c) => match c.kind {
+                CompKind::Forward | CompKind::Recompute => 1.0 / V as f64,
+                CompKind::Backward => 2.0 / V as f64,
+            },
+            _ => 0.0,
+        };
+        let (_, t_plain) = node_start_times(&plain.dag, dur_plain);
+        let (_, t_inter) = node_start_times(&inter.dag, dur_inter);
+        assert!(
+            t_inter < t_plain,
+            "interleaving should shrink the bubble: {t_inter} vs {t_plain}"
+        );
+        // Same steady-state work: the win is bounded by the bubble size.
+        let steady = m as f64 * 3.0;
+        assert!(t_inter >= steady, "cannot beat the busy bound");
+    }
+
+    #[test]
+    fn forward_chunk_dependencies_respected() {
+        let (n, m) = (2usize, 4usize);
+        let pipe = PipelineBuilder::new(ScheduleKind::Interleaved1F1B { chunks: 2 }, n, m)
+            .build()
+            .unwrap();
+        let dur = |_: NodeId, node: &PipeNode| match node {
+            PipeNode::Comp(_) => 1.0,
+            _ => 0.0,
+        };
+        let (starts, _) = node_start_times(&pipe.dag, dur);
+        let mut start_of = std::collections::HashMap::new();
+        for (id, c) in pipe.computations() {
+            start_of.insert(*c, starts[id.index()]);
+        }
+        // Virtual stage order: (s0,c0) -> (s1,c0) -> (s0,c1) -> (s1,c1).
+        for mb in 0..m {
+            let seq = [
+                Computation { stage: 0, microbatch: mb, chunk: 0, kind: CompKind::Forward },
+                Computation { stage: 1, microbatch: mb, chunk: 0, kind: CompKind::Forward },
+                Computation { stage: 0, microbatch: mb, chunk: 1, kind: CompKind::Forward },
+                Computation { stage: 1, microbatch: mb, chunk: 1, kind: CompKind::Forward },
+            ];
+            for pair in seq.windows(2) {
+                assert!(
+                    start_of[&pair[1]] >= start_of[&pair[0]] + 1.0 - 1e-9,
+                    "{} must follow {}",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Exponential time–energy fit: `e(t) = a·e^{b·t} + c` with `a > 0, b < 0`.
+//!
+//! §4.1 relaxes the discrete frequency choices into this continuous family;
+//! its slope supplies the flow capacities of the Capacity DAG (Appendix D:
+//! `e⁺ = e(t−τ) − e(t)`, `e⁻ = e(t) − e(t+τ)`).
+
+use std::fmt;
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer than two distinct (time, energy) points.
+    TooFewPoints(usize),
+    /// Points are not a decreasing tradeoff (e.g. all identical times).
+    Degenerate,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewPoints(n) => write!(f, "need at least 2 points, got {n}"),
+            FitError::Degenerate => write!(f, "points do not form a time-energy tradeoff"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted `e(t) = a·e^{b·(t − t0)} + c` curve.
+///
+/// `t0` anchors the exponential at the point set's earliest time so the
+/// evaluation stays numerically stable even when absolute times are large
+/// relative to their span (un-anchored, `exp(b·t)` underflows for steep
+/// `b`, silently flattening the fit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpFit {
+    /// Amplitude at `t0`, `> 0`.
+    pub a: f64,
+    /// Decay rate, `< 0` (energy falls as allotted time grows).
+    pub b: f64,
+    /// Asymptotic energy floor.
+    pub c: f64,
+    /// Time origin of the fit (earliest fitted point).
+    pub t0: f64,
+}
+
+impl ExpFit {
+    /// Least-squares fit to `(time, energy)` points.
+    ///
+    /// For each candidate decay rate `b` the optimal `(a, c)` follow from a
+    /// 2×2 linear system; `b` itself is found by golden-section search over
+    /// a wide log range, seeded by a coarse grid. This is robust for the
+    /// convex, monotone point sets the profiler produces.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewPoints`] with fewer than two points,
+    /// [`FitError::Degenerate`] if all times coincide.
+    pub fn fit(points: &[(f64, f64)]) -> Result<ExpFit, FitError> {
+        if points.len() < 2 {
+            return Err(FitError::TooFewPoints(points.len()));
+        }
+        let t_lo = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let t_hi = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let span = t_hi - t_lo;
+        if !(span.is_finite() && span > 0.0) {
+            return Err(FitError::Degenerate);
+        }
+
+        // Shift times to the origin for numerical stability.
+        let shifted: Vec<(f64, f64)> = points.iter().map(|&(t, e)| (t - t_lo, e)).collect();
+        // Candidate |b| from very flat (0.01/span) to very steep (50/span).
+        let sse_for = |b: f64| -> (f64, f64, f64) {
+            let (a, c) = solve_ac(&shifted, b);
+            let sse: f64 = shifted
+                .iter()
+                .map(|&(t, e)| {
+                    let r = a * (b * t).exp() + c - e;
+                    r * r
+                })
+                .sum();
+            (sse, a, c)
+        };
+
+        let mut best = (f64::INFINITY, 0.0, 0.0, -1.0 / span);
+        let steps = 64;
+        for i in 0..steps {
+            let mag = 0.01 * (50.0f64 / 0.01).powf(i as f64 / (steps - 1) as f64);
+            let b = -mag / span;
+            let (sse, a, c) = sse_for(b);
+            if sse < best.0 && a > 0.0 {
+                best = (sse, a, c, b);
+            }
+        }
+        // Golden-section refine around the best grid b (in log-magnitude).
+        let phi = 0.618_033_988_75;
+        let center = (-best.3 * span).ln();
+        let (mut lo, mut hi) = (center - 0.7, center + 0.7);
+        for _ in 0..48 {
+            let m1 = hi - phi * (hi - lo);
+            let m2 = lo + phi * (hi - lo);
+            let f1 = sse_for(-m1.exp() / span).0;
+            let f2 = sse_for(-m2.exp() / span).0;
+            if f1 < f2 {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        let b = -(0.5 * (lo + hi)).exp() / span;
+        let (sse, a, c) = sse_for(b);
+        let (_, a, c, b) = if sse <= best.0 && a > 0.0 { (sse, a, c, b) } else { best };
+        if !(a.is_finite() && b.is_finite() && c.is_finite()) || a <= 0.0 {
+            return Err(FitError::Degenerate);
+        }
+        Ok(ExpFit { a, b, c, t0: t_lo })
+    }
+
+    /// Fitted energy at time `t`.
+    pub fn energy(&self, t: f64) -> f64 {
+        self.a * (self.b * (t - self.t0)).exp() + self.c
+    }
+
+    /// Fitted `de/dt` at `t` (negative: more time, less energy).
+    pub fn slope(&self, t: f64) -> f64 {
+        self.a * self.b * (self.b * (t - self.t0)).exp()
+    }
+
+    /// Extra energy to speed this computation up from `t` to `t − tau`
+    /// (`e⁺` of Appendix D). Positive.
+    pub fn speedup_cost(&self, t: f64, tau: f64) -> f64 {
+        self.energy(t - tau) - self.energy(t)
+    }
+
+    /// Energy saved by slowing down from `t` to `t + tau`
+    /// (`e⁻` of Appendix D). Positive.
+    pub fn slowdown_gain(&self, t: f64, tau: f64) -> f64 {
+        self.energy(t) - self.energy(t + tau)
+    }
+}
+
+/// Given `b`, least-squares `(a, c)` for `e ≈ a·e^{bt} + c`.
+fn solve_ac(points: &[(f64, f64)], b: f64) -> (f64, f64) {
+    let n = points.len() as f64;
+    let mut sx = 0.0;
+    let mut sxx = 0.0;
+    let mut sy = 0.0;
+    let mut sxy = 0.0;
+    for &(t, e) in points {
+        let x = (b * t).exp();
+        sx += x;
+        sxx += x * x;
+        sy += e;
+        sxy += x * e;
+    }
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-300 {
+        return (0.0, sy / n);
+    }
+    let a = (n * sxy - sx * sy) / det;
+    let c = (sy - a * sx) / n;
+    (a, c)
+}

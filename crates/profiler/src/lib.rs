@@ -1,0 +1,43 @@
+//! Online time/energy profiling and continuous time–energy fits.
+//!
+//! The Perseus client measures each forward/backward computation *in vivo*
+//! at the start of training (§5): the GPU frequency is swept from the
+//! highest to the lowest at iteration granularity and the sweep stops once
+//! energy starts increasing (frequencies beyond that point cost more time
+//! *and* more energy). The server then relaxes the discrete choices into a
+//! continuous exponential `e(t) = a·e^{b·t} + c` fitted to the
+//! Pareto-optimal measurements (§4.1) — the relaxation that makes the
+//! otherwise NP-hard Pipeline Energy Minimization problem tractable.
+//!
+//! This crate provides:
+//!
+//! * [`OpProfile`] — the per-computation measurement table with Pareto
+//!   filtering and the fitted [`ExpFit`],
+//! * [`OnlineProfiler`] — the §5 sweep protocol against a simulated device,
+//!   with early stopping and overhead accounting,
+//! * [`ProfileDb`] — a keyed collection of profiles (one per
+//!   stage × {forward, backward} in pipeline use).
+//!
+//! # Examples
+//!
+//! ```
+//! use perseus_gpu::{GpuSpec, SimGpu, Workload};
+//! use perseus_profiler::OnlineProfiler;
+//!
+//! let spec = GpuSpec::a100_pcie();
+//! let w = Workload::new(60.0, 0.008, 0.9);
+//! let mut gpu = SimGpu::new(spec.clone());
+//! let profile = OnlineProfiler::default().profile(&mut gpu, &w);
+//! let fit = profile.fit().unwrap();
+//! // Energy decreases as we allow more time (b < 0 ⇒ decreasing curve).
+//! assert!(fit.energy(profile.t_min()) > fit.energy(profile.t_max()));
+//! ```
+
+mod fit;
+mod profile;
+
+pub use fit::{ExpFit, FitError};
+pub use profile::{OnlineProfiler, OpProfile, ProfileDb, ProfileEntry, ProfileError};
+
+#[cfg(test)]
+mod tests;

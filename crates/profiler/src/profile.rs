@@ -1,0 +1,275 @@
+//! Per-computation profiles and the §5 online sweep protocol.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use perseus_gpu::{FreqMHz, GpuSpec, SimGpu, Workload};
+
+use crate::fit::{ExpFit, FitError};
+
+/// One measured operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileEntry {
+    /// Locked SM frequency during the measurement.
+    pub freq: FreqMHz,
+    /// Measured computation latency, seconds.
+    pub time_s: f64,
+    /// Measured computation energy, joules.
+    pub energy_j: f64,
+}
+
+/// Errors from profile queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The profile holds no measurements.
+    Empty,
+    /// Fit failure.
+    Fit(FitError),
+    /// No frequency satisfies the deadline.
+    DeadlineTooTight {
+        /// Requested deadline, seconds.
+        deadline_s: f64,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Empty => write!(f, "profile has no measurements"),
+            ProfileError::Fit(e) => write!(f, "fit failed: {e}"),
+            ProfileError::DeadlineTooTight { deadline_s } => {
+                write!(f, "no frequency meets deadline {deadline_s} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<FitError> for ProfileError {
+    fn from(e: FitError) -> Self {
+        ProfileError::Fit(e)
+    }
+}
+
+/// The time/energy profile of one computation type across frequencies.
+#[derive(Debug, Clone)]
+pub struct OpProfile {
+    /// Raw measurements, descending in frequency (sweep order).
+    entries: Vec<ProfileEntry>,
+    /// Pareto-optimal subset, ascending in time.
+    pareto: Vec<ProfileEntry>,
+}
+
+impl OpProfile {
+    /// Builds a profile from raw measurements (any order); Pareto points
+    /// are extracted automatically.
+    pub fn from_entries(mut entries: Vec<ProfileEntry>) -> OpProfile {
+        entries.sort_by_key(|x| std::cmp::Reverse(x.freq));
+        let mut by_time = entries.clone();
+        by_time.sort_by(|x, y| x.time_s.total_cmp(&y.time_s));
+        let mut pareto = Vec::new();
+        let mut best_e = f64::INFINITY;
+        for p in by_time {
+            if p.energy_j < best_e {
+                best_e = p.energy_j;
+                pareto.push(p);
+            }
+        }
+        OpProfile { entries, pareto }
+    }
+
+    /// Noise-free analytic profile straight from the GPU model: the basis
+    /// of the paper's large-scale *emulation* (§6.3, "grounded on
+    /// fine-grained profiling").
+    pub fn from_model(spec: &GpuSpec, w: &Workload) -> OpProfile {
+        let entries = spec
+            .frequencies()
+            .into_iter()
+            .rev()
+            .map(|f| ProfileEntry { freq: f, time_s: spec.time(w, f), energy_j: spec.energy(w, f) })
+            .collect();
+        OpProfile::from_entries(entries)
+    }
+
+    /// All raw measurements, descending in frequency.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Pareto-optimal points, ascending in time.
+    pub fn pareto(&self) -> &[ProfileEntry] {
+        &self.pareto
+    }
+
+    /// Shortest achievable latency (max frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty profile; construct via the provided builders.
+    pub fn t_min(&self) -> f64 {
+        self.pareto.first().expect("non-empty profile").time_s
+    }
+
+    /// Latency at the minimum-energy frequency — slowing beyond this wastes
+    /// energy (the `T*` bound per computation).
+    pub fn t_max(&self) -> f64 {
+        self.pareto.last().expect("non-empty profile").time_s
+    }
+
+    /// Minimum energy over all measured frequencies.
+    pub fn min_energy(&self) -> f64 {
+        self.pareto.last().expect("non-empty profile").energy_j
+    }
+
+    /// Energy at the maximum frequency.
+    pub fn max_freq_energy(&self) -> f64 {
+        self.pareto.first().expect("non-empty profile").energy_j
+    }
+
+    /// Fits the continuous relaxation to the Pareto points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FitError`] for degenerate profiles.
+    pub fn fit(&self) -> Result<ExpFit, FitError> {
+        let pts: Vec<(f64, f64)> = self.pareto.iter().map(|p| (p.time_s, p.energy_j)).collect();
+        ExpFit::fit(&pts)
+    }
+
+    /// The slowest measured frequency whose latency is at most `deadline`
+    /// (§4.3's schedule-to-frequency conversion), with its entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::DeadlineTooTight`] if even the fastest measurement
+    /// misses the deadline, [`ProfileError::Empty`] on an empty profile.
+    pub fn slowest_within(&self, deadline: f64) -> Result<ProfileEntry, ProfileError> {
+        if self.pareto.is_empty() {
+            return Err(ProfileError::Empty);
+        }
+        // Pareto points ascend in time; take the last one <= deadline.
+        let mut chosen = None;
+        for p in &self.pareto {
+            if p.time_s <= deadline + 1e-12 {
+                chosen = Some(*p);
+            } else {
+                break;
+            }
+        }
+        chosen.ok_or(ProfileError::DeadlineTooTight { deadline_s: deadline })
+    }
+
+    /// Interpolated energy at planned duration `t` using the fitted curve,
+    /// clamped to the measured range.
+    pub fn planned_energy(&self, fit: &ExpFit, t: f64) -> f64 {
+        fit.energy(t.clamp(self.t_min(), self.t_max()))
+    }
+
+    /// The raw measurement taken at exactly `freq`, if the sweep visited it.
+    pub fn entry_at(&self, freq: FreqMHz) -> Option<ProfileEntry> {
+        self.entries.iter().find(|e| e.freq == freq).copied()
+    }
+}
+
+/// The §5 online profiling protocol: sweep frequencies from highest to
+/// lowest at iteration granularity, averaging `reps` measurements each,
+/// stopping once energy rises past the best seen (with patience for noise).
+#[derive(Debug, Clone)]
+pub struct OnlineProfiler {
+    /// Iterations averaged per frequency.
+    pub reps: usize,
+    /// Sweep stops after energy exceeds the best seen by this relative
+    /// margin for `patience` consecutive frequencies.
+    pub rise_margin: f64,
+    /// Consecutive rising frequencies tolerated before stopping.
+    pub patience: usize,
+}
+
+impl Default for OnlineProfiler {
+    fn default() -> Self {
+        OnlineProfiler { reps: 3, rise_margin: 0.01, patience: 2 }
+    }
+}
+
+impl OnlineProfiler {
+    /// Runs the sweep for workload `w` on `gpu`. The device's simulated
+    /// clock advances by the full profiling cost; read it before/after for
+    /// §6.5-style overhead accounting.
+    pub fn profile(&self, gpu: &mut SimGpu, w: &Workload) -> OpProfile {
+        let mut entries = Vec::new();
+        let mut best_e = f64::INFINITY;
+        let mut rising = 0usize;
+        let freqs: Vec<FreqMHz> = gpu.spec().frequencies().into_iter().rev().collect();
+        let restore = gpu.locked_freq();
+        for f in freqs {
+            gpu.set_frequency(f).expect("sweeping supported frequencies");
+            let mut t_sum = 0.0;
+            let mut e_sum = 0.0;
+            for _ in 0..self.reps.max(1) {
+                let (t, e) = gpu.run(w);
+                t_sum += t;
+                e_sum += e;
+            }
+            let reps = self.reps.max(1) as f64;
+            let entry = ProfileEntry { freq: f, time_s: t_sum / reps, energy_j: e_sum / reps };
+            entries.push(entry);
+            if entry.energy_j < best_e {
+                best_e = entry.energy_j;
+                rising = 0;
+            } else if entry.energy_j > best_e * (1.0 + self.rise_margin) {
+                rising += 1;
+                if rising >= self.patience {
+                    break;
+                }
+            }
+        }
+        gpu.set_frequency(restore).expect("restoring previous frequency");
+        OpProfile::from_entries(entries)
+    }
+}
+
+/// Keyed profile collection; pipelines key by `(stage, kind)`.
+#[derive(Debug, Clone)]
+pub struct ProfileDb<K: Eq + Hash> {
+    map: HashMap<K, OpProfile>,
+}
+
+impl<K: Eq + Hash> Default for ProfileDb<K> {
+    fn default() -> Self {
+        ProfileDb { map: HashMap::new() }
+    }
+}
+
+impl<K: Eq + Hash> ProfileDb<K> {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the profile for `key`.
+    pub fn insert(&mut self, key: K, profile: OpProfile) {
+        self.map.insert(key, profile);
+    }
+
+    /// Profile for `key`, if recorded.
+    pub fn get(&self, key: &K) -> Option<&OpProfile> {
+        self.map.get(key)
+    }
+
+    /// Number of profiles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no profiles are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(key, profile)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &OpProfile)> {
+        self.map.iter()
+    }
+}

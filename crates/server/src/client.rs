@@ -1,0 +1,171 @@
+//! The Perseus client: per-accelerator profiling and asynchronous
+//! frequency control (§5, Table 2 — `profiler.begin/end`,
+//! `controller.set_speed`).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use perseus_core::EnergySchedule;
+use perseus_gpu::{FreqMHz, SimGpu, Workload};
+use perseus_pipeline::{CompKind, PipelineDag};
+use perseus_profiler::{OnlineProfiler, OpProfile};
+
+enum Cmd {
+    Set(FreqMHz),
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// The asynchronous frequency controller (§5): a separate thread applies
+/// SM-clock changes through the (simulated) NVML interface so the training
+/// loop never blocks on the ~10 ms set latency.
+pub struct AsyncFrequencyController {
+    tx: Sender<Cmd>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AsyncFrequencyController {
+    /// Spawns the controller thread operating on `gpu`.
+    pub fn spawn(gpu: Arc<Mutex<SimGpu>>) -> AsyncFrequencyController {
+        let (tx, rx) = unbounded::<Cmd>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Cmd::Set(f) => {
+                        // Ignore unsupported clocks defensively; the server
+                        // only deploys supported ones.
+                        let _ = gpu.lock().set_frequency(f);
+                    }
+                    Cmd::Flush(done) => {
+                        let _ = done.send(());
+                    }
+                    Cmd::Shutdown => break,
+                }
+            }
+        });
+        AsyncFrequencyController { tx, handle: Some(handle) }
+    }
+
+    /// Queues a frequency change without blocking.
+    pub fn set_speed(&self, f: FreqMHz) {
+        let _ = self.tx.send(Cmd::Set(f));
+    }
+
+    /// Blocks until every queued command has been applied. Tests and
+    /// iteration boundaries use this to make the asynchrony deterministic.
+    pub fn flush(&self) {
+        let (done_tx, done_rx) = unbounded();
+        if self.tx.send(Cmd::Flush(done_tx)).is_ok() {
+            let _ = done_rx.recv();
+        }
+    }
+}
+
+impl Drop for AsyncFrequencyController {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One client process per accelerator (Table 2): owns the device, profiles
+/// computations in vivo, and realizes deployed energy schedules.
+pub struct ClientSession {
+    stage: usize,
+    gpu: Arc<Mutex<SimGpu>>,
+    controller: AsyncFrequencyController,
+    /// Per-kind frequency queues in stage-program order, refilled each
+    /// iteration from the deployed schedule.
+    plan: Vec<(CompKind, FreqMHz)>,
+    cursor: usize,
+    profiling: Option<(CompKind, f64, f64)>,
+}
+
+impl ClientSession {
+    /// Creates a client managing `gpu` for pipeline stage `stage`.
+    pub fn new(stage: usize, gpu: SimGpu) -> ClientSession {
+        let gpu = Arc::new(Mutex::new(gpu));
+        let controller = AsyncFrequencyController::spawn(Arc::clone(&gpu));
+        ClientSession { stage, gpu, controller, plan: Vec::new(), cursor: 0, profiling: None }
+    }
+
+    /// The stage this client serves.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Shared handle to the device (for inspection in tests/emulators).
+    pub fn gpu(&self) -> Arc<Mutex<SimGpu>> {
+        Arc::clone(&self.gpu)
+    }
+
+    /// Table 2 `profiler.begin(type)` — start a time/energy measurement.
+    pub fn begin_profile(&mut self, kind: CompKind) {
+        let g = self.gpu.lock();
+        self.profiling = Some((kind, g.clock_s(), g.energy_counter_j()));
+    }
+
+    /// Table 2 `profiler.end(type)` — finish the measurement started by
+    /// [`ClientSession::begin_profile`]; returns `(time_s, energy_j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement is in flight or the kind mismatches —
+    /// that is a framework-integration bug, mirroring the paper's wrapper
+    /// contract.
+    pub fn end_profile(&mut self, kind: CompKind) -> (f64, f64) {
+        let (k0, t0, e0) = self.profiling.take().expect("begin_profile not called");
+        assert_eq!(k0, kind, "mismatched begin/end profile kinds");
+        let g = self.gpu.lock();
+        (g.clock_s() - t0, g.energy_counter_j() - e0)
+    }
+
+    /// Runs the §5 online frequency sweep for one computation type.
+    pub fn profile_sweep(&mut self, w: &Workload, profiler: &OnlineProfiler) -> OpProfile {
+        profiler.profile(&mut self.gpu.lock(), w)
+    }
+
+    /// Loads the frequencies this stage must use, in stage-program order,
+    /// from a deployed schedule.
+    pub fn load_schedule(&mut self, pipe: &PipelineDag, schedule: &EnergySchedule) {
+        self.plan.clear();
+        self.cursor = 0;
+        // Pipeline nodes are created in stage-program order per stage, so
+        // filtering preserves execution order.
+        for (id, c) in pipe.computations() {
+            if c.stage == self.stage {
+                if let Some(f) = schedule.freq_of(id) {
+                    self.plan.push((c.kind, f));
+                }
+            }
+        }
+    }
+
+    /// Table 2 `controller.set_speed(type)` — called by the training
+    /// framework right before running the next computation of `kind`;
+    /// queues the planned frequency asynchronously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times per iteration than the schedule has
+    /// computations, or out of program order — framework bugs.
+    pub fn set_speed(&mut self, kind: CompKind) {
+        let (k, f) = self.plan.get(self.cursor).copied().expect("schedule exhausted");
+        assert_eq!(k, kind, "set_speed out of program order");
+        self.controller.set_speed(f);
+        self.cursor += 1;
+        if self.cursor == self.plan.len() {
+            self.cursor = 0; // next iteration repeats the plan
+        }
+    }
+
+    /// Waits for queued frequency changes to land (iteration boundary).
+    pub fn sync(&self) {
+        self.controller.flush();
+    }
+}

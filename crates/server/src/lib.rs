@@ -1,0 +1,27 @@
+//! Perseus server and client (paper §5, Table 2).
+//!
+//! The paper splits Perseus into a framework-/hardware-agnostic **server**
+//! and a framework-integrated, device-specific **client**:
+//!
+//! * the server pre-characterizes the iteration time–energy Pareto
+//!   frontier, caches it in a lookup table indexed by the straggler
+//!   iteration time `T'`, and deploys Pareto-optimal energy schedules;
+//! * the client profiles computations online (`profiler.begin/end`) and
+//!   realizes deployed schedules by setting the GPU's SM frequency
+//!   asynchronously right before each forward/backward runs
+//!   (`controller.set_speed`).
+//!
+//! The paper's HTTP/RPC transport is replaced by in-process calls — the
+//! API surface (Table 2) and the control flow (profile → characterize →
+//! deploy → straggler notify → instant re-deploy) are preserved. Time is
+//! the simulated clock of [`perseus_gpu::SimGpu`], advanced explicitly, so
+//! the straggler `delay` semantics are exactly testable.
+
+mod client;
+mod server;
+
+pub use client::{AsyncFrequencyController, ClientSession};
+pub use server::{Deployment, JobSpec, PerseusServer, ServerError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,272 @@
+//! The Perseus server: frontier characterization, schedule cache, and the
+//! straggler notification state machine (§3.2 workflow steps ②–⑤).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use perseus_core::{characterize, CoreError, EnergySchedule, FrontierOptions, ParetoFrontier, PlanContext};
+use perseus_gpu::GpuSpec;
+use perseus_pipeline::{OpKey, PipelineDag};
+use perseus_profiler::ProfileDb;
+
+/// A training job registration: the computation DAG plus the GPU model the
+/// pipeline runs on ("a training job is primarily specified by its
+/// computation DAG", §3.2).
+#[derive(Debug)]
+pub struct JobSpec {
+    /// Unique job name.
+    pub name: String,
+    /// The pipeline's computation DAG for one iteration.
+    pub pipe: PipelineDag,
+    /// GPU model of the pipeline's accelerators.
+    pub gpu: GpuSpec,
+}
+
+/// Errors from server operations.
+#[derive(Debug)]
+pub enum ServerError {
+    /// No job registered under this name.
+    UnknownJob(String),
+    /// A job with this name already exists.
+    DuplicateJob(String),
+    /// The job has not been characterized yet (no profiles submitted).
+    NotCharacterized(String),
+    /// Frontier characterization failed.
+    Core(CoreError),
+    /// Straggler degree must be at least 1.0 (1.0 = back to normal).
+    InvalidDegree(f64),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownJob(n) => write!(f, "unknown job {n:?}"),
+            ServerError::DuplicateJob(n) => write!(f, "job {n:?} already registered"),
+            ServerError::NotCharacterized(n) => write!(f, "job {n:?} has no frontier yet"),
+            ServerError::Core(e) => write!(f, "characterization failed: {e}"),
+            ServerError::InvalidDegree(d) => write!(f, "invalid straggler degree {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}
+
+/// A schedule deployment pushed to the clients.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Monotonic version; clients apply the highest version they have seen.
+    pub version: u64,
+    /// The straggler iteration time this deployment answers (`T_min` when
+    /// there is no straggler).
+    pub t_prime: f64,
+    /// Planned iteration time of the deployed frontier point.
+    pub planned_time_s: f64,
+    /// The deployed schedule.
+    pub schedule: EnergySchedule,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingStraggler {
+    fire_at: f64,
+    gpu_id: usize,
+    degree: f64,
+}
+
+struct JobState {
+    pipe: PipelineDag,
+    gpu: GpuSpec,
+    frontier: Option<ParetoFrontier>,
+    /// Active straggler degree per accelerator id.
+    stragglers: HashMap<usize, f64>,
+    pending: Vec<PendingStraggler>,
+    clock_s: f64,
+    version: u64,
+    deployed: Option<Deployment>,
+}
+
+/// The Perseus server: one per training cluster, managing any number of
+/// jobs.
+#[derive(Default)]
+pub struct PerseusServer {
+    jobs: HashMap<String, JobState>,
+}
+
+impl PerseusServer {
+    /// Creates an empty server.
+    pub fn new() -> PerseusServer {
+        PerseusServer::default()
+    }
+
+    /// Registers a job (§3.2 step ⓪).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateJob`] if the name is taken.
+    pub fn register_job(&mut self, spec: JobSpec) -> Result<(), ServerError> {
+        if self.jobs.contains_key(&spec.name) {
+            return Err(ServerError::DuplicateJob(spec.name));
+        }
+        self.jobs.insert(
+            spec.name,
+            JobState {
+                pipe: spec.pipe,
+                gpu: spec.gpu,
+                frontier: None,
+                stragglers: HashMap::new(),
+                pending: Vec::new(),
+                clock_s: 0.0,
+                version: 0,
+                deployed: None,
+            },
+        );
+        Ok(())
+    }
+
+    fn job_mut(&mut self, name: &str) -> Result<&mut JobState, ServerError> {
+        self.jobs.get_mut(name).ok_or_else(|| ServerError::UnknownJob(name.to_string()))
+    }
+
+    fn job(&self, name: &str) -> Result<&JobState, ServerError> {
+        self.jobs.get(name).ok_or_else(|| ServerError::UnknownJob(name.to_string()))
+    }
+
+    /// Receives the client's profiling results, characterizes the Pareto
+    /// frontier (step ②), and deploys the shortest-iteration-time schedule
+    /// (step ③). Returns that initial deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn submit_profiles(
+        &mut self,
+        name: &str,
+        profiles: ProfileDb<OpKey>,
+        opts: &FrontierOptions,
+    ) -> Result<Deployment, ServerError> {
+        let job = self.job_mut(name)?;
+        let frontier = {
+            let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
+            characterize(&ctx, opts)?
+        };
+        job.frontier = Some(frontier);
+        let deployment = Self::deploy_locked(job);
+        Ok(deployment)
+    }
+
+    /// Effective straggler iteration time given the active stragglers:
+    /// `T' = T_min × max(degree)`.
+    fn effective_t_prime(job: &JobState) -> f64 {
+        let frontier = job.frontier.as_ref().expect("deploy only after characterization");
+        let worst = job.stragglers.values().copied().fold(1.0, f64::max);
+        frontier.t_min() * worst
+    }
+
+    fn deploy_locked(job: &mut JobState) -> Deployment {
+        let t_prime = Self::effective_t_prime(job);
+        let frontier = job.frontier.as_ref().expect("characterized");
+        let point = frontier.lookup(t_prime);
+        job.version += 1;
+        let deployment = Deployment {
+            version: job.version,
+            t_prime,
+            planned_time_s: point.planned_time_s,
+            schedule: point.schedule.clone(),
+        };
+        job.deployed = Some(deployment.clone());
+        deployment
+    }
+
+    /// Table 2 `server.set_straggler(id, delay, degree)`: a straggler on
+    /// accelerator `gpu_id` is anticipated `delay_s` seconds from now with
+    /// iteration-time inflation `degree`. `degree == 1.0` announces the
+    /// straggler's return to normal. Takes effect when the simulated clock
+    /// passes the deadline (see [`PerseusServer::advance_time`]); a zero
+    /// delay applies immediately and returns the new deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::InvalidDegree`] for degrees below 1.0,
+    /// [`ServerError::NotCharacterized`] before profiles are submitted.
+    pub fn set_straggler(
+        &mut self,
+        name: &str,
+        gpu_id: usize,
+        delay_s: f64,
+        degree: f64,
+    ) -> Result<Option<Deployment>, ServerError> {
+        if !(degree >= 1.0 && degree.is_finite()) {
+            return Err(ServerError::InvalidDegree(degree));
+        }
+        let job = self.job_mut(name)?;
+        if job.frontier.is_none() {
+            return Err(ServerError::NotCharacterized(name.to_string()));
+        }
+        if delay_s <= 0.0 {
+            if degree > 1.0 {
+                job.stragglers.insert(gpu_id, degree);
+            } else {
+                job.stragglers.remove(&gpu_id);
+            }
+            return Ok(Some(Self::deploy_locked(job)));
+        }
+        job.pending.push(PendingStraggler { fire_at: job.clock_s + delay_s, gpu_id, degree });
+        Ok(None)
+    }
+
+    /// Advances the job's simulated clock, firing any pending straggler
+    /// notifications whose deadline passed. Returns the deployments issued
+    /// (at most one per distinct firing instant, in order).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for unregistered names.
+    pub fn advance_time(&mut self, name: &str, dt_s: f64) -> Result<Vec<Deployment>, ServerError> {
+        let job = self.job_mut(name)?;
+        job.clock_s += dt_s.max(0.0);
+        let now = job.clock_s;
+        let mut due: Vec<PendingStraggler> =
+            job.pending.iter().copied().filter(|p| p.fire_at <= now).collect();
+        job.pending.retain(|p| p.fire_at > now);
+        due.sort_by(|a, b| a.fire_at.total_cmp(&b.fire_at));
+        let mut deployments = Vec::new();
+        for p in due {
+            if p.degree > 1.0 {
+                job.stragglers.insert(p.gpu_id, p.degree);
+            } else {
+                job.stragglers.remove(&p.gpu_id);
+            }
+            if job.frontier.is_some() {
+                deployments.push(Self::deploy_locked(job));
+            }
+        }
+        Ok(deployments)
+    }
+
+    /// The schedule currently deployed to the job's clients.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotCharacterized`] before the first deployment.
+    pub fn current_deployment(&self, name: &str) -> Result<&Deployment, ServerError> {
+        self.job(name)?
+            .deployed
+            .as_ref()
+            .ok_or_else(|| ServerError::NotCharacterized(name.to_string()))
+    }
+
+    /// The cached frontier for a job, if characterized.
+    pub fn frontier(&self, name: &str) -> Option<&ParetoFrontier> {
+        self.jobs.get(name).and_then(|j| j.frontier.as_ref())
+    }
+
+    /// Registered job names.
+    pub fn job_names(&self) -> Vec<&str> {
+        self.jobs.keys().map(String::as_str).collect()
+    }
+}

@@ -1,0 +1,266 @@
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perseus_core::FrontierOptions;
+use perseus_gpu::{FreqMHz, GpuSpec, SimGpu, Workload};
+use perseus_models::StageWorkloads;
+use perseus_pipeline::{CompKind, OpKey, PipelineBuilder, PipelineDag, ScheduleKind};
+use perseus_profiler::{OnlineProfiler, OpProfile, ProfileDb};
+
+use crate::client::{AsyncFrequencyController, ClientSession};
+use crate::server::{JobSpec, PerseusServer, ServerError};
+
+fn stages() -> Vec<StageWorkloads> {
+    [1.0, 1.15, 0.9]
+        .iter()
+        .map(|&k| StageWorkloads {
+            fwd: Workload::new(40.0 * k, 0.004, 0.85),
+            bwd: Workload::new(80.0 * k, 0.008, 0.92),
+        })
+        .collect()
+}
+
+fn pipe() -> PipelineDag {
+    PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 4).build().unwrap()
+}
+
+fn model_profiles(gpu: &GpuSpec) -> ProfileDb<OpKey> {
+    let mut db = ProfileDb::new();
+    for (s, sw) in stages().iter().enumerate() {
+        db.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Forward }, OpProfile::from_model(gpu, &sw.fwd));
+        db.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Backward }, OpProfile::from_model(gpu, &sw.bwd));
+        db.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Recompute }, OpProfile::from_model(gpu, &sw.fwd));
+    }
+    db
+}
+
+fn server_with_job() -> (PerseusServer, &'static str) {
+    let mut server = PerseusServer::new();
+    server
+        .register_job(JobSpec { name: "gpt".into(), pipe: pipe(), gpu: GpuSpec::a100_pcie() })
+        .unwrap();
+    (server, "gpt")
+}
+
+#[test]
+fn register_and_duplicate() {
+    let (mut server, _) = server_with_job();
+    let err = server
+        .register_job(JobSpec { name: "gpt".into(), pipe: pipe(), gpu: GpuSpec::a100_pcie() })
+        .unwrap_err();
+    assert!(matches!(err, ServerError::DuplicateJob(_)));
+    assert_eq!(server.job_names(), vec!["gpt"]);
+}
+
+#[test]
+fn characterize_deploys_fastest_schedule() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    let d = server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    assert_eq!(d.version, 1);
+    let frontier = server.frontier(job).unwrap();
+    assert_eq!(d.planned_time_s, frontier.t_min());
+    // Workflow step ③: the deployment is cached as current.
+    let cur = server.current_deployment(job).unwrap();
+    assert_eq!(cur.version, 1);
+}
+
+#[test]
+fn straggler_lookup_is_instant_and_correct() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    let (t_min, _) = {
+        let f = server.frontier(job).unwrap();
+        (f.t_min(), f.t_star())
+    };
+    // Immediate straggler with 1.2x slowdown.
+    let d = server.set_straggler(job, 0, 0.0, 1.2).unwrap().unwrap();
+    assert_eq!(d.version, 2);
+    assert!((d.t_prime - t_min * 1.2).abs() < 1e-9);
+    assert!(d.planned_time_s <= d.t_prime + 1e-9);
+    assert!(d.planned_time_s > t_min);
+    // Return to normal: deployment goes back to the fastest point.
+    let d = server.set_straggler(job, 0, 0.0, 1.0).unwrap().unwrap();
+    assert_eq!(d.planned_time_s, t_min);
+}
+
+#[test]
+fn extreme_straggler_clamps_to_t_star() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    let d = server.set_straggler(job, 0, 0.0, 100.0).unwrap().unwrap();
+    let frontier = server.frontier(job).unwrap();
+    assert_eq!(d.planned_time_s, frontier.t_star());
+}
+
+#[test]
+fn worst_straggler_wins() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server.set_straggler(job, 0, 0.0, 1.1).unwrap();
+    let d = server.set_straggler(job, 1, 0.0, 1.3).unwrap().unwrap();
+    let t_min = server.frontier(job).unwrap().t_min();
+    assert!((d.t_prime - t_min * 1.3).abs() < 1e-9);
+    // GPU 1 recovers: GPU 0's 1.1x remains the binding straggler.
+    let d = server.set_straggler(job, 1, 0.0, 1.0).unwrap().unwrap();
+    assert!((d.t_prime - t_min * 1.1).abs() < 1e-9);
+}
+
+#[test]
+fn delayed_straggler_fires_on_time_advance() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    // Announce a straggler 30 s ahead (e.g. the rack manager anticipating
+    // thermal throttling).
+    assert!(server.set_straggler(job, 2, 30.0, 1.25).unwrap().is_none());
+    // Nothing yet at t = 10 s.
+    assert!(server.advance_time(job, 10.0).unwrap().is_empty());
+    // Fires between 10 s and 40 s.
+    let deployments = server.advance_time(job, 30.0).unwrap();
+    assert_eq!(deployments.len(), 1);
+    let t_min = server.frontier(job).unwrap().t_min();
+    assert!((deployments[0].t_prime - t_min * 1.25).abs() < 1e-9);
+}
+
+#[test]
+fn errors_are_reported() {
+    let (mut server, job) = server_with_job();
+    assert!(matches!(server.current_deployment(job), Err(ServerError::NotCharacterized(_))));
+    assert!(matches!(
+        server.set_straggler(job, 0, 0.0, 1.2),
+        Err(ServerError::NotCharacterized(_))
+    ));
+    assert!(matches!(server.advance_time("nope", 1.0), Err(ServerError::UnknownJob(_))));
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    assert!(matches!(server.set_straggler(job, 0, 0.0, 0.5), Err(ServerError::InvalidDegree(_))));
+}
+
+#[test]
+fn async_controller_applies_frequencies() {
+    let gpu = Arc::new(Mutex::new(SimGpu::new(GpuSpec::a100_pcie())));
+    let ctl = AsyncFrequencyController::spawn(Arc::clone(&gpu));
+    ctl.set_speed(FreqMHz(900));
+    ctl.set_speed(FreqMHz(705));
+    ctl.flush();
+    assert_eq!(gpu.lock().locked_freq(), FreqMHz(705));
+    assert_eq!(gpu.lock().freq_set_count(), 2);
+}
+
+#[test]
+fn async_controller_is_nonblocking_for_redundant_sets() {
+    let gpu = Arc::new(Mutex::new(SimGpu::new(GpuSpec::a100_pcie())));
+    let ctl = AsyncFrequencyController::spawn(Arc::clone(&gpu));
+    for _ in 0..100 {
+        ctl.set_speed(FreqMHz(900));
+    }
+    ctl.flush();
+    // Redundant sets are free on the device (§5's controller relies on it).
+    assert_eq!(gpu.lock().freq_set_count(), 1);
+}
+
+#[test]
+fn client_profile_begin_end_measures_work() {
+    let mut client = ClientSession::new(0, SimGpu::new(GpuSpec::a100_pcie()));
+    let w = Workload::new(40.0, 0.004, 0.85);
+    client.begin_profile(CompKind::Forward);
+    {
+        let gpu = client.gpu();
+        let mut g = gpu.lock();
+        g.run(&w);
+    }
+    let (t, e) = client.end_profile(CompKind::Forward);
+    assert!(t > 0.0 && e > 0.0);
+}
+
+#[test]
+fn client_sweep_produces_profile() {
+    let mut client = ClientSession::new(1, SimGpu::new(GpuSpec::a100_pcie()));
+    let w = Workload::new(40.0, 0.004, 0.85);
+    let profile = client.profile_sweep(&w, &OnlineProfiler::default());
+    assert!(profile.pareto().len() > 3);
+}
+
+#[test]
+fn client_realizes_deployed_schedule_in_program_order() {
+    let (mut server, job) = server_with_job();
+    let gpu_spec = GpuSpec::a100_pcie();
+    let d = server
+        .submit_profiles(job, model_profiles(&gpu_spec), &FrontierOptions::default())
+        .unwrap();
+    let p = pipe();
+    let mut client = ClientSession::new(1, SimGpu::new(gpu_spec.clone()));
+    client.load_schedule(&p, &d.schedule);
+    // Drive one iteration: stage 1's program is F F (warmup) F B F B B B...
+    // just follow the recorded plan kinds.
+    let program: Vec<CompKind> = p
+        .computations()
+        .filter(|(_, c)| c.stage == 1)
+        .map(|(_, c)| c.kind)
+        .collect();
+    for &k in &program {
+        client.set_speed(k);
+    }
+    client.sync();
+    // The device ends locked at the last computation's planned frequency.
+    let last_freq = {
+        let (id, _) = p.computations().filter(|(_, c)| c.stage == 1).last().unwrap();
+        d.schedule.freq_of(id).unwrap()
+    };
+    assert_eq!(client.gpu().lock().locked_freq(), last_freq);
+}
+
+#[test]
+#[should_panic(expected = "set_speed out of program order")]
+fn client_detects_out_of_order_calls() {
+    let (mut server, job) = server_with_job();
+    let gpu_spec = GpuSpec::a100_pcie();
+    let d = server
+        .submit_profiles(job, model_profiles(&gpu_spec), &FrontierOptions::default())
+        .unwrap();
+    let p = pipe();
+    let mut client = ClientSession::new(0, SimGpu::new(gpu_spec));
+    client.load_schedule(&p, &d.schedule);
+    // Stage 0 of a 3-stage 1F1B starts with forwards; a backward is wrong.
+    client.set_speed(CompKind::Backward);
+}
+
+#[test]
+fn multiple_pending_stragglers_fire_in_order() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server.set_straggler(job, 0, 10.0, 1.4).unwrap();
+    server.set_straggler(job, 0, 20.0, 1.0).unwrap(); // later recovery
+    let deployments = server.advance_time(job, 25.0).unwrap();
+    assert_eq!(deployments.len(), 2);
+    assert!(deployments[0].t_prime > deployments[1].t_prime, "slowdown then recovery");
+    let t_min = server.frontier(job).unwrap().t_min();
+    assert!((deployments[1].t_prime - t_min).abs() < 1e-9);
+}
+
+#[test]
+fn reannouncing_same_gpu_overrides_degree() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server.set_straggler(job, 3, 0.0, 1.4).unwrap();
+    let d = server.set_straggler(job, 3, 0.0, 1.1).unwrap().unwrap();
+    let t_min = server.frontier(job).unwrap().t_min();
+    assert!((d.t_prime - t_min * 1.1).abs() < 1e-9, "new degree replaces the old");
+}
+
+#[test]
+fn versions_are_strictly_monotonic() {
+    let (mut server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    let d0 = server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    let d1 = server.set_straggler(job, 0, 0.0, 1.2).unwrap().unwrap();
+    let d2 = server.set_straggler(job, 0, 0.0, 1.3).unwrap().unwrap();
+    assert!(d0.version < d1.version && d1.version < d2.version);
+}

@@ -1,0 +1,28 @@
+//! SVG visualization for Perseus: Figure 1-style execution timelines with
+//! power-coded computations, and Figure 9-style iteration time–energy
+//! frontier plots. No dependencies beyond the workspace — the SVG is
+//! emitted by hand.
+//!
+//! # Examples
+//!
+//! ```
+//! use perseus_viz::{frontier_svg, FrontierPlot, Series};
+//!
+//! let svg = frontier_svg(&FrontierPlot {
+//!     title: "GPT-3 1.3B".into(),
+//!     series: vec![Series {
+//!         label: "perseus".into(),
+//!         points: vec![(1.0, 120.0), (1.2, 100.0), (1.5, 90.0)],
+//!     }],
+//! });
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+mod plot;
+mod timeline;
+
+pub use plot::{frontier_svg, FrontierPlot, Series};
+pub use timeline::{timeline_svg, TimelineStyle};
+
+#[cfg(test)]
+mod tests;

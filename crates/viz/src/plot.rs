@@ -1,0 +1,176 @@
+//! Frontier scatter/line plots (the paper's Figure 9 / 11 / 12 style).
+
+/// One plotted series of `(time_s, energy_j)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in any order; they are drawn connected after sorting by time.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A frontier plot: several series on shared time/energy axes.
+#[derive(Debug, Clone)]
+pub struct FrontierPlot {
+    /// Title above the plot.
+    pub title: String,
+    /// Series to draw (color assigned by index).
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 78.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 44.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// "Nice" tick spacing covering `span` with 4–8 ticks.
+fn tick_step(span: f64) -> f64 {
+    if span <= 0.0 || !span.is_finite() {
+        return 1.0;
+    }
+    let raw = span / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+/// Renders the plot as a standalone SVG document.
+///
+/// Empty series (or a plot with no finite points) renders axes only, so
+/// callers never need to special-case degenerate data.
+pub fn frontier_svg(plot: &FrontierPlot) -> String {
+    let pts: Vec<(f64, f64)> = plot
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(t, e)| t.is_finite() && e.is_finite())
+        .collect();
+    let (t_lo, t_hi) = pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| (lo.min(t), hi.max(t)));
+    let (e_lo, e_hi) = pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, e)| (lo.min(e), hi.max(e)));
+    let (t_lo, t_hi) = if t_lo.is_finite() && t_hi > t_lo { (t_lo, t_hi) } else { (0.0, 1.0) };
+    let (e_lo, e_hi) = if e_lo.is_finite() && e_hi > e_lo { (e_lo, e_hi) } else { (0.0, 1.0) };
+    // Pad 4% so extreme points don't sit on the frame.
+    let (t_pad, e_pad) = ((t_hi - t_lo) * 0.04, (e_hi - e_lo) * 0.04);
+    let (t_lo, t_hi) = (t_lo - t_pad, t_hi + t_pad);
+    let (e_lo, e_hi) = (e_lo - e_pad, e_hi + e_pad);
+
+    let x = |t: f64| MARGIN_L + (t - t_lo) / (t_hi - t_lo) * (WIDTH - MARGIN_L - MARGIN_R);
+    let y = |e: f64| HEIGHT - MARGIN_B - (e - e_lo) / (e_hi - e_lo) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    ));
+    out.push_str(&format!(
+        "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n<text x=\"{}\" y=\"24\" \
+         text-anchor=\"middle\" font-size=\"15\" font-weight=\"bold\">{}</text>\n",
+        WIDTH / 2.0,
+        esc(&plot.title)
+    ));
+
+    // Axes frame.
+    out.push_str(&format!(
+        "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{}\" height=\"{}\" fill=\"none\" \
+         stroke=\"#333\"/>\n",
+        WIDTH - MARGIN_L - MARGIN_R,
+        HEIGHT - MARGIN_T - MARGIN_B
+    ));
+
+    // Ticks + gridlines.
+    let t_step = tick_step(t_hi - t_lo);
+    let mut t = (t_lo / t_step).ceil() * t_step;
+    while t <= t_hi {
+        out.push_str(&format!(
+            "<line x1=\"{0:.1}\" y1=\"{1}\" x2=\"{0:.1}\" y2=\"{2}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{0:.1}\" y=\"{3}\" text-anchor=\"middle\">{4:.3}</text>\n",
+            x(t),
+            MARGIN_T,
+            HEIGHT - MARGIN_B,
+            HEIGHT - MARGIN_B + 18.0,
+            t
+        ));
+        t += t_step;
+    }
+    let e_step = tick_step(e_hi - e_lo);
+    let mut e = (e_lo / e_step).ceil() * e_step;
+    while e <= e_hi {
+        out.push_str(&format!(
+            "<line x1=\"{1}\" y1=\"{0:.1}\" x2=\"{2}\" y2=\"{0:.1}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{3}\" y=\"{4:.1}\" text-anchor=\"end\">{5:.0}</text>\n",
+            y(e),
+            MARGIN_L,
+            WIDTH - MARGIN_R,
+            MARGIN_L - 6.0,
+            y(e) + 4.0,
+            e
+        ));
+        e += e_step;
+    }
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">iteration time (s)</text>\n",
+        (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+        HEIGHT - 12.0
+    ));
+    out.push_str(&format!(
+        "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">energy (J)</text>\n",
+        (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+        (MARGIN_T + HEIGHT - MARGIN_B) / 2.0
+    ));
+
+    // Series.
+    for (i, s) in plot.series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut sorted: Vec<(f64, f64)> =
+            s.points.iter().copied().filter(|(a, b)| a.is_finite() && b.is_finite()).collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if sorted.len() > 1 {
+            let path: Vec<String> =
+                sorted.iter().map(|&(t, e)| format!("{:.1},{:.1}", x(t), y(e))).collect();
+            out.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+                path.join(" ")
+            ));
+        }
+        for &(t, e) in &sorted {
+            out.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.6\" fill=\"{color}\"/>\n",
+                x(t),
+                y(e)
+            ));
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+        out.push_str(&format!(
+            "<rect x=\"{0}\" y=\"{1:.1}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n\
+             <text x=\"{2}\" y=\"{3:.1}\">{4}</text>\n",
+            WIDTH - MARGIN_R - 150.0,
+            ly - 10.0,
+            WIDTH - MARGIN_R - 132.0,
+            ly,
+            esc(&s.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}

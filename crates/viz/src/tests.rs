@@ -1,0 +1,110 @@
+use perseus_gpu::GpuSpec;
+use perseus_pipeline::{CompKind, PipeNode, PipelineBuilder, ScheduleKind};
+
+use crate::plot::{frontier_svg, FrontierPlot, Series};
+use crate::timeline::{timeline_svg, TimelineStyle};
+
+fn plot_with(points: Vec<(f64, f64)>) -> FrontierPlot {
+    FrontierPlot { title: "test".into(), series: vec![Series { label: "a".into(), points }] }
+}
+
+#[test]
+fn frontier_svg_is_wellformed() {
+    let svg = frontier_svg(&plot_with(vec![(1.0, 100.0), (1.5, 80.0), (2.0, 70.0)]));
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.trim_end().ends_with("</svg>"));
+    assert_eq!(svg.matches("<circle").count(), 3);
+    assert_eq!(svg.matches("<polyline").count(), 1);
+    assert!(svg.contains("iteration time (s)"));
+    assert!(svg.contains("energy (J)"));
+}
+
+#[test]
+fn frontier_svg_escapes_labels() {
+    let mut plot = plot_with(vec![(1.0, 2.0)]);
+    plot.title = "a < b & \"c\"".into();
+    plot.series[0].label = "x<y>".into();
+    let svg = frontier_svg(&plot);
+    assert!(svg.contains("a &lt; b &amp; &quot;c&quot;"));
+    assert!(svg.contains("x&lt;y&gt;"));
+    assert!(!svg.contains("a < b"));
+}
+
+#[test]
+fn frontier_svg_handles_degenerate_input() {
+    // Empty, single-point, and NaN-containing series must render axes
+    // without panicking.
+    for points in [vec![], vec![(1.0, 1.0)], vec![(f64::NAN, 1.0), (1.0, f64::INFINITY)]] {
+        let svg = frontier_svg(&plot_with(points));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+}
+
+#[test]
+fn frontier_svg_multiple_series_get_distinct_colors() {
+    let plot = FrontierPlot {
+        title: "t".into(),
+        series: vec![
+            Series { label: "perseus".into(), points: vec![(1.0, 3.0), (2.0, 2.0)] },
+            Series { label: "zeus".into(), points: vec![(1.0, 4.0), (2.0, 3.0)] },
+        ],
+    };
+    let svg = frontier_svg(&plot);
+    assert!(svg.contains("#d62728"));
+    assert!(svg.contains("#1f77b4"));
+    assert!(svg.contains("perseus"));
+    assert!(svg.contains("zeus"));
+}
+
+fn unit_dur(_: perseus_dag::NodeId, n: &PipeNode) -> f64 {
+    match n {
+        PipeNode::Comp(c) => match c.kind {
+            CompKind::Forward | CompKind::Recompute => 0.01,
+            CompKind::Backward => 0.02,
+        },
+        PipeNode::Fixed { time_s, .. } => *time_s,
+        _ => 0.0,
+    }
+}
+
+#[test]
+fn timeline_svg_draws_every_computation() {
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 4).build().unwrap();
+    let gpu = GpuSpec::a100_pcie();
+    let svg = timeline_svg(
+        &pipe,
+        &gpu,
+        unit_dur,
+        |id, n| unit_dur(id, n) * 250.0, // flat 250 W
+        &TimelineStyle { title: "1F1B".into(), ..Default::default() },
+    );
+    assert!(svg.starts_with("<svg"));
+    // 3 lane backgrounds + 24 computation rects.
+    assert_eq!(svg.matches("<rect").count(), 1 + 3 + 24);
+    assert!(svg.contains(">S0<") && svg.contains(">S2<"));
+    assert!(svg.contains("1F1B"));
+    assert!(svg.contains("<title>F0 ("));
+}
+
+#[test]
+fn timeline_power_colors_span_blue_to_red() {
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 2).build().unwrap();
+    let gpu = GpuSpec::a100_pcie();
+    // Forward at blocking power, backward at TDP: fills must differ.
+    let svg = timeline_svg(
+        &pipe,
+        &gpu,
+        unit_dur,
+        |id, n| match n {
+            PipeNode::Comp(c) if c.kind == CompKind::Forward => unit_dur(id, n) * gpu.blocking_w,
+            _ => unit_dur(id, n) * gpu.tdp_w,
+        },
+        &TimelineStyle::default(),
+    );
+    // Cold end (blocking) and hot end (TDP) of the ramp both appear.
+    let cold = svg.matches("#2846dc").count();
+    let hot = svg.matches("#ff46").count();
+    assert!(cold > 0, "expected cold-colored forwards\n{svg}");
+    assert!(hot > 0, "expected hot-colored backwards");
+}

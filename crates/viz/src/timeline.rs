@@ -1,0 +1,136 @@
+//! Execution-timeline SVG (the paper's Figure 1 / Figure 10 style): one
+//! lane per pipeline stage, computations as rectangles, fill color encoding
+//! average power (blue = blocking-level, red = TDP).
+
+use perseus_dag::NodeId;
+use perseus_gpu::GpuSpec;
+use perseus_pipeline::{node_start_times, CompKind, PipeNode, PipelineDag};
+
+/// Styling and scale options.
+#[derive(Debug, Clone)]
+pub struct TimelineStyle {
+    /// Pixel width of the drawing area.
+    pub width: f64,
+    /// Pixel height of one stage lane.
+    pub lane_height: f64,
+    /// Title above the timeline.
+    pub title: String,
+}
+
+impl Default for TimelineStyle {
+    fn default() -> Self {
+        TimelineStyle { width: 900.0, lane_height: 34.0, title: String::new() }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Blue→red color ramp for power in `[p_lo, p_hi]`.
+fn power_color(p: f64, p_lo: f64, p_hi: f64) -> String {
+    let x = ((p - p_lo) / (p_hi - p_lo).max(1e-9)).clamp(0.0, 1.0);
+    let r = (40.0 + 215.0 * x) as u8;
+    let g = (70.0 + 40.0 * (1.0 - (2.0 * x - 1.0).abs())) as u8;
+    let b = (220.0 - 180.0 * x) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Renders one iteration of `pipe` as a Figure-1-style SVG.
+///
+/// * `dur(node)` — realized duration of each node, seconds;
+/// * `energy(node)` — realized energy, joules (average power = energy/dur
+///   drives the fill color);
+/// * `gpu` supplies the color scale: blocking power (blue end) to TDP
+///   (red end). The lane background is the blocking color, so gaps read as
+///   "blocking on communication" exactly like the paper's figure.
+pub fn timeline_svg(
+    pipe: &PipelineDag,
+    gpu: &GpuSpec,
+    dur: impl Fn(NodeId, &PipeNode) -> f64,
+    energy: impl Fn(NodeId, &PipeNode) -> f64,
+    style: &TimelineStyle,
+) -> String {
+    let (starts, makespan) = node_start_times(&pipe.dag, &dur);
+    let lanes = pipe.n_stages;
+    let margin_l = 52.0;
+    let margin_t = if style.title.is_empty() { 16.0 } else { 40.0 };
+    let width = style.width;
+    let height = margin_t + lanes as f64 * (style.lane_height + 6.0) + 28.0;
+    let x = |t: f64| margin_l + t / makespan.max(1e-12) * (width - margin_l - 12.0);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"11\">\n\
+         <rect width=\"{width}\" height=\"{height}\" fill=\"white\"/>\n"
+    ));
+    if !style.title.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"22\" text-anchor=\"middle\" font-size=\"14\" \
+             font-weight=\"bold\">{}</text>\n",
+            width / 2.0,
+            esc(&style.title)
+        ));
+    }
+
+    let blocking_color = power_color(gpu.blocking_w, gpu.blocking_w, gpu.tdp_w);
+    for lane in 0..lanes {
+        let ly = margin_t + lane as f64 * (style.lane_height + 6.0);
+        out.push_str(&format!(
+            "<text x=\"6\" y=\"{:.1}\">S{lane}</text>\n\
+             <rect x=\"{margin_l}\" y=\"{ly:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"{blocking_color}\" opacity=\"0.35\"/>\n",
+            ly + style.lane_height * 0.65,
+            width - margin_l - 12.0,
+            style.lane_height,
+        ));
+    }
+
+    for id in pipe.dag.node_ids() {
+        let node = pipe.dag.node(id);
+        let Some(stage) = node.stage() else { continue };
+        let d = dur(id, node);
+        if d <= 0.0 {
+            continue;
+        }
+        let p = energy(id, node) / d;
+        let fill = power_color(p, gpu.blocking_w, gpu.tdp_w);
+        let (x0, x1) = (x(starts[id.index()]), x(starts[id.index()] + d));
+        let ly = margin_t + stage as f64 * (style.lane_height + 6.0);
+        let label = match node {
+            PipeNode::Comp(c) => match c.kind {
+                CompKind::Forward => format!("F{}", c.microbatch),
+                CompKind::Backward => format!("B{}", c.microbatch),
+                CompKind::Recompute => format!("R{}", c.microbatch),
+            },
+            PipeNode::Fixed { label, .. } => label.clone(),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "<rect x=\"{x0:.1}\" y=\"{ly:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{fill}\" \
+             stroke=\"#222\" stroke-width=\"0.4\"><title>{} ({:.1} ms, {:.0} W)</title></rect>\n",
+            (x1 - x0).max(0.8),
+            style.lane_height,
+            esc(&label),
+            d * 1e3,
+            p
+        ));
+        if x1 - x0 > 18.0 {
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"white\">{}</text>\n",
+                (x0 + x1) / 2.0,
+                ly + style.lane_height * 0.65,
+                esc(&label)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "<text x=\"{margin_l}\" y=\"{:.1}\">0 s</text>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{makespan:.3} s</text>\n</svg>\n",
+        height - 8.0,
+        width - 12.0,
+        height - 8.0,
+    ));
+    out
+}

@@ -1,0 +1,76 @@
+//! Large-scale cluster emulation (§6.3): strong-scale Bloom 176B across
+//! the Table 5 configurations, inject different straggler causes, and
+//! compare Perseus against the baselines at cluster level.
+//!
+//! Run: `cargo run --release --example cluster_emulation`
+
+use perseus::cluster::{
+    strong_scaling_table5, ClusterConfig, Emulator, Policy, StragglerCause,
+};
+use perseus::core::FrontierOptions;
+use perseus::gpu::{FreqMHz, GpuSpec};
+use perseus::models::zoo;
+use perseus::pipeline::ScheduleKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One emulator per strong-scaling row (Table 5): 1,024 GPUs here to
+    // keep the example snappy; the emulation_suite bench runs all rows.
+    let row = strong_scaling_table5()[0];
+    println!(
+        "{} GPUs: {} pipelines x {} stages x TP {}  ({} microbatches/pipeline)",
+        row.n_gpus, row.n_pipelines, row.n_stages, row.tensor_parallel, row.n_microbatches
+    );
+    let emu = Emulator::new(ClusterConfig {
+        model: zoo::bloom_176b(1),
+        gpu: GpuSpec::a100_sxm(),
+        n_stages: row.n_stages,
+        n_microbatches: row.n_microbatches,
+        n_pipelines: row.n_pipelines,
+        tensor_parallel: row.tensor_parallel,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions::default(),
+    })?;
+    println!(
+        "frontier: T_min {:.2} s, T* {:.2} s ({} points)\n",
+        emu.frontier().t_min(),
+        emu.frontier().t_star(),
+        emu.frontier().points().len()
+    );
+
+    // Different root causes behind the same kind of slowdown (§2.3).
+    let causes = [
+        ("thermal throttle @ 1110 MHz", StragglerCause::ThermalThrottle { freq_cap: FreqMHz(1110) }),
+        ("I/O stall 60 ms/microbatch", StragglerCause::IoStall { stall_s: 0.06 }),
+        ("announced 1.2x slowdown", StragglerCause::Slowdown { degree: 1.2 }),
+    ];
+    for (label, cause) in causes {
+        let t = emu.straggler_iteration_time(cause)?;
+        println!("{label}: straggler iteration time {:.2} s ({:.2}x)", t, t / emu.frontier().t_min());
+    }
+    println!();
+
+    // Cluster-level energy under a 1.2x straggler, per policy.
+    let cause = Some(StragglerCause::Slowdown { degree: 1.2 });
+    let base = emu.report(Policy::AllMax, cause)?;
+    println!(
+        "{:<18} {:>14} {:>12} {:>10}",
+        "policy", "cluster MJ/iter", "avg MW", "saved %"
+    );
+    for (policy, name) in [
+        (Policy::AllMax, "all-max"),
+        (Policy::EnvPipe, "envpipe"),
+        (Policy::ZeusGlobal, "zeus-global"),
+        (Policy::Perseus, "perseus"),
+        (Policy::MinEnergyOracle, "oracle (bound)"),
+    ] {
+        let r = emu.report(policy, cause)?;
+        println!(
+            "{:<18} {:>14.2} {:>12.3} {:>10.1}",
+            name,
+            r.total_j() / 1e6,
+            r.avg_power_w() / 1e6,
+            (1.0 - r.total_j() / base.total_j()) * 100.0
+        );
+    }
+    Ok(())
+}

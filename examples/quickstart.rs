@@ -1,0 +1,67 @@
+//! Quickstart: remove intrinsic energy bloat from a GPT-3 1.3B pipeline.
+//!
+//! Builds a four-stage 1F1B pipeline on simulated A100s, characterizes the
+//! iteration time–energy Pareto frontier, and compares the fastest
+//! Perseus schedule against the all-max-frequency default.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use perseus::baselines::all_max_freq;
+use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::gpu::GpuSpec;
+use perseus::models::{min_imbalance_partition, zoo};
+use perseus::pipeline::{PipelineBuilder, ScheduleKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a model and a GPU; partition layers across pipeline stages
+    //    with minimum imbalance (paper Appendix B).
+    let gpu = GpuSpec::a100_pcie();
+    let model = zoo::gpt3_xl(4); // GPT-3 1.3B, microbatch size 4
+    let weights = model.fwd_latency_weights(&gpu);
+    let partition = min_imbalance_partition(&weights, 4)?;
+    println!(
+        "partitioned {} layers into 4 stages {:?} (imbalance ratio {:.2})",
+        model.num_layers(),
+        partition.boundaries(),
+        partition.imbalance_ratio(&weights),
+    );
+
+    // 2. Build the computation DAG of one training iteration (1F1B with
+    //    16 microbatches) and join it with per-stage profiles.
+    let stages = model.stage_workloads(&partition, &gpu)?;
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 16).build()?;
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages)?;
+
+    // 3. Characterize the full iteration time-energy Pareto frontier
+    //    (paper Algorithm 1: iterative graph cuts).
+    let frontier = characterize(&ctx, &FrontierOptions::default())?;
+    println!(
+        "frontier: {} points, T_min {:.3} s .. T* {:.3} s",
+        frontier.points().len(),
+        frontier.t_min(),
+        frontier.t_star(),
+    );
+
+    // 4. Compare the fastest frontier point (intrinsic bloat removed)
+    //    against the default all-max-frequency schedule.
+    let base = all_max_freq(&ctx)?.energy_report(&ctx, None);
+    let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
+    println!(
+        "all-max:  {:.3} s, {:.0} J ({:.0} W avg)",
+        base.iter_time_s,
+        base.total_j(),
+        base.avg_power_w()
+    );
+    println!(
+        "perseus:  {:.3} s, {:.0} J ({:.0} W avg)",
+        perseus.iter_time_s,
+        perseus.total_j(),
+        perseus.avg_power_w()
+    );
+    println!(
+        "=> {:.1}% energy saved at {:.2}% slowdown",
+        (1.0 - perseus.total_j() / base.total_j()) * 100.0,
+        (perseus.iter_time_s / base.iter_time_s - 1.0) * 100.0,
+    );
+    Ok(())
+}

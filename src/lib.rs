@@ -1,0 +1,25 @@
+//! Perseus façade crate.
+//!
+//! Re-exports every subsystem crate of the Perseus workspace under one
+//! namespace so examples and downstream users need a single dependency.
+//!
+//! See the repository `README.md` for an overview and `DESIGN.md` for the
+//! system inventory.
+
+pub use perseus_baselines as baselines;
+pub use perseus_cluster as cluster;
+pub use perseus_core as core;
+pub use perseus_dag as dag;
+pub use perseus_flow as flow;
+pub use perseus_gpu as gpu;
+pub use perseus_models as models;
+pub use perseus_pipeline as pipeline;
+pub use perseus_profiler as profiler;
+pub use perseus_server as server;
+pub use perseus_viz as viz;
+
+/// README examples are kept compiling: the fenced Rust block in
+/// `README.md` runs as a doctest of this crate.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;

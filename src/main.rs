@@ -1,0 +1,234 @@
+//! `perseus` — command-line front end for the library.
+//!
+//! ```text
+//! perseus models
+//! perseus partition  <model> --stages N [--gpu a100|a40|h100|v100|a100-sxm]
+//! perseus frontier   <model> --stages N --microbatches M [--gpu ..] [--csv]
+//! perseus timeline   <model> --stages N --microbatches M [--gpu ..]
+//! perseus emulate    <model> --stages N --microbatches M --pipelines D
+//!                    [--tp T] [--gpu ..] [--straggler DEGREE]
+//! ```
+
+use std::process::ExitCode;
+
+use perseus::baselines::all_max_freq;
+use perseus::cluster::{ClusterConfig, Emulator, Policy, StragglerCause};
+use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::gpu::GpuSpec;
+use perseus::models::{min_imbalance_partition, zoo, ModelSpec};
+use perseus::pipeline::{render_timeline, PipelineBuilder, ScheduleKind};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked")),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+}
+
+fn gpu_by_name(name: &str) -> Result<GpuSpec, String> {
+    match name {
+        "a100" | "a100-pcie" => Ok(GpuSpec::a100_pcie()),
+        "a100-sxm" => Ok(GpuSpec::a100_sxm()),
+        "a40" => Ok(GpuSpec::a40()),
+        "h100" | "h100-sxm" => Ok(GpuSpec::h100_sxm()),
+        "v100" => Ok(GpuSpec::v100()),
+        other => Err(format!("unknown GPU {other:?} (try a100, a100-sxm, a40, h100, v100)")),
+    }
+}
+
+fn model_by_name(name: &str, microbatch: usize) -> Result<ModelSpec, String> {
+    zoo::all_presets()
+        .into_iter()
+        .find(|(_, n)| *n == name)
+        .map(|(ctor, _)| ctor(microbatch))
+        .ok_or_else(|| {
+            let names: Vec<&str> = zoo::all_presets().iter().map(|(_, n)| *n).collect();
+            format!("unknown model {name:?}; available: {}", names.join(", "))
+        })
+}
+
+fn usage() -> &'static str {
+    "usage:
+  perseus models
+  perseus partition <model> [--stages N] [--gpu NAME] [--microbatch B]
+  perseus frontier  <model> [--stages N] [--microbatches M] [--gpu NAME] [--csv]
+  perseus timeline  <model> [--stages N] [--microbatches M] [--gpu NAME]
+  perseus emulate   <model> [--stages N] [--microbatches M] [--pipelines D]
+                    [--tp T] [--gpu NAME] [--straggler DEGREE]"
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1).collect());
+    let cmd = args.positional.first().cloned().unwrap_or_default();
+    match cmd.as_str() {
+        "models" => {
+            for (ctor, name) in zoo::all_presets() {
+                let m = ctor(1);
+                println!("{name:<18} {:>7.1}B params, {:>3} partitionable layers", m.params_b, m.num_layers());
+            }
+            Ok(())
+        }
+        "partition" => {
+            let model_name = args.positional.get(1).ok_or_else(|| usage().to_string())?;
+            let gpu = gpu_by_name(args.flag("gpu").unwrap_or("a100"))?;
+            let mb = args.usize_flag("microbatch", 4)?;
+            let stages = args.usize_flag("stages", 4)?;
+            let model = model_by_name(model_name, mb)?;
+            let weights = model.fwd_latency_weights(&gpu);
+            let part = min_imbalance_partition(&weights, stages).map_err(|e| e.to_string())?;
+            println!("model: {} ({} layers) on {}", model.name, model.num_layers(), gpu.name);
+            println!("partition: {:?}", part.boundaries());
+            println!("imbalance ratio: {:.3}", part.imbalance_ratio(&weights));
+            for (s, w) in part.stage_weights(&weights).iter().enumerate() {
+                println!("  stage {s}: {:.2} ms forward at max clock", w * 1e3);
+            }
+            Ok(())
+        }
+        "frontier" | "timeline" => {
+            let model_name = args.positional.get(1).ok_or_else(|| usage().to_string())?;
+            let gpu = gpu_by_name(args.flag("gpu").unwrap_or("a100"))?;
+            let mb = args.usize_flag("microbatch", 4)?;
+            let stages_n = args.usize_flag("stages", 4)?;
+            let m = args.usize_flag("microbatches", if cmd == "timeline" { 6 } else { 16 })?;
+            let model = model_by_name(model_name, mb)?;
+            let weights = model.fwd_latency_weights(&gpu);
+            let part = min_imbalance_partition(&weights, stages_n).map_err(|e| e.to_string())?;
+            let stages = model.stage_workloads(&part, &gpu).map_err(|e| e.to_string())?;
+            let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, stages_n, m)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let ctx =
+                PlanContext::from_model_profiles(&pipe, &gpu, &stages).map_err(|e| e.to_string())?;
+            let frontier =
+                characterize(&ctx, &FrontierOptions::default()).map_err(|e| e.to_string())?;
+            if cmd == "timeline" {
+                let base = all_max_freq(&ctx).map_err(|e| e.to_string())?;
+                println!("== all computations at maximum frequency ==");
+                println!("{}", render_timeline(&pipe, |id, _| base.realized_dur[id.index()], 100));
+                println!("== Perseus T_min energy schedule ==");
+                let p = frontier.fastest();
+                println!(
+                    "{}",
+                    render_timeline(&pipe, |id, _| p.schedule.realized_dur[id.index()], 100)
+                );
+                return Ok(());
+            }
+            if args.has("csv") {
+                println!("time_s,energy_j");
+                for p in frontier.points() {
+                    let r = p.schedule.energy_report(&ctx, None);
+                    println!("{:.6},{:.2}", r.iter_time_s, r.total_j());
+                }
+            } else {
+                let base = all_max_freq(&ctx).map_err(|e| e.to_string())?.energy_report(&ctx, None);
+                let fast = frontier.fastest().schedule.energy_report(&ctx, None);
+                println!(
+                    "frontier: {} points, T_min {:.3} s .. T* {:.3} s",
+                    frontier.points().len(),
+                    frontier.t_min(),
+                    frontier.t_star()
+                );
+                println!(
+                    "intrinsic savings at T_min: {:.1}% ({:.0} J -> {:.0} J), slowdown {:.2}%",
+                    (1.0 - fast.total_j() / base.total_j()) * 100.0,
+                    base.total_j(),
+                    fast.total_j(),
+                    (fast.iter_time_s / base.iter_time_s - 1.0) * 100.0
+                );
+            }
+            Ok(())
+        }
+        "emulate" => {
+            let model_name = args.positional.get(1).ok_or_else(|| usage().to_string())?;
+            let gpu = gpu_by_name(args.flag("gpu").unwrap_or("a100-sxm"))?;
+            let mb = args.usize_flag("microbatch", 1)?;
+            let model = model_by_name(model_name, mb)?;
+            let emu = Emulator::new(ClusterConfig {
+                model,
+                gpu,
+                n_stages: args.usize_flag("stages", 8)?,
+                n_microbatches: args.usize_flag("microbatches", 24)?,
+                n_pipelines: args.usize_flag("pipelines", 8)?,
+                tensor_parallel: args.usize_flag("tp", 1)?,
+                schedule: ScheduleKind::OneFOneB,
+                frontier: FrontierOptions::default(),
+            })
+            .map_err(|e| e.to_string())?;
+            let straggler = match args.flag("straggler") {
+                None => None,
+                Some(v) => Some(StragglerCause::Slowdown {
+                    degree: v.parse().map_err(|_| format!("--straggler expects a number, got {v:?}"))?,
+                }),
+            };
+            let base = emu.report(Policy::AllMax, straggler).map_err(|e| e.to_string())?;
+            println!(
+                "{} GPUs, sync iteration {:.2} s",
+                emu.config().n_gpus(),
+                base.sync_time_s
+            );
+            for (policy, name) in [
+                (Policy::AllMax, "all-max"),
+                (Policy::EnvPipe, "envpipe"),
+                (Policy::ZeusGlobal, "zeus-global"),
+                (Policy::Perseus, "perseus"),
+            ] {
+                let r = emu.report(policy, straggler).map_err(|e| e.to_string())?;
+                println!(
+                    "{name:<12} {:>12.1} kJ/iter  {:>8.1} kW  ({:.1}% saved)",
+                    r.total_j() / 1e3,
+                    r.avg_power_w() / 1e3,
+                    (1.0 - r.total_j() / base.total_j()) * 100.0
+                );
+            }
+            Ok(())
+        }
+        "" | "help" | "--help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate checks of the paper's headline claims, on scaled-down
+//! configurations so they run quickly in debug builds.
+
+use perseus::baselines::{all_max_freq, envpipe, zeus_global_frontier, EnvPipeOptions};
+use perseus::cluster::{ClusterConfig, Emulator, Policy};
+use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::gpu::GpuSpec;
+use perseus::models::zoo;
+use perseus::pipeline::{PipelineBuilder, ScheduleKind};
+
+fn emulator(model: perseus::models::ModelSpec, gpu: GpuSpec, m: usize) -> Emulator {
+    Emulator::new(ClusterConfig {
+        model,
+        gpu,
+        n_stages: 4,
+        n_microbatches: m,
+        n_pipelines: 2,
+        tensor_parallel: 1,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions::default(),
+    })
+    .expect("emulator")
+}
+
+#[test]
+fn headline_intrinsic_savings_with_negligible_slowdown() {
+    // §6.2.1: double-digit percentage savings at ~zero slowdown.
+    let emu = emulator(zoo::gpt3_xl(4), GpuSpec::a100_pcie(), 8);
+    let s = emu.savings(Policy::Perseus, None).expect("savings");
+    assert!(s.savings_pct > 8.0, "GPT-3 1.3B intrinsic savings: {:.1}%", s.savings_pct);
+    assert!(s.slowdown_pct < 0.5, "slowdown: {:.2}%", s.slowdown_pct);
+}
+
+#[test]
+fn a40_saves_more_than_a100() {
+    // §6.2.1: the wider A40 clock range yields larger savings.
+    let a100 = emulator(zoo::bloom_3b(4), GpuSpec::a100_pcie(), 8)
+        .savings(Policy::Perseus, None)
+        .expect("savings");
+    let a40 = emulator(zoo::bloom_3b(4), GpuSpec::a40(), 8)
+        .savings(Policy::Perseus, None)
+        .expect("savings");
+    assert!(
+        a40.savings_pct > a100.savings_pct,
+        "A40 {:.1}% should beat A100 {:.1}%",
+        a40.savings_pct,
+        a100.savings_pct
+    );
+}
+
+#[test]
+fn savings_peak_near_t_star_then_wane() {
+    // §6.2.2 / Figure 8 shape.
+    let emu = emulator(zoo::bert_huge(8), GpuSpec::a100_pcie(), 6);
+    let t_star_ratio = emu.frontier().t_star() / emu.frontier().t_min();
+    let before = emu.savings(Policy::Perseus, Some(1.0 + (t_star_ratio - 1.0) * 0.3)).unwrap();
+    let near = emu.savings(Policy::Perseus, Some(t_star_ratio)).unwrap();
+    let far = emu.savings(Policy::Perseus, Some(t_star_ratio * 1.8)).unwrap();
+    assert!(near.savings_pct > before.savings_pct * 0.9, "savings grow toward T*");
+    assert!(far.savings_pct < near.savings_pct, "savings wane past T*");
+}
+
+#[test]
+fn table6_trend_fewer_microbatches_more_savings() {
+    // §6.3 / Table 6: for (near-)balanced models like GPT-3 175B, intrinsic
+    // savings come from the warmup/flush microbatches, whose share shrinks
+    // as microbatches grow — so strong scaling (fewer microbatches per
+    // pipeline) raises the savings percentage. A perfectly balanced
+    // synthetic model isolates exactly that mechanism.
+    let balanced = perseus::models::ModelSpec {
+        name: "balanced-16".into(),
+        params_b: 1.0,
+        microbatch: 4,
+        layers: (0..16)
+            .map(|i| perseus::models::LayerCost {
+                name: format!("layer.{i}"),
+                kind: perseus::models::LayerKind::TransformerDecoder,
+                fwd_tflops: 5.0e12,
+                bwd_tflops: 1.0e13,
+                fwd_mem_frac: 0.1,
+                bwd_mem_frac: 0.12,
+                fwd_util: 0.85,
+                bwd_util: 0.92,
+            })
+            .collect(),
+    };
+    let s4 = emulator(balanced.clone(), GpuSpec::a100_pcie(), 4)
+        .savings(Policy::Perseus, None)
+        .unwrap()
+        .savings_pct;
+    let s16 = emulator(balanced, GpuSpec::a100_pcie(), 16)
+        .savings(Policy::Perseus, None)
+        .unwrap()
+        .savings_pct;
+    assert!(s4 > s16, "M=4 {:.1}% should beat M=16 {:.1}%", s4, s16);
+}
+
+#[test]
+fn perseus_pareto_dominates_zeus_global_everywhere() {
+    // §6.4 / Figure 9.
+    let gpu = GpuSpec::a100_pcie();
+    let model = zoo::gpt3_xl(4);
+    let weights = model.fwd_latency_weights(&gpu);
+    let partition = perseus::models::min_imbalance_partition(&weights, 4).unwrap();
+    let stages = model.stage_workloads(&partition, &gpu).unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6).build().unwrap();
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    for z in zeus_global_frontier(&ctx).unwrap() {
+        let zr = z.energy_report(&ctx, None);
+        let pr = frontier.lookup(zr.iter_time_s).schedule.energy_report(&ctx, None);
+        assert!(
+            pr.total_j() <= zr.total_j() * 1.01,
+            "at {:.3}s: perseus {:.0} J vs zeus {:.0} J",
+            zr.iter_time_s,
+            pr.total_j(),
+            zr.total_j()
+        );
+    }
+}
+
+#[test]
+fn envpipe_cannot_exploit_stragglers() {
+    // Figure 7: EnvPipe has no frontier, so extrinsic slack is wasted.
+    let emu = emulator(zoo::gpt3_xl(4), GpuSpec::a40(), 8);
+    let p = emu.savings(Policy::Perseus, Some(1.25)).unwrap().savings_pct;
+    let e = emu.savings(Policy::EnvPipe, Some(1.25)).unwrap().savings_pct;
+    assert!(p > e, "Perseus {p:.1}% must beat EnvPipe {e:.1}% under stragglers");
+}
+
+#[test]
+fn envpipe_respects_its_slowdown_budget() {
+    let gpu = GpuSpec::a100_pcie();
+    let model = zoo::gpt3_xl(4);
+    let weights = model.fwd_latency_weights(&gpu);
+    let partition = perseus::models::min_imbalance_partition(&weights, 4).unwrap();
+    let stages = model.stage_workloads(&partition, &gpu).unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6).build().unwrap();
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
+    let opts = EnvPipeOptions { tolerance: 0.01 };
+    let ep = envpipe(&ctx, opts).unwrap().energy_report(&ctx, None);
+    assert!(ep.iter_time_s <= base.iter_time_s * 1.011);
+    assert!(ep.total_j() < base.total_j());
+}
