@@ -1,60 +1,54 @@
 //! Baseline energy policies the paper compares Perseus against (§6.1).
 //!
-//! * [`all_max_freq`] — the default mode of operation: every computation at
+//! Every policy implements [`perseus_core::Planner`], so the cluster
+//! emulator and planning server dispatch them interchangeably with
+//! Perseus itself:
+//!
+//! * [`AllMaxFreq`] — the default mode of operation: every computation at
 //!   the maximum SM clock. All savings percentages are relative to this.
-//! * [`min_energy_oracle`] — every computation at its minimum-energy
+//! * [`MinEnergyOracle`] — every computation at its minimum-energy
 //!   frequency: the §2.4 upper bound on possible savings (it slows the
 //!   iteration, so it is a bound, not a policy).
-//! * [`zeus_global_frontier`] — **ZeusGlobal** (§6.4): scan one global
-//!   frequency cap for all stages. Unaware of stage imbalance, it cannot
-//!   remove intrinsic bloat.
-//! * [`zeus_per_stage_frontier`] — **ZeusPerStage** (§6.4): per-stage
-//!   frequencies that balance *forward* computation time. Unaware of the
-//!   critical path, it slows critical computations too.
-//! * [`envpipe`] — **EnvPipe** [Choi et al., ATC'23] re-implemented from
-//!   the paper's description: the final stage is assumed heaviest and kept
-//!   at maximum frequency, while earlier stages' forward/backward clocks
-//!   are greedily lowered along the envelope as long as the iteration time
-//!   stays within a small tolerance. Two structural handicaps reproduce
-//!   the paper's findings: (1) stage-uniform frequencies cannot slow
-//!   warmup/flush microbatches individually, and (2) the tolerance-based
-//!   acceptance can degrade iteration time when the last stage is *not*
-//!   the bottleneck.
+//! * [`ZeusGlobal`] — (§6.4) scan one global frequency cap for all stages.
+//!   Unaware of stage imbalance, it cannot remove intrinsic bloat.
+//! * [`ZeusPerStage`] — (§6.4) per-stage frequencies that balance
+//!   *forward* computation time. Unaware of the critical path, it slows
+//!   critical computations too.
+//! * [`EnvPipe`] — [Choi et al., ATC'23] re-implemented from the paper's
+//!   description: the final stage is assumed heaviest and kept at maximum
+//!   frequency, while earlier stages' forward/backward clocks are greedily
+//!   lowered along the envelope as long as the iteration time stays within
+//!   a small tolerance. Two structural handicaps reproduce the paper's
+//!   findings: (1) stage-uniform frequencies cannot slow warmup/flush
+//!   microbatches individually, and (2) the tolerance-based acceptance can
+//!   degrade iteration time when the last stage is *not* the bottleneck.
+//!
+//! The pre-trait free functions ([`all_max_freq`], [`min_energy_oracle`],
+//! [`zeus_global_frontier`], [`zeus_per_stage_frontier`], [`envpipe`])
+//! remain as deprecated wrappers over the planner implementations.
 
-use perseus_core::{CoreError, EnergySchedule, PlanContext};
+use perseus_core::{CoreError, EnergySchedule, PlanContext, PlanOutput, Planner};
 use perseus_gpu::FreqMHz;
 use perseus_pipeline::{node_start_times, CompKind};
 
-/// Every computation at maximum frequency — the savings baseline.
-///
-/// # Errors
-///
-/// Propagates realization errors from [`EnergySchedule::realize`].
-pub fn all_max_freq(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
+// ---------------------------------------------------------------------------
+// Policy logic (shared by the planners and the deprecated wrappers).
+// ---------------------------------------------------------------------------
+
+fn all_max_schedule(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
     EnergySchedule::realize(ctx, ctx.fastest_durations())
 }
 
-/// Every computation at its minimum-energy frequency: the largest possible
-/// savings under the problem setting (§2.4), at the cost of slowdown.
-///
-/// # Errors
-///
-/// Propagates realization errors from [`EnergySchedule::realize`].
-pub fn min_energy_oracle(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
+fn min_energy_schedule(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
     EnergySchedule::realize(ctx, ctx.min_energy_durations())
 }
 
-/// §2.4 potential-savings bound: relative per-iteration energy reduction of
-/// the min-energy oracle versus all-max (each evaluated at its own
-/// iteration time, no straggler).
-///
-/// # Errors
-///
-/// Propagates realization errors.
-pub fn potential_savings(ctx: &PlanContext<'_>) -> Result<f64, CoreError> {
-    let base = all_max_freq(ctx)?.energy_report(ctx, None);
-    let oracle = min_energy_oracle(ctx)?.energy_report(ctx, None);
-    Ok(1.0 - oracle.total_j() / base.total_j())
+/// The deadline a Zeus-style sweep honors when no straggler is known: the
+/// pipeline's own all-max iteration time (with a hair of tolerance for
+/// floating-point ties), so the policy never slows training unprompted —
+/// it still banks the near-free top-clock savings.
+fn no_straggler_deadline(ctx: &PlanContext<'_>) -> Result<f64, CoreError> {
+    Ok(all_max_schedule(ctx)?.time_s * (1.0 + 1e-9))
 }
 
 /// Plans every computation at frequency `cap` (clamped per computation to
@@ -76,14 +70,7 @@ fn schedule_at_cap(ctx: &PlanContext<'_>, cap: FreqMHz) -> Result<EnergySchedule
     EnergySchedule::realize(ctx, planned)
 }
 
-/// ZeusGlobal: one schedule per global frequency cap, descending from the
-/// maximum clock to the deepest cap that any computation's profile covers.
-/// The caller Pareto-filters `(time, energy)` for frontier plots.
-///
-/// # Errors
-///
-/// Propagates realization errors.
-pub fn zeus_global_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
+fn zeus_global_sweep(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
     let mut out = Vec::new();
     for f in ctx.gpu.frequencies().into_iter().rev() {
         out.push(schedule_at_cap(ctx, f)?);
@@ -102,16 +89,7 @@ pub fn zeus_global_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>
     Ok(out)
 }
 
-/// ZeusPerStage: for each target forward latency (swept over the feasible
-/// range), every stage picks the slowest frequency whose *forward* time
-/// meets the target; the stage's backward runs at the same clock (one
-/// power knob per GPU). Balances forward times but ignores the critical
-/// path.
-///
-/// # Errors
-///
-/// Propagates realization errors.
-pub fn zeus_per_stage_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
+fn zeus_per_stage_sweep(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
     // Per-stage forward profiles define the sweep range: from the slowest
     // stage's fastest forward to the slowest stage's min-energy forward.
     let n_stages = ctx.pipe.n_stages;
@@ -146,7 +124,9 @@ pub fn zeus_per_stage_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedu
         for (id, c) in ctx.pipe.computations() {
             let profile = ctx.profile_of(id).expect("comp");
             let f = stage_freq[c.stage].expect("every stage has forwards");
-            let t = profile.entry_at(f).map_or_else(|| profile.t_max(), |e| e.time_s);
+            let t = profile
+                .entry_at(f)
+                .map_or_else(|| profile.t_max(), |e| e.time_s);
             planned[id.index()] = t;
         }
         out.push(EnergySchedule::realize(ctx, planned)?);
@@ -154,27 +134,10 @@ pub fn zeus_per_stage_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedu
     Ok(out)
 }
 
-/// Tuning for the EnvPipe re-implementation.
-#[derive(Debug, Clone, Copy)]
-pub struct EnvPipeOptions {
-    /// Relative iteration-time inflation EnvPipe tolerates while lowering
-    /// clocks (its envelope slack check is locally greedy, not exact).
-    pub tolerance: f64,
-}
-
-impl Default for EnvPipeOptions {
-    fn default() -> Self {
-        EnvPipeOptions { tolerance: 0.005 }
-    }
-}
-
-/// EnvPipe: greedy stage-uniform frequency reduction keeping the last
-/// stage at maximum clock. See the module docs for the modeling notes.
-///
-/// # Errors
-///
-/// Propagates realization errors.
-pub fn envpipe(ctx: &PlanContext<'_>, opts: EnvPipeOptions) -> Result<EnergySchedule, CoreError> {
+fn envpipe_schedule(
+    ctx: &PlanContext<'_>,
+    opts: EnvPipeOptions,
+) -> Result<EnergySchedule, CoreError> {
     let n_stages = ctx.pipe.n_stages;
     let spec = ctx.gpu;
     let fastest = ctx.fastest_durations();
@@ -195,8 +158,9 @@ pub fn envpipe(ctx: &PlanContext<'_>, opts: EnvPipeOptions) -> Result<EnergySche
         for (id, c) in ctx.pipe.computations() {
             let profile = ctx.profile_of(id).expect("comp");
             let f = clock[c.stage][kidx(c.kind)];
-            planned[id.index()] =
-                profile.entry_at(f).map_or_else(|| profile.t_max(), |e| e.time_s);
+            planned[id.index()] = profile
+                .entry_at(f)
+                .map_or_else(|| profile.t_max(), |e| e.time_s);
         }
         planned
     };
@@ -230,6 +194,202 @@ pub fn envpipe(ctx: &PlanContext<'_>, opts: EnvPipeOptions) -> Result<EnergySche
         }
     }
     EnergySchedule::realize(ctx, planned_for(&clock, ctx))
+}
+
+// ---------------------------------------------------------------------------
+// Planner implementations.
+// ---------------------------------------------------------------------------
+
+/// Every computation at maximum frequency — the savings baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllMaxFreq;
+
+impl Planner for AllMaxFreq {
+    fn name(&self) -> &'static str {
+        "all_max_freq"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError> {
+        Ok(PlanOutput::Schedule(all_max_schedule(ctx)?))
+    }
+}
+
+/// Every computation at its minimum-energy frequency: the largest possible
+/// savings under the problem setting (§2.4), at the cost of slowdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinEnergyOracle;
+
+impl Planner for MinEnergyOracle {
+    fn name(&self) -> &'static str {
+        "min_energy_oracle"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError> {
+        Ok(PlanOutput::Schedule(min_energy_schedule(ctx)?))
+    }
+}
+
+/// ZeusGlobal: one candidate schedule per global frequency cap, descending
+/// from the maximum clock to the deepest cap any computation's profile
+/// covers; selection picks the lowest-energy candidate meeting the
+/// straggler deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeusGlobal;
+
+impl Planner for ZeusGlobal {
+    fn name(&self) -> &'static str {
+        "zeus_global"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError> {
+        Ok(PlanOutput::Sweep {
+            schedules: zeus_global_sweep(ctx)?,
+            no_straggler_deadline_s: no_straggler_deadline(ctx)?,
+        })
+    }
+}
+
+/// ZeusPerStage: for each target forward latency (swept over the feasible
+/// range), every stage picks the slowest frequency whose *forward* time
+/// meets the target; the stage's backward runs at the same clock (one
+/// power knob per GPU). Balances forward times but ignores the critical
+/// path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeusPerStage;
+
+impl Planner for ZeusPerStage {
+    fn name(&self) -> &'static str {
+        "zeus_per_stage"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError> {
+        Ok(PlanOutput::Sweep {
+            schedules: zeus_per_stage_sweep(ctx)?,
+            no_straggler_deadline_s: no_straggler_deadline(ctx)?,
+        })
+    }
+}
+
+/// Tuning for the EnvPipe re-implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvPipeOptions {
+    /// Relative iteration-time inflation EnvPipe tolerates while lowering
+    /// clocks (its envelope slack check is locally greedy, not exact).
+    pub tolerance: f64,
+}
+
+impl Default for EnvPipeOptions {
+    fn default() -> Self {
+        EnvPipeOptions { tolerance: 0.005 }
+    }
+}
+
+/// EnvPipe: greedy stage-uniform frequency reduction keeping the last
+/// stage at maximum clock. See the module docs for the modeling notes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnvPipe {
+    /// Tuning knobs (tolerance).
+    pub opts: EnvPipeOptions,
+}
+
+impl EnvPipe {
+    /// An EnvPipe planner with the given options.
+    pub fn new(opts: EnvPipeOptions) -> EnvPipe {
+        EnvPipe { opts }
+    }
+}
+
+impl Planner for EnvPipe {
+    fn name(&self) -> &'static str {
+        "envpipe"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError> {
+        Ok(PlanOutput::Schedule(envpipe_schedule(ctx, self.opts)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived quantities and deprecated pre-trait entry points.
+// ---------------------------------------------------------------------------
+
+/// §2.4 potential-savings bound: relative per-iteration energy reduction of
+/// the min-energy oracle versus all-max (each evaluated at its own
+/// iteration time, no straggler).
+///
+/// # Errors
+///
+/// Propagates realization errors.
+pub fn potential_savings(ctx: &PlanContext<'_>) -> Result<f64, CoreError> {
+    let base = all_max_schedule(ctx)?.energy_report(ctx, None);
+    let oracle = min_energy_schedule(ctx)?.energy_report(ctx, None);
+    Ok(1.0 - oracle.total_j() / base.total_j())
+}
+
+/// Every computation at maximum frequency — the savings baseline.
+///
+/// # Errors
+///
+/// Propagates realization errors from [`EnergySchedule::realize`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `AllMaxFreq` planner via `Planner::plan`"
+)]
+pub fn all_max_freq(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
+    all_max_schedule(ctx)
+}
+
+/// Every computation at its minimum-energy frequency.
+///
+/// # Errors
+///
+/// Propagates realization errors from [`EnergySchedule::realize`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `MinEnergyOracle` planner via `Planner::plan`"
+)]
+pub fn min_energy_oracle(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
+    min_energy_schedule(ctx)
+}
+
+/// ZeusGlobal's raw candidate sweep. The caller Pareto-filters
+/// `(time, energy)` for frontier plots.
+///
+/// # Errors
+///
+/// Propagates realization errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `ZeusGlobal` planner via `Planner::plan`"
+)]
+pub fn zeus_global_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
+    zeus_global_sweep(ctx)
+}
+
+/// ZeusPerStage's raw candidate sweep.
+///
+/// # Errors
+///
+/// Propagates realization errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `ZeusPerStage` planner via `Planner::plan`"
+)]
+pub fn zeus_per_stage_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
+    zeus_per_stage_sweep(ctx)
+}
+
+/// EnvPipe's greedy schedule.
+///
+/// # Errors
+///
+/// Propagates realization errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `EnvPipe` planner via `Planner::plan`"
+)]
+pub fn envpipe(ctx: &PlanContext<'_>, opts: EnvPipeOptions) -> Result<EnergySchedule, CoreError> {
+    envpipe_schedule(ctx, opts)
 }
 
 #[cfg(test)]

@@ -1,11 +1,13 @@
-use perseus_core::{characterize, FrontierOptions, PlanContext};
+use perseus_core::{
+    characterize, EnergySchedule, FrontierOptions, PlanContext, PlanOutput, Planner,
+};
 use perseus_gpu::{GpuSpec, Workload};
 use perseus_models::StageWorkloads;
 use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleKind};
 
 use crate::{
-    all_max_freq, envpipe, min_energy_oracle, potential_savings, zeus_global_frontier,
-    zeus_per_stage_frontier, EnvPipeOptions,
+    potential_savings, AllMaxFreq, EnvPipe, EnvPipeOptions, MinEnergyOracle, ZeusGlobal,
+    ZeusPerStage,
 };
 
 fn stages_with_scales(scales: &[f64]) -> Vec<StageWorkloads> {
@@ -19,15 +21,32 @@ fn stages_with_scales(scales: &[f64]) -> Vec<StageWorkloads> {
 }
 
 fn build_pipe(n: usize, m: usize) -> PipelineDag {
-    PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap()
+    PipelineBuilder::new(ScheduleKind::OneFOneB, n, m)
+        .build()
+        .unwrap()
+}
+
+/// Plans with `p` and selects the no-straggler deployment schedule.
+fn plan_schedule(p: &dyn Planner, ctx: &PlanContext<'_>) -> EnergySchedule {
+    p.plan(ctx).unwrap().select(None).clone()
+}
+
+/// Plans with `p` and returns the raw candidate sweep.
+fn plan_sweep(p: &dyn Planner, ctx: &PlanContext<'_>) -> Vec<EnergySchedule> {
+    p.plan(ctx)
+        .unwrap()
+        .as_sweep()
+        .expect("sweep planner")
+        .to_vec()
 }
 
 #[test]
 fn all_max_freq_uses_max_clock_everywhere() {
     let gpu = GpuSpec::a100_pcie();
     let pipe = build_pipe(3, 4);
-    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0; 3])).unwrap();
-    let s = all_max_freq(&ctx).unwrap();
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0; 3])).unwrap();
+    let s = plan_schedule(&AllMaxFreq, &ctx);
     for id in pipe.dag.node_ids() {
         if let Some(f) = s.freq_of(id) {
             assert_eq!(f, gpu.max_freq());
@@ -42,8 +61,8 @@ fn oracle_saves_but_slows() {
     let ctx =
         PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9, 1.2]))
             .unwrap();
-    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
-    let oracle = min_energy_oracle(&ctx).unwrap().energy_report(&ctx, None);
+    let base = plan_schedule(&AllMaxFreq, &ctx).energy_report(&ctx, None);
+    let oracle = plan_schedule(&MinEnergyOracle, &ctx).energy_report(&ctx, None);
     assert!(oracle.total_j() < base.total_j());
     assert!(oracle.iter_time_s > base.iter_time_s);
     let p = potential_savings(&ctx).unwrap();
@@ -57,7 +76,7 @@ fn zeus_global_frontier_shape() {
     let ctx =
         PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.15, 0.95]))
             .unwrap();
-    let points = zeus_global_frontier(&ctx).unwrap();
+    let points = plan_sweep(&ZeusGlobal, &ctx);
     assert!(points.len() > 10);
     // First point is all-max; times increase as the cap deepens.
     assert!(points.first().unwrap().time_s <= points.last().unwrap().time_s);
@@ -77,7 +96,7 @@ fn perseus_pareto_dominates_zeus_global() {
         PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.15, 0.9, 1.25]))
             .unwrap();
     let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
-    let zeus = zeus_global_frontier(&ctx).unwrap();
+    let zeus = plan_sweep(&ZeusGlobal, &ctx);
     for z in &zeus {
         let zr = z.energy_report(&ctx, None);
         let p = frontier.lookup(zr.iter_time_s);
@@ -100,7 +119,7 @@ fn zeus_per_stage_balances_forward_times() {
     let ctx =
         PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.2, 0.9, 1.1]))
             .unwrap();
-    let points = zeus_per_stage_frontier(&ctx).unwrap();
+    let points = plan_sweep(&ZeusPerStage, &ctx);
     assert!(points.len() > 10);
     // At deep targets, per-stage forward durations converge toward the
     // target: the spread between stages shrinks versus all-max.
@@ -115,11 +134,17 @@ fn zeus_per_stage_balances_forward_times() {
         let min = per_stage.iter().copied().fold(f64::MAX, f64::min);
         max / min
     };
-    let unbalanced = spread(&all_max_freq(&ctx).unwrap());
+    let unbalanced = spread(&plan_schedule(&AllMaxFreq, &ctx));
     let first = spread(points.first().unwrap());
     let mid = spread(&points[points.len() / 2]);
-    assert!(first < unbalanced, "balancing should shrink the spread: {first} vs {unbalanced}");
-    assert!(mid < unbalanced, "balancing should persist across the sweep: {mid} vs {unbalanced}");
+    assert!(
+        first < unbalanced,
+        "balancing should shrink the spread: {first} vs {unbalanced}"
+    );
+    assert!(
+        mid < unbalanced,
+        "balancing should persist across the sweep: {mid} vs {unbalanced}"
+    );
 }
 
 #[test]
@@ -129,10 +154,14 @@ fn envpipe_keeps_last_stage_at_max() {
     let ctx =
         PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.95, 1.2]))
             .unwrap();
-    let s = envpipe(&ctx, EnvPipeOptions::default()).unwrap();
+    let s = plan_schedule(&EnvPipe::default(), &ctx);
     for (id, c) in pipe.computations() {
         if c.stage == 3 {
-            assert_eq!(s.freq_of(id), Some(gpu.max_freq()), "last stage must stay at max");
+            assert_eq!(
+                s.freq_of(id),
+                Some(gpu.max_freq()),
+                "last stage must stay at max"
+            );
         }
     }
 }
@@ -144,12 +173,15 @@ fn envpipe_saves_energy_within_tolerance() {
     let ctx =
         PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9, 1.25]))
             .unwrap();
-    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
-    let ep = envpipe(&ctx, EnvPipeOptions::default()).unwrap().energy_report(&ctx, None);
+    let base = plan_schedule(&AllMaxFreq, &ctx).energy_report(&ctx, None);
+    let ep = plan_schedule(&EnvPipe::default(), &ctx).energy_report(&ctx, None);
     let savings = 1.0 - ep.total_j() / base.total_j();
     let slowdown = ep.iter_time_s / base.iter_time_s - 1.0;
     assert!(savings > 0.01, "EnvPipe should save something: {savings}");
-    assert!(slowdown <= 0.0055, "EnvPipe slowdown within tolerance: {slowdown}");
+    assert!(
+        slowdown <= 0.0055,
+        "EnvPipe slowdown within tolerance: {slowdown}"
+    );
 }
 
 #[test]
@@ -159,20 +191,116 @@ fn perseus_beats_envpipe_when_last_stage_is_light() {
     let gpu = GpuSpec::a100_pcie();
     let pipe = build_pipe(4, 8);
     // Heaviest stage is stage 1; last stage is light.
-    let ctx = PlanContext::from_model_profiles(
-        &pipe,
-        &gpu,
-        &stages_with_scales(&[1.0, 1.3, 1.0, 0.75]),
-    )
-    .unwrap();
-    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
+    let ctx =
+        PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.3, 1.0, 0.75]))
+            .unwrap();
+    let base = plan_schedule(&AllMaxFreq, &ctx).energy_report(&ctx, None);
     let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
     let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
-    let ep = envpipe(&ctx, EnvPipeOptions::default()).unwrap().energy_report(&ctx, None);
+    let ep = plan_schedule(&EnvPipe::default(), &ctx).energy_report(&ctx, None);
     let s_perseus = 1.0 - perseus.total_j() / base.total_j();
     let s_envpipe = 1.0 - ep.total_j() / base.total_j();
     assert!(
         s_perseus > s_envpipe,
         "Perseus {s_perseus:.4} should beat EnvPipe {s_envpipe:.4} here"
     );
+}
+
+#[test]
+fn every_policy_is_reachable_through_the_planner_trait() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9]))
+        .unwrap();
+    let planners: Vec<Box<dyn Planner>> = vec![
+        Box::new(AllMaxFreq),
+        Box::new(MinEnergyOracle),
+        Box::new(EnvPipe::default()),
+        Box::new(ZeusGlobal),
+        Box::new(ZeusPerStage),
+        Box::new(perseus_core::Perseus::default()),
+    ];
+    for p in &planners {
+        let out = p.plan(&ctx).unwrap();
+        let s = out.select(None);
+        assert!(
+            s.time_s > 0.0 && s.compute_j > 0.0,
+            "{} produced a schedule",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn sweep_selection_honors_the_straggler_deadline() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9]))
+        .unwrap();
+    let out = ZeusGlobal.plan(&ctx).unwrap();
+    let sweep = out.as_sweep().unwrap();
+    let fastest = sweep.iter().map(|s| s.time_s).fold(f64::INFINITY, f64::min);
+    let slowest = sweep.iter().map(|s| s.time_s).fold(0.0f64, f64::max);
+
+    // No straggler: never slower than the all-max baseline.
+    let no_straggler = out.select(None);
+    assert!(no_straggler.time_s <= fastest * (1.0 + 1e-9));
+
+    // Relaxed deadline: picks the lowest-energy candidate meeting it.
+    let deadline = (fastest + slowest) / 2.0;
+    let picked = out.select(Some(deadline));
+    assert!(picked.time_s <= deadline);
+    for s in sweep {
+        if s.time_s <= deadline {
+            assert!(picked.compute_j <= s.compute_j + 1e-9);
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_planner_outputs() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.2, 0.9]))
+        .unwrap();
+    let via_fn = crate::all_max_freq(&ctx).unwrap();
+    let via_trait = plan_schedule(&AllMaxFreq, &ctx);
+    assert_eq!(via_fn.time_s, via_trait.time_s);
+    assert_eq!(via_fn.compute_j, via_trait.compute_j);
+
+    let sweep_fn = crate::zeus_global_frontier(&ctx).unwrap();
+    let sweep_trait = plan_sweep(&ZeusGlobal, &ctx);
+    assert_eq!(sweep_fn.len(), sweep_trait.len());
+
+    let ep_fn = crate::envpipe(&ctx, EnvPipeOptions::default()).unwrap();
+    let ep_trait = plan_schedule(&EnvPipe::default(), &ctx);
+    assert_eq!(ep_fn.time_s, ep_trait.time_s);
+}
+
+#[test]
+fn plan_output_select_matches_variant_semantics() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(3, 4);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages_with_scales(&[1.0, 1.1, 0.9]))
+        .unwrap();
+
+    // Schedule: straggler-unaware.
+    let out = EnvPipe::default().plan(&ctx).unwrap();
+    assert_eq!(out.select(None).time_s, out.select(Some(1e9)).time_s);
+    assert!(out.as_schedule().is_some());
+    assert!(out.as_frontier().is_none());
+
+    // Frontier: a relaxed deadline moves down the frontier.
+    let out = perseus_core::Perseus::default().plan(&ctx).unwrap();
+    let frontier = out.as_frontier().unwrap();
+    let fast = out.select(None).clone();
+    let slow = out.select(Some(frontier.t_star() * 2.0)).clone();
+    assert!(slow.time_s >= fast.time_s);
+    assert!(slow.compute_j <= fast.compute_j);
+
+    match out {
+        PlanOutput::Frontier(_) => {}
+        _ => panic!("perseus plans a frontier"),
+    }
 }

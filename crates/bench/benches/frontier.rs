@@ -25,14 +25,20 @@ fn bench_frontier(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontier");
     group.sample_size(10);
     for (n, m) in [(4usize, 8usize), (4, 32), (8, 32), (8, 96)] {
-        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().expect("pipe");
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m)
+            .build()
+            .expect("pipe");
         let stages = stages_for(n);
-        group.bench_with_input(BenchmarkId::new("characterize", format!("N{n}M{m}")), &pipe, |b, pipe| {
-            b.iter(|| {
-                let ctx = PlanContext::from_model_profiles(pipe, &gpu, &stages).expect("ctx");
-                characterize(&ctx, &FrontierOptions::default()).expect("frontier")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("characterize", format!("N{n}M{m}")),
+            &pipe,
+            |b, pipe| {
+                b.iter(|| {
+                    let ctx = PlanContext::from_model_profiles(pipe, &gpu, &stages).expect("ctx");
+                    characterize(&ctx, &FrontierOptions::default()).expect("frontier")
+                })
+            },
+        );
     }
     group.finish();
 }

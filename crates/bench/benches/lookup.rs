@@ -1,15 +1,59 @@
 //! Criterion bench: the straggler reaction path — `T' -> schedule` lookup
 //! must be effectively free (§3.2 "quickly reacts ... by looking up").
+//!
+//! Besides the characterized-frontier benchmark, this harness builds large
+//! synthetic frontiers and *asserts* that lookup scales like a binary
+//! search: going from 2^10 to 2^20 points (a 1024x size increase) must not
+//! slow a lookup down anywhere near linearly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use perseus_core::{characterize, FrontierOptions, PlanContext};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use perseus_core::{
+    characterize, EnergySchedule, FrontierOptions, FrontierPoint, ParetoFrontier, PlanContext,
+};
 use perseus_gpu::{GpuSpec, Workload};
 use perseus_models::StageWorkloads;
 use perseus_pipeline::{PipelineBuilder, ScheduleKind};
 
+/// A frontier of `n` synthetic points with strictly ascending times and
+/// descending energies; schedules are empty shells (lookup never reads
+/// them).
+fn synthetic_frontier(n: usize) -> ParetoFrontier {
+    let points = (0..n)
+        .map(|i| FrontierPoint {
+            planned_time_s: 1.0 + i as f64 * 1e-4,
+            planned_energy_j: (2 * n - i) as f64,
+            schedule: EnergySchedule {
+                planned: Vec::new(),
+                freqs: Vec::new(),
+                realized_dur: Vec::new(),
+                realized_energy: Vec::new(),
+                time_s: 1.0 + i as f64 * 1e-4,
+                compute_j: (2 * n - i) as f64,
+            },
+        })
+        .collect();
+    ParetoFrontier::from_points(points)
+}
+
+/// Mean seconds per lookup over `iters` spread-out probe times.
+fn time_lookups(frontier: &ParetoFrontier, iters: u64) -> f64 {
+    let t_min = frontier.t_min();
+    let span = frontier.t_star() - t_min;
+    let start = Instant::now();
+    for i in 0..iters {
+        let t_prime = t_min + span * ((i % 997) as f64 / 997.0);
+        black_box(frontier.lookup(black_box(t_prime)).planned_time_s);
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
 fn bench_lookup(c: &mut Criterion) {
     let gpu = GpuSpec::a100_pcie();
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 16).build().expect("pipe");
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 16)
+        .build()
+        .expect("pipe");
     let stages: Vec<StageWorkloads> = (0..4)
         .map(|s| {
             let k = 1.0 + 0.05 * (s % 3) as f64;
@@ -31,7 +75,59 @@ fn bench_lookup(c: &mut Criterion) {
             frontier.lookup(t_prime).planned_time_s
         })
     });
+
+    let mut group = c.benchmark_group("synthetic_lookup");
+    for exp in [10u32, 14, 20] {
+        let f = synthetic_frontier(1 << exp);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("points", 1u64 << exp), &f, |b, f| {
+            let t_min = f.t_min();
+            let span = f.t_star() - t_min;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let t_prime = t_min + span * ((i % 997) as f64 / 997.0);
+                f.lookup(t_prime).planned_time_s
+            })
+        });
+    }
+    group.finish();
 }
 
-criterion_group!(benches, bench_lookup);
+/// Asserts the O(log n) scaling claim: a 1024x larger frontier may cost at
+/// most ~2x per lookup if lookup is a binary search (10 -> 20 probe
+/// levels); a linear scan would cost ~1024x. The 32x ceiling leaves wide
+/// headroom for cache effects and timer noise while still failing hard on
+/// any accidental return to linear scanning.
+fn assert_logarithmic_scaling() {
+    const ITERS: u64 = 200_000;
+    let small = synthetic_frontier(1 << 10);
+    let large = synthetic_frontier(1 << 20);
+    // Interleave and take per-size minima across rounds to shed scheduler
+    // noise on shared runners.
+    let mut t_small = f64::INFINITY;
+    let mut t_large = f64::INFINITY;
+    for _ in 0..3 {
+        t_small = t_small.min(time_lookups(&small, ITERS));
+        t_large = t_large.min(time_lookups(&large, ITERS));
+    }
+    let ratio = t_large / t_small;
+    println!(
+        "lookup scaling: 2^10 pts {:.1} ns, 2^20 pts {:.1} ns, ratio {ratio:.2} (linear would be ~1024)",
+        t_small * 1e9,
+        t_large * 1e9,
+    );
+    assert!(
+        ratio < 32.0,
+        "lookup no longer scales logarithmically: 1024x points cost {ratio:.1}x per lookup"
+    );
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Run the assertion once as part of the harness so `cargo bench`
+    // fails loudly if lookup regresses to a linear scan.
+    assert_logarithmic_scaling();
+    let _ = c;
+}
+
+criterion_group!(benches, bench_lookup, bench_scaling);
 criterion_main!(benches);

@@ -19,7 +19,11 @@ fn layered(layers: usize, width: usize) -> (usize, usize, Vec<(usize, usize, f64
     for l in 0..layers - 1 {
         for w in 0..width {
             edges.push((id(l, w), id(l + 1, w), 0.5 + ((l + w) % 7) as f64));
-            edges.push((id(l, w), id(l + 1, (w + 1) % width), 0.25 + ((l * w) % 5) as f64));
+            edges.push((
+                id(l, w),
+                id(l + 1, (w + 1) % width),
+                0.25 + ((l * w) % 5) as f64,
+            ));
         }
     }
     (n, t, edges)

@@ -17,11 +17,9 @@ fn bench_partition(c: &mut Criterion) {
     ] {
         let weights = model.fwd_latency_weights(&gpu);
         for stages in [4usize, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(name, stages),
-                &weights,
-                |b, w| b.iter(|| min_imbalance_partition(w, stages).expect("partition")),
-            );
+            group.bench_with_input(BenchmarkId::new(name, stages), &weights, |b, w| {
+                b.iter(|| min_imbalance_partition(w, stages).expect("partition"))
+            });
         }
     }
     group.finish();

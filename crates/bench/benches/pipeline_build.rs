@@ -5,14 +5,16 @@ use perseus_pipeline::{PipelineBuilder, ScheduleKind};
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_build");
-    for kind in [ScheduleKind::OneFOneB, ScheduleKind::GPipe, ScheduleKind::EarlyRecompute1F1B] {
+    for kind in [
+        ScheduleKind::OneFOneB,
+        ScheduleKind::GPipe,
+        ScheduleKind::EarlyRecompute1F1B,
+    ] {
         for (n, m) in [(4usize, 32usize), (8, 128), (8, 256)] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{kind}"), format!("N{n}M{m}")),
                 &(n, m),
-                |b, &(n, m)| {
-                    b.iter(|| PipelineBuilder::new(kind, n, m).build().expect("pipe"))
-                },
+                |b, &(n, m)| b.iter(|| PipelineBuilder::new(kind, n, m).build().expect("pipe")),
             );
         }
     }

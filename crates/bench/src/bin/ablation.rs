@@ -11,8 +11,8 @@
 
 use std::time::Instant;
 
-use perseus_baselines::all_max_freq;
-use perseus_core::{characterize, FrontierOptions, PlanContext};
+use perseus_baselines::AllMaxFreq;
+use perseus_core::{characterize, FrontierOptions, PlanContext, Planner};
 use perseus_gpu::GpuSpec;
 use perseus_models::{min_imbalance_partition, zoo};
 use perseus_pipeline::{PipelineBuilder, ScheduleKind};
@@ -23,9 +23,15 @@ fn main() {
     let weights = model.fwd_latency_weights(&gpu);
     let partition = min_imbalance_partition(&weights, 4).expect("partition");
     let stages = model.stage_workloads(&partition, &gpu).expect("stages");
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 32).build().expect("pipe");
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 32)
+        .build()
+        .expect("pipe");
     let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).expect("ctx");
-    let base = all_max_freq(&ctx).expect("all-max").energy_report(&ctx, None);
+    let base = AllMaxFreq
+        .plan(&ctx)
+        .expect("all-max")
+        .select(None)
+        .energy_report(&ctx, None);
 
     println!("GPT-3 1.3B, 4 stages, 32 microbatches, A100 — intrinsic savings at T_min");
     println!(

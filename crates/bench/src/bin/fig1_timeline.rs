@@ -8,9 +8,9 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin fig1_timeline`
 
-use perseus_baselines::all_max_freq;
+use perseus_baselines::AllMaxFreq;
 use perseus_cluster::{ClusterConfig, Emulator};
-use perseus_core::FrontierOptions;
+use perseus_core::{FrontierOptions, Planner};
 use perseus_gpu::GpuSpec;
 use perseus_models::zoo;
 use perseus_pipeline::{render_timeline, ScheduleKind};
@@ -39,7 +39,11 @@ fn main() {
         let ctx = emu.ctx();
 
         println!("=== {name}: all computations at maximum frequency ===");
-        let base = all_max_freq(&ctx).expect("all-max realizes");
+        let base = AllMaxFreq
+            .plan(&ctx)
+            .expect("all-max realizes")
+            .into_schedule()
+            .expect("single schedule");
         println!(
             "{}",
             render_timeline(emu.pipe(), |id, _| base.realized_dur[id.index()], 100)
@@ -49,7 +53,11 @@ fn main() {
         let point = emu.frontier().fastest();
         println!(
             "{}",
-            render_timeline(emu.pipe(), |id, _| point.schedule.realized_dur[id.index()], 100)
+            render_timeline(
+                emu.pipe(),
+                |id, _| point.schedule.realized_dur[id.index()],
+                100
+            )
         );
         let b = base.energy_report(&ctx, None);
         let p = point.schedule.energy_report(&ctx, None);

@@ -9,9 +9,10 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin fig9_frontier [-- --appendix]`
 
-use perseus_baselines::{all_max_freq, zeus_global_frontier, zeus_per_stage_frontier};
+use perseus_baselines::{AllMaxFreq, ZeusGlobal, ZeusPerStage};
 use perseus_cluster::{ClusterConfig, Emulator};
 use perseus_core::FrontierOptions;
+use perseus_core::Planner;
 use perseus_gpu::GpuSpec;
 use perseus_models::{zoo, ModelSpec};
 use perseus_pipeline::ScheduleKind;
@@ -41,9 +42,16 @@ fn frontier_csv(cfg: &Config) {
     let ctx = emu.ctx();
     let tp = cfg.tensor_parallel as f64;
 
-    println!("# {} on {} ({} stages, TP {})", cfg.label, cfg.gpu.name, cfg.n_stages, cfg.tensor_parallel);
+    println!(
+        "# {} on {} ({} stages, TP {})",
+        cfg.label, cfg.gpu.name, cfg.n_stages, cfg.tensor_parallel
+    );
     println!("policy,time_s,energy_j");
-    let base = all_max_freq(&ctx).expect("all-max").energy_report(&ctx, None);
+    let base = AllMaxFreq
+        .plan(&ctx)
+        .expect("all-max")
+        .select(None)
+        .energy_report(&ctx, None);
     println!("all-max,{:.4},{:.1}", base.iter_time_s, base.total_j() * tp);
 
     // Perseus: thin the frontier to ~64 evenly spaced points for plotting.
@@ -53,27 +61,49 @@ fn frontier_csv(cfg: &Config) {
         let r = p.schedule.energy_report(&ctx, None);
         println!("perseus,{:.4},{:.1}", r.iter_time_s, r.total_j() * tp);
     }
-    for s in zeus_global_frontier(&ctx).expect("zeus global").iter().step_by(4) {
+    let zeus_global = ZeusGlobal
+        .plan(&ctx)
+        .expect("zeus global")
+        .into_sweep()
+        .expect("sweep planner");
+    for s in zeus_global.iter().step_by(4) {
         let r = s.energy_report(&ctx, None);
         println!("zeus-global,{:.4},{:.1}", r.iter_time_s, r.total_j() * tp);
     }
-    for s in zeus_per_stage_frontier(&ctx).expect("zeus per-stage") {
+    for s in ZeusPerStage
+        .plan(&ctx)
+        .expect("zeus per-stage")
+        .into_sweep()
+        .expect("sweep planner")
+    {
         let r = s.energy_report(&ctx, None);
-        println!("zeus-per-stage,{:.4},{:.1}", r.iter_time_s, r.total_j() * tp);
+        println!(
+            "zeus-per-stage,{:.4},{:.1}",
+            r.iter_time_s,
+            r.total_j() * tp
+        );
     }
 
     // Dominance summary: at a mid-frontier time budget, compare energies.
     let mid_t = (emu.frontier().t_min() + emu.frontier().t_star()) * 0.5;
-    let perseus_mid = emu.frontier().lookup(mid_t).schedule.energy_report(&ctx, None).total_j();
-    let zeus_mid = zeus_global_frontier(&ctx)
-        .expect("zeus global")
+    let perseus_mid = emu
+        .frontier()
+        .lookup(mid_t)
+        .schedule
+        .energy_report(&ctx, None)
+        .total_j();
+    let zeus_mid = zeus_global
         .iter()
         .filter(|s| s.time_s <= mid_t)
         .map(|s| s.energy_report(&ctx, None).total_j())
         .fold(f64::INFINITY, f64::min);
     println!(
         "# at T={mid_t:.3}s: perseus {perseus_mid:.0} J vs best zeus-global {zeus_mid:.0} J ({})",
-        if perseus_mid <= zeus_mid { "perseus dominates" } else { "DOMINANCE VIOLATED" }
+        if perseus_mid <= zeus_mid {
+            "perseus dominates"
+        } else {
+            "DOMINANCE VIOLATED"
+        }
     );
     println!();
 }
@@ -111,7 +141,12 @@ fn main() {
     ];
     if appendix {
         for (label, model, mb, m) in [
-            ("BERT 1.3B", zoo::bert_huge as fn(usize) -> ModelSpec, 8usize, 32usize),
+            (
+                "BERT 1.3B",
+                zoo::bert_huge as fn(usize) -> ModelSpec,
+                8usize,
+                32usize,
+            ),
             ("T5 3B", zoo::t5_3b, 4, 32),
             ("Bloom 3B", zoo::bloom_3b, 4, 128),
             ("Wide-ResNet 1.5B", zoo::wide_resnet101_8, 32, 48),

@@ -15,7 +15,12 @@ fn main() {
         "{:<24} {:>10} {:>12} {:>12} {:>12}",
         "GPU", "clocks", "savings %", "J saved/it", "slowdown %"
     );
-    for gpu in [GpuSpec::v100(), GpuSpec::a100_pcie(), GpuSpec::a40(), GpuSpec::h100_sxm()] {
+    for gpu in [
+        GpuSpec::v100(),
+        GpuSpec::a100_pcie(),
+        GpuSpec::a40(),
+        GpuSpec::h100_sxm(),
+    ] {
         let emu = Emulator::new(ClusterConfig {
             model: zoo::gpt3_2_7b(4),
             gpu: gpu.clone(),

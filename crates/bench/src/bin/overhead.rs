@@ -30,7 +30,10 @@ fn main() {
             let _ = profiler.profile(&mut gpu, &sw.bwd);
             total = f64::max(total, gpu.clock_s()); // stages profile in parallel
         }
-        println!("{:<18} {:>8.1} s of training time (stages profile concurrently)", w.name, total);
+        println!(
+            "{:<18} {:>8.1} s of training time (stages profile concurrently)",
+            w.name, total
+        );
     }
 
     println!("\n== Algorithm runtime (frontier characterization, wall clock) ==");

@@ -13,7 +13,12 @@ use perseus_gpu::GpuSpec;
 
 fn main() {
     for (gpu, stages, workloads, label) in [
-        (GpuSpec::a100_pcie(), 4usize, a100_workloads(), "A100, four stages"),
+        (
+            GpuSpec::a100_pcie(),
+            4usize,
+            a100_workloads(),
+            "A100, four stages",
+        ),
         (GpuSpec::a40(), 8, a40_workloads(), "A40, eight stages"),
     ] {
         println!("== Potential vs realized savings ({label}) ==");

@@ -6,9 +6,9 @@
 
 use std::fs;
 
-use perseus_baselines::{all_max_freq, zeus_global_frontier, zeus_per_stage_frontier};
+use perseus_baselines::{AllMaxFreq, ZeusGlobal, ZeusPerStage};
 use perseus_cluster::{ClusterConfig, Emulator};
-use perseus_core::FrontierOptions;
+use perseus_core::{FrontierOptions, Planner};
 use perseus_gpu::GpuSpec;
 use perseus_models::zoo;
 use perseus_pipeline::ScheduleKind;
@@ -30,18 +30,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let ctx = emu.ctx();
     let gpu = GpuSpec::a100_pcie();
-    let base = all_max_freq(&ctx)?;
+    let base = AllMaxFreq
+        .plan(&ctx)?
+        .into_schedule()
+        .expect("single schedule");
     let fast = &emu.frontier().fastest().schedule;
     for (schedule, name, title) in [
-        (&base, "fig1a_maxfreq.svg", "GPT-3 1.3B, all computations at maximum frequency"),
-        (fast, "fig1b_perseus.svg", "GPT-3 1.3B, Perseus energy schedule (intrinsic bloat removed)"),
+        (
+            &base,
+            "fig1a_maxfreq.svg",
+            "GPT-3 1.3B, all computations at maximum frequency",
+        ),
+        (
+            fast,
+            "fig1b_perseus.svg",
+            "GPT-3 1.3B, Perseus energy schedule (intrinsic bloat removed)",
+        ),
     ] {
         let svg = timeline_svg(
             emu.pipe(),
             &gpu,
             |id, _| schedule.realized_dur[id.index()],
             |id, _| schedule.realized_energy[id.index()],
-            &TimelineStyle { title: title.into(), ..Default::default() },
+            &TimelineStyle {
+                title: title.into(),
+                ..Default::default()
+            },
         );
         fs::write(format!("results/{name}"), svg)?;
         println!("wrote results/{name}");
@@ -72,14 +86,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (r.iter_time_s, r.total_j())
         })
         .collect();
-    let zeus_g: Vec<(f64, f64)> = zeus_global_frontier(&ctx)?
+    let zeus_g: Vec<(f64, f64)> = ZeusGlobal
+        .plan(&ctx)?
+        .into_sweep()
+        .expect("sweep planner")
         .iter()
         .map(|s| {
             let r = s.energy_report(&ctx, None);
             (r.iter_time_s, r.total_j())
         })
         .collect();
-    let zeus_ps: Vec<(f64, f64)> = zeus_per_stage_frontier(&ctx)?
+    let zeus_ps: Vec<(f64, f64)> = ZeusPerStage
+        .plan(&ctx)?
+        .into_sweep()
+        .expect("sweep planner")
         .iter()
         .map(|s| {
             let r = s.energy_report(&ctx, None);
@@ -89,9 +109,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svg = frontier_svg(&FrontierPlot {
         title: "GPT-3 1.3B, four-stage pipeline, A100 (Figure 9a)".into(),
         series: vec![
-            Series { label: "Perseus".into(), points: thin(perseus, 64) },
-            Series { label: "ZeusGlobal".into(), points: thin(zeus_g, 40) },
-            Series { label: "ZeusPerStage".into(), points: thin(zeus_ps, 40) },
+            Series {
+                label: "Perseus".into(),
+                points: thin(perseus, 64),
+            },
+            Series {
+                label: "ZeusGlobal".into(),
+                points: thin(zeus_g, 40),
+            },
+            Series {
+                label: "ZeusPerStage".into(),
+                points: thin(zeus_ps, 40),
+            },
         ],
     });
     fs::write("results/fig9a_frontier.svg", svg)?;

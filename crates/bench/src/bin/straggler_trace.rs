@@ -43,7 +43,10 @@ fn main() {
         (Policy::Perseus, "perseus"),
     ] {
         for delay in [0usize, 2] {
-            let cfg = RunConfig { iterations: iters, reaction_delay_iters: delay };
+            let cfg = RunConfig {
+                iterations: iters,
+                reaction_delay_iters: delay,
+            };
             let s = simulate_run(&emu, policy, &trace, &cfg).expect("run");
             println!(
                 "{:<16} {:>8} {:>14.1} {:>12.2} {:>10.2}",

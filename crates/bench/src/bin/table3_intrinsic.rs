@@ -10,8 +10,18 @@ use perseus_gpu::GpuSpec;
 
 fn main() {
     for (gpu, stages, workloads, label) in [
-        (GpuSpec::a100_pcie(), 4usize, a100_workloads(), "(a) Four-stage pipeline on A100"),
-        (GpuSpec::a40(), 8, a40_workloads(), "(b) Eight-stage pipeline on A40"),
+        (
+            GpuSpec::a100_pcie(),
+            4usize,
+            a100_workloads(),
+            "(a) Four-stage pipeline on A100",
+        ),
+        (
+            GpuSpec::a40(),
+            8,
+            a40_workloads(),
+            "(b) Eight-stage pipeline on A40",
+        ),
     ] {
         println!("== Table 3 {label} ==");
         println!(

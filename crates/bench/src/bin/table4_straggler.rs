@@ -12,8 +12,18 @@ const DEGREES: [f64; 6] = [1.05, 1.1, 1.2, 1.3, 1.4, 1.5];
 
 fn main() {
     for (gpu, stages, workloads, label) in [
-        (GpuSpec::a100_pcie(), 4usize, a100_workloads(), "(a) Four-stage pipeline on A100"),
-        (GpuSpec::a40(), 8, a40_workloads(), "(b) Eight-stage pipeline on A40"),
+        (
+            GpuSpec::a100_pcie(),
+            4usize,
+            a100_workloads(),
+            "(a) Four-stage pipeline on A100",
+        ),
+        (
+            GpuSpec::a40(),
+            8,
+            a40_workloads(),
+            "(b) Eight-stage pipeline on A40",
+        ),
     ] {
         println!("== Table 4 {label} ==");
         print!("{:<18} {:<8}", "Model", "Method");

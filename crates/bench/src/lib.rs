@@ -28,10 +28,30 @@ pub struct Workload {
 /// The five A100 workloads of Table 10 (four-stage pipeline parallelism).
 pub fn a100_workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "GPT-3 1.3B", model: zoo::gpt3_xl, microbatch: 4, n_microbatches: 128 },
-        Workload { name: "BERT 1.3B", model: zoo::bert_huge, microbatch: 8, n_microbatches: 32 },
-        Workload { name: "T5 3B", model: zoo::t5_3b, microbatch: 4, n_microbatches: 32 },
-        Workload { name: "Bloom 3B", model: zoo::bloom_3b, microbatch: 4, n_microbatches: 128 },
+        Workload {
+            name: "GPT-3 1.3B",
+            model: zoo::gpt3_xl,
+            microbatch: 4,
+            n_microbatches: 128,
+        },
+        Workload {
+            name: "BERT 1.3B",
+            model: zoo::bert_huge,
+            microbatch: 8,
+            n_microbatches: 32,
+        },
+        Workload {
+            name: "T5 3B",
+            model: zoo::t5_3b,
+            microbatch: 4,
+            n_microbatches: 32,
+        },
+        Workload {
+            name: "Bloom 3B",
+            model: zoo::bloom_3b,
+            microbatch: 4,
+            n_microbatches: 128,
+        },
         Workload {
             name: "Wide-ResNet 1.5B",
             model: zoo::wide_resnet101_8,
@@ -44,10 +64,30 @@ pub fn a100_workloads() -> Vec<Workload> {
 /// The five A40 workloads of Table 9 (eight-stage pipeline parallelism).
 pub fn a40_workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "GPT-3 2.7B", model: zoo::gpt3_2_7b, microbatch: 4, n_microbatches: 256 },
-        Workload { name: "BERT 1.3B", model: zoo::bert_huge, microbatch: 8, n_microbatches: 32 },
-        Workload { name: "T5 3B", model: zoo::t5_3b, microbatch: 4, n_microbatches: 32 },
-        Workload { name: "Bloom 3B", model: zoo::bloom_3b, microbatch: 4, n_microbatches: 128 },
+        Workload {
+            name: "GPT-3 2.7B",
+            model: zoo::gpt3_2_7b,
+            microbatch: 4,
+            n_microbatches: 256,
+        },
+        Workload {
+            name: "BERT 1.3B",
+            model: zoo::bert_huge,
+            microbatch: 8,
+            n_microbatches: 32,
+        },
+        Workload {
+            name: "T5 3B",
+            model: zoo::t5_3b,
+            microbatch: 4,
+            n_microbatches: 32,
+        },
+        Workload {
+            name: "Bloom 3B",
+            model: zoo::bloom_3b,
+            microbatch: 4,
+            n_microbatches: 128,
+        },
         Workload {
             name: "Wide-ResNet 1.5B",
             model: zoo::wide_resnet101_8,

@@ -2,16 +2,23 @@
 //! accounted (§4.4: operator-parallel replicas share one energy schedule,
 //! so it suffices to optimize a single data-parallel copy).
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use perseus_baselines::{all_max_freq, envpipe, min_energy_oracle, zeus_global_frontier, EnvPipeOptions};
+use parking_lot::Mutex;
+use perseus_baselines::AllMaxFreq;
 use perseus_core::{
-    characterize, CoreError, EnergySchedule, FrontierOptions, ParetoFrontier, PipelineEnergy,
-    PlanContext,
+    characterize, CoreError, FrontierOptions, ParetoFrontier, PipelineEnergy, PlanContext,
+    PlanOutput, Planner,
 };
 use perseus_gpu::{FreqMHz, GpuSpec};
-use perseus_models::{min_imbalance_partition, ModelError, ModelSpec, PartitionError, StageWorkloads};
+use perseus_models::{
+    min_imbalance_partition, ModelError, ModelSpec, PartitionError, StageWorkloads,
+};
 use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleError, ScheduleKind};
+
+use crate::registry::PlannerRegistry;
 
 /// Emulation input: the model, hardware, and parallelization layout.
 #[derive(Debug, Clone)]
@@ -55,6 +62,8 @@ pub enum EmulatorError {
     Core(CoreError),
     /// A straggler degree below 1.0 was requested.
     InvalidDegree(f64),
+    /// No planner is registered under the policy's name.
+    UnknownPolicy(String),
 }
 
 impl fmt::Display for EmulatorError {
@@ -65,6 +74,7 @@ impl fmt::Display for EmulatorError {
             EmulatorError::Schedule(e) => write!(f, "schedule error: {e}"),
             EmulatorError::Core(e) => write!(f, "frontier error: {e}"),
             EmulatorError::InvalidDegree(d) => write!(f, "straggler degree {d} must be >= 1"),
+            EmulatorError::UnknownPolicy(name) => write!(f, "no planner registered as {name:?}"),
         }
     }
 }
@@ -92,20 +102,57 @@ impl From<CoreError> for EmulatorError {
     }
 }
 
-/// Energy policy applied to the non-straggler pipelines.
+/// Energy policy applied to the non-straggler pipelines: a planner name
+/// resolved through the emulator's [`PlannerRegistry`].
+///
+/// The well-known policies are associated constants
+/// (`Policy::Perseus`, `Policy::AllMax`, …), so existing call sites read
+/// exactly as they did when this was an enum; [`Policy::custom`] names a
+/// planner registered via [`Emulator::register_planner`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Policy {
+pub struct Policy {
+    name: &'static str,
+}
+
+#[allow(non_upper_case_globals)]
+impl Policy {
     /// Every computation at maximum frequency (the baseline).
-    AllMax,
+    pub const AllMax: Policy = Policy {
+        name: "all_max_freq",
+    };
     /// Perseus: frontier lookup at `T_opt = min(T*, T')`.
-    Perseus,
+    pub const Perseus: Policy = Policy { name: "perseus" };
     /// EnvPipe: intrinsic-only heuristic, unaware of stragglers.
-    EnvPipe,
+    pub const EnvPipe: Policy = Policy { name: "envpipe" };
     /// ZeusGlobal: the lowest-energy global frequency cap whose iteration
     /// time does not exceed `T'`.
-    ZeusGlobal,
+    pub const ZeusGlobal: Policy = Policy {
+        name: "zeus_global",
+    };
+    /// ZeusPerStage: per-stage clocks balancing forward times under `T'`.
+    pub const ZeusPerStage: Policy = Policy {
+        name: "zeus_per_stage",
+    };
     /// Every computation at its minimum-energy frequency (§2.4 oracle).
-    MinEnergyOracle,
+    pub const MinEnergyOracle: Policy = Policy {
+        name: "min_energy_oracle",
+    };
+
+    /// A policy resolving to the planner registered under `name`.
+    pub const fn custom(name: &'static str) -> Policy {
+        Policy { name }
+    }
+
+    /// The planner name this policy resolves to.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
 }
 
 /// Root causes behind straggler pipelines (§2.3).
@@ -172,11 +219,19 @@ pub struct Savings {
 }
 
 /// The emulator: one partitioned, profiled, characterized pipeline.
+///
+/// Policies dispatch through a [`PlannerRegistry`] (no per-policy match):
+/// a [`Policy`] is just a planner name, and each planner's
+/// [`PlanOutput`] is computed once and cached — straggler events only
+/// re-*select* from the cached output, mirroring how the planning server
+/// reacts without replanning.
 pub struct Emulator {
     config: ClusterConfig,
     pipe: PipelineDag,
     stages: Vec<StageWorkloads>,
     frontier: ParetoFrontier,
+    planners: PlannerRegistry,
+    plan_cache: Mutex<HashMap<&'static str, Arc<PlanOutput>>>,
 }
 
 impl Emulator {
@@ -196,13 +251,40 @@ impl Emulator {
         let virtual_stages = config.n_stages * config.schedule.chunks();
         let partition = min_imbalance_partition(&weights, virtual_stages)?;
         let stages = model.stage_workloads(&partition, &config.gpu)?;
-        let pipe =
-            PipelineBuilder::new(config.schedule, config.n_stages, config.n_microbatches).build()?;
+        let pipe = PipelineBuilder::new(config.schedule, config.n_stages, config.n_microbatches)
+            .build()?;
         let frontier = {
             let ctx = PlanContext::from_model_profiles(&pipe, &config.gpu, &stages)?;
             characterize(&ctx, &config.frontier)?
         };
-        Ok(Emulator { config, pipe, stages, frontier })
+        let planners = PlannerRegistry::with_defaults(config.frontier.clone());
+        // Perseus is planned eagerly (it is the frontier just
+        // characterized); baselines plan lazily on first use.
+        let plan_cache = Mutex::new(HashMap::from([(
+            Policy::Perseus.name(),
+            Arc::new(PlanOutput::Frontier(frontier.clone())),
+        )]));
+        Ok(Emulator {
+            config,
+            pipe,
+            stages,
+            frontier,
+            planners,
+            plan_cache,
+        })
+    }
+
+    /// Registers `planner` so [`Policy::custom`]`(planner.name())` can
+    /// dispatch to it, replacing any planner of the same name (and
+    /// dropping that name's cached plan).
+    pub fn register_planner(&mut self, planner: Arc<dyn Planner>) {
+        self.plan_cache.lock().remove(planner.name());
+        self.planners.register(planner);
+    }
+
+    /// The planner registry policies resolve through.
+    pub fn planners(&self) -> &PlannerRegistry {
+        &self.planners
     }
 
     /// The emulated pipeline DAG.
@@ -234,7 +316,7 @@ impl Emulator {
     /// Translates a straggler cause into the straggler's iteration time.
     pub fn straggler_iteration_time(&self, cause: StragglerCause) -> Result<f64, EmulatorError> {
         let ctx = self.ctx();
-        let base = all_max_freq(&ctx)?.time_s;
+        let base = self.policy_plan(&ctx, Policy::AllMax)?.select(None).time_s;
         Ok(match cause {
             StragglerCause::Slowdown { degree } => {
                 if degree < 1.0 {
@@ -268,55 +350,34 @@ impl Emulator {
                 .build()?;
                 let ctx2 =
                     PlanContext::from_model_profiles(&stalled, &self.config.gpu, &self.stages)?;
-                let t = all_max_freq(&ctx2)?.time_s;
+                // Planned fresh, never from the cache: the stalled DAG is a
+                // different pipeline than the one the cache describes.
+                let t = AllMaxFreq.plan(&ctx2)?.select(None).time_s;
                 t.max(base)
             }
         })
     }
 
-    /// The schedule a policy picks for non-straggler pipelines given the
-    /// straggler iteration time `t_prime` (`None` = no straggler).
-    fn policy_schedule(
+    /// The policy's `T'`-independent plan, computed through the registry
+    /// on first use and cached for the emulator's lifetime (the pipeline
+    /// and profiles never change after construction).
+    fn policy_plan(
         &self,
         ctx: &PlanContext<'_>,
         policy: Policy,
-        t_prime: Option<f64>,
-    ) -> Result<EnergySchedule, EmulatorError> {
-        Ok(match policy {
-            Policy::AllMax => all_max_freq(ctx)?,
-            Policy::MinEnergyOracle => min_energy_oracle(ctx)?,
-            Policy::EnvPipe => envpipe(ctx, EnvPipeOptions::default())?,
-            Policy::Perseus => {
-                let t = t_prime.unwrap_or_else(|| self.frontier.t_min());
-                self.frontier.lookup(t).schedule.clone()
-            }
-            Policy::ZeusGlobal => {
-                // Without a straggler, Zeus must not slow training: the
-                // deadline is the pipeline's own all-max iteration time
-                // (it still banks the near-free top-clock savings).
-                let deadline = match t_prime {
-                    Some(t) => t,
-                    None => all_max_freq(ctx)?.time_s * (1.0 + 1e-9),
-                };
-                let sweep = zeus_global_frontier(ctx)?;
-                let mut best: Option<EnergySchedule> = None;
-                for s in sweep {
-                    if s.time_s <= deadline || best.is_none() {
-                        let better = match &best {
-                            None => true,
-                            Some(b) => {
-                                s.time_s <= deadline
-                                    && (b.time_s > deadline || s.compute_j < b.compute_j)
-                            }
-                        };
-                        if better {
-                            best = Some(s);
-                        }
-                    }
-                }
-                best.expect("sweep is non-empty")
-            }
-        })
+    ) -> Result<Arc<PlanOutput>, EmulatorError> {
+        if let Some(out) = self.plan_cache.lock().get(policy.name()) {
+            return Ok(Arc::clone(out));
+        }
+        let planner = self
+            .planners
+            .get(policy.name())
+            .ok_or_else(|| EmulatorError::UnknownPolicy(policy.name().to_string()))?;
+        let out = Arc::new(planner.plan(ctx)?);
+        self.plan_cache
+            .lock()
+            .insert(policy.name(), Arc::clone(&out));
+        Ok(out)
     }
 
     /// Emulates one synchronized iteration: non-straggler pipelines run
@@ -336,19 +397,24 @@ impl Emulator {
             Some(c) => Some(self.straggler_iteration_time(c)?),
             None => None,
         };
-        let schedule = self.policy_schedule(&ctx, policy, t_prime)?;
-        let non_straggler = schedule.energy_report(&ctx, t_prime);
-        let sync = t_prime.unwrap_or(non_straggler.iter_time_s).max(non_straggler.iter_time_s);
+        let plan = self.policy_plan(&ctx, policy)?;
+        let non_straggler = plan.select(t_prime).energy_report(&ctx, t_prime);
+        let sync = t_prime
+            .unwrap_or(non_straggler.iter_time_s)
+            .max(non_straggler.iter_time_s);
 
         // The straggler itself runs at max frequency; its computations are
         // stretched to fill T' (e.g. throttled clocks), so we charge its
         // max-frequency computation energy plus blocking to fill the gap.
-        let straggler = t_prime.map(|t| {
-            let base = all_max_freq(&ctx).expect("all-max realizes");
-            let mut r = base.energy_report(&ctx, Some(t));
-            r.sync_time_s = t;
-            r
-        });
+        let straggler = match t_prime {
+            Some(t) => {
+                let base = self.policy_plan(&ctx, Policy::AllMax)?;
+                let mut r = base.select(None).energy_report(&ctx, Some(t));
+                r.sync_time_s = t;
+                Some(r)
+            }
+            None => None,
+        };
         Ok(ClusterReport {
             non_straggler,
             straggler,
@@ -373,17 +439,21 @@ impl Emulator {
         actual_t_prime: Option<f64>,
     ) -> Result<ClusterReport, EmulatorError> {
         let ctx = self.ctx();
-        let schedule = self.policy_schedule(&ctx, policy, believed_t_prime)?;
+        let plan = self.policy_plan(&ctx, policy)?;
+        let schedule = plan.select(believed_t_prime);
         // If the belief is stale the non-straggler pipeline itself may be
         // the slowest participant.
         let sync = actual_t_prime.unwrap_or(0.0).max(schedule.time_s);
         let non_straggler = schedule.energy_report(&ctx, Some(sync));
-        let straggler = actual_t_prime.map(|t| {
-            let base = all_max_freq(&ctx).expect("all-max realizes");
-            let mut r = base.energy_report(&ctx, Some(sync.max(t)));
-            r.sync_time_s = sync.max(t);
-            r
-        });
+        let straggler = match actual_t_prime {
+            Some(t) => {
+                let base = self.policy_plan(&ctx, Policy::AllMax)?;
+                let mut r = base.select(None).energy_report(&ctx, Some(sync.max(t)));
+                r.sync_time_s = sync.max(t);
+                Some(r)
+            }
+            None => None,
+        };
         Ok(ClusterReport {
             non_straggler,
             straggler,
@@ -407,6 +477,9 @@ impl Emulator {
             (1.0 - with.non_straggler.total_j() / base.non_straggler.total_j()) * 100.0;
         let slowdown_pct =
             (with.non_straggler.iter_time_s / base.non_straggler.iter_time_s - 1.0) * 100.0;
-        Ok(Savings { savings_pct, slowdown_pct })
+        Ok(Savings {
+            savings_pct,
+            slowdown_pct,
+        })
     }
 }

@@ -39,13 +39,17 @@
 //! ```
 
 mod emulator;
+mod registry;
 mod run;
 mod scaling;
 
 pub use emulator::{
     ClusterConfig, ClusterReport, Emulator, EmulatorError, Policy, Savings, StragglerCause,
 };
-pub use run::{simulate_run, thermal_cycle_trace, IterationRecord, RunConfig, RunSummary, TraceEvent};
+pub use registry::PlannerRegistry;
+pub use run::{
+    simulate_run, thermal_cycle_trace, IterationRecord, RunConfig, RunSummary, TraceEvent,
+};
 pub use scaling::{strong_scaling_table5, ScalingConfig};
 
 #[cfg(test)]

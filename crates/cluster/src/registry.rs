@@ -1,0 +1,68 @@
+//! Name-indexed planner registry: trait-object dispatch over energy
+//! policies.
+//!
+//! The emulator (and anything else that lets users pick a policy by name)
+//! resolves a [`Policy`](crate::Policy) to its [`Planner`] through a
+//! registry instead of matching on an enum, so new policies — including
+//! ones defined outside this workspace — plug in without touching the
+//! dispatch site.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use perseus_baselines::{AllMaxFreq, EnvPipe, MinEnergyOracle, ZeusGlobal, ZeusPerStage};
+use perseus_core::{FrontierOptions, Perseus, Planner};
+
+/// A set of named [`Planner`]s behind shared trait objects.
+pub struct PlannerRegistry {
+    planners: HashMap<&'static str, Arc<dyn Planner>>,
+}
+
+impl PlannerRegistry {
+    /// An empty registry.
+    pub fn empty() -> PlannerRegistry {
+        PlannerRegistry {
+            planners: HashMap::new(),
+        }
+    }
+
+    /// A registry holding Perseus (with the given characterization
+    /// options) and the five baselines, each under its
+    /// [`Planner::name`].
+    pub fn with_defaults(frontier: FrontierOptions) -> PlannerRegistry {
+        let mut r = PlannerRegistry::empty();
+        r.register(Arc::new(Perseus::new(frontier)));
+        r.register(Arc::new(AllMaxFreq));
+        r.register(Arc::new(MinEnergyOracle));
+        r.register(Arc::new(EnvPipe::default()));
+        r.register(Arc::new(ZeusGlobal));
+        r.register(Arc::new(ZeusPerStage));
+        r
+    }
+
+    /// Registers `planner` under its own name, replacing any previous
+    /// planner of that name.
+    pub fn register(&mut self, planner: Arc<dyn Planner>) {
+        self.planners.insert(planner.name(), planner);
+    }
+
+    /// The planner registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Planner>> {
+        self.planners.get(name).map(Arc::clone)
+    }
+
+    /// Registered planner names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.planners.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl std::fmt::Debug for PlannerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}

@@ -119,8 +119,7 @@ pub fn simulate_run(
     let mut total_time = 0.0;
     for iter in 0..cfg.iterations {
         let actual = t_prime_of(&state_at(iter))?;
-        let believed =
-            t_prime_of(&state_at(iter.saturating_sub(cfg.reaction_delay_iters)))?;
+        let believed = t_prime_of(&state_at(iter.saturating_sub(cfg.reaction_delay_iters)))?;
         let report = emu.report_with_belief(policy, believed, actual)?;
         total_energy += report.total_j();
         total_time += report.sync_time_s;
@@ -131,7 +130,12 @@ pub fn simulate_run(
             actual_t_prime_s: actual,
         });
     }
-    Ok(RunSummary { policy, total_energy_j: total_energy, total_time_s: total_time, per_iteration })
+    Ok(RunSummary {
+        policy,
+        total_energy_j: total_energy,
+        total_time_s: total_time,
+        per_iteration,
+    })
 }
 
 /// A synthetic thermal-cycling trace: `pipeline` throttles to
@@ -152,7 +156,11 @@ pub fn thermal_cycle_trace(
             pipeline,
             cause: Some(StragglerCause::Slowdown { degree }),
         });
-        trace.push(TraceEvent { at_iteration: (at + duty).min(iterations), pipeline, cause: None });
+        trace.push(TraceEvent {
+            at_iteration: (at + duty).min(iterations),
+            pipeline,
+            cause: None,
+        });
         at += period;
     }
     trace

@@ -21,17 +21,22 @@ pub struct ScalingConfig {
 /// The paper's Table 5: 1,024–8,192 GPUs, tensor parallel 8, eight
 /// pipeline stages, global batch 1,536.
 pub fn strong_scaling_table5() -> Vec<ScalingConfig> {
-    [(1024, 16, 96), (2048, 32, 48), (4096, 64, 24), (8192, 128, 12)]
-        .into_iter()
-        .map(|(n_gpus, n_pipelines, n_microbatches)| ScalingConfig {
-            n_gpus,
-            n_pipelines,
-            n_microbatches,
-            global_batch: 1536,
-            tensor_parallel: 8,
-            n_stages: 8,
-        })
-        .collect()
+    [
+        (1024, 16, 96),
+        (2048, 32, 48),
+        (4096, 64, 24),
+        (8192, 128, 12),
+    ]
+    .into_iter()
+    .map(|(n_gpus, n_pipelines, n_microbatches)| ScalingConfig {
+        n_gpus,
+        n_pipelines,
+        n_microbatches,
+        global_batch: 1536,
+        tensor_parallel: 8,
+        n_stages: 8,
+    })
+    .collect()
 }
 
 #[cfg(test)]

@@ -14,7 +14,11 @@ fn small_config() -> ClusterConfig {
         n_pipelines: 4,
         tensor_parallel: 1,
         schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions { tau_s: Some(2e-3), max_iters: 50_000, stretch: true },
+        frontier: FrontierOptions {
+            tau_s: Some(2e-3),
+            max_iters: 50_000,
+            stretch: true,
+        },
     }
 }
 
@@ -30,8 +34,16 @@ fn emulator_builds_and_frontier_is_sane() {
 fn perseus_saves_without_straggler() {
     let emu = Emulator::new(small_config()).unwrap();
     let s = emu.savings(Policy::Perseus, None).unwrap();
-    assert!(s.savings_pct > 1.0, "intrinsic savings expected: {:.2}%", s.savings_pct);
-    assert!(s.slowdown_pct < 1.0, "negligible slowdown expected: {:.2}%", s.slowdown_pct);
+    assert!(
+        s.savings_pct > 1.0,
+        "intrinsic savings expected: {:.2}%",
+        s.savings_pct
+    );
+    assert!(
+        s.slowdown_pct < 1.0,
+        "negligible slowdown expected: {:.2}%",
+        s.slowdown_pct
+    );
 }
 
 #[test]
@@ -52,9 +64,18 @@ fn savings_wane_beyond_t_star() {
     // blocking denominator erodes the percentage.
     let emu = Emulator::new(small_config()).unwrap();
     let t_star_over_t = emu.frontier().t_star() / emu.frontier().t_min();
-    let at_star = emu.savings(Policy::Perseus, Some(t_star_over_t)).unwrap().savings_pct;
-    let far = emu.savings(Policy::Perseus, Some(t_star_over_t * 2.0)).unwrap().savings_pct;
-    assert!(far < at_star, "savings should wane past T*: {far:.2}% vs {at_star:.2}%");
+    let at_star = emu
+        .savings(Policy::Perseus, Some(t_star_over_t))
+        .unwrap()
+        .savings_pct;
+    let far = emu
+        .savings(Policy::Perseus, Some(t_star_over_t * 2.0))
+        .unwrap()
+        .savings_pct;
+    assert!(
+        far < at_star,
+        "savings should wane past T*: {far:.2}% vs {at_star:.2}%"
+    );
 }
 
 #[test]
@@ -64,41 +85,70 @@ fn perseus_beats_envpipe_under_stragglers() {
     let emu = Emulator::new(small_config()).unwrap();
     let p = emu.savings(Policy::Perseus, Some(1.2)).unwrap().savings_pct;
     let e = emu.savings(Policy::EnvPipe, Some(1.2)).unwrap().savings_pct;
-    assert!(p > e, "Perseus {p:.2}% should beat EnvPipe {e:.2}% with stragglers");
+    assert!(
+        p > e,
+        "Perseus {p:.2}% should beat EnvPipe {e:.2}% with stragglers"
+    );
 }
 
 #[test]
 fn zeus_global_saves_less_than_perseus() {
     let emu = Emulator::new(small_config()).unwrap();
-    let p = emu.savings(Policy::Perseus, Some(1.15)).unwrap().savings_pct;
-    let z = emu.savings(Policy::ZeusGlobal, Some(1.15)).unwrap().savings_pct;
+    let p = emu
+        .savings(Policy::Perseus, Some(1.15))
+        .unwrap()
+        .savings_pct;
+    let z = emu
+        .savings(Policy::ZeusGlobal, Some(1.15))
+        .unwrap()
+        .savings_pct;
     assert!(p >= z - 0.5, "Perseus {p:.2}% vs ZeusGlobal {z:.2}%");
 }
 
 #[test]
 fn zeus_global_respects_deadline() {
     let emu = Emulator::new(small_config()).unwrap();
-    let report = emu.report(Policy::ZeusGlobal, Some(StragglerCause::Slowdown { degree: 1.3 })).unwrap();
+    let report = emu
+        .report(
+            Policy::ZeusGlobal,
+            Some(StragglerCause::Slowdown { degree: 1.3 }),
+        )
+        .unwrap();
     assert!(report.non_straggler.iter_time_s <= report.sync_time_s + 1e-9);
 }
 
 #[test]
 fn straggler_causes_produce_consistent_times() {
     let emu = Emulator::new(small_config()).unwrap();
-    let base = emu.report(Policy::AllMax, None).unwrap().non_straggler.iter_time_s;
+    let base = emu
+        .report(Policy::AllMax, None)
+        .unwrap()
+        .non_straggler
+        .iter_time_s;
     // Generic slowdown.
-    let t = emu.straggler_iteration_time(StragglerCause::Slowdown { degree: 1.25 }).unwrap();
+    let t = emu
+        .straggler_iteration_time(StragglerCause::Slowdown { degree: 1.25 })
+        .unwrap();
     assert!((t - base * 1.25).abs() < 1e-9);
     // Thermal throttle at a deep cap slows the pipeline.
     let t = emu
-        .straggler_iteration_time(StragglerCause::ThermalThrottle { freq_cap: FreqMHz(705) })
+        .straggler_iteration_time(StragglerCause::ThermalThrottle {
+            freq_cap: FreqMHz(705),
+        })
         .unwrap();
-    assert!(t > base * 1.1, "705 MHz cap should slow well past baseline: {t} vs {base}");
+    assert!(
+        t > base * 1.1,
+        "705 MHz cap should slow well past baseline: {t} vs {base}"
+    );
     // I/O stalls inflate the iteration.
-    let t = emu.straggler_iteration_time(StragglerCause::IoStall { stall_s: 0.01 }).unwrap();
+    let t = emu
+        .straggler_iteration_time(StragglerCause::IoStall { stall_s: 0.01 })
+        .unwrap();
     assert!(t > base);
     // Degenerate degree rejected.
-    assert!(emu.straggler_iteration_time(StragglerCause::Slowdown { degree: 0.5 }).is_err());
+    assert!(emu
+        .straggler_iteration_time(StragglerCause::Slowdown { degree: 0.5 })
+        .is_err());
 }
 
 #[test]
@@ -116,8 +166,12 @@ fn cluster_totals_scale_with_pipelines_and_tp() {
 #[test]
 fn straggler_report_includes_straggler_pipeline() {
     let emu = Emulator::new(small_config()).unwrap();
-    let report =
-        emu.report(Policy::Perseus, Some(StragglerCause::Slowdown { degree: 1.2 })).unwrap();
+    let report = emu
+        .report(
+            Policy::Perseus,
+            Some(StragglerCause::Slowdown { degree: 1.2 }),
+        )
+        .unwrap();
     let s = report.straggler.as_ref().expect("straggler present");
     assert!(s.sync_time_s >= report.non_straggler.iter_time_s);
     // Cluster total counts D-1 non-stragglers plus the straggler.
@@ -132,9 +186,20 @@ fn tensor_parallel_divides_per_gpu_work() {
     let tp = Emulator::new(cfg).unwrap();
     let solo = Emulator::new(small_config()).unwrap();
     // Per-pipeline iteration time shrinks roughly 4x under TP-4.
-    let t_tp = tp.report(Policy::AllMax, None).unwrap().non_straggler.iter_time_s;
-    let t_solo = solo.report(Policy::AllMax, None).unwrap().non_straggler.iter_time_s;
-    assert!(t_tp < t_solo * 0.5, "TP should shrink iteration time: {t_tp} vs {t_solo}");
+    let t_tp = tp
+        .report(Policy::AllMax, None)
+        .unwrap()
+        .non_straggler
+        .iter_time_s;
+    let t_solo = solo
+        .report(Policy::AllMax, None)
+        .unwrap()
+        .non_straggler
+        .iter_time_s;
+    assert!(
+        t_tp < t_solo * 0.5,
+        "TP should shrink iteration time: {t_tp} vs {t_solo}"
+    );
 }
 
 #[test]
@@ -167,8 +232,16 @@ fn fewer_microbatches_more_intrinsic_savings() {
     let mut many = small_config();
     many.model = balanced;
     many.n_microbatches = 16;
-    let s_few = Emulator::new(few).unwrap().savings(Policy::Perseus, None).unwrap().savings_pct;
-    let s_many = Emulator::new(many).unwrap().savings(Policy::Perseus, None).unwrap().savings_pct;
+    let s_few = Emulator::new(few)
+        .unwrap()
+        .savings(Policy::Perseus, None)
+        .unwrap()
+        .savings_pct;
+    let s_many = Emulator::new(many)
+        .unwrap()
+        .savings(Policy::Perseus, None)
+        .unwrap()
+        .savings_pct;
     assert!(
         s_few > s_many,
         "fewer microbatches should save more: {s_few:.2}% vs {s_many:.2}%"
@@ -183,9 +256,17 @@ fn interleaved_schedule_characterizes_and_saves() {
     cfg.schedule = ScheduleKind::Interleaved1F1B { chunks: 2 };
     cfg.n_microbatches = 8; // must divide by n_stages
     let emu = Emulator::new(cfg).unwrap();
-    assert_eq!(emu.stages().len(), 8, "4 stages x 2 chunks of virtual-stage workloads");
+    assert_eq!(
+        emu.stages().len(),
+        8,
+        "4 stages x 2 chunks of virtual-stage workloads"
+    );
     let s = emu.savings(Policy::Perseus, None).unwrap();
-    assert!(s.savings_pct > 1.0, "interleaved savings: {:.2}%", s.savings_pct);
+    assert!(
+        s.savings_pct > 1.0,
+        "interleaved savings: {:.2}%",
+        s.savings_pct
+    );
     assert!(s.slowdown_pct < 1.0);
 }
 
@@ -220,7 +301,10 @@ mod run_simulation {
     #[test]
     fn steady_state_run_matches_per_iteration_report() {
         let emu = Emulator::new(small_config()).unwrap();
-        let cfg = RunConfig { iterations: 5, reaction_delay_iters: 0 };
+        let cfg = RunConfig {
+            iterations: 5,
+            reaction_delay_iters: 0,
+        };
         let summary = simulate_run(&emu, Policy::Perseus, &[], &cfg).unwrap();
         assert_eq!(summary.per_iteration.len(), 5);
         let single = emu.report(Policy::Perseus, None).unwrap();
@@ -237,9 +321,16 @@ mod run_simulation {
                 pipeline: 1,
                 cause: Some(StragglerCause::Slowdown { degree: 1.3 }),
             },
-            TraceEvent { at_iteration: 4, pipeline: 1, cause: None },
+            TraceEvent {
+                at_iteration: 4,
+                pipeline: 1,
+                cause: None,
+            },
         ];
-        let cfg = RunConfig { iterations: 6, reaction_delay_iters: 0 };
+        let cfg = RunConfig {
+            iterations: 6,
+            reaction_delay_iters: 0,
+        };
         let s = simulate_run(&emu, Policy::Perseus, &trace, &cfg).unwrap();
         // Iterations 0-1 fast, 2-3 straggling, 4-5 fast again.
         assert!(s.per_iteration[0].actual_t_prime_s.is_none());
@@ -262,14 +353,20 @@ mod run_simulation {
             &emu,
             Policy::Perseus,
             &trace,
-            &RunConfig { iterations: 18, reaction_delay_iters: 0 },
+            &RunConfig {
+                iterations: 18,
+                reaction_delay_iters: 0,
+            },
         )
         .unwrap();
         let delayed = simulate_run(
             &emu,
             Policy::Perseus,
             &trace,
-            &RunConfig { iterations: 18, reaction_delay_iters: 2 },
+            &RunConfig {
+                iterations: 18,
+                reaction_delay_iters: 2,
+            },
         )
         .unwrap();
         assert!(
@@ -285,7 +382,10 @@ mod run_simulation {
     fn perseus_beats_allmax_over_a_noisy_segment() {
         let emu = Emulator::new(small_config()).unwrap();
         let trace = thermal_cycle_trace(2, 1.2, 5, 2, 20);
-        let cfg = RunConfig { iterations: 20, reaction_delay_iters: 1 };
+        let cfg = RunConfig {
+            iterations: 20,
+            reaction_delay_iters: 1,
+        };
         let perseus = simulate_run(&emu, Policy::Perseus, &trace, &cfg).unwrap();
         let allmax = simulate_run(&emu, Policy::AllMax, &trace, &cfg).unwrap();
         assert!(perseus.total_energy_j < allmax.total_energy_j);
@@ -299,14 +399,20 @@ mod run_simulation {
             &emu,
             Policy::Perseus,
             &trace,
-            &RunConfig { iterations: 20, reaction_delay_iters: 0 },
+            &RunConfig {
+                iterations: 20,
+                reaction_delay_iters: 0,
+            },
         )
         .unwrap();
         let allmax_instant = simulate_run(
             &emu,
             Policy::AllMax,
             &trace,
-            &RunConfig { iterations: 20, reaction_delay_iters: 0 },
+            &RunConfig {
+                iterations: 20,
+                reaction_delay_iters: 0,
+            },
         )
         .unwrap();
         assert!(instant.total_time_s <= allmax_instant.total_time_s * 1.002);
@@ -317,16 +423,29 @@ mod run_simulation {
 fn thermal_throttle_time_monotone_in_cap_depth() {
     let emu = Emulator::new(small_config()).unwrap();
     let t_deep = emu
-        .straggler_iteration_time(StragglerCause::ThermalThrottle { freq_cap: FreqMHz(600) })
+        .straggler_iteration_time(StragglerCause::ThermalThrottle {
+            freq_cap: FreqMHz(600),
+        })
         .unwrap();
     let t_mild = emu
-        .straggler_iteration_time(StragglerCause::ThermalThrottle { freq_cap: FreqMHz(1200) })
+        .straggler_iteration_time(StragglerCause::ThermalThrottle {
+            freq_cap: FreqMHz(1200),
+        })
         .unwrap();
-    assert!(t_deep > t_mild, "deeper caps slow more: {t_deep} vs {t_mild}");
+    assert!(
+        t_deep > t_mild,
+        "deeper caps slow more: {t_deep} vs {t_mild}"
+    );
     // A cap at or above max frequency is a no-op.
-    let base = emu.report(Policy::AllMax, None).unwrap().non_straggler.iter_time_s;
+    let base = emu
+        .report(Policy::AllMax, None)
+        .unwrap()
+        .non_straggler
+        .iter_time_s;
     let t_none = emu
-        .straggler_iteration_time(StragglerCause::ThermalThrottle { freq_cap: FreqMHz(1410) })
+        .straggler_iteration_time(StragglerCause::ThermalThrottle {
+            freq_cap: FreqMHz(1410),
+        })
         .unwrap();
     assert!((t_none - base).abs() < 1e-9);
 }
@@ -334,7 +453,18 @@ fn thermal_throttle_time_monotone_in_cap_depth() {
 #[test]
 fn zeus_global_does_not_slow_without_straggler() {
     let emu = Emulator::new(small_config()).unwrap();
-    let base = emu.report(Policy::AllMax, None).unwrap().non_straggler.iter_time_s;
-    let z = emu.report(Policy::ZeusGlobal, None).unwrap().non_straggler.iter_time_s;
-    assert!(z <= base * 1.001, "ZeusGlobal must hold throughput absent stragglers: {z} vs {base}");
+    let base = emu
+        .report(Policy::AllMax, None)
+        .unwrap()
+        .non_straggler
+        .iter_time_s;
+    let z = emu
+        .report(Policy::ZeusGlobal, None)
+        .unwrap()
+        .non_straggler
+        .iter_time_s;
+    assert!(
+        z <= base * 1.001,
+        "ZeusGlobal must hold throughput absent stragglers: {z} vs {base}"
+    );
 }

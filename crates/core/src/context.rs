@@ -100,9 +100,10 @@ impl<'a> PlanContext<'a> {
         let mut plan_info: Vec<Option<NodePlanInfo>> = vec![None; pipe.dag.node_count()];
         for (node, comp) in pipe.computations() {
             let key = comp.op_key();
-            let profile = profiles
-                .get(&key)
-                .ok_or(CoreError::MissingProfile { stage: key.stage, kind: key.kind })?;
+            let profile = profiles.get(&key).ok_or(CoreError::MissingProfile {
+                stage: key.stage,
+                kind: key.kind,
+            })?;
             let fit = profile.fit()?;
             plan_info[node.index()] = Some(NodePlanInfo {
                 node,
@@ -112,7 +113,12 @@ impl<'a> PlanContext<'a> {
                 fit,
             });
         }
-        Ok(PlanContext { pipe, gpu, profiles, plan_info })
+        Ok(PlanContext {
+            pipe,
+            gpu,
+            profiles,
+            plan_info,
+        })
     }
 
     /// Convenience constructor for emulation: derives noise-free profiles
@@ -133,22 +139,37 @@ impl<'a> PlanContext<'a> {
     ) -> Result<PlanContext<'a>, CoreError> {
         let expected = pipe.n_stages * pipe.chunks();
         if stages.len() != expected {
-            return Err(CoreError::StageCountMismatch { expected, got: stages.len() });
+            return Err(CoreError::StageCountMismatch {
+                expected,
+                got: stages.len(),
+            });
         }
         let mut profiles: ProfileDb<OpKey> = ProfileDb::new();
         let n = pipe.n_stages;
         for (vs, sw) in stages.iter().enumerate() {
             let (stage, chunk) = (vs % n, vs / n);
             profiles.insert(
-                OpKey { stage, chunk, kind: CompKind::Forward },
+                OpKey {
+                    stage,
+                    chunk,
+                    kind: CompKind::Forward,
+                },
                 OpProfile::from_model(gpu, &sw.fwd),
             );
             profiles.insert(
-                OpKey { stage, chunk, kind: CompKind::Backward },
+                OpKey {
+                    stage,
+                    chunk,
+                    kind: CompKind::Backward,
+                },
                 OpProfile::from_model(gpu, &sw.bwd),
             );
             profiles.insert(
-                OpKey { stage, chunk, kind: CompKind::Recompute },
+                OpKey {
+                    stage,
+                    chunk,
+                    kind: CompKind::Recompute,
+                },
                 OpProfile::from_model(gpu, &sw.fwd),
             );
         }
@@ -181,9 +202,9 @@ impl<'a> PlanContext<'a> {
         let mut out = vec![0.0; self.pipe.dag.node_count()];
         for id in self.pipe.dag.node_ids() {
             out[id.index()] = match self.pipe.dag.node(id) {
-                PipeNode::Comp(_) => {
-                    f(self.plan_info[id.index()].as_ref().expect("comp has plan info"))
-                }
+                PipeNode::Comp(_) => f(self.plan_info[id.index()]
+                    .as_ref()
+                    .expect("comp has plan info")),
                 PipeNode::Fixed { time_s, .. } => *time_s,
                 _ => 0.0,
             };

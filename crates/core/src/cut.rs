@@ -160,8 +160,10 @@ pub fn get_next_pareto_with(
     // The split edges of the pipeline source/sink are always critical.
     let (source_in, _) = halves[ctx.pipe.source.index()];
     let (_, sink_out) = halves[ctx.pipe.sink.index()];
-    let (Some(s), Some(t)) = (crit.node_map[source_in.index()], crit.node_map[sink_out.index()])
-    else {
+    let (Some(s), Some(t)) = (
+        crit.node_map[source_in.index()],
+        crit.node_map[sink_out.index()],
+    ) else {
         return CutOutcome::AtMinimumTime;
     };
 
@@ -229,14 +231,22 @@ pub fn get_next_pareto_with(
                         slow: Some(*n),
                         slow_gain: e_minus,
                     },
-                    (false, false) => {
-                        EdgeCap { lower: 0.0, upper: inf, speed: None, slow: None, slow_gain: 0.0 }
-                    }
+                    (false, false) => EdgeCap {
+                        lower: 0.0,
+                        upper: inf,
+                        speed: None,
+                        slow: None,
+                        slow_gain: 0.0,
+                    },
                 }
             }
-            EcEdge::Fixed(_) | EcEdge::Dep => {
-                EdgeCap { lower: 0.0, upper: inf, speed: None, slow: None, slow_gain: 0.0 }
-            }
+            EcEdge::Fixed(_) | EcEdge::Dep => EdgeCap {
+                lower: 0.0,
+                upper: inf,
+                speed: None,
+                slow: None,
+                slow_gain: 0.0,
+            },
         })
         .collect();
 
@@ -301,7 +311,10 @@ pub fn get_next_pareto_with(
             edge_meta.push((cap.speed, cap.slow));
         }
     }
-    let (s, t) = (compact[s.index()].expect("terminal"), compact[t.index()].expect("terminal"));
+    let (s, t) = (
+        compact[s.index()].expect("terminal"),
+        compact[t.index()].expect("terminal"),
+    );
 
     let sol = match problem.solve(s, t) {
         Ok(sol) => sol,
@@ -385,7 +398,11 @@ pub fn get_next_pareto_with(
         new_makespan =
             TimingAnalysis::compute_with_order(ec, &solver.order, dur_of(planned)).makespan;
     }
-    CutOutcome::Reduced { new_makespan, sped_up, slowed_down }
+    CutOutcome::Reduced {
+        new_makespan,
+        sped_up,
+        slowed_down,
+    }
 }
 
 /// Duration closure over the current planned durations.

@@ -1,9 +1,11 @@
 //! Algorithm 1: iteratively discovering the iteration time–energy Pareto
 //! frontier, plus the straggler lookup of §3.1.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use perseus_dag::NodeId;
 use perseus_gpu::FreqMHz;
-use perseus_pipeline::{node_start_times, PipeNode};
+use perseus_pipeline::{node_start_times, PipeNode, PipelineDag};
 
 use crate::context::{CoreError, PlanContext};
 use crate::cut::{get_next_pareto_with, CutOutcome, CutSolver};
@@ -54,7 +56,9 @@ impl EnergySchedule {
                     realized_dur[id.index()] = entry.time_s;
                     realized_energy[id.index()] = entry.energy_j;
                 }
-                PipeNode::Fixed { time_s, power_w, .. } => {
+                PipeNode::Fixed {
+                    time_s, power_w, ..
+                } => {
                     realized_dur[id.index()] = *time_s;
                     realized_energy[id.index()] = time_s * power_w;
                 }
@@ -63,7 +67,14 @@ impl EnergySchedule {
         }
         let (_, time_s) = node_start_times(&ctx.pipe.dag, |id, _| realized_dur[id.index()]);
         let compute_j = realized_energy.iter().sum();
-        Ok(EnergySchedule { planned, freqs, realized_dur, realized_energy, time_s, compute_j })
+        Ok(EnergySchedule {
+            planned,
+            freqs,
+            realized_dur,
+            realized_energy,
+            time_s,
+            compute_j,
+        })
     }
 
     /// Full Eq. 3 energy report for this schedule given straggler time
@@ -109,19 +120,52 @@ pub struct ParetoFrontier {
 }
 
 impl ParetoFrontier {
+    /// Builds a frontier from points already ascending in planned time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not strictly ascending in
+    /// `planned_time_s` — the invariants every lookup relies on.
+    pub fn from_points(points: Vec<FrontierPoint>) -> ParetoFrontier {
+        assert!(!points.is_empty(), "frontier must have at least one point");
+        assert!(
+            points
+                .windows(2)
+                .all(|w| w[0].planned_time_s < w[1].planned_time_s),
+            "frontier points must ascend strictly in planned time"
+        );
+        ParetoFrontier { points }
+    }
+
     /// All frontier points, ascending in planned iteration time.
     pub fn points(&self) -> &[FrontierPoint] {
         &self.points
     }
 
+    /// Number of points on the frontier.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty (never true for a characterized one).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
     /// Shortest iteration time on the frontier.
     pub fn t_min(&self) -> f64 {
-        self.points.first().expect("frontier is non-empty").planned_time_s
+        self.points
+            .first()
+            .expect("frontier is non-empty")
+            .planned_time_s
     }
 
     /// Minimum-energy iteration time `T*`.
     pub fn t_star(&self) -> f64 {
-        self.points.last().expect("frontier is non-empty").planned_time_s
+        self.points
+            .last()
+            .expect("frontier is non-empty")
+            .planned_time_s
     }
 
     /// The fastest schedule (used when there is no straggler — removes
@@ -139,17 +183,19 @@ impl ParetoFrontier {
     /// iteration time `t_prime`, i.e. the slowest schedule not exceeding
     /// `T_opt = min(T*, T')`.
     pub fn lookup(&self, t_prime: f64) -> &FrontierPoint {
+        &self.points[self.lookup_index(t_prime)]
+    }
+
+    /// Index of the point [`ParetoFrontier::lookup`] returns: binary search
+    /// (O(log n)) for the last point with `planned_time_s <= T_opt`.
+    pub fn lookup_index(&self, t_prime: f64) -> usize {
         let t_opt = t_prime.min(self.t_star());
-        // Points ascend in time; binary search the last point <= t_opt.
-        let mut best = 0usize;
-        for (i, p) in self.points.iter().enumerate() {
-            if p.planned_time_s <= t_opt + 1e-12 {
-                best = i;
-            } else {
-                break;
-            }
-        }
-        &self.points[best]
+        // Points ascend in time; `partition_point` finds the first point
+        // beyond the bound, so the one before it is the slowest schedule
+        // not exceeding `T_opt` (index 0 when even the fastest exceeds it).
+        self.points
+            .partition_point(|p| p.planned_time_s <= t_opt + 1e-12)
+            .saturating_sub(1)
     }
 }
 
@@ -175,7 +221,11 @@ pub struct FrontierOptions {
 
 impl Default for FrontierOptions {
     fn default() -> Self {
-        FrontierOptions { tau_s: None, max_iters: 100_000, stretch: true }
+        FrontierOptions {
+            tau_s: None,
+            max_iters: 100_000,
+            stretch: true,
+        }
     }
 }
 
@@ -221,12 +271,151 @@ fn stretch_into_slack(ctx: &PlanContext<'_>, planned: &mut [f64]) {
     }
 }
 
+/// The reusable characterization engine for one pipeline.
+///
+/// Building the edge-centric DAG and its topological order (inside
+/// [`CutSolver`]) costs O(N + M) per pipeline and never changes while the
+/// pipeline structure is fixed — only profiles (and hence fits) do. The
+/// server re-characterizes a job every time fresh profiles arrive or
+/// options change; holding a `FrontierSolver` per job makes those reruns
+/// reuse the graph artifacts instead of rebuilding them.
+///
+/// The solver is `Send + Sync` (the counters are atomic), so one instance
+/// can serve characterizations scheduled from any worker thread.
+#[derive(Debug)]
+pub struct FrontierSolver {
+    cut: CutSolver,
+    node_count: usize,
+    /// Characterizations run through this solver.
+    runs: AtomicUsize,
+}
+
+impl FrontierSolver {
+    /// Builds the reusable artifacts (edge-centric DAG, topological order)
+    /// for `pipe`.
+    pub fn new(pipe: &PipelineDag) -> FrontierSolver {
+        FrontierSolver {
+            cut: CutSolver::new(pipe),
+            node_count: pipe.dag.node_count(),
+            runs: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total characterizations run through this solver.
+    pub fn runs(&self) -> usize {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Characterizations that reused the cached artifacts (every run after
+    /// the first).
+    pub fn artifact_reuses(&self) -> usize {
+        self.runs().saturating_sub(1)
+    }
+
+    /// Algorithm 1 against the cached artifacts: characterizes the full
+    /// Pareto frontier of `ctx`'s pipeline.
+    ///
+    /// `ctx` must describe the same pipeline this solver was built for
+    /// (same DAG structure); its profiles/fits may differ between calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile/fit errors from realization; returns
+    /// [`CoreError::EmptyFrontier`] only if the pipeline has no
+    /// computations.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the context's DAG matches the solver's.
+    pub fn characterize(
+        &self,
+        ctx: &PlanContext<'_>,
+        opts: &FrontierOptions,
+    ) -> Result<ParetoFrontier, CoreError> {
+        debug_assert_eq!(
+            ctx.pipe.dag.node_count(),
+            self.node_count,
+            "FrontierSolver reused across different pipelines"
+        );
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        if ctx.pipe.computation_count() == 0 {
+            return Err(CoreError::EmptyFrontier);
+        }
+        let fastest = ctx.fastest_durations();
+        let (_, t_floor) = node_start_times(&ctx.pipe.dag, |id, _| fastest[id.index()]);
+        let mut planned = ctx.min_energy_durations();
+        let (_, t_star) = node_start_times(&ctx.pipe.dag, |id, _| planned[id.index()]);
+        // Default τ balances per-computation resolution against the number
+        // of sweep iterations for very long pipelines (the stretch pass
+        // makes coarse steps safe).
+        let tau = opts
+            .tau_s
+            .unwrap_or_else(|| default_tau(ctx).max((t_star - t_floor) / 512.0))
+            .max(1e-6);
+
+        let mut raw_points: Vec<(f64, Vec<f64>)> = vec![(t_star, planned.clone())];
+        let mut makespan = t_star;
+        // Sweep all the way to the floor: the early-stop margin must stay
+        // well below any slowdown a user could measure, even for short
+        // iterations.
+        let floor_margin = (tau * 0.5).min(t_floor * 5e-4);
+        for _ in 0..opts.max_iters {
+            if makespan <= t_floor + floor_margin {
+                break;
+            }
+            match get_next_pareto_with(ctx, &self.cut, &mut planned, tau) {
+                CutOutcome::Reduced { new_makespan, .. } => {
+                    // Steps may legitimately shrink below τ when a cut edge
+                    // has little headroom left; only a truly stalled step
+                    // ends the sweep.
+                    if new_makespan >= makespan - tau * 1e-7 {
+                        break;
+                    }
+                    makespan = new_makespan;
+                    if opts.stretch {
+                        stretch_into_slack(ctx, &mut planned);
+                    }
+                    raw_points.push((new_makespan, planned.clone()));
+                }
+                CutOutcome::AtMinimumTime => break,
+            }
+        }
+
+        // Ascending time; drop any non-Pareto stragglers produced by
+        // clamping.
+        raw_points.reverse();
+        let mut points = Vec::with_capacity(raw_points.len());
+        let mut best_energy = f64::INFINITY;
+        for (time, durations) in raw_points {
+            let mut planned_energy = 0.0;
+            for id in ctx.pipe.dag.node_ids() {
+                if let Some(info) = ctx.info(id) {
+                    planned_energy += info.fit.energy(durations[id.index()]);
+                }
+            }
+            if planned_energy < best_energy {
+                best_energy = planned_energy;
+                let schedule = EnergySchedule::realize(ctx, durations)?;
+                points.push(FrontierPoint {
+                    planned_time_s: time,
+                    planned_energy_j: planned_energy,
+                    schedule,
+                });
+            }
+        }
+        if points.is_empty() {
+            return Err(CoreError::EmptyFrontier);
+        }
+        Ok(ParetoFrontier { points })
+    }
+}
+
 /// Algorithm 1: characterizes the full Pareto frontier of `ctx`'s pipeline.
 ///
-/// Starts from the minimum-energy schedule (every computation at its
-/// min-energy duration) and repeatedly applies
-/// [`get_next_pareto_with`](crate::get_next_pareto_with) until
-/// the iteration time can no longer be reduced.
+/// One-shot convenience over [`FrontierSolver`]: builds the reusable
+/// artifacts, runs one characterization, and drops them. Callers that
+/// re-characterize the same pipeline (the server, sweeps over options)
+/// should hold a [`FrontierSolver`] instead.
 ///
 /// # Errors
 ///
@@ -236,72 +425,5 @@ pub fn characterize(
     ctx: &PlanContext<'_>,
     opts: &FrontierOptions,
 ) -> Result<ParetoFrontier, CoreError> {
-    if ctx.pipe.computation_count() == 0 {
-        return Err(CoreError::EmptyFrontier);
-    }
-    let fastest = ctx.fastest_durations();
-    let (_, t_floor) = node_start_times(&ctx.pipe.dag, |id, _| fastest[id.index()]);
-    let mut planned = ctx.min_energy_durations();
-    let (_, t_star) = node_start_times(&ctx.pipe.dag, |id, _| planned[id.index()]);
-    // Default τ balances per-computation resolution against the number of
-    // sweep iterations for very long pipelines (the stretch pass makes
-    // coarse steps safe).
-    let tau = opts
-        .tau_s
-        .unwrap_or_else(|| default_tau(ctx).max((t_star - t_floor) / 512.0))
-        .max(1e-6);
-    let solver = CutSolver::new(ctx.pipe);
-
-    let mut raw_points: Vec<(f64, Vec<f64>)> = vec![(t_star, planned.clone())];
-    let mut makespan = t_star;
-    // Sweep all the way to the floor: the early-stop margin must stay well
-    // below any slowdown a user could measure, even for short iterations.
-    let floor_margin = (tau * 0.5).min(t_floor * 5e-4);
-    for _ in 0..opts.max_iters {
-        if makespan <= t_floor + floor_margin {
-            break;
-        }
-        match get_next_pareto_with(ctx, &solver, &mut planned, tau) {
-            CutOutcome::Reduced { new_makespan, .. } => {
-                // Steps may legitimately shrink below τ when a cut edge has
-                // little headroom left; only a truly stalled step ends the
-                // sweep.
-                if new_makespan >= makespan - tau * 1e-7 {
-                    break;
-                }
-                makespan = new_makespan;
-                if opts.stretch {
-                    stretch_into_slack(ctx, &mut planned);
-                }
-                raw_points.push((new_makespan, planned.clone()));
-            }
-            CutOutcome::AtMinimumTime => break,
-        }
-    }
-
-    // Ascending time; drop any non-Pareto stragglers produced by clamping.
-    raw_points.reverse();
-    let mut points = Vec::with_capacity(raw_points.len());
-    let mut best_energy = f64::INFINITY;
-    for (time, durations) in raw_points {
-        let mut planned_energy = 0.0;
-        for id in ctx.pipe.dag.node_ids() {
-            if let Some(info) = ctx.info(id) {
-                planned_energy += info.fit.energy(durations[id.index()]);
-            }
-        }
-        if planned_energy < best_energy {
-            best_energy = planned_energy;
-            let schedule = EnergySchedule::realize(ctx, durations)?;
-            points.push(FrontierPoint {
-                planned_time_s: time,
-                planned_energy_j: planned_energy,
-                schedule,
-            });
-        }
-    }
-    if points.is_empty() {
-        return Err(CoreError::EmptyFrontier);
-    }
-    Ok(ParetoFrontier { points })
+    FrontierSolver::new(ctx.pipe).characterize(ctx, opts)
 }

@@ -43,11 +43,15 @@ mod context;
 mod cut;
 mod energy;
 mod frontier;
+mod planner;
 
 pub use context::{CoreError, NodePlanInfo, PlanContext};
 pub use cut::{get_next_pareto, get_next_pareto_with, CutOutcome, CutSolver};
 pub use energy::{pipeline_energy, PipelineEnergy};
-pub use frontier::{characterize, EnergySchedule, FrontierOptions, FrontierPoint, ParetoFrontier};
+pub use frontier::{
+    characterize, EnergySchedule, FrontierOptions, FrontierPoint, FrontierSolver, ParetoFrontier,
+};
+pub use planner::{Perseus, PlanOutput, Planner};
 
 #[cfg(test)]
 mod tests;

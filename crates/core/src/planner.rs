@@ -1,0 +1,183 @@
+//! The [`Planner`] trait: one interface over every energy policy.
+//!
+//! Perseus and the baselines it is compared against (§6.1) differ in what
+//! they compute — a single schedule, a full time–energy frontier, or a
+//! sweep of candidate schedules — but a deployment decision always reduces
+//! to "given the straggler iteration time `T'` (or none), which schedule
+//! runs?". [`PlanOutput`] captures the three output shapes and
+//! [`PlanOutput::select`] answers that question uniformly, so the cluster
+//! emulator and the planning server can dispatch any policy through a
+//! `dyn Planner` without per-policy match arms.
+//!
+//! Crucially, every planner's output is independent of `T'`: the straggler
+//! deadline only affects *selection*, never *planning*. That makes
+//! [`PlanOutput`] cacheable — plan once per (pipeline, profiles), select
+//! per straggler event.
+
+use crate::context::{CoreError, PlanContext};
+use crate::frontier::{characterize, EnergySchedule, FrontierOptions, ParetoFrontier};
+
+/// What a planner produced for one pipeline: the `T'`-independent artifact
+/// a deployment schedule is selected from.
+#[derive(Debug, Clone)]
+pub enum PlanOutput {
+    /// A single schedule, deployed regardless of stragglers (AllMaxFreq,
+    /// MinEnergyOracle, EnvPipe).
+    Schedule(EnergySchedule),
+    /// A full iteration time–energy Pareto frontier; stragglers are
+    /// answered by lookup at `T_opt = min(T*, T')` (Perseus).
+    Frontier(ParetoFrontier),
+    /// A sweep of candidate schedules plus the deadline to honor when no
+    /// straggler is present; selection picks the lowest-energy candidate
+    /// meeting the deadline (ZeusGlobal, ZeusPerStage).
+    Sweep {
+        /// Candidate schedules, in the planner's sweep order.
+        schedules: Vec<EnergySchedule>,
+        /// Deadline substituted for `T'` when no straggler is known —
+        /// typically the pipeline's own all-max iteration time, so the
+        /// policy never slows training unprompted.
+        no_straggler_deadline_s: f64,
+    },
+}
+
+impl PlanOutput {
+    /// Picks the schedule to deploy for straggler iteration time `t_prime`
+    /// (`None` = no straggler known).
+    ///
+    /// * `Schedule` — returned as-is; the policy is straggler-unaware.
+    /// * `Frontier` — frontier lookup at `t_prime` (Eq. 2's
+    ///   `T_opt = min(T*, T')` is applied by the lookup itself); with no
+    ///   straggler, the fastest frontier point.
+    /// * `Sweep` — the lowest-energy candidate whose iteration time meets
+    ///   the deadline (`t_prime`, or the sweep's no-straggler deadline);
+    ///   if none meets it, the candidate that was deployed anyway in the
+    ///   reference implementation: the first sweep entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Sweep` holds no schedules; planners never produce
+    /// empty sweeps.
+    pub fn select(&self, t_prime: Option<f64>) -> &EnergySchedule {
+        match self {
+            PlanOutput::Schedule(s) => s,
+            PlanOutput::Frontier(f) => {
+                let t = t_prime.unwrap_or_else(|| f.t_min());
+                &f.lookup(t).schedule
+            }
+            PlanOutput::Sweep {
+                schedules,
+                no_straggler_deadline_s,
+            } => {
+                let deadline = t_prime.unwrap_or(*no_straggler_deadline_s);
+                let mut best: Option<&EnergySchedule> = None;
+                for s in schedules {
+                    if s.time_s <= deadline || best.is_none() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                s.time_s <= deadline
+                                    && (b.time_s > deadline || s.compute_j < b.compute_j)
+                            }
+                        };
+                        if better {
+                            best = Some(s);
+                        }
+                    }
+                }
+                best.expect("sweep is non-empty")
+            }
+        }
+    }
+
+    /// The single schedule, if this is a `Schedule` output.
+    pub fn as_schedule(&self) -> Option<&EnergySchedule> {
+        match self {
+            PlanOutput::Schedule(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The frontier, if this is a `Frontier` output.
+    pub fn as_frontier(&self) -> Option<&ParetoFrontier> {
+        match self {
+            PlanOutput::Frontier(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The candidate sweep, if this is a `Sweep` output.
+    pub fn as_sweep(&self) -> Option<&[EnergySchedule]> {
+        match self {
+            PlanOutput::Sweep { schedules, .. } => Some(schedules),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its single schedule, if any.
+    pub fn into_schedule(self) -> Option<EnergySchedule> {
+        match self {
+            PlanOutput::Schedule(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its frontier, if any.
+    pub fn into_frontier(self) -> Option<ParetoFrontier> {
+        match self {
+            PlanOutput::Frontier(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into its candidate sweep, if any.
+    pub fn into_sweep(self) -> Option<Vec<EnergySchedule>> {
+        match self {
+            PlanOutput::Sweep { schedules, .. } => Some(schedules),
+            _ => None,
+        }
+    }
+}
+
+/// An energy policy: plans the `T'`-independent artifact for one pipeline.
+///
+/// Implementations must be `Send + Sync` — the planning server runs `plan`
+/// on worker threads and the emulator shares planners behind trait
+/// objects.
+pub trait Planner: Send + Sync {
+    /// Stable identifier used for registry lookup and reporting.
+    fn name(&self) -> &'static str;
+
+    /// Plans against `ctx`. The result depends only on the pipeline and
+    /// its profiles, never on straggler state; selection happens in
+    /// [`PlanOutput::select`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile, fit, and characterization failures.
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError>;
+}
+
+/// Perseus itself as a [`Planner`]: characterizes the Pareto frontier
+/// (Algorithm 1); selection is the §3.1 straggler lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Perseus {
+    /// Characterization options.
+    pub opts: FrontierOptions,
+}
+
+impl Perseus {
+    /// A Perseus planner with the given characterization options.
+    pub fn new(opts: FrontierOptions) -> Perseus {
+        Perseus { opts }
+    }
+}
+
+impl Planner for Perseus {
+    fn name(&self) -> &'static str {
+        "perseus"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<PlanOutput, CoreError> {
+        Ok(PlanOutput::Frontier(characterize(ctx, &self.opts)?))
+    }
+}

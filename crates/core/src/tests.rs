@@ -19,7 +19,9 @@ fn stages_with_scales(scales: &[f64]) -> Vec<StageWorkloads> {
 }
 
 fn build_pipe(n: usize, m: usize) -> PipelineDag {
-    PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap()
+    PipelineBuilder::new(ScheduleKind::OneFOneB, n, m)
+        .build()
+        .unwrap()
 }
 
 fn frontier_for(
@@ -30,7 +32,15 @@ fn frontier_for(
 ) -> ParetoFrontier {
     let stages = stages_with_scales(scales);
     let ctx = PlanContext::from_model_profiles(pipe, gpu, &stages).unwrap();
-    characterize(&ctx, &FrontierOptions { tau_s: tau, max_iters: 100_000, stretch: true }).unwrap()
+    characterize(
+        &ctx,
+        &FrontierOptions {
+            tau_s: tau,
+            max_iters: 100_000,
+            stretch: true,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -38,7 +48,11 @@ fn frontier_is_monotone_tradeoff() {
     let gpu = GpuSpec::a100_pcie();
     let pipe = build_pipe(4, 6);
     let frontier = frontier_for(&gpu, &pipe, &[1.0, 1.1, 0.95, 1.2], None);
-    assert!(frontier.points().len() > 10, "frontier too sparse: {}", frontier.points().len());
+    assert!(
+        frontier.points().len() > 10,
+        "frontier too sparse: {}",
+        frontier.points().len()
+    );
     for pair in frontier.points().windows(2) {
         assert!(pair[0].planned_time_s < pair[1].planned_time_s);
         assert!(pair[0].planned_energy_j > pair[1].planned_energy_j);
@@ -58,7 +72,11 @@ fn fastest_point_matches_max_frequency_iteration_time() {
     let fastest = ctx.fastest_durations();
     let (_, t_floor) = node_start_times(&pipe.dag, |id, _| fastest[id.index()]);
     let slowdown = frontier.t_min() / t_floor - 1.0;
-    assert!(slowdown < 0.02, "fastest frontier point {:.2}% slower than floor", slowdown * 100.0);
+    assert!(
+        slowdown < 0.02,
+        "fastest frontier point {:.2}% slower than floor",
+        slowdown * 100.0
+    );
 }
 
 #[test]
@@ -75,7 +93,11 @@ fn fastest_point_saves_energy_versus_all_max() {
     let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
     let savings = 1.0 - perseus.total_j() / base.total_j();
     let slowdown = perseus.iter_time_s / base.iter_time_s - 1.0;
-    assert!(savings > 0.02, "expected intrinsic savings, got {:.2}%", savings * 100.0);
+    assert!(
+        savings > 0.02,
+        "expected intrinsic savings, got {:.2}%",
+        savings * 100.0
+    );
     assert!(slowdown < 0.02, "slowdown {:.2}%", slowdown * 100.0);
 }
 
@@ -92,7 +114,10 @@ fn balanced_pipeline_still_has_warmup_flush_slack() {
     let base = all_max.energy_report(&ctx, None);
     let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
     let savings = 1.0 - perseus.total_j() / base.total_j();
-    assert!(savings > 0.005, "warmup/flush slack should yield savings: {savings}");
+    assert!(
+        savings > 0.005,
+        "warmup/flush slack should yield savings: {savings}"
+    );
 }
 
 #[test]
@@ -110,8 +135,11 @@ fn lookup_clamps_to_t_star_and_t_min() {
     let mid = 0.5 * (frontier.t_min() + frontier.t_star());
     let p = frontier.lookup(mid);
     assert!(p.planned_time_s <= mid + 1e-12);
-    let next_idx =
-        frontier.points().iter().position(|q| q.planned_time_s > p.planned_time_s).unwrap();
+    let next_idx = frontier
+        .points()
+        .iter()
+        .position(|q| q.planned_time_s > p.planned_time_s)
+        .unwrap();
     assert!(frontier.points()[next_idx].planned_time_s > mid);
 }
 
@@ -151,7 +179,11 @@ fn get_next_pareto_reduces_makespan_by_tau() {
     let (_, t0) = node_start_times(&pipe.dag, |id, _| planned[id.index()]);
     let tau = 1e-3;
     match get_next_pareto(&ctx, &mut planned, tau) {
-        CutOutcome::Reduced { new_makespan, sped_up, .. } => {
+        CutOutcome::Reduced {
+            new_makespan,
+            sped_up,
+            ..
+        } => {
             assert!(!sped_up.is_empty());
             let drop = t0 - new_makespan;
             assert!(
@@ -170,7 +202,10 @@ fn get_next_pareto_stops_at_minimum_time() {
     let stages = stages_with_scales(&[1.0, 1.0]);
     let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
     let mut planned = ctx.fastest_durations();
-    assert_eq!(get_next_pareto(&ctx, &mut planned, 1e-3), CutOutcome::AtMinimumTime);
+    assert_eq!(
+        get_next_pareto(&ctx, &mut planned, 1e-3),
+        CutOutcome::AtMinimumTime
+    );
 }
 
 #[test]
@@ -184,8 +219,16 @@ fn planned_durations_stay_within_bounds() {
         for id in pipe.dag.node_ids() {
             if let Some(info) = ctx.info(id) {
                 let t = p.schedule.planned[id.index()];
-                assert!(t >= info.t_min - 1e-9, "planned {t} below t_min {}", info.t_min);
-                assert!(t <= info.t_max + 1e-9, "planned {t} above t_max {}", info.t_max);
+                assert!(
+                    t >= info.t_min - 1e-9,
+                    "planned {t} below t_min {}",
+                    info.t_min
+                );
+                assert!(
+                    t <= info.t_max + 1e-9,
+                    "planned {t} above t_max {}",
+                    info.t_max
+                );
             }
         }
     }
@@ -200,8 +243,11 @@ fn realized_schedule_is_feasible() {
     let stages = stages_with_scales(&[1.0, 1.2, 1.05]);
     let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
     let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
-    for p in [frontier.fastest(), frontier.lookup(frontier.t_star() * 0.7), frontier.most_efficient()]
-    {
+    for p in [
+        frontier.fastest(),
+        frontier.lookup(frontier.t_star() * 0.7),
+        frontier.most_efficient(),
+    ] {
         for id in pipe.dag.node_ids() {
             if let Some(f) = p.schedule.freq_of(id) {
                 assert!(gpu.supports(f), "unsupported frequency {f:?}");
@@ -226,7 +272,10 @@ fn energy_report_accounts_blocking_and_straggler_wait() {
     // Waiting on the straggler adds N * (T' - T) * P_blocking.
     let extra = waiting.blocking_j - free.blocking_j;
     let expected = 2.0 * (free.iter_time_s * 0.5) * gpu.blocking_w;
-    assert!((extra - expected).abs() / expected < 1e-9, "extra {extra} expected {expected}");
+    assert!(
+        (extra - expected).abs() / expected < 1e-9,
+        "extra {extra} expected {expected}"
+    );
     assert!(waiting.total_j() > free.total_j());
     assert!(waiting.avg_power_w() < free.avg_power_w());
 }
@@ -324,6 +373,58 @@ mod prop {
                 prop_assert!(p.schedule.time_s <= p.planned_time_s + 1e-9);
             }
         }
+
+        #[test]
+        fn lookup_selects_slowest_point_within_the_deadline(
+            t_min in 0.2f64..5.0,
+            gaps in proptest::collection::vec(1e-3f64..0.5, 1..60),
+            // T' as a factor of the frontier span, deliberately ranging
+            // below T_min and beyond T*.
+            factor in -0.5f64..2.0,
+        ) {
+            let frontier = synthetic_frontier(t_min, &gaps);
+            let t_star = frontier.t_star();
+            let t_prime = t_min + (t_star - t_min) * factor;
+            let chosen = frontier.lookup(t_prime);
+            let eps = 1e-12;
+            // Perseus straggler rule (§3.2): run no slower than
+            // min(T*, T'), at the lowest energy available. A deadline
+            // below T_min is infeasible; the fastest point is the best
+            // the frontier can do.
+            let t_opt = t_prime.min(t_star).max(t_min);
+            prop_assert!(chosen.planned_time_s <= t_opt + eps);
+            // ... and `chosen` is the SLOWEST such point: every point
+            // strictly slower than it overshoots the deadline.
+            for p in frontier.points() {
+                if p.planned_time_s > chosen.planned_time_s {
+                    prop_assert!(p.planned_time_s > t_opt + eps);
+                }
+            }
+        }
+    }
+
+    /// Strictly ascending synthetic frontier from a base time and positive
+    /// gaps; energies descend, schedules are empty shells (lookup reads
+    /// neither).
+    fn synthetic_frontier(t_min: f64, gaps: &[f64]) -> ParetoFrontier {
+        let mut t = t_min;
+        let mut points = Vec::with_capacity(gaps.len() + 1);
+        for (i, g) in std::iter::once(&0.0).chain(gaps).enumerate() {
+            t += g;
+            points.push(crate::frontier::FrontierPoint {
+                planned_time_s: t,
+                planned_energy_j: (gaps.len() + 1 - i) as f64,
+                schedule: EnergySchedule {
+                    planned: Vec::new(),
+                    freqs: Vec::new(),
+                    realized_dur: Vec::new(),
+                    realized_energy: Vec::new(),
+                    time_s: t,
+                    compute_j: (gaps.len() + 1 - i) as f64,
+                },
+            });
+        }
+        ParetoFrontier::from_points(points)
     }
 }
 

@@ -122,7 +122,12 @@ impl<N, E> Default for Dag<N, E> {
 impl<N, E> Dag<N, E> {
     /// Creates an empty DAG.
     pub fn new() -> Self {
-        Dag { nodes: Vec::new(), edges: Vec::new(), succ: Vec::new(), pred: Vec::new() }
+        Dag {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            succ: Vec::new(),
+            pred: Vec::new(),
+        }
     }
 
     /// Creates an empty DAG with capacity for `nodes` nodes and `edges` edges.
@@ -211,7 +216,12 @@ impl<N, E> Dag<N, E> {
     /// Edge endpoints and payload for `e`.
     pub fn edge(&self, e: EdgeId) -> EdgeRef<'_, E> {
         let d = &self.edges[e.index()];
-        EdgeRef { id: e, src: d.src, dst: d.dst, payload: &d.payload }
+        EdgeRef {
+            id: e,
+            src: d.src,
+            dst: d.dst,
+            payload: &d.payload,
+        }
     }
 
     /// Mutable payload of edge `e`.
@@ -284,8 +294,10 @@ impl<N, E> Dag<N, E> {
     pub fn topo_order(&self) -> Result<Vec<NodeId>, DagError> {
         let n = self.nodes.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
-        let mut queue: Vec<NodeId> =
-            (0..n as u32).map(NodeId).filter(|id| indeg[id.index()] == 0).collect();
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|id| indeg[id.index()] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
@@ -309,12 +321,16 @@ impl<N, E> Dag<N, E> {
 
     /// Source nodes (in-degree zero).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Sink nodes (out-degree zero).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Builds a new DAG retaining only edges for which `keep` returns true,
@@ -322,7 +338,11 @@ impl<N, E> Dag<N, E> {
     ///
     /// Returns the filtered graph together with the mapping from old node
     /// ids to new ones (`None` for dropped nodes).
-    pub fn filter_edges<F, G>(&self, mut keep: F, mut keep_node: G) -> (Dag<N, E>, Vec<Option<NodeId>>)
+    pub fn filter_edges<F, G>(
+        &self,
+        mut keep: F,
+        mut keep_node: G,
+    ) -> (Dag<N, E>, Vec<Option<NodeId>>)
     where
         N: Clone,
         E: Clone,

@@ -41,7 +41,10 @@ fn cycle_rejected() {
     let c = g.add_node(());
     g.add_edge(a, b, ()).unwrap();
     g.add_edge(b, c, ()).unwrap();
-    assert!(matches!(g.add_edge(c, a, ()), Err(DagError::WouldCycle { .. })));
+    assert!(matches!(
+        g.add_edge(c, a, ()),
+        Err(DagError::WouldCycle { .. })
+    ));
 }
 
 #[test]
@@ -66,8 +69,10 @@ fn unchecked_cycle_detected_by_topo() {
 fn topo_order_respects_edges() {
     let (g, _) = diamond();
     let order = g.topo_order().unwrap();
-    let pos: Vec<usize> =
-        g.node_ids().map(|n| order.iter().position(|&x| x == n).unwrap()).collect();
+    let pos: Vec<usize> = g
+        .node_ids()
+        .map(|n| order.iter().position(|&x| x == n).unwrap())
+        .collect();
     for e in g.edge_refs() {
         assert!(pos[e.src.index()] < pos[e.dst.index()]);
     }
@@ -192,7 +197,10 @@ mod prop {
 
     /// Builds a random DAG by only ever adding forward edges (i < j).
     fn arb_dag() -> impl Strategy<Value = Dag<(), f64>> {
-        (2usize..24, proptest::collection::vec((any::<u16>(), any::<u16>(), 0.1f64..10.0), 1..80))
+        (
+            2usize..24,
+            proptest::collection::vec((any::<u16>(), any::<u16>(), 0.1f64..10.0), 1..80),
+        )
             .prop_map(|(n, raw)| {
                 let mut g: Dag<(), f64> = Dag::new();
                 let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();

@@ -75,7 +75,11 @@ impl TimingAnalysis {
                 }
             }
         }
-        TimingAnalysis { earliest, latest, makespan }
+        TimingAnalysis {
+            earliest,
+            latest,
+            makespan,
+        }
     }
 
     /// Slack of edge `e = (u, v)` with duration `d`:
@@ -139,6 +143,10 @@ impl<N: Clone, E: Clone> CriticalDag<N, E> {
             }
         }
         debug_assert_eq!(edge_origin.len(), graph.edge_count());
-        CriticalDag { graph, node_map, edge_origin }
+        CriticalDag {
+            graph,
+            node_map,
+            edge_origin,
+        }
     }
 }

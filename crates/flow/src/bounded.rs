@@ -49,7 +49,10 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Infeasible { required, achieved } => {
-                write!(f, "no feasible flow: routed {achieved} of required {required}")
+                write!(
+                    f,
+                    "no feasible flow: routed {achieved} of required {required}"
+                )
             }
             FlowError::InvalidBounds { edge } => write!(f, "edge {edge} has invalid bounds"),
             FlowError::InvalidTerminals => write!(f, "invalid source/sink"),
@@ -109,7 +112,10 @@ impl BoundedFlowSolution {
 impl BoundedFlowProblem {
     /// Creates an empty problem over `n` nodes.
     pub fn new(n: usize) -> Self {
-        BoundedFlowProblem { n, edges: Vec::new() }
+        BoundedFlowProblem {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Sentinel upper bound meaning "unconstrained". The solver replaces it
@@ -131,7 +137,12 @@ impl BoundedFlowProblem {
 
     /// Adds an edge with bounds `(lower, upper)`; returns its index.
     pub fn add_edge(&mut self, src: usize, dst: usize, lower: f64, upper: f64) -> usize {
-        self.edges.push(BoundedEdge { src, dst, lower, upper });
+        self.edges.push(BoundedEdge {
+            src,
+            dst,
+            lower,
+            upper,
+        });
         self.edges.len() - 1
     }
 
@@ -242,7 +253,11 @@ impl BoundedFlowProblem {
             }
         }
         let _ = extra;
-        Ok(BoundedFlowSolution { flow, value, source_side })
+        Ok(BoundedFlowSolution {
+            flow,
+            value,
+            source_side,
+        })
     }
 
     /// Capacity of the cut described by `source_side`: sum of the upper

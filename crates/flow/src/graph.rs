@@ -29,7 +29,12 @@ pub struct FlowGraph {
 impl FlowGraph {
     /// Creates a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowGraph { adj: vec![Vec::new(); n], arcs: Vec::new(), init: Vec::new(), eps: 0.0 }
+        FlowGraph {
+            adj: vec![Vec::new(); n],
+            arcs: Vec::new(),
+            init: Vec::new(),
+            eps: 0.0,
+        }
     }
 
     /// Number of nodes.
@@ -64,12 +69,24 @@ impl FlowGraph {
     ///
     /// Panics if endpoints are out of range or a capacity is negative/NaN.
     pub fn add_edge_with_back(&mut self, u: usize, v: usize, cap_fwd: f64, cap_back: f64) -> usize {
-        assert!(u < self.adj.len() && v < self.adj.len(), "endpoint out of range");
-        assert!(cap_fwd >= 0.0 && cap_back >= 0.0, "capacities must be non-negative");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "endpoint out of range"
+        );
+        assert!(
+            cap_fwd >= 0.0 && cap_back >= 0.0,
+            "capacities must be non-negative"
+        );
         let id = self.init.len();
         let a = self.arcs.len();
-        self.arcs.push(Arc { to: v, cap: cap_fwd });
-        self.arcs.push(Arc { to: u, cap: cap_back });
+        self.arcs.push(Arc {
+            to: v,
+            cap: cap_fwd,
+        });
+        self.arcs.push(Arc {
+            to: u,
+            cap: cap_back,
+        });
         self.adj[u].push(a);
         self.adj[v].push(a + 1);
         self.init.push(cap_fwd);
@@ -104,7 +121,10 @@ impl FlowGraph {
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         assert!(s != t, "source and sink must differ");
-        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
         // Dinic's algorithm: repeat { BFS level graph; DFS blocking flow }.
         // Asymptotically O(V²E) and near-linear on the sparse, shallow
         // capacity DAGs Perseus produces — the paper's Edmonds–Karp bound

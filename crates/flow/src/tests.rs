@@ -118,7 +118,10 @@ fn bounded_infeasible_detected() {
 fn bounded_invalid_bounds_detected() {
     let mut p = BoundedFlowProblem::new(2);
     p.add_edge(0, 1, 3.0, 1.0);
-    assert!(matches!(p.solve(0, 1), Err(FlowError::InvalidBounds { edge: 0 })));
+    assert!(matches!(
+        p.solve(0, 1),
+        Err(FlowError::InvalidBounds { edge: 0 })
+    ));
 }
 
 #[test]
@@ -142,7 +145,10 @@ fn bounded_unbounded_edge_never_in_cut() {
     assert!((sol.value - 5.0).abs() < 1e-9);
     let fwd = sol.forward_cut_edges(&p);
     for &e in &fwd {
-        assert!(p.edges()[e].upper.is_finite(), "cut crossed an unbounded edge");
+        assert!(
+            p.edges()[e].upper.is_finite(),
+            "cut crossed an unbounded edge"
+        );
     }
     assert!(p.cut_capacity(&sol.source_side).is_finite());
 }
@@ -211,7 +217,12 @@ fn bounded_value_equals_cut_capacity() {
     p.add_edge(1, 2, 0.0, 1.0);
     let sol = p.solve(0, 3).unwrap();
     let cut = p.cut_capacity(&sol.source_side);
-    assert!((sol.value - cut).abs() < 1e-6, "value {} != cut {}", sol.value, cut);
+    assert!(
+        (sol.value - cut).abs() < 1e-6,
+        "value {} != cut {}",
+        sol.value,
+        cut
+    );
 }
 
 mod prop {
@@ -225,7 +236,10 @@ mod prop {
     }
 
     fn arb_net() -> impl Strategy<Value = Net> {
-        (3usize..10, proptest::collection::vec((any::<u16>(), any::<u16>(), 0.1f64..8.0), 2..40))
+        (
+            3usize..10,
+            proptest::collection::vec((any::<u16>(), any::<u16>(), 0.1f64..8.0), 2..40),
+        )
             .prop_map(|(n, raw)| {
                 let edges = raw
                     .into_iter()

@@ -27,7 +27,11 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A small, realistic noise level (±1% time, ±1.5% energy).
     pub fn realistic(seed: u64) -> NoiseModel {
-        NoiseModel { time_rel_sigma: 0.01, energy_rel_sigma: 0.015, seed }
+        NoiseModel {
+            time_rel_sigma: 0.01,
+            energy_rel_sigma: 0.015,
+            seed,
+        }
     }
 }
 

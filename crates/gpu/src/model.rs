@@ -52,12 +52,20 @@ pub struct Workload {
 impl Workload {
     /// Creates a workload; clamps `util` into `(0, 1]`.
     pub fn new(compute: f64, mem_time: f64, util: f64) -> Self {
-        Workload { compute: compute.max(0.0), mem_time: mem_time.max(0.0), util: util.clamp(0.05, 1.0) }
+        Workload {
+            compute: compute.max(0.0),
+            mem_time: mem_time.max(0.0),
+            util: util.clamp(0.05, 1.0),
+        }
     }
 
     /// A workload scaled by `k` (e.g. replicating a layer `k` times).
     pub fn scaled(&self, k: f64) -> Workload {
-        Workload { compute: self.compute * k, mem_time: self.mem_time * k, util: self.util }
+        Workload {
+            compute: self.compute * k,
+            mem_time: self.mem_time * k,
+            util: self.util,
+        }
     }
 
     /// Sum of two workloads executed back to back (utilization averaged,
@@ -229,7 +237,10 @@ impl GpuSpec {
 
     /// All supported SM frequencies, ascending.
     pub fn frequencies(&self) -> Vec<FreqMHz> {
-        (self.min_freq_mhz..=self.max_freq_mhz).step_by(self.step_mhz as usize).map(FreqMHz).collect()
+        (self.min_freq_mhz..=self.max_freq_mhz)
+            .step_by(self.step_mhz as usize)
+            .map(FreqMHz)
+            .collect()
     }
 
     /// True iff `f` is one of the supported clock steps.
@@ -252,7 +263,11 @@ impl GpuSpec {
     pub fn perf_curve(&self, f: FreqMHz) -> f64 {
         let x = f.as_f64() / self.max_freq_mhz as f64;
         let k = self.cap_knee;
-        let raw = if x <= k { x } else { k + (x - k) * CAP_ZONE_SLOPE };
+        let raw = if x <= k {
+            x
+        } else {
+            k + (x - k) * CAP_ZONE_SLOPE
+        };
         raw / (k + (1.0 - k) * CAP_ZONE_SLOPE)
     }
 
@@ -329,7 +344,11 @@ impl GpuSpec {
         let mut pts: Vec<ParetoPoint> = self
             .frequencies()
             .into_iter()
-            .map(|f| ParetoPoint { freq: f, time_s: self.time(w, f), energy_j: self.energy(w, f) })
+            .map(|f| ParetoPoint {
+                freq: f,
+                time_s: self.time(w, f),
+                energy_j: self.energy(w, f),
+            })
             .collect();
         // Ascending time == descending frequency.
         pts.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));

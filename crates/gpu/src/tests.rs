@@ -45,7 +45,10 @@ fn time_monotone_decreasing_in_frequency() {
 fn mem_time_is_frequency_insensitive() {
     let a100 = GpuSpec::a100_pcie();
     let w = Workload::new(0.0, 0.02, 0.5);
-    assert_eq!(a100.time(&w, a100.min_freq()), a100.time(&w, a100.max_freq()));
+    assert_eq!(
+        a100.time(&w, a100.min_freq()),
+        a100.time(&w, a100.max_freq())
+    );
 }
 
 #[test]
@@ -63,7 +66,12 @@ fn power_within_envelope() {
 fn min_energy_frequency_is_interior() {
     // §5: sweeping down from max frequency, energy decreases then
     // increases; the optimum must be strictly between min and max.
-    for spec in [GpuSpec::a100_pcie(), GpuSpec::a40(), GpuSpec::h100_sxm(), GpuSpec::v100()] {
+    for spec in [
+        GpuSpec::a100_pcie(),
+        GpuSpec::a40(),
+        GpuSpec::h100_sxm(),
+        GpuSpec::v100(),
+    ] {
         let w = sample_workload();
         let f_opt = spec.min_energy_freq(&w);
         assert!(f_opt > spec.min_freq(), "{}: optimum at floor", spec.name);
@@ -106,7 +114,9 @@ fn slowest_freq_within_deadline() {
     let f = a100.slowest_freq_within(&w, t_at(FreqMHz(900))).unwrap();
     assert_eq!(f, FreqMHz(900));
     // Slightly tighter deadline requires the next faster clock.
-    let f = a100.slowest_freq_within(&w, t_at(FreqMHz(900)) - 1e-6).unwrap();
+    let f = a100
+        .slowest_freq_within(&w, t_at(FreqMHz(900)) - 1e-6)
+        .unwrap();
     assert_eq!(f, FreqMHz(915));
     // Generous deadline -> the floor clock.
     assert_eq!(a100.slowest_freq_within(&w, 1e9), Some(a100.min_freq()));
@@ -190,8 +200,7 @@ mod prop {
     use proptest::prelude::*;
 
     fn arb_workload() -> impl Strategy<Value = Workload> {
-        (0.1f64..500.0, 0.0f64..0.05, 0.3f64..1.0)
-            .prop_map(|(c, m, u)| Workload::new(c, m, u))
+        (0.1f64..500.0, 0.0f64..0.05, 0.3f64..1.0).prop_map(|(c, m, u)| Workload::new(c, m, u))
     }
 
     proptest! {
@@ -247,8 +256,14 @@ fn cap_zone_flattens_top_clocks() {
     let p_knee = a100.power(knee, w.util);
     let p_max = a100.power(a100.max_freq(), w.util);
     let power_cost = p_max / p_knee - 1.0;
-    assert!(time_gain < 0.02, "knee -> max should buy <2% time: {time_gain:.3}");
-    assert!(power_cost > 2.0 * time_gain, "but cost real power: {power_cost:.3}");
+    assert!(
+        time_gain < 0.02,
+        "knee -> max should buy <2% time: {time_gain:.3}"
+    );
+    assert!(
+        power_cost > 2.0 * time_gain,
+        "but cost real power: {power_cost:.3}"
+    );
 }
 
 #[test]
@@ -273,5 +288,8 @@ fn min_energy_frequency_is_realistic() {
     let a100 = GpuSpec::a100_pcie();
     let w = sample_workload();
     let f_opt = a100.min_energy_freq(&w).as_f64() / a100.max_freq_mhz as f64;
-    assert!(f_opt > 0.55 && f_opt < 0.85, "A100 f_opt/f_max = {f_opt:.2}");
+    assert!(
+        f_opt > 0.55 && f_opt < 0.85,
+        "A100 f_opt/f_max = {f_opt:.2}"
+    );
 }

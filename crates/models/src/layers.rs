@@ -78,7 +78,11 @@ impl LayerCost {
     /// Scales the layer's compute by `k` (tensor parallelism divides work
     /// equally across GPUs, §4.4).
     pub fn scaled(&self, k: f64) -> LayerCost {
-        LayerCost { fwd_tflops: self.fwd_tflops * k, bwd_tflops: self.bwd_tflops * k, ..self.clone() }
+        LayerCost {
+            fwd_tflops: self.fwd_tflops * k,
+            bwd_tflops: self.bwd_tflops * k,
+            ..self.clone()
+        }
     }
 }
 

@@ -68,7 +68,10 @@ impl Partition {
     pub fn from_boundaries(boundaries: Vec<usize>) -> Partition {
         assert!(boundaries.len() >= 2, "need at least one stage");
         assert_eq!(boundaries[0], 0, "partition must start at layer 0");
-        assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must increase");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must increase"
+        );
         Partition { boundaries }
     }
 
@@ -99,7 +102,9 @@ impl Partition {
 
     /// Total weight of each stage.
     pub fn stage_weights(&self, weights: &[f64]) -> Vec<f64> {
-        self.stage_ranges().map(|r| weights[r].iter().sum()).collect()
+        self.stage_ranges()
+            .map(|r| weights[r].iter().sum())
+            .collect()
     }
 
     /// Longest-stage ÷ shortest-stage weight (1.00 = perfectly balanced).
@@ -122,7 +127,10 @@ pub fn uniform_partition(num_layers: usize, stages: usize) -> Result<Partition, 
         return Err(PartitionError::ZeroStages);
     }
     if stages > num_layers {
-        return Err(PartitionError::TooManyStages { stages, layers: num_layers });
+        return Err(PartitionError::TooManyStages {
+            stages,
+            layers: num_layers,
+        });
     }
     let base = num_layers / stages;
     let extra = num_layers % stages;
@@ -147,13 +155,19 @@ pub fn uniform_partition(num_layers: usize, stages: usize) -> Result<Partition, 
 /// # Errors
 ///
 /// See [`PartitionError`].
-pub fn min_imbalance_partition(weights: &[f64], stages: usize) -> Result<Partition, PartitionError> {
+pub fn min_imbalance_partition(
+    weights: &[f64],
+    stages: usize,
+) -> Result<Partition, PartitionError> {
     if stages == 0 {
         return Err(PartitionError::ZeroStages);
     }
     let n_layers = weights.len();
     if stages > n_layers {
-        return Err(PartitionError::TooManyStages { stages, layers: n_layers });
+        return Err(PartitionError::TooManyStages {
+            stages,
+            layers: n_layers,
+        });
     }
     for (i, &w) in weights.iter().enumerate() {
         if !(w.is_finite() && w > 0.0) {
@@ -161,7 +175,9 @@ pub fn min_imbalance_partition(weights: &[f64], stages: usize) -> Result<Partiti
         }
     }
     if stages == 1 {
-        return Ok(Partition { boundaries: vec![0, n_layers] });
+        return Ok(Partition {
+            boundaries: vec![0, n_layers],
+        });
     }
 
     // Prefix sums for O(1) range sums.

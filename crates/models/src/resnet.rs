@@ -37,7 +37,13 @@ fn conv_flops(k: usize, c_in: usize, c_out: usize, hw: usize) -> f64 {
     2.0 * (k * k) as f64 * c_in as f64 * c_out as f64 * (hw * hw) as f64
 }
 
-fn bottleneck_flops(c_in: usize, width: usize, c_out: usize, hw_out: usize, downsample: bool) -> f64 {
+fn bottleneck_flops(
+    c_in: usize,
+    width: usize,
+    c_out: usize,
+    hw_out: usize,
+    downsample: bool,
+) -> f64 {
     // 1x1 reduce runs at the input resolution when stride 1; with stride 2
     // torchvision puts the stride on the 3x3 conv, so the 1x1 reduce runs
     // at the input resolution (2x the output side).

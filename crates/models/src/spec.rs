@@ -25,7 +25,10 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::PartitionMismatch { model_layers, partition_layers } => write!(
+            ModelError::PartitionMismatch {
+                model_layers,
+                partition_layers,
+            } => write!(
                 f,
                 "partition covers {partition_layers} layers but the model has {model_layers}"
             ),
@@ -71,7 +74,10 @@ impl ModelSpec {
     /// that minimum-imbalance partitioning balances (Appendix B considers
     /// only forward latency; backward is roughly proportional).
     pub fn fwd_latency_weights(&self, gpu: &GpuSpec) -> Vec<f64> {
-        self.layers.iter().map(|l| l.fwd_latency_at_max(gpu)).collect()
+        self.layers
+            .iter()
+            .map(|l| l.fwd_latency_at_max(gpu))
+            .collect()
     }
 
     /// Applies tensor parallelism of degree `tp`: every layer's compute is

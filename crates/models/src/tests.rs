@@ -88,13 +88,19 @@ fn imbalance_ratios_match_paper_trends() {
     let r4 = ratio(&gpt_xl, 4);
     let r8 = ratio(&gpt_xl, 8);
     assert!(r4 > 1.05 && r4 < 1.30, "gpt3-xl 4 stages: {r4}");
-    assert!(r8 > r4, "more stages should be harder to balance: {r8} vs {r4}");
+    assert!(
+        r8 > r4,
+        "more stages should be harder to balance: {r8} vs {r4}"
+    );
 
     let r175 = ratio(&zoo::gpt3_175b(1), 4);
     assert!(r175 < 1.06, "gpt3-175b should be nearly balanced: {r175}");
 
     let bert = ratio(&zoo::bert_base(8), 8);
-    assert!(bert > 1.5, "bert-base 8 stages should be badly imbalanced: {bert}");
+    assert!(
+        bert > 1.5,
+        "bert-base 8 stages should be badly imbalanced: {bert}"
+    );
 
     let bloom = ratio(&zoo::bloom_3b(4), 4);
     assert!(bloom > 1.03 && bloom < 1.35, "bloom-3b: {bloom}");
@@ -165,7 +171,10 @@ fn partition_errors() {
         min_imbalance_partition(&[1.0, 2.0], 3),
         Err(PartitionError::TooManyStages { .. })
     ));
-    assert!(matches!(min_imbalance_partition(&[1.0], 0), Err(PartitionError::ZeroStages)));
+    assert!(matches!(
+        min_imbalance_partition(&[1.0], 0),
+        Err(PartitionError::ZeroStages)
+    ));
     assert!(matches!(
         min_imbalance_partition(&[1.0, -2.0], 1),
         Err(PartitionError::InvalidWeight { index: 1 })
@@ -206,8 +215,10 @@ fn stage_workloads_cover_model() {
     assert_eq!(stages.len(), 4);
     // Total forward latency at max clock is preserved by stage fusion.
     let total_layers: f64 = w.iter().sum();
-    let total_stages: f64 =
-        stages.iter().map(|s| gpu.time(&s.fwd, gpu.max_freq())).sum();
+    let total_stages: f64 = stages
+        .iter()
+        .map(|s| gpu.time(&s.fwd, gpu.max_freq()))
+        .sum();
     assert!((total_layers - total_stages).abs() / total_layers < 1e-9);
     // Backward slower than forward.
     for s in &stages {
@@ -251,7 +262,10 @@ fn a40_slower_than_a100() {
     let m = zoo::gpt3_xl(4);
     let a100: f64 = m.fwd_latency_weights(&GpuSpec::a100_pcie()).iter().sum();
     let a40: f64 = m.fwd_latency_weights(&GpuSpec::a40()).iter().sum();
-    assert!(a40 > 1.5 * a100, "A40 should be much slower: {a40} vs {a100}");
+    assert!(
+        a40 > 1.5 * a100,
+        "A40 should be much slower: {a40} vs {a100}"
+    );
 }
 
 mod prop {

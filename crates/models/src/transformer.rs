@@ -103,11 +103,19 @@ pub fn decoder_only_layers(
 ) -> Vec<LayerCost> {
     let tokens = (microbatch * cfg.seq_len) as f64;
     let layer_flops = cfg.layer_flops_per_token() * tokens;
-    let kind = if decoder { LayerKind::TransformerDecoder } else { LayerKind::TransformerEncoder };
+    let kind = if decoder {
+        LayerKind::TransformerDecoder
+    } else {
+        LayerKind::TransformerEncoder
+    };
     let mut layers: Vec<LayerCost> = (0..cfg.n_layers)
         .map(|i| make_layer(format!("layer.{i}"), kind, layer_flops))
         .collect();
-    layers.push(make_layer("lm_head".into(), LayerKind::LmHead, cfg.head_tflops_per_token() * tokens));
+    layers.push(make_layer(
+        "lm_head".into(),
+        LayerKind::LmHead,
+        cfg.head_tflops_per_token() * tokens,
+    ));
     layers
 }
 
@@ -117,13 +125,28 @@ pub fn decoder_only_layers(
 pub fn encoder_decoder_layers(cfg: &TransformerConfig, microbatch: usize) -> Vec<LayerCost> {
     let tokens = (microbatch * cfg.seq_len) as f64;
     let enc_flops = cfg.layer_flops_per_token() * tokens;
-    let dec_flops = (cfg.layer_flops_per_token() + cfg.cross_attn_flops_per_token(cfg.seq_len)) * tokens;
+    let dec_flops =
+        (cfg.layer_flops_per_token() + cfg.cross_attn_flops_per_token(cfg.seq_len)) * tokens;
     let mut layers: Vec<LayerCost> = (0..cfg.n_layers)
-        .map(|i| make_layer(format!("encoder.{i}"), LayerKind::TransformerEncoder, enc_flops))
+        .map(|i| {
+            make_layer(
+                format!("encoder.{i}"),
+                LayerKind::TransformerEncoder,
+                enc_flops,
+            )
+        })
         .collect();
     layers.extend((0..cfg.n_layers).map(|i| {
-        make_layer(format!("decoder.{i}"), LayerKind::TransformerCrossDecoder, dec_flops)
+        make_layer(
+            format!("decoder.{i}"),
+            LayerKind::TransformerCrossDecoder,
+            dec_flops,
+        )
     }));
-    layers.push(make_layer("lm_head".into(), LayerKind::LmHead, cfg.head_tflops_per_token() * tokens));
+    layers.push(make_layer(
+        "lm_head".into(),
+        LayerKind::LmHead,
+        cfg.head_tflops_per_token() * tokens,
+    ));
     layers
 }

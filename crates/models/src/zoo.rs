@@ -231,8 +231,12 @@ pub fn t5_3b(microbatch: usize) -> ModelSpec {
 
 /// Wide-ResNet-50 with width factor 8 (0.8B parameters).
 pub fn wide_resnet50_8(microbatch: usize) -> ModelSpec {
-    let cfg =
-        WideResNetConfig { blocks: [3, 4, 6, 3], width_factor: 8, image_size: 224, classes: 1000 };
+    let cfg = WideResNetConfig {
+        blocks: [3, 4, 6, 3],
+        width_factor: 8,
+        image_size: 224,
+        classes: 1000,
+    };
     ModelSpec {
         name: "wide-resnet50-8".into(),
         params_b: 0.8,
@@ -243,8 +247,12 @@ pub fn wide_resnet50_8(microbatch: usize) -> ModelSpec {
 
 /// Wide-ResNet-101 with width factor 8 (1.5B parameters).
 pub fn wide_resnet101_8(microbatch: usize) -> ModelSpec {
-    let cfg =
-        WideResNetConfig { blocks: [3, 4, 23, 3], width_factor: 8, image_size: 224, classes: 1000 };
+    let cfg = WideResNetConfig {
+        blocks: [3, 4, 23, 3],
+        width_factor: 8,
+        image_size: 224,
+        classes: 1000,
+    };
     ModelSpec {
         name: "wide-resnet101-8".into(),
         params_b: 1.5,

@@ -149,10 +149,12 @@ impl PipelineBuilder {
         let (n, m) = (self.n_stages, self.n_microbatches);
         let v = self.kind.chunks();
         if v > 1 && m % n != 0 {
-            return Err(ScheduleError::MicrobatchesNotDivisible { microbatches: m, stages: n });
+            return Err(ScheduleError::MicrobatchesNotDivisible {
+                microbatches: m,
+                stages: n,
+            });
         }
-        let mut dag: Dag<PipeNode, DepKind> =
-            Dag::with_capacity(2 * n * m * v + 2, 4 * n * m * v);
+        let mut dag: Dag<PipeNode, DepKind> = Dag::with_capacity(2 * n * m * v + 2, 4 * n * m * v);
         let source = dag.add_node(PipeNode::Source);
         let sink = dag.add_node(PipeNode::Sink);
 
@@ -305,15 +307,24 @@ pub struct PipelineDag {
 impl PipelineDag {
     /// Iterator over `(node, computation)` for all computation nodes.
     pub fn computations(&self) -> impl Iterator<Item = (NodeId, &Computation)> + '_ {
-        self.dag.node_ids().filter_map(move |id| self.dag.node(id).as_comp().map(|c| (id, c)))
+        self.dag
+            .node_ids()
+            .filter_map(move |id| self.dag.node(id).as_comp().map(|c| (id, c)))
     }
 
     /// Iterator over `(node, stage, time_s, power_w)` for fixed-time nodes.
     pub fn fixed_ops(&self) -> impl Iterator<Item = (NodeId, usize, f64, f64)> + '_ {
-        self.dag.node_ids().filter_map(move |id| match self.dag.node(id) {
-            PipeNode::Fixed { stage, time_s, power_w, .. } => Some((id, *stage, *time_s, *power_w)),
-            _ => None,
-        })
+        self.dag
+            .node_ids()
+            .filter_map(move |id| match self.dag.node(id) {
+                PipeNode::Fixed {
+                    stage,
+                    time_s,
+                    power_w,
+                    ..
+                } => Some((id, *stage, *time_s, *power_w)),
+                _ => None,
+            })
     }
 
     /// Total computation nodes.

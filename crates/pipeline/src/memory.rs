@@ -84,7 +84,10 @@ mod tests {
     fn early_recompute_matches_plain_1f1b_boundaries() {
         let plain = activation_memory(ScheduleKind::OneFOneB, 4, 8);
         let er = activation_memory(ScheduleKind::EarlyRecompute1F1B, 4, 8);
-        assert_eq!(plain, er, "recompute instructions must not change boundary stashes");
+        assert_eq!(
+            plain, er,
+            "recompute instructions must not change boundary stashes"
+        );
     }
 
     #[test]
@@ -94,10 +97,12 @@ mod tests {
         let n = 4;
         let m = 16;
         let plain = activation_memory(ScheduleKind::OneFOneB, n, m).max_peak();
-        let inter =
-            activation_memory(ScheduleKind::Interleaved1F1B { chunks: 2 }, n, m).max_peak();
+        let inter = activation_memory(ScheduleKind::Interleaved1F1B { chunks: 2 }, n, m).max_peak();
         let gpipe = activation_memory(ScheduleKind::GPipe, n, m).max_peak();
-        assert!(inter > plain, "interleaving stashes more: {inter} vs {plain}");
+        assert!(
+            inter > plain,
+            "interleaving stashes more: {inter} vs {plain}"
+        );
         assert!(inter < gpipe, "but far less than GPipe: {inter} vs {gpipe}");
     }
 

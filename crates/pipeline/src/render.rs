@@ -16,10 +16,7 @@ use crate::schedule::CompKind;
 ///
 /// Panics if the graph contains a cycle (pipeline DAGs are acyclic by
 /// construction).
-pub fn node_start_times<N, E>(
-    dag: &Dag<N, E>,
-    dur: impl Fn(NodeId, &N) -> f64,
-) -> (Vec<f64>, f64) {
+pub fn node_start_times<N, E>(dag: &Dag<N, E>, dur: impl Fn(NodeId, &N) -> f64) -> (Vec<f64>, f64) {
     let order = dag.topo_order().expect("pipeline DAGs are acyclic");
     let mut start = vec![0.0f64; dag.node_count()];
     let mut makespan = 0.0f64;

@@ -46,7 +46,11 @@ impl fmt::Display for Computation {
         if self.chunk == 0 {
             write!(f, "{}{}@S{}", self.kind, self.microbatch, self.stage)
         } else {
-            write!(f, "{}{}@S{}c{}", self.kind, self.microbatch, self.stage, self.chunk)
+            write!(
+                f,
+                "{}{}@S{}c{}",
+                self.kind, self.microbatch, self.stage, self.chunk
+            )
         }
     }
 }
@@ -67,14 +71,22 @@ pub struct OpKey {
 impl OpKey {
     /// Key for a non-interleaved (single-chunk) computation.
     pub fn plain(stage: usize, kind: CompKind) -> OpKey {
-        OpKey { stage, chunk: 0, kind }
+        OpKey {
+            stage,
+            chunk: 0,
+            kind,
+        }
     }
 }
 
 impl Computation {
     /// Profiling key of this computation.
     pub fn op_key(&self) -> OpKey {
-        OpKey { stage: self.stage, chunk: self.chunk, kind: self.kind }
+        OpKey {
+            stage: self.stage,
+            chunk: self.chunk,
+            kind: self.kind,
+        }
     }
 
     /// Virtual pipeline stage under interleaving: `chunk · N + stage`.
@@ -155,7 +167,11 @@ pub fn stage_program(
     match kind {
         ScheduleKind::GPipe => {
             let mut prog: Vec<Instruction> = (0..m)
-                .map(|mb| Instruction { microbatch: mb, chunk: 0, kind: CompKind::Forward })
+                .map(|mb| Instruction {
+                    microbatch: mb,
+                    chunk: 0,
+                    kind: CompKind::Forward,
+                })
                 .collect();
             // Backward drains in reverse microbatch order.
             prog.extend((0..m).rev().map(|mb| Instruction {
@@ -167,9 +183,7 @@ pub fn stage_program(
         }
         ScheduleKind::OneFOneB => one_f_one_b(stage, n_stages, m, false),
         ScheduleKind::EarlyRecompute1F1B => one_f_one_b(stage, n_stages, m, true),
-        ScheduleKind::Interleaved1F1B { chunks } => {
-            interleaved(stage, n_stages, m, chunks.max(1))
-        }
+        ScheduleKind::Interleaved1F1B { chunks } => interleaved(stage, n_stages, m, chunks.max(1)),
     }
 }
 
@@ -179,20 +193,44 @@ fn one_f_one_b(stage: usize, n_stages: usize, m: usize, recompute: bool) -> Vec<
     let warmup = (n_stages - stage - 1).min(m);
     let mut prog = Vec::with_capacity(2 * m + if recompute { m } else { 0 });
     for mb in 0..warmup {
-        prog.push(Instruction { microbatch: mb, chunk: 0, kind: CompKind::Forward });
+        prog.push(Instruction {
+            microbatch: mb,
+            chunk: 0,
+            kind: CompKind::Forward,
+        });
     }
     for i in 0..m - warmup {
-        prog.push(Instruction { microbatch: warmup + i, chunk: 0, kind: CompKind::Forward });
+        prog.push(Instruction {
+            microbatch: warmup + i,
+            chunk: 0,
+            kind: CompKind::Forward,
+        });
         if recompute {
-            prog.push(Instruction { microbatch: i, chunk: 0, kind: CompKind::Recompute });
+            prog.push(Instruction {
+                microbatch: i,
+                chunk: 0,
+                kind: CompKind::Recompute,
+            });
         }
-        prog.push(Instruction { microbatch: i, chunk: 0, kind: CompKind::Backward });
+        prog.push(Instruction {
+            microbatch: i,
+            chunk: 0,
+            kind: CompKind::Backward,
+        });
     }
     for i in m - warmup..m {
         if recompute {
-            prog.push(Instruction { microbatch: i, chunk: 0, kind: CompKind::Recompute });
+            prog.push(Instruction {
+                microbatch: i,
+                chunk: 0,
+                kind: CompKind::Recompute,
+            });
         }
-        prog.push(Instruction { microbatch: i, chunk: 0, kind: CompKind::Backward });
+        prog.push(Instruction {
+            microbatch: i,
+            chunk: 0,
+            kind: CompKind::Backward,
+        });
     }
     prog
 }
@@ -211,7 +249,10 @@ fn one_f_one_b(stage: usize, n_stages: usize, m: usize, recompute: bool) -> Vec<
 /// Panics if `m % n_stages != 0` (the Megatron requirement); the builder
 /// validates this and returns an error first.
 fn interleaved(stage: usize, n_stages: usize, m: usize, v: usize) -> Vec<Instruction> {
-    assert!(m.is_multiple_of(n_stages), "interleaved 1F1B requires microbatches divisible by stages");
+    assert!(
+        m.is_multiple_of(n_stages),
+        "interleaved 1F1B requires microbatches divisible by stages"
+    );
     let total = m * v;
     let group = n_stages * v;
     let decode = |id: usize, forward: bool| -> (usize, usize) {
@@ -229,20 +270,36 @@ fn interleaved(stage: usize, n_stages: usize, m: usize, v: usize) -> Vec<Instruc
     let mut b_id = 0usize;
     for _ in 0..warmup {
         let (chunk, mb) = decode(f_id, true);
-        prog.push(Instruction { microbatch: mb, chunk, kind: CompKind::Forward });
+        prog.push(Instruction {
+            microbatch: mb,
+            chunk,
+            kind: CompKind::Forward,
+        });
         f_id += 1;
     }
     while f_id < total {
         let (chunk, mb) = decode(f_id, true);
-        prog.push(Instruction { microbatch: mb, chunk, kind: CompKind::Forward });
+        prog.push(Instruction {
+            microbatch: mb,
+            chunk,
+            kind: CompKind::Forward,
+        });
         f_id += 1;
         let (chunk, mb) = decode(b_id, false);
-        prog.push(Instruction { microbatch: mb, chunk, kind: CompKind::Backward });
+        prog.push(Instruction {
+            microbatch: mb,
+            chunk,
+            kind: CompKind::Backward,
+        });
         b_id += 1;
     }
     while b_id < total {
         let (chunk, mb) = decode(b_id, false);
-        prog.push(Instruction { microbatch: mb, chunk, kind: CompKind::Backward });
+        prog.push(Instruction {
+            microbatch: mb,
+            chunk,
+            kind: CompKind::Backward,
+        });
         b_id += 1;
     }
     prog

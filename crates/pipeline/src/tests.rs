@@ -6,8 +6,11 @@ use crate::builder::{PipeNode, PipelineBuilder, ScheduleError};
 use crate::render::{node_start_times, render_timeline};
 use crate::schedule::{stage_program, CompKind, ScheduleKind};
 
-const ALL_KINDS: [ScheduleKind; 3] =
-    [ScheduleKind::OneFOneB, ScheduleKind::GPipe, ScheduleKind::EarlyRecompute1F1B];
+const ALL_KINDS: [ScheduleKind; 3] = [
+    ScheduleKind::OneFOneB,
+    ScheduleKind::GPipe,
+    ScheduleKind::EarlyRecompute1F1B,
+];
 
 #[test]
 fn programs_emit_every_computation_once() {
@@ -25,8 +28,14 @@ fn programs_emit_every_computation_once() {
                         CompKind::Recompute => rec[i.microbatch] += 1,
                     }
                 }
-                assert!(fwd.iter().all(|&c| c == 1), "{kind:?} stage {s}: fwd {fwd:?}");
-                assert!(bwd.iter().all(|&c| c == 1), "{kind:?} stage {s}: bwd {bwd:?}");
+                assert!(
+                    fwd.iter().all(|&c| c == 1),
+                    "{kind:?} stage {s}: fwd {fwd:?}"
+                );
+                assert!(
+                    bwd.iter().all(|&c| c == 1),
+                    "{kind:?} stage {s}: bwd {bwd:?}"
+                );
                 if kind == ScheduleKind::EarlyRecompute1F1B {
                     assert!(rec.iter().all(|&c| c == 1));
                 }
@@ -39,7 +48,10 @@ fn programs_emit_every_computation_once() {
 fn one_f_one_b_warmup_depths() {
     // First stage of a 4-deep pipeline warms up 3 forwards; last stage 0.
     let prog = stage_program(ScheduleKind::OneFOneB, 0, 4, 8);
-    let warmup: Vec<_> = prog.iter().take_while(|i| i.kind == CompKind::Forward).collect();
+    let warmup: Vec<_> = prog
+        .iter()
+        .take_while(|i| i.kind == CompKind::Forward)
+        .collect();
     assert_eq!(warmup.len(), 4); // 3 warmup + the first steady forward
     let prog = stage_program(ScheduleKind::OneFOneB, 3, 4, 8);
     assert_eq!(prog[0].kind, CompKind::Forward);
@@ -65,7 +77,11 @@ fn dag_is_acyclic_and_complete() {
     for kind in ALL_KINDS {
         let pipe = PipelineBuilder::new(kind, 4, 6).build().unwrap();
         assert!(pipe.dag.topo_order().is_ok(), "{kind:?} produced a cycle");
-        let per_mb = if kind == ScheduleKind::EarlyRecompute1F1B { 3 } else { 2 };
+        let per_mb = if kind == ScheduleKind::EarlyRecompute1F1B {
+            3
+        } else {
+            2
+        };
         assert_eq!(pipe.computation_count(), 4 * 6 * per_mb);
     }
 }
@@ -73,11 +89,15 @@ fn dag_is_acyclic_and_complete() {
 #[test]
 fn empty_pipeline_rejected() {
     assert_eq!(
-        PipelineBuilder::new(ScheduleKind::OneFOneB, 0, 4).build().unwrap_err(),
+        PipelineBuilder::new(ScheduleKind::OneFOneB, 0, 4)
+            .build()
+            .unwrap_err(),
         ScheduleError::EmptyPipeline
     );
     assert_eq!(
-        PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 0).build().unwrap_err(),
+        PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 0)
+            .build()
+            .unwrap_err(),
         ScheduleError::EmptyPipeline
     );
 }
@@ -100,7 +120,9 @@ fn one_f_one_b_makespan_matches_analytic_formula() {
     // (M - 1) · (t_f + t_b) + N · (t_f + t_b)  =  (M + N - 1)(t_f + t_b)
     // (critical path: fill to last stage, M 1F1B rounds, drain).
     for (n, m) in [(2, 4), (4, 8), (4, 4), (8, 16)] {
-        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap();
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m)
+            .build()
+            .unwrap();
         let (_, makespan) = node_start_times(&pipe.dag, unit_dur);
         let expected = (m + n - 1) as f64 * 3.0;
         assert!(
@@ -116,17 +138,24 @@ fn gpipe_slower_or_equal_to_1f1b_in_memory_but_same_time_uniform() {
     // (M + N - 1) forwards + (M + N - 1) backwards.
     let n = 4;
     let m = 8;
-    let gpipe = PipelineBuilder::new(ScheduleKind::GPipe, n, m).build().unwrap();
+    let gpipe = PipelineBuilder::new(ScheduleKind::GPipe, n, m)
+        .build()
+        .unwrap();
     let (_, t_gpipe) = node_start_times(&gpipe.dag, unit_dur);
     let expected = (m + n - 1) as f64 * 3.0;
-    assert!((t_gpipe - expected).abs() < 1e-9, "gpipe {t_gpipe} != {expected}");
+    assert!(
+        (t_gpipe - expected).abs() < 1e-9,
+        "gpipe {t_gpipe} != {expected}"
+    );
 }
 
 #[test]
 fn imbalanced_stages_create_gaps() {
     // Make stage 1 slower: downstream stages must block, so the makespan
     // exceeds the balanced bound.
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8).build().unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8)
+        .build()
+        .unwrap();
     let dur = |_: NodeId, n: &PipeNode| match n {
         PipeNode::Comp(c) => {
             let scale = if c.stage == 1 { 1.5 } else { 1.0 };
@@ -139,13 +168,20 @@ fn imbalanced_stages_create_gaps() {
     };
     let (_, t) = node_start_times(&pipe.dag, dur);
     let balanced = (8 + 4 - 1) as f64 * 3.0;
-    assert!(t > balanced, "imbalance must lengthen the pipeline: {t} vs {balanced}");
+    assert!(
+        t > balanced,
+        "imbalance must lengthen the pipeline: {t} vs {balanced}"
+    );
 }
 
 #[test]
 fn early_recompute_lengthens_iteration() {
-    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8).build().unwrap();
-    let er = PipelineBuilder::new(ScheduleKind::EarlyRecompute1F1B, 4, 8).build().unwrap();
+    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 8)
+        .build()
+        .unwrap();
+    let er = PipelineBuilder::new(ScheduleKind::EarlyRecompute1F1B, 4, 8)
+        .build()
+        .unwrap();
     let (_, t_plain) = node_start_times(&plain.dag, unit_dur);
     let (_, t_er) = node_start_times(&er.dag, unit_dur);
     assert!(t_er > t_plain);
@@ -153,7 +189,9 @@ fn early_recompute_lengthens_iteration() {
 
 #[test]
 fn data_loading_delays_start() {
-    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 4).build().unwrap();
+    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 4)
+        .build()
+        .unwrap();
     let loaded = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 4)
         .with_data_loading(0.5, 40.0)
         .build()
@@ -173,7 +211,9 @@ fn p2p_latency_inserts_hops() {
     // (N-1) forward hops + (N-1) backward hops per microbatch.
     assert_eq!(pipe.fixed_ops().count(), 2 * 2 * 2);
     let (_, t) = node_start_times(&pipe.dag, unit_dur);
-    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 2).build().unwrap();
+    let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 2)
+        .build()
+        .unwrap();
     let (_, t0) = node_start_times(&plain.dag, unit_dur);
     assert!(t > t0);
 }
@@ -187,7 +227,10 @@ fn dependencies_respected_in_start_times() {
         let mut dur_of: HashMap<(usize, usize, CompKind), f64> = HashMap::new();
         for (id, c) in pipe.computations() {
             start_of.insert((c.stage, c.microbatch, c.kind), starts[id.index()]);
-            dur_of.insert((c.stage, c.microbatch, c.kind), unit_dur(id, pipe.dag.node(id)));
+            dur_of.insert(
+                (c.stage, c.microbatch, c.kind),
+                unit_dur(id, pipe.dag.node(id)),
+            );
         }
         for mb in 0..6 {
             for s in 0..3 {
@@ -195,8 +238,8 @@ fn dependencies_respected_in_start_times() {
                 let a = start_of[&(s, mb, CompKind::Forward)] + dur_of[&(s, mb, CompKind::Forward)];
                 assert!(start_of[&(s + 1, mb, CompKind::Forward)] >= a - 1e-9);
                 // Backward flows up.
-                let b =
-                    start_of[&(s + 1, mb, CompKind::Backward)] + dur_of[&(s + 1, mb, CompKind::Backward)];
+                let b = start_of[&(s + 1, mb, CompKind::Backward)]
+                    + dur_of[&(s + 1, mb, CompKind::Backward)];
                 assert!(start_of[&(s, mb, CompKind::Backward)] >= b - 1e-9);
             }
         }
@@ -205,7 +248,9 @@ fn dependencies_respected_in_start_times() {
 
 #[test]
 fn timeline_renders_all_stages() {
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6).build().unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6)
+        .build()
+        .unwrap();
     let s = render_timeline(&pipe, unit_dur, 80);
     assert_eq!(s.lines().count(), 5); // 4 stage rows + makespan line
     assert!(s.contains("S0 |"));
@@ -295,7 +340,10 @@ mod interleaved {
     #[test]
     fn rejects_non_divisible_microbatches() {
         let err = PipelineBuilder::new(kind(), 4, 6).build().unwrap_err();
-        assert!(matches!(err, ScheduleError::MicrobatchesNotDivisible { .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::MicrobatchesNotDivisible { .. }
+        ));
     }
 
     #[test]
@@ -305,7 +353,9 @@ mod interleaved {
         // durations scaled so total work per stage matches (each chunk
         // carries 1/v of the stage's layers).
         let (n, m) = (4usize, 8usize);
-        let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m).build().unwrap();
+        let plain = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m)
+            .build()
+            .unwrap();
         let inter = PipelineBuilder::new(kind(), n, m).build().unwrap();
         let dur_plain = |_: NodeId, node: &PipeNode| match node {
             PipeNode::Comp(c) => match c.kind {
@@ -350,10 +400,30 @@ mod interleaved {
         // Virtual stage order: (s0,c0) -> (s1,c0) -> (s0,c1) -> (s1,c1).
         for mb in 0..m {
             let seq = [
-                Computation { stage: 0, microbatch: mb, chunk: 0, kind: CompKind::Forward },
-                Computation { stage: 1, microbatch: mb, chunk: 0, kind: CompKind::Forward },
-                Computation { stage: 0, microbatch: mb, chunk: 1, kind: CompKind::Forward },
-                Computation { stage: 1, microbatch: mb, chunk: 1, kind: CompKind::Forward },
+                Computation {
+                    stage: 0,
+                    microbatch: mb,
+                    chunk: 0,
+                    kind: CompKind::Forward,
+                },
+                Computation {
+                    stage: 1,
+                    microbatch: mb,
+                    chunk: 0,
+                    kind: CompKind::Forward,
+                },
+                Computation {
+                    stage: 0,
+                    microbatch: mb,
+                    chunk: 1,
+                    kind: CompKind::Forward,
+                },
+                Computation {
+                    stage: 1,
+                    microbatch: mb,
+                    chunk: 1,
+                    kind: CompKind::Forward,
+                },
             ];
             for pair in seq.windows(2) {
                 assert!(

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn trace_contains_every_computation() {
-        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 3).build().unwrap();
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 3)
+            .build()
+            .unwrap();
         let json = chrome_trace_json(&pipe, dur, |_| None);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.trim_end().ends_with("]}"));
@@ -98,7 +100,9 @@ mod tests {
 
     #[test]
     fn annotations_are_escaped_and_attached() {
-        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 1, 1).build().unwrap();
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 1, 1)
+            .build()
+            .unwrap();
         let json = chrome_trace_json(&pipe, dur, |_| Some("speed \"900\"\\x".into()));
         assert!(json.contains(r#""detail":"speed \"900\"\\x""#));
     }
@@ -116,10 +120,14 @@ mod tests {
     #[test]
     fn events_sorted_consistently_with_dependencies() {
         // Extract ts of F0@S0 and F0@S1: forward flows downstream in time.
-        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 1).build().unwrap();
+        let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 1)
+            .build()
+            .unwrap();
         let json = chrome_trace_json(&pipe, dur, |_| None);
         let ts_of = |name: &str| -> f64 {
-            let i = json.find(&format!(r#""name":"{name}""#)).expect("event present");
+            let i = json
+                .find(&format!(r#""name":"{name}""#))
+                .expect("event present");
             let rest = &json[i..];
             let j = rest.find("\"ts\":").unwrap() + 5;
             rest[j..].split(',').next().unwrap().parse().unwrap()

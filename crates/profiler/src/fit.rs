@@ -109,7 +109,11 @@ impl ExpFit {
         }
         let b = -(0.5 * (lo + hi)).exp() / span;
         let (sse, a, c) = sse_for(b);
-        let (_, a, c, b) = if sse <= best.0 && a > 0.0 { (sse, a, c, b) } else { best };
+        let (_, a, c, b) = if sse <= best.0 && a > 0.0 {
+            (sse, a, c, b)
+        } else {
+            best
+        };
         if !(a.is_finite() && b.is_finite() && c.is_finite()) || a <= 0.0 {
             return Err(FitError::Degenerate);
         }

@@ -88,7 +88,11 @@ impl OpProfile {
             .frequencies()
             .into_iter()
             .rev()
-            .map(|f| ProfileEntry { freq: f, time_s: spec.time(w, f), energy_j: spec.energy(w, f) })
+            .map(|f| ProfileEntry {
+                freq: f,
+                time_s: spec.time(w, f),
+                energy_j: spec.energy(w, f),
+            })
             .collect();
         OpProfile::from_entries(entries)
     }
@@ -158,7 +162,9 @@ impl OpProfile {
                 break;
             }
         }
-        chosen.ok_or(ProfileError::DeadlineTooTight { deadline_s: deadline })
+        chosen.ok_or(ProfileError::DeadlineTooTight {
+            deadline_s: deadline,
+        })
     }
 
     /// Interpolated energy at planned duration `t` using the fitted curve,
@@ -189,7 +195,11 @@ pub struct OnlineProfiler {
 
 impl Default for OnlineProfiler {
     fn default() -> Self {
-        OnlineProfiler { reps: 3, rise_margin: 0.01, patience: 2 }
+        OnlineProfiler {
+            reps: 3,
+            rise_margin: 0.01,
+            patience: 2,
+        }
     }
 }
 
@@ -204,7 +214,8 @@ impl OnlineProfiler {
         let freqs: Vec<FreqMHz> = gpu.spec().frequencies().into_iter().rev().collect();
         let restore = gpu.locked_freq();
         for f in freqs {
-            gpu.set_frequency(f).expect("sweeping supported frequencies");
+            gpu.set_frequency(f)
+                .expect("sweeping supported frequencies");
             let mut t_sum = 0.0;
             let mut e_sum = 0.0;
             for _ in 0..self.reps.max(1) {
@@ -213,7 +224,11 @@ impl OnlineProfiler {
                 e_sum += e;
             }
             let reps = self.reps.max(1) as f64;
-            let entry = ProfileEntry { freq: f, time_s: t_sum / reps, energy_j: e_sum / reps };
+            let entry = ProfileEntry {
+                freq: f,
+                time_s: t_sum / reps,
+                energy_j: e_sum / reps,
+            };
             entries.push(entry);
             if entry.energy_j < best_e {
                 best_e = entry.energy_j;
@@ -225,7 +240,8 @@ impl OnlineProfiler {
                 }
             }
         }
-        gpu.set_frequency(restore).expect("restoring previous frequency");
+        gpu.set_frequency(restore)
+            .expect("restoring previous frequency");
         OpProfile::from_entries(entries)
     }
 }
@@ -238,7 +254,9 @@ pub struct ProfileDb<K: Eq + Hash> {
 
 impl<K: Eq + Hash> Default for ProfileDb<K> {
     fn default() -> Self {
-        ProfileDb { map: HashMap::new() }
+        ProfileDb {
+            map: HashMap::new(),
+        }
     }
 }
 

@@ -10,9 +10,16 @@ fn wl() -> Workload {
 #[test]
 fn fit_recovers_known_exponential() {
     // Synthesize points from a known curve and check recovery.
-    let truth = ExpFit { a: 120.0, b: -35.0, c: 18.0, t0: 0.0 };
-    let pts: Vec<(f64, f64)> =
-        (0..20).map(|i| 0.02 + i as f64 * 0.004).map(|t| (t, truth.energy(t))).collect();
+    let truth = ExpFit {
+        a: 120.0,
+        b: -35.0,
+        c: 18.0,
+        t0: 0.0,
+    };
+    let pts: Vec<(f64, f64)> = (0..20)
+        .map(|i| 0.02 + i as f64 * 0.004)
+        .map(|t| (t, truth.energy(t)))
+        .collect();
     let fit = ExpFit::fit(&pts).unwrap();
     for &(t, e) in &pts {
         let rel = (fit.energy(t) - e).abs() / e;
@@ -22,7 +29,10 @@ fn fit_recovers_known_exponential() {
 
 #[test]
 fn fit_rejects_degenerate_input() {
-    assert!(matches!(ExpFit::fit(&[(1.0, 2.0)]), Err(FitError::TooFewPoints(1))));
+    assert!(matches!(
+        ExpFit::fit(&[(1.0, 2.0)]),
+        Err(FitError::TooFewPoints(1))
+    ));
     assert!(matches!(ExpFit::fit(&[]), Err(FitError::TooFewPoints(0))));
     assert!(matches!(
         ExpFit::fit(&[(1.0, 2.0), (1.0, 3.0), (1.0, 4.0)]),
@@ -131,7 +141,11 @@ fn online_profile_restores_frequency() {
 fn online_profile_with_noise_still_usable() {
     let spec = GpuSpec::a100_pcie();
     let mut gpu = SimGpu::new(spec.clone()).with_noise(NoiseModel::realistic(42));
-    let profile = OnlineProfiler { reps: 5, ..Default::default() }.profile(&mut gpu, &wl());
+    let profile = OnlineProfiler {
+        reps: 5,
+        ..Default::default()
+    }
+    .profile(&mut gpu, &wl());
     let fit = profile.fit().unwrap();
     // The noisy fit should still approximate the clean model within a few
     // percent at the endpoints.
@@ -146,16 +160,31 @@ fn online_profiling_charges_simulated_time() {
     let mut gpu = SimGpu::new(GpuSpec::a100_pcie());
     assert_eq!(gpu.clock_s(), 0.0);
     let _ = OnlineProfiler::default().profile(&mut gpu, &wl());
-    assert!(gpu.clock_s() > 0.0, "profiling must consume simulated time (§6.5 overhead)");
+    assert!(
+        gpu.clock_s() > 0.0,
+        "profiling must consume simulated time (§6.5 overhead)"
+    );
 }
 
 #[test]
 fn pareto_filtering_drops_dominated_entries() {
     // Hand-build entries where a middle frequency is dominated.
     let entries = vec![
-        ProfileEntry { freq: FreqMHz(1410), time_s: 1.0, energy_j: 100.0 },
-        ProfileEntry { freq: FreqMHz(1200), time_s: 1.2, energy_j: 105.0 }, // dominated
-        ProfileEntry { freq: FreqMHz(900), time_s: 1.5, energy_j: 80.0 },
+        ProfileEntry {
+            freq: FreqMHz(1410),
+            time_s: 1.0,
+            energy_j: 100.0,
+        },
+        ProfileEntry {
+            freq: FreqMHz(1200),
+            time_s: 1.2,
+            energy_j: 105.0,
+        }, // dominated
+        ProfileEntry {
+            freq: FreqMHz(900),
+            time_s: 1.5,
+            energy_j: 80.0,
+        },
     ];
     let p = OpProfile::from_entries(entries);
     assert_eq!(p.pareto().len(), 2);
@@ -223,9 +252,16 @@ fn fit_is_stable_for_large_absolute_times() {
     // Times around 100 s with a 0.5 s span: an un-anchored exponential
     // underflows for steep decay rates. The anchored fit must still
     // recover the curve.
-    let truth = ExpFit { a: 80.0, b: -20.0, c: 30.0, t0: 100.0 };
-    let pts: Vec<(f64, f64)> =
-        (0..20).map(|i| 100.0 + i as f64 * 0.025).map(|t| (t, truth.energy(t))).collect();
+    let truth = ExpFit {
+        a: 80.0,
+        b: -20.0,
+        c: 30.0,
+        t0: 100.0,
+    };
+    let pts: Vec<(f64, f64)> = (0..20)
+        .map(|i| 100.0 + i as f64 * 0.025)
+        .map(|t| (t, truth.energy(t)))
+        .collect();
     let fit = ExpFit::fit(&pts).unwrap();
     for &(t, e) in &pts {
         let rel = (fit.energy(t) - e).abs() / e;

@@ -46,7 +46,10 @@ impl AsyncFrequencyController {
                 }
             }
         });
-        AsyncFrequencyController { tx, handle: Some(handle) }
+        AsyncFrequencyController {
+            tx,
+            handle: Some(handle),
+        }
     }
 
     /// Queues a frequency change without blocking.
@@ -91,7 +94,14 @@ impl ClientSession {
     pub fn new(stage: usize, gpu: SimGpu) -> ClientSession {
         let gpu = Arc::new(Mutex::new(gpu));
         let controller = AsyncFrequencyController::spawn(Arc::clone(&gpu));
-        ClientSession { stage, gpu, controller, plan: Vec::new(), cursor: 0, profiling: None }
+        ClientSession {
+            stage,
+            gpu,
+            controller,
+            plan: Vec::new(),
+            cursor: 0,
+            profiling: None,
+        }
     }
 
     /// The stage this client serves.
@@ -155,7 +165,11 @@ impl ClientSession {
     /// Panics if called more times per iteration than the schedule has
     /// computations, or out of program order — framework bugs.
     pub fn set_speed(&mut self, kind: CompKind) {
-        let (k, f) = self.plan.get(self.cursor).copied().expect("schedule exhausted");
+        let (k, f) = self
+            .plan
+            .get(self.cursor)
+            .copied()
+            .expect("schedule exhausted");
         assert_eq!(k, kind, "set_speed out of program order");
         self.controller.set_speed(f);
         self.cursor += 1;

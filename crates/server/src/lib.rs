@@ -21,7 +21,7 @@ mod client;
 mod server;
 
 pub use client::{AsyncFrequencyController, ClientSession};
-pub use server::{Deployment, JobSpec, PerseusServer, ServerError};
+pub use server::{CharacterizeTicket, Deployment, JobSpec, PerseusServer, ServerError};
 
 #[cfg(test)]
 mod tests;

@@ -1,10 +1,32 @@
 //! The Perseus server: frontier characterization, schedule cache, and the
 //! straggler notification state machine (§3.2 workflow steps ②–⑤).
+//!
+//! The server is a concurrent planning service. Characterization (the
+//! expensive part — Algorithm 1 over the job's DAG) runs on a worker
+//! pool; [`PerseusServer::submit_profiles`] returns a
+//! [`CharacterizeTicket`] immediately instead of blocking the caller.
+//! Straggler notifications and deployment lookups are answered from the
+//! job's last cached frontier without waiting on in-flight
+//! characterizations, exactly the paper's observation that reacting to a
+//! straggler is a frontier *lookup*, not a re-plan. When a
+//! characterization completes it atomically swaps the job's frontier and
+//! re-deploys under the job's write lock, so readers never observe a
+//! half-built frontier.
+//!
+//! Each job owns a [`FrontierSolver`], so re-characterizations (fresh
+//! profiles mid-training) reuse the job's edge-centric DAG and
+//! topological order instead of rebuilding them.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use perseus_core::{characterize, CoreError, EnergySchedule, FrontierOptions, ParetoFrontier, PlanContext};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use perseus_core::{
+    CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
+};
 use perseus_gpu::GpuSpec;
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
@@ -35,6 +57,11 @@ pub enum ServerError {
     Core(CoreError),
     /// Straggler degree must be at least 1.0 (1.0 = back to normal).
     InvalidDegree(f64),
+    /// A newer profile submission finished first; this characterization
+    /// was discarded without deploying.
+    Superseded(String),
+    /// The server shut down before the characterization finished.
+    Shutdown(String),
 }
 
 impl fmt::Display for ServerError {
@@ -45,6 +72,15 @@ impl fmt::Display for ServerError {
             ServerError::NotCharacterized(n) => write!(f, "job {n:?} has no frontier yet"),
             ServerError::Core(e) => write!(f, "characterization failed: {e}"),
             ServerError::InvalidDegree(d) => write!(f, "invalid straggler degree {d}"),
+            ServerError::Superseded(n) => {
+                write!(
+                    f,
+                    "characterization for job {n:?} superseded by a newer submission"
+                )
+            }
+            ServerError::Shutdown(n) => {
+                write!(f, "server shut down before characterizing job {n:?}")
+            }
         }
     }
 }
@@ -71,6 +107,44 @@ pub struct Deployment {
     pub schedule: EnergySchedule,
 }
 
+/// Handle for an in-flight characterization; redeemable for the
+/// deployment it produced.
+///
+/// Dropping the ticket is fine — the characterization still completes and
+/// deploys; only the notification is discarded.
+#[derive(Debug)]
+pub struct CharacterizeTicket {
+    job: String,
+    rx: Receiver<Result<Deployment, ServerError>>,
+}
+
+impl CharacterizeTicket {
+    /// Blocks until the characterization finishes and returns the
+    /// deployment it issued.
+    ///
+    /// # Errors
+    ///
+    /// Characterization failures, [`ServerError::Superseded`] if a newer
+    /// submission won, or [`ServerError::Shutdown`] if the server was
+    /// dropped first.
+    pub fn wait(self) -> Result<Deployment, ServerError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServerError::Shutdown(self.job)),
+        }
+    }
+
+    /// The result, if the characterization has already finished.
+    pub fn try_wait(&self) -> Option<Result<Deployment, ServerError>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The job this ticket belongs to.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PendingStraggler {
     fire_at: f64,
@@ -78,10 +152,11 @@ struct PendingStraggler {
     degree: f64,
 }
 
-struct JobState {
-    pipe: PipelineDag,
-    gpu: GpuSpec,
-    frontier: Option<ParetoFrontier>,
+/// Mutable per-job state, guarded by the job's `RwLock`.
+struct JobMut {
+    frontier: Option<Arc<ParetoFrontier>>,
+    /// Epoch of the submission that produced `frontier` (0 = none yet).
+    characterized_epoch: u64,
     /// Active straggler degree per accelerator id.
     stragglers: HashMap<usize, f64>,
     pending: Vec<PendingStraggler>,
@@ -90,96 +165,231 @@ struct JobState {
     deployed: Option<Deployment>,
 }
 
+/// One registered job: immutable identity plus lock-guarded state. Shared
+/// between the server map and in-flight characterization tasks.
+struct Job {
+    name: String,
+    pipe: PipelineDag,
+    gpu: GpuSpec,
+    /// Reusable characterization artifacts for this job's pipeline.
+    solver: FrontierSolver,
+    /// Monotonic submission counter; newer submissions supersede older
+    /// ones even if they finish out of order.
+    next_epoch: AtomicU64,
+    state: RwLock<JobMut>,
+}
+
+impl Job {
+    /// Effective straggler iteration time given the active stragglers:
+    /// `T' = T_min × max(degree)`.
+    fn effective_t_prime(state: &JobMut) -> f64 {
+        let frontier = state
+            .frontier
+            .as_ref()
+            .expect("deploy only after characterization");
+        let worst = state.stragglers.values().copied().fold(1.0, f64::max);
+        frontier.t_min() * worst
+    }
+
+    /// Issues a new deployment from the cached frontier. Caller holds the
+    /// state write lock; the frontier must be present.
+    fn deploy_locked(state: &mut JobMut) -> Deployment {
+        let t_prime = Self::effective_t_prime(state);
+        let frontier = state.frontier.as_ref().expect("characterized");
+        let point = frontier.lookup(t_prime);
+        state.version += 1;
+        let deployment = Deployment {
+            version: state.version,
+            t_prime,
+            planned_time_s: point.planned_time_s,
+            schedule: point.schedule.clone(),
+        };
+        state.deployed = Some(deployment.clone());
+        deployment
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads draining a task channel. Dropping the
+/// pool closes the channel and joins the workers.
+struct WorkerPool {
+    tx: Option<Sender<Task>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(n_workers: usize) -> WorkerPool {
+        let (tx, rx) = unbounded::<Task>();
+        let workers = (0..n_workers.max(1))
+            .map(|i| {
+                let rx: Receiver<Task> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("perseus-plan-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn planning worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    fn submit(&self, task: Task) {
+        let tx = self.tx.as_ref().expect("pool alive while server exists");
+        // A send failure means the workers are gone (server shutting
+        // down); dropping the task resolves its ticket to `Shutdown`.
+        drop(tx.send(task));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel so idle workers exit, then join them.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// The Perseus server: one per training cluster, managing any number of
-/// jobs.
-#[derive(Default)]
+/// jobs. `Send + Sync` — share it behind an `Arc` and call it from any
+/// thread.
 pub struct PerseusServer {
-    jobs: HashMap<String, JobState>,
+    jobs: RwLock<HashMap<String, Arc<Job>>>,
+    pool: WorkerPool,
+}
+
+impl Default for PerseusServer {
+    fn default() -> PerseusServer {
+        PerseusServer::new()
+    }
 }
 
 impl PerseusServer {
-    /// Creates an empty server.
+    /// Creates a server with one planning worker per available core
+    /// (capped at 4).
     pub fn new() -> PerseusServer {
-        PerseusServer::default()
+        let n = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(4);
+        PerseusServer::with_workers(n)
     }
 
-    /// Registers a job (§3.2 step ⓪).
+    /// Creates a server with an explicit planning-worker count (at least
+    /// one).
+    pub fn with_workers(n_workers: usize) -> PerseusServer {
+        PerseusServer {
+            jobs: RwLock::new(HashMap::new()),
+            pool: WorkerPool::new(n_workers),
+        }
+    }
+
+    /// Registers a job (§3.2 step ⓪) and builds its reusable
+    /// characterization artifacts.
     ///
     /// # Errors
     ///
     /// [`ServerError::DuplicateJob`] if the name is taken.
-    pub fn register_job(&mut self, spec: JobSpec) -> Result<(), ServerError> {
-        if self.jobs.contains_key(&spec.name) {
-            return Err(ServerError::DuplicateJob(spec.name));
-        }
-        self.jobs.insert(
-            spec.name,
-            JobState {
-                pipe: spec.pipe,
-                gpu: spec.gpu,
+    pub fn register_job(&self, spec: JobSpec) -> Result<(), ServerError> {
+        let solver = FrontierSolver::new(&spec.pipe);
+        let job = Arc::new(Job {
+            name: spec.name.clone(),
+            pipe: spec.pipe,
+            gpu: spec.gpu,
+            solver,
+            next_epoch: AtomicU64::new(0),
+            state: RwLock::new(JobMut {
                 frontier: None,
+                characterized_epoch: 0,
                 stragglers: HashMap::new(),
                 pending: Vec::new(),
                 clock_s: 0.0,
                 version: 0,
                 deployed: None,
-            },
-        );
+            }),
+        });
+        let mut jobs = self.jobs.write();
+        if jobs.contains_key(&spec.name) {
+            return Err(ServerError::DuplicateJob(spec.name));
+        }
+        jobs.insert(spec.name, job);
         Ok(())
     }
 
-    fn job_mut(&mut self, name: &str) -> Result<&mut JobState, ServerError> {
-        self.jobs.get_mut(name).ok_or_else(|| ServerError::UnknownJob(name.to_string()))
+    fn job(&self, name: &str) -> Result<Arc<Job>, ServerError> {
+        self.jobs
+            .read()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| ServerError::UnknownJob(name.to_string()))
     }
 
-    fn job(&self, name: &str) -> Result<&JobState, ServerError> {
-        self.jobs.get(name).ok_or_else(|| ServerError::UnknownJob(name.to_string()))
-    }
-
-    /// Receives the client's profiling results, characterizes the Pareto
-    /// frontier (step ②), and deploys the shortest-iteration-time schedule
-    /// (step ③). Returns that initial deployment.
+    /// Receives the client's profiling results and schedules frontier
+    /// characterization (step ②) on the worker pool. Returns a ticket
+    /// immediately; when the characterization completes it atomically
+    /// swaps the job's frontier, deploys the schedule answering the
+    /// current straggler state (step ③), and resolves the ticket with
+    /// that deployment.
+    ///
+    /// Concurrent submissions for the same job are ordered by submission
+    /// epoch: a submission that finishes after a newer one has already
+    /// deployed resolves to [`ServerError::Superseded`] and changes
+    /// nothing.
     ///
     /// # Errors
     ///
-    /// Propagates characterization failures.
+    /// [`ServerError::UnknownJob`] for unregistered names; failures of
+    /// the characterization itself are delivered through the ticket.
     pub fn submit_profiles(
-        &mut self,
+        &self,
         name: &str,
         profiles: ProfileDb<OpKey>,
         opts: &FrontierOptions,
+    ) -> Result<CharacterizeTicket, ServerError> {
+        let job = self.job(name)?;
+        // Epoch 1 is the first submission; `characterized_epoch` 0 means
+        // "nothing deployed yet", so every first submission wins.
+        let epoch = job.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let opts = opts.clone();
+        let (tx, rx) = unbounded();
+        self.pool.submit(Box::new(move || {
+            let result = Self::characterize_task(&job, epoch, profiles, &opts);
+            let _ = tx.send(result); // receiver may have dropped the ticket
+        }));
+        Ok(CharacterizeTicket {
+            job: name.to_string(),
+            rx,
+        })
+    }
+
+    /// Runs on a worker thread: characterize against the job's cached
+    /// solver artifacts, then swap + deploy under the write lock.
+    fn characterize_task(
+        job: &Job,
+        epoch: u64,
+        profiles: ProfileDb<OpKey>,
+        opts: &FrontierOptions,
     ) -> Result<Deployment, ServerError> {
-        let job = self.job_mut(name)?;
+        // The expensive part runs without holding any job lock: straggler
+        // notifications keep being served from the previous frontier.
         let frontier = {
             let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
-            characterize(&ctx, opts)?
+            job.solver.characterize(&ctx, opts)?
         };
-        job.frontier = Some(frontier);
-        let deployment = Self::deploy_locked(job);
-        Ok(deployment)
-    }
-
-    /// Effective straggler iteration time given the active stragglers:
-    /// `T' = T_min × max(degree)`.
-    fn effective_t_prime(job: &JobState) -> f64 {
-        let frontier = job.frontier.as_ref().expect("deploy only after characterization");
-        let worst = job.stragglers.values().copied().fold(1.0, f64::max);
-        frontier.t_min() * worst
-    }
-
-    fn deploy_locked(job: &mut JobState) -> Deployment {
-        let t_prime = Self::effective_t_prime(job);
-        let frontier = job.frontier.as_ref().expect("characterized");
-        let point = frontier.lookup(t_prime);
-        job.version += 1;
-        let deployment = Deployment {
-            version: job.version,
-            t_prime,
-            planned_time_s: point.planned_time_s,
-            schedule: point.schedule.clone(),
-        };
-        job.deployed = Some(deployment.clone());
-        deployment
+        let mut state = job.state.write();
+        if state.characterized_epoch > epoch {
+            return Err(ServerError::Superseded(job.name.clone()));
+        }
+        state.characterized_epoch = epoch;
+        state.frontier = Some(Arc::new(frontier));
+        Ok(Job::deploy_locked(&mut state))
     }
 
     /// Table 2 `server.set_straggler(id, delay, degree)`: a straggler on
@@ -189,12 +399,15 @@ impl PerseusServer {
     /// passes the deadline (see [`PerseusServer::advance_time`]); a zero
     /// delay applies immediately and returns the new deployment.
     ///
+    /// Served entirely from the job's cached frontier — never blocks on an
+    /// in-flight characterization.
+    ///
     /// # Errors
     ///
     /// [`ServerError::InvalidDegree`] for degrees below 1.0,
     /// [`ServerError::NotCharacterized`] before profiles are submitted.
     pub fn set_straggler(
-        &mut self,
+        &self,
         name: &str,
         gpu_id: usize,
         delay_s: f64,
@@ -203,19 +416,25 @@ impl PerseusServer {
         if !(degree >= 1.0 && degree.is_finite()) {
             return Err(ServerError::InvalidDegree(degree));
         }
-        let job = self.job_mut(name)?;
-        if job.frontier.is_none() {
+        let job = self.job(name)?;
+        let mut state = job.state.write();
+        if state.frontier.is_none() {
             return Err(ServerError::NotCharacterized(name.to_string()));
         }
         if delay_s <= 0.0 {
             if degree > 1.0 {
-                job.stragglers.insert(gpu_id, degree);
+                state.stragglers.insert(gpu_id, degree);
             } else {
-                job.stragglers.remove(&gpu_id);
+                state.stragglers.remove(&gpu_id);
             }
-            return Ok(Some(Self::deploy_locked(job)));
+            return Ok(Some(Job::deploy_locked(&mut state)));
         }
-        job.pending.push(PendingStraggler { fire_at: job.clock_s + delay_s, gpu_id, degree });
+        let fire_at = state.clock_s + delay_s;
+        state.pending.push(PendingStraggler {
+            fire_at,
+            gpu_id,
+            degree,
+        });
         Ok(None)
     }
 
@@ -226,23 +445,28 @@ impl PerseusServer {
     /// # Errors
     ///
     /// [`ServerError::UnknownJob`] for unregistered names.
-    pub fn advance_time(&mut self, name: &str, dt_s: f64) -> Result<Vec<Deployment>, ServerError> {
-        let job = self.job_mut(name)?;
-        job.clock_s += dt_s.max(0.0);
-        let now = job.clock_s;
-        let mut due: Vec<PendingStraggler> =
-            job.pending.iter().copied().filter(|p| p.fire_at <= now).collect();
-        job.pending.retain(|p| p.fire_at > now);
+    pub fn advance_time(&self, name: &str, dt_s: f64) -> Result<Vec<Deployment>, ServerError> {
+        let job = self.job(name)?;
+        let mut state = job.state.write();
+        state.clock_s += dt_s.max(0.0);
+        let now = state.clock_s;
+        let mut due: Vec<PendingStraggler> = state
+            .pending
+            .iter()
+            .copied()
+            .filter(|p| p.fire_at <= now)
+            .collect();
+        state.pending.retain(|p| p.fire_at > now);
         due.sort_by(|a, b| a.fire_at.total_cmp(&b.fire_at));
         let mut deployments = Vec::new();
         for p in due {
             if p.degree > 1.0 {
-                job.stragglers.insert(p.gpu_id, p.degree);
+                state.stragglers.insert(p.gpu_id, p.degree);
             } else {
-                job.stragglers.remove(&p.gpu_id);
+                state.stragglers.remove(&p.gpu_id);
             }
-            if job.frontier.is_some() {
-                deployments.push(Self::deploy_locked(job));
+            if state.frontier.is_some() {
+                deployments.push(Job::deploy_locked(&mut state));
             }
         }
         Ok(deployments)
@@ -253,20 +477,34 @@ impl PerseusServer {
     /// # Errors
     ///
     /// [`ServerError::NotCharacterized`] before the first deployment.
-    pub fn current_deployment(&self, name: &str) -> Result<&Deployment, ServerError> {
+    pub fn current_deployment(&self, name: &str) -> Result<Deployment, ServerError> {
         self.job(name)?
+            .state
+            .read()
             .deployed
-            .as_ref()
+            .clone()
             .ok_or_else(|| ServerError::NotCharacterized(name.to_string()))
     }
 
     /// The cached frontier for a job, if characterized.
-    pub fn frontier(&self, name: &str) -> Option<&ParetoFrontier> {
-        self.jobs.get(name).and_then(|j| j.frontier.as_ref())
+    pub fn frontier(&self, name: &str) -> Option<Arc<ParetoFrontier>> {
+        self.jobs
+            .read()
+            .get(name)
+            .and_then(|j| j.state.read().frontier.clone())
+    }
+
+    /// Characterizations run for `name`, and how many of them reused the
+    /// job's cached solver artifacts (every run after the first).
+    pub fn solver_stats(&self, name: &str) -> Option<(usize, usize)> {
+        self.jobs
+            .read()
+            .get(name)
+            .map(|j| (j.solver.runs(), j.solver.artifact_reuses()))
     }
 
     /// Registered job names.
-    pub fn job_names(&self) -> Vec<&str> {
-        self.jobs.keys().map(String::as_str).collect()
+    pub fn job_names(&self) -> Vec<String> {
+        self.jobs.read().keys().cloned().collect()
     }
 }

@@ -22,32 +22,63 @@ fn stages() -> Vec<StageWorkloads> {
 }
 
 fn pipe() -> PipelineDag {
-    PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 4).build().unwrap()
+    PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 4)
+        .build()
+        .unwrap()
 }
 
 fn model_profiles(gpu: &GpuSpec) -> ProfileDb<OpKey> {
     let mut db = ProfileDb::new();
     for (s, sw) in stages().iter().enumerate() {
-        db.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Forward }, OpProfile::from_model(gpu, &sw.fwd));
-        db.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Backward }, OpProfile::from_model(gpu, &sw.bwd));
-        db.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Recompute }, OpProfile::from_model(gpu, &sw.fwd));
+        db.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Forward,
+            },
+            OpProfile::from_model(gpu, &sw.fwd),
+        );
+        db.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Backward,
+            },
+            OpProfile::from_model(gpu, &sw.bwd),
+        );
+        db.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Recompute,
+            },
+            OpProfile::from_model(gpu, &sw.fwd),
+        );
     }
     db
 }
 
 fn server_with_job() -> (PerseusServer, &'static str) {
-    let mut server = PerseusServer::new();
+    let server = PerseusServer::new();
     server
-        .register_job(JobSpec { name: "gpt".into(), pipe: pipe(), gpu: GpuSpec::a100_pcie() })
+        .register_job(JobSpec {
+            name: "gpt".into(),
+            pipe: pipe(),
+            gpu: GpuSpec::a100_pcie(),
+        })
         .unwrap();
     (server, "gpt")
 }
 
 #[test]
 fn register_and_duplicate() {
-    let (mut server, _) = server_with_job();
+    let (server, _) = server_with_job();
     let err = server
-        .register_job(JobSpec { name: "gpt".into(), pipe: pipe(), gpu: GpuSpec::a100_pcie() })
+        .register_job(JobSpec {
+            name: "gpt".into(),
+            pipe: pipe(),
+            gpu: GpuSpec::a100_pcie(),
+        })
         .unwrap_err();
     assert!(matches!(err, ServerError::DuplicateJob(_)));
     assert_eq!(server.job_names(), vec!["gpt"]);
@@ -55,9 +86,13 @@ fn register_and_duplicate() {
 
 #[test]
 fn characterize_deploys_fastest_schedule() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    let d = server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    let d = server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     assert_eq!(d.version, 1);
     let frontier = server.frontier(job).unwrap();
     assert_eq!(d.planned_time_s, frontier.t_min());
@@ -68,9 +103,13 @@ fn characterize_deploys_fastest_schedule() {
 
 #[test]
 fn straggler_lookup_is_instant_and_correct() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     let (t_min, _) = {
         let f = server.frontier(job).unwrap();
         (f.t_min(), f.t_star())
@@ -88,9 +127,13 @@ fn straggler_lookup_is_instant_and_correct() {
 
 #[test]
 fn extreme_straggler_clamps_to_t_star() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     let d = server.set_straggler(job, 0, 0.0, 100.0).unwrap().unwrap();
     let frontier = server.frontier(job).unwrap();
     assert_eq!(d.planned_time_s, frontier.t_star());
@@ -98,9 +141,13 @@ fn extreme_straggler_clamps_to_t_star() {
 
 #[test]
 fn worst_straggler_wins() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     server.set_straggler(job, 0, 0.0, 1.1).unwrap();
     let d = server.set_straggler(job, 1, 0.0, 1.3).unwrap().unwrap();
     let t_min = server.frontier(job).unwrap().t_min();
@@ -112,9 +159,13 @@ fn worst_straggler_wins() {
 
 #[test]
 fn delayed_straggler_fires_on_time_advance() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     // Announce a straggler 30 s ahead (e.g. the rack manager anticipating
     // thermal throttling).
     assert!(server.set_straggler(job, 2, 30.0, 1.25).unwrap().is_none());
@@ -129,16 +180,29 @@ fn delayed_straggler_fires_on_time_advance() {
 
 #[test]
 fn errors_are_reported() {
-    let (mut server, job) = server_with_job();
-    assert!(matches!(server.current_deployment(job), Err(ServerError::NotCharacterized(_))));
+    let (server, job) = server_with_job();
+    assert!(matches!(
+        server.current_deployment(job),
+        Err(ServerError::NotCharacterized(_))
+    ));
     assert!(matches!(
         server.set_straggler(job, 0, 0.0, 1.2),
         Err(ServerError::NotCharacterized(_))
     ));
-    assert!(matches!(server.advance_time("nope", 1.0), Err(ServerError::UnknownJob(_))));
+    assert!(matches!(
+        server.advance_time("nope", 1.0),
+        Err(ServerError::UnknownJob(_))
+    ));
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
-    assert!(matches!(server.set_straggler(job, 0, 0.0, 0.5), Err(ServerError::InvalidDegree(_))));
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(matches!(
+        server.set_straggler(job, 0, 0.0, 0.5),
+        Err(ServerError::InvalidDegree(_))
+    ));
 }
 
 #[test]
@@ -188,10 +252,12 @@ fn client_sweep_produces_profile() {
 
 #[test]
 fn client_realizes_deployed_schedule_in_program_order() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu_spec = GpuSpec::a100_pcie();
     let d = server
         .submit_profiles(job, model_profiles(&gpu_spec), &FrontierOptions::default())
+        .unwrap()
+        .wait()
         .unwrap();
     let p = pipe();
     let mut client = ClientSession::new(1, SimGpu::new(gpu_spec.clone()));
@@ -209,7 +275,11 @@ fn client_realizes_deployed_schedule_in_program_order() {
     client.sync();
     // The device ends locked at the last computation's planned frequency.
     let last_freq = {
-        let (id, _) = p.computations().filter(|(_, c)| c.stage == 1).last().unwrap();
+        let (id, _) = p
+            .computations()
+            .filter(|(_, c)| c.stage == 1)
+            .last()
+            .unwrap();
         d.schedule.freq_of(id).unwrap()
     };
     assert_eq!(client.gpu().lock().locked_freq(), last_freq);
@@ -218,10 +288,12 @@ fn client_realizes_deployed_schedule_in_program_order() {
 #[test]
 #[should_panic(expected = "set_speed out of program order")]
 fn client_detects_out_of_order_calls() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu_spec = GpuSpec::a100_pcie();
     let d = server
         .submit_profiles(job, model_profiles(&gpu_spec), &FrontierOptions::default())
+        .unwrap()
+        .wait()
         .unwrap();
     let p = pipe();
     let mut client = ClientSession::new(0, SimGpu::new(gpu_spec));
@@ -232,35 +304,179 @@ fn client_detects_out_of_order_calls() {
 
 #[test]
 fn multiple_pending_stragglers_fire_in_order() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     server.set_straggler(job, 0, 10.0, 1.4).unwrap();
     server.set_straggler(job, 0, 20.0, 1.0).unwrap(); // later recovery
     let deployments = server.advance_time(job, 25.0).unwrap();
     assert_eq!(deployments.len(), 2);
-    assert!(deployments[0].t_prime > deployments[1].t_prime, "slowdown then recovery");
+    assert!(
+        deployments[0].t_prime > deployments[1].t_prime,
+        "slowdown then recovery"
+    );
     let t_min = server.frontier(job).unwrap().t_min();
     assert!((deployments[1].t_prime - t_min).abs() < 1e-9);
 }
 
 #[test]
 fn reannouncing_same_gpu_overrides_degree() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     server.set_straggler(job, 3, 0.0, 1.4).unwrap();
     let d = server.set_straggler(job, 3, 0.0, 1.1).unwrap().unwrap();
     let t_min = server.frontier(job).unwrap().t_min();
-    assert!((d.t_prime - t_min * 1.1).abs() < 1e-9, "new degree replaces the old");
+    assert!(
+        (d.t_prime - t_min * 1.1).abs() < 1e-9,
+        "new degree replaces the old"
+    );
 }
 
 #[test]
 fn versions_are_strictly_monotonic() {
-    let (mut server, job) = server_with_job();
+    let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    let d0 = server.submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default()).unwrap();
+    let d0 = server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
     let d1 = server.set_straggler(job, 0, 0.0, 1.2).unwrap().unwrap();
     let d2 = server.set_straggler(job, 0, 0.0, 1.3).unwrap().unwrap();
     assert!(d0.version < d1.version && d1.version < d2.version);
+}
+
+#[test]
+fn resubmitting_profiles_reuses_solver_artifacts() {
+    let (server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    assert_eq!(server.solver_stats(job), Some((0, 0)));
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(server.solver_stats(job), Some((1, 0)));
+    // Re-characterization (fresh profiles mid-training) reuses the job's
+    // cached edge-centric DAG / topological order.
+    let d = server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(server.solver_stats(job), Some((2, 1)));
+    assert_eq!(d.version, 2);
+}
+
+#[test]
+fn straggler_lookup_does_not_wait_for_inflight_characterization() {
+    // While a (slow) re-characterization is in flight, set_straggler and
+    // current_deployment answer from the previous frontier.
+    let (server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let v1 = server.current_deployment(job).unwrap().version;
+
+    // A deliberately fine-grained re-characterization to keep workers busy.
+    let slow = FrontierOptions {
+        tau_s: Some(1e-5),
+        ..Default::default()
+    };
+    let ticket = server
+        .submit_profiles(job, model_profiles(&gpu), &slow)
+        .unwrap();
+
+    // Immediately visible reaction from the cached frontier.
+    let d = server.set_straggler(job, 0, 0.0, 1.2).unwrap().unwrap();
+    assert!(d.version > v1);
+    assert!(server.current_deployment(job).unwrap().version >= d.version);
+
+    // The characterization still lands and re-deploys with the straggler
+    // state applied.
+    let after = ticket.wait().unwrap();
+    assert!(after.version > d.version);
+    let t_min = server.frontier(job).unwrap().t_min();
+    assert!((after.t_prime - t_min * 1.2).abs() < 1e-9);
+}
+
+#[test]
+fn concurrent_jobs_from_many_threads() {
+    // Satellite smoke test: N threads × (register, submit, straggle, read).
+    // Per-job versions must be monotonic and every observed frontier
+    // complete (lookup(t_min) == fastest point).
+    let server = Arc::new(PerseusServer::with_workers(2));
+    let n_threads = 4;
+    let iters = 3;
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let gpu = GpuSpec::a100_pcie();
+                let name = format!("job-{t}");
+                server
+                    .register_job(JobSpec {
+                        name: name.clone(),
+                        pipe: pipe(),
+                        gpu: gpu.clone(),
+                    })
+                    .unwrap();
+                let mut last_version = 0;
+                for i in 0..iters {
+                    let d = server
+                        .submit_profiles(&name, model_profiles(&gpu), &FrontierOptions::default())
+                        .unwrap()
+                        .wait();
+                    // A later submission may supersede this one under
+                    // contention; both outcomes are legal.
+                    if let Ok(d) = d {
+                        assert!(d.version > last_version, "deploy versions monotonic");
+                        last_version = d.version;
+                    }
+                    let degree = 1.0 + 0.1 * (i as f64 + 1.0);
+                    let d = server
+                        .set_straggler(&name, 0, 0.0, degree)
+                        .unwrap()
+                        .unwrap();
+                    assert!(d.version > last_version, "straggler versions monotonic");
+                    last_version = d.version;
+
+                    // No half-built frontier: lookup works across the range.
+                    let f = server.frontier(&name).unwrap();
+                    assert!(f.lookup(f.t_min()).planned_time_s <= f.t_min() + 1e-9);
+                    assert_eq!(f.lookup(f.t_star() * 2.0).planned_time_s, f.t_star());
+                    let cur = server.current_deployment(&name).unwrap();
+                    assert!(cur.version >= last_version);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(server.job_names().len(), n_threads);
+    for t in 0..n_threads {
+        let (runs, reuses) = server.solver_stats(&format!("job-{t}")).unwrap();
+        assert_eq!(runs, iters);
+        assert_eq!(reuses, iters - 1);
+    }
+}
+
+#[test]
+fn server_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PerseusServer>();
+    assert_send_sync::<crate::server::Deployment>();
 }

@@ -24,10 +24,15 @@ const MARGIN_L: f64 = 78.0;
 const MARGIN_R: f64 = 24.0;
 const MARGIN_T: f64 = 44.0;
 const MARGIN_B: f64 = 56.0;
-const PALETTE: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const PALETTE: [&str; 6] = [
+    "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// "Nice" tick spacing covering `span` with 4–8 ticks.
@@ -63,19 +68,32 @@ pub fn frontier_svg(plot: &FrontierPlot) -> String {
         .collect();
     let (t_lo, t_hi) = pts
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| (lo.min(t), hi.max(t)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| {
+            (lo.min(t), hi.max(t))
+        });
     let (e_lo, e_hi) = pts
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, e)| (lo.min(e), hi.max(e)));
-    let (t_lo, t_hi) = if t_lo.is_finite() && t_hi > t_lo { (t_lo, t_hi) } else { (0.0, 1.0) };
-    let (e_lo, e_hi) = if e_lo.is_finite() && e_hi > e_lo { (e_lo, e_hi) } else { (0.0, 1.0) };
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, e)| {
+            (lo.min(e), hi.max(e))
+        });
+    let (t_lo, t_hi) = if t_lo.is_finite() && t_hi > t_lo {
+        (t_lo, t_hi)
+    } else {
+        (0.0, 1.0)
+    };
+    let (e_lo, e_hi) = if e_lo.is_finite() && e_hi > e_lo {
+        (e_lo, e_hi)
+    } else {
+        (0.0, 1.0)
+    };
     // Pad 4% so extreme points don't sit on the frame.
     let (t_pad, e_pad) = ((t_hi - t_lo) * 0.04, (e_hi - e_lo) * 0.04);
     let (t_lo, t_hi) = (t_lo - t_pad, t_hi + t_pad);
     let (e_lo, e_hi) = (e_lo - e_pad, e_hi + e_pad);
 
     let x = |t: f64| MARGIN_L + (t - t_lo) / (t_hi - t_lo) * (WIDTH - MARGIN_L - MARGIN_R);
-    let y = |e: f64| HEIGHT - MARGIN_B - (e - e_lo) / (e_hi - e_lo) * (HEIGHT - MARGIN_T - MARGIN_B);
+    let y =
+        |e: f64| HEIGHT - MARGIN_B - (e - e_lo) / (e_hi - e_lo) * (HEIGHT - MARGIN_T - MARGIN_B);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -141,12 +159,18 @@ pub fn frontier_svg(plot: &FrontierPlot) -> String {
     // Series.
     for (i, s) in plot.series.iter().enumerate() {
         let color = PALETTE[i % PALETTE.len()];
-        let mut sorted: Vec<(f64, f64)> =
-            s.points.iter().copied().filter(|(a, b)| a.is_finite() && b.is_finite()).collect();
+        let mut sorted: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|(a, b)| a.is_finite() && b.is_finite())
+            .collect();
         sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         if sorted.len() > 1 {
-            let path: Vec<String> =
-                sorted.iter().map(|&(t, e)| format!("{:.1},{:.1}", x(t), y(e))).collect();
+            let path: Vec<String> = sorted
+                .iter()
+                .map(|&(t, e)| format!("{:.1},{:.1}", x(t), y(e)))
+                .collect();
             out.push_str(&format!(
                 "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
                 path.join(" ")

@@ -5,7 +5,13 @@ use crate::plot::{frontier_svg, FrontierPlot, Series};
 use crate::timeline::{timeline_svg, TimelineStyle};
 
 fn plot_with(points: Vec<(f64, f64)>) -> FrontierPlot {
-    FrontierPlot { title: "test".into(), series: vec![Series { label: "a".into(), points }] }
+    FrontierPlot {
+        title: "test".into(),
+        series: vec![Series {
+            label: "a".into(),
+            points,
+        }],
+    }
 }
 
 #[test]
@@ -34,7 +40,11 @@ fn frontier_svg_escapes_labels() {
 fn frontier_svg_handles_degenerate_input() {
     // Empty, single-point, and NaN-containing series must render axes
     // without panicking.
-    for points in [vec![], vec![(1.0, 1.0)], vec![(f64::NAN, 1.0), (1.0, f64::INFINITY)]] {
+    for points in [
+        vec![],
+        vec![(1.0, 1.0)],
+        vec![(f64::NAN, 1.0), (1.0, f64::INFINITY)],
+    ] {
         let svg = frontier_svg(&plot_with(points));
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
@@ -46,8 +56,14 @@ fn frontier_svg_multiple_series_get_distinct_colors() {
     let plot = FrontierPlot {
         title: "t".into(),
         series: vec![
-            Series { label: "perseus".into(), points: vec![(1.0, 3.0), (2.0, 2.0)] },
-            Series { label: "zeus".into(), points: vec![(1.0, 4.0), (2.0, 3.0)] },
+            Series {
+                label: "perseus".into(),
+                points: vec![(1.0, 3.0), (2.0, 2.0)],
+            },
+            Series {
+                label: "zeus".into(),
+                points: vec![(1.0, 4.0), (2.0, 3.0)],
+            },
         ],
     };
     let svg = frontier_svg(&plot);
@@ -70,14 +86,19 @@ fn unit_dur(_: perseus_dag::NodeId, n: &PipeNode) -> f64 {
 
 #[test]
 fn timeline_svg_draws_every_computation() {
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 4).build().unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 3, 4)
+        .build()
+        .unwrap();
     let gpu = GpuSpec::a100_pcie();
     let svg = timeline_svg(
         &pipe,
         &gpu,
         unit_dur,
         |id, n| unit_dur(id, n) * 250.0, // flat 250 W
-        &TimelineStyle { title: "1F1B".into(), ..Default::default() },
+        &TimelineStyle {
+            title: "1F1B".into(),
+            ..Default::default()
+        },
     );
     assert!(svg.starts_with("<svg"));
     // 3 lane backgrounds + 24 computation rects.
@@ -89,7 +110,9 @@ fn timeline_svg_draws_every_computation() {
 
 #[test]
 fn timeline_power_colors_span_blue_to_red() {
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 2).build().unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 2, 2)
+        .build()
+        .unwrap();
     let gpu = GpuSpec::a100_pcie();
     // Forward at blocking power, backward at TDP: fills must differ.
     let svg = timeline_svg(

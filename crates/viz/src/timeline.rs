@@ -19,12 +19,19 @@ pub struct TimelineStyle {
 
 impl Default for TimelineStyle {
     fn default() -> Self {
-        TimelineStyle { width: 900.0, lane_height: 34.0, title: String::new() }
+        TimelineStyle {
+            width: 900.0,
+            lane_height: 34.0,
+            title: String::new(),
+        }
     }
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Blue→red color ramp for power in `[p_lo, p_hi]`.

@@ -4,9 +4,7 @@
 //!
 //! Run: `cargo run --release --example cluster_emulation`
 
-use perseus::cluster::{
-    strong_scaling_table5, ClusterConfig, Emulator, Policy, StragglerCause,
-};
+use perseus::cluster::{strong_scaling_table5, ClusterConfig, Emulator, Policy, StragglerCause};
 use perseus::core::FrontierOptions;
 use perseus::gpu::{FreqMHz, GpuSpec};
 use perseus::models::zoo;
@@ -39,13 +37,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Different root causes behind the same kind of slowdown (§2.3).
     let causes = [
-        ("thermal throttle @ 1110 MHz", StragglerCause::ThermalThrottle { freq_cap: FreqMHz(1110) }),
-        ("I/O stall 60 ms/microbatch", StragglerCause::IoStall { stall_s: 0.06 }),
-        ("announced 1.2x slowdown", StragglerCause::Slowdown { degree: 1.2 }),
+        (
+            "thermal throttle @ 1110 MHz",
+            StragglerCause::ThermalThrottle {
+                freq_cap: FreqMHz(1110),
+            },
+        ),
+        (
+            "I/O stall 60 ms/microbatch",
+            StragglerCause::IoStall { stall_s: 0.06 },
+        ),
+        (
+            "announced 1.2x slowdown",
+            StragglerCause::Slowdown { degree: 1.2 },
+        ),
     ];
     for (label, cause) in causes {
         let t = emu.straggler_iteration_time(cause)?;
-        println!("{label}: straggler iteration time {:.2} s ({:.2}x)", t, t / emu.frontier().t_min());
+        println!(
+            "{label}: straggler iteration time {:.2} s ({:.2}x)",
+            t,
+            t / emu.frontier().t_min()
+        );
     }
     println!();
 

@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --release --example custom_model`
 
-use perseus::baselines::{all_max_freq, potential_savings};
-use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::baselines::{potential_savings, AllMaxFreq};
+use perseus::core::{characterize, FrontierOptions, PlanContext, Planner};
 use perseus::gpu::GpuSpec;
 use perseus::models::{min_imbalance_partition, LayerCost, LayerKind, ModelSpec};
 use perseus::pipeline::{PipelineBuilder, ScheduleKind};
@@ -31,11 +31,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // transformer layers, cross-attention fusion, and a big output head.
     let mut layers = vec![layer("vision_stem", LayerKind::ConvStem, 220.0, 0.35)];
     for i in 0..15 {
-        layers.push(layer(&format!("block.{i}"), LayerKind::TransformerDecoder, 410.0, 0.10));
+        layers.push(layer(
+            &format!("block.{i}"),
+            LayerKind::TransformerDecoder,
+            410.0,
+            0.10,
+        ));
     }
-    layers.push(layer("fusion", LayerKind::TransformerCrossDecoder, 560.0, 0.12));
+    layers.push(layer(
+        "fusion",
+        LayerKind::TransformerCrossDecoder,
+        560.0,
+        0.12,
+    ));
     layers.push(layer("output_head", LayerKind::LmHead, 730.0, 0.05));
-    let model = ModelSpec { name: "multimodal-custom".into(), params_b: 2.1, microbatch: 8, layers };
+    let model = ModelSpec {
+        name: "multimodal-custom".into(),
+        params_b: 2.1,
+        microbatch: 8,
+        layers,
+    };
 
     let gpu = GpuSpec::a40();
     let weights = model.fwd_latency_weights(&gpu);
@@ -55,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages)?;
 
     let frontier = characterize(&ctx, &FrontierOptions::default())?;
-    let base = all_max_freq(&ctx)?.energy_report(&ctx, None);
+    let base = AllMaxFreq
+        .plan(&ctx)?
+        .select(None)
+        .energy_report(&ctx, None);
     let fast = frontier.fastest().schedule.energy_report(&ctx, None);
     println!(
         "intrinsic bloat removal: {:.0} J -> {:.0} J ({:.1}% saved, {:.2}% slowdown)",
@@ -74,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t_prime = frontier.t_min() * degree;
         let p = frontier.lookup(t_prime);
         let r = p.schedule.energy_report(&ctx, Some(t_prime));
-        let b = all_max_freq(&ctx)?.energy_report(&ctx, Some(t_prime));
+        let b = AllMaxFreq
+            .plan(&ctx)?
+            .select(None)
+            .energy_report(&ctx, Some(t_prime));
         println!(
             "straggler x{degree:.2}: perseus {:.0} J vs all-max {:.0} J ({:.1}% saved)",
             r.total_j(),

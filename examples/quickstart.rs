@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use perseus::baselines::all_max_freq;
-use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::baselines::AllMaxFreq;
+use perseus::core::{characterize, FrontierOptions, PlanContext, Planner};
 use perseus::gpu::GpuSpec;
 use perseus::models::{min_imbalance_partition, zoo};
 use perseus::pipeline::{PipelineBuilder, ScheduleKind};
@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Compare the fastest frontier point (intrinsic bloat removed)
     //    against the default all-max-frequency schedule.
-    let base = all_max_freq(&ctx)?.energy_report(&ctx, None);
+    let base = AllMaxFreq
+        .plan(&ctx)?
+        .select(None)
+        .energy_report(&ctx, None);
     let perseus = frontier.fastest().schedule.energy_report(&ctx, None);
     println!(
         "all-max:  {:.3} s, {:.0} J ({:.0} W avg)",

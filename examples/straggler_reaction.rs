@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n_stages, 8).build()?;
 
     // Server side: register the job (its computation DAG + hardware).
-    let mut server = PerseusServer::new();
+    let server = PerseusServer::new();
     server.register_job(JobSpec {
         name: "bloom-3b".into(),
         pipe: pipe.clone(),
@@ -34,13 +34,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // profile_sweep` runs the in-vivo frequency sweep of §5.)
     let mut profiles: ProfileDb<OpKey> = ProfileDb::new();
     for (s, sw) in stages.iter().enumerate() {
-        profiles.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Forward }, OpProfile::from_model(&gpu, &sw.fwd));
-        profiles.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Backward }, OpProfile::from_model(&gpu, &sw.bwd));
-        profiles.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Recompute }, OpProfile::from_model(&gpu, &sw.fwd));
+        profiles.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Forward,
+            },
+            OpProfile::from_model(&gpu, &sw.fwd),
+        );
+        profiles.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Backward,
+            },
+            OpProfile::from_model(&gpu, &sw.bwd),
+        );
+        profiles.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Recompute,
+            },
+            OpProfile::from_model(&gpu, &sw.fwd),
+        );
     }
 
-    // Step 2+3: characterize the frontier and deploy the fastest schedule.
-    let d0 = server.submit_profiles("bloom-3b", profiles, &FrontierOptions::default())?;
+    // Step 2+3: characterize the frontier (off-thread, on the server's
+    // worker pool) and deploy the fastest schedule.
+    let d0 = server
+        .submit_profiles("bloom-3b", profiles, &FrontierOptions::default())?
+        .wait()?;
     println!(
         "deployed v{}: planned iteration {:.3} s (frontier T_min {:.3} s, T* {:.3} s)",
         d0.version,
@@ -54,8 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // without blocking training.
     let mut client = ClientSession::new(1, SimGpu::new(gpu.clone()));
     client.load_schedule(&pipe, &d0.schedule);
-    let program: Vec<CompKind> =
-        pipe.computations().filter(|(_, c)| c.stage == 1).map(|(_, c)| c.kind).collect();
+    let program: Vec<CompKind> = pipe
+        .computations()
+        .filter(|(_, c)| c.stage == 1)
+        .map(|(_, c)| c.kind)
+        .collect();
     for &kind in &program {
         client.set_speed(kind);
     }
@@ -84,7 +111,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The straggler recovers: schedules snap back to the fastest point.
-    let d = server.set_straggler("bloom-3b", 2, 0.0, 1.0)?.expect("immediate");
-    println!("straggler recovered: v{} back to {:.3} s", d.version, d.planned_time_s);
+    let d = server
+        .set_straggler("bloom-3b", 2, 0.0, 1.0)?
+        .expect("immediate");
+    println!(
+        "straggler recovered: v{} back to {:.3} s",
+        d.version, d.planned_time_s
+    );
     Ok(())
 }

@@ -1,0 +1,189 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Runs each benchmark closure through a short warmup followed by a
+//! fixed-duration measurement window and prints mean wall-clock time per
+//! iteration. No statistical analysis, HTML reports, or baselines — just
+//! enough for `cargo bench` to build, run, and emit comparable numbers in
+//! an environment without crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement harness handed to each benchmark function.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure_for, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measure_for: self.measure_for,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure_for: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id` within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.measure_for, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.measure_for, |b| f(b)) /* keep closure arity */;
+        self
+    }
+
+    /// Ends the group (no-op; prints happen per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter (shim of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter display value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handle (shim of `criterion::Bencher`).
+pub struct Bencher {
+    measure_for: Duration,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly for the measurement window.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup: a few calls to populate caches and resolve laziness.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measure_for && iters >= 10 {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one<F>(label: &str, measure_for: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        measure_for,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "bench {label:<50} {:>14} /iter ({iters} iters)",
+                fmt_time(per_iter)
+            );
+        }
+        None => println!("bench {label:<50} (no measurement: b.iter never called)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Shim of `criterion::criterion_group!`: bundles benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Shim of `criterion::criterion_main!`: generates `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,146 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *tiny* subset of the `rand 0.8` API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over half-open ranges. The generator is
+//! xoshiro256++, which is more than adequate for simulation noise and
+//! property tests (it is NOT cryptographically secure — neither is the
+//! real `StdRng` contract this stands in for, which only promises a
+//! deterministic, seedable stream).
+
+use std::ops::Range;
+
+/// Seedable random number generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (shim of `rand::Rng`).
+pub trait Rng {
+    /// The core 64-bit output function.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 mantissa bits of the 64-bit output.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that can be sampled (shim of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.gen_f64()
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample<R: Rng>(self, rng: &mut R) -> usize {
+        debug_assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        self.start + (rng.next_u64() % span as u64) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> u64 {
+        debug_assert!(self.start < self.end, "empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Shim of `rand::rngs::StdRng`: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&x));
+            let n: usize = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

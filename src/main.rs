@@ -11,9 +11,9 @@
 
 use std::process::ExitCode;
 
-use perseus::baselines::all_max_freq;
+use perseus::baselines::AllMaxFreq;
 use perseus::cluster::{ClusterConfig, Emulator, Policy, StragglerCause};
-use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::core::{characterize, FrontierOptions, PlanContext, Planner};
 use perseus::gpu::GpuSpec;
 use perseus::models::{min_imbalance_partition, zoo, ModelSpec};
 use perseus::pipeline::{render_timeline, PipelineBuilder, ScheduleKind};
@@ -43,7 +43,11 @@ impl Args {
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
-        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -53,7 +57,9 @@ impl Args {
     fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got {v:?}")),
         }
     }
 }
@@ -65,7 +71,9 @@ fn gpu_by_name(name: &str) -> Result<GpuSpec, String> {
         "a40" => Ok(GpuSpec::a40()),
         "h100" | "h100-sxm" => Ok(GpuSpec::h100_sxm()),
         "v100" => Ok(GpuSpec::v100()),
-        other => Err(format!("unknown GPU {other:?} (try a100, a100-sxm, a40, h100, v100)")),
+        other => Err(format!(
+            "unknown GPU {other:?} (try a100, a100-sxm, a40, h100, v100)"
+        )),
     }
 }
 
@@ -97,7 +105,11 @@ fn run() -> Result<(), String> {
         "models" => {
             for (ctor, name) in zoo::all_presets() {
                 let m = ctor(1);
-                println!("{name:<18} {:>7.1}B params, {:>3} partitionable layers", m.params_b, m.num_layers());
+                println!(
+                    "{name:<18} {:>7.1}B params, {:>3} partitionable layers",
+                    m.params_b,
+                    m.num_layers()
+                );
             }
             Ok(())
         }
@@ -109,7 +121,12 @@ fn run() -> Result<(), String> {
             let model = model_by_name(model_name, mb)?;
             let weights = model.fwd_latency_weights(&gpu);
             let part = min_imbalance_partition(&weights, stages).map_err(|e| e.to_string())?;
-            println!("model: {} ({} layers) on {}", model.name, model.num_layers(), gpu.name);
+            println!(
+                "model: {} ({} layers) on {}",
+                model.name,
+                model.num_layers(),
+                gpu.name
+            );
             println!("partition: {:?}", part.boundaries());
             println!("imbalance ratio: {:.3}", part.imbalance_ratio(&weights));
             for (s, w) in part.stage_weights(&weights).iter().enumerate() {
@@ -126,18 +143,27 @@ fn run() -> Result<(), String> {
             let model = model_by_name(model_name, mb)?;
             let weights = model.fwd_latency_weights(&gpu);
             let part = min_imbalance_partition(&weights, stages_n).map_err(|e| e.to_string())?;
-            let stages = model.stage_workloads(&part, &gpu).map_err(|e| e.to_string())?;
+            let stages = model
+                .stage_workloads(&part, &gpu)
+                .map_err(|e| e.to_string())?;
             let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, stages_n, m)
                 .build()
                 .map_err(|e| e.to_string())?;
-            let ctx =
-                PlanContext::from_model_profiles(&pipe, &gpu, &stages).map_err(|e| e.to_string())?;
+            let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages)
+                .map_err(|e| e.to_string())?;
             let frontier =
                 characterize(&ctx, &FrontierOptions::default()).map_err(|e| e.to_string())?;
             if cmd == "timeline" {
-                let base = all_max_freq(&ctx).map_err(|e| e.to_string())?;
+                let base = AllMaxFreq
+                    .plan(&ctx)
+                    .map_err(|e| e.to_string())?
+                    .into_schedule()
+                    .expect("single schedule");
                 println!("== all computations at maximum frequency ==");
-                println!("{}", render_timeline(&pipe, |id, _| base.realized_dur[id.index()], 100));
+                println!(
+                    "{}",
+                    render_timeline(&pipe, |id, _| base.realized_dur[id.index()], 100)
+                );
                 println!("== Perseus T_min energy schedule ==");
                 let p = frontier.fastest();
                 println!(
@@ -153,7 +179,11 @@ fn run() -> Result<(), String> {
                     println!("{:.6},{:.2}", r.iter_time_s, r.total_j());
                 }
             } else {
-                let base = all_max_freq(&ctx).map_err(|e| e.to_string())?.energy_report(&ctx, None);
+                let base = AllMaxFreq
+                    .plan(&ctx)
+                    .map_err(|e| e.to_string())?
+                    .select(None)
+                    .energy_report(&ctx, None);
                 let fast = frontier.fastest().schedule.energy_report(&ctx, None);
                 println!(
                     "frontier: {} points, T_min {:.3} s .. T* {:.3} s",
@@ -190,10 +220,14 @@ fn run() -> Result<(), String> {
             let straggler = match args.flag("straggler") {
                 None => None,
                 Some(v) => Some(StragglerCause::Slowdown {
-                    degree: v.parse().map_err(|_| format!("--straggler expects a number, got {v:?}"))?,
+                    degree: v
+                        .parse()
+                        .map_err(|_| format!("--straggler expects a number, got {v:?}"))?,
                 }),
             };
-            let base = emu.report(Policy::AllMax, straggler).map_err(|e| e.to_string())?;
+            let base = emu
+                .report(Policy::AllMax, straggler)
+                .map_err(|e| e.to_string())?;
             println!(
                 "{} GPUs, sync iteration {:.2} s",
                 emu.config().n_gpus(),

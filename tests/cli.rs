@@ -18,7 +18,13 @@ fn perseus(args: &[&str]) -> (bool, String, String) {
 fn models_lists_the_zoo() {
     let (ok, stdout, _) = perseus(&["models"]);
     assert!(ok);
-    for name in ["gpt3-175b", "bloom-3b", "t5-3b", "wide-resnet101-8", "llama2-70b"] {
+    for name in [
+        "gpt3-175b",
+        "bloom-3b",
+        "t5-3b",
+        "wide-resnet101-8",
+        "llama2-70b",
+    ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
 }
@@ -34,8 +40,14 @@ fn partition_prints_boundaries_and_ratio() {
 
 #[test]
 fn frontier_reports_savings() {
-    let (ok, stdout, _) =
-        perseus(&["frontier", "bert-base", "--stages", "2", "--microbatches", "4"]);
+    let (ok, stdout, _) = perseus(&[
+        "frontier",
+        "bert-base",
+        "--stages",
+        "2",
+        "--microbatches",
+        "4",
+    ]);
     assert!(ok, "stdout: {stdout}");
     assert!(stdout.contains("T_min"));
     assert!(stdout.contains("intrinsic savings"));

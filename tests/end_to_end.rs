@@ -18,41 +18,82 @@ fn full_workflow_with_online_profiling() {
     let weights = model.fwd_latency_weights(&gpu);
     let partition = min_imbalance_partition(&weights, n_stages).expect("partition");
     let stages = model.stage_workloads(&partition, &gpu).expect("stages");
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n_stages, 6).build().expect("pipe");
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, n_stages, 6)
+        .build()
+        .expect("pipe");
 
     // Step 1: the client profiles each computation in vivo, with
     // measurement noise, sweeping frequencies per §5.
     let mut profiles: ProfileDb<OpKey> = ProfileDb::new();
-    let profiler = OnlineProfiler { reps: 4, ..Default::default() };
+    let profiler = OnlineProfiler {
+        reps: 4,
+        ..Default::default()
+    };
     for (s, sw) in stages.iter().enumerate() {
-        let mut client = ClientSession::new(s, SimGpu::new(gpu.clone()).with_noise(NoiseModel::realistic(s as u64)));
+        let mut client = ClientSession::new(
+            s,
+            SimGpu::new(gpu.clone()).with_noise(NoiseModel::realistic(s as u64)),
+        );
         let fwd = client.profile_sweep(&sw.fwd, &profiler);
         let bwd = client.profile_sweep(&sw.bwd, &profiler);
-        profiles.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Forward }, fwd.clone());
-        profiles.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Backward }, bwd);
-        profiles.insert(OpKey { stage: s, chunk: 0, kind: CompKind::Recompute }, fwd);
+        profiles.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Forward,
+            },
+            fwd.clone(),
+        );
+        profiles.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Backward,
+            },
+            bwd,
+        );
+        profiles.insert(
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Recompute,
+            },
+            fwd,
+        );
     }
 
     // Steps 2+3: the server characterizes the frontier and deploys.
-    let mut server = PerseusServer::new();
+    let server = PerseusServer::new();
     server
-        .register_job(JobSpec { name: "bert".into(), pipe: pipe.clone(), gpu: gpu.clone() })
+        .register_job(JobSpec {
+            name: "bert".into(),
+            pipe: pipe.clone(),
+            gpu: gpu.clone(),
+        })
         .expect("register");
     let d0 = server
         .submit_profiles("bert", profiles, &FrontierOptions::default())
-        .expect("characterize");
+        .expect("characterize")
+        .wait()
+        .expect("deploy");
     let (t_min, t_star) = {
         let f = server.frontier("bert").expect("frontier");
         (f.t_min(), f.t_star())
     };
     assert!(t_min < t_star, "frontier must trade time for energy");
-    assert_eq!(d0.planned_time_s, t_min, "initial deployment is the fastest point");
+    assert_eq!(
+        d0.planned_time_s, t_min,
+        "initial deployment is the fastest point"
+    );
 
     // Client realizes the deployed schedule in program order.
     let mut client = ClientSession::new(2, SimGpu::new(gpu.clone()));
     client.load_schedule(&pipe, &d0.schedule);
-    let program: Vec<CompKind> =
-        pipe.computations().filter(|(_, c)| c.stage == 2).map(|(_, c)| c.kind).collect();
+    let program: Vec<CompKind> = pipe
+        .computations()
+        .filter(|(_, c)| c.stage == 2)
+        .map(|(_, c)| c.kind)
+        .collect();
     for &k in &program {
         client.set_speed(k);
     }
@@ -60,7 +101,10 @@ fn full_workflow_with_online_profiling() {
     assert!(client.gpu().lock().freq_set_count() > 0);
 
     // Steps 4+5: straggler arrives, schedule re-deploys within T'.
-    let d1 = server.set_straggler("bert", 0, 0.0, 1.3).expect("notify").expect("deploy");
+    let d1 = server
+        .set_straggler("bert", 0, 0.0, 1.3)
+        .expect("notify")
+        .expect("deploy");
     assert!(d1.version > d0.version);
     assert!(d1.planned_time_s <= t_min * 1.3 + 1e-9);
     assert!(d1.planned_time_s > t_min, "slack should be used");
@@ -75,22 +119,40 @@ fn noisy_profiles_still_produce_valid_schedules() {
     let weights = model.fwd_latency_weights(&gpu);
     let partition = min_imbalance_partition(&weights, 4).expect("partition");
     let stages = model.stage_workloads(&partition, &gpu).expect("stages");
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 4).build().expect("pipe");
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 4)
+        .build()
+        .expect("pipe");
 
     let mut profiles: ProfileDb<OpKey> = ProfileDb::new();
-    let profiler = OnlineProfiler { reps: 5, ..Default::default() };
+    let profiler = OnlineProfiler {
+        reps: 5,
+        ..Default::default()
+    };
     for (s, sw) in stages.iter().enumerate() {
-        let mut gpu_dev = SimGpu::new(gpu.clone()).with_noise(NoiseModel::realistic(100 + s as u64));
+        let mut gpu_dev =
+            SimGpu::new(gpu.clone()).with_noise(NoiseModel::realistic(100 + s as u64));
         profiles.insert(
-            OpKey { stage: s, chunk: 0, kind: CompKind::Forward },
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Forward,
+            },
             profiler.profile(&mut gpu_dev, &sw.fwd),
         );
         profiles.insert(
-            OpKey { stage: s, chunk: 0, kind: CompKind::Backward },
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Backward,
+            },
             profiler.profile(&mut gpu_dev, &sw.bwd),
         );
         profiles.insert(
-            OpKey { stage: s, chunk: 0, kind: CompKind::Recompute },
+            OpKey {
+                stage: s,
+                chunk: 0,
+                kind: CompKind::Recompute,
+            },
             profiler.profile(&mut gpu_dev, &sw.fwd),
         );
     }
@@ -117,9 +179,11 @@ fn all_schedule_kinds_characterize() {
     let weights = model.fwd_latency_weights(&gpu);
     let partition = min_imbalance_partition(&weights, 2).expect("partition");
     let stages = model.stage_workloads(&partition, &gpu).expect("stages");
-    for kind in
-        [ScheduleKind::OneFOneB, ScheduleKind::GPipe, ScheduleKind::EarlyRecompute1F1B]
-    {
+    for kind in [
+        ScheduleKind::OneFOneB,
+        ScheduleKind::GPipe,
+        ScheduleKind::EarlyRecompute1F1B,
+    ] {
         let pipe = PipelineBuilder::new(kind, 2, 4).build().expect("pipe");
         let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).expect("ctx");
         let frontier =

@@ -1,9 +1,9 @@
 //! Cross-crate checks of the paper's headline claims, on scaled-down
 //! configurations so they run quickly in debug builds.
 
-use perseus::baselines::{all_max_freq, envpipe, zeus_global_frontier, EnvPipeOptions};
+use perseus::baselines::{AllMaxFreq, EnvPipe, EnvPipeOptions, ZeusGlobal};
 use perseus::cluster::{ClusterConfig, Emulator, Policy};
-use perseus::core::{characterize, FrontierOptions, PlanContext};
+use perseus::core::{characterize, FrontierOptions, PlanContext, Planner};
 use perseus::gpu::GpuSpec;
 use perseus::models::zoo;
 use perseus::pipeline::{PipelineBuilder, ScheduleKind};
@@ -27,7 +27,11 @@ fn headline_intrinsic_savings_with_negligible_slowdown() {
     // §6.2.1: double-digit percentage savings at ~zero slowdown.
     let emu = emulator(zoo::gpt3_xl(4), GpuSpec::a100_pcie(), 8);
     let s = emu.savings(Policy::Perseus, None).expect("savings");
-    assert!(s.savings_pct > 8.0, "GPT-3 1.3B intrinsic savings: {:.1}%", s.savings_pct);
+    assert!(
+        s.savings_pct > 8.0,
+        "GPT-3 1.3B intrinsic savings: {:.1}%",
+        s.savings_pct
+    );
     assert!(s.slowdown_pct < 0.5, "slowdown: {:.2}%", s.slowdown_pct);
 }
 
@@ -53,10 +57,17 @@ fn savings_peak_near_t_star_then_wane() {
     // §6.2.2 / Figure 8 shape.
     let emu = emulator(zoo::bert_huge(8), GpuSpec::a100_pcie(), 6);
     let t_star_ratio = emu.frontier().t_star() / emu.frontier().t_min();
-    let before = emu.savings(Policy::Perseus, Some(1.0 + (t_star_ratio - 1.0) * 0.3)).unwrap();
+    let before = emu
+        .savings(Policy::Perseus, Some(1.0 + (t_star_ratio - 1.0) * 0.3))
+        .unwrap();
     let near = emu.savings(Policy::Perseus, Some(t_star_ratio)).unwrap();
-    let far = emu.savings(Policy::Perseus, Some(t_star_ratio * 1.8)).unwrap();
-    assert!(near.savings_pct > before.savings_pct * 0.9, "savings grow toward T*");
+    let far = emu
+        .savings(Policy::Perseus, Some(t_star_ratio * 1.8))
+        .unwrap();
+    assert!(
+        near.savings_pct > before.savings_pct * 0.9,
+        "savings grow toward T*"
+    );
     assert!(far.savings_pct < near.savings_pct, "savings wane past T*");
 }
 
@@ -103,12 +114,22 @@ fn perseus_pareto_dominates_zeus_global_everywhere() {
     let weights = model.fwd_latency_weights(&gpu);
     let partition = perseus::models::min_imbalance_partition(&weights, 4).unwrap();
     let stages = model.stage_workloads(&partition, &gpu).unwrap();
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6).build().unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6)
+        .build()
+        .unwrap();
     let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
     let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
-    for z in zeus_global_frontier(&ctx).unwrap() {
+    for z in ZeusGlobal
+        .plan(&ctx)
+        .unwrap()
+        .into_sweep()
+        .expect("sweep planner")
+    {
         let zr = z.energy_report(&ctx, None);
-        let pr = frontier.lookup(zr.iter_time_s).schedule.energy_report(&ctx, None);
+        let pr = frontier
+            .lookup(zr.iter_time_s)
+            .schedule
+            .energy_report(&ctx, None);
         assert!(
             pr.total_j() <= zr.total_j() * 1.01,
             "at {:.3}s: perseus {:.0} J vs zeus {:.0} J",
@@ -123,9 +144,18 @@ fn perseus_pareto_dominates_zeus_global_everywhere() {
 fn envpipe_cannot_exploit_stragglers() {
     // Figure 7: EnvPipe has no frontier, so extrinsic slack is wasted.
     let emu = emulator(zoo::gpt3_xl(4), GpuSpec::a40(), 8);
-    let p = emu.savings(Policy::Perseus, Some(1.25)).unwrap().savings_pct;
-    let e = emu.savings(Policy::EnvPipe, Some(1.25)).unwrap().savings_pct;
-    assert!(p > e, "Perseus {p:.1}% must beat EnvPipe {e:.1}% under stragglers");
+    let p = emu
+        .savings(Policy::Perseus, Some(1.25))
+        .unwrap()
+        .savings_pct;
+    let e = emu
+        .savings(Policy::EnvPipe, Some(1.25))
+        .unwrap()
+        .savings_pct;
+    assert!(
+        p > e,
+        "Perseus {p:.1}% must beat EnvPipe {e:.1}% under stragglers"
+    );
 }
 
 #[test]
@@ -135,11 +165,21 @@ fn envpipe_respects_its_slowdown_budget() {
     let weights = model.fwd_latency_weights(&gpu);
     let partition = perseus::models::min_imbalance_partition(&weights, 4).unwrap();
     let stages = model.stage_workloads(&partition, &gpu).unwrap();
-    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6).build().unwrap();
+    let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, 4, 6)
+        .build()
+        .unwrap();
     let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
-    let base = all_max_freq(&ctx).unwrap().energy_report(&ctx, None);
+    let base = AllMaxFreq
+        .plan(&ctx)
+        .unwrap()
+        .select(None)
+        .energy_report(&ctx, None);
     let opts = EnvPipeOptions { tolerance: 0.01 };
-    let ep = envpipe(&ctx, opts).unwrap().energy_report(&ctx, None);
+    let ep = EnvPipe::new(opts)
+        .plan(&ctx)
+        .unwrap()
+        .select(None)
+        .energy_report(&ctx, None);
     assert!(ep.iter_time_s <= base.iter_time_s * 1.011);
     assert!(ep.total_j() < base.total_j());
 }
