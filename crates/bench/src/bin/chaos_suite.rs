@@ -1,0 +1,117 @@
+//! Chaos suite: the fault-injection counterpart of `emulation_suite`.
+//!
+//! * `--seed 0` (the default) runs **zero** faults and emits the exact
+//!   `emulation_suite` report — byte-identical by construction, since both
+//!   binaries call the same report function. This anchors the chaos layer:
+//!   installing it without faults changes nothing.
+//! * `--seed N` (nonzero) derives a deterministic fault plan from `N` and
+//!   replays it against the cluster emulator and a live planning server,
+//!   printing the absorption report. The process exits nonzero if any
+//!   scheduled fault failed to inject, a straggler notification went
+//!   unanswered, or `--max-degraded` was exceeded (the CI regression
+//!   gate for `degraded_lookups`).
+//!
+//! Run: `cargo run --release -p perseus-bench --bin chaos_suite -- \
+//!        [--seed N] [--iterations N] [--max-degraded N]`
+
+use perseus_chaos::{run_chaos, ChaosConfig};
+use perseus_cluster::{ClusterConfig, Emulator, Policy};
+use perseus_core::FrontierOptions;
+use perseus_gpu::GpuSpec;
+use perseus_models::zoo;
+use perseus_pipeline::ScheduleKind;
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} wants a non-negative integer, got {v:?}"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = arg_value(&args, "--seed").unwrap_or(0);
+    let iterations = arg_value(&args, "--iterations").unwrap_or(100) as usize;
+    let max_degraded = arg_value(&args, "--max-degraded");
+
+    if seed == 0 {
+        // Fault-free: exactly the emulation suite, same code path.
+        let stdout = std::io::stdout();
+        perseus_bench::emulation_suite_report(&mut stdout.lock()).expect("write to stdout");
+        return;
+    }
+
+    let mut emu = Emulator::new(ClusterConfig {
+        model: zoo::gpt3_xl(4),
+        gpu: GpuSpec::a100_pcie(),
+        n_stages: 4,
+        n_microbatches: 8,
+        n_pipelines: 4,
+        tensor_parallel: 1,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions::default(),
+    })
+    .expect("emulator builds");
+    let cfg = ChaosConfig {
+        seed,
+        iterations,
+        policy: Policy::Perseus,
+        ..Default::default()
+    };
+    let r = run_chaos(&mut emu, &cfg).expect("chaos run completes");
+
+    println!("== Chaos suite: seed {seed}, {iterations} iterations ==");
+    println!("faults scheduled        {:>10}", r.faults_scheduled);
+    println!("faults injected         {:>10}", r.faults_injected);
+    println!("server faults absorbed  {:>10}", r.server_faults_absorbed);
+    println!("degraded lookups        {:>10}", r.degraded_lookups);
+    println!(
+        "straggler notifications {:>10} sent, {} answered",
+        r.notifications_sent, r.notifications_answered
+    );
+    println!("client retries          {:>10}", r.client_retries);
+    println!("total energy            {:>14.1} J", r.total_energy_j);
+    println!("total time              {:>14.3} s", r.total_time_s);
+    println!(
+        "min iteration time      {:>14.4} s (fault-free critical path {:.4} s)",
+        r.min_iter_time_s, r.fault_free_critical_path_s
+    );
+
+    let mut failed = false;
+    if r.faults_injected != r.faults_scheduled {
+        eprintln!(
+            "FAIL: {} of {} scheduled faults injected",
+            r.faults_injected, r.faults_scheduled
+        );
+        failed = true;
+    }
+    if r.notifications_answered != r.notifications_sent {
+        eprintln!(
+            "FAIL: {} of {} straggler notifications answered",
+            r.notifications_answered, r.notifications_sent
+        );
+        failed = true;
+    }
+    if r.min_iter_time_s < r.fault_free_critical_path_s - 1e-9 {
+        eprintln!(
+            "FAIL: iteration time {} beat the fault-free critical path {}",
+            r.min_iter_time_s, r.fault_free_critical_path_s
+        );
+        failed = true;
+    }
+    if let Some(max) = max_degraded {
+        if r.degraded_lookups > max {
+            eprintln!(
+                "FAIL: degraded_lookups {} exceeds recorded baseline {max}",
+                r.degraded_lookups
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

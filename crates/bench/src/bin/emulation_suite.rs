@@ -9,117 +9,7 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin emulation_suite`
 
-use std::collections::HashMap;
-
-use perseus_cluster::{strong_scaling_table5, ClusterConfig, Emulator, Policy};
-use perseus_core::FrontierOptions;
-use perseus_gpu::GpuSpec;
-use perseus_models::{zoo, ModelSpec};
-use perseus_pipeline::ScheduleKind;
-
-type ModelEntry = (&'static str, fn(usize) -> ModelSpec);
-const MODELS: [ModelEntry; 2] = [
-    ("GPT-3 175B", zoo::gpt3_175b),
-    ("Bloom 176B", zoo::bloom_176b),
-];
-
-fn build(
-    model: fn(usize) -> ModelSpec,
-    gpu: GpuSpec,
-    cfg: &perseus_cluster::ScalingConfig,
-) -> Emulator {
-    Emulator::new(ClusterConfig {
-        model: model(1),
-        gpu,
-        n_stages: cfg.n_stages,
-        n_microbatches: cfg.n_microbatches,
-        n_pipelines: cfg.n_pipelines,
-        tensor_parallel: cfg.tensor_parallel,
-        schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions::default(),
-    })
-    .expect("emulator builds")
-}
-
 fn main() {
-    let scaling = strong_scaling_table5();
-
-    // ---- Table 6: intrinsic savings vs #microbatches ----
-    println!("== Table 6: intrinsic bloat reduction (no stragglers), strong scaling ==");
-    println!(
-        "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8}",
-        "Model", "GPU", "M=12", "M=24", "M=48", "M=96"
-    );
-    // cache: (model name, gpu name, microbatches) -> emulator
-    let mut emus: HashMap<(usize, usize, usize), Emulator> = HashMap::new();
-    for (mi, (name, ctor)) in MODELS.iter().enumerate() {
-        for (gi, gpu) in [GpuSpec::a100_sxm(), GpuSpec::a40()].iter().enumerate() {
-            print!("{:<12} {:<10}", name, if gi == 0 { "A100" } else { "A40" });
-            for cfg in scaling.iter().rev() {
-                // rev(): ascending microbatch count 12, 24, 48, 96
-                let emu = emus
-                    .entry((mi, gi, cfg.n_microbatches))
-                    .or_insert_with(|| build(*ctor, gpu.clone(), cfg));
-                let s = emu.savings(Policy::Perseus, None).expect("savings");
-                print!(" {:>8.2}", s.savings_pct);
-            }
-            println!();
-        }
-    }
-    println!(
-        "Paper: GPT-3 175B A100 15.20/14.19/13.62/13.32; Bloom 176B A100 10.47/7.06/5.23/4.28."
-    );
-    println!("Shape to hold: savings decrease as microbatches increase; GPT-3 > Bloom at A100.\n");
-
-    // ---- Figure 7: savings breakdown, slowdown 1.2, 1,024 GPUs ----
-    println!(
-        "== Figure 7: savings breakdown, straggler slowdown 1.2, 1024 GPUs (16 pipelines, M=96) =="
-    );
-    println!(
-        "{:<12} {:>16} {:>22} {:>18}",
-        "Model", "intrinsic only", "intrinsic+extrinsic", "EnvPipe (intr.)"
-    );
-    for (mi, (name, _)) in MODELS.iter().enumerate() {
-        let emu = &emus[&(mi, 0usize, 96usize)]; // A100, M=96 config
-        let intr = emu
-            .savings(Policy::Perseus, None)
-            .expect("savings")
-            .savings_pct;
-        let both = emu
-            .savings(Policy::Perseus, Some(1.2))
-            .expect("savings")
-            .savings_pct;
-        let ep = emu
-            .savings(Policy::EnvPipe, Some(1.2))
-            .expect("savings")
-            .savings_pct;
-        println!("{:<12} {:>15.1}% {:>21.1}% {:>17.1}%", name, intr, both, ep);
-    }
-    println!("Paper: Perseus up to ~30% total; EnvPipe limited to (suboptimal) intrinsic only.\n");
-
-    // ---- Figure 8: savings vs straggler slowdown across scaling configs ----
-    println!("== Figure 8: intrinsic+extrinsic savings vs straggler slowdown (A100) ==");
-    let degrees = [1.05, 1.1, 1.2, 1.3, 1.4, 1.5];
-    for (mi, (name, _)) in MODELS.iter().enumerate() {
-        println!("--- {name} ---");
-        print!("{:<26}", "config");
-        for d in degrees {
-            print!(" {d:>6.2}");
-        }
-        println!("   T*/T");
-        for cfg in &scaling {
-            let emu = &emus[&(mi, 0usize, cfg.n_microbatches)];
-            print!(
-                "{:>5} GPUs x{:>3} pipes M{:<3}",
-                cfg.n_gpus, cfg.n_pipelines, cfg.n_microbatches
-            );
-            for d in degrees {
-                let s = emu.savings(Policy::Perseus, Some(d)).expect("savings");
-                print!(" {:>6.1}", s.savings_pct);
-            }
-            println!("   {:.2}", emu.frontier().t_star() / emu.frontier().t_min());
-        }
-    }
-    println!("\nShape to hold: savings rise until T'/T reaches T*/T (the star in the paper's");
-    println!("figure), then wane; fewer microbatches (more pipelines) => higher savings %.");
+    let stdout = std::io::stdout();
+    perseus_bench::emulation_suite_report(&mut stdout.lock()).expect("write to stdout");
 }

@@ -9,169 +9,8 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin fig9_frontier [-- --appendix]`
 
-use perseus_baselines::{AllMaxFreq, ZeusGlobal, ZeusPerStage};
-use perseus_cluster::{ClusterConfig, Emulator};
-use perseus_core::FrontierOptions;
-use perseus_core::Planner;
-use perseus_gpu::GpuSpec;
-use perseus_models::{zoo, ModelSpec};
-use perseus_pipeline::ScheduleKind;
-
-struct Config {
-    label: &'static str,
-    model: fn(usize) -> ModelSpec,
-    microbatch: usize,
-    n_microbatches: usize,
-    gpu: GpuSpec,
-    n_stages: usize,
-    tensor_parallel: usize,
-}
-
-fn frontier_csv(cfg: &Config) {
-    let emu = Emulator::new(ClusterConfig {
-        model: (cfg.model)(cfg.microbatch),
-        gpu: cfg.gpu.clone(),
-        n_stages: cfg.n_stages,
-        n_microbatches: cfg.n_microbatches,
-        n_pipelines: 1,
-        tensor_parallel: cfg.tensor_parallel,
-        schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions::default(),
-    })
-    .expect("emulator builds");
-    let ctx = emu.ctx();
-    let tp = cfg.tensor_parallel as f64;
-
-    println!(
-        "# {} on {} ({} stages, TP {})",
-        cfg.label, cfg.gpu.name, cfg.n_stages, cfg.tensor_parallel
-    );
-    println!("policy,time_s,energy_j");
-    let base = AllMaxFreq
-        .plan(&ctx)
-        .expect("all-max")
-        .select(None)
-        .energy_report(&ctx, None);
-    println!("all-max,{:.4},{:.1}", base.iter_time_s, base.total_j() * tp);
-
-    // Perseus: thin the frontier to ~64 evenly spaced points for plotting.
-    let points = emu.frontier().points();
-    let stride = (points.len() / 64).max(1);
-    for p in points.iter().step_by(stride) {
-        let r = p.schedule.energy_report(&ctx, None);
-        println!("perseus,{:.4},{:.1}", r.iter_time_s, r.total_j() * tp);
-    }
-    let zeus_global = ZeusGlobal
-        .plan(&ctx)
-        .expect("zeus global")
-        .into_sweep()
-        .expect("sweep planner");
-    for s in zeus_global.iter().step_by(4) {
-        let r = s.energy_report(&ctx, None);
-        println!("zeus-global,{:.4},{:.1}", r.iter_time_s, r.total_j() * tp);
-    }
-    for s in ZeusPerStage
-        .plan(&ctx)
-        .expect("zeus per-stage")
-        .into_sweep()
-        .expect("sweep planner")
-    {
-        let r = s.energy_report(&ctx, None);
-        println!(
-            "zeus-per-stage,{:.4},{:.1}",
-            r.iter_time_s,
-            r.total_j() * tp
-        );
-    }
-
-    // Dominance summary: at a mid-frontier time budget, compare energies.
-    let mid_t = (emu.frontier().t_min() + emu.frontier().t_star()) * 0.5;
-    let perseus_mid = emu
-        .frontier()
-        .lookup(mid_t)
-        .schedule
-        .energy_report(&ctx, None)
-        .total_j();
-    let zeus_mid = zeus_global
-        .iter()
-        .filter(|s| s.time_s <= mid_t)
-        .map(|s| s.energy_report(&ctx, None).total_j())
-        .fold(f64::INFINITY, f64::min);
-    println!(
-        "# at T={mid_t:.3}s: perseus {perseus_mid:.0} J vs best zeus-global {zeus_mid:.0} J ({})",
-        if perseus_mid <= zeus_mid {
-            "perseus dominates"
-        } else {
-            "DOMINANCE VIOLATED"
-        }
-    );
-    println!();
-}
-
 fn main() {
     let appendix = std::env::args().any(|a| a == "--appendix");
-    let mut configs = vec![
-        Config {
-            label: "GPT-3 1.3B",
-            model: zoo::gpt3_xl,
-            microbatch: 4,
-            n_microbatches: 128,
-            gpu: GpuSpec::a100_pcie(),
-            n_stages: 4,
-            tensor_parallel: 1,
-        },
-        Config {
-            label: "GPT-3 2.7B",
-            model: zoo::gpt3_2_7b,
-            microbatch: 4,
-            n_microbatches: 256,
-            gpu: GpuSpec::a40(),
-            n_stages: 8,
-            tensor_parallel: 1,
-        },
-        Config {
-            label: "GPT-3 6.7B (3D: DP2 TP2 PP4)",
-            model: zoo::gpt3_6_7b,
-            microbatch: 4,
-            n_microbatches: 128,
-            gpu: GpuSpec::a40(),
-            n_stages: 4,
-            tensor_parallel: 2,
-        },
-    ];
-    if appendix {
-        for (label, model, mb, m) in [
-            (
-                "BERT 1.3B",
-                zoo::bert_huge as fn(usize) -> ModelSpec,
-                8usize,
-                32usize,
-            ),
-            ("T5 3B", zoo::t5_3b, 4, 32),
-            ("Bloom 3B", zoo::bloom_3b, 4, 128),
-            ("Wide-ResNet 1.5B", zoo::wide_resnet101_8, 32, 48),
-        ] {
-            configs.push(Config {
-                label,
-                model,
-                microbatch: mb,
-                n_microbatches: m,
-                gpu: GpuSpec::a40(),
-                n_stages: 8,
-                tensor_parallel: 1,
-            });
-            configs.push(Config {
-                label,
-                model,
-                microbatch: mb,
-                n_microbatches: m,
-                gpu: GpuSpec::a100_pcie(),
-                n_stages: 4,
-                tensor_parallel: 1,
-            });
-        }
-    }
-    for cfg in &configs {
-        frontier_csv(cfg);
-    }
+    let stdout = std::io::stdout();
+    perseus_bench::fig9_report(&mut stdout.lock(), appendix).expect("write to stdout");
 }

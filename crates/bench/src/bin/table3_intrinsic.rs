@@ -4,47 +4,7 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin table3_intrinsic`
 
-use perseus_bench::{a100_workloads, a40_workloads, testbed_emulator};
-use perseus_cluster::Policy;
-use perseus_gpu::GpuSpec;
-
 fn main() {
-    for (gpu, stages, workloads, label) in [
-        (
-            GpuSpec::a100_pcie(),
-            4usize,
-            a100_workloads(),
-            "(a) Four-stage pipeline on A100",
-        ),
-        (
-            GpuSpec::a40(),
-            8,
-            a40_workloads(),
-            "(b) Eight-stage pipeline on A40",
-        ),
-    ] {
-        println!("== Table 3 {label} ==");
-        println!(
-            "{:<18} {:>14} {:>14} {:>14} {:>14}",
-            "Model", "Perseus sav%", "EnvPipe sav%", "Perseus slow%", "EnvPipe slow%"
-        );
-        for w in workloads {
-            let emu = match testbed_emulator(&w, gpu.clone(), stages) {
-                Ok(e) => e,
-                Err(e) => {
-                    println!("{:<18} failed: {e}", w.name);
-                    continue;
-                }
-            };
-            let p = emu.savings(Policy::Perseus, None).expect("perseus savings");
-            let e = emu.savings(Policy::EnvPipe, None).expect("envpipe savings");
-            println!(
-                "{:<18} {:>14.1} {:>14.1} {:>14.2} {:>14.2}",
-                w.name, p.savings_pct, e.savings_pct, p.slowdown_pct, e.slowdown_pct
-            );
-        }
-        println!();
-    }
-    println!("Paper reference (Table 3a, A100): Perseus 13.2/12.9/10.6/11.7/3.2 %,");
-    println!("EnvPipe 8.8/8.0/7.4/8.9/3.7 %; (Table 3b, A40): Perseus 21.1/15.7/28.5/22.4/20.4 %.");
+    let stdout = std::io::stdout();
+    perseus_bench::table3_report(&mut stdout.lock()).expect("write to stdout");
 }

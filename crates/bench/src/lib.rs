@@ -5,6 +5,10 @@
 //! paper-vs-measured record. Shared plumbing lives here: the workload
 //! matrix of Appendix B Tables 8–10 and small formatting helpers.
 
+mod reports;
+
+pub use reports::{emulation_suite_report, fig9_report, table3_report};
+
 use perseus_cluster::{ClusterConfig, Emulator, EmulatorError, Policy};
 use perseus_core::FrontierOptions;
 use perseus_gpu::GpuSpec;

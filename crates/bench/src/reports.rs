@@ -1,0 +1,404 @@
+//! Writer-based report generators behind the experiment binaries.
+//!
+//! Each `*_report` function renders one table/figure of the paper into any
+//! [`Write`] sink. The binaries stream them to stdout; the golden-trace
+//! regression tests render them into buffers and compare byte-for-byte
+//! against committed fixtures — so a bin run and a test run are the same
+//! code path by construction.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use perseus_baselines::{AllMaxFreq, ZeusGlobal, ZeusPerStage};
+use perseus_cluster::{strong_scaling_table5, ClusterConfig, Emulator, Policy};
+use perseus_core::{FrontierOptions, Planner};
+use perseus_gpu::GpuSpec;
+use perseus_models::{zoo, ModelSpec};
+use perseus_pipeline::ScheduleKind;
+
+use crate::{a100_workloads, a40_workloads, testbed_emulator};
+
+/// Table 3: intrinsic energy-bloat reduction (no stragglers) and iteration
+/// slowdown — Perseus vs EnvPipe on the §6.2 testbeds.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn table3_report(out: &mut impl Write) -> io::Result<()> {
+    for (gpu, stages, workloads, label) in [
+        (
+            GpuSpec::a100_pcie(),
+            4usize,
+            a100_workloads(),
+            "(a) Four-stage pipeline on A100",
+        ),
+        (
+            GpuSpec::a40(),
+            8,
+            a40_workloads(),
+            "(b) Eight-stage pipeline on A40",
+        ),
+    ] {
+        writeln!(out, "== Table 3 {label} ==")?;
+        writeln!(
+            out,
+            "{:<18} {:>14} {:>14} {:>14} {:>14}",
+            "Model", "Perseus sav%", "EnvPipe sav%", "Perseus slow%", "EnvPipe slow%"
+        )?;
+        for w in workloads {
+            let emu = match testbed_emulator(&w, gpu.clone(), stages) {
+                Ok(e) => e,
+                Err(e) => {
+                    writeln!(out, "{:<18} failed: {e}", w.name)?;
+                    continue;
+                }
+            };
+            let p = emu.savings(Policy::Perseus, None).expect("perseus savings");
+            let e = emu.savings(Policy::EnvPipe, None).expect("envpipe savings");
+            writeln!(
+                out,
+                "{:<18} {:>14.1} {:>14.1} {:>14.2} {:>14.2}",
+                w.name, p.savings_pct, e.savings_pct, p.slowdown_pct, e.slowdown_pct
+            )?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(
+        out,
+        "Paper reference (Table 3a, A100): Perseus 13.2/12.9/10.6/11.7/3.2 %,"
+    )?;
+    writeln!(
+        out,
+        "EnvPipe 8.8/8.0/7.4/8.9/3.7 %; (Table 3b, A40): Perseus 21.1/15.7/28.5/22.4/20.4 %."
+    )?;
+    Ok(())
+}
+
+struct Fig9Config {
+    label: &'static str,
+    model: fn(usize) -> ModelSpec,
+    microbatch: usize,
+    n_microbatches: usize,
+    gpu: GpuSpec,
+    n_stages: usize,
+    tensor_parallel: usize,
+}
+
+fn frontier_csv(out: &mut impl Write, cfg: &Fig9Config) -> io::Result<()> {
+    let emu = Emulator::new(ClusterConfig {
+        model: (cfg.model)(cfg.microbatch),
+        gpu: cfg.gpu.clone(),
+        n_stages: cfg.n_stages,
+        n_microbatches: cfg.n_microbatches,
+        n_pipelines: 1,
+        tensor_parallel: cfg.tensor_parallel,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions::default(),
+    })
+    .expect("emulator builds");
+    let ctx = emu.ctx();
+    let tp = cfg.tensor_parallel as f64;
+
+    writeln!(
+        out,
+        "# {} on {} ({} stages, TP {})",
+        cfg.label, cfg.gpu.name, cfg.n_stages, cfg.tensor_parallel
+    )?;
+    writeln!(out, "policy,time_s,energy_j")?;
+    let base = AllMaxFreq
+        .plan(&ctx)
+        .expect("all-max")
+        .select(None)
+        .energy_report(&ctx, None);
+    writeln!(
+        out,
+        "all-max,{:.4},{:.1}",
+        base.iter_time_s,
+        base.total_j() * tp
+    )?;
+
+    // Perseus: thin the frontier to ~64 evenly spaced points for plotting.
+    let points = emu.frontier().points();
+    let stride = (points.len() / 64).max(1);
+    for p in points.iter().step_by(stride) {
+        let r = p.schedule.energy_report(&ctx, None);
+        writeln!(out, "perseus,{:.4},{:.1}", r.iter_time_s, r.total_j() * tp)?;
+    }
+    let zeus_global = ZeusGlobal
+        .plan(&ctx)
+        .expect("zeus global")
+        .into_sweep()
+        .expect("sweep planner");
+    for s in zeus_global.iter().step_by(4) {
+        let r = s.energy_report(&ctx, None);
+        writeln!(
+            out,
+            "zeus-global,{:.4},{:.1}",
+            r.iter_time_s,
+            r.total_j() * tp
+        )?;
+    }
+    for s in ZeusPerStage
+        .plan(&ctx)
+        .expect("zeus per-stage")
+        .into_sweep()
+        .expect("sweep planner")
+    {
+        let r = s.energy_report(&ctx, None);
+        writeln!(
+            out,
+            "zeus-per-stage,{:.4},{:.1}",
+            r.iter_time_s,
+            r.total_j() * tp
+        )?;
+    }
+
+    // Dominance summary: at a mid-frontier time budget, compare energies.
+    let mid_t = (emu.frontier().t_min() + emu.frontier().t_star()) * 0.5;
+    let perseus_mid = emu
+        .frontier()
+        .lookup(mid_t)
+        .schedule
+        .energy_report(&ctx, None)
+        .total_j();
+    let zeus_mid = zeus_global
+        .iter()
+        .filter(|s| s.time_s <= mid_t)
+        .map(|s| s.energy_report(&ctx, None).total_j())
+        .fold(f64::INFINITY, f64::min);
+    writeln!(
+        out,
+        "# at T={mid_t:.3}s: perseus {perseus_mid:.0} J vs best zeus-global {zeus_mid:.0} J ({})",
+        if perseus_mid <= zeus_mid {
+            "perseus dominates"
+        } else {
+            "DOMINANCE VIOLATED"
+        }
+    )?;
+    writeln!(out)?;
+    Ok(())
+}
+
+/// Figure 9 (and Appendix G Figures 11/12 with `appendix`): iteration
+/// time–energy frontiers of Perseus versus the Zeus-derived baselines, as
+/// CSV series.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn fig9_report(out: &mut impl Write, appendix: bool) -> io::Result<()> {
+    let mut configs = vec![
+        Fig9Config {
+            label: "GPT-3 1.3B",
+            model: zoo::gpt3_xl,
+            microbatch: 4,
+            n_microbatches: 128,
+            gpu: GpuSpec::a100_pcie(),
+            n_stages: 4,
+            tensor_parallel: 1,
+        },
+        Fig9Config {
+            label: "GPT-3 2.7B",
+            model: zoo::gpt3_2_7b,
+            microbatch: 4,
+            n_microbatches: 256,
+            gpu: GpuSpec::a40(),
+            n_stages: 8,
+            tensor_parallel: 1,
+        },
+        Fig9Config {
+            label: "GPT-3 6.7B (3D: DP2 TP2 PP4)",
+            model: zoo::gpt3_6_7b,
+            microbatch: 4,
+            n_microbatches: 128,
+            gpu: GpuSpec::a40(),
+            n_stages: 4,
+            tensor_parallel: 2,
+        },
+    ];
+    if appendix {
+        for (label, model, mb, m) in [
+            (
+                "BERT 1.3B",
+                zoo::bert_huge as fn(usize) -> ModelSpec,
+                8usize,
+                32usize,
+            ),
+            ("T5 3B", zoo::t5_3b, 4, 32),
+            ("Bloom 3B", zoo::bloom_3b, 4, 128),
+            ("Wide-ResNet 1.5B", zoo::wide_resnet101_8, 32, 48),
+        ] {
+            configs.push(Fig9Config {
+                label,
+                model,
+                microbatch: mb,
+                n_microbatches: m,
+                gpu: GpuSpec::a40(),
+                n_stages: 8,
+                tensor_parallel: 1,
+            });
+            configs.push(Fig9Config {
+                label,
+                model,
+                microbatch: mb,
+                n_microbatches: m,
+                gpu: GpuSpec::a100_pcie(),
+                n_stages: 4,
+                tensor_parallel: 1,
+            });
+        }
+    }
+    for cfg in &configs {
+        frontier_csv(out, cfg)?;
+    }
+    Ok(())
+}
+
+type ModelEntry = (&'static str, fn(usize) -> ModelSpec);
+const SUITE_MODELS: [ModelEntry; 2] = [
+    ("GPT-3 175B", zoo::gpt3_175b),
+    ("Bloom 176B", zoo::bloom_176b),
+];
+
+fn suite_emulator(
+    model: fn(usize) -> ModelSpec,
+    gpu: GpuSpec,
+    cfg: &perseus_cluster::ScalingConfig,
+) -> Emulator {
+    Emulator::new(ClusterConfig {
+        model: model(1),
+        gpu,
+        n_stages: cfg.n_stages,
+        n_microbatches: cfg.n_microbatches,
+        n_pipelines: cfg.n_pipelines,
+        tensor_parallel: cfg.tensor_parallel,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions::default(),
+    })
+    .expect("emulator builds")
+}
+
+/// The §6.3 large-scale emulation suite: Table 6, Figure 7, and Figure 8.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn emulation_suite_report(out: &mut impl Write) -> io::Result<()> {
+    let scaling = strong_scaling_table5();
+
+    // ---- Table 6: intrinsic savings vs #microbatches ----
+    writeln!(
+        out,
+        "== Table 6: intrinsic bloat reduction (no stragglers), strong scaling =="
+    )?;
+    writeln!(
+        out,
+        "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "Model", "GPU", "M=12", "M=24", "M=48", "M=96"
+    )?;
+    // cache: (model index, gpu index, microbatches) -> emulator
+    let mut emus: HashMap<(usize, usize, usize), Emulator> = HashMap::new();
+    for (mi, (name, ctor)) in SUITE_MODELS.iter().enumerate() {
+        for (gi, gpu) in [GpuSpec::a100_sxm(), GpuSpec::a40()].iter().enumerate() {
+            write!(
+                out,
+                "{:<12} {:<10}",
+                name,
+                if gi == 0 { "A100" } else { "A40" }
+            )?;
+            for cfg in scaling.iter().rev() {
+                // rev(): ascending microbatch count 12, 24, 48, 96
+                let emu = emus
+                    .entry((mi, gi, cfg.n_microbatches))
+                    .or_insert_with(|| suite_emulator(*ctor, gpu.clone(), cfg));
+                let s = emu.savings(Policy::Perseus, None).expect("savings");
+                write!(out, " {:>8.2}", s.savings_pct)?;
+            }
+            writeln!(out)?;
+        }
+    }
+    writeln!(
+        out,
+        "Paper: GPT-3 175B A100 15.20/14.19/13.62/13.32; Bloom 176B A100 10.47/7.06/5.23/4.28."
+    )?;
+    writeln!(
+        out,
+        "Shape to hold: savings decrease as microbatches increase; GPT-3 > Bloom at A100.\n"
+    )?;
+
+    // ---- Figure 7: savings breakdown, slowdown 1.2, 1,024 GPUs ----
+    writeln!(
+        out,
+        "== Figure 7: savings breakdown, straggler slowdown 1.2, 1024 GPUs (16 pipelines, M=96) =="
+    )?;
+    writeln!(
+        out,
+        "{:<12} {:>16} {:>22} {:>18}",
+        "Model", "intrinsic only", "intrinsic+extrinsic", "EnvPipe (intr.)"
+    )?;
+    for (mi, (name, _)) in SUITE_MODELS.iter().enumerate() {
+        let emu = &emus[&(mi, 0usize, 96usize)]; // A100, M=96 config
+        let intr = emu
+            .savings(Policy::Perseus, None)
+            .expect("savings")
+            .savings_pct;
+        let both = emu
+            .savings(Policy::Perseus, Some(1.2))
+            .expect("savings")
+            .savings_pct;
+        let ep = emu
+            .savings(Policy::EnvPipe, Some(1.2))
+            .expect("savings")
+            .savings_pct;
+        writeln!(
+            out,
+            "{:<12} {:>15.1}% {:>21.1}% {:>17.1}%",
+            name, intr, both, ep
+        )?;
+    }
+    writeln!(
+        out,
+        "Paper: Perseus up to ~30% total; EnvPipe limited to (suboptimal) intrinsic only.\n"
+    )?;
+
+    // ---- Figure 8: savings vs straggler slowdown across scaling configs ----
+    writeln!(
+        out,
+        "== Figure 8: intrinsic+extrinsic savings vs straggler slowdown (A100) =="
+    )?;
+    let degrees = [1.05, 1.1, 1.2, 1.3, 1.4, 1.5];
+    for (mi, (name, _)) in SUITE_MODELS.iter().enumerate() {
+        writeln!(out, "--- {name} ---")?;
+        write!(out, "{:<26}", "config")?;
+        for d in degrees {
+            write!(out, " {d:>6.2}")?;
+        }
+        writeln!(out, "   T*/T")?;
+        for cfg in &scaling {
+            let emu = &emus[&(mi, 0usize, cfg.n_microbatches)];
+            write!(
+                out,
+                "{:>5} GPUs x{:>3} pipes M{:<3}",
+                cfg.n_gpus, cfg.n_pipelines, cfg.n_microbatches
+            )?;
+            for d in degrees {
+                let s = emu.savings(Policy::Perseus, Some(d)).expect("savings");
+                write!(out, " {:>6.1}", s.savings_pct)?;
+            }
+            writeln!(
+                out,
+                "   {:.2}",
+                emu.frontier().t_star() / emu.frontier().t_min()
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "\nShape to hold: savings rise until T'/T reaches T*/T (the star in the paper's"
+    )?;
+    writeln!(
+        out,
+        "figure), then wane; fewer microbatches (more pipelines) => higher savings %."
+    )?;
+    Ok(())
+}

@@ -1,0 +1,333 @@
+//! The chaos harness: replays a [`FaultPlan`](crate::FaultPlan) against a
+//! cluster [`Emulator`] and a live [`PerseusServer`] in lockstep, and
+//! reports what the system absorbed.
+//!
+//! The harness is the integration point of the fault model: straggler
+//! spikes hit both the emulator's accounting and the server's
+//! `set_straggler` path (through the retrying [`JobClient`]),
+//! characterization faults hit the server's worker pool, frequency caps
+//! re-clamp both sides' frontiers, and clock skew shifts the server's
+//! simulated clock. Every fired event is counted, so
+//! `faults_injected == faults_scheduled` is a checkable postcondition of
+//! any completed run.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use perseus_cluster::{Emulator, EmulatorError, Policy, StragglerTimeline, TraceEvent};
+use perseus_gpu::GpuSpec;
+use perseus_models::StageWorkloads;
+use perseus_pipeline::{CompKind, OpKey, PipelineDag};
+use perseus_profiler::{OpProfile, ProfileDb};
+use perseus_server::{
+    FaultInjector, JobClient, JobSpec, PerseusServer, RetryPolicy, ServerError, SubmissionFault,
+};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Errors from a chaos run.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// The emulator side failed.
+    Emulator(EmulatorError),
+    /// The server side failed in a way the client could not ride out.
+    Server(ServerError),
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Emulator(e) => write!(f, "emulator: {e}"),
+            ChaosError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<EmulatorError> for ChaosError {
+    fn from(e: EmulatorError) -> Self {
+        ChaosError::Emulator(e)
+    }
+}
+
+impl From<ServerError> for ChaosError {
+    fn from(e: ServerError) -> Self {
+        ChaosError::Server(e)
+    }
+}
+
+/// Parameters of one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Fault-plan seed (0 = fault-free).
+    pub seed: u64,
+    /// Iterations to simulate.
+    pub iterations: usize,
+    /// Policy governing the non-straggler pipelines.
+    pub policy: Policy,
+    /// Iterations between a straggler state change and the schedule that
+    /// accounts for it (mirrors `RunConfig::reaction_delay_iters`).
+    pub reaction_delay_iters: usize,
+    /// Client-side retry policy for server traffic.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            iterations: 50,
+            policy: Policy::Perseus,
+            reaction_delay_iters: 1,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a chaos run absorbed and produced.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Seed the fault plan was derived from.
+    pub seed: u64,
+    /// Iterations simulated.
+    pub iterations: usize,
+    /// Faults the plan scheduled.
+    pub faults_scheduled: u64,
+    /// Faults the harness actually fired (must equal `faults_scheduled`
+    /// after a completed run).
+    pub faults_injected: u64,
+    /// Faults the *server* absorbed (drops, delays, panics, caps, skews);
+    /// straggler spikes/recoveries are client-visible, not server faults.
+    pub server_faults_absorbed: u64,
+    /// Lookups the server answered from a stale frontier while degraded.
+    pub degraded_lookups: u64,
+    /// Straggler notifications the harness sent.
+    pub notifications_sent: u64,
+    /// Straggler notifications the server answered (post-retry).
+    pub notifications_answered: u64,
+    /// Client-side retries across all operations.
+    pub client_retries: u64,
+    /// Total cluster energy over the run, joules.
+    pub total_energy_j: f64,
+    /// Total wall-clock time of the run, seconds.
+    pub total_time_s: f64,
+    /// Shortest synchronized iteration time observed.
+    pub min_iter_time_s: f64,
+    /// The fault-free critical path: the all-max iteration time before
+    /// any fault fired. No iteration can be faster than this.
+    pub fault_free_critical_path_s: f64,
+}
+
+/// A [`FaultInjector`] fed from a script: each characterization task pops
+/// the next queued fault (fault-free when the queue is empty), so the
+/// sequence of server-side faults is exactly the plan's, independent of
+/// worker scheduling.
+#[derive(Default)]
+pub struct ScriptedInjector {
+    queue: Mutex<VecDeque<SubmissionFault>>,
+    injected: AtomicU64,
+}
+
+impl ScriptedInjector {
+    /// An injector with an empty script.
+    pub fn new() -> ScriptedInjector {
+        ScriptedInjector::default()
+    }
+
+    /// Queues `fault` for the next characterization task.
+    pub fn push(&self, fault: SubmissionFault) {
+        self.queue.lock().push_back(fault);
+    }
+
+    /// Non-`None` faults handed out so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultInjector for ScriptedInjector {
+    fn submission_fault(&self, _job: &str, _epoch: u64) -> SubmissionFault {
+        let fault = self
+            .queue
+            .lock()
+            .pop_front()
+            .unwrap_or(SubmissionFault::None);
+        if fault != SubmissionFault::None {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+}
+
+/// Builds the profile database a client would submit for this pipeline —
+/// the same model-grounded profiles the emulator plans from (cf.
+/// `PlanContext::from_model_profiles`).
+pub fn model_profiles(
+    pipe: &PipelineDag,
+    gpu: &GpuSpec,
+    stages: &[StageWorkloads],
+) -> ProfileDb<OpKey> {
+    let mut db = ProfileDb::new();
+    let n = pipe.n_stages;
+    for (vs, sw) in stages.iter().enumerate() {
+        let (stage, chunk) = (vs % n, vs / n);
+        db.insert(
+            OpKey {
+                stage,
+                chunk,
+                kind: CompKind::Forward,
+            },
+            OpProfile::from_model(gpu, &sw.fwd),
+        );
+        db.insert(
+            OpKey {
+                stage,
+                chunk,
+                kind: CompKind::Backward,
+            },
+            OpProfile::from_model(gpu, &sw.bwd),
+        );
+        db.insert(
+            OpKey {
+                stage,
+                chunk,
+                kind: CompKind::Recompute,
+            },
+            OpProfile::from_model(gpu, &sw.fwd),
+        );
+    }
+    db
+}
+
+/// Runs `cfg.iterations` iterations of `emu`'s cluster under the fault
+/// plan derived from `cfg.seed`, driving a live [`PerseusServer`]
+/// alongside the emulator's energy accounting.
+///
+/// Graceful-degradation contract exercised here:
+///
+/// * dropped/delayed/panicked submissions are retried by the
+///   [`JobClient`] and absorbed by the server (stale frontier answers are
+///   counted in `degraded_lookups`, never panics);
+/// * frequency caps re-clamp both the emulator's and the server's
+///   frontiers instead of invalidating them;
+/// * clock skew never fires pending straggler timers early into the past.
+///
+/// # Errors
+///
+/// Emulation failures, or server errors that survive the retry budget.
+pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, ChaosError> {
+    let config = emu.config().clone();
+    let plan = FaultPlan::from_seed(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu);
+
+    // Server side: one registered job driven through the retrying client.
+    let server = Arc::new(PerseusServer::new());
+    let injector = Arc::new(ScriptedInjector::new());
+    server.set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
+    server.register_job(JobSpec {
+        name: "chaos".into(),
+        pipe: emu.pipe().clone(),
+        gpu: config.gpu.clone(),
+    })?;
+    let client = JobClient::new(Arc::clone(&server), "chaos", cfg.retry);
+    let profiles = model_profiles(emu.pipe(), &config.gpu, emu.stages());
+    client.submit_profiles_with_retry(&profiles, &config.frontier)?;
+
+    // The fault-free floor, recorded before anything fires: no later
+    // schedule (slowed, capped, or degraded) can beat all-max.
+    let fault_free_critical_path_s = emu.plan_of(Policy::AllMax)?.select(None).time_s;
+    let baseline_t_min = emu.frontier().t_min();
+
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut faults_injected = 0u64;
+    let mut notifications_sent = 0u64;
+    let mut notifications_answered = 0u64;
+    let mut total_energy = 0.0;
+    let mut total_time = 0.0;
+    let mut min_iter_time = f64::INFINITY;
+    let mut next_event = 0;
+
+    for iter in 0..cfg.iterations {
+        while next_event < plan.events().len() && plan.events()[next_event].at_iteration <= iter {
+            let event = plan.events()[next_event];
+            next_event += 1;
+            faults_injected += 1;
+            match event.kind {
+                FaultKind::StragglerSpike { pipeline, cause } => {
+                    trace.push(TraceEvent {
+                        at_iteration: iter,
+                        pipeline,
+                        cause: Some(cause),
+                    });
+                    let degree = (emu.straggler_iteration_time(cause)? / baseline_t_min).max(1.0);
+                    notifications_sent += 1;
+                    client.notify_straggler_with_retry(pipeline, 0.0, degree)?;
+                    notifications_answered += 1;
+                }
+                FaultKind::StragglerRecover { pipeline } => {
+                    trace.push(TraceEvent {
+                        at_iteration: iter,
+                        pipeline,
+                        cause: None,
+                    });
+                    notifications_sent += 1;
+                    client.notify_straggler_with_retry(pipeline, 0.0, 1.0)?;
+                    notifications_answered += 1;
+                }
+                FaultKind::DropSubmission => {
+                    injector.push(SubmissionFault::Drop);
+                    client.submit_profiles_with_retry(&profiles, &config.frontier)?;
+                }
+                FaultKind::DelaySubmission { millis } => {
+                    injector.push(SubmissionFault::Delay(Duration::from_millis(millis)));
+                    client.submit_profiles_with_retry(&profiles, &config.frontier)?;
+                }
+                FaultKind::PanicWorker => {
+                    injector.push(SubmissionFault::Panic);
+                    client.submit_profiles_with_retry(&profiles, &config.frontier)?;
+                }
+                FaultKind::FreqCap { cap } => {
+                    emu.apply_freq_cap(cap)?;
+                    server.apply_freq_cap("chaos", cap)?;
+                }
+                FaultKind::ClockSkew { skew_s } => {
+                    server.skew_clock("chaos", skew_s)?;
+                }
+            }
+        }
+
+        let timeline = StragglerTimeline::new(&trace);
+        let actual = timeline.t_prime_at(emu, iter)?;
+        let believed = timeline.t_prime_at(emu, iter.saturating_sub(cfg.reaction_delay_iters))?;
+        let report = emu.report_with_belief(cfg.policy, believed, actual)?;
+        total_energy += report.total_j();
+        total_time += report.sync_time_s;
+        min_iter_time = min_iter_time.min(report.sync_time_s);
+    }
+
+    let stats = server.chaos_stats("chaos").unwrap_or_default();
+    Ok(ChaosReport {
+        seed: cfg.seed,
+        iterations: cfg.iterations,
+        faults_scheduled: plan.len() as u64,
+        faults_injected,
+        server_faults_absorbed: stats.faults_injected,
+        degraded_lookups: stats.degraded_lookups,
+        notifications_sent,
+        notifications_answered,
+        client_retries: client.retries(),
+        total_energy_j: total_energy,
+        total_time_s: total_time,
+        min_iter_time_s: if min_iter_time.is_finite() {
+            min_iter_time
+        } else {
+            0.0
+        },
+        fault_free_critical_path_s,
+    })
+}

@@ -1,0 +1,179 @@
+use perseus_cluster::{ClusterConfig, Emulator, Policy};
+use perseus_core::FrontierOptions;
+use perseus_gpu::GpuSpec;
+use perseus_models::zoo;
+use perseus_pipeline::ScheduleKind;
+use perseus_server::SubmissionFault;
+
+use crate::harness::ScriptedInjector;
+use crate::{run_chaos, ChaosConfig, FaultKind, FaultPlan};
+use perseus_server::FaultInjector;
+
+fn small_config() -> ClusterConfig {
+    ClusterConfig {
+        model: zoo::bert_base(8),
+        gpu: GpuSpec::a100_pcie(),
+        n_stages: 4,
+        n_microbatches: 6,
+        n_pipelines: 4,
+        tensor_parallel: 1,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions {
+            tau_s: Some(2e-3),
+            max_iters: 50_000,
+            stretch: true,
+        },
+    }
+}
+
+#[test]
+fn fault_plan_is_deterministic_and_seed_zero_is_empty() {
+    let gpu = GpuSpec::a100_pcie();
+    let a = FaultPlan::from_seed(99, 100, 4, &gpu);
+    let b = FaultPlan::from_seed(99, 100, 4, &gpu);
+    assert_eq!(a.events(), b.events());
+    assert!(!a.is_empty());
+    // Events are sorted and land within the run.
+    for pair in a.events().windows(2) {
+        assert!(pair[0].at_iteration <= pair[1].at_iteration);
+    }
+    assert!(a.events().iter().all(|e| e.at_iteration < 100));
+    assert!(FaultPlan::from_seed(0, 100, 4, &gpu).is_empty());
+    // Different seeds diverge (xoshiro makes collisions vanishingly rare).
+    let c = FaultPlan::from_seed(100, 100, 4, &gpu);
+    assert_ne!(a.events(), c.events());
+}
+
+#[test]
+fn scripted_injector_defaults_to_fault_free() {
+    let inj = ScriptedInjector::new();
+    assert_eq!(inj.submission_fault("job", 1), SubmissionFault::None);
+    inj.push(SubmissionFault::Drop);
+    inj.push(SubmissionFault::Panic);
+    assert_eq!(inj.submission_fault("job", 2), SubmissionFault::Drop);
+    assert_eq!(inj.submission_fault("job", 3), SubmissionFault::Panic);
+    assert_eq!(inj.submission_fault("job", 4), SubmissionFault::None);
+    assert_eq!(inj.injected(), 2);
+}
+
+/// Differential check over the whole planner registry: the cached,
+/// `T'`-independent [`PlanOutput`](perseus_core::PlanOutput) selected at a
+/// deadline must deploy exactly the schedule a fresh `plan()` would at
+/// that same deadline, across a 50-deadline sweep spanning below `T_min`
+/// to beyond `T*`.
+#[test]
+fn cached_select_matches_fresh_plan_across_deadline_sweep() {
+    let emu = Emulator::new(small_config()).unwrap();
+    let ctx = emu.ctx();
+    let (t_min, t_star) = (emu.frontier().t_min(), emu.frontier().t_star());
+    let planners: Vec<_> = emu.planners().iter().collect();
+    assert!(planners.len() >= 6, "default registry holds all policies");
+    for (name, planner) in planners {
+        let cached = emu.plan_of(Policy::custom(name)).unwrap();
+        let fresh = planner.plan(&ctx).unwrap();
+        for i in 0..50 {
+            let t = 0.8 * t_min + (1.5 * t_star - 0.8 * t_min) * (i as f64) / 49.0;
+            let a = cached.select(Some(t));
+            let b = fresh.select(Some(t));
+            assert_eq!(a.freqs, b.freqs, "{name} diverged at deadline {t}");
+            assert!(
+                (a.time_s - b.time_s).abs() < 1e-12 && (a.compute_j - b.compute_j).abs() < 1e-12,
+                "{name} re-planned differently at deadline {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seed_zero_run_matches_fault_free_emulation_exactly() {
+    let mut emu = Emulator::new(small_config()).unwrap();
+    let fault_free = emu.report_with_belief(Policy::Perseus, None, None).unwrap();
+    let cfg = ChaosConfig {
+        seed: 0,
+        iterations: 20,
+        ..Default::default()
+    };
+    let report = run_chaos(&mut emu, &cfg).unwrap();
+    assert_eq!(report.faults_scheduled, 0);
+    assert_eq!(report.faults_injected, 0);
+    assert_eq!(report.degraded_lookups, 0);
+    assert_eq!(report.client_retries, 0);
+    // Exact equality: seed 0 takes the identical code path per iteration
+    // (accumulate in the same order the harness does).
+    let (mut expect_e, mut expect_t) = (0.0, 0.0);
+    for _ in 0..20 {
+        expect_e += fault_free.total_j();
+        expect_t += fault_free.sync_time_s;
+    }
+    assert_eq!(report.total_energy_j, expect_e);
+    assert_eq!(report.total_time_s, expect_t);
+}
+
+#[test]
+fn nonzero_seed_survives_and_accounts_every_fault() {
+    let mut emu = Emulator::new(small_config()).unwrap();
+    let cfg = ChaosConfig {
+        seed: 1337,
+        iterations: 40,
+        ..Default::default()
+    };
+    let report = run_chaos(&mut emu, &cfg).unwrap();
+    assert!(report.faults_scheduled > 0);
+    assert_eq!(report.faults_injected, report.faults_scheduled);
+    assert_eq!(report.notifications_answered, report.notifications_sent);
+    // The server absorbed exactly the server-directed faults of the plan.
+    let server_kinds = FaultPlan::from_seed(1337, 40, 4, &GpuSpec::a100_pcie())
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                FaultKind::DropSubmission
+                    | FaultKind::DelaySubmission { .. }
+                    | FaultKind::PanicWorker
+                    | FaultKind::FreqCap { .. }
+                    | FaultKind::ClockSkew { .. }
+            )
+        })
+        .count() as u64;
+    assert_eq!(report.server_faults_absorbed, server_kinds);
+    assert!(report.total_energy_j.is_finite() && report.total_energy_j >= 0.0);
+    assert!(report.min_iter_time_s >= report.fault_free_critical_path_s - 1e-9);
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        // Under ANY seeded fault plan: the run completes (no panic
+        // escapes the server), energy stays finite and non-negative, and
+        // no iteration beats the fault-free critical path.
+        #[test]
+        fn chaos_runs_preserve_energy_and_time_invariants(
+            seed in 1usize..1_000_000,
+            iterations in 8usize..24,
+        ) {
+            let mut emu = Emulator::new(small_config()).unwrap();
+            let cfg = ChaosConfig {
+                seed: seed as u64,
+                iterations,
+                ..Default::default()
+            };
+            let report = run_chaos(&mut emu, &cfg).unwrap();
+            prop_assert_eq!(report.faults_injected, report.faults_scheduled);
+            prop_assert_eq!(report.notifications_answered, report.notifications_sent);
+            prop_assert!(report.total_energy_j.is_finite());
+            prop_assert!(report.total_energy_j >= 0.0);
+            prop_assert!(report.total_time_s.is_finite());
+            prop_assert!(
+                report.min_iter_time_s >= report.fault_free_critical_path_s - 1e-9,
+                "iteration time {} beat the fault-free critical path {}",
+                report.min_iter_time_s,
+                report.fault_free_critical_path_s
+            );
+        }
+    }
+}

@@ -232,6 +232,9 @@ pub struct Emulator {
     frontier: ParetoFrontier,
     planners: PlannerRegistry,
     plan_cache: Mutex<HashMap<&'static str, Arc<PlanOutput>>>,
+    /// Active datacenter frequency cap, if any; plans computed after the
+    /// cap landed are clamped to it so cached and fresh plans agree.
+    freq_cap: Option<FreqMHz>,
 }
 
 impl Emulator {
@@ -271,6 +274,7 @@ impl Emulator {
             frontier,
             planners,
             plan_cache,
+            freq_cap: None,
         })
     }
 
@@ -358,6 +362,60 @@ impl Emulator {
         })
     }
 
+    /// The policy's `T'`-independent plan, as [`Emulator::report`] uses
+    /// it: from the cache when present, planned through the registry
+    /// otherwise. Public so differential tests can compare the cached
+    /// artifact against a freshly planned one.
+    ///
+    /// # Errors
+    ///
+    /// [`EmulatorError::UnknownPolicy`] for unregistered names;
+    /// propagates planning failures.
+    pub fn plan_of(&self, policy: Policy) -> Result<Arc<PlanOutput>, EmulatorError> {
+        let ctx = self.ctx();
+        self.policy_plan(&ctx, policy)
+    }
+
+    /// A datacenter frequency cap landed on the cluster (§2.3): frontier
+    /// points assigning clocks above `cap` are no longer realizable.
+    /// Every cached plan — including the characterized Perseus frontier —
+    /// is re-clamped via [`PlanOutput::clamp_freq_cap`] instead of
+    /// panicking at deploy time, and the cap is remembered so plans
+    /// computed lazily afterwards are clamped the same way. Clamping is
+    /// monotone, so repeated caps converge: only the lowest cap matters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-realization failures.
+    pub fn apply_freq_cap(&mut self, cap: FreqMHz) -> Result<(), EmulatorError> {
+        let cap = self.config.gpu.clamp_freq(cap);
+        if self.freq_cap.is_some_and(|old| old <= cap) {
+            return Ok(());
+        }
+        let clamped_frontier;
+        let mut clamped_cache = HashMap::new();
+        {
+            let ctx = self.ctx();
+            clamped_frontier = self.frontier.clamp_to_freq_cap(&ctx, cap)?;
+            for (name, plan) in self.plan_cache.lock().iter() {
+                clamped_cache.insert(*name, Arc::new(plan.clamp_freq_cap(&ctx, cap)?));
+            }
+        }
+        clamped_cache.insert(
+            Policy::Perseus.name(),
+            Arc::new(PlanOutput::Frontier(clamped_frontier.clone())),
+        );
+        self.frontier = clamped_frontier;
+        *self.plan_cache.lock() = clamped_cache;
+        self.freq_cap = Some(cap);
+        Ok(())
+    }
+
+    /// The active datacenter frequency cap, if one was applied.
+    pub fn freq_cap(&self) -> Option<FreqMHz> {
+        self.freq_cap
+    }
+
     /// The policy's `T'`-independent plan, computed through the registry
     /// on first use and cached for the emulator's lifetime (the pipeline
     /// and profiles never change after construction).
@@ -373,7 +431,13 @@ impl Emulator {
             .planners
             .get(policy.name())
             .ok_or_else(|| EmulatorError::UnknownPolicy(policy.name().to_string()))?;
-        let out = Arc::new(planner.plan(ctx)?);
+        let mut plan = planner.plan(ctx)?;
+        // Plans computed after a cap landed live under that cap too, so
+        // cached and lazily planned policies stay consistent.
+        if let Some(cap) = self.freq_cap {
+            plan = plan.clamp_freq_cap(ctx, cap)?;
+        }
+        let out = Arc::new(plan);
         self.plan_cache
             .lock()
             .insert(policy.name(), Arc::clone(&out));

@@ -48,7 +48,8 @@ pub use emulator::{
 };
 pub use registry::PlannerRegistry;
 pub use run::{
-    simulate_run, thermal_cycle_trace, IterationRecord, RunConfig, RunSummary, TraceEvent,
+    simulate_run, thermal_cycle_trace, IterationRecord, RunConfig, RunSummary, StragglerTimeline,
+    TraceEvent,
 };
 pub use scaling::{strong_scaling_table5, ScalingConfig};
 

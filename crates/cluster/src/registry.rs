@@ -51,6 +51,18 @@ impl PlannerRegistry {
         self.planners.get(name).map(Arc::clone)
     }
 
+    /// Iterates over `(name, planner)` pairs in sorted-name order, so
+    /// sweeps over every registered planner are deterministic.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Arc<dyn Planner>)> + '_ {
+        let mut entries: Vec<(&'static str, Arc<dyn Planner>)> = self
+            .planners
+            .iter()
+            .map(|(n, p)| (*n, Arc::clone(p)))
+            .collect();
+        entries.sort_unstable_by_key(|(n, _)| *n);
+        entries.into_iter()
+    }
+
     /// Registered planner names, sorted.
     pub fn names(&self) -> Vec<&'static str> {
         let mut names: Vec<&'static str> = self.planners.keys().copied().collect();

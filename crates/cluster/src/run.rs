@@ -68,6 +68,58 @@ impl RunSummary {
     }
 }
 
+/// The straggler state a trace implies at any iteration: which pipelines
+/// are slow, from what cause, and the worst effective `T'`. Extracted
+/// from [`simulate_run`] so fault-injection harnesses replaying their own
+/// event streams reuse the same replay semantics (events may arrive in
+/// any order; later events for the same pipeline override earlier ones).
+#[derive(Debug, Clone)]
+pub struct StragglerTimeline {
+    events: Vec<TraceEvent>,
+}
+
+impl StragglerTimeline {
+    /// Builds a timeline from trace events (sorted internally; the sort
+    /// is stable, so same-iteration events keep their submission order).
+    pub fn new(trace: &[TraceEvent]) -> StragglerTimeline {
+        let mut events = trace.to_vec();
+        events.sort_by_key(|e| e.at_iteration);
+        StragglerTimeline { events }
+    }
+
+    /// Straggler state per pipeline in effect at iteration `iter`.
+    pub fn state_at(&self, iter: usize) -> Vec<(usize, StragglerCause)> {
+        let mut active: std::collections::HashMap<usize, StragglerCause> =
+            std::collections::HashMap::new();
+        for e in self.events.iter().take_while(|e| e.at_iteration <= iter) {
+            match e.cause {
+                Some(c) => {
+                    active.insert(e.pipeline, c);
+                }
+                None => {
+                    active.remove(&e.pipeline);
+                }
+            }
+        }
+        active.into_iter().collect()
+    }
+
+    /// The effective straggler iteration time at `iter`: the worst `T'`
+    /// over every active cause, or `None` with no straggler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation failures (e.g. invalid straggler degrees).
+    pub fn t_prime_at(&self, emu: &Emulator, iter: usize) -> Result<Option<f64>, EmulatorError> {
+        let mut worst: Option<f64> = None;
+        for (_, cause) in self.state_at(iter) {
+            let t = emu.straggler_iteration_time(cause)?;
+            worst = Some(worst.map_or(t, |w: f64| w.max(t)));
+        }
+        Ok(worst)
+    }
+}
+
 /// Simulates `cfg.iterations` synchronized iterations of `emu`'s cluster
 /// under `policy`, replaying `trace` (events may arrive in any order;
 /// later events for the same pipeline override earlier ones).
@@ -85,41 +137,13 @@ pub fn simulate_run(
     trace: &[TraceEvent],
     cfg: &RunConfig,
 ) -> Result<RunSummary, EmulatorError> {
-    let mut events: Vec<TraceEvent> = trace.to_vec();
-    events.sort_by_key(|e| e.at_iteration);
-
-    // Straggler state per pipeline at iteration i, and the (delayed) state
-    // the deployed schedule believes in.
-    let state_at = |iter: usize| -> Vec<(usize, StragglerCause)> {
-        let mut active: std::collections::HashMap<usize, StragglerCause> =
-            std::collections::HashMap::new();
-        for e in events.iter().take_while(|e| e.at_iteration <= iter) {
-            match e.cause {
-                Some(c) => {
-                    active.insert(e.pipeline, c);
-                }
-                None => {
-                    active.remove(&e.pipeline);
-                }
-            }
-        }
-        active.into_iter().collect()
-    };
-    let t_prime_of = |state: &[(usize, StragglerCause)]| -> Result<Option<f64>, EmulatorError> {
-        let mut worst: Option<f64> = None;
-        for &(_, cause) in state {
-            let t = emu.straggler_iteration_time(cause)?;
-            worst = Some(worst.map_or(t, |w: f64| w.max(t)));
-        }
-        Ok(worst)
-    };
-
+    let timeline = StragglerTimeline::new(trace);
     let mut per_iteration = Vec::with_capacity(cfg.iterations);
     let mut total_energy = 0.0;
     let mut total_time = 0.0;
     for iter in 0..cfg.iterations {
-        let actual = t_prime_of(&state_at(iter))?;
-        let believed = t_prime_of(&state_at(iter.saturating_sub(cfg.reaction_delay_iters)))?;
+        let actual = timeline.t_prime_at(emu, iter)?;
+        let believed = timeline.t_prime_at(emu, iter.saturating_sub(cfg.reaction_delay_iters))?;
         let report = emu.report_with_belief(policy, believed, actual)?;
         total_energy += report.total_j();
         total_time += report.sync_time_s;

@@ -39,6 +39,23 @@ impl EnergySchedule {
     /// [`CoreError::MissingProfile`] never occurs if `ctx` built the same
     /// DAG; kept as `Result` for forward compatibility.
     pub fn realize(ctx: &PlanContext<'_>, planned: Vec<f64>) -> Result<EnergySchedule, CoreError> {
+        EnergySchedule::realize_with_cap(ctx, planned, None)
+    }
+
+    /// Like [`EnergySchedule::realize`], but every assigned frequency is
+    /// limited to `cap` when one is given (datacenter power/thermal
+    /// capping, §2.3). Computations whose planned duration is
+    /// unreachable under the cap run at the fastest capped frequency
+    /// instead of panicking — the schedule degrades, it does not die.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnergySchedule::realize`].
+    pub fn realize_with_cap(
+        ctx: &PlanContext<'_>,
+        planned: Vec<f64>,
+        cap: Option<FreqMHz>,
+    ) -> Result<EnergySchedule, CoreError> {
         let n = ctx.pipe.dag.node_count();
         let mut freqs = vec![None; n];
         let mut realized_dur = vec![0.0f64; n];
@@ -49,9 +66,14 @@ impl EnergySchedule {
                     let info = ctx.info(id).expect("comp node has plan info");
                     let profile = ctx.profile_of(id).expect("comp node has profile");
                     let deadline = planned[id.index()].clamp(info.t_min, info.t_max);
-                    let entry = profile
-                        .slowest_within(deadline)
-                        .expect("clamped deadline is always satisfiable");
+                    let entry = match cap {
+                        Some(cap) => profile
+                            .best_under_cap(deadline, cap)
+                            .unwrap_or_else(|| profile.slowest_entry()),
+                        None => profile
+                            .slowest_within(deadline)
+                            .expect("clamped deadline is always satisfiable"),
+                    };
                     freqs[id.index()] = Some(entry.freq);
                     realized_dur[id.index()] = entry.time_s;
                     realized_energy[id.index()] = entry.energy_j;
@@ -196,6 +218,55 @@ impl ParetoFrontier {
         self.points
             .partition_point(|p| p.planned_time_s <= t_opt + 1e-12)
             .saturating_sub(1)
+    }
+
+    /// Re-clamps the frontier to a GPU frequency cap (§2.3 datacenter
+    /// power/thermal capping): every point is re-realized with its
+    /// frequencies limited to `cap`, then points that collapsed onto a
+    /// slower-or-costlier neighbour are dropped so the result is again a
+    /// valid frontier (strictly ascending times, strictly descending
+    /// energies). A cap makes points *invalid*, never the frontier —
+    /// lookups keep working against the clamped curve instead of
+    /// deploying frequencies the silicon will silently throttle.
+    ///
+    /// Clamping is monotone: re-clamping to the same or a higher cap is a
+    /// no-op, since no assigned frequency exceeds the earlier cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates realization failures from the profile database.
+    pub fn clamp_to_freq_cap(
+        &self,
+        ctx: &PlanContext<'_>,
+        cap: FreqMHz,
+    ) -> Result<ParetoFrontier, CoreError> {
+        let mut points: Vec<FrontierPoint> = Vec::with_capacity(self.points.len());
+        let mut best_energy = f64::INFINITY;
+        for p in &self.points {
+            let schedule =
+                EnergySchedule::realize_with_cap(ctx, p.schedule.planned.clone(), Some(cap))?;
+            // The capped realization can only be slower than the plan
+            // asked for; keep planned time consistent with what actually
+            // runs so lookups stay truthful.
+            let planned_time_s = p.planned_time_s.max(schedule.time_s);
+            let planned_energy_j = schedule.compute_j;
+            let ascends = match points.last() {
+                Some(prev) => planned_time_s > prev.planned_time_s + 1e-12,
+                None => true,
+            };
+            if ascends && planned_energy_j < best_energy {
+                best_energy = planned_energy_j;
+                points.push(FrontierPoint {
+                    planned_time_s,
+                    planned_energy_j,
+                    schedule,
+                });
+            }
+        }
+        // The first point always survives the filter, so a non-empty
+        // frontier re-clamps to a non-empty frontier — worst case a cap
+        // below the whole frequency range collapses it to one point.
+        Ok(ParetoFrontier { points })
     }
 }
 

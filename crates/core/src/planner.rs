@@ -14,6 +14,8 @@
 //! [`PlanOutput`] cacheable — plan once per (pipeline, profiles), select
 //! per straggler event.
 
+use perseus_gpu::FreqMHz;
+
 use crate::context::{CoreError, PlanContext};
 use crate::frontier::{characterize, EnergySchedule, FrontierOptions, ParetoFrontier};
 
@@ -135,6 +137,37 @@ impl PlanOutput {
             PlanOutput::Sweep { schedules, .. } => Some(schedules),
             _ => None,
         }
+    }
+
+    /// Re-clamps this output to a GPU frequency cap (§2.3 power/thermal
+    /// capping) without re-planning: each schedule is re-realized with
+    /// frequencies limited to `cap`, and a frontier is re-clamped via
+    /// [`ParetoFrontier::clamp_to_freq_cap`]. Selection semantics are
+    /// unchanged — the cap shifts what each choice *realizes*, not how
+    /// choices are made — so cached outputs stay cacheable under caps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates realization failures from the profile database.
+    pub fn clamp_freq_cap(
+        &self,
+        ctx: &PlanContext<'_>,
+        cap: FreqMHz,
+    ) -> Result<PlanOutput, CoreError> {
+        let recap = |s: &EnergySchedule| {
+            EnergySchedule::realize_with_cap(ctx, s.planned.clone(), Some(cap))
+        };
+        Ok(match self {
+            PlanOutput::Schedule(s) => PlanOutput::Schedule(recap(s)?),
+            PlanOutput::Frontier(f) => PlanOutput::Frontier(f.clamp_to_freq_cap(ctx, cap)?),
+            PlanOutput::Sweep {
+                schedules,
+                no_straggler_deadline_s,
+            } => PlanOutput::Sweep {
+                schedules: schedules.iter().map(recap).collect::<Result<_, _>>()?,
+                no_straggler_deadline_s: *no_straggler_deadline_s,
+            },
+        })
     }
 }
 

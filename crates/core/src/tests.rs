@@ -401,6 +401,43 @@ mod prop {
                 }
             }
         }
+
+        // Explicit lower-edge clamp: a deadline strictly below the fastest
+        // point (including absurd negatives a skewed clock could produce)
+        // is infeasible — lookup answers the fastest point, never panics.
+        #[test]
+        fn lookup_clamps_deadlines_below_the_fastest_point(
+            t_min in 0.2f64..5.0,
+            gaps in proptest::collection::vec(1e-3f64..0.5, 1..40),
+            below in 1e-6f64..10.0,
+        ) {
+            let frontier = synthetic_frontier(t_min, &gaps);
+            let chosen = frontier.lookup(t_min - below);
+            prop_assert_eq!(chosen.planned_time_s, frontier.t_min());
+            prop_assert_eq!(
+                frontier.lookup(-below).planned_time_s,
+                frontier.t_min()
+            );
+        }
+
+        // Explicit upper-edge clamp: a deadline beyond the slowest point
+        // (a catastrophic straggler, `T' = ∞` included) saturates at `T*`
+        // — running slower than the min-energy point never saves energy.
+        #[test]
+        fn lookup_clamps_deadlines_above_the_slowest_point(
+            t_min in 0.2f64..5.0,
+            gaps in proptest::collection::vec(1e-3f64..0.5, 1..40),
+            above in 1e-6f64..100.0,
+        ) {
+            let frontier = synthetic_frontier(t_min, &gaps);
+            let t_star = frontier.t_star();
+            let chosen = frontier.lookup(t_star + above);
+            prop_assert_eq!(chosen.planned_time_s, t_star);
+            prop_assert_eq!(
+                frontier.lookup(f64::INFINITY).planned_time_s,
+                t_star
+            );
+        }
     }
 
     /// Strictly ascending synthetic frontier from a base time and positive

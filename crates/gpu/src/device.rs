@@ -180,6 +180,15 @@ impl SimGpu {
         self.energy_j += self.spec.blocking_w * dur_s;
     }
 
+    /// Skews the device's simulated wall clock by `skew_s` seconds
+    /// (negative = backwards), clamping at zero. Fault injection for
+    /// chaos testing: emulated timestamps drift the way mis-synchronized
+    /// host clocks do, while the energy counter — a hardware accumulator,
+    /// immune to host clock trouble — stays untouched.
+    pub fn apply_clock_skew(&mut self, skew_s: f64) {
+        self.clock_s = (self.clock_s + skew_s).max(0.0);
+    }
+
     /// Resets clock and energy counter (not the locked frequency).
     pub fn reset_counters(&mut self) {
         self.clock_s = 0.0;

@@ -293,3 +293,17 @@ fn min_energy_frequency_is_realistic() {
         "A100 f_opt/f_max = {f_opt:.2}"
     );
 }
+
+#[test]
+fn clock_skew_shifts_time_and_floors_at_zero() {
+    let mut gpu = SimGpu::new(GpuSpec::a100_pcie());
+    gpu.run(&sample_workload());
+    let t = gpu.clock_s();
+    assert!(t > 0.0);
+    gpu.apply_clock_skew(2.5);
+    assert!((gpu.clock_s() - (t + 2.5)).abs() < 1e-12);
+    // A backwards skew larger than the clock itself floors at zero — the
+    // emulated NTP step never produces negative timestamps.
+    gpu.apply_clock_skew(-1e9);
+    assert_eq!(gpu.clock_s(), 0.0);
+}

@@ -177,6 +177,48 @@ impl OpProfile {
     pub fn entry_at(&self, freq: FreqMHz) -> Option<ProfileEntry> {
         self.entries.iter().find(|e| e.freq == freq).copied()
     }
+
+    /// §4.3 conversion under a frequency cap (datacenter power/thermal
+    /// capping, §2.3): the slowest measurement with `freq <= cap` whose
+    /// latency is at most `deadline`; if even the fastest capped
+    /// measurement misses the deadline, that fastest capped measurement —
+    /// the best the throttled silicon can do. Returns `None` only when no
+    /// measurement at or below the cap exists (the sweep never visited a
+    /// frequency that low); callers then fall back to the slowest
+    /// measured entry.
+    pub fn best_under_cap(&self, deadline: f64, cap: FreqMHz) -> Option<ProfileEntry> {
+        // Pareto points ascend in time (descend in frequency), so the
+        // first capped entry is the fastest allowed and later capped
+        // entries are progressively slower.
+        let mut fastest_capped = None;
+        let mut chosen = None;
+        for p in &self.pareto {
+            if p.freq > cap {
+                continue;
+            }
+            if fastest_capped.is_none() {
+                fastest_capped = Some(*p);
+            }
+            if p.time_s <= deadline + 1e-12 {
+                chosen = Some(*p);
+            } else {
+                break;
+            }
+        }
+        // A cap below the min-energy frequency has no Pareto entry (those
+        // points are dominated) but is still physically real: the raw
+        // sweep is descending in frequency, so the first raw entry at or
+        // below the cap is the capped silicon's actual operating point.
+        chosen
+            .or(fastest_capped)
+            .or_else(|| self.entries.iter().find(|e| e.freq <= cap).copied())
+    }
+
+    /// The slowest measurement overall (lowest visited frequency) — the
+    /// terminal fallback when a cap sits below every visited frequency.
+    pub fn slowest_entry(&self) -> ProfileEntry {
+        *self.pareto.last().expect("non-empty profile")
+    }
 }
 
 /// The §5 online profiling protocol: sweep frequencies from highest to

@@ -1,17 +1,22 @@
 //! The Perseus client: per-accelerator profiling and asynchronous
 //! frequency control (§5, Table 2 — `profiler.begin/end`,
-//! `controller.set_speed`).
+//! `controller.set_speed`), plus the job-level client that talks to the
+//! server with retry, backoff, and timeouts.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
-use perseus_core::EnergySchedule;
+use perseus_core::{EnergySchedule, FrontierOptions};
 use perseus_gpu::{FreqMHz, SimGpu, Workload};
-use perseus_pipeline::{CompKind, PipelineDag};
-use perseus_profiler::{OnlineProfiler, OpProfile};
+use perseus_pipeline::{CompKind, OpKey, PipelineDag};
+use perseus_profiler::{OnlineProfiler, OpProfile, ProfileDb};
+
+use crate::server::{Deployment, PerseusServer, ServerError};
 
 enum Cmd {
     Set(FreqMHz),
@@ -73,6 +78,150 @@ impl Drop for AsyncFrequencyController {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// How a [`JobClient`] rides out server-side trouble: per-call timeout,
+/// retry budget, and exponential backoff between attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per operation, including the first (at least 1).
+    pub max_attempts: u32,
+    /// Wait before the first retry; doubles after every failed attempt.
+    pub base_backoff: Duration,
+    /// How long one submission attempt may stay unanswered before the
+    /// client gives up on it and resubmits (epoch supersession on the
+    /// server makes resubmitting always safe).
+    pub timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The job-level client: the piece of the training framework that talks
+/// to the planning server about one job, hardened against the faults a
+/// production control plane actually sees — lost submissions, panicked
+/// characterization workers, slow responses. Every operation retries
+/// with exponential backoff up to the policy's budget; transient errors
+/// ([`ServerError::SubmissionLost`],
+/// [`ServerError::CharacterizationPanicked`], timeouts, and
+/// `NotCharacterized` races on straggler notifications) are retried,
+/// everything else surfaces immediately.
+pub struct JobClient {
+    server: Arc<PerseusServer>,
+    job: String,
+    policy: RetryPolicy,
+    retries: AtomicU64,
+}
+
+impl JobClient {
+    /// A client for `job` on `server` with the given retry policy.
+    pub fn new(
+        server: Arc<PerseusServer>,
+        job: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> JobClient {
+        JobClient {
+            server,
+            job: job.into(),
+            policy,
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// The job this client manages.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+
+    /// Retries performed so far across all operations (observability).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn backoff(&self, attempt: u32) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        // Exponential: base × 2^attempt, capped so chaos tests stay fast.
+        let exp = attempt.min(8);
+        std::thread::sleep(self.policy.base_backoff.saturating_mul(1 << exp));
+    }
+
+    /// Submits profiles and waits for the resulting deployment, retrying
+    /// lost/panicked/slow submissions. If a concurrent submission
+    /// supersedes ours, the winning deployment is returned — the job is
+    /// characterized either way, which is all the caller needs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::RetriesExhausted`] once the budget is spent;
+    /// non-transient server errors immediately.
+    pub fn submit_profiles_with_retry(
+        &self,
+        profiles: &ProfileDb<OpKey>,
+        opts: &FrontierOptions,
+    ) -> Result<Deployment, ServerError> {
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            let ticket = self
+                .server
+                .submit_profiles(&self.job, profiles.clone(), opts)?;
+            match ticket.wait_timeout(self.policy.timeout) {
+                Some(Ok(d)) => return Ok(d),
+                Some(Err(ServerError::Superseded(_))) => {
+                    return self.server.current_deployment(&self.job)
+                }
+                Some(Err(
+                    ServerError::SubmissionLost(_) | ServerError::CharacterizationPanicked(_),
+                )) => continue,
+                Some(Err(e)) => return Err(e),
+                // Timeout: the slow attempt may still land later; the
+                // resubmission's higher epoch wins if both finish.
+                None => continue,
+            }
+        }
+        Err(ServerError::RetriesExhausted(self.job.clone()))
+    }
+
+    /// Notifies the server of a straggler (Table 2
+    /// `server.set_straggler`), retrying transient failures so every
+    /// notification is eventually answered even while the job is being
+    /// (re-)characterized.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::RetriesExhausted`] once the budget is spent;
+    /// non-transient errors (e.g. `InvalidDegree`) immediately.
+    pub fn notify_straggler_with_retry(
+        &self,
+        gpu_id: usize,
+        delay_s: f64,
+        degree: f64,
+    ) -> Result<Option<Deployment>, ServerError> {
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            match self
+                .server
+                .set_straggler(&self.job, gpu_id, delay_s, degree)
+            {
+                Ok(d) => return Ok(d),
+                // Not characterized *yet*: an initial characterization may
+                // still be in flight on the worker pool.
+                Err(ServerError::NotCharacterized(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ServerError::RetriesExhausted(self.job.clone()))
     }
 }
 

@@ -20,8 +20,11 @@
 mod client;
 mod server;
 
-pub use client::{AsyncFrequencyController, ClientSession};
-pub use server::{CharacterizeTicket, Deployment, JobSpec, PerseusServer, ServerError};
+pub use client::{AsyncFrequencyController, ClientSession, JobClient, RetryPolicy};
+pub use server::{
+    ChaosStats, CharacterizeTicket, Deployment, FaultInjector, JobSpec, PerseusServer, ServerError,
+    SubmissionFault,
+};
 
 #[cfg(test)]
 mod tests;

@@ -19,15 +19,17 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::RwLock;
 use perseus_core::{
     CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
 };
-use perseus_gpu::GpuSpec;
+use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
 
@@ -62,6 +64,14 @@ pub enum ServerError {
     Superseded(String),
     /// The server shut down before the characterization finished.
     Shutdown(String),
+    /// The submission was lost in flight (injected fault or transport
+    /// drop); the client should retry.
+    SubmissionLost(String),
+    /// The characterization worker panicked; the job keeps serving its
+    /// last deployed frontier and the client should resubmit.
+    CharacterizationPanicked(String),
+    /// A client gave up after exhausting its retry budget.
+    RetriesExhausted(String),
 }
 
 impl fmt::Display for ServerError {
@@ -80,6 +90,18 @@ impl fmt::Display for ServerError {
             }
             ServerError::Shutdown(n) => {
                 write!(f, "server shut down before characterizing job {n:?}")
+            }
+            ServerError::SubmissionLost(n) => {
+                write!(f, "profile submission for job {n:?} was lost in flight")
+            }
+            ServerError::CharacterizationPanicked(n) => {
+                write!(f, "characterization worker for job {n:?} panicked")
+            }
+            ServerError::RetriesExhausted(n) => {
+                write!(
+                    f,
+                    "retry budget exhausted talking to the server about job {n:?}"
+                )
             }
         }
     }
@@ -105,6 +127,34 @@ pub struct Deployment {
     pub planned_time_s: f64,
     /// The deployed schedule.
     pub schedule: EnergySchedule,
+}
+
+/// A fault to apply to one profile submission, decided by a
+/// [`FaultInjector`] as the characterization task starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmissionFault {
+    /// No fault: characterize and deploy normally.
+    None,
+    /// The submission is lost: the ticket resolves to
+    /// [`ServerError::SubmissionLost`] and nothing is characterized.
+    Drop,
+    /// The characterization stalls for this long (real time) before
+    /// running; clients with shorter timeouts will retry, and epoch
+    /// supersession discards whichever copy loses the race.
+    Delay(Duration),
+    /// The characterization worker panics mid-task. The panic is
+    /// contained: the worker survives, the job keeps its last frontier,
+    /// and the ticket resolves to
+    /// [`ServerError::CharacterizationPanicked`].
+    Panic,
+}
+
+/// Decides which faults hit the server's internals. Implemented by the
+/// chaos layer; production servers have none installed and take the
+/// fault-free path unconditionally.
+pub trait FaultInjector: Send + Sync {
+    /// Consulted once per characterization task, before it runs.
+    fn submission_fault(&self, job: &str, epoch: u64) -> SubmissionFault;
 }
 
 /// Handle for an in-flight characterization; redeemable for the
@@ -139,6 +189,28 @@ impl CharacterizeTicket {
         self.rx.try_recv().ok()
     }
 
+    /// Blocks until the characterization finishes or `timeout` elapses.
+    /// `None` means the timeout hit — the submission may still land
+    /// later; resubmitting is safe because newer epochs supersede older
+    /// ones.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Deployment, ServerError>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.rx.try_recv() {
+                Ok(result) => return Some(result),
+                Err(TryRecvError::Disconnected) => {
+                    return Some(Err(ServerError::Shutdown(self.job.clone())))
+                }
+                Err(TryRecvError::Empty) => {
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        }
+    }
+
     /// The job this ticket belongs to.
     pub fn job(&self) -> &str {
         &self.job
@@ -152,11 +224,32 @@ struct PendingStraggler {
     degree: f64,
 }
 
+/// Degradation and fault counters for one job, surfaced next to the
+/// solver's `runs`/`artifact_reuses` stats. A production dashboard would
+/// alert on `degraded_lookups` climbing: it means clients are being
+/// answered from a frontier older than their latest profile submission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frontier lookups served while the job was degraded (last
+    /// characterization lost or panicked; answers come from the previous
+    /// deployed frontier).
+    pub degraded_lookups: u64,
+    /// Faults the server absorbed for this job: lost/delayed/panicked
+    /// submissions, frequency caps, clock skews.
+    pub faults_injected: u64,
+}
+
 /// Mutable per-job state, guarded by the job's `RwLock`.
 struct JobMut {
     frontier: Option<Arc<ParetoFrontier>>,
     /// Epoch of the submission that produced `frontier` (0 = none yet).
     characterized_epoch: u64,
+    /// Profiles behind `frontier`, kept for cap-induced re-clamps.
+    profiles: Option<ProfileDb<OpKey>>,
+    /// The last characterization attempt died (lost or panicked);
+    /// lookups fall back to the previous frontier until a fresh
+    /// submission deploys.
+    degraded: bool,
     /// Active straggler degree per accelerator id.
     stragglers: HashMap<usize, f64>,
     pending: Vec<PendingStraggler>,
@@ -176,6 +269,10 @@ struct Job {
     /// Monotonic submission counter; newer submissions supersede older
     /// ones even if they finish out of order.
     next_epoch: AtomicU64,
+    /// Lookups answered while degraded (see [`ChaosStats`]).
+    degraded_lookups: AtomicU64,
+    /// Faults absorbed for this job (see [`ChaosStats`]).
+    faults_injected: AtomicU64,
     state: RwLock<JobMut>,
 }
 
@@ -192,8 +289,14 @@ impl Job {
     }
 
     /// Issues a new deployment from the cached frontier. Caller holds the
-    /// state write lock; the frontier must be present.
-    fn deploy_locked(state: &mut JobMut) -> Deployment {
+    /// state write lock; the frontier must be present. A lookup served
+    /// while the job is degraded (last characterization died) is counted —
+    /// the answer is correct for the *previous* profiles, which is the
+    /// graceful-degradation contract.
+    fn deploy_locked(&self, state: &mut JobMut) -> Deployment {
+        if state.degraded {
+            self.degraded_lookups.fetch_add(1, Ordering::Relaxed);
+        }
         let t_prime = Self::effective_t_prime(state);
         let frontier = state.frontier.as_ref().expect("characterized");
         let point = frontier.lookup(t_prime);
@@ -206,6 +309,32 @@ impl Job {
         };
         state.deployed = Some(deployment.clone());
         deployment
+    }
+
+    /// Fires every pending straggler notification due at the current
+    /// clock. Caller holds the state write lock.
+    fn fire_due_locked(&self, state: &mut JobMut) -> Vec<Deployment> {
+        let now = state.clock_s;
+        let mut due: Vec<PendingStraggler> = state
+            .pending
+            .iter()
+            .copied()
+            .filter(|p| p.fire_at <= now)
+            .collect();
+        state.pending.retain(|p| p.fire_at > now);
+        due.sort_by(|a, b| a.fire_at.total_cmp(&b.fire_at));
+        let mut deployments = Vec::new();
+        for p in due {
+            if p.degree > 1.0 {
+                state.stragglers.insert(p.gpu_id, p.degree);
+            } else {
+                state.stragglers.remove(&p.gpu_id);
+            }
+            if state.frontier.is_some() {
+                deployments.push(self.deploy_locked(state));
+            }
+        }
+        deployments
     }
 }
 
@@ -264,6 +393,8 @@ impl Drop for WorkerPool {
 pub struct PerseusServer {
     jobs: RwLock<HashMap<String, Arc<Job>>>,
     pool: WorkerPool,
+    /// Installed by the chaos layer; `None` in production.
+    injector: RwLock<Option<Arc<dyn FaultInjector>>>,
 }
 
 impl Default for PerseusServer {
@@ -288,7 +419,15 @@ impl PerseusServer {
         PerseusServer {
             jobs: RwLock::new(HashMap::new()),
             pool: WorkerPool::new(n_workers),
+            injector: RwLock::new(None),
         }
+    }
+
+    /// Installs (or, with `None`, removes) the fault injector consulted
+    /// by characterization tasks. Chaos-testing hook; production servers
+    /// never call this.
+    pub fn set_fault_injector(&self, injector: Option<Arc<dyn FaultInjector>>) {
+        *self.injector.write() = injector;
     }
 
     /// Registers a job (§3.2 step ⓪) and builds its reusable
@@ -305,9 +444,13 @@ impl PerseusServer {
             gpu: spec.gpu,
             solver,
             next_epoch: AtomicU64::new(0),
+            degraded_lookups: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             state: RwLock::new(JobMut {
                 frontier: None,
                 characterized_epoch: 0,
+                profiles: None,
+                degraded: false,
                 stragglers: HashMap::new(),
                 pending: Vec::new(),
                 clock_s: 0.0,
@@ -358,9 +501,14 @@ impl PerseusServer {
         // "nothing deployed yet", so every first submission wins.
         let epoch = job.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let opts = opts.clone();
+        let fault = self
+            .injector
+            .read()
+            .as_ref()
+            .map_or(SubmissionFault::None, |i| i.submission_fault(name, epoch));
         let (tx, rx) = unbounded();
         self.pool.submit(Box::new(move || {
-            let result = Self::characterize_task(&job, epoch, profiles, &opts);
+            let result = Self::characterize_task(&job, epoch, profiles, &opts, fault);
             let _ = tx.send(result); // receiver may have dropped the ticket
         }));
         Ok(CharacterizeTicket {
@@ -370,18 +518,56 @@ impl PerseusServer {
     }
 
     /// Runs on a worker thread: characterize against the job's cached
-    /// solver artifacts, then swap + deploy under the write lock.
+    /// solver artifacts, then swap + deploy under the write lock. Panics
+    /// — injected or genuine — are contained here so a dying
+    /// characterization never takes a worker (or the job) with it; the
+    /// job keeps serving its last deployed frontier, marked degraded.
     fn characterize_task(
         job: &Job,
         epoch: u64,
         profiles: ProfileDb<OpKey>,
         opts: &FrontierOptions,
+        fault: SubmissionFault,
     ) -> Result<Deployment, ServerError> {
+        match fault {
+            SubmissionFault::None => {}
+            SubmissionFault::Drop => {
+                job.faults_injected.fetch_add(1, Ordering::Relaxed);
+                let mut state = job.state.write();
+                if state.frontier.is_some() {
+                    state.degraded = true;
+                }
+                return Err(ServerError::SubmissionLost(job.name.clone()));
+            }
+            SubmissionFault::Delay(d) => {
+                job.faults_injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+            }
+            SubmissionFault::Panic => {
+                job.faults_injected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         // The expensive part runs without holding any job lock: straggler
         // notifications keep being served from the previous frontier.
-        let frontier = {
-            let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
-            job.solver.characterize(&ctx, opts)?
+        let characterized = catch_unwind(AssertUnwindSafe(|| {
+            if fault == SubmissionFault::Panic {
+                panic!("injected chaos fault: characterization worker dies");
+            }
+            let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles.clone())?;
+            job.solver
+                .characterize(&ctx, opts)
+                .map_err(ServerError::Core)
+        }));
+        let frontier = match characterized {
+            Ok(Ok(frontier)) => frontier,
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                let mut state = job.state.write();
+                if state.frontier.is_some() {
+                    state.degraded = true;
+                }
+                return Err(ServerError::CharacterizationPanicked(job.name.clone()));
+            }
         };
         let mut state = job.state.write();
         if state.characterized_epoch > epoch {
@@ -389,7 +575,9 @@ impl PerseusServer {
         }
         state.characterized_epoch = epoch;
         state.frontier = Some(Arc::new(frontier));
-        Ok(Job::deploy_locked(&mut state))
+        state.profiles = Some(profiles);
+        state.degraded = false;
+        Ok(job.deploy_locked(&mut state))
     }
 
     /// Table 2 `server.set_straggler(id, delay, degree)`: a straggler on
@@ -427,7 +615,7 @@ impl PerseusServer {
             } else {
                 state.stragglers.remove(&gpu_id);
             }
-            return Ok(Some(Job::deploy_locked(&mut state)));
+            return Ok(Some(job.deploy_locked(&mut state)));
         }
         let fire_at = state.clock_s + delay_s;
         state.pending.push(PendingStraggler {
@@ -449,27 +637,55 @@ impl PerseusServer {
         let job = self.job(name)?;
         let mut state = job.state.write();
         state.clock_s += dt_s.max(0.0);
-        let now = state.clock_s;
-        let mut due: Vec<PendingStraggler> = state
-            .pending
-            .iter()
-            .copied()
-            .filter(|p| p.fire_at <= now)
-            .collect();
-        state.pending.retain(|p| p.fire_at > now);
-        due.sort_by(|a, b| a.fire_at.total_cmp(&b.fire_at));
-        let mut deployments = Vec::new();
-        for p in due {
-            if p.degree > 1.0 {
-                state.stragglers.insert(p.gpu_id, p.degree);
-            } else {
-                state.stragglers.remove(&p.gpu_id);
-            }
-            if state.frontier.is_some() {
-                deployments.push(Job::deploy_locked(&mut state));
-            }
-        }
-        Ok(deployments)
+        Ok(job.fire_due_locked(&mut state))
+    }
+
+    /// Injects clock skew on the job's simulated timestamps: the clock
+    /// jumps by `skew_s` seconds (negative = backwards, floored at
+    /// zero). Pending straggler notifications whose deadline a *forward*
+    /// skew passes fire exactly as they would under
+    /// [`PerseusServer::advance_time`]; a backward skew never un-fires
+    /// anything — straggler state changes are monotone in what the
+    /// clients were already told. Counted in
+    /// [`ChaosStats::faults_injected`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for unregistered names.
+    pub fn skew_clock(&self, name: &str, skew_s: f64) -> Result<Vec<Deployment>, ServerError> {
+        let job = self.job(name)?;
+        job.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let mut state = job.state.write();
+        state.clock_s = (state.clock_s + skew_s).max(0.0);
+        Ok(job.fire_due_locked(&mut state))
+    }
+
+    /// A datacenter frequency cap landed on the job's accelerators
+    /// (§2.3): frontier points assigning clocks above `cap` are no longer
+    /// realizable. The job's frontier is re-clamped via
+    /// [`ParetoFrontier::clamp_to_freq_cap`] — no re-characterization, no
+    /// panic — and the schedule answering the current straggler state is
+    /// re-deployed from the clamped curve. Counted in
+    /// [`ChaosStats::faults_injected`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotCharacterized`] before profiles are submitted;
+    /// otherwise propagates re-realization failures.
+    pub fn apply_freq_cap(&self, name: &str, cap: FreqMHz) -> Result<Deployment, ServerError> {
+        let job = self.job(name)?;
+        let mut state = job.state.write();
+        let (Some(frontier), Some(profiles)) = (state.frontier.clone(), state.profiles.clone())
+        else {
+            return Err(ServerError::NotCharacterized(name.to_string()));
+        };
+        job.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let clamped = {
+            let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
+            frontier.clamp_to_freq_cap(&ctx, job.gpu.clamp_freq(cap))?
+        };
+        state.frontier = Some(Arc::new(clamped));
+        Ok(job.deploy_locked(&mut state))
     }
 
     /// The schedule currently deployed to the job's clients.
@@ -501,6 +717,26 @@ impl PerseusServer {
             .read()
             .get(name)
             .map(|j| (j.solver.runs(), j.solver.artifact_reuses()))
+    }
+
+    /// Degradation/fault counters for `name` (next to
+    /// [`PerseusServer::solver_stats`]): lookups served while the job was
+    /// degraded, and faults the server absorbed for it.
+    pub fn chaos_stats(&self, name: &str) -> Option<ChaosStats> {
+        self.jobs.read().get(name).map(|j| ChaosStats {
+            degraded_lookups: j.degraded_lookups.load(Ordering::Relaxed),
+            faults_injected: j.faults_injected.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Whether the job is currently degraded: its last characterization
+    /// attempt was lost or panicked, so lookups answer from the previous
+    /// deployed frontier until a fresh submission lands.
+    pub fn is_degraded(&self, name: &str) -> bool {
+        self.jobs
+            .read()
+            .get(name)
+            .is_some_and(|j| j.state.read().degraded)
     }
 
     /// Registered job names.

@@ -475,6 +475,123 @@ fn concurrent_jobs_from_many_threads() {
 }
 
 #[test]
+fn faults_degrade_gracefully_and_are_counted() {
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use crate::{FaultInjector, JobClient, RetryPolicy, SubmissionFault};
+
+    struct Script(Mutex<VecDeque<SubmissionFault>>);
+    impl FaultInjector for Script {
+        fn submission_fault(&self, _job: &str, _epoch: u64) -> SubmissionFault {
+            self.0.lock().pop_front().unwrap_or(SubmissionFault::None)
+        }
+    }
+
+    let server = Arc::new(PerseusServer::new());
+    server
+        .register_job(JobSpec {
+            name: "gpt".into(),
+            pipe: pipe(),
+            gpu: GpuSpec::a100_pcie(),
+        })
+        .unwrap();
+    let script = Arc::new(Script(Mutex::new(VecDeque::new())));
+    server.set_fault_injector(Some(Arc::clone(&script) as Arc<dyn FaultInjector>));
+    let gpu = GpuSpec::a100_pcie();
+    let profiles = model_profiles(&gpu);
+    let opts = FrontierOptions::default();
+
+    // Healthy first characterization.
+    server
+        .submit_profiles("gpt", profiles.clone(), &opts)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!server.is_degraded("gpt"));
+
+    // A lost re-submission degrades the job; the old frontier keeps
+    // serving and every lookup while degraded is counted.
+    script.0.lock().push_back(SubmissionFault::Drop);
+    let err = server
+        .submit_profiles("gpt", profiles.clone(), &opts)
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(matches!(err, ServerError::SubmissionLost(_)));
+    assert!(server.is_degraded("gpt"));
+    let d = server.set_straggler("gpt", 0, 0.0, 1.2).unwrap().unwrap();
+    assert!(d.t_prime > 0.0, "stale frontier still answers lookups");
+    let stats = server.chaos_stats("gpt").unwrap();
+    assert_eq!(stats.degraded_lookups, 1);
+    assert_eq!(stats.faults_injected, 1);
+
+    // A panicked worker is contained (the pool survives) and counted too.
+    script.0.lock().push_back(SubmissionFault::Panic);
+    let err = server
+        .submit_profiles("gpt", profiles.clone(), &opts)
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(matches!(err, ServerError::CharacterizationPanicked(_)));
+    assert!(server.is_degraded("gpt"));
+    assert_eq!(server.chaos_stats("gpt").unwrap().faults_injected, 2);
+
+    // The retrying client rides out a drop + panic in a row and clears
+    // the degraded flag with a fresh deployment.
+    script.0.lock().push_back(SubmissionFault::Drop);
+    script.0.lock().push_back(SubmissionFault::Panic);
+    let client = JobClient::new(Arc::clone(&server), "gpt", RetryPolicy::default());
+    let d = client.submit_profiles_with_retry(&profiles, &opts).unwrap();
+    assert!(d.version > 0);
+    assert!(!server.is_degraded("gpt"));
+    assert_eq!(client.retries(), 2);
+    assert_eq!(server.chaos_stats("gpt").unwrap().faults_injected, 4);
+
+    // Delayed characterization: slower than the client's timeout, so the
+    // client resubmits; supersession resolves the race either way.
+    script
+        .0
+        .lock()
+        .push_back(SubmissionFault::Delay(Duration::from_millis(300)));
+    let fast = RetryPolicy {
+        timeout: Duration::from_millis(100),
+        ..Default::default()
+    };
+    let client = JobClient::new(Arc::clone(&server), "gpt", fast);
+    client.submit_profiles_with_retry(&profiles, &opts).unwrap();
+    assert!(!server.is_degraded("gpt"));
+
+    // Clock skew: backwards skew floors at zero and never un-fires
+    // pending stragglers; forward skew fires them like advance_time.
+    server.set_straggler("gpt", 1, 10.0, 1.3).unwrap();
+    assert!(server.skew_clock("gpt", -1e9).unwrap().is_empty());
+    let fired = server.skew_clock("gpt", 15.0).unwrap();
+    assert_eq!(fired.len(), 1);
+
+    // Frequency cap: the frontier is re-clamped, not invalidated.
+    let t_star_before = server.frontier("gpt").unwrap().t_star();
+    let cap = FreqMHz((gpu.min_freq_mhz + gpu.max_freq_mhz) / 2);
+    let d = server.apply_freq_cap("gpt", cap).unwrap();
+    assert!(d
+        .schedule
+        .freqs
+        .iter()
+        .flatten()
+        .all(|f| *f <= gpu.clamp_freq(cap)));
+    assert!(server.frontier("gpt").unwrap().t_star() >= t_star_before - 1e-9);
+
+    // Uninstalling the injector restores the fault-free path.
+    server.set_fault_injector(None);
+    server
+        .submit_profiles("gpt", profiles, &opts)
+        .unwrap()
+        .wait()
+        .unwrap();
+}
+
+#[test]
 fn server_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<PerseusServer>();

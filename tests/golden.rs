@@ -1,0 +1,56 @@
+//! Golden-trace regression tests: the committed fixtures under
+//! `tests/golden/` are the byte-exact outputs of the experiment report
+//! generators. Any change to the planning stack that shifts a single
+//! digit of a published table fails here — numerical drift must be
+//! reviewed (and the fixture regenerated) deliberately, never absorbed
+//! silently.
+//!
+//! Regenerate after an intended change:
+//!
+//! ```text
+//! cargo run --release -p perseus-bench --bin table3_intrinsic > tests/golden/table3_intrinsic.txt
+//! cargo run --release -p perseus-bench --bin fig9_frontier    > tests/golden/fig9_frontier.txt
+//! ```
+
+/// Byte-for-byte comparison with a readable first-divergence report
+/// (a full `assert_eq!` dump of a 400-line table helps no one).
+fn assert_matches_golden(got: &str, golden: &str, fixture: &str) {
+    if got == golden {
+        return;
+    }
+    for (i, (g, w)) in got.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "first divergence from tests/golden/{fixture} at line {}",
+            i + 1
+        );
+    }
+    panic!(
+        "output length diverged from tests/golden/{fixture}: got {} lines, fixture has {}",
+        got.lines().count(),
+        golden.lines().count()
+    );
+}
+
+#[test]
+fn table3_intrinsic_matches_golden_fixture() {
+    let mut buf = Vec::new();
+    perseus_bench::table3_report(&mut buf).expect("render table 3");
+    assert_matches_golden(
+        &String::from_utf8(buf).expect("utf-8 output"),
+        include_str!("golden/table3_intrinsic.txt"),
+        "table3_intrinsic.txt",
+    );
+}
+
+#[test]
+fn fig9_frontier_matches_golden_fixture() {
+    let mut buf = Vec::new();
+    perseus_bench::fig9_report(&mut buf, false).expect("render figure 9");
+    assert_matches_golden(
+        &String::from_utf8(buf).expect("utf-8 output"),
+        include_str!("golden/fig9_frontier.txt"),
+        "fig9_frontier.txt",
+    );
+}
