@@ -11,8 +11,13 @@
 //!   unanswered, or `--max-degraded` was exceeded (the CI regression
 //!   gate for `degraded_lookups`).
 //!
+//! With `--metrics`, telemetry (server lookup latency, degraded-lookup
+//! counts, characterization spans) is recorded and the metrics snapshot is
+//! printed to **stderr**; stdout stays byte-identical to the metrics-free
+//! run.
+//!
 //! Run: `cargo run --release -p perseus-bench --bin chaos_suite -- \
-//!        [--seed N] [--iterations N] [--max-degraded N]`
+//!        [--seed N] [--iterations N] [--max-degraded N] [--metrics]`
 
 use perseus_chaos::{run_chaos, ChaosConfig};
 use perseus_cluster::{ClusterConfig, Emulator, Policy};
@@ -20,6 +25,7 @@ use perseus_core::FrontierOptions;
 use perseus_gpu::GpuSpec;
 use perseus_models::zoo;
 use perseus_pipeline::ScheduleKind;
+use perseus_telemetry::Telemetry;
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
@@ -36,24 +42,37 @@ fn main() {
     let seed = arg_value(&args, "--seed").unwrap_or(0);
     let iterations = arg_value(&args, "--iterations").unwrap_or(100) as usize;
     let max_degraded = arg_value(&args, "--max-degraded");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
 
     if seed == 0 {
         // Fault-free: exactly the emulation suite, same code path.
         let stdout = std::io::stdout();
-        perseus_bench::emulation_suite_report(&mut stdout.lock()).expect("write to stdout");
+        perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel)
+            .expect("write to stdout");
+        if metrics {
+            eprint!("{}", tel.snapshot().render());
+        }
         return;
     }
 
-    let mut emu = Emulator::new(ClusterConfig {
-        model: zoo::gpt3_xl(4),
-        gpu: GpuSpec::a100_pcie(),
-        n_stages: 4,
-        n_microbatches: 8,
-        n_pipelines: 4,
-        tensor_parallel: 1,
-        schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions::default(),
-    })
+    let mut emu = Emulator::with_telemetry(
+        ClusterConfig {
+            model: zoo::gpt3_xl(4),
+            gpu: GpuSpec::a100_pcie(),
+            n_stages: 4,
+            n_microbatches: 8,
+            n_pipelines: 4,
+            tensor_parallel: 1,
+            schedule: ScheduleKind::OneFOneB,
+            frontier: FrontierOptions::default(),
+        },
+        tel.clone(),
+    )
     .expect("emulator builds");
     let cfg = ChaosConfig {
         seed,
@@ -110,6 +129,9 @@ fn main() {
             );
             failed = true;
         }
+    }
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
     }
     if failed {
         std::process::exit(1);

@@ -7,9 +7,24 @@
 //! One emulator per (model, GPU, microbatch count) is characterized once
 //! and reused across all three artifacts.
 //!
-//! Run: `cargo run --release -p perseus-bench --bin emulation_suite`
+//! With `--metrics`, characterization telemetry is recorded and the
+//! metrics snapshot is printed to **stderr**; stdout stays byte-identical
+//! to the metrics-free run (the golden-trace CI gate relies on this).
+//!
+//! Run: `cargo run --release -p perseus-bench --bin emulation_suite [-- --metrics]`
+
+use perseus_telemetry::Telemetry;
 
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let stdout = std::io::stdout();
-    perseus_bench::emulation_suite_report(&mut stdout.lock()).expect("write to stdout");
+    perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel).expect("write to stdout");
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
+    }
 }

@@ -7,10 +7,25 @@
 //!   (c) GPT-3 6.7B, 3D parallelism (DP 2, TP 2, PP 4), A40;
 //! plus the Appendix G workloads via `--appendix`.
 //!
-//! Run: `cargo run --release -p perseus-bench --bin fig9_frontier [-- --appendix]`
+//! With `--metrics`, characterization telemetry is recorded and the
+//! metrics snapshot is printed to **stderr**; stdout stays byte-identical
+//! to the metrics-free run.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin fig9_frontier [-- --appendix] [-- --metrics]`
+
+use perseus_telemetry::Telemetry;
 
 fn main() {
     let appendix = std::env::args().any(|a| a == "--appendix");
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let stdout = std::io::stdout();
-    perseus_bench::fig9_report(&mut stdout.lock(), appendix).expect("write to stdout");
+    perseus_bench::fig9_report_with(&mut stdout.lock(), appendix, &tel).expect("write to stdout");
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
+    }
 }

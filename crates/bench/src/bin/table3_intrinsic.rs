@@ -2,9 +2,24 @@
 //! slowdown — Perseus vs EnvPipe, on (a) four-stage A100 and (b)
 //! eight-stage A40, with the workload parameters of Appendix B.
 //!
-//! Run: `cargo run --release -p perseus-bench --bin table3_intrinsic`
+//! With `--metrics`, characterization telemetry is recorded and the
+//! metrics snapshot is printed to **stderr**; stdout stays byte-identical
+//! to the metrics-free run (the golden-trace CI gate relies on this).
+//!
+//! Run: `cargo run --release -p perseus-bench --bin table3_intrinsic [-- --metrics]`
+
+use perseus_telemetry::Telemetry;
 
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let stdout = std::io::stdout();
-    perseus_bench::table3_report(&mut stdout.lock()).expect("write to stdout");
+    perseus_bench::table3_report_with(&mut stdout.lock(), &tel).expect("write to stdout");
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
+    }
 }

@@ -7,13 +7,17 @@
 
 mod reports;
 
-pub use reports::{emulation_suite_report, fig9_report, table3_report};
+pub use reports::{
+    emulation_suite_report, emulation_suite_report_with, fig9_report, fig9_report_with,
+    table3_report, table3_report_with,
+};
 
 use perseus_cluster::{ClusterConfig, Emulator, EmulatorError, Policy};
 use perseus_core::FrontierOptions;
 use perseus_gpu::GpuSpec;
 use perseus_models::{zoo, ModelSpec};
 use perseus_pipeline::ScheduleKind;
+use perseus_telemetry::Telemetry;
 
 /// One experiment workload: a model with the batch parameters of Appendix
 /// B (Tables 9/10) for a given testbed.
@@ -112,16 +116,34 @@ pub fn testbed_emulator(
     gpu: GpuSpec,
     n_stages: usize,
 ) -> Result<Emulator, EmulatorError> {
-    Emulator::new(ClusterConfig {
-        model: (w.model)(w.microbatch),
-        gpu,
-        n_stages,
-        n_microbatches: w.n_microbatches,
-        n_pipelines: 1,
-        tensor_parallel: 1,
-        schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions::default(),
-    })
+    testbed_emulator_with(w, gpu, n_stages, Telemetry::disabled())
+}
+
+/// [`testbed_emulator`] recording characterization counters into
+/// `telemetry`.
+///
+/// # Errors
+///
+/// Propagates emulator construction failures.
+pub fn testbed_emulator_with(
+    w: &Workload,
+    gpu: GpuSpec,
+    n_stages: usize,
+    telemetry: Telemetry,
+) -> Result<Emulator, EmulatorError> {
+    Emulator::with_telemetry(
+        ClusterConfig {
+            model: (w.model)(w.microbatch),
+            gpu,
+            n_stages,
+            n_microbatches: w.n_microbatches,
+            n_pipelines: 1,
+            tensor_parallel: 1,
+            schedule: ScheduleKind::OneFOneB,
+            frontier: FrontierOptions::default(),
+        },
+        telemetry,
+    )
 }
 
 /// Formats a savings/slowdown pair the way the paper's tables do.

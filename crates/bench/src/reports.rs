@@ -15,8 +15,9 @@ use perseus_core::{FrontierOptions, Planner};
 use perseus_gpu::GpuSpec;
 use perseus_models::{zoo, ModelSpec};
 use perseus_pipeline::ScheduleKind;
+use perseus_telemetry::Telemetry;
 
-use crate::{a100_workloads, a40_workloads, testbed_emulator};
+use crate::{a100_workloads, a40_workloads, testbed_emulator_with};
 
 /// Table 3: intrinsic energy-bloat reduction (no stragglers) and iteration
 /// slowdown — Perseus vs EnvPipe on the §6.2 testbeds.
@@ -25,6 +26,17 @@ use crate::{a100_workloads, a40_workloads, testbed_emulator};
 ///
 /// Propagates write failures from `out`.
 pub fn table3_report(out: &mut impl Write) -> io::Result<()> {
+    table3_report_with(out, &Telemetry::disabled())
+}
+
+/// [`table3_report`] recording characterization counters into `telemetry`.
+/// The rendered table is byte-identical whether telemetry is enabled or
+/// disabled — the golden-trace tests pin that down.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn table3_report_with(out: &mut impl Write, telemetry: &Telemetry) -> io::Result<()> {
     for (gpu, stages, workloads, label) in [
         (
             GpuSpec::a100_pcie(),
@@ -46,7 +58,7 @@ pub fn table3_report(out: &mut impl Write) -> io::Result<()> {
             "Model", "Perseus sav%", "EnvPipe sav%", "Perseus slow%", "EnvPipe slow%"
         )?;
         for w in workloads {
-            let emu = match testbed_emulator(&w, gpu.clone(), stages) {
+            let emu = match testbed_emulator_with(&w, gpu.clone(), stages, telemetry.clone()) {
                 Ok(e) => e,
                 Err(e) => {
                     writeln!(out, "{:<18} failed: {e}", w.name)?;
@@ -84,17 +96,20 @@ struct Fig9Config {
     tensor_parallel: usize,
 }
 
-fn frontier_csv(out: &mut impl Write, cfg: &Fig9Config) -> io::Result<()> {
-    let emu = Emulator::new(ClusterConfig {
-        model: (cfg.model)(cfg.microbatch),
-        gpu: cfg.gpu.clone(),
-        n_stages: cfg.n_stages,
-        n_microbatches: cfg.n_microbatches,
-        n_pipelines: 1,
-        tensor_parallel: cfg.tensor_parallel,
-        schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions::default(),
-    })
+fn frontier_csv(out: &mut impl Write, cfg: &Fig9Config, telemetry: &Telemetry) -> io::Result<()> {
+    let emu = Emulator::with_telemetry(
+        ClusterConfig {
+            model: (cfg.model)(cfg.microbatch),
+            gpu: cfg.gpu.clone(),
+            n_stages: cfg.n_stages,
+            n_microbatches: cfg.n_microbatches,
+            n_pipelines: 1,
+            tensor_parallel: cfg.tensor_parallel,
+            schedule: ScheduleKind::OneFOneB,
+            frontier: FrontierOptions::default(),
+        },
+        telemetry.clone(),
+    )
     .expect("emulator builds");
     let ctx = emu.ctx();
     let tp = cfg.tensor_parallel as f64;
@@ -187,6 +202,20 @@ fn frontier_csv(out: &mut impl Write, cfg: &Fig9Config) -> io::Result<()> {
 ///
 /// Propagates write failures from `out`.
 pub fn fig9_report(out: &mut impl Write, appendix: bool) -> io::Result<()> {
+    fig9_report_with(out, appendix, &Telemetry::disabled())
+}
+
+/// [`fig9_report`] recording characterization counters into `telemetry`;
+/// the CSV output is byte-identical either way.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn fig9_report_with(
+    out: &mut impl Write,
+    appendix: bool,
+    telemetry: &Telemetry,
+) -> io::Result<()> {
     let mut configs = vec![
         Fig9Config {
             label: "GPT-3 1.3B",
@@ -249,7 +278,7 @@ pub fn fig9_report(out: &mut impl Write, appendix: bool) -> io::Result<()> {
         }
     }
     for cfg in &configs {
-        frontier_csv(out, cfg)?;
+        frontier_csv(out, cfg, telemetry)?;
     }
     Ok(())
 }
@@ -264,17 +293,21 @@ fn suite_emulator(
     model: fn(usize) -> ModelSpec,
     gpu: GpuSpec,
     cfg: &perseus_cluster::ScalingConfig,
+    telemetry: &Telemetry,
 ) -> Emulator {
-    Emulator::new(ClusterConfig {
-        model: model(1),
-        gpu,
-        n_stages: cfg.n_stages,
-        n_microbatches: cfg.n_microbatches,
-        n_pipelines: cfg.n_pipelines,
-        tensor_parallel: cfg.tensor_parallel,
-        schedule: ScheduleKind::OneFOneB,
-        frontier: FrontierOptions::default(),
-    })
+    Emulator::with_telemetry(
+        ClusterConfig {
+            model: model(1),
+            gpu,
+            n_stages: cfg.n_stages,
+            n_microbatches: cfg.n_microbatches,
+            n_pipelines: cfg.n_pipelines,
+            tensor_parallel: cfg.tensor_parallel,
+            schedule: ScheduleKind::OneFOneB,
+            frontier: FrontierOptions::default(),
+        },
+        telemetry.clone(),
+    )
     .expect("emulator builds")
 }
 
@@ -284,6 +317,16 @@ fn suite_emulator(
 ///
 /// Propagates write failures from `out`.
 pub fn emulation_suite_report(out: &mut impl Write) -> io::Result<()> {
+    emulation_suite_report_with(out, &Telemetry::disabled())
+}
+
+/// [`emulation_suite_report`] recording characterization counters into
+/// `telemetry`; the report is byte-identical either way.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn emulation_suite_report_with(out: &mut impl Write, telemetry: &Telemetry) -> io::Result<()> {
     let scaling = strong_scaling_table5();
 
     // ---- Table 6: intrinsic savings vs #microbatches ----
@@ -310,7 +353,7 @@ pub fn emulation_suite_report(out: &mut impl Write) -> io::Result<()> {
                 // rev(): ascending microbatch count 12, 24, 48, 96
                 let emu = emus
                     .entry((mi, gi, cfg.n_microbatches))
-                    .or_insert_with(|| suite_emulator(*ctor, gpu.clone(), cfg));
+                    .or_insert_with(|| suite_emulator(*ctor, gpu.clone(), cfg, telemetry));
                 let s = emu.savings(Policy::Perseus, None).expect("savings");
                 write!(out, " {:>8.2}", s.savings_pct)?;
             }

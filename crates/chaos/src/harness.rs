@@ -25,7 +25,7 @@ use perseus_models::StageWorkloads;
 use perseus_pipeline::{CompKind, OpKey, PipelineDag};
 use perseus_profiler::{OpProfile, ProfileDb};
 use perseus_server::{
-    FaultInjector, JobClient, JobSpec, PerseusServer, RetryPolicy, ServerError, SubmissionFault,
+    ClientConfig, FaultInjector, JobClient, JobSpec, PerseusServer, ServerError, SubmissionFault,
 };
 
 use crate::plan::{FaultKind, FaultPlan};
@@ -62,6 +62,12 @@ impl From<ServerError> for ChaosError {
     }
 }
 
+impl From<ChaosError> for perseus_core::Error {
+    fn from(e: ChaosError) -> Self {
+        perseus_core::Error::subsystem("chaos", e)
+    }
+}
+
 /// Parameters of one chaos run.
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosConfig {
@@ -74,8 +80,8 @@ pub struct ChaosConfig {
     /// Iterations between a straggler state change and the schedule that
     /// accounts for it (mirrors `RunConfig::reaction_delay_iters`).
     pub reaction_delay_iters: usize,
-    /// Client-side retry policy for server traffic.
-    pub retry: RetryPolicy,
+    /// Client-side retry/timeout configuration for server traffic.
+    pub retry: ClientConfig,
 }
 
 impl Default for ChaosConfig {
@@ -85,7 +91,7 @@ impl Default for ChaosConfig {
             iterations: 50,
             policy: Policy::Perseus,
             reaction_delay_iters: 1,
-            retry: RetryPolicy::default(),
+            retry: ClientConfig::default(),
         }
     }
 }
@@ -226,7 +232,15 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     let plan = FaultPlan::from_seed(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu);
 
     // Server side: one registered job driven through the retrying client.
-    let server = Arc::new(PerseusServer::new());
+    // The server shares the emulator's telemetry handle, so one snapshot
+    // covers both sides of the run (and stays inert when disabled).
+    let n_workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(4);
+    let server = Arc::new(PerseusServer::with_telemetry(
+        n_workers,
+        emu.telemetry().clone(),
+    ));
     let injector = Arc::new(ScriptedInjector::new());
     server.set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
     server.register_job(JobSpec {
@@ -234,7 +248,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         pipe: emu.pipe().clone(),
         gpu: config.gpu.clone(),
     })?;
-    let client = JobClient::new(Arc::clone(&server), "chaos", cfg.retry);
+    let client = JobClient::with_config(Arc::clone(&server), "chaos", cfg.retry);
     let profiles = model_profiles(emu.pipe(), &config.gpu, emu.stages());
     client.submit_profiles_with_retry(&profiles, &config.frontier)?;
 
@@ -310,7 +324,10 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         min_iter_time = min_iter_time.min(report.sync_time_s);
     }
 
-    let stats = server.chaos_stats("chaos").unwrap_or_default();
+    let stats = server
+        .job_status("chaos")
+        .map(|s| s.chaos)
+        .unwrap_or_default();
     Ok(ChaosReport {
         seed: cfg.seed,
         iterations: cfg.iterations,

@@ -177,3 +177,36 @@ mod prop {
         }
     }
 }
+
+/// Differential: the `degraded_lookups` count in the [`ChaosReport`]
+/// (read from the server's own atomics) must equal the
+/// `perseus_server_degraded_lookups_total` telemetry counter — the two
+/// observation paths may never drift apart.
+#[test]
+fn degraded_lookups_report_matches_telemetry_counter() {
+    let tel = perseus_telemetry::Telemetry::enabled();
+    let mut emu = Emulator::with_telemetry(small_config(), tel.clone()).unwrap();
+    let cfg = ChaosConfig {
+        seed: 1337,
+        iterations: 40,
+        ..Default::default()
+    };
+    let report = run_chaos(&mut emu, &cfg).unwrap();
+    let snap = tel.snapshot();
+    let counted = snap
+        .value_of("perseus_server_degraded_lookups_total", &[("job", "chaos")])
+        .unwrap_or(0.0);
+    assert_eq!(counted, report.degraded_lookups as f64);
+    // The chaos server shares the telemetry pipe end to end: its worker
+    // spans landed under the "chaos" job label too.
+    if report.server_faults_absorbed > 0 {
+        assert!(
+            snap.value_of(
+                "perseus_span_calls_total",
+                &[("job", "chaos"), ("span", "characterize")]
+            )
+            .unwrap_or(0.0)
+                >= 1.0
+        );
+    }
+}

@@ -9,14 +9,14 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use perseus_baselines::AllMaxFreq;
 use perseus_core::{
-    characterize, CoreError, FrontierOptions, ParetoFrontier, PipelineEnergy, PlanContext,
-    PlanOutput, Planner,
+    CoreError, FrontierOptions, ParetoFrontier, PipelineEnergy, PlanContext, PlanOutput, Planner,
 };
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_models::{
     min_imbalance_partition, ModelError, ModelSpec, PartitionError, StageWorkloads,
 };
 use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleError, ScheduleKind};
+use perseus_telemetry::Telemetry;
 
 use crate::registry::PlannerRegistry;
 
@@ -80,6 +80,12 @@ impl fmt::Display for EmulatorError {
 }
 
 impl std::error::Error for EmulatorError {}
+
+impl From<EmulatorError> for perseus_core::Error {
+    fn from(e: EmulatorError) -> Self {
+        perseus_core::Error::subsystem("emulator", e)
+    }
+}
 
 impl From<PartitionError> for EmulatorError {
     fn from(e: PartitionError) -> Self {
@@ -235,6 +241,7 @@ pub struct Emulator {
     /// Active datacenter frequency cap, if any; plans computed after the
     /// cap landed are clamped to it so cached and fresh plans agree.
     freq_cap: Option<FreqMHz>,
+    telemetry: Telemetry,
 }
 
 impl Emulator {
@@ -246,6 +253,20 @@ impl Emulator {
     ///
     /// Any of the construction stages can fail; see [`EmulatorError`].
     pub fn new(config: ClusterConfig) -> Result<Emulator, EmulatorError> {
+        Emulator::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Like [`Emulator::new`], but subsequent emulation (in particular
+    /// [`crate::simulate_run`]) records counters into `telemetry`.
+    /// Telemetry never changes any emulation output — it only observes.
+    ///
+    /// # Errors
+    ///
+    /// Any of the construction stages can fail; see [`EmulatorError`].
+    pub fn with_telemetry(
+        config: ClusterConfig,
+        telemetry: Telemetry,
+    ) -> Result<Emulator, EmulatorError> {
         let model = config.model.with_tensor_parallel(config.tensor_parallel)?;
         let weights = model.fwd_latency_weights(&config.gpu);
         // Interleaved schedules split the model into stages × chunks
@@ -258,7 +279,8 @@ impl Emulator {
             .build()?;
         let frontier = {
             let ctx = PlanContext::from_model_profiles(&pipe, &config.gpu, &stages)?;
-            characterize(&ctx, &config.frontier)?
+            perseus_core::FrontierSolver::with_telemetry(&pipe, telemetry.clone())
+                .characterize(&ctx, &config.frontier)?
         };
         let planners = PlannerRegistry::with_defaults(config.frontier.clone());
         // Perseus is planned eagerly (it is the frontier just
@@ -275,7 +297,14 @@ impl Emulator {
             planners,
             plan_cache,
             freq_cap: None,
+            telemetry,
         })
+    }
+
+    /// The telemetry handle emulation records into (disabled unless the
+    /// emulator was built with [`Emulator::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Registers `planner` so [`Policy::custom`]`(planner.name())` can

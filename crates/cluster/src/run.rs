@@ -137,16 +137,32 @@ pub fn simulate_run(
     trace: &[TraceEvent],
     cfg: &RunConfig,
 ) -> Result<RunSummary, EmulatorError> {
+    let tel = emu.telemetry();
+    let _span = perseus_telemetry::span!(tel, "simulate_run", policy = policy);
     let timeline = StragglerTimeline::new(trace);
     let mut per_iteration = Vec::with_capacity(cfg.iterations);
     let mut total_energy = 0.0;
     let mut total_time = 0.0;
+    // Per-stage busy/idle accumulators, flushed to telemetry at the end of
+    // the run (pure observation; never feeds back into the simulation).
+    let mut stage_busy = vec![0.0_f64; emu.config().n_stages];
+    let mut stage_idle = vec![0.0_f64; emu.config().n_stages];
     for iter in 0..cfg.iterations {
         let actual = timeline.t_prime_at(emu, iter)?;
         let believed = timeline.t_prime_at(emu, iter.saturating_sub(cfg.reaction_delay_iters))?;
         let report = emu.report_with_belief(policy, believed, actual)?;
         total_energy += report.total_j();
         total_time += report.sync_time_s;
+        if tel.is_enabled() {
+            accumulate_stage_occupancy(
+                emu,
+                policy,
+                believed,
+                report.sync_time_s,
+                &mut stage_busy,
+                &mut stage_idle,
+            )?;
+        }
         per_iteration.push(IterationRecord {
             sync_time_s: report.sync_time_s,
             energy_j: report.total_j(),
@@ -154,12 +170,56 @@ pub fn simulate_run(
             actual_t_prime_s: actual,
         });
     }
+    if tel.is_enabled() {
+        let policy_name = policy.name();
+        tel.counter_with(
+            "perseus_emulator_iterations_total",
+            &[("policy", policy_name)],
+        )
+        .add(cfg.iterations as u64);
+        for (stage, (busy, idle)) in stage_busy.iter().zip(&stage_idle).enumerate() {
+            let stage_label = stage.to_string();
+            let labels = [("policy", policy_name), ("stage", stage_label.as_str())];
+            tel.float_counter_with("perseus_emulator_stage_busy_seconds_total", &labels)
+                .add(*busy);
+            tel.float_counter_with("perseus_emulator_stage_idle_seconds_total", &labels)
+                .add(*idle);
+        }
+    }
     Ok(RunSummary {
         policy,
         total_energy_j: total_energy,
         total_time_s: total_time,
         per_iteration,
     })
+}
+
+/// Adds one iteration's per-stage busy time (the planned computation
+/// durations of the deployed schedule) and idle time (the remainder of the
+/// synchronized iteration) into the accumulators.
+fn accumulate_stage_occupancy(
+    emu: &Emulator,
+    policy: Policy,
+    believed_t_prime: Option<f64>,
+    sync_time_s: f64,
+    stage_busy: &mut [f64],
+    stage_idle: &mut [f64],
+) -> Result<(), EmulatorError> {
+    let ctx = emu.ctx();
+    let plan = emu.plan_of(policy)?;
+    let schedule = plan.select(believed_t_prime);
+    let n_stages = stage_busy.len().max(1);
+    let mut busy_now = vec![0.0_f64; n_stages];
+    for info in ctx.plan_info.iter().flatten() {
+        // Interleaved schedules fold virtual stages back onto the physical
+        // stage index.
+        busy_now[info.key.stage % n_stages] += schedule.realized_dur[info.node.index()];
+    }
+    for (stage, busy) in busy_now.iter().enumerate() {
+        stage_busy[stage] += busy;
+        stage_idle[stage] += (sync_time_s - busy).max(0.0);
+    }
+    Ok(())
 }
 
 /// A synthetic thermal-cycling trace: `pipeline` throttles to

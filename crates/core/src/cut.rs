@@ -5,6 +5,7 @@
 use perseus_dag::{CriticalDag, Dag, NodeId, TimingAnalysis};
 use perseus_flow::BoundedFlowProblem;
 use perseus_pipeline::PipelineDag;
+use perseus_telemetry::Telemetry;
 
 use crate::context::PlanContext;
 
@@ -139,6 +140,22 @@ pub fn get_next_pareto_with(
     planned: &mut [f64],
     tau: f64,
 ) -> CutOutcome {
+    get_next_pareto_traced(ctx, solver, planned, tau, &Telemetry::disabled())
+}
+
+/// [`get_next_pareto_with`] with instrumentation: counts cut solves and
+/// infeasible-retry re-solves, and threads `telemetry` into the bounded
+/// max-flow solver.
+pub fn get_next_pareto_traced(
+    ctx: &PlanContext<'_>,
+    solver: &CutSolver,
+    planned: &mut [f64],
+    tau: f64,
+    telemetry: &Telemetry,
+) -> CutOutcome {
+    if telemetry.is_enabled() {
+        telemetry.counter("perseus_cut_solves_total").inc();
+    }
     let (ec, halves) = (&solver.ec, &solver.halves);
     let dur = |_: perseus_dag::EdgeId, e: &EcEdge| match e {
         EcEdge::Comp(n) => planned[n.index()],
@@ -316,7 +333,7 @@ pub fn get_next_pareto_with(
         compact[t.index()].expect("terminal"),
     );
 
-    let sol = match problem.solve(s, t) {
+    let sol = match problem.solve_with(s, t, telemetry) {
         Ok(sol) => sol,
         Err(perseus_flow::FlowError::Infeasible { .. }) => {
             // Hoffman's condition can still fail in rare configurations
@@ -326,11 +343,14 @@ pub fn get_next_pareto_with(
             // non-negative and feasibility is guaranteed, at the cost of a
             // (slightly) less energy-efficient step. Backward-crossing
             // slowable edges are still slowed when applying the cut.
+            if telemetry.is_enabled() {
+                telemetry.counter("perseus_cut_resolves_total").inc();
+            }
             let mut relaxed = BoundedFlowProblem::new(n_compact);
             for e in problem.edges() {
                 relaxed.add_edge(e.src, e.dst, 0.0, e.upper);
             }
-            match relaxed.solve(s, t) {
+            match relaxed.solve_with(s, t, telemetry) {
                 Ok(sol) => sol,
                 Err(_) => return CutOutcome::AtMinimumTime,
             }

@@ -1,0 +1,122 @@
+//! The unified Perseus error type: every public error enum in the
+//! workspace converts into [`Error`] via `From`, so callers that span
+//! subsystems (`JobClient`, bench bins, the chaos harness) can use one
+//! `Result<_, perseus_core::Error>` instead of stringifying by hand.
+//!
+//! Crates *below* `perseus-core` in the dependency graph get a concrete
+//! variant each; crates above it (`perseus-server`, `perseus-cluster`,
+//! `perseus-chaos`) convert through [`Error::Subsystem`] with `From` impls
+//! defined next to their own error enums.
+
+use std::fmt;
+
+use perseus_dag::DagError;
+use perseus_flow::FlowError;
+use perseus_gpu::DeviceError;
+use perseus_models::{ModelError, PartitionError};
+use perseus_pipeline::ScheduleError;
+use perseus_profiler::{FitError, ProfileError};
+
+use crate::context::CoreError;
+
+/// Any error the Perseus workspace can produce.
+#[derive(Debug)]
+pub enum Error {
+    /// Max-flow / min-cut substrate ([`perseus_flow`]).
+    Flow(FlowError),
+    /// DAG construction or traversal ([`perseus_dag`]).
+    Dag(DagError),
+    /// Pipeline schedule construction ([`perseus_pipeline`]).
+    Schedule(ScheduleError),
+    /// Profile database ([`perseus_profiler`]).
+    Profile(ProfileError),
+    /// Time–energy curve fitting ([`perseus_profiler`]).
+    Fit(FitError),
+    /// Model partitioning ([`perseus_models`]).
+    Partition(PartitionError),
+    /// Model specification ([`perseus_models`]).
+    Model(ModelError),
+    /// Simulated GPU device ([`perseus_gpu`]).
+    Device(DeviceError),
+    /// Frontier planning ([`crate`]).
+    Core(CoreError),
+    /// An error from a crate above `perseus-core` in the dependency graph
+    /// (server, emulator, chaos); `subsystem` names its origin.
+    Subsystem {
+        /// Short origin tag, e.g. `"server"` or `"chaos"`.
+        subsystem: &'static str,
+        /// The boxed source error.
+        source: Box<dyn std::error::Error + Send + Sync + 'static>,
+    },
+}
+
+impl Error {
+    /// Wraps an error from a crate that `perseus-core` cannot name
+    /// (anything above it in the dependency graph). Used by the `From`
+    /// impls those crates define for their own error enums.
+    pub fn subsystem(
+        subsystem: &'static str,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Error {
+        Error::Subsystem {
+            subsystem,
+            source: Box::new(source),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Flow(e) => write!(f, "flow: {e}"),
+            Error::Dag(e) => write!(f, "dag: {e}"),
+            Error::Schedule(e) => write!(f, "schedule: {e}"),
+            Error::Profile(e) => write!(f, "profile: {e}"),
+            Error::Fit(e) => write!(f, "fit: {e}"),
+            Error::Partition(e) => write!(f, "partition: {e}"),
+            Error::Model(e) => write!(f, "model: {e}"),
+            Error::Device(e) => write!(f, "device: {e}"),
+            Error::Core(e) => write!(f, "planner: {e}"),
+            Error::Subsystem { subsystem, source } => write!(f, "{subsystem}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Flow(e) => Some(e),
+            Error::Dag(e) => Some(e),
+            Error::Schedule(e) => Some(e),
+            Error::Profile(e) => Some(e),
+            Error::Fit(e) => Some(e),
+            Error::Partition(e) => Some(e),
+            Error::Model(e) => Some(e),
+            Error::Device(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Subsystem { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+macro_rules! from_variant {
+    ($($ty:ty => $variant:ident),+ $(,)?) => {
+        $(impl From<$ty> for Error {
+            fn from(e: $ty) -> Error {
+                Error::$variant(e)
+            }
+        })+
+    };
+}
+
+from_variant! {
+    FlowError => Flow,
+    DagError => Dag,
+    ScheduleError => Schedule,
+    ProfileError => Profile,
+    FitError => Fit,
+    PartitionError => Partition,
+    ModelError => Model,
+    DeviceError => Device,
+    CoreError => Core,
+}

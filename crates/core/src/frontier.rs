@@ -6,9 +6,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use perseus_dag::NodeId;
 use perseus_gpu::FreqMHz;
 use perseus_pipeline::{node_start_times, PipeNode, PipelineDag};
+use perseus_telemetry::Telemetry;
 
 use crate::context::{CoreError, PlanContext};
-use crate::cut::{get_next_pareto_with, CutOutcome, CutSolver};
+use crate::cut::{get_next_pareto_traced, CutOutcome, CutSolver};
 use crate::energy::{pipeline_energy, PipelineEnergy};
 
 /// A realized energy schedule: planned per-computation durations lowered
@@ -359,16 +360,37 @@ pub struct FrontierSolver {
     node_count: usize,
     /// Characterizations run through this solver.
     runs: AtomicUsize,
+    telemetry: Telemetry,
+}
+
+/// Reuse statistics of one [`FrontierSolver`] — the named replacement for
+/// the old anonymous `(runs, artifact_reuses)` tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Characterizations run through the solver.
+    pub runs: usize,
+    /// Characterizations that reused the cached graph artifacts (every run
+    /// after the first).
+    pub artifact_reuses: usize,
 }
 
 impl FrontierSolver {
     /// Builds the reusable artifacts (edge-centric DAG, topological order)
-    /// for `pipe`.
+    /// for `pipe`, with telemetry disabled.
     pub fn new(pipe: &PipelineDag) -> FrontierSolver {
+        FrontierSolver::with_telemetry(pipe, Telemetry::disabled())
+    }
+
+    /// [`FrontierSolver::new`] emitting through `telemetry`: every
+    /// characterization records solver runs, artifact reuses,
+    /// Phillips–Dessouky iterations, and cut (re-)solves, and threads the
+    /// handle down into the max-flow substrate.
+    pub fn with_telemetry(pipe: &PipelineDag, telemetry: Telemetry) -> FrontierSolver {
         FrontierSolver {
             cut: CutSolver::new(pipe),
             node_count: pipe.dag.node_count(),
             runs: AtomicUsize::new(0),
+            telemetry,
         }
     }
 
@@ -381,6 +403,15 @@ impl FrontierSolver {
     /// the first).
     pub fn artifact_reuses(&self) -> usize {
         self.runs().saturating_sub(1)
+    }
+
+    /// Both reuse counters as a named struct.
+    pub fn stats(&self) -> SolverStats {
+        let runs = self.runs();
+        SolverStats {
+            runs,
+            artifact_reuses: runs.saturating_sub(1),
+        }
     }
 
     /// Algorithm 1 against the cached artifacts: characterizes the full
@@ -408,7 +439,14 @@ impl FrontierSolver {
             self.node_count,
             "FrontierSolver reused across different pipelines"
         );
-        self.runs.fetch_add(1, Ordering::Relaxed);
+        let tel = &self.telemetry;
+        let prior_runs = self.runs.fetch_add(1, Ordering::Relaxed);
+        if tel.is_enabled() {
+            tel.counter("perseus_solver_runs_total").inc();
+            if prior_runs > 0 {
+                tel.counter("perseus_solver_artifact_reuses_total").inc();
+            }
+        }
         if ctx.pipe.computation_count() == 0 {
             return Err(CoreError::EmptyFrontier);
         }
@@ -430,11 +468,13 @@ impl FrontierSolver {
         // well below any slowdown a user could measure, even for short
         // iterations.
         let floor_margin = (tau * 0.5).min(t_floor * 5e-4);
+        let mut pd_iterations = 0u64;
         for _ in 0..opts.max_iters {
             if makespan <= t_floor + floor_margin {
                 break;
             }
-            match get_next_pareto_with(ctx, &self.cut, &mut planned, tau) {
+            pd_iterations += 1;
+            match get_next_pareto_traced(ctx, &self.cut, &mut planned, tau, tel) {
                 CutOutcome::Reduced { new_makespan, .. } => {
                     // Steps may legitimately shrink below τ when a cut edge
                     // has little headroom left; only a truly stalled step
@@ -476,6 +516,12 @@ impl FrontierSolver {
         }
         if points.is_empty() {
             return Err(CoreError::EmptyFrontier);
+        }
+        if tel.is_enabled() {
+            tel.counter("perseus_pd_iterations_total")
+                .add(pd_iterations);
+            tel.counter("perseus_frontier_points_total")
+                .add(points.len() as u64);
         }
         Ok(ParetoFrontier { points })
     }

@@ -42,14 +42,19 @@
 mod context;
 mod cut;
 mod energy;
+mod error;
 mod frontier;
 mod planner;
 
 pub use context::{CoreError, NodePlanInfo, PlanContext};
-pub use cut::{get_next_pareto, get_next_pareto_with, CutOutcome, CutSolver};
+pub use cut::{
+    get_next_pareto, get_next_pareto_traced, get_next_pareto_with, CutOutcome, CutSolver,
+};
 pub use energy::{pipeline_energy, PipelineEnergy};
+pub use error::Error;
 pub use frontier::{
     characterize, EnergySchedule, FrontierOptions, FrontierPoint, FrontierSolver, ParetoFrontier,
+    SolverStats,
 };
 pub use planner::{Perseus, PlanOutput, Planner};
 

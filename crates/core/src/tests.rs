@@ -374,6 +374,45 @@ mod prop {
             }
         }
 
+        // Telemetry is observation only: characterizing with an enabled
+        // registry yields the bit-identical frontier a disabled handle
+        // does, for any random pipeline shape.
+        #[test]
+        fn telemetry_never_changes_the_characterized_frontier(
+            n in 2usize..5,
+            m in 2usize..7,
+            scales in proptest::collection::vec(0.7f64..1.4, 2..5),
+        ) {
+            prop_assume!(scales.len() >= n);
+            let gpu = GpuSpec::a100_pcie();
+            let pipe = build_pipe(n, m);
+            let stages = stages_with_scales(&scales[..n]);
+            let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+            let opts = FrontierOptions { tau_s: Some(5e-3), max_iters: 50_000, stretch: true };
+            let tel = perseus_telemetry::Telemetry::enabled();
+            let traced = crate::frontier::FrontierSolver::with_telemetry(&pipe, tel.clone())
+                .characterize(&ctx, &opts)
+                .unwrap();
+            let silent = crate::frontier::FrontierSolver::new(&pipe)
+                .characterize(&ctx, &opts)
+                .unwrap();
+            prop_assert_eq!(traced.points().len(), silent.points().len());
+            for (a, b) in traced.points().iter().zip(silent.points()) {
+                prop_assert_eq!(a.planned_time_s.to_bits(), b.planned_time_s.to_bits());
+                prop_assert_eq!(a.planned_energy_j.to_bits(), b.planned_energy_j.to_bits());
+                prop_assert_eq!(&a.schedule.freqs, &b.schedule.freqs);
+                prop_assert_eq!(a.schedule.time_s.to_bits(), b.schedule.time_s.to_bits());
+                prop_assert_eq!(a.schedule.compute_j.to_bits(), b.schedule.compute_j.to_bits());
+            }
+            // And the traced run did count its PD iterations.
+            let snap = tel.snapshot();
+            prop_assert!(snap.value_of("perseus_pd_iterations_total", &[]).unwrap_or(0.0) >= 1.0);
+            prop_assert_eq!(
+                snap.value_of("perseus_solver_runs_total", &[]),
+                Some(1.0)
+            );
+        }
+
         #[test]
         fn lookup_selects_slowest_point_within_the_deadline(
             t_min in 0.2f64..5.0,

@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use perseus_telemetry::Telemetry;
+
 use crate::graph::FlowGraph;
 
 /// One edge of a bounded flow problem.
@@ -187,6 +189,21 @@ impl BoundedFlowProblem {
     /// [`FlowError::InvalidBounds`] / [`FlowError::InvalidTerminals`] on
     /// malformed input.
     pub fn solve(&self, s: usize, t: usize) -> Result<BoundedFlowSolution, FlowError> {
+        self.solve_with(s, t, &Telemetry::disabled())
+    }
+
+    /// [`BoundedFlowProblem::solve`] with instrumentation: counts solves
+    /// and infeasibility rejections, and threads `telemetry` into both
+    /// inner [`FlowGraph::max_flow_with`] phases.
+    pub fn solve_with(
+        &self,
+        s: usize,
+        t: usize,
+        telemetry: &Telemetry,
+    ) -> Result<BoundedFlowSolution, FlowError> {
+        if telemetry.is_enabled() {
+            telemetry.counter("perseus_flow_bounded_solves_total").inc();
+        }
         self.validate(s, t)?;
         let big = self.big();
         let cap = |u: f64| if u.is_finite() { u } else { big };
@@ -214,10 +231,13 @@ impl BoundedFlowProblem {
             }
         }
         g1.add_edge(t, s, big);
-        let achieved = g1.max_flow(sp, tp);
+        let achieved = g1.max_flow_with(sp, tp, telemetry);
         // Saturation check (Algorithm 3 line 9), with a relative tolerance.
         let tol = 1e-9 * required.max(1.0);
         if achieved + tol < required {
+            if telemetry.is_enabled() {
+                telemetry.counter("perseus_flow_infeasible_total").inc();
+            }
             return Err(FlowError::Infeasible { required, achieved });
         }
 
@@ -233,7 +253,7 @@ impl BoundedFlowProblem {
             let back = (f - e.lower).max(0.0);
             phase2_edges.push(g2.add_edge_with_back(e.src, e.dst, fwd, back));
         }
-        let extra = g2.max_flow(s, t);
+        let extra = g2.max_flow_with(s, t, telemetry);
         let source_side = g2.residual_reachable(s);
 
         let mut flow = Vec::with_capacity(self.edges.len());

@@ -1,5 +1,7 @@
 //! Residual-pair flow network with Dinic maximum flow.
 
+use perseus_telemetry::Telemetry;
+
 /// Residual capacities below this fraction of the largest edge capacity are
 /// treated as exhausted, guarding BFS against floating-point crumbs.
 const REL_EPS: f64 = 1e-12;
@@ -120,6 +122,15 @@ impl FlowGraph {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        self.max_flow_with(s, t, &Telemetry::disabled())
+    }
+
+    /// [`FlowGraph::max_flow`] with instrumentation: records the number of
+    /// calls, the node/edge totals of the solved networks, and the number
+    /// of augmenting paths Dinic pushed. With disabled telemetry this is
+    /// exactly `max_flow` (a local `u64` increment per augmentation is the
+    /// only residue).
+    pub fn max_flow_with(&mut self, s: usize, t: usize, telemetry: &Telemetry) -> f64 {
         assert!(s != t, "source and sink must differ");
         assert!(
             s < self.adj.len() && t < self.adj.len(),
@@ -131,6 +142,7 @@ impl FlowGraph {
         // (§4.3 complexity analysis) is an upper bound we comfortably beat.
         let n = self.adj.len();
         let mut total = 0.0;
+        let mut augmentations = 0u64;
         let mut level = vec![u32::MAX; n];
         let mut iter = vec![0usize; n];
         let mut queue = std::collections::VecDeque::new();
@@ -159,7 +171,20 @@ impl FlowGraph {
                     break;
                 }
                 total += pushed;
+                augmentations += 1;
             }
+        }
+        if telemetry.is_enabled() {
+            telemetry.counter("perseus_flow_max_flow_calls_total").inc();
+            telemetry
+                .counter("perseus_flow_augmenting_paths_total")
+                .add(augmentations);
+            telemetry
+                .counter("perseus_flow_nodes_total")
+                .add(self.node_count() as u64);
+            telemetry
+                .counter("perseus_flow_edges_total")
+                .add(self.edge_count() as u64);
         }
         total
     }

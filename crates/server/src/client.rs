@@ -16,7 +16,7 @@ use perseus_gpu::{FreqMHz, SimGpu, Workload};
 use perseus_pipeline::{CompKind, OpKey, PipelineDag};
 use perseus_profiler::{OnlineProfiler, OpProfile, ProfileDb};
 
-use crate::server::{Deployment, PerseusServer, ServerError};
+use crate::server::{Deployment, JobStatus, PerseusServer, ServerError};
 
 enum Cmd {
     Set(FreqMHz),
@@ -83,6 +83,7 @@ impl Drop for AsyncFrequencyController {
 
 /// How a [`JobClient`] rides out server-side trouble: per-call timeout,
 /// retry budget, and exponential backoff between attempts.
+#[deprecated(since = "0.1.0", note = "use the `ClientConfig` builder")]
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Attempts per operation, including the first (at least 1).
@@ -95,12 +96,93 @@ pub struct RetryPolicy {
     pub timeout: Duration,
 }
 
+#[allow(deprecated)]
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 5,
             base_backoff: Duration::from_millis(2),
             timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Builder-style configuration of a [`JobClient`]: retry budget, per-call
+/// timeout, and exponential backoff — the named replacement for the
+/// positional [`RetryPolicy`] constructor argument.
+///
+/// ```
+/// use std::time::Duration;
+/// use perseus_server::ClientConfig;
+///
+/// let cfg = ClientConfig::default()
+///     .retries(3)
+///     .timeout(Duration::from_millis(250));
+/// assert_eq!(cfg.max_attempts(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    max_attempts: u32,
+    base_backoff: Duration,
+    timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    /// 5 attempts, 2 ms base backoff, 500 ms per-call timeout.
+    fn default() -> ClientConfig {
+        ClientConfig {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the attempts per operation, including the first (floored at 1).
+    pub fn retries(mut self, max_attempts: u32) -> ClientConfig {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Sets how long one submission attempt may stay unanswered before the
+    /// client resubmits (epoch supersession on the server makes
+    /// resubmitting always safe).
+    pub fn timeout(mut self, timeout: Duration) -> ClientConfig {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the wait before the first retry; doubles after every failed
+    /// attempt.
+    pub fn backoff(mut self, base_backoff: Duration) -> ClientConfig {
+        self.base_backoff = base_backoff;
+        self
+    }
+
+    /// Attempts per operation, including the first.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Per-call timeout.
+    pub fn call_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Base backoff before the first retry.
+    pub fn base_backoff(&self) -> Duration {
+        self.base_backoff
+    }
+}
+
+#[allow(deprecated)]
+impl From<RetryPolicy> for ClientConfig {
+    fn from(p: RetryPolicy) -> ClientConfig {
+        ClientConfig {
+            max_attempts: p.max_attempts.max(1),
+            base_backoff: p.base_backoff,
+            timeout: p.timeout,
         }
     }
 }
@@ -117,21 +199,27 @@ impl Default for RetryPolicy {
 pub struct JobClient {
     server: Arc<PerseusServer>,
     job: String,
-    policy: RetryPolicy,
+    config: ClientConfig,
     retries: AtomicU64,
 }
 
 impl JobClient {
-    /// A client for `job` on `server` with the given retry policy.
-    pub fn new(
+    /// A client for `job` on `server` with the default [`ClientConfig`].
+    pub fn new(server: Arc<PerseusServer>, job: impl Into<String>) -> JobClient {
+        JobClient::with_config(server, job, ClientConfig::default())
+    }
+
+    /// A client for `job` on `server` with an explicit [`ClientConfig`]
+    /// (accepts a legacy [`RetryPolicy`] via `Into`).
+    pub fn with_config(
         server: Arc<PerseusServer>,
         job: impl Into<String>,
-        policy: RetryPolicy,
+        config: impl Into<ClientConfig>,
     ) -> JobClient {
         JobClient {
             server,
             job: job.into(),
-            policy,
+            config: config.into(),
             retries: AtomicU64::new(0),
         }
     }
@@ -139,6 +227,21 @@ impl JobClient {
     /// The job this client manages.
     pub fn job(&self) -> &str {
         &self.job
+    }
+
+    /// This client's configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// The unified status of this client's job — deployment, solver reuse
+    /// stats, chaos counters, degradation flag, epoch — in one read.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] if the job was never registered.
+    pub fn status(&self) -> Result<JobStatus, ServerError> {
+        self.server.job_status(&self.job)
     }
 
     /// Retries performed so far across all operations (observability).
@@ -150,7 +253,7 @@ impl JobClient {
         self.retries.fetch_add(1, Ordering::Relaxed);
         // Exponential: base × 2^attempt, capped so chaos tests stay fast.
         let exp = attempt.min(8);
-        std::thread::sleep(self.policy.base_backoff.saturating_mul(1 << exp));
+        std::thread::sleep(self.config.base_backoff.saturating_mul(1 << exp));
     }
 
     /// Submits profiles and waits for the resulting deployment, retrying
@@ -167,17 +270,22 @@ impl JobClient {
         profiles: &ProfileDb<OpKey>,
         opts: &FrontierOptions,
     ) -> Result<Deployment, ServerError> {
-        for attempt in 0..self.policy.max_attempts.max(1) {
+        for attempt in 0..self.config.max_attempts.max(1) {
             if attempt > 0 {
                 self.backoff(attempt - 1);
             }
             let ticket = self
                 .server
                 .submit_profiles(&self.job, profiles.clone(), opts)?;
-            match ticket.wait_timeout(self.policy.timeout) {
+            match ticket.wait_timeout(self.config.timeout) {
                 Some(Ok(d)) => return Ok(d),
                 Some(Err(ServerError::Superseded(_))) => {
-                    return self.server.current_deployment(&self.job)
+                    // A newer submission won; its deployment answers ours.
+                    return self
+                        .server
+                        .job_status(&self.job)?
+                        .deployment
+                        .ok_or_else(|| ServerError::NotCharacterized(self.job.clone()));
                 }
                 Some(Err(
                     ServerError::SubmissionLost(_) | ServerError::CharacterizationPanicked(_),
@@ -206,7 +314,7 @@ impl JobClient {
         delay_s: f64,
         degree: f64,
     ) -> Result<Option<Deployment>, ServerError> {
-        for attempt in 0..self.policy.max_attempts.max(1) {
+        for attempt in 0..self.config.max_attempts.max(1) {
             if attempt > 0 {
                 self.backoff(attempt - 1);
             }

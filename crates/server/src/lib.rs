@@ -20,10 +20,12 @@
 mod client;
 mod server;
 
-pub use client::{AsyncFrequencyController, ClientSession, JobClient, RetryPolicy};
+#[allow(deprecated)]
+pub use client::RetryPolicy;
+pub use client::{AsyncFrequencyController, ClientConfig, ClientSession, JobClient};
 pub use server::{
-    ChaosStats, CharacterizeTicket, Deployment, FaultInjector, JobSpec, PerseusServer, ServerError,
-    SubmissionFault,
+    ChaosStats, CharacterizeTicket, Deployment, FaultInjector, JobSpec, JobStatus, PerseusServer,
+    ServerError, SubmissionFault,
 };
 
 #[cfg(test)]

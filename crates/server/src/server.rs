@@ -28,10 +28,12 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::RwLock;
 use perseus_core::{
     CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
+    SolverStats,
 };
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
+use perseus_telemetry::{span, Telemetry};
 
 /// A training job registration: the computation DAG plus the GPU model the
 /// pipeline runs on ("a training job is primarily specified by its
@@ -112,6 +114,12 @@ impl std::error::Error for ServerError {}
 impl From<CoreError> for ServerError {
     fn from(e: CoreError) -> Self {
         ServerError::Core(e)
+    }
+}
+
+impl From<ServerError> for perseus_core::Error {
+    fn from(e: ServerError) -> perseus_core::Error {
+        perseus_core::Error::subsystem("server", e)
     }
 }
 
@@ -239,6 +247,26 @@ pub struct ChaosStats {
     pub faults_injected: u64,
 }
 
+/// Everything the server knows about one job, in one read: the unified
+/// replacement for the legacy `current_deployment` / `solver_stats` /
+/// `chaos_stats` / `is_degraded` getter quartet.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The schedule currently deployed to the job's clients (`None` before
+    /// the first deployment).
+    pub deployment: Option<Deployment>,
+    /// Characterization reuse counters of the job's solver.
+    pub solver: SolverStats,
+    /// Degradation and fault counters.
+    pub chaos: ChaosStats,
+    /// Whether the job is currently degraded: its last characterization
+    /// attempt was lost or panicked, so lookups answer from the previous
+    /// deployed frontier until a fresh submission lands.
+    pub degraded: bool,
+    /// Submission epoch of the deployed frontier (0 = none yet).
+    pub epoch: u64,
+}
+
 /// Mutable per-job state, guarded by the job's `RwLock`.
 struct JobMut {
     frontier: Option<Arc<ParetoFrontier>>,
@@ -273,6 +301,7 @@ struct Job {
     degraded_lookups: AtomicU64,
     /// Faults absorbed for this job (see [`ChaosStats`]).
     faults_injected: AtomicU64,
+    telemetry: Telemetry,
     state: RwLock<JobMut>,
 }
 
@@ -294,8 +323,17 @@ impl Job {
     /// the answer is correct for the *previous* profiles, which is the
     /// graceful-degradation contract.
     fn deploy_locked(&self, state: &mut JobMut) -> Deployment {
+        let t0 = self.telemetry.now();
         if state.degraded {
             self.degraded_lookups.fetch_add(1, Ordering::Relaxed);
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter_with(
+                        "perseus_server_degraded_lookups_total",
+                        &[("job", &self.name)],
+                    )
+                    .inc();
+            }
         }
         let t_prime = Self::effective_t_prime(state);
         let frontier = state.frontier.as_ref().expect("characterized");
@@ -308,6 +346,11 @@ impl Job {
             schedule: point.schedule.clone(),
         };
         state.deployed = Some(deployment.clone());
+        if let Some(t0) = t0 {
+            self.telemetry
+                .histogram_with("perseus_server_lookup_seconds", &[("job", &self.name)])
+                .observe_duration(t0.elapsed());
+        }
         deployment
     }
 
@@ -395,6 +438,7 @@ pub struct PerseusServer {
     pool: WorkerPool,
     /// Installed by the chaos layer; `None` in production.
     injector: RwLock<Option<Arc<dyn FaultInjector>>>,
+    telemetry: Telemetry,
 }
 
 impl Default for PerseusServer {
@@ -405,7 +449,7 @@ impl Default for PerseusServer {
 
 impl PerseusServer {
     /// Creates a server with one planning worker per available core
-    /// (capped at 4).
+    /// (capped at 4) and telemetry disabled.
     pub fn new() -> PerseusServer {
         let n = std::thread::available_parallelism()
             .map_or(1, |n| n.get())
@@ -414,13 +458,31 @@ impl PerseusServer {
     }
 
     /// Creates a server with an explicit planning-worker count (at least
-    /// one).
+    /// one) and telemetry disabled.
     pub fn with_workers(n_workers: usize) -> PerseusServer {
+        PerseusServer::with_telemetry(n_workers, Telemetry::disabled())
+    }
+
+    /// [`PerseusServer::with_workers`] emitting through `telemetry`: the
+    /// server records per-job queue latency
+    /// (`perseus_server_queue_seconds`), deployment-lookup latency
+    /// (`perseus_server_lookup_seconds`), degraded lookups
+    /// (`perseus_server_degraded_lookups_total`), worker-pool occupancy
+    /// (`perseus_server_workers_busy`), and a `characterize` span per
+    /// submission; every job's [`FrontierSolver`] inherits the handle.
+    pub fn with_telemetry(n_workers: usize, telemetry: Telemetry) -> PerseusServer {
         PerseusServer {
             jobs: RwLock::new(HashMap::new()),
             pool: WorkerPool::new(n_workers),
             injector: RwLock::new(None),
+            telemetry,
         }
+    }
+
+    /// The telemetry handle this server emits through (disabled unless
+    /// built via [`PerseusServer::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Installs (or, with `None`, removes) the fault injector consulted
@@ -437,7 +499,7 @@ impl PerseusServer {
     ///
     /// [`ServerError::DuplicateJob`] if the name is taken.
     pub fn register_job(&self, spec: JobSpec) -> Result<(), ServerError> {
-        let solver = FrontierSolver::new(&spec.pipe);
+        let solver = FrontierSolver::with_telemetry(&spec.pipe, self.telemetry.clone());
         let job = Arc::new(Job {
             name: spec.name.clone(),
             pipe: spec.pipe,
@@ -446,6 +508,7 @@ impl PerseusServer {
             next_epoch: AtomicU64::new(0),
             degraded_lookups: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
+            telemetry: self.telemetry.clone(),
             state: RwLock::new(JobMut {
                 frontier: None,
                 characterized_epoch: 0,
@@ -507,8 +570,27 @@ impl PerseusServer {
             .as_ref()
             .map_or(SubmissionFault::None, |i| i.submission_fault(name, epoch));
         let (tx, rx) = unbounded();
+        let tel = self.telemetry.clone();
+        let enqueued = tel.now();
         self.pool.submit(Box::new(move || {
-            let result = Self::characterize_task(&job, epoch, profiles, &opts, fault);
+            let busy = if tel.is_enabled() {
+                if let Some(enqueued) = enqueued {
+                    tel.histogram_with("perseus_server_queue_seconds", &[("job", &job.name)])
+                        .observe_duration(enqueued.elapsed());
+                }
+                let busy = tel.gauge("perseus_server_workers_busy");
+                busy.add(1);
+                Some(busy)
+            } else {
+                None
+            };
+            let result = {
+                let _span = span!(tel, "characterize", job = job.name);
+                Self::characterize_task(&job, epoch, profiles, &opts, fault)
+            };
+            if let Some(busy) = busy {
+                busy.add(-1);
+            }
             let _ = tx.send(result); // receiver may have dropped the ticket
         }));
         Ok(CharacterizeTicket {
@@ -688,17 +770,42 @@ impl PerseusServer {
         Ok(job.deploy_locked(&mut state))
     }
 
+    /// Everything the server knows about one job in a single consistent
+    /// read: current deployment, solver reuse stats, chaos counters,
+    /// degradation flag, and the deployed submission epoch. This is the
+    /// one status API; the legacy `current_deployment` / `solver_stats` /
+    /// `chaos_stats` / `is_degraded` getters are deprecated wrappers over
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for unregistered names. A registered
+    /// but not-yet-characterized job is a valid status with
+    /// `deployment: None` and `epoch: 0`.
+    pub fn job_status(&self, name: &str) -> Result<JobStatus, ServerError> {
+        let job = self.job(name)?;
+        let state = job.state.read();
+        Ok(JobStatus {
+            deployment: state.deployed.clone(),
+            solver: job.solver.stats(),
+            chaos: ChaosStats {
+                degraded_lookups: job.degraded_lookups.load(Ordering::Relaxed),
+                faults_injected: job.faults_injected.load(Ordering::Relaxed),
+            },
+            degraded: state.degraded,
+            epoch: state.characterized_epoch,
+        })
+    }
+
     /// The schedule currently deployed to the job's clients.
     ///
     /// # Errors
     ///
     /// [`ServerError::NotCharacterized`] before the first deployment.
+    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
     pub fn current_deployment(&self, name: &str) -> Result<Deployment, ServerError> {
-        self.job(name)?
-            .state
-            .read()
-            .deployed
-            .clone()
+        self.job_status(name)?
+            .deployment
             .ok_or_else(|| ServerError::NotCharacterized(name.to_string()))
     }
 
@@ -712,31 +819,26 @@ impl PerseusServer {
 
     /// Characterizations run for `name`, and how many of them reused the
     /// job's cached solver artifacts (every run after the first).
+    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
     pub fn solver_stats(&self, name: &str) -> Option<(usize, usize)> {
-        self.jobs
-            .read()
-            .get(name)
-            .map(|j| (j.solver.runs(), j.solver.artifact_reuses()))
+        self.job_status(name)
+            .ok()
+            .map(|s| (s.solver.runs, s.solver.artifact_reuses))
     }
 
-    /// Degradation/fault counters for `name` (next to
-    /// [`PerseusServer::solver_stats`]): lookups served while the job was
-    /// degraded, and faults the server absorbed for it.
+    /// Degradation/fault counters for `name`: lookups served while the job
+    /// was degraded, and faults the server absorbed for it.
+    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
     pub fn chaos_stats(&self, name: &str) -> Option<ChaosStats> {
-        self.jobs.read().get(name).map(|j| ChaosStats {
-            degraded_lookups: j.degraded_lookups.load(Ordering::Relaxed),
-            faults_injected: j.faults_injected.load(Ordering::Relaxed),
-        })
+        self.job_status(name).ok().map(|s| s.chaos)
     }
 
     /// Whether the job is currently degraded: its last characterization
     /// attempt was lost or panicked, so lookups answer from the previous
     /// deployed frontier until a fresh submission lands.
+    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
     pub fn is_degraded(&self, name: &str) -> bool {
-        self.jobs
-            .read()
-            .get(name)
-            .is_some_and(|j| j.state.read().degraded)
+        self.job_status(name).is_ok_and(|s| s.degraded)
     }
 
     /// Registered job names.

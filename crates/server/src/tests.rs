@@ -2,7 +2,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use perseus_core::FrontierOptions;
+use perseus_core::{FrontierOptions, SolverStats};
 use perseus_gpu::{FreqMHz, GpuSpec, SimGpu, Workload};
 use perseus_models::StageWorkloads;
 use perseus_pipeline::{CompKind, OpKey, PipelineBuilder, PipelineDag, ScheduleKind};
@@ -97,8 +97,9 @@ fn characterize_deploys_fastest_schedule() {
     let frontier = server.frontier(job).unwrap();
     assert_eq!(d.planned_time_s, frontier.t_min());
     // Workflow step ③: the deployment is cached as current.
-    let cur = server.current_deployment(job).unwrap();
-    assert_eq!(cur.version, 1);
+    let status = server.job_status(job).unwrap();
+    assert_eq!(status.deployment.unwrap().version, 1);
+    assert_eq!(status.epoch, 1);
 }
 
 #[test]
@@ -181,9 +182,13 @@ fn delayed_straggler_fires_on_time_advance() {
 #[test]
 fn errors_are_reported() {
     let (server, job) = server_with_job();
+    // Registered but never characterized: a valid status, nothing deployed.
+    let status = server.job_status(job).unwrap();
+    assert!(status.deployment.is_none());
+    assert_eq!(status.epoch, 0);
     assert!(matches!(
-        server.current_deployment(job),
-        Err(ServerError::NotCharacterized(_))
+        server.job_status("nope"),
+        Err(ServerError::UnknownJob(_))
     ));
     assert!(matches!(
         server.set_straggler(job, 0, 0.0, 1.2),
@@ -359,13 +364,26 @@ fn versions_are_strictly_monotonic() {
 fn resubmitting_profiles_reuses_solver_artifacts() {
     let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    assert_eq!(server.solver_stats(job), Some((0, 0)));
+    let solver_of = |job: &str| server.job_status(job).unwrap().solver;
+    assert_eq!(
+        solver_of(job),
+        SolverStats {
+            runs: 0,
+            artifact_reuses: 0
+        }
+    );
     server
         .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
         .unwrap()
         .wait()
         .unwrap();
-    assert_eq!(server.solver_stats(job), Some((1, 0)));
+    assert_eq!(
+        solver_of(job),
+        SolverStats {
+            runs: 1,
+            artifact_reuses: 0
+        }
+    );
     // Re-characterization (fresh profiles mid-training) reuses the job's
     // cached edge-centric DAG / topological order.
     let d = server
@@ -373,7 +391,13 @@ fn resubmitting_profiles_reuses_solver_artifacts() {
         .unwrap()
         .wait()
         .unwrap();
-    assert_eq!(server.solver_stats(job), Some((2, 1)));
+    assert_eq!(
+        solver_of(job),
+        SolverStats {
+            runs: 2,
+            artifact_reuses: 1
+        }
+    );
     assert_eq!(d.version, 2);
 }
 
@@ -388,7 +412,7 @@ fn straggler_lookup_does_not_wait_for_inflight_characterization() {
         .unwrap()
         .wait()
         .unwrap();
-    let v1 = server.current_deployment(job).unwrap().version;
+    let v1 = server.job_status(job).unwrap().deployment.unwrap().version;
 
     // A deliberately fine-grained re-characterization to keep workers busy.
     let slow = FrontierOptions {
@@ -402,7 +426,8 @@ fn straggler_lookup_does_not_wait_for_inflight_characterization() {
     // Immediately visible reaction from the cached frontier.
     let d = server.set_straggler(job, 0, 0.0, 1.2).unwrap().unwrap();
     assert!(d.version > v1);
-    assert!(server.current_deployment(job).unwrap().version >= d.version);
+    let cached = server.job_status(job).unwrap().deployment.unwrap();
+    assert!(cached.version >= d.version);
 
     // The characterization still lands and re-deploys with the straggler
     // state applied.
@@ -457,7 +482,7 @@ fn concurrent_jobs_from_many_threads() {
                     let f = server.frontier(&name).unwrap();
                     assert!(f.lookup(f.t_min()).planned_time_s <= f.t_min() + 1e-9);
                     assert_eq!(f.lookup(f.t_star() * 2.0).planned_time_s, f.t_star());
-                    let cur = server.current_deployment(&name).unwrap();
+                    let cur = server.job_status(&name).unwrap().deployment.unwrap();
                     assert!(cur.version >= last_version);
                 }
             })
@@ -468,9 +493,9 @@ fn concurrent_jobs_from_many_threads() {
     }
     assert_eq!(server.job_names().len(), n_threads);
     for t in 0..n_threads {
-        let (runs, reuses) = server.solver_stats(&format!("job-{t}")).unwrap();
-        assert_eq!(runs, iters);
-        assert_eq!(reuses, iters - 1);
+        let solver = server.job_status(&format!("job-{t}")).unwrap().solver;
+        assert_eq!(solver.runs, iters);
+        assert_eq!(solver.artifact_reuses, iters - 1);
     }
 }
 
@@ -480,7 +505,7 @@ fn faults_degrade_gracefully_and_are_counted() {
     use std::sync::Arc;
     use std::time::Duration;
 
-    use crate::{FaultInjector, JobClient, RetryPolicy, SubmissionFault};
+    use crate::{ClientConfig, FaultInjector, JobClient, SubmissionFault};
 
     struct Script(Mutex<VecDeque<SubmissionFault>>);
     impl FaultInjector for Script {
@@ -509,7 +534,7 @@ fn faults_degrade_gracefully_and_are_counted() {
         .unwrap()
         .wait()
         .unwrap();
-    assert!(!server.is_degraded("gpt"));
+    assert!(!server.job_status("gpt").unwrap().degraded);
 
     // A lost re-submission degrades the job; the old frontier keeps
     // serving and every lookup while degraded is counted.
@@ -520,10 +545,10 @@ fn faults_degrade_gracefully_and_are_counted() {
         .wait()
         .unwrap_err();
     assert!(matches!(err, ServerError::SubmissionLost(_)));
-    assert!(server.is_degraded("gpt"));
+    assert!(server.job_status("gpt").unwrap().degraded);
     let d = server.set_straggler("gpt", 0, 0.0, 1.2).unwrap().unwrap();
     assert!(d.t_prime > 0.0, "stale frontier still answers lookups");
-    let stats = server.chaos_stats("gpt").unwrap();
+    let stats = server.job_status("gpt").unwrap().chaos;
     assert_eq!(stats.degraded_lookups, 1);
     assert_eq!(stats.faults_injected, 1);
 
@@ -535,19 +560,19 @@ fn faults_degrade_gracefully_and_are_counted() {
         .wait()
         .unwrap_err();
     assert!(matches!(err, ServerError::CharacterizationPanicked(_)));
-    assert!(server.is_degraded("gpt"));
-    assert_eq!(server.chaos_stats("gpt").unwrap().faults_injected, 2);
+    assert!(server.job_status("gpt").unwrap().degraded);
+    assert_eq!(server.job_status("gpt").unwrap().chaos.faults_injected, 2);
 
     // The retrying client rides out a drop + panic in a row and clears
     // the degraded flag with a fresh deployment.
     script.0.lock().push_back(SubmissionFault::Drop);
     script.0.lock().push_back(SubmissionFault::Panic);
-    let client = JobClient::new(Arc::clone(&server), "gpt", RetryPolicy::default());
+    let client = JobClient::new(Arc::clone(&server), "gpt");
     let d = client.submit_profiles_with_retry(&profiles, &opts).unwrap();
     assert!(d.version > 0);
-    assert!(!server.is_degraded("gpt"));
+    assert!(!server.job_status("gpt").unwrap().degraded);
     assert_eq!(client.retries(), 2);
-    assert_eq!(server.chaos_stats("gpt").unwrap().faults_injected, 4);
+    assert_eq!(server.job_status("gpt").unwrap().chaos.faults_injected, 4);
 
     // Delayed characterization: slower than the client's timeout, so the
     // client resubmits; supersession resolves the race either way.
@@ -555,13 +580,10 @@ fn faults_degrade_gracefully_and_are_counted() {
         .0
         .lock()
         .push_back(SubmissionFault::Delay(Duration::from_millis(300)));
-    let fast = RetryPolicy {
-        timeout: Duration::from_millis(100),
-        ..Default::default()
-    };
-    let client = JobClient::new(Arc::clone(&server), "gpt", fast);
+    let fast = ClientConfig::default().timeout(Duration::from_millis(100));
+    let client = JobClient::with_config(Arc::clone(&server), "gpt", fast);
     client.submit_profiles_with_retry(&profiles, &opts).unwrap();
-    assert!(!server.is_degraded("gpt"));
+    assert!(!server.job_status("gpt").unwrap().degraded);
 
     // Clock skew: backwards skew floors at zero and never un-fires
     // pending stragglers; forward skew fires them like advance_time.
@@ -596,4 +618,66 @@ fn server_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<PerseusServer>();
     assert_send_sync::<crate::server::Deployment>();
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_getters_agree_with_job_status() {
+    // The legacy piecemeal getters are thin wrappers over job_status and
+    // must keep answering identically until they are removed.
+    let (server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    assert!(matches!(
+        server.current_deployment(job),
+        Err(ServerError::NotCharacterized(_))
+    ));
+    server
+        .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let status = server.job_status(job).unwrap();
+    assert_eq!(
+        server.current_deployment(job).unwrap().version,
+        status.deployment.as_ref().unwrap().version
+    );
+    assert_eq!(
+        server.solver_stats(job),
+        Some((status.solver.runs, status.solver.artifact_reuses))
+    );
+    assert_eq!(server.chaos_stats(job), Some(status.chaos));
+    assert_eq!(server.is_degraded(job), status.degraded);
+}
+
+#[test]
+fn client_status_surfaces_job_status() {
+    use std::sync::Arc;
+
+    use crate::{ClientConfig, JobClient};
+
+    let server = Arc::new(PerseusServer::with_workers(1));
+    server
+        .register_job(JobSpec {
+            name: "gpt".into(),
+            pipe: pipe(),
+            gpu: GpuSpec::a100_pcie(),
+        })
+        .unwrap();
+    let config = ClientConfig::default().retries(3);
+    assert_eq!(config.max_attempts(), 3);
+    let client = JobClient::with_config(Arc::clone(&server), "gpt", config);
+    let status = client.status().unwrap();
+    assert!(status.deployment.is_none());
+    assert_eq!(status.epoch, 0);
+
+    let gpu = GpuSpec::a100_pcie();
+    server
+        .submit_profiles("gpt", model_profiles(&gpu), &FrontierOptions::default())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let status = client.status().unwrap();
+    assert!(status.deployment.is_some());
+    assert_eq!(status.epoch, 1);
+    assert!(!status.degraded);
 }

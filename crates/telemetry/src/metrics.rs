@@ -1,0 +1,198 @@
+//! Typed metric handles: atomics shared between the registry and the
+//! instrumented call site. Every operation is lock-free; the registry's
+//! shard mutexes are only taken to create or snapshot handles.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere (what disabled telemetry hands
+    /// out): it still counts, it just never reaches a snapshot.
+    pub fn detached() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    pub(crate) fn shared(cell: Arc<AtomicU64>) -> Counter {
+        Counter(cell)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A float-valued accumulator (`f64` bits in an atomic, CAS-added): busy
+/// seconds, joules — quantities that sum but are not integer counts.
+#[derive(Debug, Clone)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    /// An unregistered handle (see [`Counter::detached`]).
+    pub fn detached() -> FloatCounter {
+        FloatCounter(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+
+    pub(crate) fn shared(cell: Arc<AtomicU64>) -> FloatCounter {
+        FloatCounter(cell)
+    }
+
+    /// Adds `delta` (compare-and-swap loop; uncontended in practice).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// An instantaneous level: worker-pool occupancy, queue depth.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// An unregistered handle (see [`Counter::detached`]).
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    pub(crate) fn shared(cell: Arc<AtomicI64>) -> Gauge {
+        Gauge(cell)
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bounds: exponential decades 1 µs … 10 s, three
+/// points per decade — wide enough for queue latencies and characterization
+/// times alike.
+pub(crate) fn default_bounds() -> Vec<f64> {
+    // Spelled as literals (not computed) so each bound's shortest-roundtrip
+    // display is the clean decimal the snapshot format promises.
+    vec![
+        1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+        2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    ]
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Upper bounds (inclusive) of each bucket; a final implicit `+Inf`
+    /// bucket is the total count.
+    pub(crate) bounds: Vec<f64>,
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations (latencies in seconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// An unregistered handle (see [`Counter::detached`]).
+    pub fn detached() -> Histogram {
+        Histogram(Arc::new(HistogramCore::new(default_bounds())))
+    }
+
+    pub(crate) fn shared(core: Arc<HistogramCore>) -> Histogram {
+        Histogram(core)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let core = &*self.0;
+        // First bucket whose bound admits the value; beyond the last bound
+        // only the +Inf total count advances.
+        if let Some(i) = core.bounds.iter().position(|b| value <= *b) {
+            core.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a duration, in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: Vec<f64>) -> HistogramCore {
+        let buckets = bounds.iter().map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Sharded metric registry. Handles are atomics shared with call sites;
+//! the shard mutexes are held only while creating a handle or taking a
+//! snapshot, never on the metric hot path.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{default_bounds, Counter, FloatCounter, Gauge, Histogram, HistogramCore};
+use crate::snapshot::{MetricsSnapshot, Sample};
+use crate::Labels;
+
+const SHARDS: usize = 16;
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct Key {
+    name: &'static str,
+    /// Sorted by label key, so lookup order never matters.
+    labels: Vec<(&'static str, String)>,
+}
+
+impl Key {
+    fn new(name: &'static str, labels: Labels<'_>) -> Key {
+        let mut labels: Vec<(&'static str, String)> =
+            labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect();
+        labels.sort_unstable();
+        Key { name, labels }
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    FloatCounter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::FloatCounter(_) => "float_counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+pub(crate) struct Registry {
+    shards: [Mutex<HashMap<Key, Metric>>; SHARDS],
+}
+
+impl Registry {
+    pub(crate) fn new() -> Registry {
+        Registry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn with_entry<T>(
+        &self,
+        name: &'static str,
+        labels: Labels<'_>,
+        make: impl FnOnce() -> Metric,
+        open: impl FnOnce(&Metric) -> Option<T>,
+    ) -> T {
+        let key = Key::new(name, labels);
+        let mut shard = self.shards[key.shard()].lock();
+        let metric = shard.entry(key).or_insert_with(make);
+        match open(metric) {
+            Some(handle) => handle,
+            None => panic!(
+                "telemetry metric {name:?} already registered as a {}",
+                metric.kind()
+            ),
+        }
+    }
+
+    pub(crate) fn counter(&self, name: &'static str, labels: Labels<'_>) -> Counter {
+        self.with_entry(
+            name,
+            labels,
+            || Metric::Counter(Arc::new(AtomicU64::new(0))),
+            |m| match m {
+                Metric::Counter(cell) => Some(Counter::shared(Arc::clone(cell))),
+                _ => None,
+            },
+        )
+    }
+
+    pub(crate) fn float_counter(&self, name: &'static str, labels: Labels<'_>) -> FloatCounter {
+        self.with_entry(
+            name,
+            labels,
+            || Metric::FloatCounter(Arc::new(AtomicU64::new(0.0f64.to_bits()))),
+            |m| match m {
+                Metric::FloatCounter(cell) => Some(FloatCounter::shared(Arc::clone(cell))),
+                _ => None,
+            },
+        )
+    }
+
+    pub(crate) fn gauge(&self, name: &'static str, labels: Labels<'_>) -> Gauge {
+        self.with_entry(
+            name,
+            labels,
+            || Metric::Gauge(Arc::new(AtomicI64::new(0))),
+            |m| match m {
+                Metric::Gauge(cell) => Some(Gauge::shared(Arc::clone(cell))),
+                _ => None,
+            },
+        )
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str, labels: Labels<'_>) -> Histogram {
+        self.with_entry(
+            name,
+            labels,
+            || Metric::Histogram(Arc::new(HistogramCore::new(default_bounds()))),
+            |m| match m {
+                Metric::Histogram(core) => Some(Histogram::shared(Arc::clone(core))),
+                _ => None,
+            },
+        )
+    }
+
+    /// Flattens every metric into sorted scalar samples. Histograms expand
+    /// to cumulative `_bucket{le=..}` samples plus `_sum` and `_count`.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(Key, SnapValue)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (key, metric) in shard.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => SnapValue::Scalar(c.load(Ordering::Relaxed) as f64),
+                    Metric::FloatCounter(c) => {
+                        SnapValue::Scalar(f64::from_bits(c.load(Ordering::Relaxed)))
+                    }
+                    Metric::Gauge(g) => SnapValue::Scalar(g.load(Ordering::Relaxed) as f64),
+                    Metric::Histogram(core) => SnapValue::Histogram {
+                        bounds: core.bounds.clone(),
+                        buckets: core
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: core.count.load(Ordering::Relaxed),
+                        sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                    },
+                };
+                entries.push((key.clone(), value));
+            }
+        }
+        entries.sort_unstable_by(|(a, _), (b, _)| {
+            a.name.cmp(b.name).then_with(|| a.labels.cmp(&b.labels))
+        });
+
+        let mut samples = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            let labels: Vec<(String, String)> = key
+                .labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect();
+            match value {
+                SnapValue::Scalar(v) => samples.push(Sample {
+                    name: key.name.to_string(),
+                    labels,
+                    value: v,
+                }),
+                SnapValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (bound, in_bucket) in bounds.iter().zip(&buckets) {
+                        cumulative += in_bucket;
+                        samples.push(Sample {
+                            name: format!("{}_bucket", key.name),
+                            labels: with_le(&labels, crate::snapshot::format_value(*bound)),
+                            value: cumulative as f64,
+                        });
+                    }
+                    samples.push(Sample {
+                        name: format!("{}_bucket", key.name),
+                        labels: with_le(&labels, "+Inf".to_string()),
+                        value: count as f64,
+                    });
+                    samples.push(Sample {
+                        name: format!("{}_sum", key.name),
+                        labels: labels.clone(),
+                        value: sum,
+                    });
+                    samples.push(Sample {
+                        name: format!("{}_count", key.name),
+                        labels,
+                        value: count as f64,
+                    });
+                }
+            }
+        }
+        MetricsSnapshot::from_samples(samples)
+    }
+}
+
+enum SnapValue {
+    Scalar(f64),
+    Histogram {
+        bounds: Vec<f64>,
+        buckets: Vec<u64>,
+        count: u64,
+        sum: f64,
+    },
+}
+
+fn with_le(labels: &[(String, String)], le: String) -> Vec<(String, String)> {
+    let mut out = labels.to_vec();
+    out.push(("le".to_string(), le));
+    out
+}

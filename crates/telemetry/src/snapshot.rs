@@ -1,0 +1,104 @@
+//! Point-in-time view of the metric registry, flattened to scalar samples
+//! and rendered as stable, sorted, Prometheus-style text — the format the
+//! golden fixtures under `tests/golden/` lock down.
+
+use std::fmt::Write as _;
+
+/// One flattened metric sample: histograms have already been expanded into
+/// `_bucket`/`_sum`/`_count` scalars by the time a sample exists.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Sample {
+    pub(crate) name: String,
+    /// Sorted by label key (except `le`, which is appended to bucket
+    /// samples in bound order).
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) value: f64,
+}
+
+/// A stable snapshot of every registered metric.
+///
+/// Samples are ordered by `(name, labels)` with histogram buckets kept in
+/// bound order, so [`MetricsSnapshot::render`] is deterministic for a
+/// deterministic workload — suitable for byte-exact golden tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot of a disabled [`crate::Telemetry`]: no samples.
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    pub(crate) fn from_samples(samples: Vec<Sample>) -> MetricsSnapshot {
+        MetricsSnapshot { samples }
+    }
+
+    /// Whether the snapshot holds any samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of flattened samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Looks up a sample by name and label set (label order irrelevant).
+    /// Histogram data is addressed through its expanded forms, e.g.
+    /// `value_of("latency_count", &[])`.
+    pub fn value_of(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort_unstable();
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == want.len()
+                    && s.labels
+                        .iter()
+                        .zip(&want)
+                        .all(|((k, v), (wk, wv))| k == wk && v == wv)
+            })
+            .map(|s| s.value)
+    }
+
+    /// Iterates `(name, labels, value)` in render order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[(String, String)], f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.name.as_str(), s.labels.as_slice(), s.value))
+    }
+
+    /// Renders Prometheus-style text: one `name{k="v"} value` line per
+    /// sample, sorted, `\n`-terminated (empty snapshot renders to `""`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}={:?}", v);
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, " {}", format_value(s.value));
+        }
+        out
+    }
+}
+
+/// Stable scalar formatting: integral values print without a fractional
+/// part, everything else uses Rust's shortest-roundtrip `f64` display.
+pub(crate) fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}

@@ -1,0 +1,145 @@
+//! Hierarchical span guards. A span records its wall time and call count
+//! into the registry when dropped, under a `parent/child` path maintained
+//! per thread, and notifies every attached [`crate::TelemetrySink`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::sink::SpanRecord;
+use crate::Inner;
+
+thread_local! {
+    /// Stack of open span paths on this thread; the top is the parent of
+    /// the next span opened here.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small dense thread ids for trace output (`std::thread::ThreadId` has no
+/// stable integer form).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+struct SpanState {
+    inner: Arc<Inner>,
+    name: &'static str,
+    /// Full `parent/child` path of this span.
+    path: String,
+    labels: Vec<(&'static str, String)>,
+    start: Instant,
+    /// Per-span custom counters, merged by key, flushed on drop.
+    custom: Vec<(&'static str, u64)>,
+}
+
+/// A span guard returned by [`crate::Telemetry::span`] / the
+/// [`crate::span!`] macro. Recording happens on drop; an *inert* span
+/// (from disabled telemetry) carries no state and drops for free.
+#[must_use = "a span records when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    pub(crate) fn inert() -> Span {
+        Span { state: None }
+    }
+
+    pub(crate) fn enter(
+        inner: Arc<Inner>,
+        name: &'static str,
+        labels: &[(&'static str, String)],
+    ) -> Span {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            state: Some(SpanState {
+                inner,
+                name,
+                path,
+                labels: labels.to_vec(),
+                start: Instant::now(),
+                custom: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether this span actually records (false for inert spans).
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The full `parent/child` path, or `None` for inert spans.
+    pub fn path(&self) -> Option<&str> {
+        self.state.as_ref().map(|s| s.path.as_str())
+    }
+
+    /// Bumps a per-span custom counter; flushed on drop as a counter named
+    /// `key`, labeled with this span's path and labels. No-op when inert.
+    pub fn add(&mut self, key: &'static str, delta: u64) {
+        if let Some(state) = &mut self.state {
+            match state.custom.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, total)) => *total += delta,
+                None => state.custom.push((key, delta)),
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let duration = state.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are LIFO in correct usage; tolerate out-of-order drops
+            // by removing this path wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|p| *p == state.path) {
+                stack.remove(pos);
+            }
+        });
+
+        // `span` label + user labels, borrowed for registry lookup.
+        let mut labels: Vec<(&'static str, &str)> =
+            state.labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        labels.push(("span", state.path.as_str()));
+
+        let registry = &state.inner.registry;
+        registry.counter("perseus_span_calls_total", &labels).inc();
+        registry
+            .float_counter("perseus_span_seconds_total", &labels)
+            .add(duration.as_secs_f64());
+        for (key, delta) in &state.custom {
+            registry.counter(key, &labels).add(*delta);
+        }
+
+        let sinks = state.inner.sinks.read();
+        if !sinks.is_empty() {
+            let record = SpanRecord {
+                name: state.name,
+                path: state.path.clone(),
+                labels: state.labels.clone(),
+                custom: state.custom.clone(),
+                start: state.start,
+                duration,
+                thread: thread_ordinal(),
+            };
+            for sink in sinks.iter() {
+                sink.on_span(&record);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{span, Telemetry, TelemetrySink, TraceWriter};
+
+#[test]
+fn counters_register_and_accumulate() {
+    let tel = Telemetry::enabled();
+    let c = tel.counter("requests_total");
+    c.inc();
+    c.add(4);
+    assert_eq!(c.get(), 5);
+    // Same name+labels returns the same underlying atomic.
+    let again = tel.counter("requests_total");
+    again.inc();
+    assert_eq!(c.get(), 6);
+    assert_eq!(tel.snapshot().value_of("requests_total", &[]), Some(6.0));
+}
+
+#[test]
+fn labels_are_order_insensitive() {
+    let tel = Telemetry::enabled();
+    tel.counter_with("hits", &[("a", "1"), ("b", "2")]).inc();
+    tel.counter_with("hits", &[("b", "2"), ("a", "1")]).inc();
+    let snap = tel.snapshot();
+    assert_eq!(snap.len(), 1);
+    assert_eq!(snap.value_of("hits", &[("b", "2"), ("a", "1")]), Some(2.0));
+}
+
+#[test]
+fn float_counter_and_gauge() {
+    let tel = Telemetry::enabled();
+    let f = tel.float_counter("busy_seconds_total");
+    f.add(0.25);
+    f.add(0.5);
+    assert!((f.get() - 0.75).abs() < 1e-12);
+    let g = tel.gauge("occupancy");
+    g.add(3);
+    g.add(-1);
+    assert_eq!(g.get(), 2);
+    g.set(7);
+    let snap = tel.snapshot();
+    assert_eq!(snap.value_of("occupancy", &[]), Some(7.0));
+    assert_eq!(snap.value_of("busy_seconds_total", &[]), Some(0.75));
+}
+
+#[test]
+fn histogram_buckets_are_cumulative() {
+    let tel = Telemetry::enabled();
+    let h = tel.histogram("latency_seconds");
+    h.observe(0.5e-6); // first bucket (1e-6)
+    h.observe(3e-6); // 5e-6 bucket
+    h.observe(100.0); // beyond every bound: only +Inf
+    h.observe_duration(Duration::from_micros(2)); // 2.5e-6 bucket
+    assert_eq!(h.count(), 4);
+    let snap = tel.snapshot();
+    assert_eq!(
+        snap.value_of("latency_seconds_bucket", &[("le", "0.000001")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        snap.value_of("latency_seconds_bucket", &[("le", "0.0000025")]),
+        Some(2.0)
+    );
+    assert_eq!(
+        snap.value_of("latency_seconds_bucket", &[("le", "0.000005")]),
+        Some(3.0)
+    );
+    assert_eq!(
+        snap.value_of("latency_seconds_bucket", &[("le", "+Inf")]),
+        Some(4.0)
+    );
+    assert_eq!(snap.value_of("latency_seconds_count", &[]), Some(4.0));
+    let sum = snap.value_of("latency_seconds_sum", &[]).unwrap();
+    assert!((sum - 100.0000055).abs() < 1e-9, "sum = {sum}");
+}
+
+#[test]
+fn spans_nest_into_paths_and_flush_custom_counters() {
+    let tel = Telemetry::enabled();
+    {
+        let outer = span!(tel, "characterize", job = "gpt3");
+        assert_eq!(outer.path(), Some("characterize"));
+        {
+            let mut inner = span!(tel, "cut");
+            assert_eq!(inner.path(), Some("characterize/cut"));
+            inner.add("resolves", 2);
+            inner.add("resolves", 1);
+        }
+    }
+    let snap = tel.snapshot();
+    assert_eq!(
+        snap.value_of(
+            "perseus_span_calls_total",
+            &[("job", "gpt3"), ("span", "characterize")]
+        ),
+        Some(1.0)
+    );
+    assert_eq!(
+        snap.value_of("perseus_span_calls_total", &[("span", "characterize/cut")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        snap.value_of("resolves", &[("span", "characterize/cut")]),
+        Some(3.0)
+    );
+    // Wall time was recorded (monotonic clocks: non-negative is all we
+    // can assert portably).
+    assert!(
+        snap.value_of(
+            "perseus_span_seconds_total",
+            &[("span", "characterize/cut")]
+        )
+        .unwrap()
+            >= 0.0
+    );
+}
+
+#[test]
+fn disabled_telemetry_is_inert_but_usable() {
+    let tel = Telemetry::disabled();
+    assert!(!tel.is_enabled());
+    assert!(tel.now().is_none());
+    let c = tel.counter("ignored");
+    c.inc();
+    assert_eq!(c.get(), 1); // detached handles still count locally
+    let mut s = span!(tel, "lookup", job = "gpt3");
+    assert!(!s.is_recording());
+    assert_eq!(s.path(), None);
+    s.add("anything", 10);
+    drop(s);
+    let snap = tel.snapshot();
+    assert!(snap.is_empty());
+    assert_eq!(snap.render(), "");
+}
+
+#[test]
+fn render_is_sorted_and_stable() {
+    let tel = Telemetry::enabled();
+    tel.counter_with("zeta", &[("k", "1")]).add(3);
+    tel.counter("alpha").add(1);
+    tel.gauge_with("zeta", &[("k", "0")]).set(-2);
+    let rendered = tel.snapshot().render();
+    assert_eq!(rendered, "alpha 1\nzeta{k=\"0\"} -2\nzeta{k=\"1\"} 3\n");
+    // A second snapshot of the unchanged registry renders identically.
+    assert_eq!(tel.snapshot().render(), rendered);
+}
+
+#[test]
+#[should_panic(expected = "already registered")]
+fn kind_mismatch_panics() {
+    let tel = Telemetry::enabled();
+    tel.counter("metric").inc();
+    tel.gauge("metric");
+}
+
+struct CountingSink(std::sync::atomic::AtomicUsize);
+
+impl TelemetrySink for CountingSink {
+    fn on_span(&self, record: &crate::SpanRecord) {
+        assert!(!record.path.is_empty());
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn sinks_receive_every_closed_span() {
+    let tel = Telemetry::enabled();
+    let sink = Arc::new(CountingSink(std::sync::atomic::AtomicUsize::new(0)));
+    tel.add_sink(Arc::clone(&sink) as _);
+    drop(tel.span("a"));
+    drop(tel.span("b"));
+    assert_eq!(sink.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+}
+
+#[test]
+fn trace_writer_emits_chrome_json() {
+    let tel = Telemetry::enabled();
+    let trace = Arc::new(TraceWriter::new());
+    tel.add_sink(Arc::clone(&trace) as _);
+    {
+        let mut s = span!(tel, "lookup", job = "chaos");
+        s.add("faults", 1);
+    }
+    assert_eq!(trace.len(), 1);
+    let json = trace.to_chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"name\":\"lookup\""), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    assert!(json.contains("\"job\":\"chaos\""), "{json}");
+    assert!(json.contains("\"faults\":\"1\""), "{json}");
+    assert!(json.ends_with("]}"), "{json}");
+}
+
+#[test]
+fn spans_on_other_threads_do_not_inherit_this_path() {
+    let tel = Telemetry::enabled();
+    let _outer = tel.span("main");
+    let tel2 = tel.clone();
+    std::thread::spawn(move || {
+        let s = tel2.span("worker");
+        assert_eq!(s.path(), Some("worker"));
+    })
+    .join()
+    .unwrap();
+}

@@ -20,9 +20,11 @@
 
 mod plot;
 mod timeline;
+mod trace;
 
 pub use plot::{frontier_svg, FrontierPlot, Series};
 pub use timeline::{timeline_svg, TimelineStyle};
+pub use trace::{chrome_trace_string, write_chrome_trace};
 
 #[cfg(test)]
 mod tests;

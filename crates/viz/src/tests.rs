@@ -131,3 +131,26 @@ fn timeline_power_colors_span_blue_to_red() {
     assert!(cold > 0, "expected cold-colored forwards\n{svg}");
     assert!(hot > 0, "expected hot-colored backwards");
 }
+
+#[test]
+fn chrome_trace_export_is_valid_and_repeatable() {
+    use std::sync::Arc;
+
+    use perseus_telemetry::{span, Telemetry, TraceWriter};
+
+    let tel = Telemetry::enabled();
+    let writer = Arc::new(TraceWriter::new());
+    tel.add_sink(Arc::clone(&writer) as Arc<dyn perseus_telemetry::TelemetrySink>);
+    drop(span!(tel, "characterize", job = "gpt3-xl"));
+
+    let json = crate::chrome_trace_string(&writer);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"name\":\"characterize\""));
+    assert!(json.contains("\"ph\":\"X\""));
+
+    let mut buf = Vec::new();
+    crate::write_chrome_trace(&writer, &mut buf).unwrap();
+    assert_eq!(String::from_utf8(buf).unwrap(), json);
+    // Export is read-only: the writer still holds its event.
+    assert_eq!(writer.len(), 1);
+}

@@ -1,0 +1,27 @@
+//! Chrome-trace export: the bridge between the telemetry subsystem's
+//! [`TraceWriter`] and trace viewers (`chrome://tracing`, Perfetto).
+//!
+//! [`TraceWriter`] accumulates closed spans as complete events;
+//! [`write_chrome_trace`] streams them out as a Chrome trace JSON
+//! document, ready to load into a viewer. The export is a pure
+//! serialization step — it never mutates the writer, so a long-running
+//! process can export snapshots repeatedly.
+
+use std::io::{self, Write};
+
+use perseus_telemetry::TraceWriter;
+
+/// Writes `writer`'s accumulated spans as a Chrome trace JSON document.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn write_chrome_trace(writer: &TraceWriter, out: &mut impl Write) -> io::Result<()> {
+    out.write_all(writer.to_chrome_json().as_bytes())
+}
+
+/// Renders `writer`'s accumulated spans as Chrome trace JSON in memory —
+/// a convenience over [`write_chrome_trace`] for tests and small tools.
+pub fn chrome_trace_string(writer: &TraceWriter) -> String {
+    writer.to_chrome_json()
+}

@@ -16,6 +16,7 @@ pub use perseus_models as models;
 pub use perseus_pipeline as pipeline;
 pub use perseus_profiler as profiler;
 pub use perseus_server as server;
+pub use perseus_telemetry as telemetry;
 pub use perseus_viz as viz;
 
 /// README examples are kept compiling: the fenced Rust block in

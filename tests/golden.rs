@@ -54,3 +54,82 @@ fn fig9_frontier_matches_golden_fixture() {
         "fig9_frontier.txt",
     );
 }
+
+// ---- Telemetry neutrality: enabling metrics may never move a digit ----
+
+#[test]
+fn table3_with_telemetry_enabled_is_byte_identical() {
+    let tel = perseus_telemetry::Telemetry::enabled();
+    let mut buf = Vec::new();
+    perseus_bench::table3_report_with(&mut buf, &tel).expect("render table 3");
+    assert_matches_golden(
+        &String::from_utf8(buf).expect("utf-8 output"),
+        include_str!("golden/table3_intrinsic.txt"),
+        "table3_intrinsic.txt",
+    );
+    // The run did record something — neutrality is not vacuous.
+    assert!(!tel.snapshot().is_empty());
+}
+
+#[test]
+fn fig9_with_telemetry_enabled_is_byte_identical() {
+    let tel = perseus_telemetry::Telemetry::enabled();
+    let mut buf = Vec::new();
+    perseus_bench::fig9_report_with(&mut buf, false, &tel).expect("render figure 9");
+    assert_matches_golden(
+        &String::from_utf8(buf).expect("utf-8 output"),
+        include_str!("golden/fig9_frontier.txt"),
+        "fig9_frontier.txt",
+    );
+    assert!(!tel.snapshot().is_empty());
+}
+
+/// The metrics text format itself is a stable interface: a fixed metric
+/// program (explicit values only — no wall-clock anywhere) must render to
+/// the committed fixture byte for byte. Regenerate deliberately after an
+/// intended format change:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test --test golden metrics_snapshot
+/// ```
+#[test]
+fn metrics_snapshot_matches_golden_fixture() {
+    let tel = perseus_telemetry::Telemetry::enabled();
+    tel.counter("perseus_flow_max_flow_calls_total").add(3);
+    tel.counter_with(
+        "perseus_server_degraded_lookups_total",
+        &[("job", "gpt3-xl")],
+    )
+    .inc();
+    tel.counter_with(
+        "perseus_server_degraded_lookups_total",
+        &[("job", "bloom-176b")],
+    )
+    .add(2);
+    tel.float_counter_with(
+        "perseus_emulator_stage_busy_seconds_total",
+        &[("policy", "perseus"), ("stage", "0")],
+    )
+    .add(1.5);
+    tel.gauge("perseus_server_workers_busy").set(2);
+    let lookups = tel.histogram_with("perseus_server_lookup_seconds", &[("job", "gpt3-xl")]);
+    lookups.observe(5e-7);
+    lookups.observe(2e-6);
+    lookups.observe(0.25);
+    let got = tel.snapshot().render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/metrics_snapshot.txt"
+            ),
+            &got,
+        )
+        .expect("write fixture");
+    }
+    assert_matches_golden(
+        &got,
+        include_str!("golden/metrics_snapshot.txt"),
+        "metrics_snapshot.txt",
+    );
+}
