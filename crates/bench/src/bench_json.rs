@@ -1,0 +1,108 @@
+//! Machine-readable benchmark results: `BENCH_perseus.json`.
+//!
+//! The suite binaries (`emulation_suite`, `chaos_suite`) accept
+//! `--bench-json <path>` and write one entry per suite — wall time,
+//! total energy, and the useful / intrinsic / extrinsic bloat split —
+//! so CI can archive a structured artifact next to the human-readable
+//! stdout reports. The JSON is hand-rolled (the workspace is offline);
+//! keys are emitted in entry order, values with fixed three-decimal
+//! precision.
+
+use std::io;
+use std::path::Path;
+
+use perseus_core::EnergyBreakdown;
+
+/// One benchmark suite result.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Suite name (e.g. `emulation_suite`, `chaos_suite/seed1337`).
+    pub name: String,
+    /// Wall-clock time spent producing the suite, seconds.
+    pub wall_time_s: f64,
+    /// Total energy the suite accounted, joules.
+    pub total_energy_j: f64,
+    /// Useful joules of the total (slack-filling alternative).
+    pub useful_j: f64,
+    /// Intrinsic-bloat joules (imbalance inside a pipeline).
+    pub intrinsic_j: f64,
+    /// Extrinsic-bloat joules (gradient-sync straggler wait).
+    pub extrinsic_j: f64,
+}
+
+impl BenchEntry {
+    /// An entry whose energy columns come from an attribution breakdown.
+    pub fn from_breakdown(
+        name: impl Into<String>,
+        wall_time_s: f64,
+        b: &EnergyBreakdown,
+    ) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            wall_time_s,
+            total_energy_j: b.total_j(),
+            useful_j: b.useful_j,
+            intrinsic_j: b.intrinsic_j,
+            extrinsic_j: b.extrinsic_j,
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0.000".into()
+    }
+}
+
+/// Renders the entries as the `BENCH_perseus.json` document:
+/// `{"suites": {name: {wall_time_s, total_energy_j, useful_j,
+/// intrinsic_j, extrinsic_j}}}`.
+pub fn render_bench_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n  \"suites\": {");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    \"{}\": {{\"wall_time_s\": {}, \"total_energy_j\": {}, \"useful_j\": {}, \
+             \"intrinsic_j\": {}, \"extrinsic_j\": {}}}",
+            json_escape(&e.name),
+            num(e.wall_time_s),
+            num(e.total_energy_j),
+            num(e.useful_j),
+            num(e.intrinsic_j),
+            num(e.extrinsic_j),
+        ));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Writes [`render_bench_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(path: &Path, entries: &[BenchEntry]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_bench_json(entries))
+}

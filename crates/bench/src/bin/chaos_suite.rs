@@ -14,10 +14,14 @@
 //! With `--metrics`, telemetry (server lookup latency, degraded-lookup
 //! counts, characterization spans) is recorded and the metrics snapshot is
 //! printed to **stderr**; stdout stays byte-identical to the metrics-free
-//! run.
+//! run. With `--bench-json <path>`, machine-readable results (wall time,
+//! energy totals, bloat breakdown from the flight record) are written as
+//! JSON. With `--flight-dump <path>`, a faulted run leaves its
+//! per-iteration flight record as a JSON post-mortem.
 //!
 //! Run: `cargo run --release -p perseus-bench --bin chaos_suite -- \
-//!        [--seed N] [--iterations N] [--max-degraded N] [--metrics]`
+//!        [--seed N] [--iterations N] [--max-degraded N] [--metrics] \
+//!        [--bench-json BENCH_perseus.json] [--flight-dump flight.json]`
 
 use perseus_chaos::{run_chaos, ChaosConfig};
 use perseus_cluster::{ClusterConfig, Emulator, Policy};
@@ -37,12 +41,21 @@ fn arg_value(args: &[String], flag: &str) -> Option<u64> {
         })
 }
 
+fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = arg_value(&args, "--seed").unwrap_or(0);
     let iterations = arg_value(&args, "--iterations").unwrap_or(100) as usize;
     let max_degraded = arg_value(&args, "--max-degraded");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let bench_json = arg_str(&args, "--bench-json");
+    let flight_dump = arg_str(&args, "--flight-dump");
     let tel = if metrics {
         Telemetry::enabled()
     } else {
@@ -52,8 +65,11 @@ fn main() {
     if seed == 0 {
         // Fault-free: exactly the emulation suite, same code path.
         let stdout = std::io::stdout();
-        perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel)
+        let entries = perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel)
             .expect("write to stdout");
+        if let Some(path) = bench_json {
+            perseus_bench::write_bench_json(path.as_ref(), &entries).expect("write bench json");
+        }
         if metrics {
             eprint!("{}", tel.snapshot().render());
         }
@@ -78,9 +94,27 @@ fn main() {
         seed,
         iterations,
         policy: Policy::Perseus,
+        flight_dump: flight_dump.map(Into::into),
         ..Default::default()
     };
+    let t0 = std::time::Instant::now();
     let r = run_chaos(&mut emu, &cfg).expect("chaos run completes");
+    if let Some(path) = bench_json {
+        let mut split = perseus_core::EnergyBreakdown::default();
+        for s in &r.flight.samples {
+            split.accumulate(perseus_core::EnergyBreakdown {
+                useful_j: s.useful_j,
+                intrinsic_j: s.intrinsic_j,
+                extrinsic_j: s.extrinsic_j,
+            });
+        }
+        let entry = perseus_bench::BenchEntry::from_breakdown(
+            format!("chaos_suite/seed{seed}"),
+            t0.elapsed().as_secs_f64(),
+            &split,
+        );
+        perseus_bench::write_bench_json(path.as_ref(), &[entry]).expect("write bench json");
+    }
 
     println!("== Chaos suite: seed {seed}, {iterations} iterations ==");
     println!("faults scheduled        {:>10}", r.faults_scheduled);

@@ -10,20 +10,34 @@
 //! With `--metrics`, characterization telemetry is recorded and the
 //! metrics snapshot is printed to **stderr**; stdout stays byte-identical
 //! to the metrics-free run (the golden-trace CI gate relies on this).
+//! With `--bench-json <path>`, the machine-readable suite results (wall
+//! time, energy totals, bloat breakdown) are written as JSON — stdout is
+//! untouched either way.
 //!
-//! Run: `cargo run --release -p perseus-bench --bin emulation_suite [-- --metrics]`
+//! Run: `cargo run --release -p perseus-bench --bin emulation_suite \
+//!        [-- --metrics] [--bench-json BENCH_perseus.json]`
 
 use perseus_telemetry::Telemetry;
 
 fn main() {
-    let metrics = std::env::args().any(|a| a == "--metrics");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let bench_json = args
+        .iter()
+        .position(|a| a == "--bench-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let tel = if metrics {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
     let stdout = std::io::stdout();
-    perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel).expect("write to stdout");
+    let entries = perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel)
+        .expect("write to stdout");
+    if let Some(path) = bench_json {
+        perseus_bench::write_bench_json(path.as_ref(), &entries).expect("write bench json");
+    }
     if metrics {
         eprint!("{}", tel.snapshot().render());
     }

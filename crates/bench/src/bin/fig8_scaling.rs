@@ -1,0 +1,25 @@
+//! Figure 8 scaling: how the *extrinsic* share of energy bloat grows
+//! with straggler slowdown across the Table 5 strong-scaling
+//! configurations (A100, all-max attribution), with a machine-checkable
+//! monotone-growth claim line. Stdout is golden-gated in CI.
+//!
+//! With `--metrics`, characterization telemetry is recorded and the
+//! snapshot printed to **stderr**; stdout stays byte-identical.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin fig8_scaling [-- --metrics]`
+
+use perseus_telemetry::Telemetry;
+
+fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let stdout = std::io::stdout();
+    perseus_bench::fig8_scaling_report_with(&mut stdout.lock(), &tel).expect("write to stdout");
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
+    }
+}

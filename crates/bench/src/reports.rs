@@ -8,15 +8,19 @@
 
 use std::collections::HashMap;
 use std::io::{self, Write};
+use std::time::Instant;
 
 use perseus_baselines::{AllMaxFreq, ZeusGlobal, ZeusPerStage};
-use perseus_cluster::{strong_scaling_table5, ClusterConfig, Emulator, Policy};
-use perseus_core::{FrontierOptions, Planner};
+use perseus_cluster::{
+    strong_scaling_table5, ClusterAttribution, ClusterConfig, Emulator, Policy, StragglerCause,
+};
+use perseus_core::{EnergyBreakdown, EnergyKind, FrontierOptions, Planner};
 use perseus_gpu::GpuSpec;
 use perseus_models::{zoo, ModelSpec};
 use perseus_pipeline::ScheduleKind;
 use perseus_telemetry::Telemetry;
 
+use crate::bench_json::BenchEntry;
 use crate::{a100_workloads, a40_workloads, testbed_emulator_with};
 
 /// Table 3: intrinsic energy-bloat reduction (no stragglers) and iteration
@@ -312,11 +316,13 @@ fn suite_emulator(
 }
 
 /// The §6.3 large-scale emulation suite: Table 6, Figure 7, and Figure 8.
+/// Returns the machine-readable [`BenchEntry`] rows the `--bench-json`
+/// flag serializes (one aggregate plus one per model).
 ///
 /// # Errors
 ///
 /// Propagates write failures from `out`.
-pub fn emulation_suite_report(out: &mut impl Write) -> io::Result<()> {
+pub fn emulation_suite_report(out: &mut impl Write) -> io::Result<Vec<BenchEntry>> {
     emulation_suite_report_with(out, &Telemetry::disabled())
 }
 
@@ -326,7 +332,12 @@ pub fn emulation_suite_report(out: &mut impl Write) -> io::Result<()> {
 /// # Errors
 ///
 /// Propagates write failures from `out`.
-pub fn emulation_suite_report_with(out: &mut impl Write, telemetry: &Telemetry) -> io::Result<()> {
+pub fn emulation_suite_report_with(
+    out: &mut impl Write,
+    telemetry: &Telemetry,
+) -> io::Result<Vec<BenchEntry>> {
+    let suite_start = Instant::now();
+    let mut char_time = [0.0f64; SUITE_MODELS.len()];
     let scaling = strong_scaling_table5();
 
     // ---- Table 6: intrinsic savings vs #microbatches ----
@@ -351,9 +362,11 @@ pub fn emulation_suite_report_with(out: &mut impl Write, telemetry: &Telemetry) 
             )?;
             for cfg in scaling.iter().rev() {
                 // rev(): ascending microbatch count 12, 24, 48, 96
+                let t0 = Instant::now();
                 let emu = emus
                     .entry((mi, gi, cfg.n_microbatches))
                     .or_insert_with(|| suite_emulator(*ctor, gpu.clone(), cfg, telemetry));
+                char_time[mi] += t0.elapsed().as_secs_f64();
                 let s = emu.savings(Policy::Perseus, None).expect("savings");
                 write!(out, " {:>8.2}", s.savings_pct)?;
             }
@@ -443,5 +456,274 @@ pub fn emulation_suite_report_with(out: &mut impl Write, telemetry: &Telemetry) 
         out,
         "figure), then wane; fewer microbatches (more pipelines) => higher savings %."
     )?;
+
+    // ---- Machine-readable entries (never written to `out`: the stdout
+    // report stays byte-identical with or without --bench-json) ----
+    let mut entries = Vec::new();
+    let mut aggregate = EnergyBreakdown::default();
+    for (mi, (name, _)) in SUITE_MODELS.iter().enumerate() {
+        let attr = emus[&(mi, 0usize, 96usize)]
+            .attribute(
+                Policy::Perseus,
+                Some(StragglerCause::Slowdown { degree: 1.2 }),
+            )
+            .expect("attribution")
+            .total();
+        aggregate.accumulate(attr);
+        entries.push(BenchEntry::from_breakdown(
+            format!("emulation_suite/{name}"),
+            char_time[mi],
+            &attr,
+        ));
+    }
+    entries.insert(
+        0,
+        BenchEntry::from_breakdown(
+            "emulation_suite",
+            suite_start.elapsed().as_secs_f64(),
+            &aggregate,
+        ),
+    );
+    Ok(entries)
+}
+
+/// Cache of the A100 suite emulators the breakdown reports share, keyed
+/// by (model index, microbatch count). Figure 7 needs the M=96 pair;
+/// Figure 8 needs all four Table 5 scaling rows — a superset, so one
+/// cache serves both without re-characterizing.
+type BreakdownCache = HashMap<(usize, usize), Emulator>;
+
+fn breakdown_emulator<'a>(
+    cache: &'a mut BreakdownCache,
+    mi: usize,
+    cfg: &perseus_cluster::ScalingConfig,
+    telemetry: &Telemetry,
+) -> &'a Emulator {
+    cache
+        .entry((mi, cfg.n_microbatches))
+        .or_insert_with(|| suite_emulator(SUITE_MODELS[mi].1, GpuSpec::a100_sxm(), cfg, telemetry))
+}
+
+/// One attributed bar of the Figure 7 breakdown: a (model, policy) pair
+/// with its cluster-level energy split.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Workload name.
+    pub model: &'static str,
+    /// Frequency policy the attribution was taken under.
+    pub policy: &'static str,
+    /// Cluster joules per iteration, split useful/intrinsic/extrinsic.
+    pub breakdown: EnergyBreakdown,
+}
+
+fn fig7_breakdown_impl(
+    out: &mut impl Write,
+    cache: &mut BreakdownCache,
+    telemetry: &Telemetry,
+) -> io::Result<Vec<BreakdownRow>> {
+    let scaling = strong_scaling_table5();
+    let fig7_cfg = &scaling[0]; // 1024 GPUs, 16 pipelines, M=96
+    let cause = Some(StragglerCause::Slowdown { degree: 1.2 });
+    let mut rows = Vec::new();
+    let mut claim_holds = true;
+
+    writeln!(
+        out,
+        "== Figure 7 breakdown: energy attribution at straggler slowdown 1.20 =="
+    )?;
+    writeln!(
+        out,
+        "(A100, {} GPUs, {} pipelines, M={}; cluster joules per iteration, Eq. 3)",
+        fig7_cfg.n_gpus, fig7_cfg.n_pipelines, fig7_cfg.n_microbatches
+    )?;
+    for (mi, (name, _)) in SUITE_MODELS.iter().enumerate() {
+        let emu = breakdown_emulator(cache, mi, fig7_cfg, telemetry);
+        writeln!(out, "\n--- {name} ---")?;
+        writeln!(
+            out,
+            "{:<10} {:>16} {:>14} {:>14} {:>14} {:>8} {:>12}",
+            "policy", "total J", "useful J", "intrinsic J", "extrinsic J", "bloat%", "extr/bloat%"
+        )?;
+        let mut attrs: Vec<(&'static str, ClusterAttribution)> = Vec::new();
+        for (label, policy) in [("all-max", Policy::AllMax), ("perseus", Policy::Perseus)] {
+            let attr = emu.attribute(policy, cause).expect("attribution");
+            let b = attr.total();
+            writeln!(
+                out,
+                "{:<10} {:>16.1} {:>14.1} {:>14.1} {:>14.1} {:>8.2} {:>12.2}",
+                label,
+                b.total_j(),
+                b.useful_j,
+                b.intrinsic_j,
+                b.extrinsic_j,
+                b.bloat_share() * 100.0,
+                b.extrinsic_share_of_bloat() * 100.0,
+            )?;
+            rows.push(BreakdownRow {
+                model: name,
+                policy: label,
+                breakdown: b,
+            });
+            attrs.push((label, attr));
+        }
+
+        // Where the all-max bloat sits: per-instruction-kind split of one
+        // non-straggler pipeline (the 15 that wait, not the one that lags).
+        let all_max = &attrs[0].1.non_straggler;
+        writeln!(out, "per-kind, one non-straggler pipeline (all-max):")?;
+        for kind in EnergyKind::ALL {
+            let k = all_max.kind(kind);
+            if k.total_j() == 0.0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "  {:<10} {:>14.1} {:>14.1} {:>14.1}",
+                kind.label(),
+                k.useful_j,
+                k.intrinsic_j,
+                k.extrinsic_j
+            )?;
+        }
+        let (min_s, max_s) = all_max.per_stage.iter().enumerate().fold(
+            ((0usize, f64::INFINITY), (0usize, f64::NEG_INFINITY)),
+            |(lo, hi), (s, b)| {
+                let t = b.intrinsic_j;
+                (
+                    if t < lo.1 { (s, t) } else { lo },
+                    if t > hi.1 { (s, t) } else { hi },
+                )
+            },
+        );
+        writeln!(
+            out,
+            "per-stage intrinsic spread (all-max): min stage {} {:.1} J, max stage {} {:.1} J",
+            min_s.0, min_s.1, max_s.0, max_s.1
+        )?;
+
+        let b = &rows[rows.len() - 2].breakdown; // the all-max cluster split
+        claim_holds &= b.intrinsic_j > 0.0 && b.extrinsic_j > 0.0;
+    }
+    writeln!(
+        out,
+        "\nclaim (fig7): intrinsic and extrinsic bloat both nonzero at slowdown 1.2: {}",
+        if claim_holds { "HOLDS" } else { "VIOLATED" }
+    )?;
+    Ok(rows)
+}
+
+fn fig8_scaling_impl(
+    out: &mut impl Write,
+    cache: &mut BreakdownCache,
+    telemetry: &Telemetry,
+) -> io::Result<()> {
+    let scaling = strong_scaling_table5();
+    let degrees = [1.05, 1.1, 1.2, 1.3, 1.4, 1.5];
+    writeln!(
+        out,
+        "== Figure 8 scaling: extrinsic share of bloat vs straggler slowdown =="
+    )?;
+    writeln!(
+        out,
+        "(A100, all-max attribution; % of total bloat that is straggler wait)"
+    )?;
+    let mut claim_holds = true;
+    for (mi, (name, _)) in SUITE_MODELS.iter().enumerate() {
+        writeln!(out, "--- {name} ---")?;
+        write!(out, "{:<26}", "config")?;
+        for d in degrees {
+            write!(out, " {d:>6.2}")?;
+        }
+        writeln!(out)?;
+        for cfg in &scaling {
+            let emu = breakdown_emulator(cache, mi, cfg, telemetry);
+            write!(
+                out,
+                "{:>5} GPUs x{:>3} pipes M{:<3}",
+                cfg.n_gpus, cfg.n_pipelines, cfg.n_microbatches
+            )?;
+            let mut prev = f64::NEG_INFINITY;
+            for d in degrees {
+                let b = emu
+                    .attribute(Policy::AllMax, Some(StragglerCause::Slowdown { degree: d }))
+                    .expect("attribution")
+                    .total();
+                let share = b.extrinsic_share_of_bloat() * 100.0;
+                claim_holds &= share >= prev - 1e-9;
+                prev = share;
+                write!(out, " {share:>6.1}")?;
+            }
+            writeln!(out)?;
+        }
+    }
+    writeln!(
+        out,
+        "\nclaim (fig8): extrinsic share of bloat grows with straggler slowdown in every config: {}",
+        if claim_holds { "HOLDS" } else { "VIOLATED" }
+    )?;
     Ok(())
+}
+
+/// The Figure 7 attribution breakdown: cluster energy of the §6.3 M=96
+/// A100 workloads split into useful / intrinsic / extrinsic joules under
+/// all-max and Perseus at straggler slowdown 1.2. Returns the rows for
+/// SVG rendering.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn fig7_breakdown_report(out: &mut impl Write) -> io::Result<Vec<BreakdownRow>> {
+    fig7_breakdown_report_with(out, &Telemetry::disabled())
+}
+
+/// [`fig7_breakdown_report`] recording characterization counters into
+/// `telemetry`; the report is byte-identical either way.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn fig7_breakdown_report_with(
+    out: &mut impl Write,
+    telemetry: &Telemetry,
+) -> io::Result<Vec<BreakdownRow>> {
+    fig7_breakdown_impl(out, &mut BreakdownCache::new(), telemetry)
+}
+
+/// The Figure 8 attribution scaling sweep: extrinsic share of total
+/// bloat versus straggler slowdown across the Table 5 strong-scaling
+/// configurations, under all-max attribution.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn fig8_scaling_report(out: &mut impl Write) -> io::Result<()> {
+    fig8_scaling_report_with(out, &Telemetry::disabled())
+}
+
+/// [`fig8_scaling_report`] recording characterization counters into
+/// `telemetry`; the report is byte-identical either way.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn fig8_scaling_report_with(out: &mut impl Write, telemetry: &Telemetry) -> io::Result<()> {
+    fig8_scaling_impl(out, &mut BreakdownCache::new(), telemetry)
+}
+
+/// Renders both breakdown reports from one shared emulator cache
+/// (Figure 7's two M=96 emulators are a subset of Figure 8's eight) —
+/// the golden-trace tests use this to avoid characterizing twice.
+///
+/// # Errors
+///
+/// Propagates write failures from either writer.
+pub fn breakdown_reports_with(
+    fig7_out: &mut impl Write,
+    fig8_out: &mut impl Write,
+    telemetry: &Telemetry,
+) -> io::Result<Vec<BreakdownRow>> {
+    let mut cache = BreakdownCache::new();
+    let rows = fig7_breakdown_impl(fig7_out, &mut cache, telemetry)?;
+    fig8_scaling_impl(fig8_out, &mut cache, telemetry)?;
+    Ok(rows)
 }

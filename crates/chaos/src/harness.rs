@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +28,7 @@ use perseus_profiler::{OpProfile, ProfileDb};
 use perseus_server::{
     ClientConfig, FaultInjector, JobClient, JobSpec, PerseusServer, ServerError, SubmissionFault,
 };
+use perseus_telemetry::{FlightSnapshot, IterationSample};
 
 use crate::plan::{FaultKind, FaultPlan};
 
@@ -69,7 +71,7 @@ impl From<ChaosError> for perseus_core::Error {
 }
 
 /// Parameters of one chaos run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChaosConfig {
     /// Fault-plan seed (0 = fault-free).
     pub seed: u64,
@@ -82,6 +84,12 @@ pub struct ChaosConfig {
     pub reaction_delay_iters: usize,
     /// Client-side retry/timeout configuration for server traffic.
     pub retry: ClientConfig,
+    /// Where to write the flight-recorder post-mortem. Armed on the
+    /// server for containment dumps (lost/panicked characterizations),
+    /// and written by the harness at the end of any run that injected at
+    /// least one fault. `None` disables dumping; the in-memory
+    /// [`FlightSnapshot`] in the report is populated either way.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -92,6 +100,7 @@ impl Default for ChaosConfig {
             policy: Policy::Perseus,
             reaction_delay_iters: 1,
             retry: ClientConfig::default(),
+            flight_dump: None,
         }
     }
 }
@@ -128,6 +137,11 @@ pub struct ChaosReport {
     /// The fault-free critical path: the all-max iteration time before
     /// any fault fired. No iteration can be faster than this.
     pub fault_free_critical_path_s: f64,
+    /// The per-iteration flight record of the run: one
+    /// [`IterationSample`] per simulated iteration (oldest evicted once
+    /// the ring fills), with the cluster's energy split into useful /
+    /// intrinsic / extrinsic joules.
+    pub flight: FlightSnapshot,
 }
 
 /// A [`FaultInjector`] fed from a script: each characterization task pops
@@ -243,6 +257,10 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     ));
     let injector = Arc::new(ScriptedInjector::new());
     server.set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
+    // Containment dumps: if a characterization is lost or panics and the
+    // server absorbs it, the flight record is written immediately — the
+    // post-mortem exists even if the run never reaches its end.
+    server.arm_flight_dump(cfg.flight_dump.clone());
     server.register_job(JobSpec {
         name: "chaos".into(),
         pipe: emu.pipe().clone(),
@@ -265,8 +283,10 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     let mut total_time = 0.0;
     let mut min_iter_time = f64::INFINITY;
     let mut next_event = 0;
+    let mut prev_degraded_lookups = 0u64;
 
     for iter in 0..cfg.iterations {
+        let faults_before = faults_injected;
         while next_event < plan.events().len() && plan.events()[next_event].at_iteration <= iter {
             let event = plan.events()[next_event];
             next_event += 1;
@@ -322,6 +342,44 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         total_energy += report.total_j();
         total_time += report.sync_time_s;
         min_iter_time = min_iter_time.min(report.sync_time_s);
+
+        // Flight recorder: one sample per iteration. The attribution twin
+        // of the report splits the same joules into useful / intrinsic /
+        // extrinsic; the deployed frequency envelope comes from the same
+        // believed-deadline selection the report uses. Observe-only — no
+        // accumulator above reads anything recorded here.
+        let breakdown = emu
+            .attribute_with_belief(cfg.policy, believed, actual)?
+            .total();
+        let plan_out = emu.plan_of(cfg.policy)?;
+        let (mut freq_min, mut freq_max) = (u32::MAX, 0u32);
+        for freq in plan_out.select(believed).freqs.iter().flatten() {
+            freq_min = freq_min.min(freq.0);
+            freq_max = freq_max.max(freq.0);
+        }
+        let status = server.job_status("chaos")?;
+        let degraded_now = status.chaos.degraded_lookups;
+        server.flight_recorder().record(IterationSample {
+            iteration: iter as u64,
+            sync_time_s: report.sync_time_s,
+            useful_j: breakdown.useful_j,
+            intrinsic_j: breakdown.intrinsic_j,
+            extrinsic_j: breakdown.extrinsic_j,
+            freq_min_mhz: if freq_min == u32::MAX { 0 } else { freq_min },
+            freq_max_mhz: freq_max,
+            degraded: status.degraded,
+            degraded_lookups: degraded_now - prev_degraded_lookups,
+            faults: faults_injected - faults_before,
+        });
+        prev_degraded_lookups = degraded_now;
+    }
+
+    // End-of-run post-mortem: any faulted run leaves its time series on
+    // disk next to whatever the server's containment path already wrote.
+    if faults_injected > 0 {
+        if let Some(path) = &cfg.flight_dump {
+            let _ = server.flight_recorder().dump_to(path);
+        }
     }
 
     let stats = server
@@ -346,5 +404,6 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
             0.0
         },
         fault_free_critical_path_s,
+        flight: server.flight_record(),
     })
 }

@@ -210,3 +210,109 @@ fn degraded_lookups_report_matches_telemetry_counter() {
         );
     }
 }
+
+mod flight {
+    use super::*;
+
+    /// The acceptance gate of the flight recorder: a chaos-seeded run
+    /// writes a post-mortem dump, and the degraded bookkeeping inside it
+    /// (per-sample `degraded_lookups` deltas) sums to exactly the
+    /// `degraded_lookups` telemetry counter — three observation paths
+    /// (server atomics, telemetry counter, flight record) that may never
+    /// drift apart.
+    #[test]
+    fn chaos_run_dumps_flight_record_consistent_with_degraded_counter() {
+        let tel = perseus_telemetry::Telemetry::enabled();
+        let mut emu = Emulator::with_telemetry(small_config(), tel.clone()).unwrap();
+        let dump = std::env::temp_dir().join("perseus-chaos-flight-test/postmortem.json");
+        let _ = std::fs::remove_file(&dump);
+        let cfg = ChaosConfig {
+            seed: 1337,
+            iterations: 40,
+            flight_dump: Some(dump.clone()),
+            ..Default::default()
+        };
+        let report = run_chaos(&mut emu, &cfg).unwrap();
+        assert!(report.faults_injected > 0);
+
+        // The dump exists and is the snapshot's own JSON rendering.
+        let written = std::fs::read_to_string(&dump).expect("post-mortem dump written");
+        assert!(written.contains("\"samples\": ["));
+        assert_eq!(written, report.flight.to_json());
+
+        // One sample per iteration, in order, none evicted at this size.
+        assert_eq!(report.flight.samples.len(), 40);
+        assert_eq!(report.flight.dropped, 0);
+        assert!(report
+            .flight
+            .samples
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.iteration == i as u64));
+
+        // Degraded bookkeeping: flight record == server atomics ==
+        // telemetry counter; every recorded fault is accounted for.
+        assert_eq!(report.flight.degraded_lookups(), report.degraded_lookups);
+        let counted = tel
+            .snapshot()
+            .value_of("perseus_server_degraded_lookups_total", &[("job", "chaos")])
+            .unwrap_or(0.0);
+        assert_eq!(report.flight.degraded_lookups() as f64, counted);
+        assert_eq!(report.flight.faults(), report.faults_injected);
+
+        let _ = std::fs::remove_file(&dump);
+    }
+
+    /// Ledger conservation end to end under seeded chaos (straggler
+    /// spikes, frequency caps, clock skew, worker faults): the recorded
+    /// useful + intrinsic + extrinsic joules re-sum to the run's energy
+    /// accumulator, which was computed by the independent report path.
+    #[test]
+    fn flight_samples_conserve_run_energy_under_faults() {
+        for seed in [7u64, 1337] {
+            let mut emu = Emulator::new(small_config()).unwrap();
+            let cfg = ChaosConfig {
+                seed,
+                iterations: 24,
+                ..Default::default()
+            };
+            let report = run_chaos(&mut emu, &cfg).unwrap();
+            assert_eq!(report.flight.samples.len(), 24);
+            let recorded: f64 = report.flight.samples.iter().map(|s| s.total_j()).sum();
+            assert!(
+                (recorded - report.total_energy_j).abs() <= 1e-9 * report.total_energy_j,
+                "seed {seed}: flight record sums to {recorded} J, run accumulated {} J",
+                report.total_energy_j
+            );
+            for s in &report.flight.samples {
+                assert!(s.useful_j.is_finite() && s.useful_j >= 0.0);
+                assert!(s.intrinsic_j.is_finite() && s.intrinsic_j >= 0.0);
+                assert!(s.extrinsic_j.is_finite() && s.extrinsic_j >= 0.0);
+                assert!(s.freq_min_mhz <= s.freq_max_mhz);
+                assert!(s.freq_max_mhz > 0, "schedule assigns real frequencies");
+                assert!(s.sync_time_s > 0.0);
+            }
+        }
+    }
+
+    /// A fault-free run records its time series but writes no post-mortem:
+    /// dumping is an incident artifact, not a steady-state side effect.
+    #[test]
+    fn fault_free_run_records_but_never_dumps() {
+        let mut emu = Emulator::new(small_config()).unwrap();
+        let dump = std::env::temp_dir().join("perseus-chaos-flight-test/never-written.json");
+        let _ = std::fs::remove_file(&dump);
+        let cfg = ChaosConfig {
+            seed: 0,
+            iterations: 10,
+            flight_dump: Some(dump.clone()),
+            ..Default::default()
+        };
+        let report = run_chaos(&mut emu, &cfg).unwrap();
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.flight.samples.len(), 10);
+        assert!(report.flight.samples.iter().all(|s| !s.degraded));
+        assert_eq!(report.flight.faults(), 0);
+        assert!(!dump.exists(), "fault-free runs leave no post-mortem");
+    }
+}

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use perseus_baselines::AllMaxFreq;
 use perseus_core::{
-    CoreError, FrontierOptions, ParetoFrontier, PipelineEnergy, PlanContext, PlanOutput, Planner,
+    attribute_schedule, BloatLedger, CoreError, EnergyBreakdown, FrontierOptions, ParetoFrontier,
+    PipelineEnergy, PlanContext, PlanOutput, Planner, ScheduleAttribution,
 };
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_models::{
@@ -210,6 +211,56 @@ impl ClusterReport {
     /// Average cluster power draw, watts.
     pub fn avg_power_w(&self) -> f64 {
         self.total_j() / self.sync_time_s
+    }
+}
+
+/// The [`ClusterReport`]'s companion on the attribution side: where every
+/// joule of one synchronized cluster iteration went, per pipeline role.
+///
+/// Produced by [`Emulator::attribute`] with exactly the arithmetic of
+/// [`Emulator::report`], so `total().total_j()` equals the report's
+/// `total_j()` for the same inputs.
+#[derive(Debug, Clone)]
+pub struct ClusterAttribution {
+    /// Attribution of one non-straggler pipeline.
+    pub non_straggler: ScheduleAttribution,
+    /// Attribution of the straggler pipeline, if one exists.
+    pub straggler: Option<ScheduleAttribution>,
+    /// Pipelines in the cluster.
+    pub n_pipelines: usize,
+    /// GPUs per stage (energy multiplier, as in [`ClusterReport`]).
+    pub tensor_parallel: usize,
+}
+
+impl ClusterAttribution {
+    /// Whole-cluster breakdown for one iteration: non-straggler pipelines
+    /// replicated, the straggler added, everything multiplied by the
+    /// tensor-parallel degree.
+    pub fn total(&self) -> EnergyBreakdown {
+        let stragglers = usize::from(self.straggler.is_some());
+        let mut sum = self
+            .non_straggler
+            .total
+            .scaled((self.n_pipelines - stragglers) as f64);
+        if let Some(s) = &self.straggler {
+            sum.accumulate(s.total);
+        }
+        sum.scaled(self.tensor_parallel as f64)
+    }
+
+    /// Records this iteration into `ledger` with the cluster multipliers
+    /// applied, and advances the ledger's iteration counter.
+    pub fn record_into(&self, ledger: &mut BloatLedger) {
+        let tp = self.tensor_parallel as f64;
+        let stragglers = usize::from(self.straggler.is_some());
+        ledger.record(
+            &self.non_straggler,
+            (self.n_pipelines - stragglers) as f64 * tp,
+        );
+        if let Some(s) = &self.straggler {
+            ledger.record(s, tp);
+        }
+        ledger.note_iteration();
     }
 }
 
@@ -551,6 +602,79 @@ impl Emulator {
             non_straggler,
             straggler,
             sync_time_s: sync,
+            n_pipelines: self.config.n_pipelines,
+            tensor_parallel: self.config.tensor_parallel,
+        })
+    }
+
+    /// Attributes one synchronized iteration under exactly the conditions
+    /// of [`Emulator::report`]: same plan selection, same straggler
+    /// arithmetic, but every pipeline's energy split into useful /
+    /// intrinsic / extrinsic joules. Observe-only: attribution never
+    /// touches the plan cache state the report path doesn't.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction failures.
+    pub fn attribute(
+        &self,
+        policy: Policy,
+        cause: Option<StragglerCause>,
+    ) -> Result<ClusterAttribution, EmulatorError> {
+        let ctx = self.ctx();
+        let t_prime = match cause {
+            Some(c) => Some(self.straggler_iteration_time(c)?),
+            None => None,
+        };
+        let plan = self.policy_plan(&ctx, policy)?;
+        let non_straggler = attribute_schedule(&ctx, plan.select(t_prime), t_prime);
+        let straggler = match t_prime {
+            Some(t) => {
+                let base = self.policy_plan(&ctx, Policy::AllMax)?;
+                Some(attribute_schedule(&ctx, base.select(None), Some(t)))
+            }
+            None => None,
+        };
+        Ok(ClusterAttribution {
+            non_straggler,
+            straggler,
+            n_pipelines: self.config.n_pipelines,
+            tensor_parallel: self.config.tensor_parallel,
+        })
+    }
+
+    /// The attribution twin of [`Emulator::report_with_belief`]: deployed
+    /// schedule answers the *believed* straggler time, blocking is charged
+    /// against the *actual* one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction failures.
+    pub fn attribute_with_belief(
+        &self,
+        policy: Policy,
+        believed_t_prime: Option<f64>,
+        actual_t_prime: Option<f64>,
+    ) -> Result<ClusterAttribution, EmulatorError> {
+        let ctx = self.ctx();
+        let plan = self.policy_plan(&ctx, policy)?;
+        let schedule = plan.select(believed_t_prime);
+        let sync = actual_t_prime.unwrap_or(0.0).max(schedule.time_s);
+        let non_straggler = attribute_schedule(&ctx, schedule, Some(sync));
+        let straggler = match actual_t_prime {
+            Some(t) => {
+                let base = self.policy_plan(&ctx, Policy::AllMax)?;
+                Some(attribute_schedule(
+                    &ctx,
+                    base.select(None),
+                    Some(sync.max(t)),
+                ))
+            }
+            None => None,
+        };
+        Ok(ClusterAttribution {
+            non_straggler,
+            straggler,
             n_pipelines: self.config.n_pipelines,
             tensor_parallel: self.config.tensor_parallel,
         })

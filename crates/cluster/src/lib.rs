@@ -44,12 +44,13 @@ mod run;
 mod scaling;
 
 pub use emulator::{
-    ClusterConfig, ClusterReport, Emulator, EmulatorError, Policy, Savings, StragglerCause,
+    ClusterAttribution, ClusterConfig, ClusterReport, Emulator, EmulatorError, Policy, Savings,
+    StragglerCause,
 };
 pub use registry::PlannerRegistry;
 pub use run::{
-    simulate_run, thermal_cycle_trace, IterationRecord, RunConfig, RunSummary, StragglerTimeline,
-    TraceEvent,
+    simulate_run, simulate_run_with_ledger, thermal_cycle_trace, IterationRecord, RunConfig,
+    RunSummary, StragglerTimeline, TraceEvent,
 };
 pub use scaling::{strong_scaling_table5, ScalingConfig};
 

@@ -10,6 +10,8 @@
 //! (straggler appeared, schedule still fast) or *become the straggler
 //! themselves* (straggler recovered, schedule still slow).
 
+use perseus_core::BloatLedger;
+
 use crate::emulator::{Emulator, EmulatorError, Policy, StragglerCause};
 
 /// One event of a straggler trace.
@@ -137,6 +139,36 @@ pub fn simulate_run(
     trace: &[TraceEvent],
     cfg: &RunConfig,
 ) -> Result<RunSummary, EmulatorError> {
+    simulate_run_impl(emu, policy, trace, cfg, None)
+}
+
+/// Like [`simulate_run`], but each iteration's energy is additionally
+/// attributed into `ledger` (useful / intrinsic / extrinsic, per stage and
+/// per instruction kind) via [`Emulator::attribute_with_belief`].
+///
+/// Attribution is observation only: the returned [`RunSummary`] is
+/// bit-identical to [`simulate_run`]'s for the same inputs.
+///
+/// # Errors
+///
+/// Propagates emulation failures (e.g. invalid straggler degrees).
+pub fn simulate_run_with_ledger(
+    emu: &Emulator,
+    policy: Policy,
+    trace: &[TraceEvent],
+    cfg: &RunConfig,
+    ledger: &mut BloatLedger,
+) -> Result<RunSummary, EmulatorError> {
+    simulate_run_impl(emu, policy, trace, cfg, Some(ledger))
+}
+
+fn simulate_run_impl(
+    emu: &Emulator,
+    policy: Policy,
+    trace: &[TraceEvent],
+    cfg: &RunConfig,
+    mut ledger: Option<&mut BloatLedger>,
+) -> Result<RunSummary, EmulatorError> {
     let tel = emu.telemetry();
     let _span = perseus_telemetry::span!(tel, "simulate_run", policy = policy);
     let timeline = StragglerTimeline::new(trace);
@@ -162,6 +194,10 @@ pub fn simulate_run(
                 &mut stage_busy,
                 &mut stage_idle,
             )?;
+        }
+        if let Some(ledger) = ledger.as_deref_mut() {
+            emu.attribute_with_belief(policy, believed, actual)?
+                .record_into(ledger);
         }
         per_iteration.push(IterationRecord {
             sync_time_s: report.sync_time_s,

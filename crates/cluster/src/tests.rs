@@ -468,3 +468,97 @@ fn zeus_global_does_not_slow_without_straggler() {
         "ZeusGlobal must hold throughput absent stragglers: {z} vs {base}"
     );
 }
+
+#[test]
+fn attribution_total_matches_report_total() {
+    // The attribution twin uses exactly the report's arithmetic, so the
+    // three-way split sums back to the scalar the report produces — for
+    // every policy, with and without a straggler.
+    let emu = Emulator::new(small_config()).unwrap();
+    for policy in [Policy::AllMax, Policy::Perseus, Policy::ZeusGlobal] {
+        for cause in [
+            None,
+            Some(StragglerCause::Slowdown { degree: 1.25 }),
+            Some(StragglerCause::ThermalThrottle {
+                freq_cap: FreqMHz(900),
+            }),
+        ] {
+            let report = emu.report(policy, cause).unwrap();
+            let attr = emu.attribute(policy, cause).unwrap();
+            let total = report.total_j();
+            assert!(
+                (attr.total().total_j() - total).abs() <= 1e-9 * total,
+                "{policy} {cause:?}: attributed {} vs report {}",
+                attr.total().total_j(),
+                total
+            );
+            if cause.is_some() {
+                assert!(
+                    attr.non_straggler.total.extrinsic_j > 0.0,
+                    "{policy} {cause:?}: straggler wait must appear as extrinsic bloat"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn attribution_with_belief_matches_report_with_belief() {
+    let emu = Emulator::new(small_config()).unwrap();
+    let t = emu
+        .straggler_iteration_time(StragglerCause::Slowdown { degree: 1.3 })
+        .unwrap();
+    for (believed, actual) in [
+        (None, Some(t)),
+        (Some(t), Some(t)),
+        (Some(t), None),
+        (None, None),
+    ] {
+        let report = emu
+            .report_with_belief(Policy::Perseus, believed, actual)
+            .unwrap();
+        let attr = emu
+            .attribute_with_belief(Policy::Perseus, believed, actual)
+            .unwrap();
+        let total = report.total_j();
+        assert!(
+            (attr.total().total_j() - total).abs() <= 1e-9 * total.max(1.0),
+            "belief {believed:?}/{actual:?}: attributed {} vs report {}",
+            attr.total().total_j(),
+            total
+        );
+    }
+}
+
+#[test]
+fn simulate_run_with_ledger_is_observation_only() {
+    use crate::run::{simulate_run, simulate_run_with_ledger, thermal_cycle_trace, RunConfig};
+    use perseus_core::BloatLedger;
+
+    let emu = Emulator::new(small_config()).unwrap();
+    let trace = thermal_cycle_trace(1, 1.3, 8, 3, 24);
+    let cfg = RunConfig {
+        iterations: 24,
+        reaction_delay_iters: 2,
+    };
+    let plain = simulate_run(&emu, Policy::Perseus, &trace, &cfg).unwrap();
+    let mut ledger = BloatLedger::new(4);
+    let with = simulate_run_with_ledger(&emu, Policy::Perseus, &trace, &cfg, &mut ledger).unwrap();
+    // Bit-identical summary: the ledger observed, it did not interfere.
+    assert_eq!(
+        plain.total_energy_j.to_bits(),
+        with.total_energy_j.to_bits()
+    );
+    assert_eq!(plain.total_time_s.to_bits(), with.total_time_s.to_bits());
+    // And the ledger accounted every joule of the run.
+    assert_eq!(ledger.iterations(), 24);
+    assert!(
+        (ledger.total().total_j() - plain.total_energy_j).abs() <= 1e-9 * plain.total_energy_j,
+        "ledger {} vs run {}",
+        ledger.total().total_j(),
+        plain.total_energy_j
+    );
+    // The thermal cycle produced both bloat flavors.
+    assert!(ledger.total().intrinsic_j > 0.0);
+    assert!(ledger.total().extrinsic_j > 0.0);
+}

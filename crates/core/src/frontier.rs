@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use perseus_dag::NodeId;
 use perseus_gpu::FreqMHz;
-use perseus_pipeline::{node_start_times, PipeNode, PipelineDag};
+use perseus_pipeline::{node_schedule_gaps, node_start_times, PipeNode, PipelineDag};
 use perseus_telemetry::Telemetry;
 
 use crate::context::{CoreError, PlanContext};
@@ -329,14 +329,10 @@ fn default_tau(ctx: &PlanContext<'_>) -> f64 {
 /// captured.
 fn stretch_into_slack(ctx: &PlanContext<'_>, planned: &mut [f64]) {
     let dag = &ctx.pipe.dag;
-    let (starts, makespan) = node_start_times(dag, |id, _| planned[id.index()]);
+    let (gaps, _) = node_schedule_gaps(dag, |id, _| planned[id.index()]);
     for id in dag.node_ids() {
         let Some(info) = ctx.info(id) else { continue };
-        let mut limit = makespan;
-        for e in dag.out_edges(id) {
-            limit = limit.min(starts[e.dst.index()]);
-        }
-        let gap = limit - starts[id.index()];
+        let gap = gaps[id.index()];
         if gap > planned[id.index()] {
             planned[id.index()] = gap.min(info.t_max).max(planned[id.index()]);
         }

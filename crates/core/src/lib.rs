@@ -44,6 +44,7 @@ mod cut;
 mod energy;
 mod error;
 mod frontier;
+mod ledger;
 mod planner;
 
 pub use context::{CoreError, NodePlanInfo, PlanContext};
@@ -55,6 +56,9 @@ pub use error::Error;
 pub use frontier::{
     characterize, EnergySchedule, FrontierOptions, FrontierPoint, FrontierSolver, ParetoFrontier,
     SolverStats,
+};
+pub use ledger::{
+    attribute_schedule, BloatLedger, EnergyBreakdown, EnergyKind, ScheduleAttribution,
 };
 pub use planner::{Perseus, PlanOutput, Planner};
 

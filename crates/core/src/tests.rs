@@ -5,6 +5,7 @@ use perseus_pipeline::{node_start_times, PipelineBuilder, PipelineDag, ScheduleK
 use crate::context::PlanContext;
 use crate::cut::{get_next_pareto, CutOutcome};
 use crate::frontier::{characterize, EnergySchedule, FrontierOptions, ParetoFrontier};
+use crate::ledger::{attribute_schedule, BloatLedger, EnergyKind};
 
 /// Stage workloads with a configurable per-stage scale, mimicking stage
 /// imbalance. `scales[s]` multiplies stage `s`'s work.
@@ -342,6 +343,116 @@ fn more_imbalance_means_more_intrinsic_savings() {
     );
 }
 
+#[test]
+fn attribution_splits_all_max_into_useful_and_intrinsic() {
+    // An imbalanced pipeline at max frequency has intrinsic bloat (the
+    // slack-filling alternative is strictly cheaper) and, without a
+    // straggler, no extrinsic bloat.
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let stages = stages_with_scales(&[1.0, 1.2, 0.9, 1.3]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let sched = EnergySchedule::realize(&ctx, ctx.fastest_durations()).unwrap();
+    let attr = attribute_schedule(&ctx, &sched, None);
+    let report = sched.energy_report(&ctx, None);
+    assert!(
+        (attr.total.total_j() - report.total_j()).abs() / report.total_j() < 1e-12,
+        "attribution total {} vs Eq.3 total {}",
+        attr.total.total_j(),
+        report.total_j()
+    );
+    assert!(attr.total.useful_j > 0.0);
+    assert!(
+        attr.total.intrinsic_j > 0.0,
+        "imbalance at max frequency must show intrinsic bloat"
+    );
+    assert_eq!(attr.total.extrinsic_j, 0.0);
+    assert_eq!(attr.iter_time_s, report.iter_time_s);
+    assert_eq!(attr.sync_time_s, report.iter_time_s);
+}
+
+#[test]
+fn attribution_charges_the_straggler_wait_as_extrinsic() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let stages = stages_with_scales(&[1.0, 1.1, 0.95, 1.2]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let sched = EnergySchedule::realize(&ctx, ctx.fastest_durations()).unwrap();
+    let t_prime = sched.time_s * 1.4;
+    let attr = attribute_schedule(&ctx, &sched, Some(t_prime));
+    let expected_wait = 4.0 * gpu.blocking_w * (t_prime - sched.time_s);
+    assert!(
+        (attr.total.extrinsic_j - expected_wait).abs() / expected_wait < 1e-12,
+        "extrinsic {} vs N*P_b*(T'-T) {}",
+        attr.total.extrinsic_j,
+        expected_wait
+    );
+    // The wait is charged to SyncWait and split evenly over stages.
+    assert_eq!(
+        attr.kind(EnergyKind::SyncWait).extrinsic_j,
+        attr.total.extrinsic_j
+    );
+    for stage in &attr.per_stage {
+        assert!((stage.extrinsic_j - expected_wait / 4.0).abs() / expected_wait < 1e-12);
+    }
+    // A straggler finishing before the pipeline adds nothing.
+    let early = attribute_schedule(&ctx, &sched, Some(sched.time_s * 0.5));
+    assert_eq!(early.total.extrinsic_j, 0.0);
+    assert_eq!(early.sync_time_s, sched.time_s);
+}
+
+#[test]
+fn attribution_of_min_energy_schedule_has_no_instruction_bloat() {
+    // At the frontier's most efficient point every computation already
+    // runs at its min-energy duration — the slack-filling alternative IS
+    // the realized instruction, so intrinsic bloat vanishes.
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let stages = stages_with_scales(&[1.0, 1.15, 0.9, 1.25]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let frontier = characterize(&ctx, &FrontierOptions::default()).unwrap();
+    let sched = &frontier.most_efficient().schedule;
+    let attr = attribute_schedule(&ctx, sched, None);
+    assert!(
+        attr.total.intrinsic_j <= attr.total.total_j() * 1e-9,
+        "min-energy schedule shows intrinsic bloat: {} J",
+        attr.total.intrinsic_j
+    );
+}
+
+#[test]
+fn ledger_aggregates_weighted_attributions() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(2, 4);
+    let stages = stages_with_scales(&[1.0, 1.2]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let sched = EnergySchedule::realize(&ctx, ctx.fastest_durations()).unwrap();
+    let attr = attribute_schedule(&ctx, &sched, Some(sched.time_s * 1.2));
+
+    let mut ledger = BloatLedger::new(2);
+    ledger.record(&attr, 3.0);
+    ledger.record(&attr, 1.0);
+    ledger.note_iteration();
+    assert_eq!(ledger.iterations(), 1);
+    let total = ledger.total();
+    assert!((total.total_j() - 4.0 * attr.total.total_j()).abs() < 1e-9);
+    let stage_sum: f64 = ledger.per_stage().iter().map(|b| b.total_j()).sum();
+    let kind_sum: f64 = EnergyKind::ALL
+        .iter()
+        .map(|k| ledger.kind(*k).total_j())
+        .sum();
+    assert!((stage_sum - total.total_j()).abs() < 1e-9);
+    assert!((kind_sum - total.total_j()).abs() < 1e-9);
+
+    let mut other = BloatLedger::new(2);
+    other.record(&attr, 2.0);
+    other.note_iteration();
+    ledger.merge(&other);
+    assert_eq!(ledger.iterations(), 2);
+    assert!((ledger.total().total_j() - 6.0 * attr.total.total_j()).abs() < 1e-9);
+    assert!((ledger.mean_per_iteration().total_j() - 3.0 * attr.total.total_j()).abs() < 1e-9);
+}
+
 mod prop {
     use super::*;
     use proptest::prelude::*;
@@ -457,6 +568,78 @@ mod prop {
                 frontier.lookup(-below).planned_time_s,
                 frontier.t_min()
             );
+        }
+
+        // The ledger's contract (satellite: conservation invariant):
+        // useful + intrinsic + extrinsic equals Eq. 3's total to within
+        // 1e-9 relative, for random pipeline shapes, random frequency
+        // plans, frequency caps, and clock-skewed straggler times
+        // (negative and sub-makespan T' included). The per-stage and
+        // per-kind aggregations must sum back to the same total.
+        #[test]
+        fn ledger_conserves_energy_for_random_schedules(
+            n in 2usize..5,
+            m in 2usize..7,
+            scales in proptest::collection::vec(0.7f64..1.4, 4..5),
+            fracs in proptest::collection::vec(0.0f64..1.0, 16..17),
+            t_factor in -0.5f64..2.5,
+            cap_frac in 0.0f64..1.0,
+        ) {
+            let gpu = GpuSpec::a100_pcie();
+            let mut builder = PipelineBuilder::new(ScheduleKind::OneFOneB, n, m);
+            if m % 2 == 0 {
+                // Exercise fixed-time operations too.
+                builder = builder.with_data_loading(0.005, 45.0);
+            }
+            let pipe = builder.build().unwrap();
+            let stages = stages_with_scales(&scales[..n]);
+            let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+
+            // A random frequency plan: each computation somewhere on
+            // [t_min, t_max], realized under an optional frequency cap
+            // (the §2.3 thermal-throttle fault).
+            let mut planned = ctx.fastest_durations();
+            for (i, id) in pipe.dag.node_ids().enumerate() {
+                if let Some(info) = ctx.info(id) {
+                    let frac = fracs[i % fracs.len()];
+                    planned[id.index()] = info.t_min + frac * (info.t_max - info.t_min);
+                }
+            }
+            let cap = if cap_frac < 0.5 {
+                None
+            } else {
+                let freqs = gpu.frequencies();
+                let idx = ((cap_frac - 0.5) * 2.0 * (freqs.len() - 1) as f64) as usize;
+                Some(freqs[idx.min(freqs.len() - 1)])
+            };
+            let sched = EnergySchedule::realize_with_cap(&ctx, planned, cap).unwrap();
+
+            // T' < 0 models a skewed clock; T' < T models a straggler
+            // that is not actually the slowest; both must be inert.
+            let t_prime = if t_factor < -0.25 {
+                None
+            } else {
+                Some(sched.time_s * t_factor)
+            };
+            let attr = attribute_schedule(&ctx, &sched, t_prime);
+            let report = sched.energy_report(&ctx, t_prime);
+            let total = report.total_j();
+            prop_assert!(
+                (attr.total.total_j() - total).abs() <= 1e-9 * total.max(1.0),
+                "conservation violated: attributed {} vs Eq.3 {}",
+                attr.total.total_j(),
+                total
+            );
+            let stage_sum: f64 = attr.per_stage.iter().map(|b| b.total_j()).sum();
+            let kind_sum: f64 = attr.per_kind.iter().map(|b| b.total_j()).sum();
+            prop_assert!((stage_sum - total).abs() <= 1e-9 * total.max(1.0));
+            prop_assert!((kind_sum - total).abs() <= 1e-9 * total.max(1.0));
+            // Every component is a non-negative quantity of joules.
+            for b in attr.per_stage.iter().chain(attr.per_kind.iter()) {
+                prop_assert!(b.useful_j >= 0.0);
+                prop_assert!(b.intrinsic_j >= 0.0);
+                prop_assert!(b.extrinsic_j >= 0.0);
+            }
         }
 
         // Explicit upper-edge clamp: a deadline beyond the slowest point

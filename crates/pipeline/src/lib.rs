@@ -29,7 +29,7 @@ mod trace;
 
 pub use builder::{DepKind, PipeNode, PipelineBuilder, PipelineDag, ScheduleError};
 pub use memory::{activation_memory, MemoryProfile};
-pub use render::{node_start_times, render_timeline};
+pub use render::{node_schedule_gaps, node_start_times, render_timeline};
 pub use schedule::{CompKind, Computation, Instruction, OpKey, ScheduleKind};
 pub use trace::chrome_trace_json;
 

@@ -32,6 +32,37 @@ pub fn node_start_times<N, E>(dag: &Dag<N, E>, dur: impl Fn(NodeId, &N) -> f64) 
     (start, makespan)
 }
 
+/// The schedule gap of every node at the current earliest-start schedule:
+/// how long the node could run — start time held fixed — before it would
+/// push a successor's start (sink-adjacent nodes are bounded by the
+/// makespan). Returns `(gaps, makespan)`.
+///
+/// A node's gap is never smaller than its own duration: every successor
+/// starts no earlier than this node finishes. The frontier's
+/// stretch-into-slack pass grows durations into these gaps, and the
+/// energy-attribution ledger uses the same gaps to price the
+/// slack-filling alternative each instruction is compared against.
+///
+/// # Panics
+///
+/// Panics if the graph contains a cycle (pipeline DAGs are acyclic by
+/// construction).
+pub fn node_schedule_gaps<N, E>(
+    dag: &Dag<N, E>,
+    dur: impl Fn(NodeId, &N) -> f64,
+) -> (Vec<f64>, f64) {
+    let (starts, makespan) = node_start_times(dag, &dur);
+    let mut gaps = vec![0.0f64; dag.node_count()];
+    for u in dag.node_ids() {
+        let mut limit = makespan;
+        for e in dag.out_edges(u) {
+            limit = limit.min(starts[e.dst.index()]);
+        }
+        gaps[u.index()] = limit - starts[u.index()];
+    }
+    (gaps, makespan)
+}
+
 /// Renders a Figure-1-style ASCII timeline: one row per stage, `F`/`B`/`R`
 /// blocks placed proportionally to their start times and durations, `.` for
 /// gaps where the GPU blocks on communication.

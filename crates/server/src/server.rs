@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,7 +34,12 @@ use perseus_core::{
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
-use perseus_telemetry::{span, Telemetry};
+use perseus_telemetry::{span, FlightRecorder, FlightSnapshot, FlightSummary, Telemetry};
+
+/// Ring capacity of the server's flight recorder: enough to hold the
+/// recent history of any emulated training segment while staying a few
+/// tens of kilobytes.
+const FLIGHT_CAPACITY: usize = 256;
 
 /// A training job registration: the computation DAG plus the GPU model the
 /// pipeline runs on ("a training job is primarily specified by its
@@ -265,6 +271,8 @@ pub struct JobStatus {
     pub degraded: bool,
     /// Submission epoch of the deployed frontier (0 = none yet).
     pub epoch: u64,
+    /// Summary of the server's flight recorder (shared across jobs).
+    pub flight: FlightSummary,
 }
 
 /// Mutable per-job state, guarded by the job's `RwLock`.
@@ -439,6 +447,13 @@ pub struct PerseusServer {
     /// Installed by the chaos layer; `None` in production.
     injector: RwLock<Option<Arc<dyn FaultInjector>>>,
     telemetry: Telemetry,
+    /// Per-iteration time-series ring, fed by the training loop (the
+    /// chaos harness in this repo) and dumped as a post-mortem when a
+    /// submission is lost or a characterization panic is contained.
+    flight: Arc<FlightRecorder>,
+    /// Where to auto-dump the flight record on containment; `None`
+    /// disables auto-dumps.
+    flight_dump: RwLock<Option<PathBuf>>,
 }
 
 impl Default for PerseusServer {
@@ -476,7 +491,32 @@ impl PerseusServer {
             pool: WorkerPool::new(n_workers),
             injector: RwLock::new(None),
             telemetry,
+            flight: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY)),
+            flight_dump: RwLock::new(None),
         }
+    }
+
+    /// The server's flight recorder. The training loop records one
+    /// [`perseus_telemetry::IterationSample`] per synchronized iteration;
+    /// the server only snapshots and dumps it.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Snapshots the per-iteration flight record — the on-demand half of
+    /// the recorder contract (the auto-dump on fault containment is the
+    /// other half; see [`PerseusServer::arm_flight_dump`]).
+    pub fn flight_record(&self) -> FlightSnapshot {
+        self.flight.snapshot()
+    }
+
+    /// Arms (or, with `None`, disarms) the automatic JSON post-mortem: on
+    /// a lost submission or a contained characterization panic, the
+    /// current flight record is written to `path`. Dump failures are
+    /// swallowed — a broken post-mortem path must never take down fault
+    /// containment itself.
+    pub fn arm_flight_dump(&self, path: Option<PathBuf>) {
+        *self.flight_dump.write() = path;
     }
 
     /// The telemetry handle this server emits through (disabled unless
@@ -571,6 +611,8 @@ impl PerseusServer {
             .map_or(SubmissionFault::None, |i| i.submission_fault(name, epoch));
         let (tx, rx) = unbounded();
         let tel = self.telemetry.clone();
+        let flight = Arc::clone(&self.flight);
+        let dump_path = self.flight_dump.read().clone();
         let enqueued = tel.now();
         self.pool.submit(Box::new(move || {
             let busy = if tel.is_enabled() {
@@ -590,6 +632,17 @@ impl PerseusServer {
             };
             if let Some(busy) = busy {
                 busy.add(-1);
+            }
+            // Containment fired (lost submission or contained panic):
+            // write the post-mortem while the evidence is fresh. Dump
+            // errors are deliberately swallowed.
+            if matches!(
+                &result,
+                Err(ServerError::SubmissionLost(_) | ServerError::CharacterizationPanicked(_))
+            ) {
+                if let Some(path) = &dump_path {
+                    let _ = flight.dump_to(path);
+                }
             }
             let _ = tx.send(result); // receiver may have dropped the ticket
         }));
@@ -794,6 +847,7 @@ impl PerseusServer {
             },
             degraded: state.degraded,
             epoch: state.characterized_epoch,
+            flight: self.flight.summary(),
         })
     }
 

@@ -681,3 +681,108 @@ fn client_status_surfaces_job_status() {
     assert_eq!(status.epoch, 1);
     assert!(!status.degraded);
 }
+
+mod flight {
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+    use perseus_core::FrontierOptions;
+    use perseus_gpu::GpuSpec;
+    use perseus_telemetry::IterationSample;
+
+    use super::{model_profiles, pipe};
+    use crate::server::{JobSpec, PerseusServer, ServerError};
+    use crate::{FaultInjector, SubmissionFault};
+
+    struct Script(Mutex<VecDeque<SubmissionFault>>);
+    impl FaultInjector for Script {
+        fn submission_fault(&self, _job: &str, _epoch: u64) -> SubmissionFault {
+            self.0.lock().pop_front().unwrap_or(SubmissionFault::None)
+        }
+    }
+
+    fn sample(iteration: u64) -> IterationSample {
+        IterationSample {
+            iteration,
+            sync_time_s: 0.42,
+            useful_j: 900.0,
+            intrinsic_j: 40.0,
+            extrinsic_j: 10.0,
+            freq_min_mhz: 1100,
+            freq_max_mhz: 1410,
+            degraded: false,
+            degraded_lookups: 0,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn flight_record_snapshots_and_appears_in_job_status() {
+        let gpu = GpuSpec::a100_pcie();
+        let server = PerseusServer::with_workers(1);
+        server
+            .register_job(JobSpec {
+                name: "job".into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+            })
+            .unwrap();
+        for i in 0..5 {
+            server.flight_recorder().record(sample(i));
+        }
+        let snap = server.flight_record();
+        assert_eq!(snap.samples.len(), 5);
+        assert_eq!(snap.samples[4].iteration, 4);
+        let status = server.job_status("job").unwrap();
+        assert_eq!(status.flight.samples, 5);
+        assert_eq!(status.flight.last_iteration, Some(4));
+    }
+
+    #[test]
+    fn containment_auto_dumps_the_flight_record() {
+        let gpu = GpuSpec::a100_pcie();
+        let server = PerseusServer::with_workers(1);
+        server
+            .register_job(JobSpec {
+                name: "job".into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+            })
+            .unwrap();
+        let script = Arc::new(Script(Mutex::new(VecDeque::from([
+            SubmissionFault::None,
+            SubmissionFault::Panic,
+        ]))));
+        server.set_fault_injector(Some(script as Arc<dyn FaultInjector>));
+        let dir = std::env::temp_dir().join("perseus-server-flight-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dump = dir.join("postmortem.json");
+        server.arm_flight_dump(Some(dump.clone()));
+
+        let opts = FrontierOptions::default();
+        // Healthy submission: no dump.
+        server
+            .submit_profiles("job", model_profiles(&gpu), &opts)
+            .unwrap()
+            .wait()
+            .unwrap();
+        server.flight_recorder().record(sample(0));
+        assert!(!dump.exists(), "healthy path must not dump");
+
+        // Contained panic: the post-mortem lands at the armed path.
+        let result = server
+            .submit_profiles("job", model_profiles(&gpu), &opts)
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            result,
+            Err(ServerError::CharacterizationPanicked(_))
+        ));
+        let text = std::fs::read_to_string(&dump).expect("containment wrote the post-mortem");
+        assert!(text.contains("\"samples\": ["));
+        assert!(text.contains("\"iteration\": 0"));
+        assert_eq!(server.flight_recorder().dumps(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

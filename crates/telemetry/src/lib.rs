@@ -44,12 +44,14 @@
 //! );
 //! ```
 
+mod flight;
 mod metrics;
 mod registry;
 mod sink;
 mod snapshot;
 mod span;
 
+pub use flight::{FlightRecorder, FlightSnapshot, FlightSummary, IterationSample};
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram};
 pub use sink::{SpanRecord, TelemetrySink, TraceWriter};
 pub use snapshot::MetricsSnapshot;

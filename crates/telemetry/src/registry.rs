@@ -205,9 +205,20 @@ impl Registry {
                     });
                     samples.push(Sample {
                         name: format!("{}_count", key.name),
-                        labels,
+                        labels: labels.clone(),
                         value: count as f64,
                     });
+                    // Interpolated quantiles, Prometheus `histogram_quantile`
+                    // style; omitted entirely for an empty histogram.
+                    if count > 0 {
+                        for (q, suffix) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+                            samples.push(Sample {
+                                name: format!("{}_{suffix}", key.name),
+                                labels: labels.clone(),
+                                value: interpolate_quantile(&bounds, &buckets, count, q),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -223,6 +234,29 @@ enum SnapValue {
         count: u64,
         sum: f64,
     },
+}
+
+/// Prometheus-style quantile estimate over cumulative histogram buckets:
+/// find the bucket the `q`-rank observation falls into and interpolate
+/// linearly within it. Observations beyond the highest finite bound clamp
+/// to that bound (the `+Inf` bucket has no width to interpolate over);
+/// the first bucket interpolates from zero. `count` must be positive.
+fn interpolate_quantile(bounds: &[f64], buckets: &[u64], count: u64, q: f64) -> f64 {
+    let rank = q * count as f64;
+    let mut cumulative = 0u64;
+    for (i, (bound, in_bucket)) in bounds.iter().zip(buckets).enumerate() {
+        let below = cumulative as f64;
+        cumulative += in_bucket;
+        if (cumulative as f64) >= rank {
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            if *in_bucket == 0 {
+                return *bound;
+            }
+            return lower + (bound - lower) * ((rank - below) / *in_bucket as f64);
+        }
+    }
+    // The rank lands in the +Inf bucket: clamp to the highest finite bound.
+    bounds.last().copied().unwrap_or(0.0)
 }
 
 fn with_le(labels: &[(String, String)], le: String) -> Vec<(String, String)> {

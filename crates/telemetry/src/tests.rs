@@ -204,3 +204,469 @@ fn spans_on_other_threads_do_not_inherit_this_path() {
     .join()
     .unwrap();
 }
+
+mod flight {
+    use crate::{FlightRecorder, IterationSample};
+
+    fn sample(iteration: u64, degraded: bool) -> IterationSample {
+        IterationSample {
+            iteration,
+            sync_time_s: 0.5 + iteration as f64 * 0.01,
+            useful_j: 100.0,
+            intrinsic_j: 7.5,
+            extrinsic_j: if degraded { 12.0 } else { 0.0 },
+            freq_min_mhz: 990,
+            freq_max_mhz: 1410,
+            degraded,
+            degraded_lookups: u64::from(degraded),
+            faults: u64::from(degraded),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(4);
+        assert!(rec.is_empty());
+        for i in 0..10 {
+            rec.record(sample(i, false));
+        }
+        assert_eq!(rec.len(), 4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.dropped, 6);
+        let kept: Vec<u64> = snap.samples.iter().map(|s| s.iteration).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest first, newest retained");
+        let summary = snap.summary();
+        assert_eq!(summary.samples, 4);
+        assert_eq!(summary.dropped, 6);
+        assert_eq!(summary.last_iteration, Some(9));
+    }
+
+    #[test]
+    fn snapshot_counts_degraded_and_faults() {
+        let rec = FlightRecorder::new(16);
+        for i in 0..8 {
+            rec.record(sample(i, i % 3 == 0));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.degraded_samples(), 3); // iterations 0, 3, 6
+        assert_eq!(snap.degraded_lookups(), 3);
+        assert_eq!(snap.faults(), 3);
+        assert_eq!(snap.summary().degraded_samples, 3);
+        assert!((snap.samples[0].total_j() - 119.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dump_writes_valid_json_post_mortem() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..5 {
+            rec.record(sample(i, i == 2));
+        }
+        let dir = std::env::temp_dir().join("perseus-flight-test");
+        let path = dir.join("nested").join("postmortem.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        rec.dump_to(&path).unwrap();
+        assert_eq!(rec.dumps(), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = super::json::parse(&text).expect("dump must be valid JSON");
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj["capacity"].as_f64(), Some(8.0));
+        assert_eq!(obj["degraded_samples"].as_f64(), Some(1.0));
+        assert_eq!(obj["faults"].as_f64(), Some(1.0));
+        let samples = obj["samples"].as_array().unwrap();
+        assert_eq!(samples.len(), 5);
+        let third = samples[2].as_object().unwrap();
+        assert_eq!(third["iteration"].as_f64(), Some(2.0));
+        assert_eq!(third["degraded"], super::json::Value::Bool(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_recorder_snapshots_empty() {
+        let rec = FlightRecorder::new(0); // clamps to 1
+        assert_eq!(rec.capacity(), 1);
+        let snap = rec.snapshot();
+        assert!(snap.samples.is_empty());
+        assert_eq!(snap.summary().last_iteration, None);
+        super::json::parse(&snap.to_json()).expect("empty dump is still valid JSON");
+    }
+}
+
+mod quantiles {
+    use crate::Telemetry;
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("latency_seconds");
+        // 100 observations right at 0.15s: they land in the (0.1, 0.25]
+        // bucket, so every quantile interpolates inside it.
+        for _ in 0..100 {
+            h.observe(0.15);
+        }
+        let snap = tel.snapshot();
+        for q in ["p50", "p90", "p99"] {
+            let v = snap
+                .value_of(&format!("latency_seconds_{q}"), &[])
+                .unwrap_or_else(|| panic!("missing {q}"));
+            assert!(
+                (0.1..=0.25).contains(&v),
+                "{q} = {v} outside the observed bucket"
+            );
+        }
+        // Higher quantiles never undercut lower ones.
+        let p50 = snap.value_of("latency_seconds_p50", &[]).unwrap();
+        let p90 = snap.value_of("latency_seconds_p90", &[]).unwrap();
+        let p99 = snap.value_of("latency_seconds_p99", &[]).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn quantiles_split_across_buckets() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("split_seconds");
+        // Half the mass at ~1ms, half at ~1s: the median sits at the
+        // boundary region while p90/p99 live in the slow mode.
+        for _ in 0..50 {
+            h.observe(1e-3);
+        }
+        for _ in 0..50 {
+            h.observe(1.0);
+        }
+        let snap = tel.snapshot();
+        let p50 = snap.value_of("split_seconds_p50", &[]).unwrap();
+        let p99 = snap.value_of("split_seconds_p99", &[]).unwrap();
+        assert!(p50 <= 1e-3 + 1e-12, "median in the fast mode, got {p50}");
+        assert!(p99 > 0.5, "p99 in the slow mode, got {p99}");
+    }
+
+    #[test]
+    fn overflow_clamps_to_highest_finite_bound() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("huge_seconds");
+        for _ in 0..10 {
+            h.observe(1e6); // beyond every finite bound
+        }
+        let snap = tel.snapshot();
+        let p99 = snap.value_of("huge_seconds_p99", &[]).unwrap();
+        assert_eq!(p99, 10.0, "+Inf bucket clamps to the last finite bound");
+    }
+
+    #[test]
+    fn empty_histogram_emits_no_quantiles() {
+        let tel = Telemetry::enabled();
+        let _ = tel.histogram("idle_seconds");
+        let snap = tel.snapshot();
+        assert_eq!(snap.value_of("idle_seconds_p50", &[]), None);
+        assert_eq!(snap.value_of("idle_seconds_count", &[]), Some(0.0));
+    }
+}
+
+/// A minimal recursive-descent JSON parser — just enough to
+/// parse-validate what `TraceWriter` and the flight recorder emit,
+/// keeping the crate dependency-free.
+pub(crate) mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {pos}", b as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let ch_len = utf8_len(bytes[*pos]);
+                    let s = std::str::from_utf8(&bytes[*pos..*pos + ch_len])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    *pos += ch_len;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn utf8_len(b: u8) -> usize {
+        match b {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            map.insert(key, parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+mod chrome_trace_roundtrip {
+    use std::sync::Arc;
+
+    use super::json;
+    use crate::{Telemetry, TraceWriter};
+
+    /// Satellite fix: `TraceWriter`'s output was never parse-validated.
+    /// Round-trip it through the minimal parser and check both the JSON
+    /// shape and that per-thread span intervals nest properly.
+    #[test]
+    fn emitted_chrome_trace_parses_and_nests() {
+        let tel = Telemetry::enabled();
+        let trace = Arc::new(TraceWriter::new());
+        tel.add_sink(Arc::clone(&trace) as _);
+        {
+            let mut outer = span!(tel, "characterize", job = "gpt3\"quoted\"");
+            outer.add("cut_solves", 2);
+            for _ in 0..3 {
+                drop(span!(tel, "pd_iteration"));
+            }
+        }
+        drop(span!(tel, "lookup"));
+
+        let text = trace.to_chrome_json();
+        let value = json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = value
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|v| v.as_array())
+            .expect("top level is {\"traceEvents\": [...]}")
+            .to_vec();
+        assert_eq!(events.len(), 5);
+
+        // Every event is a complete-phase slice with the required keys.
+        let mut by_tid: std::collections::BTreeMap<i64, Vec<(f64, f64, String)>> =
+            std::collections::BTreeMap::new();
+        for ev in &events {
+            let obj = ev.as_object().expect("event is an object");
+            assert_eq!(obj["ph"].as_str(), Some("X"));
+            assert_eq!(obj["pid"].as_f64(), Some(1.0));
+            let name = obj["name"].as_str().expect("name is a string").to_string();
+            let ts = obj["ts"].as_f64().expect("ts is a number");
+            let dur = obj["dur"].as_f64().expect("dur is a number");
+            assert!(ts >= 0.0 && dur >= 0.0);
+            by_tid
+                .entry(obj["tid"].as_f64().expect("tid") as i64)
+                .or_default()
+                .push((ts, ts + dur, name));
+        }
+        // The quoted label survived escaping and parsing.
+        let outer = events
+            .iter()
+            .filter_map(|e| e.as_object())
+            .find(|o| o["name"].as_str() == Some("characterize"))
+            .expect("outer span present");
+        let args = outer["args"].as_object().expect("args object");
+        assert_eq!(args["job"].as_str(), Some("gpt3\"quoted\""));
+        assert_eq!(args["cut_solves"].as_str(), Some("2"));
+        // Nested spans record under their hierarchical path.
+        assert!(events
+            .iter()
+            .filter_map(|e| e.as_object())
+            .any(|o| o["name"].as_str() == Some("characterize/pd_iteration")));
+
+        // Well-formed nesting per thread: any two spans either nest or
+        // are disjoint — intervals never partially overlap.
+        for spans in by_tid.values() {
+            for (i, a) in spans.iter().enumerate() {
+                for b in spans.iter().skip(i + 1) {
+                    let disjoint = a.1 <= b.0 || b.1 <= a.0;
+                    let a_in_b = b.0 <= a.0 && a.1 <= b.1;
+                    let b_in_a = a.0 <= b.0 && b.1 <= a.1;
+                    assert!(
+                        disjoint || a_in_b || b_in_a,
+                        "spans {:?} and {:?} partially overlap",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let trace = TraceWriter::new();
+        let value = json::parse(&trace.to_chrome_json()).unwrap();
+        assert_eq!(
+            value.as_object().unwrap()["traceEvents"]
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Stacked-bar energy-breakdown charts (the paper's Figure 7 style):
+//! one bar per (workload, policy) with its joules split into useful /
+//! intrinsic-bloat / extrinsic-bloat segments.
+
+/// One stacked bar: a labeled energy split in joules.
+#[derive(Debug, Clone)]
+pub struct BreakdownBar {
+    /// Label under the bar.
+    pub label: String,
+    /// Useful joules (bottom segment).
+    pub useful_j: f64,
+    /// Intrinsic-bloat joules (middle segment).
+    pub intrinsic_j: f64,
+    /// Extrinsic-bloat joules (top segment).
+    pub extrinsic_j: f64,
+}
+
+impl BreakdownBar {
+    fn total(&self) -> f64 {
+        self.useful_j + self.intrinsic_j + self.extrinsic_j
+    }
+}
+
+/// A breakdown chart: several stacked bars on a shared energy axis.
+#[derive(Debug, Clone)]
+pub struct BreakdownPlot {
+    /// Title above the chart.
+    pub title: String,
+    /// Bars, drawn left to right.
+    pub bars: Vec<BreakdownBar>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 78.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 44.0;
+const MARGIN_B: f64 = 72.0;
+/// Segment colors, bottom to top: useful, intrinsic, extrinsic.
+const SEGMENTS: [(&str, &str); 3] = [
+    ("useful", "#2ca02c"),
+    ("intrinsic bloat", "#ff7f0e"),
+    ("extrinsic bloat", "#d62728"),
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// "Nice" tick spacing covering `span` with 4–8 ticks.
+fn tick_step(span: f64) -> f64 {
+    if span <= 0.0 || !span.is_finite() {
+        return 1.0;
+    }
+    let raw = span / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+/// Renders the breakdown chart as a standalone SVG document.
+///
+/// An empty plot (or bars whose segments are all zero / non-finite)
+/// renders axes only, so callers never special-case degenerate data.
+pub fn breakdown_svg(plot: &BreakdownPlot) -> String {
+    let e_hi = plot
+        .bars
+        .iter()
+        .map(BreakdownBar::total)
+        .filter(|t| t.is_finite())
+        .fold(0.0f64, f64::max);
+    let e_hi = if e_hi > 0.0 { e_hi * 1.04 } else { 1.0 };
+
+    let inner_w = WIDTH - MARGIN_L - MARGIN_R;
+    let inner_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let y = |e: f64| HEIGHT - MARGIN_B - e / e_hi * inner_h;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    ));
+    out.push_str(&format!(
+        "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n<text x=\"{}\" y=\"24\" \
+         text-anchor=\"middle\" font-size=\"15\" font-weight=\"bold\">{}</text>\n",
+        WIDTH / 2.0,
+        esc(&plot.title)
+    ));
+    out.push_str(&format!(
+        "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{inner_w}\" height=\"{inner_h}\" \
+         fill=\"none\" stroke=\"#333\"/>\n"
+    ));
+
+    // Energy ticks + gridlines.
+    let e_step = tick_step(e_hi);
+    let mut e = 0.0;
+    while e <= e_hi {
+        out.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{2}\" y=\"{3:.1}\" text-anchor=\"end\">{e:.0}</text>\n",
+            y(e),
+            WIDTH - MARGIN_R,
+            MARGIN_L - 6.0,
+            y(e) + 4.0,
+        ));
+        e += e_step;
+    }
+    out.push_str(&format!(
+        "<text x=\"16\" y=\"{0}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {0})\">energy (J)</text>\n",
+        (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+    ));
+
+    // Bars: each slot gets an equal share of the inner width, the bar
+    // fills 60% of its slot.
+    let n = plot.bars.len().max(1) as f64;
+    let slot = inner_w / n;
+    let bar_w = slot * 0.6;
+    for (i, bar) in plot.bars.iter().enumerate() {
+        let x0 = MARGIN_L + slot * (i as f64 + 0.5) - bar_w / 2.0;
+        let mut acc = 0.0;
+        for ((_, color), seg) in
+            SEGMENTS
+                .iter()
+                .zip([bar.useful_j, bar.intrinsic_j, bar.extrinsic_j])
+        {
+            if !seg.is_finite() || seg <= 0.0 {
+                continue;
+            }
+            let (y_lo, y_hi) = (y(acc), y(acc + seg));
+            out.push_str(&format!(
+                "<rect x=\"{x0:.1}\" y=\"{y_hi:.1}\" width=\"{bar_w:.1}\" height=\"{:.1}\" \
+                 fill=\"{color}\" stroke=\"#333\" stroke-width=\"0.5\"/>\n",
+                y_lo - y_hi,
+            ));
+            acc += seg;
+        }
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            x0 + bar_w / 2.0,
+            HEIGHT - MARGIN_B + 18.0,
+            esc(&bar.label)
+        ));
+    }
+
+    // Legend.
+    for (i, (label, color)) in SEGMENTS.iter().enumerate() {
+        let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+        out.push_str(&format!(
+            "<rect x=\"{0}\" y=\"{1:.1}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n\
+             <text x=\"{2}\" y=\"{3:.1}\">{label}</text>\n",
+            WIDTH - MARGIN_R - 150.0,
+            ly - 10.0,
+            WIDTH - MARGIN_R - 132.0,
+            ly,
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}

@@ -18,10 +18,12 @@
 //! assert!(svg.starts_with("<svg"));
 //! ```
 
+mod breakdown;
 mod plot;
 mod timeline;
 mod trace;
 
+pub use breakdown::{breakdown_svg, BreakdownBar, BreakdownPlot};
 pub use plot::{frontier_svg, FrontierPlot, Series};
 pub use timeline::{timeline_svg, TimelineStyle};
 pub use trace::{chrome_trace_string, write_chrome_trace};

@@ -154,3 +154,61 @@ fn chrome_trace_export_is_valid_and_repeatable() {
     // Export is read-only: the writer still holds its event.
     assert_eq!(writer.len(), 1);
 }
+
+mod breakdown {
+    use crate::breakdown::{breakdown_svg, BreakdownBar, BreakdownPlot};
+
+    fn bar(label: &str, u: f64, i: f64, e: f64) -> BreakdownBar {
+        BreakdownBar {
+            label: label.into(),
+            useful_j: u,
+            intrinsic_j: i,
+            extrinsic_j: e,
+        }
+    }
+
+    #[test]
+    fn breakdown_svg_stacks_three_segments_per_bar() {
+        let svg = breakdown_svg(&BreakdownPlot {
+            title: "Figure 7".into(),
+            bars: vec![
+                bar("all-max", 100.0, 20.0, 30.0),
+                bar("perseus", 100.0, 5.0, 10.0),
+            ],
+        });
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 2 bars x 3 segments, plus 3 legend swatches, frame, background.
+        assert_eq!(svg.matches("#2ca02c").count(), 3); // 2 useful + legend
+        assert_eq!(svg.matches("#ff7f0e").count(), 3);
+        assert_eq!(svg.matches("#d62728").count(), 3);
+        assert!(svg.contains("all-max") && svg.contains("perseus"));
+        assert!(svg.contains("extrinsic bloat"));
+        assert!(svg.contains("energy (J)"));
+    }
+
+    #[test]
+    fn breakdown_svg_skips_empty_segments_and_escapes() {
+        let svg = breakdown_svg(&BreakdownPlot {
+            title: "a < b".into(),
+            bars: vec![bar("x<y>", 50.0, 0.0, f64::NAN)],
+        });
+        // Only the useful segment is drawn: one bar rect + legend swatch.
+        assert_eq!(svg.matches("#2ca02c").count(), 2);
+        assert_eq!(svg.matches("#ff7f0e").count(), 1); // legend only
+        assert!(svg.contains("a &lt; b"));
+        assert!(svg.contains("x&lt;y&gt;"));
+    }
+
+    #[test]
+    fn breakdown_svg_handles_degenerate_plots() {
+        for bars in [vec![], vec![bar("z", 0.0, 0.0, 0.0)]] {
+            let svg = breakdown_svg(&BreakdownPlot {
+                title: "t".into(),
+                bars,
+            });
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.trim_end().ends_with("</svg>"));
+        }
+    }
+}

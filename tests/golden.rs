@@ -55,6 +55,58 @@ fn fig9_frontier_matches_golden_fixture() {
     );
 }
 
+/// Figure 7/8 attribution breakdowns, rendered from one shared emulator
+/// cache. Beyond byte-identity, the embedded claim lines are the
+/// acceptance gates of the ledger: intrinsic AND extrinsic bloat both
+/// nonzero at slowdown 1.2 (fig7), extrinsic share monotone in the
+/// straggler slowdown (fig8). Regenerate deliberately:
+///
+/// ```text
+/// cargo run --release -p perseus-bench --bin fig7_breakdown > tests/golden/fig7_breakdown.txt
+/// cargo run --release -p perseus-bench --bin fig8_scaling   > tests/golden/fig8_scaling.txt
+/// ```
+#[test]
+fn breakdown_reports_match_golden_fixtures() {
+    let (mut f7, mut f8) = (Vec::new(), Vec::new());
+    let rows = perseus_bench::breakdown_reports_with(
+        &mut f7,
+        &mut f8,
+        &perseus_telemetry::Telemetry::disabled(),
+    )
+    .expect("render breakdown reports");
+    let f7 = String::from_utf8(f7).expect("utf-8 output");
+    let f8 = String::from_utf8(f8).expect("utf-8 output");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+        std::fs::write(format!("{dir}/fig7_breakdown.txt"), &f7).expect("write fixture");
+        std::fs::write(format!("{dir}/fig8_scaling.txt"), &f8).expect("write fixture");
+    }
+    assert_matches_golden(
+        &f7,
+        include_str!("golden/fig7_breakdown.txt"),
+        "fig7_breakdown.txt",
+    );
+    assert_matches_golden(
+        &f8,
+        include_str!("golden/fig8_scaling.txt"),
+        "fig8_scaling.txt",
+    );
+    // The claim lines gate the qualitative shape, not just the digits.
+    assert!(f7.contains("intrinsic and extrinsic bloat both nonzero at slowdown 1.2: HOLDS"));
+    assert!(f8.contains("grows with straggler slowdown in every config: HOLDS"));
+    assert!(!f7.contains("VIOLATED") && !f8.contains("VIOLATED"));
+    // Four bars (2 models x 2 policies), all with positive energy, and
+    // perseus never bloatier than all-max.
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|r| r.breakdown.total_j() > 0.0));
+    for pair in rows.chunks(2) {
+        let (allmax, perseus) = (&pair[0].breakdown, &pair[1].breakdown);
+        assert!(
+            perseus.intrinsic_j + perseus.extrinsic_j < allmax.intrinsic_j + allmax.extrinsic_j
+        );
+    }
+}
+
 // ---- Telemetry neutrality: enabling metrics may never move a digit ----
 
 #[test]
