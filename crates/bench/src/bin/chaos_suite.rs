@@ -19,9 +19,19 @@
 //! JSON. With `--flight-dump <path>`, a faulted run leaves its
 //! per-iteration flight record as a JSON post-mortem.
 //!
+//! With `--durable-dir <dir>`, the planning server journals to `dir` and
+//! the fault plan is drawn from the extended durable vocabulary
+//! (`CrashRestart` kills and recovers the server in place;
+//! `CorruptJournalTail` scribbles over the write-ahead log). Stdout keeps
+//! the same deterministic report format — two durable runs of the same
+//! seed are byte-identical, which is what the CI recovery job compares —
+//! and the durability counters go to **stderr**. The run fails if a crash
+//! was scheduled but a recovery did not restore state from disk.
+//!
 //! Run: `cargo run --release -p perseus-bench --bin chaos_suite -- \
 //!        [--seed N] [--iterations N] [--max-degraded N] [--metrics] \
-//!        [--bench-json BENCH_perseus.json] [--flight-dump flight.json]`
+//!        [--bench-json BENCH_perseus.json] [--flight-dump flight.json] \
+//!        [--durable-dir /tmp/perseus-journal]`
 
 use perseus_chaos::{run_chaos, ChaosConfig};
 use perseus_cluster::{ClusterConfig, Emulator, Policy};
@@ -56,6 +66,7 @@ fn main() {
     let metrics = args.iter().any(|a| a == "--metrics");
     let bench_json = arg_str(&args, "--bench-json");
     let flight_dump = arg_str(&args, "--flight-dump");
+    let durable_dir = arg_str(&args, "--durable-dir");
     let tel = if metrics {
         Telemetry::enabled()
     } else {
@@ -95,6 +106,7 @@ fn main() {
         iterations,
         policy: Policy::Perseus,
         flight_dump: flight_dump.map(Into::into),
+        durable_dir: durable_dir.map(Into::into),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -160,6 +172,28 @@ fn main() {
             eprintln!(
                 "FAIL: degraded_lookups {} exceeds recorded baseline {max}",
                 r.degraded_lookups
+            );
+            failed = true;
+        }
+    }
+    if cfg.durable_dir.is_some() {
+        let d = r.durability;
+        eprintln!("-- durability (stderr; stdout stays format-stable) --");
+        eprintln!("crashes survived        {:>10}", r.crashes_survived);
+        eprintln!("journal corruptions     {:>10}", r.journal_corruptions);
+        eprintln!("journal appends         {:>10}", d.journal_appends);
+        eprintln!("recoveries              {:>10}", d.recoveries);
+        eprintln!("replayed events         {:>10}", d.replayed_events);
+        eprintln!("truncated records       {:>10}", d.truncated_records);
+        eprintln!("snapshots written       {:>10}", d.snapshots_written);
+        eprintln!(
+            "re-characterizations    {:>10} avoided, {} replayed",
+            d.recharacterizations_avoided, d.recharacterizations_replayed
+        );
+        if r.crashes_survived > 0 && d.recoveries < r.crashes_survived {
+            eprintln!(
+                "FAIL: {} crashes but only {} recoveries restored state from disk",
+                r.crashes_survived, d.recoveries
             );
             failed = true;
         }

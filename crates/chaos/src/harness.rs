@@ -26,7 +26,8 @@ use perseus_models::StageWorkloads;
 use perseus_pipeline::{CompKind, OpKey, PipelineDag};
 use perseus_profiler::{OpProfile, ProfileDb};
 use perseus_server::{
-    ClientConfig, FaultInjector, JobClient, JobSpec, PerseusServer, ServerError, SubmissionFault,
+    ClientConfig, DurabilityStats, FaultInjector, JobClient, JobSpec, PerseusServer, ServerError,
+    SubmissionFault,
 };
 use perseus_telemetry::{FlightSnapshot, IterationSample};
 
@@ -90,6 +91,14 @@ pub struct ChaosConfig {
     /// least one fault. `None` disables dumping; the in-memory
     /// [`FlightSnapshot`] in the report is populated either way.
     pub flight_dump: Option<PathBuf>,
+    /// Directory for the server's write-ahead journal + snapshots. With
+    /// `Some`, the server is built via [`PerseusServer::open_with`] and
+    /// [`FaultKind::CrashRestart`] kills and recovers it in place;
+    /// with `None` the server is in-memory and a crash rebuilds it from
+    /// scratch. For identical seeds *without* durability faults, durable
+    /// and in-memory runs produce identical reports — durability is
+    /// invisible to the planning path.
+    pub durable_dir: Option<PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -101,6 +110,7 @@ impl Default for ChaosConfig {
             reaction_delay_iters: 1,
             retry: ClientConfig::default(),
             flight_dump: None,
+            durable_dir: None,
         }
     }
 }
@@ -140,8 +150,33 @@ pub struct ChaosReport {
     /// The per-iteration flight record of the run: one
     /// [`IterationSample`] per simulated iteration (oldest evicted once
     /// the ring fills), with the cluster's energy split into useful /
-    /// intrinsic / extrinsic joules.
+    /// intrinsic / extrinsic joules. After a [`FaultKind::CrashRestart`]
+    /// only post-restart samples remain — the in-memory ring dies with
+    /// the process, exactly as it would in production.
     pub flight: FlightSnapshot,
+    /// Crash-restarts the run survived (0 unless the plan schedules
+    /// [`FaultKind::CrashRestart`]).
+    pub crashes_survived: u64,
+    /// Journal-tail scribbles that actually hit a durable journal.
+    pub journal_corruptions: u64,
+    /// Durability counters summed over every server incarnation of the
+    /// run (each crash-restart starts a fresh set). All zero for
+    /// in-memory runs.
+    pub durability: DurabilityStats,
+}
+
+/// Accumulates `b` into `a`, field by field: each server incarnation
+/// restarts its counters, so the run-level view is the sum.
+fn accumulate(a: &mut DurabilityStats, b: DurabilityStats) {
+    a.journal_appends += b.journal_appends;
+    a.recoveries += b.recoveries;
+    a.truncated_records += b.truncated_records;
+    a.truncated_bytes += b.truncated_bytes;
+    a.replayed_events += b.replayed_events;
+    a.recharacterizations_replayed += b.recharacterizations_replayed;
+    a.recharacterizations_avoided += b.recharacterizations_avoided;
+    a.snapshots_written += b.snapshots_written;
+    a.corrupt_snapshots += b.corrupt_snapshots;
 }
 
 /// A [`FaultInjector`] fed from a script: each characterization task pops
@@ -243,7 +278,14 @@ pub fn model_profiles(
 /// Emulation failures, or server errors that survive the retry budget.
 pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, ChaosError> {
     let config = emu.config().clone();
-    let plan = FaultPlan::from_seed(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu);
+    // Durable runs draw from the extended fault vocabulary (crashes and
+    // journal corruption need a durable directory to bite); in-memory
+    // runs keep the historical stream so seeded traces stay byte-stable.
+    let plan = if cfg.durable_dir.is_some() {
+        FaultPlan::from_seed_durable(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu)
+    } else {
+        FaultPlan::from_seed(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu)
+    };
 
     // Server side: one registered job driven through the retrying client.
     // The server shares the emulator's telemetry handle, so one snapshot
@@ -251,22 +293,33 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     let n_workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(4);
-    let server = Arc::new(PerseusServer::with_telemetry(
-        n_workers,
-        emu.telemetry().clone(),
-    ));
+    let telemetry = emu.telemetry().clone();
+    let pipe = emu.pipe().clone();
+    let boot = move || -> Result<Arc<PerseusServer>, ChaosError> {
+        Ok(match &cfg.durable_dir {
+            Some(dir) => Arc::new(PerseusServer::open_with(dir, n_workers, telemetry.clone())?),
+            None => Arc::new(PerseusServer::with_telemetry(n_workers, telemetry.clone())),
+        })
+    };
+    let spec = || JobSpec {
+        name: "chaos".into(),
+        pipe: pipe.clone(),
+        gpu: config.gpu.clone(),
+    };
+    let mut server = boot()?;
     let injector = Arc::new(ScriptedInjector::new());
     server.set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
     // Containment dumps: if a characterization is lost or panics and the
     // server absorbs it, the flight record is written immediately — the
     // post-mortem exists even if the run never reaches its end.
     server.arm_flight_dump(cfg.flight_dump.clone());
-    server.register_job(JobSpec {
-        name: "chaos".into(),
-        pipe: emu.pipe().clone(),
-        gpu: config.gpu.clone(),
-    })?;
-    let client = JobClient::with_config(Arc::clone(&server), "chaos", cfg.retry);
+    match server.register_job(spec()) {
+        // A durable directory that already holds this job (recovered
+        // state, or a rerun over the same dir) is not an error.
+        Err(ServerError::DuplicateJob(_)) => {}
+        other => other?,
+    }
+    let mut client = JobClient::with_config(Arc::clone(&server), "chaos", cfg.retry);
     let profiles = model_profiles(emu.pipe(), &config.gpu, emu.stages());
     client.submit_profiles_with_retry(&profiles, &config.frontier)?;
 
@@ -284,6 +337,15 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     let mut min_iter_time = f64::INFINITY;
     let mut next_event = 0;
     let mut prev_degraded_lookups = 0u64;
+    // Carries across server incarnations: volatile per-job counters and
+    // durability stats restart at zero after a crash, so the run-level
+    // totals accumulate what every retired incarnation had absorbed.
+    let mut crashes_survived = 0u64;
+    let mut journal_corruptions = 0u64;
+    let mut absorbed_carry = 0u64;
+    let mut degraded_carry = 0u64;
+    let mut retries_carry = 0u64;
+    let mut durability_acc = DurabilityStats::default();
 
     for iter in 0..cfg.iterations {
         let faults_before = faults_injected;
@@ -331,6 +393,45 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
                 }
                 FaultKind::ClockSkew { skew_s } => {
                     server.skew_clock("chaos", skew_s)?;
+                }
+                FaultKind::CrashRestart => {
+                    crashes_survived += 1;
+                    // Bank the retiring incarnation's counters, then tear
+                    // it down completely *before* reopening: dropping the
+                    // server joins its worker pool, so no in-flight
+                    // characterization can race the new journal handle.
+                    if let Ok(status) = server.job_status("chaos") {
+                        absorbed_carry += status.chaos.faults_injected;
+                        degraded_carry += status.chaos.degraded_lookups;
+                    }
+                    accumulate(&mut durability_acc, server.durability());
+                    retries_carry += client.retries();
+                    drop(client);
+                    drop(server);
+                    server = boot()?;
+                    server
+                        .set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
+                    server.arm_flight_dump(cfg.flight_dump.clone());
+                    match server.register_job(spec()) {
+                        Err(ServerError::DuplicateJob(_)) => {}
+                        other => other?,
+                    }
+                    client = JobClient::with_config(Arc::clone(&server), "chaos", cfg.retry);
+                    // A durable restart recovers the frontier from disk; an
+                    // in-memory restart (or a recovery whose journal lost
+                    // the characterization to corruption) must re-seed.
+                    if server.job_status("chaos")?.deployment.is_none() {
+                        client.submit_profiles_with_retry(&profiles, &config.frontier)?;
+                    }
+                    prev_degraded_lookups = 0;
+                }
+                FaultKind::CorruptJournalTail { len } => {
+                    // Deterministic garbage: all-ones nibbles never parse
+                    // as a valid record header.
+                    let garbage = vec![0xFFu8; len.max(1)];
+                    if server.corrupt_journal_tail(&garbage) {
+                        journal_corruptions += 1;
+                    }
                 }
             }
         }
@@ -386,16 +487,17 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         .job_status("chaos")
         .map(|s| s.chaos)
         .unwrap_or_default();
+    accumulate(&mut durability_acc, server.durability());
     Ok(ChaosReport {
         seed: cfg.seed,
         iterations: cfg.iterations,
         faults_scheduled: plan.len() as u64,
         faults_injected,
-        server_faults_absorbed: stats.faults_injected,
-        degraded_lookups: stats.degraded_lookups,
+        server_faults_absorbed: absorbed_carry + stats.faults_injected,
+        degraded_lookups: degraded_carry + stats.degraded_lookups,
         notifications_sent,
         notifications_answered,
-        client_retries: client.retries(),
+        client_retries: retries_carry + client.retries(),
         total_energy_j: total_energy,
         total_time_s: total_time,
         min_iter_time_s: if min_iter_time.is_finite() {
@@ -405,5 +507,8 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         },
         fault_free_critical_path_s,
         flight: server.flight_record(),
+        crashes_survived,
+        journal_corruptions,
+        durability: durability_acc,
     })
 }

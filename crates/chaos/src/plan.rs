@@ -56,6 +56,22 @@ pub enum FaultKind {
         /// Skew in seconds.
         skew_s: f64,
     },
+    /// The server process dies and is immediately reopened from its
+    /// durable directory; all recovered state (frontier, stragglers,
+    /// clock, deployment versions) must be bit-identical to the
+    /// pre-crash state. On a non-durable run the harness rebuilds the
+    /// server from scratch and re-seeds it instead. Only scheduled by
+    /// [`FaultPlan::from_seed_durable`].
+    CrashRestart,
+    /// Garbage is scribbled over the write-ahead journal's append cursor
+    /// (a torn write / bit rot in the tail). Appends after the scribble
+    /// are unreachable at the next open; recovery must truncate to the
+    /// last valid record without panicking. No-op on a non-durable run.
+    /// Only scheduled by [`FaultPlan::from_seed_durable`].
+    CorruptJournalTail {
+        /// Bytes of garbage to scribble.
+        len: usize,
+    },
 }
 
 /// A fault scheduled at a specific iteration of the chaos run.
@@ -80,6 +96,33 @@ impl FaultPlan {
     /// empty plan; any other seed yields roughly one fault every four
     /// iterations, drawn uniformly over every [`FaultKind`].
     pub fn from_seed(seed: u64, iterations: usize, n_pipelines: usize, gpu: &GpuSpec) -> FaultPlan {
+        Self::from_seed_impl(seed, iterations, n_pipelines, gpu, 8)
+    }
+
+    /// [`FaultPlan::from_seed`] extended with the durability faults
+    /// ([`FaultKind::CrashRestart`], [`FaultKind::CorruptJournalTail`]).
+    /// A separate constructor so that `from_seed`'s event stream for any
+    /// given seed stays byte-stable — the CI golden traces pin it.
+    pub fn from_seed_durable(
+        seed: u64,
+        iterations: usize,
+        n_pipelines: usize,
+        gpu: &GpuSpec,
+    ) -> FaultPlan {
+        Self::from_seed_impl(seed, iterations, n_pipelines, gpu, 10)
+    }
+
+    /// Shared derivation: draws uniformly over the first `n_kinds` fault
+    /// kinds. Arms 0–7 consume exactly the draws they always did, so
+    /// `from_seed_impl(.., 8)` reproduces the historical `from_seed`
+    /// stream bit-for-bit.
+    fn from_seed_impl(
+        seed: u64,
+        iterations: usize,
+        n_pipelines: usize,
+        gpu: &GpuSpec,
+        n_kinds: usize,
+    ) -> FaultPlan {
         if seed == 0 || iterations == 0 {
             return FaultPlan {
                 seed,
@@ -91,7 +134,7 @@ impl FaultPlan {
         let mut events = Vec::with_capacity(n_events);
         for _ in 0..n_events {
             let at_iteration = rng.gen_range(0..iterations);
-            let kind = match rng.gen_range(0..8usize) {
+            let kind = match rng.gen_range(0..n_kinds) {
                 0 => FaultKind::StragglerSpike {
                     pipeline: rng.gen_range(0..n_pipelines.max(1)),
                     cause: StragglerCause::Slowdown {
@@ -115,8 +158,12 @@ impl FaultPlan {
                 6 => FaultKind::FreqCap {
                     cap: random_freq(&mut rng, gpu),
                 },
-                _ => FaultKind::ClockSkew {
+                7 => FaultKind::ClockSkew {
                     skew_s: rng.gen_range(0.0..20.0) - 10.0,
+                },
+                8 => FaultKind::CrashRestart,
+                _ => FaultKind::CorruptJournalTail {
+                    len: rng.gen_range(1..64),
                 },
             };
             events.push(FaultEvent { at_iteration, kind });

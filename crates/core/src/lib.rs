@@ -45,6 +45,7 @@ mod energy;
 mod error;
 mod frontier;
 mod ledger;
+mod persist;
 mod planner;
 
 pub use context::{CoreError, NodePlanInfo, PlanContext};

@@ -39,6 +39,7 @@
 
 mod device;
 mod model;
+mod persist;
 
 pub use device::{DeviceError, NoiseModel, SimGpu};
 pub use model::{FreqMHz, GpuSpec, ParetoPoint, Workload, CAP_ZONE_SLOPE};

@@ -1,0 +1,82 @@
+//! [`Persist`] implementations for the GPU model types that ride in the
+//! server's write-ahead journal and snapshots.
+
+use std::sync::Mutex;
+
+use perseus_store::{ByteReader, ByteWriter, Persist, StoreError};
+
+use crate::model::{FreqMHz, GpuSpec};
+
+impl Persist for FreqMHz {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(FreqMHz(r.get_u32()?))
+    }
+}
+
+/// Resolves a decoded spec name to a `&'static str`.
+///
+/// The built-in specs resolve to their canonical static names; unknown
+/// names (custom specs) are interned once into a process-global pool, so
+/// decoding the same custom spec repeatedly leaks its name exactly once.
+fn intern_name(name: String) -> &'static str {
+    for spec in [
+        GpuSpec::a100_pcie(),
+        GpuSpec::a100_sxm(),
+        GpuSpec::a40(),
+        GpuSpec::h100_sxm(),
+        GpuSpec::v100(),
+    ] {
+        if spec.name == name {
+            return spec.name;
+        }
+    }
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().expect("name pool lock");
+    if let Some(existing) = pool.iter().find(|n| **n == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+impl Persist for GpuSpec {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(self.name);
+        w.put_u32(self.min_freq_mhz);
+        w.put_u32(self.max_freq_mhz);
+        w.put_u32(self.step_mhz);
+        w.put_f64(self.tdp_w);
+        w.put_f64(self.static_w);
+        w.put_f64(self.blocking_w);
+        w.put_f64(self.alpha);
+        w.put_f64(self.flops_per_mhz_s);
+        w.put_f64(self.cap_knee);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let name = intern_name(r.get_str()?);
+        let min_freq_mhz = r.get_u32()?;
+        let max_freq_mhz = r.get_u32()?;
+        let step_mhz = r.get_u32()?;
+        if step_mhz == 0 || min_freq_mhz > max_freq_mhz {
+            return Err(StoreError::corrupt(format!(
+                "invalid GPU frequency range {min_freq_mhz}..{max_freq_mhz} step {step_mhz}"
+            )));
+        }
+        Ok(GpuSpec {
+            name,
+            min_freq_mhz,
+            max_freq_mhz,
+            step_mhz,
+            tdp_w: r.get_f64()?,
+            static_w: r.get_f64()?,
+            blocking_w: r.get_f64()?,
+            alpha: r.get_f64()?,
+            flops_per_mhz_s: r.get_f64()?,
+            cap_knee: r.get_f64()?,
+        })
+    }
+}

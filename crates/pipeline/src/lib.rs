@@ -23,6 +23,7 @@
 
 mod builder;
 mod memory;
+mod persist;
 mod render;
 mod schedule;
 mod trace;

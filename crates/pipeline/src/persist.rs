@@ -1,0 +1,207 @@
+//! [`Persist`] implementations for pipeline types: schedule metadata,
+//! computation keys, and the full lowered [`PipelineDag`].
+//!
+//! The DAG encodes as its node payloads in insertion order plus its edge
+//! list; [`Dag`] assigns dense insertion-order ids, so rebuilding by
+//! re-adding nodes and edges in encoded order reproduces the exact same
+//! `NodeId` assignment — the property every index-addressed artifact
+//! (per-node schedules, plan info) depends on.
+
+use perseus_dag::{Dag, NodeId};
+use perseus_store::{ByteReader, ByteWriter, Persist, StoreError};
+
+use crate::builder::{DepKind, PipeNode, PipelineDag};
+use crate::schedule::{CompKind, Computation, OpKey, ScheduleKind};
+
+impl Persist for CompKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            CompKind::Forward => 0,
+            CompKind::Backward => 1,
+            CompKind::Recompute => 2,
+        });
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(CompKind::Forward),
+            1 => Ok(CompKind::Backward),
+            2 => Ok(CompKind::Recompute),
+            t => Err(StoreError::corrupt(format!("invalid CompKind tag {t}"))),
+        }
+    }
+}
+
+impl Persist for OpKey {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.stage);
+        w.put_usize(self.chunk);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(OpKey {
+            stage: r.get_usize()?,
+            chunk: r.get_usize()?,
+            kind: CompKind::decode(r)?,
+        })
+    }
+}
+
+impl Persist for Computation {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.stage);
+        w.put_usize(self.microbatch);
+        w.put_usize(self.chunk);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(Computation {
+            stage: r.get_usize()?,
+            microbatch: r.get_usize()?,
+            chunk: r.get_usize()?,
+            kind: CompKind::decode(r)?,
+        })
+    }
+}
+
+impl Persist for ScheduleKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ScheduleKind::OneFOneB => w.put_u8(0),
+            ScheduleKind::GPipe => w.put_u8(1),
+            ScheduleKind::EarlyRecompute1F1B => w.put_u8(2),
+            ScheduleKind::Interleaved1F1B { chunks } => {
+                w.put_u8(3);
+                w.put_usize(*chunks);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(ScheduleKind::OneFOneB),
+            1 => Ok(ScheduleKind::GPipe),
+            2 => Ok(ScheduleKind::EarlyRecompute1F1B),
+            3 => Ok(ScheduleKind::Interleaved1F1B {
+                chunks: r.get_usize()?,
+            }),
+            t => Err(StoreError::corrupt(format!("invalid ScheduleKind tag {t}"))),
+        }
+    }
+}
+
+impl Persist for DepKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            DepKind::IntraStage => 0,
+            DepKind::InterStage => 1,
+            DepKind::Boundary => 2,
+        });
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(DepKind::IntraStage),
+            1 => Ok(DepKind::InterStage),
+            2 => Ok(DepKind::Boundary),
+            t => Err(StoreError::corrupt(format!("invalid DepKind tag {t}"))),
+        }
+    }
+}
+
+impl Persist for PipeNode {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PipeNode::Source => w.put_u8(0),
+            PipeNode::Sink => w.put_u8(1),
+            PipeNode::Comp(c) => {
+                w.put_u8(2);
+                c.encode(w);
+            }
+            PipeNode::Fixed {
+                label,
+                stage,
+                time_s,
+                power_w,
+            } => {
+                w.put_u8(3);
+                w.put_str(label);
+                w.put_usize(*stage);
+                w.put_f64(*time_s);
+                w.put_f64(*power_w);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(PipeNode::Source),
+            1 => Ok(PipeNode::Sink),
+            2 => Ok(PipeNode::Comp(Computation::decode(r)?)),
+            3 => Ok(PipeNode::Fixed {
+                label: r.get_str()?,
+                stage: r.get_usize()?,
+                time_s: r.get_f64()?,
+                power_w: r.get_f64()?,
+            }),
+            t => Err(StoreError::corrupt(format!("invalid PipeNode tag {t}"))),
+        }
+    }
+}
+
+impl Persist for PipelineDag {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        w.put_usize(self.n_stages);
+        w.put_usize(self.n_microbatches);
+        w.put_u32(self.source.0);
+        w.put_u32(self.sink.0);
+        w.put_usize(self.dag.node_count());
+        for id in self.dag.node_ids() {
+            self.dag.node(id).encode(w);
+        }
+        w.put_usize(self.dag.edge_count());
+        for e in self.dag.edge_refs() {
+            w.put_u32(e.src.0);
+            w.put_u32(e.dst.0);
+            e.payload.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let kind = ScheduleKind::decode(r)?;
+        let n_stages = r.get_usize()?;
+        let n_microbatches = r.get_usize()?;
+        let source = NodeId(r.get_u32()?);
+        let sink = NodeId(r.get_u32()?);
+        let n_nodes = r.get_len(1)?;
+        let mut dag: Dag<PipeNode, DepKind> = Dag::with_capacity(n_nodes, 0);
+        for _ in 0..n_nodes {
+            dag.add_node(PipeNode::decode(r)?);
+        }
+        if source.index() >= n_nodes || sink.index() >= n_nodes {
+            return Err(StoreError::corrupt(
+                "pipeline source/sink outside node range",
+            ));
+        }
+        let n_edges = r.get_len(9)?;
+        for _ in 0..n_edges {
+            let src = NodeId(r.get_u32()?);
+            let dst = NodeId(r.get_u32()?);
+            let dep = DepKind::decode(r)?;
+            if src.index() >= n_nodes || dst.index() >= n_nodes || src == dst {
+                return Err(StoreError::corrupt("pipeline edge endpoint invalid"));
+            }
+            dag.add_edge_unchecked(src, dst, dep);
+        }
+        // The encoder only ever sees builder-produced DAGs, but the bytes
+        // may be hostile: reject cyclic reconstructions outright so every
+        // downstream topological query stays total.
+        if dag.topo_order().is_err() {
+            return Err(StoreError::corrupt("pipeline edge list encodes a cycle"));
+        }
+        Ok(PipelineDag {
+            dag,
+            source,
+            sink,
+            kind,
+            n_stages,
+            n_microbatches,
+        })
+    }
+}

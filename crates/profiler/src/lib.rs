@@ -34,6 +34,7 @@
 //! ```
 
 mod fit;
+mod persist;
 mod profile;
 
 pub use fit::{ExpFit, FitError};

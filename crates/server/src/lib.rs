@@ -16,17 +16,24 @@
 //! deploy → straggler notify → instant re-deploy) are preserved. Time is
 //! the simulated clock of [`perseus_gpu::SimGpu`], advanced explicitly, so
 //! the straggler `delay` semantics are exactly testable.
+//!
+//! A server opened with [`PerseusServer::open`] additionally journals
+//! every state mutation to a checksummed write-ahead log and snapshots
+//! periodically, so a crash-and-restart reconstructs bit-identical state
+//! (see the `store` module).
 
 mod client;
 mod server;
+mod store;
 
 #[allow(deprecated)]
 pub use client::RetryPolicy;
 pub use client::{AsyncFrequencyController, ClientConfig, ClientSession, JobClient};
 pub use server::{
     ChaosStats, CharacterizeTicket, Deployment, FaultInjector, JobSpec, JobStatus, PerseusServer,
-    ServerError, SubmissionFault,
+    ServerError, SubmissionFault, DEFAULT_LIVENESS_TIMEOUT,
 };
+pub use store::DurabilityStats;
 
 #[cfg(test)]
 mod tests;

@@ -16,16 +16,28 @@
 //! Each job owns a [`FrontierSolver`], so re-characterizations (fresh
 //! profiles mid-training) reuse the job's edge-centric DAG and
 //! topological order instead of rebuilding them.
+//!
+//! # Durability
+//!
+//! A server opened with [`PerseusServer::open`] journals every
+//! state-mutating event to a checksummed write-ahead log and periodically
+//! compacts it into a snapshot (see the [`crate::store`] module docs).
+//! Reopening the same directory replays snapshot + journal tail and
+//! reconstructs bit-identical state — [`PerseusServer::state_fingerprint`]
+//! of a crashed-and-recovered server equals that of an uninterrupted one,
+//! and so do the deployments it issues. Servers built with
+//! [`PerseusServer::new`]/[`PerseusServer::with_workers`] are purely
+//! in-memory and skip all of this.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::RwLock;
 use perseus_core::{
     CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
@@ -34,12 +46,24 @@ use perseus_core::{
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
+use perseus_store::{load_snapshot, write_snapshot, Journal, Persist, StoreError};
 use perseus_telemetry::{span, FlightRecorder, FlightSnapshot, FlightSummary, Telemetry};
+
+use crate::store::{
+    DurabilityStats, JobSnapshot, JournalEvent, ServerSnapshot, Store, JOURNAL_FILE, SNAPSHOT_FILE,
+};
 
 /// Ring capacity of the server's flight recorder: enough to hold the
 /// recent history of any emulated training segment while staying a few
 /// tens of kilobytes.
 const FLIGHT_CAPACITY: usize = 256;
+
+/// How long [`CharacterizeTicket::wait`] is willing to sit on a silent
+/// channel before declaring the worker lost. Long enough for any real
+/// characterization (they complete in milliseconds; injected delays are
+/// bounded well below this), short enough that a wedged or dead worker
+/// surfaces as a typed error instead of a hung client.
+pub const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A training job registration: the computation DAG plus the GPU model the
 /// pipeline runs on ("a training job is primarily specified by its
@@ -80,6 +104,23 @@ pub enum ServerError {
     CharacterizationPanicked(String),
     /// A client gave up after exhausting its retry budget.
     RetriesExhausted(String),
+    /// The characterization worker went silent past the liveness timeout
+    /// ([`DEFAULT_LIVENESS_TIMEOUT`] by default): neither a result nor a
+    /// channel close arrived. The submission may still land later;
+    /// resubmitting is safe because newer epochs supersede older ones.
+    WorkerLost(String),
+    /// A submitted profile was structurally invalid (empty, NaN or
+    /// non-positive time/energy, or a non-monotone frequency table) and
+    /// was rejected at the API boundary before any characterization ran.
+    InvalidProfile {
+        /// The job the submission targeted.
+        job: String,
+        /// What was wrong with the profile.
+        reason: String,
+    },
+    /// The durable backing store failed (journal or snapshot I/O,
+    /// unrecoverable corruption).
+    Store(StoreError),
 }
 
 impl fmt::Display for ServerError {
@@ -111,11 +152,35 @@ impl fmt::Display for ServerError {
                     "retry budget exhausted talking to the server about job {n:?}"
                 )
             }
+            ServerError::WorkerLost(n) => {
+                write!(
+                    f,
+                    "characterization worker for job {n:?} went silent past the liveness timeout"
+                )
+            }
+            ServerError::InvalidProfile { job, reason } => {
+                write!(f, "invalid profile submitted for job {job:?}: {reason}")
+            }
+            ServerError::Store(e) => write!(f, "durable store failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServerError {}
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Core(e) => Some(e),
+            ServerError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServerError {
+    fn from(e: StoreError) -> Self {
+        ServerError::Store(e)
+    }
+}
 
 impl From<CoreError> for ServerError {
     fn from(e: CoreError) -> Self {
@@ -184,17 +249,32 @@ pub struct CharacterizeTicket {
 
 impl CharacterizeTicket {
     /// Blocks until the characterization finishes and returns the
-    /// deployment it issued.
+    /// deployment it issued. Never blocks unboundedly: if the worker goes
+    /// silent for [`DEFAULT_LIVENESS_TIMEOUT`] (neither a result nor a
+    /// channel close — a wedged or dead worker), this resolves to
+    /// [`ServerError::WorkerLost`] instead of hanging the client forever.
+    /// Use [`CharacterizeTicket::wait_live`] to pick a different bound.
     ///
     /// # Errors
     ///
     /// Characterization failures, [`ServerError::Superseded`] if a newer
-    /// submission won, or [`ServerError::Shutdown`] if the server was
-    /// dropped first.
+    /// submission won, [`ServerError::Shutdown`] if the server was
+    /// dropped first, or [`ServerError::WorkerLost`] on liveness timeout.
     pub fn wait(self) -> Result<Deployment, ServerError> {
-        match self.rx.recv() {
+        self.wait_live(DEFAULT_LIVENESS_TIMEOUT)
+    }
+
+    /// [`CharacterizeTicket::wait`] with an explicit liveness bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`CharacterizeTicket::wait`]; [`ServerError::WorkerLost`] fires
+    /// after `liveness` of silence.
+    pub fn wait_live(self, liveness: Duration) -> Result<Deployment, ServerError> {
+        match self.rx.recv_timeout(liveness) {
             Ok(result) => result,
-            Err(_) => Err(ServerError::Shutdown(self.job)),
+            Err(RecvTimeoutError::Disconnected) => Err(ServerError::Shutdown(self.job)),
+            Err(RecvTimeoutError::Timeout) => Err(ServerError::WorkerLost(self.job)),
         }
     }
 
@@ -273,6 +353,9 @@ pub struct JobStatus {
     pub epoch: u64,
     /// Summary of the server's flight recorder (shared across jobs).
     pub flight: FlightSummary,
+    /// Durability counters of the server's backing store (shared across
+    /// jobs; all zero for an in-memory server).
+    pub durability: DurabilityStats,
 }
 
 /// Mutable per-job state, guarded by the job's `RwLock`.
@@ -454,6 +537,9 @@ pub struct PerseusServer {
     /// Where to auto-dump the flight record on containment; `None`
     /// disables auto-dumps.
     flight_dump: RwLock<Option<PathBuf>>,
+    /// Durable backing (journal + snapshots); `None` for in-memory
+    /// servers. Lock order everywhere: journal → jobs map → job state.
+    store: Option<Arc<Store>>,
 }
 
 impl Default for PerseusServer {
@@ -493,7 +579,252 @@ impl PerseusServer {
             telemetry,
             flight: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY)),
             flight_dump: RwLock::new(None),
+            store: None,
         }
+    }
+
+    /// Opens (or creates) a durable server rooted at `dir` with default
+    /// worker count and telemetry disabled. If `dir` holds state from a
+    /// previous run — even one that crashed mid-write — it is recovered:
+    /// the snapshot is loaded, the journal tail is replayed, and torn or
+    /// corrupted journal suffixes are truncated away. Subsequent
+    /// deployments are bit-identical to an uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] if the directory cannot be created or the
+    /// journal cannot be opened. Corruption is *not* an error: corrupt
+    /// journal tails are truncated and a corrupt snapshot falls back to
+    /// journal-only replay, both surfaced in [`DurabilityStats`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<PerseusServer, ServerError> {
+        let n = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(4);
+        PerseusServer::open_with(dir, n, Telemetry::disabled())
+    }
+
+    /// Recovers a durable server from `dir`. Alias of
+    /// [`PerseusServer::open`] — opening *is* recovery; the name exists
+    /// for call sites whose intent is restart-after-crash.
+    ///
+    /// # Errors
+    ///
+    /// As [`PerseusServer::open`].
+    pub fn recover(dir: impl AsRef<Path>) -> Result<PerseusServer, ServerError> {
+        PerseusServer::open(dir)
+    }
+
+    /// [`PerseusServer::open`] with an explicit worker count and
+    /// telemetry handle. Recovery emits
+    /// `perseus_store_recoveries_total` / `perseus_store_truncated_records_total`;
+    /// steady-state appends emit `perseus_store_journal_appends_total`.
+    ///
+    /// # Errors
+    ///
+    /// As [`PerseusServer::open`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        n_workers: usize,
+        telemetry: Telemetry,
+    ) -> Result<PerseusServer, ServerError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+        let (journal, records) = Journal::open(dir.join(JOURNAL_FILE))?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let mut server = PerseusServer::with_telemetry(n_workers, telemetry);
+        let store = Arc::new(Store::new(
+            journal,
+            snapshot_path.clone(),
+            server.telemetry.clone(),
+        ));
+
+        // A corrupt snapshot is tolerated: fall back to journal-only
+        // replay (the journal is only compacted *after* a snapshot lands,
+        // so a snapshot that never got readable leaves the full journal).
+        let mut corrupt_snapshot = false;
+        let snapshot = match load_snapshot(&snapshot_path) {
+            Ok(None) => None,
+            Ok(Some(bytes)) => match ServerSnapshot::from_bytes(&bytes) {
+                Ok(snap) => Some(snap),
+                Err(_) => {
+                    corrupt_snapshot = true;
+                    None
+                }
+            },
+            Err(StoreError::Corrupt { .. }) => {
+                corrupt_snapshot = true;
+                None
+            }
+            Err(e) => return Err(ServerError::Store(e)),
+        };
+        if corrupt_snapshot {
+            store.corrupt_snapshots.fetch_add(1, Ordering::Relaxed);
+        }
+        let had_state = snapshot.is_some() || corrupt_snapshot || !records.is_empty();
+        let applied_seq = snapshot.as_ref().map_or(0, |s| s.applied_seq);
+        if let Some(snap) = snapshot {
+            store.recharacterizations_avoided.fetch_add(
+                snap.jobs.iter().filter(|j| j.frontier.is_some()).count() as u64,
+                Ordering::Relaxed,
+            );
+            server.restore_snapshot(snap);
+        }
+
+        // Replay the journal tail past the snapshot watermark. The store
+        // is still detached, so the mutators called by `replay_event`
+        // apply state without re-journaling. A record whose frame passed
+        // CRC but whose payload fails to decode poisons everything after
+        // it: stop, count it, and let the post-recovery snapshot compact
+        // it away so it is never read again.
+        for rec in &records {
+            if rec.seq <= applied_seq {
+                continue;
+            }
+            match JournalEvent::from_bytes(&rec.payload) {
+                Ok(event) => {
+                    store.replayed_events.fetch_add(1, Ordering::Relaxed);
+                    if matches!(event, JournalEvent::Characterized { .. }) {
+                        store
+                            .recharacterizations_replayed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    server.replay_event(event);
+                }
+                Err(_) => {
+                    store.truncated_records.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        if had_state {
+            store.record_recovery();
+        }
+        server.store = Some(store);
+        if had_state {
+            // Fold the replayed tail into a fresh snapshot and compact:
+            // recovery work is never repeated, and a poisoned tail is
+            // dropped for good.
+            server.snapshot_now()?;
+        }
+        Ok(server)
+    }
+
+    /// Rebuilds the jobs map from a snapshot. Solvers are not persisted:
+    /// each is rebuilt from the job's pipeline (deterministic artifacts).
+    /// Volatile observability counters (degraded lookups, faults
+    /// absorbed) restart at zero, like any process-local counter.
+    fn restore_snapshot(&self, snap: ServerSnapshot) {
+        let mut jobs = self.jobs.write();
+        for js in snap.jobs {
+            let solver = FrontierSolver::with_telemetry(&js.pipe, self.telemetry.clone());
+            let name = js.name.clone();
+            let job = Arc::new(Job {
+                name: js.name,
+                pipe: js.pipe,
+                gpu: js.gpu,
+                solver,
+                next_epoch: AtomicU64::new(js.next_epoch),
+                degraded_lookups: AtomicU64::new(0),
+                faults_injected: AtomicU64::new(0),
+                telemetry: self.telemetry.clone(),
+                state: RwLock::new(JobMut {
+                    frontier: js.frontier.map(Arc::new),
+                    characterized_epoch: js.characterized_epoch,
+                    profiles: js.profiles,
+                    degraded: js.degraded,
+                    stragglers: js.stragglers.into_iter().collect(),
+                    pending: js
+                        .pending
+                        .into_iter()
+                        .map(|(fire_at, gpu_id, degree)| PendingStraggler {
+                            fire_at,
+                            gpu_id,
+                            degree,
+                        })
+                        .collect(),
+                    clock_s: js.clock_s,
+                    version: js.version,
+                    deployed: js.deployed,
+                }),
+            });
+            jobs.insert(name, job);
+        }
+    }
+
+    /// Applies one journaled event during recovery. The store is detached
+    /// while this runs, so the mutators apply state without
+    /// re-journaling. Errors are ignored by design: the journal only
+    /// records events that succeeded, and truncation only removes
+    /// suffixes, so every event's prerequisites are present; a decode
+    /// drift that violates that merely leaves the event unapplied.
+    fn replay_event(&self, event: JournalEvent) {
+        match event {
+            JournalEvent::RegisterJob { name, pipe, gpu } => {
+                let _ = self.register_job(JobSpec { name, pipe, gpu });
+            }
+            JournalEvent::Characterized {
+                name,
+                epoch,
+                profiles,
+                opts,
+            } => self.replay_characterized(&name, epoch, profiles, &opts),
+            JournalEvent::SetStraggler {
+                name,
+                gpu_id,
+                delay_s,
+                degree,
+            } => {
+                let _ = self.set_straggler(&name, gpu_id, delay_s, degree);
+            }
+            JournalEvent::AdvanceTime { name, dt_s } => {
+                let _ = self.advance_time(&name, dt_s);
+            }
+            JournalEvent::SkewClock { name, skew_s } => {
+                let _ = self.skew_clock(&name, skew_s);
+            }
+            JournalEvent::FreqCap { name, cap } => {
+                let _ = self.apply_freq_cap(&name, cap);
+            }
+            JournalEvent::Degraded { name } => {
+                if let Ok(job) = self.job(&name) {
+                    let mut state = job.state.write();
+                    if state.frontier.is_some() {
+                        state.degraded = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays a winning characterization: re-runs the deterministic
+    /// solver on the journaled profiles and deploys, exactly as the
+    /// original worker did. Skipped if the job already carries this (or a
+    /// newer) epoch — replaying a duplicated record is a no-op, which is
+    /// what makes recovery idempotent.
+    fn replay_characterized(
+        &self,
+        name: &str,
+        epoch: u64,
+        profiles: ProfileDb<OpKey>,
+        opts: &FrontierOptions,
+    ) {
+        let Ok(job) = self.job(name) else { return };
+        job.next_epoch.fetch_max(epoch, Ordering::Relaxed);
+        if job.state.read().characterized_epoch >= epoch {
+            return;
+        }
+        let outcome = PlanContext::new(&job.pipe, &job.gpu, profiles.clone())
+            .and_then(|ctx| job.solver.characterize(&ctx, opts));
+        let Ok(frontier) = outcome else { return };
+        let mut state = job.state.write();
+        if state.characterized_epoch >= epoch {
+            return;
+        }
+        state.characterized_epoch = epoch;
+        state.frontier = Some(Arc::new(frontier));
+        state.profiles = Some(profiles);
+        state.degraded = false;
+        job.deploy_locked(&mut state);
     }
 
     /// The server's flight recorder. The training loop records one
@@ -539,6 +870,14 @@ impl PerseusServer {
     ///
     /// [`ServerError::DuplicateJob`] if the name is taken.
     pub fn register_job(&self, spec: JobSpec) -> Result<(), ServerError> {
+        let event = self.store.as_ref().map(|_| {
+            JournalEvent::RegisterJob {
+                name: spec.name.clone(),
+                pipe: spec.pipe.clone(),
+                gpu: spec.gpu.clone(),
+            }
+            .to_bytes()
+        });
         let solver = FrontierSolver::with_telemetry(&spec.pipe, self.telemetry.clone());
         let job = Arc::new(Job {
             name: spec.name.clone(),
@@ -561,11 +900,21 @@ impl PerseusServer {
                 deployed: None,
             }),
         });
-        let mut jobs = self.jobs.write();
-        if jobs.contains_key(&spec.name) {
-            return Err(ServerError::DuplicateJob(spec.name));
+        let mut journal = self.store.as_ref().map(|s| s.journal.lock());
+        {
+            let mut jobs = self.jobs.write();
+            if jobs.contains_key(&spec.name) {
+                return Err(ServerError::DuplicateJob(spec.name));
+            }
+            jobs.insert(spec.name, job);
         }
-        jobs.insert(spec.name, job);
+        if let (Some(store), Some(journal), Some(bytes)) =
+            (self.store.as_ref(), journal.as_mut(), event.as_ref())
+        {
+            store.append_locked(journal, bytes);
+        }
+        drop(journal);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -591,8 +940,11 @@ impl PerseusServer {
     ///
     /// # Errors
     ///
-    /// [`ServerError::UnknownJob`] for unregistered names; failures of
-    /// the characterization itself are delivered through the ticket.
+    /// [`ServerError::UnknownJob`] for unregistered names;
+    /// [`ServerError::InvalidProfile`] for structurally invalid
+    /// submissions (rejected here, before any worker time is spent);
+    /// failures of the characterization itself are delivered through the
+    /// ticket.
     pub fn submit_profiles(
         &self,
         name: &str,
@@ -600,6 +952,8 @@ impl PerseusServer {
         opts: &FrontierOptions,
     ) -> Result<CharacterizeTicket, ServerError> {
         let job = self.job(name)?;
+        Self::validate_profiles(name, &profiles)?;
+        let store = self.store.clone();
         // Epoch 1 is the first submission; `characterized_epoch` 0 means
         // "nothing deployed yet", so every first submission wins.
         let epoch = job.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
@@ -628,7 +982,7 @@ impl PerseusServer {
             };
             let result = {
                 let _span = span!(tel, "characterize", job = job.name);
-                Self::characterize_task(&job, epoch, profiles, &opts, fault)
+                Self::characterize_task(&job, epoch, profiles, &opts, fault, store.as_deref())
             };
             if let Some(busy) = busy {
                 busy.add(-1);
@@ -652,26 +1006,104 @@ impl PerseusServer {
         })
     }
 
+    /// Rejects structurally invalid profile submissions at the API
+    /// boundary: empty tables, non-finite or non-positive times/energies,
+    /// zero frequencies, and non-monotone frequency tables (entries must
+    /// be strictly descending in frequency — duplicates included). Bad
+    /// profiles would otherwise surface deep inside the solver as NaN
+    /// frontiers or panics.
+    fn validate_profiles(name: &str, profiles: &ProfileDb<OpKey>) -> Result<(), ServerError> {
+        let invalid = |reason: String| ServerError::InvalidProfile {
+            job: name.to_string(),
+            reason,
+        };
+        if profiles.is_empty() {
+            return Err(invalid("profile database is empty".to_string()));
+        }
+        for (key, profile) in profiles.iter() {
+            let entries = profile.entries();
+            if entries.is_empty() {
+                return Err(invalid(format!("{key:?}: profile has no measurements")));
+            }
+            let mut prev: Option<FreqMHz> = None;
+            for e in entries {
+                if !e.time_s.is_finite() || e.time_s <= 0.0 {
+                    return Err(invalid(format!(
+                        "{key:?}: time {} s at {} MHz is not finite and positive",
+                        e.time_s, e.freq.0
+                    )));
+                }
+                if !e.energy_j.is_finite() || e.energy_j <= 0.0 {
+                    return Err(invalid(format!(
+                        "{key:?}: energy {} J at {} MHz is not finite and positive",
+                        e.energy_j, e.freq.0
+                    )));
+                }
+                if e.freq.0 == 0 {
+                    return Err(invalid(format!("{key:?}: zero frequency entry")));
+                }
+                if let Some(prev) = prev {
+                    if e.freq >= prev {
+                        return Err(invalid(format!(
+                            "{key:?}: frequency table is not strictly descending \
+                             ({} MHz after {} MHz)",
+                            e.freq.0, prev.0
+                        )));
+                    }
+                }
+                prev = Some(e.freq);
+            }
+        }
+        Ok(())
+    }
+
+    /// Journals the degradation flag flip that fault containment just
+    /// decided on. Takes the journal lock *before* the state lock (the
+    /// invariant every mutator shares), sets the flag only if a previous
+    /// frontier exists to degrade to, and appends only when the flag was
+    /// actually set.
+    fn contain_degraded(job: &Job, store: Option<&Store>) {
+        let bytes = store.map(|_| {
+            JournalEvent::Degraded {
+                name: job.name.clone(),
+            }
+            .to_bytes()
+        });
+        let mut journal = store.map(|s| s.journal.lock());
+        let mut state = job.state.write();
+        if state.frontier.is_some() {
+            state.degraded = true;
+            if let (Some(store), Some(journal), Some(bytes)) =
+                (store, journal.as_mut(), bytes.as_ref())
+            {
+                store.append_locked(journal, bytes);
+            }
+        }
+    }
+
     /// Runs on a worker thread: characterize against the job's cached
     /// solver artifacts, then swap + deploy under the write lock. Panics
     /// — injected or genuine — are contained here so a dying
     /// characterization never takes a worker (or the job) with it; the
     /// job keeps serving its last deployed frontier, marked degraded.
+    ///
+    /// Only *winning* characterizations are journaled (as
+    /// [`JournalEvent::Characterized`], carrying the profiles + options
+    /// so replay re-runs the deterministic solver); superseded and failed
+    /// attempts leave no durable trace beyond the degradation flag.
     fn characterize_task(
         job: &Job,
         epoch: u64,
         profiles: ProfileDb<OpKey>,
         opts: &FrontierOptions,
         fault: SubmissionFault,
+        store: Option<&Store>,
     ) -> Result<Deployment, ServerError> {
         match fault {
             SubmissionFault::None => {}
             SubmissionFault::Drop => {
                 job.faults_injected.fetch_add(1, Ordering::Relaxed);
-                let mut state = job.state.write();
-                if state.frontier.is_some() {
-                    state.degraded = true;
-                }
+                Self::contain_degraded(job, store);
                 return Err(ServerError::SubmissionLost(job.name.clone()));
             }
             SubmissionFault::Delay(d) => {
@@ -697,13 +1129,22 @@ impl PerseusServer {
             Ok(Ok(frontier)) => frontier,
             Ok(Err(e)) => return Err(e),
             Err(_) => {
-                let mut state = job.state.write();
-                if state.frontier.is_some() {
-                    state.degraded = true;
-                }
+                Self::contain_degraded(job, store);
                 return Err(ServerError::CharacterizationPanicked(job.name.clone()));
             }
         };
+        // Encode the journal event before taking any lock: profile
+        // databases are the largest thing the journal carries.
+        let bytes = store.map(|_| {
+            JournalEvent::Characterized {
+                name: job.name.clone(),
+                epoch,
+                profiles: profiles.clone(),
+                opts: opts.clone(),
+            }
+            .to_bytes()
+        });
+        let mut journal = store.map(|s| s.journal.lock());
         let mut state = job.state.write();
         if state.characterized_epoch > epoch {
             return Err(ServerError::Superseded(job.name.clone()));
@@ -712,6 +1153,10 @@ impl PerseusServer {
         state.frontier = Some(Arc::new(frontier));
         state.profiles = Some(profiles);
         state.degraded = false;
+        if let (Some(store), Some(journal), Some(bytes)) = (store, journal.as_mut(), bytes.as_ref())
+        {
+            store.append_locked(journal, bytes);
+        }
         Ok(job.deploy_locked(&mut state))
     }
 
@@ -740,25 +1185,47 @@ impl PerseusServer {
             return Err(ServerError::InvalidDegree(degree));
         }
         let job = self.job(name)?;
-        let mut state = job.state.write();
-        if state.frontier.is_none() {
-            return Err(ServerError::NotCharacterized(name.to_string()));
-        }
-        if delay_s <= 0.0 {
-            if degree > 1.0 {
-                state.stragglers.insert(gpu_id, degree);
-            } else {
-                state.stragglers.remove(&gpu_id);
+        let event = self.store.as_ref().map(|_| {
+            JournalEvent::SetStraggler {
+                name: name.to_string(),
+                gpu_id,
+                delay_s,
+                degree,
             }
-            return Ok(Some(job.deploy_locked(&mut state)));
-        }
-        let fire_at = state.clock_s + delay_s;
-        state.pending.push(PendingStraggler {
-            fire_at,
-            gpu_id,
-            degree,
+            .to_bytes()
         });
-        Ok(None)
+        let mut journal = self.store.as_ref().map(|s| s.journal.lock());
+        let out = {
+            let mut state = job.state.write();
+            if state.frontier.is_none() {
+                return Err(ServerError::NotCharacterized(name.to_string()));
+            }
+            let out = if delay_s <= 0.0 {
+                if degree > 1.0 {
+                    state.stragglers.insert(gpu_id, degree);
+                } else {
+                    state.stragglers.remove(&gpu_id);
+                }
+                Some(job.deploy_locked(&mut state))
+            } else {
+                let fire_at = state.clock_s + delay_s;
+                state.pending.push(PendingStraggler {
+                    fire_at,
+                    gpu_id,
+                    degree,
+                });
+                None
+            };
+            if let (Some(store), Some(journal), Some(bytes)) =
+                (self.store.as_ref(), journal.as_mut(), event.as_ref())
+            {
+                store.append_locked(journal, bytes);
+            }
+            out
+        };
+        drop(journal);
+        self.maybe_snapshot();
+        Ok(out)
     }
 
     /// Advances the job's simulated clock, firing any pending straggler
@@ -770,9 +1237,31 @@ impl PerseusServer {
     /// [`ServerError::UnknownJob`] for unregistered names.
     pub fn advance_time(&self, name: &str, dt_s: f64) -> Result<Vec<Deployment>, ServerError> {
         let job = self.job(name)?;
-        let mut state = job.state.write();
-        state.clock_s += dt_s.max(0.0);
-        Ok(job.fire_due_locked(&mut state))
+        let event = self.store.as_ref().map(|_| {
+            JournalEvent::AdvanceTime {
+                name: name.to_string(),
+                dt_s,
+            }
+            .to_bytes()
+        });
+        let mut journal = self.store.as_ref().map(|s| s.journal.lock());
+        let fired = {
+            let mut state = job.state.write();
+            state.clock_s += dt_s.max(0.0);
+            // The deployments fired here are pure functions of the clock
+            // and the journaled pending set, so only the clock advance is
+            // recorded; replay re-fires them identically.
+            let fired = job.fire_due_locked(&mut state);
+            if let (Some(store), Some(journal), Some(bytes)) =
+                (self.store.as_ref(), journal.as_mut(), event.as_ref())
+            {
+                store.append_locked(journal, bytes);
+            }
+            fired
+        };
+        drop(journal);
+        self.maybe_snapshot();
+        Ok(fired)
     }
 
     /// Injects clock skew on the job's simulated timestamps: the clock
@@ -790,9 +1279,28 @@ impl PerseusServer {
     pub fn skew_clock(&self, name: &str, skew_s: f64) -> Result<Vec<Deployment>, ServerError> {
         let job = self.job(name)?;
         job.faults_injected.fetch_add(1, Ordering::Relaxed);
-        let mut state = job.state.write();
-        state.clock_s = (state.clock_s + skew_s).max(0.0);
-        Ok(job.fire_due_locked(&mut state))
+        let event = self.store.as_ref().map(|_| {
+            JournalEvent::SkewClock {
+                name: name.to_string(),
+                skew_s,
+            }
+            .to_bytes()
+        });
+        let mut journal = self.store.as_ref().map(|s| s.journal.lock());
+        let fired = {
+            let mut state = job.state.write();
+            state.clock_s = (state.clock_s + skew_s).max(0.0);
+            let fired = job.fire_due_locked(&mut state);
+            if let (Some(store), Some(journal), Some(bytes)) =
+                (self.store.as_ref(), journal.as_mut(), event.as_ref())
+            {
+                store.append_locked(journal, bytes);
+            }
+            fired
+        };
+        drop(journal);
+        self.maybe_snapshot();
+        Ok(fired)
     }
 
     /// A datacenter frequency cap landed on the job's accelerators
@@ -809,18 +1317,38 @@ impl PerseusServer {
     /// otherwise propagates re-realization failures.
     pub fn apply_freq_cap(&self, name: &str, cap: FreqMHz) -> Result<Deployment, ServerError> {
         let job = self.job(name)?;
-        let mut state = job.state.write();
-        let (Some(frontier), Some(profiles)) = (state.frontier.clone(), state.profiles.clone())
-        else {
-            return Err(ServerError::NotCharacterized(name.to_string()));
+        let event = self.store.as_ref().map(|_| {
+            JournalEvent::FreqCap {
+                name: name.to_string(),
+                cap,
+            }
+            .to_bytes()
+        });
+        let mut journal = self.store.as_ref().map(|s| s.journal.lock());
+        let deployment = {
+            let mut state = job.state.write();
+            let (Some(frontier), Some(profiles)) = (state.frontier.clone(), state.profiles.clone())
+            else {
+                return Err(ServerError::NotCharacterized(name.to_string()));
+            };
+            job.faults_injected.fetch_add(1, Ordering::Relaxed);
+            let clamped = {
+                let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
+                frontier.clamp_to_freq_cap(&ctx, job.gpu.clamp_freq(cap))?
+            };
+            state.frontier = Some(Arc::new(clamped));
+            // Journaled only on success: a cap that failed to re-realize
+            // changed nothing and replays nothing.
+            if let (Some(store), Some(journal), Some(bytes)) =
+                (self.store.as_ref(), journal.as_mut(), event.as_ref())
+            {
+                store.append_locked(journal, bytes);
+            }
+            job.deploy_locked(&mut state)
         };
-        job.faults_injected.fetch_add(1, Ordering::Relaxed);
-        let clamped = {
-            let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
-            frontier.clamp_to_freq_cap(&ctx, job.gpu.clamp_freq(cap))?
-        };
-        state.frontier = Some(Arc::new(clamped));
-        Ok(job.deploy_locked(&mut state))
+        drop(journal);
+        self.maybe_snapshot();
+        Ok(deployment)
     }
 
     /// Everything the server knows about one job in a single consistent
@@ -848,6 +1376,7 @@ impl PerseusServer {
             degraded: state.degraded,
             epoch: state.characterized_epoch,
             flight: self.flight.summary(),
+            durability: self.durability(),
         })
     }
 
@@ -898,5 +1427,148 @@ impl PerseusServer {
     /// Registered job names.
     pub fn job_names(&self) -> Vec<String> {
         self.jobs.read().keys().cloned().collect()
+    }
+
+    /// Whether this server journals its state to disk (built via
+    /// [`PerseusServer::open`] rather than [`PerseusServer::new`]).
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Durability counters of the backing store; all zero for an
+    /// in-memory server.
+    pub fn durability(&self) -> DurabilityStats {
+        self.store
+            .as_ref()
+            .map_or_else(DurabilityStats::default, |s| s.stats())
+    }
+
+    /// Sets how many journal appends accumulate before the server folds
+    /// them into a snapshot (and compacts the journal). No-op on an
+    /// in-memory server. Low values trade journal size for snapshot
+    /// write traffic; tests use 1 to force a snapshot per mutation.
+    pub fn set_snapshot_every(&self, every: u64) {
+        if let Some(store) = self.store.as_ref() {
+            store.snapshot_every.store(every.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Serializes every job's durable state into a deterministic byte
+    /// string: equal fingerprints ⇔ bit-identical frontiers, deployments,
+    /// straggler state, and clocks. Works on in-memory servers too, which
+    /// is what lets the differential tests compare a crashed-and-recovered
+    /// server against an uninterrupted one.
+    ///
+    /// In-flight submission counters (`next_epoch`) and volatile
+    /// observability counters are excluded: they are not part of durable
+    /// identity.
+    pub fn state_fingerprint(&self) -> Vec<u8> {
+        self.snapshot_jobs(true).to_bytes()
+    }
+
+    /// Serializes the jobs map for a snapshot or fingerprint. Jobs are
+    /// sorted by name and straggler maps by accelerator id, so equal
+    /// states always yield equal bytes. `for_fingerprint` zeroes the
+    /// in-flight submission counter (see
+    /// [`PerseusServer::state_fingerprint`]).
+    fn snapshot_jobs(&self, for_fingerprint: bool) -> Vec<JobSnapshot> {
+        let jobs = self.jobs.read();
+        let mut names: Vec<&String> = jobs.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let job = &jobs[name];
+                let state = job.state.read();
+                let mut stragglers: Vec<(usize, f64)> =
+                    state.stragglers.iter().map(|(k, v)| (*k, *v)).collect();
+                stragglers.sort_by_key(|&(gpu_id, _)| gpu_id);
+                JobSnapshot {
+                    name: job.name.clone(),
+                    pipe: job.pipe.clone(),
+                    gpu: job.gpu.clone(),
+                    next_epoch: if for_fingerprint {
+                        0
+                    } else {
+                        job.next_epoch.load(Ordering::Relaxed)
+                    },
+                    characterized_epoch: state.characterized_epoch,
+                    frontier: state.frontier.as_ref().map(|f| (**f).clone()),
+                    profiles: state.profiles.clone(),
+                    degraded: state.degraded,
+                    stragglers,
+                    pending: state
+                        .pending
+                        .iter()
+                        .map(|p| (p.fire_at, p.gpu_id, p.degree))
+                        .collect(),
+                    clock_s: state.clock_s,
+                    version: state.version,
+                    deployed: state.deployed.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Writes a snapshot of the full server state and compacts the
+    /// journal below its watermark. Holds the journal lock throughout —
+    /// every mutator takes that lock before touching state, so the
+    /// serialized state is a consistent freeze. No-op on an in-memory
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] if the snapshot or compaction I/O fails
+    /// (the journal itself is still intact and recovery still works —
+    /// it just replays more).
+    pub fn snapshot_now(&self) -> Result<(), ServerError> {
+        let Some(store) = self.store.as_ref() else {
+            return Ok(());
+        };
+        let mut journal = store.journal.lock();
+        let snap = ServerSnapshot {
+            applied_seq: journal.next_seq().saturating_sub(1),
+            jobs: self.snapshot_jobs(false),
+        };
+        write_snapshot(&store.snapshot_path, &snap.to_bytes())?;
+        journal.compact_below(snap.applied_seq)?;
+        store.appends_since_snapshot.store(0, Ordering::Relaxed);
+        store.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshots if enough appends accumulated since the last one.
+    /// Called at the end of every mutating API call, after all locks are
+    /// released. Snapshot failures are swallowed here: a full disk
+    /// degrades durability (longer replay), never the serving path.
+    fn maybe_snapshot(&self) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        if store.appends_since_snapshot.load(Ordering::Relaxed)
+            >= store.snapshot_every.load(Ordering::Relaxed)
+        {
+            let _ = self.snapshot_now();
+        }
+    }
+
+    /// Chaos hook: scribbles `garbage` over the journal's append cursor,
+    /// emulating a torn/corrupted tail. Every record appended *after*
+    /// this call is unreachable at the next open (the scan stops at the
+    /// garbage), exercising recovery's truncate-to-last-valid-record
+    /// path. Returns whether a durable journal was actually poisoned.
+    pub fn corrupt_journal_tail(&self, garbage: &[u8]) -> bool {
+        let Some(store) = self.store.as_ref() else {
+            return false;
+        };
+        store.journal.lock().scribble_garbage(garbage).is_ok()
+    }
+
+    /// Absolute path of the write-ahead journal, if this server is
+    /// durable. Test/bench hook for crash-point injection.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.store
+            .as_ref()
+            .map(|s| s.journal.lock().path().to_path_buf())
     }
 }

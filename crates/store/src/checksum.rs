@@ -1,0 +1,36 @@
+//! CRC-32 (IEEE 802.3 polynomial), the journal's record checksum.
+//!
+//! Table-driven, one table built at first use. CRC-32 detects every
+//! single-bit error and all burst errors shorter than 32 bits — more than
+//! enough to tell a torn or scribbled journal tail from a valid record,
+//! which is the only job it has here (integrity, not authentication).
+
+use std::sync::OnceLock;
+
+/// Reflected polynomial of CRC-32/IEEE (zlib, PNG, Ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32/IEEE of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ t[((c ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !c
+}

@@ -1,0 +1,99 @@
+//! Atomic snapshot files: one checksummed record holding a compacted
+//! serialization of the full server state.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file := magic:"PSNP" version:u32le len:u64le crc:u32le payload:bytes
+//! ```
+//!
+//! Snapshots are written to a temp file in the same directory and
+//! renamed into place, so a crash mid-write leaves the previous snapshot
+//! untouched. A snapshot that fails validation (bad magic, short file,
+//! CRC mismatch) is reported as [`StoreError::Corrupt`]; the caller is
+//! expected to fall back to journal-only recovery rather than abort.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::checksum::crc32;
+use crate::codec::StoreError;
+
+const MAGIC: &[u8; 4] = b"PSNP";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+
+/// Atomically replaces the snapshot at `path` with `payload`.
+///
+/// The bytes are first written (and fsynced) to `<path>.tmp`, then
+/// renamed over `path`, so readers observe either the old snapshot or
+/// the new one — never a torn mix.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failures.
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut out = File::create(&tmp)?;
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        out.write_all(&crc32(payload).to_le_bytes())?;
+        out.write_all(payload)?;
+        out.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and validates the snapshot at `path`.
+///
+/// Returns `Ok(None)` if no snapshot exists (a fresh store).
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] if the file exists but fails validation
+/// (bad magic, unsupported version, truncated payload, CRC mismatch) —
+/// callers should treat this as "snapshot unusable, recover from the
+/// journal alone"; [`StoreError::Io`] on read failures.
+pub fn load_snapshot(path: &Path) -> Result<Option<Vec<u8>>, StoreError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN || &bytes[0..4] != MAGIC {
+        return Err(StoreError::corrupt(format!(
+            "{} is not a Perseus snapshot (bad magic or short header)",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if bytes.len() != HEADER_LEN + len {
+        return Err(StoreError::corrupt(format!(
+            "snapshot payload truncated: header claims {len} bytes, file holds {}",
+            bytes.len() - HEADER_LEN
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt("snapshot checksum mismatch"));
+    }
+    Ok(Some(payload.to_vec()))
+}

@@ -1,0 +1,309 @@
+//! Unit tests for the codec, journal, and snapshot primitives.
+
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{crc32, load_snapshot, write_snapshot, ByteReader, ByteWriter, Journal, Persist};
+
+/// A unique scratch directory per call, cleaned up on drop.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("perseus-store-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch { dir }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn crc32_matches_known_vectors() {
+    // Standard CRC-32/IEEE check value.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32(b""), 0);
+    assert_eq!(
+        crc32(b"The quick brown fox jumps over the lazy dog"),
+        0x414F_A339
+    );
+}
+
+#[test]
+fn codec_round_trips_primitives_bit_exactly() {
+    let mut w = ByteWriter::new();
+    w.put_u8(0xAB);
+    w.put_u32(0xDEAD_BEEF);
+    w.put_u64(u64::MAX);
+    w.put_f64(-0.0);
+    w.put_f64(f64::NAN);
+    w.put_f64(f64::MIN_POSITIVE / 2.0); // subnormal
+    w.put_bool(true);
+    w.put_str("pareto");
+    let bytes = w.into_bytes();
+
+    let mut r = ByteReader::new(&bytes);
+    assert_eq!(r.get_u8().unwrap(), 0xAB);
+    assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+    assert_eq!(r.get_u64().unwrap(), u64::MAX);
+    assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    assert_eq!(r.get_f64().unwrap().to_bits(), f64::NAN.to_bits());
+    assert_eq!(
+        r.get_f64().unwrap().to_bits(),
+        (f64::MIN_POSITIVE / 2.0).to_bits()
+    );
+    assert!(r.get_bool().unwrap());
+    assert_eq!(r.get_str().unwrap(), "pareto");
+    assert!(r.is_exhausted());
+}
+
+#[test]
+fn codec_rejects_truncation_and_bad_tags() {
+    let bytes = 42u64.to_bytes();
+    assert!(u64::from_bytes(&bytes[..7]).is_err());
+
+    // Option tag 2 is invalid.
+    assert!(Option::<u64>::from_bytes(&[2]).is_err());
+    // Bool byte 7 is invalid.
+    assert!(bool::from_bytes(&[7]).is_err());
+
+    // A Vec length prefix far beyond the remaining bytes must error, not
+    // allocate.
+    let mut w = ByteWriter::new();
+    w.put_usize(usize::MAX / 2);
+    assert!(Vec::<u64>::from_bytes(w.bytes()).is_err());
+
+    // Trailing garbage after a complete value is rejected.
+    let mut bytes = 1u32.to_bytes();
+    bytes.push(0);
+    assert!(u32::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn codec_round_trips_containers() {
+    let v: Vec<Option<(u64, f64)>> = vec![None, Some((3, 1.5)), Some((u64::MAX, f64::INFINITY))];
+    let bytes = v.to_bytes();
+    assert_eq!(Vec::<Option<(u64, f64)>>::from_bytes(&bytes).unwrap(), v);
+
+    let s: Vec<String> = vec!["a".into(), String::new(), "journal".into()];
+    assert_eq!(Vec::<String>::from_bytes(&s.to_bytes()).unwrap(), s);
+}
+
+#[test]
+fn journal_appends_and_replays_in_order() {
+    let scratch = Scratch::new("replay");
+    let path = scratch.path("wal");
+    {
+        let (mut j, recs) = Journal::open(&path).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(j.append(b"one").unwrap(), 1);
+        assert_eq!(j.append(b"two").unwrap(), 2);
+        assert_eq!(j.append(b"three").unwrap(), 3);
+        assert_eq!(j.stats().appends, 3);
+    }
+    let (j, recs) = Journal::open(&path).unwrap();
+    assert_eq!(recs.len(), 3);
+    assert_eq!(recs[0].payload, b"one");
+    assert_eq!(recs[2].payload, b"three");
+    assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 2, 3]);
+    assert_eq!(j.next_seq(), 4);
+    assert_eq!(j.stats().recovered_records, 3);
+    assert_eq!(j.stats().truncated_records, 0);
+}
+
+#[test]
+fn journal_truncates_torn_write_at_every_offset() {
+    let scratch = Scratch::new("torn");
+    let path = scratch.path("wal");
+    let full_len = {
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(b"alpha").unwrap();
+        j.append(b"beta-longer-payload").unwrap();
+        j.append(b"gamma").unwrap();
+        j.len_bytes()
+    };
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.len() as u64, full_len);
+
+    // Record boundaries: header (8), then each frame is 8 bytes of
+    // framing plus 8 bytes of sequence plus the payload.
+    let expected: [&[u8]; 3] = [b"alpha", b"beta-longer-payload", b"gamma"];
+    let mut boundaries = vec![8usize];
+    for p in expected {
+        boundaries.push(boundaries.last().unwrap() + 16 + p.len());
+    }
+    assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+    // Truncate the file at every possible byte offset and confirm the
+    // journal recovers the longest valid prefix without panicking.
+    for cut in 8..bytes.len() {
+        let torn = scratch.path(&format!("torn-{cut}"));
+        std::fs::write(&torn, &bytes[..cut]).unwrap();
+        let (j, recs) = Journal::open(&torn).unwrap();
+        // The recovered prefix is exactly the records whose frames fit
+        // entirely below the cut, in order.
+        let n_whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(recs.len(), n_whole, "cut at {cut}");
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+            assert_eq!(r.payload, expected[i]);
+        }
+        // Truncation stats fire exactly when the cut left a torn frame.
+        let torn_tail = !boundaries.contains(&cut);
+        let stats = j.stats();
+        assert_eq!(
+            stats.truncated_records,
+            u64::from(torn_tail),
+            "cut at {cut}"
+        );
+        assert_eq!(stats.truncated_bytes > 0, torn_tail, "cut at {cut}");
+    }
+}
+
+#[test]
+fn journal_truncates_corrupted_tail_and_keeps_appending() {
+    let scratch = Scratch::new("corrupt");
+    let path = scratch.path("wal");
+    {
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(b"keep-me").unwrap();
+        j.append(b"flip-me").unwrap();
+    }
+    // Flip a byte inside the second record's payload.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (mut j, recs) = Journal::open(&path).unwrap();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].payload, b"keep-me");
+    assert_eq!(j.stats().truncated_records, 1);
+
+    // The journal stays usable: the next append lands after the valid
+    // prefix and is recovered cleanly on the next open.
+    j.append(b"after-recovery").unwrap();
+    drop(j);
+    let (_, recs) = Journal::open(&path).unwrap();
+    assert_eq!(recs.len(), 2);
+    assert_eq!(recs[1].payload, b"after-recovery");
+    assert_eq!(recs[1].seq, 2);
+}
+
+#[test]
+fn journal_scribble_poisons_only_the_suffix() {
+    let scratch = Scratch::new("scribble");
+    let path = scratch.path("wal");
+    {
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(b"before").unwrap();
+        j.scribble_garbage(&[0xFF; 64]).unwrap();
+        j.append(b"lost-to-scribble").unwrap();
+    }
+    let (_, recs) = Journal::open(&path).unwrap();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].payload, b"before");
+}
+
+#[test]
+fn journal_rejects_foreign_files() {
+    let scratch = Scratch::new("foreign");
+    let path = scratch.path("not-a-journal");
+    std::fs::write(&path, b"this is somebody else's data, do not truncate it").unwrap();
+    assert!(Journal::open(&path).is_err());
+    // The file is untouched.
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..4], b"this");
+}
+
+#[test]
+fn journal_compaction_preserves_tail_and_sequence() {
+    let scratch = Scratch::new("compact");
+    let path = scratch.path("wal");
+    let (mut j, _) = Journal::open(&path).unwrap();
+    for i in 0..10u8 {
+        j.append(&[i]).unwrap();
+    }
+    j.compact_below(7).unwrap();
+    assert_eq!(j.next_seq(), 11);
+    j.append(b"post-compact").unwrap();
+    drop(j);
+
+    let (_, recs) = Journal::open(&path).unwrap();
+    assert_eq!(
+        recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        [8, 9, 10, 11]
+    );
+    assert_eq!(recs[0].payload, [7u8]);
+    assert_eq!(recs[3].payload, b"post-compact");
+}
+
+#[test]
+fn journal_duplicate_and_stale_sequences_are_cut() {
+    let scratch = Scratch::new("stale-seq");
+    let path = scratch.path("wal");
+    {
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(b"first").unwrap();
+        j.append(b"second").unwrap();
+        // A record whose sequence rewinds (stale bytes surfacing after a
+        // botched rewrite) must stop the scan.
+        j.append_with_seq(1, b"stale").unwrap();
+        j.append_with_seq(5, b"unreachable").unwrap();
+    }
+    let (_, recs) = Journal::open(&path).unwrap();
+    assert_eq!(recs.len(), 2);
+    assert_eq!(recs[1].payload, b"second");
+}
+
+#[test]
+fn snapshot_round_trips_and_survives_rewrites() {
+    let scratch = Scratch::new("snap");
+    let path = scratch.path("state.snap");
+    assert!(load_snapshot(&path).unwrap().is_none());
+
+    write_snapshot(&path, b"generation-1").unwrap();
+    assert_eq!(load_snapshot(&path).unwrap().unwrap(), b"generation-1");
+
+    write_snapshot(&path, b"generation-2-with-more-bytes").unwrap();
+    assert_eq!(
+        load_snapshot(&path).unwrap().unwrap(),
+        b"generation-2-with-more-bytes"
+    );
+}
+
+#[test]
+fn snapshot_detects_corruption() {
+    let scratch = Scratch::new("snap-corrupt");
+    let path = scratch.path("state.snap");
+    write_snapshot(&path, b"precious state bytes").unwrap();
+
+    // Flip one payload byte: CRC must catch it.
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    f.seek(SeekFrom::End(-1)).unwrap();
+    f.write_all(&[0x00]).unwrap();
+    drop(f);
+    assert!(load_snapshot(&path).is_err());
+
+    // A short / truncated snapshot is corrupt, not a panic.
+    std::fs::write(&path, b"PS").unwrap();
+    assert!(load_snapshot(&path).is_err());
+}

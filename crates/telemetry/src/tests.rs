@@ -261,7 +261,11 @@ mod flight {
         for i in 0..5 {
             rec.record(sample(i, i == 2));
         }
-        let dir = std::env::temp_dir().join("perseus-flight-test");
+        let dir = std::env::temp_dir().join(format!(
+            "perseus-flight-test-{}-{:p}",
+            std::process::id(),
+            &rec
+        ));
         let path = dir.join("nested").join("postmortem.json");
         let _ = std::fs::remove_dir_all(&dir);
         rec.dump_to(&path).unwrap();
