@@ -28,6 +28,9 @@ pub struct BenchEntry {
     pub intrinsic_j: f64,
     /// Extrinsic-bloat joules (gradient-sync straggler wait).
     pub extrinsic_j: f64,
+    /// Suite-specific scalar metrics, rendered (in order) after the
+    /// energy columns — e.g. the solver suite's augmenting-path counts.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchEntry {
@@ -44,7 +47,15 @@ impl BenchEntry {
             useful_j: b.useful_j,
             intrinsic_j: b.intrinsic_j,
             extrinsic_j: b.extrinsic_j,
+            extras: Vec::new(),
         }
+    }
+
+    /// Appends a suite-specific metric column, builder-style.
+    #[must_use]
+    pub fn with_extra(mut self, key: impl Into<String>, value: f64) -> BenchEntry {
+        self.extras.push((key.into(), value));
+        self
     }
 }
 
@@ -77,7 +88,7 @@ pub fn render_bench_json(entries: &[BenchEntry]) -> String {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str(&format!(
             "    \"{}\": {{\"wall_time_s\": {}, \"total_energy_j\": {}, \"useful_j\": {}, \
-             \"intrinsic_j\": {}, \"extrinsic_j\": {}}}",
+             \"intrinsic_j\": {}, \"extrinsic_j\": {}",
             json_escape(&e.name),
             num(e.wall_time_s),
             num(e.total_energy_j),
@@ -85,6 +96,10 @@ pub fn render_bench_json(entries: &[BenchEntry]) -> String {
             num(e.intrinsic_j),
             num(e.extrinsic_j),
         ));
+        for (key, value) in &e.extras {
+            out.push_str(&format!(", \"{}\": {}", json_escape(key), num(*value)));
+        }
+        out.push('}');
     }
     if !entries.is_empty() {
         out.push_str("\n  ");

@@ -44,6 +44,7 @@ fn main() {
                 tau_s: Some(tau_ms * 1e-3),
                 max_iters: 500_000,
                 stretch,
+                warm_start: true,
             };
             let t0 = Instant::now();
             let frontier = characterize(&ctx, &opts).expect("frontier");

@@ -22,6 +22,7 @@ fn small_config() -> ClusterConfig {
             tau_s: Some(2e-3),
             max_iters: 50_000,
             stretch: true,
+            warm_start: true,
         },
     }
 }
@@ -150,6 +151,68 @@ fn nonzero_seed_survives_and_accounts_every_fault() {
     assert_eq!(report.server_faults_absorbed, server_kinds);
     assert!(report.total_energy_j.is_finite() && report.total_energy_j >= 0.0);
     assert!(report.min_iter_time_s >= report.fault_free_critical_path_s - 1e-9);
+}
+
+/// The first seed whose fault plan schedules both a frequency cap and a
+/// straggler spike within the run — found deterministically, so the test
+/// never depends on a hand-picked magic seed staying lucky.
+fn seed_with_cap_and_straggler(iterations: usize) -> u64 {
+    let gpu = GpuSpec::a100_pcie();
+    (1..500)
+        .find(|&seed| {
+            let plan = FaultPlan::from_seed(seed, iterations, 4, &gpu);
+            let cap = plan
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::FreqCap { .. }));
+            let spike = plan
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::StragglerSpike { .. }));
+            cap && spike
+        })
+        .expect("some seed below 500 schedules both a freq cap and a straggler spike")
+}
+
+/// Warm-started incremental solving is an optimization, never a behavior
+/// change: a seeded chaos run (frequency cap + straggler spike both in
+/// the plan) produces bit-identical energy and time whether the frontier
+/// was characterized with warm starts or from scratch.
+#[test]
+fn warm_started_chaos_run_is_bit_identical_to_cold() {
+    let iterations = 40;
+    let seed = seed_with_cap_and_straggler(iterations);
+    let run = |warm_start: bool| {
+        let mut cluster = small_config();
+        cluster.frontier.warm_start = warm_start;
+        let mut emu = Emulator::new(cluster).unwrap();
+        let cfg = ChaosConfig {
+            seed,
+            iterations,
+            ..Default::default()
+        };
+        run_chaos(&mut emu, &cfg).unwrap()
+    };
+    let warm = run(true);
+    let cold = run(false);
+    assert!(warm.faults_injected > 0, "seed {seed} must inject faults");
+    assert_eq!(warm.total_energy_j.to_bits(), cold.total_energy_j.to_bits());
+    assert_eq!(warm.total_time_s.to_bits(), cold.total_time_s.to_bits());
+    assert_eq!(
+        warm.min_iter_time_s.to_bits(),
+        cold.min_iter_time_s.to_bits()
+    );
+    assert_eq!(
+        warm.fault_free_critical_path_s.to_bits(),
+        cold.fault_free_critical_path_s.to_bits()
+    );
+    assert_eq!(warm.faults_scheduled, cold.faults_scheduled);
+    assert_eq!(warm.faults_injected, cold.faults_injected);
+    assert_eq!(warm.server_faults_absorbed, cold.server_faults_absorbed);
+    assert_eq!(warm.degraded_lookups, cold.degraded_lookups);
+    assert_eq!(warm.notifications_sent, cold.notifications_sent);
+    assert_eq!(warm.notifications_answered, cold.notifications_answered);
+    assert_eq!(warm.client_retries, cold.client_retries);
 }
 
 mod prop {

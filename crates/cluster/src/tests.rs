@@ -18,6 +18,7 @@ fn small_config() -> ClusterConfig {
             tau_s: Some(2e-3),
             max_iters: 50_000,
             stretch: true,
+            warm_start: true,
         },
     }
 }
@@ -416,6 +417,81 @@ mod run_simulation {
         )
         .unwrap();
         assert!(instant.total_time_s <= allmax_instant.total_time_s * 1.002);
+    }
+}
+
+#[test]
+fn parallel_planner_sweep_matches_sequential() {
+    use std::sync::Arc;
+
+    use perseus_core::parallel::parallel_map;
+    use perseus_core::{EnergySchedule, PlanOutput, Planner};
+
+    fn schedule_bits(s: &EnergySchedule, out: &mut Vec<u64>) {
+        out.push(s.time_s.to_bits());
+        out.push(s.compute_j.to_bits());
+        for v in s
+            .planned
+            .iter()
+            .chain(&s.realized_dur)
+            .chain(&s.realized_energy)
+        {
+            out.push(v.to_bits());
+        }
+        for f in &s.freqs {
+            out.push(f.map_or(u64::MAX, |f| u64::from(f.0)));
+        }
+    }
+
+    // Every f64 and frequency a plan carries, as exact bits — any
+    // nondeterminism in the parallel path shows up as a fingerprint
+    // mismatch, not a tolerance question.
+    fn fingerprint(p: &PlanOutput) -> Vec<u64> {
+        let mut bits = Vec::new();
+        match p {
+            PlanOutput::Schedule(s) => {
+                bits.push(1);
+                schedule_bits(s, &mut bits);
+            }
+            PlanOutput::Frontier(f) => {
+                bits.push(2);
+                for pt in f.points() {
+                    bits.push(pt.planned_time_s.to_bits());
+                    bits.push(pt.planned_energy_j.to_bits());
+                    schedule_bits(&pt.schedule, &mut bits);
+                }
+            }
+            PlanOutput::Sweep {
+                schedules,
+                no_straggler_deadline_s,
+            } => {
+                bits.push(3);
+                bits.push(no_straggler_deadline_s.to_bits());
+                for s in schedules {
+                    schedule_bits(s, &mut bits);
+                }
+            }
+        }
+        bits
+    }
+
+    let emu = Emulator::new(small_config()).unwrap();
+    let ctx = emu.ctx();
+    let planners: Vec<(&'static str, Arc<dyn Planner>)> = emu.planners().iter().collect();
+    assert_eq!(
+        planners.len(),
+        6,
+        "Perseus plus the five baselines: {:?}",
+        emu.planners().names()
+    );
+    let sequential: Vec<Vec<u64>> = planners
+        .iter()
+        .map(|(_, p)| fingerprint(&p.plan(&ctx).unwrap()))
+        .collect();
+    let parallel: Vec<Vec<u64>> =
+        parallel_map(&planners, |(_, p)| fingerprint(&p.plan(&ctx).unwrap()));
+    for (((name, _), seq), par) in planners.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(seq, par, "planner {name} diverges under parallel execution");
     }
 }
 

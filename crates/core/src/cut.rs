@@ -3,9 +3,9 @@
 //! increase, via a minimum cut on the Capacity DAG.
 
 use perseus_dag::{CriticalDag, Dag, NodeId, TimingAnalysis};
-use perseus_flow::BoundedFlowProblem;
+use perseus_flow::{BoundedFlowProblem, BoundedFlowSolution, WarmStart};
 use perseus_pipeline::PipelineDag;
-use perseus_telemetry::Telemetry;
+use perseus_telemetry::{span, Telemetry};
 
 use crate::context::PlanContext;
 
@@ -84,6 +84,95 @@ fn edge_centric(pipe: &PipelineDag) -> (Dag<(), EcEdge>, Vec<(NodeId, NodeId)>) 
     (ec, halves)
 }
 
+/// Counters accumulated by a [`SolverArena`] across Phillips–Dessouky
+/// iterations. `augmenting_paths_saved` estimates the searches a warm hit
+/// avoided as the path count of the most recent cold solve minus the hit's
+/// own count (the honest measurement — actual cold vs warm full-frontier
+/// totals — is what the `solver_suite` bench gates on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bounded min-cut solves performed.
+    pub solves: u64,
+    /// Solves that reused the previous iteration's flow.
+    pub warm_start_hits: u64,
+    /// Augmenting paths actually searched, warm and cold combined.
+    pub augmenting_paths: u64,
+    /// Estimated paths avoided by warm starts (see type docs).
+    pub augmenting_paths_saved: u64,
+}
+
+/// Preallocated workspace for the Phillips–Dessouky iteration: every
+/// buffer `get_next_pareto_arena` needs — the compacted
+/// [`BoundedFlowProblem`], its solution, the contraction maps, cut
+/// scratch — plus the [`WarmStart`] handle that carries the previous
+/// iteration's max flow forward. Build one per pipeline characterization
+/// and reuse it across all frontier steps; consecutive steps patch
+/// capacities into the same buffers instead of reallocating, and (while
+/// the critical topology is stable) re-augment instead of re-solving.
+#[derive(Debug)]
+pub struct SolverArena {
+    warm: WarmStart,
+    warm_enabled: bool,
+    problem: BoundedFlowProblem,
+    relaxed: BoundedFlowProblem,
+    sol: BoundedFlowSolution,
+    caps: Vec<EdgeCap>,
+    contractible: Vec<bool>,
+    compact: Vec<Option<usize>>,
+    edge_meta: Vec<(Option<NodeId>, Option<NodeId>)>,
+    cut_scratch: Vec<usize>,
+    speed_targets: Vec<NodeId>,
+    backup: Vec<(NodeId, f64)>,
+    /// Path count of the most recent cold solve (the per-hit savings
+    /// baseline).
+    last_cold_paths: u64,
+    stats: ArenaStats,
+}
+
+impl Default for SolverArena {
+    fn default() -> SolverArena {
+        SolverArena::new()
+    }
+}
+
+impl SolverArena {
+    /// A fresh arena with warm starting enabled.
+    pub fn new() -> SolverArena {
+        SolverArena {
+            warm: WarmStart::new(),
+            warm_enabled: true,
+            problem: BoundedFlowProblem::default(),
+            relaxed: BoundedFlowProblem::default(),
+            sol: BoundedFlowSolution::default(),
+            caps: Vec::new(),
+            contractible: Vec::new(),
+            compact: Vec::new(),
+            edge_meta: Vec::new(),
+            cut_scratch: Vec::new(),
+            speed_targets: Vec::new(),
+            backup: Vec::new(),
+            last_cold_paths: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Enables or disables warm starting. Disabled, every solve rebuilds
+    /// the flow network from scratch through the same code path — the cold
+    /// baseline the `solver_suite` bench compares against. Outputs are
+    /// identical either way; only the work differs.
+    pub fn set_warm(&mut self, enabled: bool) {
+        self.warm_enabled = enabled;
+        if !enabled {
+            self.warm.invalidate();
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
 /// Capacity-DAG annotation of one critical edge before contraction.
 #[derive(Debug, Clone, Copy)]
 struct EdgeCap {
@@ -145,7 +234,8 @@ pub fn get_next_pareto_with(
 
 /// [`get_next_pareto_with`] with instrumentation: counts cut solves and
 /// infeasible-retry re-solves, and threads `telemetry` into the bounded
-/// max-flow solver.
+/// max-flow solver. Equivalent to [`get_next_pareto_arena`] against a
+/// throwaway arena (every solve cold).
 pub fn get_next_pareto_traced(
     ctx: &PlanContext<'_>,
     solver: &CutSolver,
@@ -153,9 +243,48 @@ pub fn get_next_pareto_traced(
     tau: f64,
     telemetry: &Telemetry,
 ) -> CutOutcome {
+    let mut arena = SolverArena::new();
+    get_next_pareto_arena(ctx, solver, planned, tau, &mut arena, telemetry)
+}
+
+/// [`get_next_pareto_traced`] against a reusable [`SolverArena`]: the
+/// compacted problem, solution, and cut buffers live in the arena
+/// (capacity patches instead of rebuilds), and when consecutive calls
+/// produce the same compacted topology — the common case along a frontier,
+/// where only durations drift — the max flow is warm-started from the
+/// previous iteration's flow instead of re-derived from zero.
+///
+/// Output is bit-identical to the cold path: the solver extracts the
+/// minimal source-side min cut, which is unique across all maximum flows.
+pub fn get_next_pareto_arena(
+    ctx: &PlanContext<'_>,
+    solver: &CutSolver,
+    planned: &mut [f64],
+    tau: f64,
+    arena: &mut SolverArena,
+    telemetry: &Telemetry,
+) -> CutOutcome {
     if telemetry.is_enabled() {
         telemetry.counter("perseus_cut_solves_total").inc();
     }
+    // Disjoint borrows of every arena buffer; the construction below fills
+    // them in place instead of allocating.
+    let SolverArena {
+        warm,
+        warm_enabled,
+        problem,
+        relaxed,
+        sol,
+        caps,
+        contractible,
+        compact,
+        edge_meta,
+        cut_scratch,
+        speed_targets,
+        backup,
+        last_cold_paths,
+        stats,
+    } = arena;
     let (ec, halves) = (&solver.ec, &solver.halves);
     let dur = |_: perseus_dag::EdgeId, e: &EcEdge| match e {
         EcEdge::Comp(n) => planned[n.index()],
@@ -188,84 +317,82 @@ pub fn get_next_pareto_traced(
     let inf = BoundedFlowProblem::unbounded();
     let tiny = tau * 1e-9;
     let cg = &crit.graph;
-    let caps: Vec<EdgeCap> = cg
-        .edge_refs()
-        .map(|r| match r.payload {
-            EcEdge::Comp(n) => {
-                let info = ctx.info(*n).expect("comp node has plan info");
-                let tcur = planned[n.index()];
-                let can_speed = tcur > info.t_min + tiny;
-                let can_slow = tcur < info.t_max - tiny;
-                // Price the capacities over steps CLAMPED to the measured
-                // range, normalized back to a per-τ rate so edges stay
-                // comparable. Evaluating the exponential below t_min (or
-                // above t_max) extrapolates where it was never fitted and
-                // can blow capacities up by orders of magnitude, which both
-                // misprices the cut and poisons the flow solver's relative
-                // epsilon.
-                let e_plus = if can_speed {
-                    let t_to = (tcur - tau).max(info.t_min);
-                    (info.fit.energy(t_to) - info.fit.energy(tcur)).max(0.0) * (tau / (tcur - t_to))
-                } else {
-                    0.0
-                };
-                let e_minus = if can_slow {
-                    let t_to = (tcur + tau).min(info.t_max);
-                    (info.fit.energy(tcur) - info.fit.energy(t_to)).max(0.0) * (tau / (t_to - tcur))
-                } else {
-                    0.0
-                };
-                // Lower bounds (the Eq. 8 slowdown rewards e⁻) are relaxed
-                // to zero: the post-step stretch pass (see `characterize`)
-                // reclaims every gap a backward-crossing slowdown would
-                // have exploited, because the fitted energy is decreasing
-                // on [t_min, t_max] — zero-slack schedules dominate. This
-                // removes the expensive feasibility phase of the
-                // lower-bounded max flow while keeping the same end
-                // states. e⁻ still breaks ties for which chain member to
-                // slow when a backward cut edge does appear.
-                match (can_speed, can_slow) {
-                    (true, true) => EdgeCap {
-                        lower: 0.0,
-                        upper: e_plus,
-                        speed: Some(*n),
-                        slow: Some(*n),
-                        slow_gain: e_minus,
-                    },
-                    // Slowest: cannot slow further, may speed.
-                    (true, false) => EdgeCap {
-                        lower: 0.0,
-                        upper: e_plus,
-                        speed: Some(*n),
-                        slow: None,
-                        slow_gain: 0.0,
-                    },
-                    // Fastest: cannot speed, may slow.
-                    (false, true) => EdgeCap {
-                        lower: 0.0,
-                        upper: inf,
-                        speed: None,
-                        slow: Some(*n),
-                        slow_gain: e_minus,
-                    },
-                    (false, false) => EdgeCap {
-                        lower: 0.0,
-                        upper: inf,
-                        speed: None,
-                        slow: None,
-                        slow_gain: 0.0,
-                    },
-                }
+    caps.clear();
+    caps.extend(cg.edge_refs().map(|r| match r.payload {
+        EcEdge::Comp(n) => {
+            let info = ctx.info(*n).expect("comp node has plan info");
+            let tcur = planned[n.index()];
+            let can_speed = tcur > info.t_min + tiny;
+            let can_slow = tcur < info.t_max - tiny;
+            // Price the capacities over steps CLAMPED to the measured
+            // range, normalized back to a per-τ rate so edges stay
+            // comparable. Evaluating the exponential below t_min (or
+            // above t_max) extrapolates where it was never fitted and
+            // can blow capacities up by orders of magnitude, which both
+            // misprices the cut and poisons the flow solver's relative
+            // epsilon.
+            let e_plus = if can_speed {
+                let t_to = (tcur - tau).max(info.t_min);
+                (info.fit.energy(t_to) - info.fit.energy(tcur)).max(0.0) * (tau / (tcur - t_to))
+            } else {
+                0.0
+            };
+            let e_minus = if can_slow {
+                let t_to = (tcur + tau).min(info.t_max);
+                (info.fit.energy(tcur) - info.fit.energy(t_to)).max(0.0) * (tau / (t_to - tcur))
+            } else {
+                0.0
+            };
+            // Lower bounds (the Eq. 8 slowdown rewards e⁻) are relaxed
+            // to zero: the post-step stretch pass (see `characterize`)
+            // reclaims every gap a backward-crossing slowdown would
+            // have exploited, because the fitted energy is decreasing
+            // on [t_min, t_max] — zero-slack schedules dominate. This
+            // removes the expensive feasibility phase of the
+            // lower-bounded max flow while keeping the same end
+            // states. e⁻ still breaks ties for which chain member to
+            // slow when a backward cut edge does appear.
+            match (can_speed, can_slow) {
+                (true, true) => EdgeCap {
+                    lower: 0.0,
+                    upper: e_plus,
+                    speed: Some(*n),
+                    slow: Some(*n),
+                    slow_gain: e_minus,
+                },
+                // Slowest: cannot slow further, may speed.
+                (true, false) => EdgeCap {
+                    lower: 0.0,
+                    upper: e_plus,
+                    speed: Some(*n),
+                    slow: None,
+                    slow_gain: 0.0,
+                },
+                // Fastest: cannot speed, may slow.
+                (false, true) => EdgeCap {
+                    lower: 0.0,
+                    upper: inf,
+                    speed: None,
+                    slow: Some(*n),
+                    slow_gain: e_minus,
+                },
+                (false, false) => EdgeCap {
+                    lower: 0.0,
+                    upper: inf,
+                    speed: None,
+                    slow: None,
+                    slow_gain: 0.0,
+                },
             }
-            EcEdge::Fixed(_) | EcEdge::Dep => EdgeCap {
-                lower: 0.0,
-                upper: inf,
-                speed: None,
-                slow: None,
-                slow_gain: 0.0,
-            },
-        })
-        .collect();
+        }
+        EcEdge::Fixed(_) | EcEdge::Dep => EdgeCap {
+            lower: 0.0,
+            upper: inf,
+            speed: None,
+            slow: None,
+            slow_gain: 0.0,
+        },
+    }));
 
     // Series contraction: a node (other than s/t) with exactly one
     // incoming and one outgoing edge is a pass-through; flow through a
@@ -273,11 +400,13 @@ pub fn get_next_pareto_traced(
     // like one edge with `upper = min(upper_i)` (a forward cut picks the
     // cheapest edge to speed) and `lower = max(lower_i)` (a backward cut
     // slows the edge with the largest reclaim).
-    let contractible: Vec<bool> = cg
-        .node_ids()
-        .map(|v| v != s && v != t && cg.in_degree(v) == 1 && cg.out_degree(v) == 1)
-        .collect();
-    let mut compact: Vec<Option<usize>> = vec![None; cg.node_count()];
+    contractible.clear();
+    contractible.extend(
+        cg.node_ids()
+            .map(|v| v != s && v != t && cg.in_degree(v) == 1 && cg.out_degree(v) == 1),
+    );
+    compact.clear();
+    compact.resize(cg.node_count(), None);
     let mut n_compact = 0usize;
     for v in cg.node_ids() {
         if !contractible[v.index()] {
@@ -285,9 +414,9 @@ pub fn get_next_pareto_traced(
             n_compact += 1;
         }
     }
-    let mut problem = BoundedFlowProblem::new(n_compact);
+    problem.reset(n_compact);
     // Per contracted edge: (speed target, slow target).
-    let mut edge_meta: Vec<(Option<NodeId>, Option<NodeId>)> = Vec::new();
+    edge_meta.clear();
     for u in cg.node_ids() {
         if contractible[u.index()] {
             continue;
@@ -333,8 +462,32 @@ pub fn get_next_pareto_traced(
         compact[t.index()].expect("terminal"),
     );
 
-    let sol = match problem.solve_with(s, t, telemetry) {
-        Ok(sol) => sol,
+    if !*warm_enabled {
+        warm.invalidate();
+    }
+    stats.solves += 1;
+    let solved = {
+        let _span = span!(telemetry, "cut_solve");
+        problem.solve_warm_into(s, t, warm, sol, telemetry)
+    };
+    match solved {
+        Ok(hit) => {
+            let paths = sol.augmenting_paths;
+            stats.augmenting_paths += paths;
+            if hit {
+                stats.warm_start_hits += 1;
+                let saved = last_cold_paths.saturating_sub(paths);
+                stats.augmenting_paths_saved += saved;
+                if telemetry.is_enabled() {
+                    telemetry.counter("perseus_cut_warm_start_hits_total").inc();
+                    telemetry
+                        .counter("perseus_cut_augmenting_paths_saved_total")
+                        .add(saved);
+                }
+            } else {
+                *last_cold_paths = paths;
+            }
+        }
         Err(perseus_flow::FlowError::Infeasible { .. }) => {
             // Hoffman's condition can still fail in rare configurations
             // (a negative-value cut exists: some simultaneous speed-up /
@@ -346,28 +499,29 @@ pub fn get_next_pareto_traced(
             if telemetry.is_enabled() {
                 telemetry.counter("perseus_cut_resolves_total").inc();
             }
-            let mut relaxed = BoundedFlowProblem::new(n_compact);
+            relaxed.reset(n_compact);
             for e in problem.edges() {
                 relaxed.add_edge(e.src, e.dst, 0.0, e.upper);
             }
             match relaxed.solve_with(s, t, telemetry) {
-                Ok(sol) => sol,
+                Ok(relaxed_sol) => {
+                    stats.augmenting_paths += relaxed_sol.augmenting_paths;
+                    *sol = relaxed_sol;
+                }
                 Err(_) => return CutOutcome::AtMinimumTime,
             }
         }
         Err(_) => return CutOutcome::AtMinimumTime,
-    };
+    }
     if problem.cut_capacity(&sol.source_side).is_infinite() {
         return CutOutcome::AtMinimumTime;
     }
 
     // Apply: forward cut edges speed up (at their cheapest chain member),
     // backward cut edges slow down.
-    let speed_targets: Vec<NodeId> = sol
-        .forward_cut_edges(&problem)
-        .into_iter()
-        .filter_map(|idx| edge_meta[idx].0)
-        .collect();
+    sol.forward_cut_edges_into(problem, cut_scratch);
+    speed_targets.clear();
+    speed_targets.extend(cut_scratch.iter().filter_map(|&idx| edge_meta[idx].0));
     if speed_targets.is_empty() {
         // The only way to "cut" was through unmodifiable edges that the
         // capacity check let through numerically; treat as converged.
@@ -388,18 +542,20 @@ pub fn get_next_pareto_traced(
     }
     let mut sped_up = Vec::new();
     let mut slowed_down = Vec::new();
-    for &n in &speed_targets {
+    for &n in speed_targets.iter() {
         let info = ctx.info(n).expect("comp");
         planned[n.index()] = (planned[n.index()] - delta).max(info.t_min);
         sped_up.push(n);
     }
-    let backup: Vec<(NodeId, f64)> = sol
-        .backward_cut_edges(&problem)
-        .into_iter()
-        .filter_map(|idx| edge_meta[idx].1)
-        .map(|n| (n, planned[n.index()]))
-        .collect();
-    for &(n, t_old) in &backup {
+    sol.backward_cut_edges_into(problem, cut_scratch);
+    backup.clear();
+    backup.extend(
+        cut_scratch
+            .iter()
+            .filter_map(|&idx| edge_meta[idx].1)
+            .map(|n| (n, planned[n.index()])),
+    );
+    for &(n, t_old) in backup.iter() {
         let info = ctx.info(n).expect("comp");
         planned[n.index()] = (t_old + delta).min(info.t_max);
         slowed_down.push(n);
@@ -411,7 +567,7 @@ pub fn get_next_pareto_traced(
     let mut new_makespan =
         TimingAnalysis::compute_with_order(ec, &solver.order, dur_of(planned)).makespan;
     if new_makespan > makespan - tau * 1e-6 {
-        for (n, t_old) in backup {
+        for &(n, t_old) in backup.iter() {
             planned[n.index()] = t_old;
         }
         slowed_down.clear();

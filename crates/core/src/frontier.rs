@@ -1,7 +1,7 @@
 //! Algorithm 1: iteratively discovering the iteration time–energy Pareto
 //! frontier, plus the straggler lookup of §3.1.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use perseus_dag::NodeId;
 use perseus_gpu::FreqMHz;
@@ -9,8 +9,9 @@ use perseus_pipeline::{node_schedule_gaps, node_start_times, PipeNode, PipelineD
 use perseus_telemetry::Telemetry;
 
 use crate::context::{CoreError, PlanContext};
-use crate::cut::{get_next_pareto_traced, CutOutcome, CutSolver};
+use crate::cut::{get_next_pareto_arena, CutOutcome, CutSolver, SolverArena};
 use crate::energy::{pipeline_energy, PipelineEnergy};
+use crate::parallel::parallel_map;
 
 /// A realized energy schedule: planned per-computation durations lowered
 /// to concrete GPU frequencies (§4.3's conversion rule: the slowest
@@ -289,6 +290,13 @@ pub struct FrontierOptions {
     /// ablation study, not for production use (coarse steps then leak
     /// overshoot energy).
     pub stretch: bool,
+    /// Warm-start consecutive Phillips–Dessouky max-flow solves from the
+    /// previous iteration's flow (default true). The frontier produced is
+    /// bit-identical either way — the solver extracts the minimal
+    /// source-side min cut, which is unique across all maximum flows —
+    /// so disabling this only buys back the cold solve cost; it exists
+    /// for the `solver_suite` baseline and for differential testing.
+    pub warm_start: bool,
 }
 
 impl Default for FrontierOptions {
@@ -297,6 +305,7 @@ impl Default for FrontierOptions {
             tau_s: None,
             max_iters: 100_000,
             stretch: true,
+            warm_start: true,
         }
     }
 }
@@ -356,11 +365,19 @@ pub struct FrontierSolver {
     node_count: usize,
     /// Characterizations run through this solver.
     runs: AtomicUsize,
+    /// Warm-started min-cut solves across all characterizations.
+    warm_start_hits: AtomicU64,
+    /// Augmenting paths searched across all characterizations.
+    augmenting_paths: AtomicU64,
+    /// Estimated paths avoided by warm starts (see
+    /// [`crate::cut::ArenaStats`]).
+    augmenting_paths_saved: AtomicU64,
     telemetry: Telemetry,
 }
 
 /// Reuse statistics of one [`FrontierSolver`] — the named replacement for
-/// the old anonymous `(runs, artifact_reuses)` tuple.
+/// the old anonymous `(runs, artifact_reuses)` tuple, extended with the
+/// warm-start counters of the incremental max-flow path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolverStats {
     /// Characterizations run through the solver.
@@ -368,6 +385,12 @@ pub struct SolverStats {
     /// Characterizations that reused the cached graph artifacts (every run
     /// after the first).
     pub artifact_reuses: usize,
+    /// Phillips–Dessouky solves that reused the previous iteration's flow.
+    pub warm_start_hits: u64,
+    /// Augmenting paths actually searched across all solves.
+    pub augmenting_paths: u64,
+    /// Estimated augmenting-path searches avoided by warm starts.
+    pub augmenting_paths_saved: u64,
 }
 
 impl FrontierSolver {
@@ -386,6 +409,9 @@ impl FrontierSolver {
             cut: CutSolver::new(pipe),
             node_count: pipe.dag.node_count(),
             runs: AtomicUsize::new(0),
+            warm_start_hits: AtomicU64::new(0),
+            augmenting_paths: AtomicU64::new(0),
+            augmenting_paths_saved: AtomicU64::new(0),
             telemetry,
         }
     }
@@ -401,12 +427,16 @@ impl FrontierSolver {
         self.runs().saturating_sub(1)
     }
 
-    /// Both reuse counters as a named struct.
+    /// Both reuse counters as a named struct, plus the accumulated
+    /// warm-start counters.
     pub fn stats(&self) -> SolverStats {
         let runs = self.runs();
         SolverStats {
             runs,
             artifact_reuses: runs.saturating_sub(1),
+            warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
+            augmenting_paths: self.augmenting_paths.load(Ordering::Relaxed),
+            augmenting_paths_saved: self.augmenting_paths_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -465,12 +495,17 @@ impl FrontierSolver {
         // iterations.
         let floor_margin = (tau * 0.5).min(t_floor * 5e-4);
         let mut pd_iterations = 0u64;
+        // One arena for the whole sweep: the compacted problem and the
+        // previous iteration's max flow persist across steps, so most
+        // iterations patch capacities and re-augment instead of rebuilding.
+        let mut arena = SolverArena::new();
+        arena.set_warm(opts.warm_start);
         for _ in 0..opts.max_iters {
             if makespan <= t_floor + floor_margin {
                 break;
             }
             pd_iterations += 1;
-            match get_next_pareto_traced(ctx, &self.cut, &mut planned, tau, tel) {
+            match get_next_pareto_arena(ctx, &self.cut, &mut planned, tau, &mut arena, tel) {
                 CutOutcome::Reduced { new_makespan, .. } => {
                     // Steps may legitimately shrink below τ when a cut edge
                     // has little headroom left; only a truly stalled step
@@ -487,6 +522,13 @@ impl FrontierSolver {
                 CutOutcome::AtMinimumTime => break,
             }
         }
+        let arena_stats = arena.stats();
+        self.warm_start_hits
+            .fetch_add(arena_stats.warm_start_hits, Ordering::Relaxed);
+        self.augmenting_paths
+            .fetch_add(arena_stats.augmenting_paths, Ordering::Relaxed);
+        self.augmenting_paths_saved
+            .fetch_add(arena_stats.augmenting_paths_saved, Ordering::Relaxed);
 
         // Ascending time; drop any non-Pareto stragglers produced by
         // clamping.
@@ -520,6 +562,19 @@ impl FrontierSolver {
                 .add(points.len() as u64);
         }
         Ok(ParetoFrontier { points })
+    }
+
+    /// Characterizes many independent pipelines in parallel on a scoped
+    /// worker pool (one OS thread per available core, capped by the job
+    /// count). Each entry pairs a solver with the context and options to
+    /// run it against; results come back in input order, and every result
+    /// is bit-identical to the corresponding sequential
+    /// [`FrontierSolver::characterize`] call — the jobs share no mutable
+    /// state (each sweep owns its [`SolverArena`]).
+    pub fn characterize_all(
+        jobs: &[(&FrontierSolver, &PlanContext<'_>, &FrontierOptions)],
+    ) -> Vec<Result<ParetoFrontier, CoreError>> {
+        parallel_map(jobs, |&(solver, ctx, opts)| solver.characterize(ctx, opts))
     }
 }
 

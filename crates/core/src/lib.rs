@@ -45,12 +45,14 @@ mod energy;
 mod error;
 mod frontier;
 mod ledger;
+pub mod parallel;
 mod persist;
 mod planner;
 
 pub use context::{CoreError, NodePlanInfo, PlanContext};
 pub use cut::{
-    get_next_pareto, get_next_pareto_traced, get_next_pareto_with, CutOutcome, CutSolver,
+    get_next_pareto, get_next_pareto_arena, get_next_pareto_traced, get_next_pareto_with,
+    ArenaStats, CutOutcome, CutSolver, SolverArena,
 };
 pub use energy::{pipeline_energy, PipelineEnergy};
 pub use error::Error;

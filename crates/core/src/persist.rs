@@ -83,12 +83,14 @@ impl Persist for FrontierOptions {
         self.tau_s.encode(w);
         w.put_usize(self.max_iters);
         w.put_bool(self.stretch);
+        w.put_bool(self.warm_start);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         Ok(FrontierOptions {
             tau_s: Persist::decode(r)?,
             max_iters: r.get_usize()?,
             stretch: r.get_bool()?,
+            warm_start: r.get_bool()?,
         })
     }
 }

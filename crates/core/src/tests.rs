@@ -4,8 +4,110 @@ use perseus_pipeline::{node_start_times, PipelineBuilder, PipelineDag, ScheduleK
 
 use crate::context::PlanContext;
 use crate::cut::{get_next_pareto, CutOutcome};
-use crate::frontier::{characterize, EnergySchedule, FrontierOptions, ParetoFrontier};
+use crate::frontier::{
+    characterize, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier,
+};
 use crate::ledger::{attribute_schedule, BloatLedger, EnergyKind};
+
+/// Bitwise frontier comparison: every f64 compared via `to_bits`, every
+/// frequency assignment exactly.
+fn assert_frontiers_bit_identical(a: &ParetoFrontier, b: &ParetoFrontier) {
+    assert_eq!(a.points().len(), b.points().len(), "point counts differ");
+    for (x, y) in a.points().iter().zip(b.points()) {
+        assert_eq!(x.planned_time_s.to_bits(), y.planned_time_s.to_bits());
+        assert_eq!(x.planned_energy_j.to_bits(), y.planned_energy_j.to_bits());
+        assert_eq!(x.schedule.freqs, y.schedule.freqs);
+        assert_eq!(x.schedule.time_s.to_bits(), y.schedule.time_s.to_bits());
+        assert_eq!(
+            x.schedule.compute_j.to_bits(),
+            y.schedule.compute_j.to_bits()
+        );
+        for (p, q) in x.schedule.planned.iter().zip(&y.schedule.planned) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        for (p, q) in x.schedule.realized_dur.iter().zip(&y.schedule.realized_dur) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        for (p, q) in x
+            .schedule
+            .realized_energy
+            .iter()
+            .zip(&y.schedule.realized_energy)
+        {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+}
+
+#[test]
+fn warm_started_characterize_is_bit_identical_to_cold() {
+    let gpu = GpuSpec::a100_pcie();
+    let pipe = build_pipe(4, 6);
+    let stages = stages_with_scales(&[1.0, 1.1, 0.95, 1.2]);
+    let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+    let mut opts = FrontierOptions {
+        tau_s: Some(2e-3),
+        ..FrontierOptions::default()
+    };
+
+    let warm_solver = FrontierSolver::new(&pipe);
+    let warm = warm_solver.characterize(&ctx, &opts).unwrap();
+    opts.warm_start = false;
+    let cold_solver = FrontierSolver::new(&pipe);
+    let cold = cold_solver.characterize(&ctx, &opts).unwrap();
+
+    assert_frontiers_bit_identical(&warm, &cold);
+    let ws = warm_solver.stats();
+    let cs = cold_solver.stats();
+    assert!(ws.warm_start_hits > 0, "warm sweep never warm-started");
+    assert_eq!(cs.warm_start_hits, 0, "cold sweep must not warm-start");
+    assert!(
+        ws.augmenting_paths < cs.augmenting_paths,
+        "warm starting did not reduce augmenting-path searches: {} vs {}",
+        ws.augmenting_paths,
+        cs.augmenting_paths
+    );
+}
+
+#[test]
+fn parallel_characterize_all_matches_sequential() {
+    let gpu = GpuSpec::a100_pcie();
+    let shapes: [(usize, usize, &[f64]); 4] = [
+        (2, 4, &[1.0, 1.2]),
+        (3, 5, &[0.9, 1.0, 1.3]),
+        (4, 6, &[1.0, 1.1, 0.95, 1.2]),
+        (3, 8, &[1.2, 1.0, 0.8]),
+    ];
+    let pipes: Vec<PipelineDag> = shapes.iter().map(|&(n, m, _)| build_pipe(n, m)).collect();
+    let stage_sets: Vec<Vec<StageWorkloads>> = shapes
+        .iter()
+        .map(|&(_, _, scales)| stages_with_scales(scales))
+        .collect();
+    let ctxs: Vec<PlanContext<'_>> = pipes
+        .iter()
+        .zip(&stage_sets)
+        .map(|(pipe, stages)| PlanContext::from_model_profiles(pipe, &gpu, stages).unwrap())
+        .collect();
+    let solvers: Vec<FrontierSolver> = pipes.iter().map(FrontierSolver::new).collect();
+    let opts = FrontierOptions {
+        tau_s: Some(2e-3),
+        ..FrontierOptions::default()
+    };
+    let jobs: Vec<(&FrontierSolver, &PlanContext<'_>, &FrontierOptions)> = solvers
+        .iter()
+        .zip(&ctxs)
+        .map(|(solver, ctx)| (solver, ctx, &opts))
+        .collect();
+    let parallel = FrontierSolver::characterize_all(&jobs);
+    assert_eq!(parallel.len(), jobs.len());
+    for ((_, ctx, opts), result) in jobs.iter().zip(&parallel) {
+        // Fresh solver per sequential run so reuse counters stay honest.
+        let sequential = FrontierSolver::new(ctx.pipe)
+            .characterize(ctx, opts)
+            .unwrap();
+        assert_frontiers_bit_identical(result.as_ref().unwrap(), &sequential);
+    }
+}
 
 /// Stage workloads with a configurable per-stage scale, mimicking stage
 /// imbalance. `scales[s]` multiplies stage `s`'s work.
@@ -39,6 +141,7 @@ fn frontier_for(
             tau_s: tau,
             max_iters: 100_000,
             stretch: true,
+            warm_start: true,
         },
     )
     .unwrap()
@@ -472,7 +575,7 @@ mod prop {
             let stages = stages_with_scales(&scales[..n]);
             let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
             let frontier =
-                characterize(&ctx, &FrontierOptions { tau_s: Some(5e-3), max_iters: 50_000, stretch: true })
+                characterize(&ctx, &FrontierOptions { tau_s: Some(5e-3), max_iters: 50_000, ..FrontierOptions::default() })
                     .unwrap();
             // Monotone tradeoff.
             for pair in frontier.points().windows(2) {
@@ -499,7 +602,7 @@ mod prop {
             let pipe = build_pipe(n, m);
             let stages = stages_with_scales(&scales[..n]);
             let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
-            let opts = FrontierOptions { tau_s: Some(5e-3), max_iters: 50_000, stretch: true };
+            let opts = FrontierOptions { tau_s: Some(5e-3), max_iters: 50_000, ..FrontierOptions::default() };
             let tel = perseus_telemetry::Telemetry::enabled();
             let traced = crate::frontier::FrontierSolver::with_telemetry(&pipe, tel.clone())
                 .characterize(&ctx, &opts)

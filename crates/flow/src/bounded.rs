@@ -15,6 +15,7 @@ use std::fmt;
 use perseus_telemetry::Telemetry;
 
 use crate::graph::FlowGraph;
+use crate::FLOW_EPS;
 
 /// One edge of a bounded flow problem.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +74,7 @@ pub struct BoundedFlowProblem {
 }
 
 /// Solution of a [`BoundedFlowProblem`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BoundedFlowSolution {
     /// Flow on each edge, in insertion order. Satisfies
     /// `lower <= flow <= upper` and conservation at non-terminals.
@@ -83,31 +84,100 @@ pub struct BoundedFlowSolution {
     /// `source_side[v]` is true iff `v` lies on the source side of the
     /// minimum cut (reachable from `s` in the final residual network).
     pub source_side: Vec<bool>,
+    /// Augmenting paths the solve pushed (both phases of the transform).
+    pub augmenting_paths: u64,
 }
 
 impl BoundedFlowSolution {
     /// Edges crossing the cut forward (source side -> sink side). In the
     /// Capacity DAG these are the computations to **speed up** by `τ`.
     pub fn forward_cut_edges(&self, problem: &BoundedFlowProblem) -> Vec<usize> {
-        problem
-            .edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| self.source_side[e.src] && !self.source_side[e.dst])
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.forward_cut_edges_into(problem, &mut out);
+        out
+    }
+
+    /// [`BoundedFlowSolution::forward_cut_edges`] into a caller-owned
+    /// scratch buffer, so the Phillips–Dessouky loop stops allocating a
+    /// fresh `Vec` per cut.
+    pub fn forward_cut_edges_into(&self, problem: &BoundedFlowProblem, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            problem
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| self.source_side[e.src] && !self.source_side[e.dst])
+                .map(|(i, _)| i),
+        );
     }
 
     /// Edges crossing the cut backward (sink side -> source side). In the
     /// Capacity DAG these are the computations to **slow down** by `τ`.
     pub fn backward_cut_edges(&self, problem: &BoundedFlowProblem) -> Vec<usize> {
-        problem
-            .edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !self.source_side[e.src] && self.source_side[e.dst])
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.backward_cut_edges_into(problem, &mut out);
+        out
+    }
+
+    /// [`BoundedFlowSolution::backward_cut_edges`] into a caller-owned
+    /// scratch buffer (see [`BoundedFlowSolution::forward_cut_edges_into`]).
+    pub fn backward_cut_edges_into(&self, problem: &BoundedFlowProblem, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            problem
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !self.source_side[e.src] && self.source_side[e.dst])
+                .map(|(i, _)| i),
+        );
+    }
+}
+
+/// Reusable state for warm-started [`BoundedFlowProblem::solve_warm_into`]
+/// calls: the translated [`FlowGraph`] of the previous solve plus its
+/// topology signature. When consecutive problems share a topology (same
+/// node count, same edge endpoints in the same order) and differ only in
+/// capacities — exactly the shape of consecutive Phillips–Dessouky
+/// iterations — the cached graph is retuned in place and re-augmented
+/// from the previous flow instead of rebuilt and solved from zero.
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    g2: Option<FlowGraph>,
+    sig_n: usize,
+    /// `(src, dst)` of every edge the cached graph was built for.
+    sig: Vec<(usize, usize)>,
+    seen: Vec<bool>,
+    stack: Vec<usize>,
+    /// Solves that reused the cached flow.
+    pub hits: u64,
+    /// Solves that (re)built the graph from scratch.
+    pub misses: u64,
+}
+
+impl WarmStart {
+    /// An empty handle; the first solve through it is always cold.
+    pub fn new() -> WarmStart {
+        WarmStart::default()
+    }
+
+    /// Drops the cached graph so the next solve rebuilds from scratch.
+    pub fn invalidate(&mut self) {
+        self.g2 = None;
+        self.sig.clear();
+        self.sig_n = 0;
+    }
+
+    fn matches(&self, problem: &BoundedFlowProblem) -> bool {
+        self.g2.is_some()
+            && self.sig_n == problem.n
+            && self.sig.len() == problem.edges.len()
+            && self
+                .sig
+                .iter()
+                .zip(&problem.edges)
+                .all(|(sig, e)| *sig == (e.src, e.dst))
     }
 }
 
@@ -135,6 +205,13 @@ impl BoundedFlowProblem {
     /// Edges added so far.
     pub fn edges(&self) -> &[BoundedEdge] {
         &self.edges
+    }
+
+    /// Clears the problem for reuse over `n` nodes, keeping the edge
+    /// allocation (arena-style rebuilds in the Phillips–Dessouky loop).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
     }
 
     /// Adds an edge with bounds `(lower, upper)`; returns its index.
@@ -232,8 +309,9 @@ impl BoundedFlowProblem {
         }
         g1.add_edge(t, s, big);
         let achieved = g1.max_flow_with(sp, tp, telemetry);
+        let phase1_paths = g1.last_augmentations();
         // Saturation check (Algorithm 3 line 9), with a relative tolerance.
-        let tol = 1e-9 * required.max(1.0);
+        let tol = FLOW_EPS * required.max(1.0);
         if achieved + tol < required {
             if telemetry.is_enabled() {
                 telemetry.counter("perseus_flow_infeasible_total").inc();
@@ -277,7 +355,112 @@ impl BoundedFlowProblem {
             flow,
             value,
             source_side,
+            augmenting_paths: phase1_paths + g2.last_augmentations(),
         })
+    }
+
+    /// [`BoundedFlowProblem::solve_warm_into`] returning a fresh solution
+    /// (telemetry disabled).
+    pub fn solve_warm(
+        &self,
+        s: usize,
+        t: usize,
+        warm: &mut WarmStart,
+    ) -> Result<BoundedFlowSolution, FlowError> {
+        let mut out = BoundedFlowSolution::default();
+        self.solve_warm_into(s, t, warm, &mut out, &Telemetry::disabled())?;
+        Ok(out)
+    }
+
+    /// Warm-started [`BoundedFlowProblem::solve_with`] writing into a
+    /// caller-owned solution. Returns `Ok(true)` when the previous solve's
+    /// flow was reused ([`FlowGraph::retune_edge`] +
+    /// [`FlowGraph::max_flow_incremental_with`]), `Ok(false)` on a cold
+    /// (re)build.
+    ///
+    /// The fast path requires every lower bound to be zero — then the
+    /// feasibility phase of Algorithm 3 trivially routes nothing, the
+    /// residual translation is the identity, and the whole solve reduces
+    /// to one plain max flow whose graph can persist across calls. That is
+    /// exactly the relaxed-lower-bound formulation `cut.rs` uses. Any
+    /// nonzero lower bound invalidates the handle and falls back to
+    /// [`BoundedFlowProblem::solve_with`].
+    ///
+    /// The minimal source-side min cut is unique across all maximum flows,
+    /// so `out.source_side` (and everything derived from it) is identical
+    /// to what the cold path produces; `out.flow`/`out.value` describe a
+    /// valid maximum flow but may be a different decomposition of it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BoundedFlowProblem::solve`].
+    pub fn solve_warm_into(
+        &self,
+        s: usize,
+        t: usize,
+        warm: &mut WarmStart,
+        out: &mut BoundedFlowSolution,
+        telemetry: &Telemetry,
+    ) -> Result<bool, FlowError> {
+        if self.edges.iter().any(|e| e.lower != 0.0) {
+            warm.invalidate();
+            warm.misses += 1;
+            *out = self.solve_with(s, t, telemetry)?;
+            return Ok(false);
+        }
+        if telemetry.is_enabled() {
+            telemetry.counter("perseus_flow_bounded_solves_total").inc();
+        }
+        self.validate(s, t)?;
+        let big = self.big();
+        let cap = |u: f64| if u.is_finite() { u } else { big };
+
+        let hit = warm.matches(self);
+        if hit {
+            warm.hits += 1;
+            let g2 = warm.g2.as_mut().expect("matches() implies a cached graph");
+            for (i, e) in self.edges.iter().enumerate() {
+                g2.retune_edge(i, cap(e.upper));
+            }
+            g2.max_flow_incremental_with(s, t, telemetry);
+        } else {
+            warm.misses += 1;
+            let mut g2 = FlowGraph::new(self.n);
+            for e in &self.edges {
+                g2.add_edge(e.src, e.dst, cap(e.upper));
+            }
+            g2.max_flow_with(s, t, telemetry);
+            warm.sig_n = self.n;
+            warm.sig.clear();
+            warm.sig.extend(self.edges.iter().map(|e| (e.src, e.dst)));
+            warm.g2 = Some(g2);
+        }
+
+        let WarmStart {
+            g2, seen, stack, ..
+        } = warm;
+        let g2 = g2.as_ref().expect("graph cached just above");
+        g2.residual_reachable_into(s, seen, stack);
+        out.source_side.clear();
+        out.source_side.extend_from_slice(seen);
+        out.flow.clear();
+        for (i, e) in self.edges.iter().enumerate() {
+            // Clamp floating-point crumbs back into the bounds.
+            out.flow.push(g2.flow_on(i).clamp(0.0, cap(e.upper)));
+        }
+        // The s -> t value is the net outflow of s.
+        let mut value = 0.0;
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src == s {
+                value += out.flow[i];
+            }
+            if e.dst == s {
+                value -= out.flow[i];
+            }
+        }
+        out.value = value;
+        out.augmenting_paths = g2.last_augmentations();
+        Ok(hit)
     }
 
     /// Capacity of the cut described by `source_side`: sum of the upper

@@ -30,8 +30,34 @@
 mod bounded;
 mod graph;
 
-pub use bounded::{BoundedEdge, BoundedFlowProblem, BoundedFlowSolution, FlowError};
-pub use graph::FlowGraph;
+/// Relative capacity epsilon: residual capacities below `CAP_EPS` × the
+/// largest edge capacity of the network are treated as exhausted.
+///
+/// Why `1e-12`: pushing flow subtracts capacities, so residuals carry
+/// relative rounding error of order `1e-16` × the capacity scale; `1e-12`
+/// sits four orders of magnitude above that noise floor while staying far
+/// below any real capacity difference the Capacity DAG produces (fitted
+/// per-τ energies differ at the `1e-3` relative level or more). Both the
+/// Dinic BFS/DFS usability test and min-cut residual reachability use
+/// this threshold, which is what makes the minimal source-side cut
+/// insensitive to *which* maximum flow (cold or warm-started) produced
+/// the final residual network.
+pub const CAP_EPS: f64 = 1e-12;
+
+/// Relative flow-conservation epsilon: feasibility checks accept a routed
+/// mass within `FLOW_EPS` × the required total (floored at 1.0 so tiny
+/// problems are not held to sub-ulp standards).
+///
+/// Why `1e-9`: the feasibility phase sums many per-edge lower bounds and
+/// compares against a max-flow total accumulated over as many
+/// augmentations; each contributes ~`1e-16` relative error, and `1e-9`
+/// gives the comparison three orders of headroom over thousands of edges
+/// while still rejecting any genuinely unroutable lower bound (which
+/// misses by whole edge-capacities, not parts per billion).
+pub const FLOW_EPS: f64 = 1e-9;
+
+pub use bounded::{BoundedEdge, BoundedFlowProblem, BoundedFlowSolution, FlowError, WarmStart};
+pub use graph::{FlowGraph, FlowTopology, ResidualState};
 
 #[cfg(test)]
 mod tests;

@@ -1,4 +1,4 @@
-use crate::{BoundedFlowProblem, FlowError, FlowGraph};
+use crate::{BoundedFlowProblem, FlowError, FlowGraph, WarmStart};
 
 #[test]
 fn trivial_single_edge() {
@@ -294,6 +294,84 @@ mod prop {
             }
         }
 
+        // Tentpole invariant: after an arbitrary sequence of `retune_edge`
+        // calls (raises and drops interleaved with re-solves),
+        // `max_flow_incremental` agrees with a from-scratch `max_flow` on
+        // the final capacities — min-cut side bit-equal, value within the
+        // solver's own tolerance (different augmentation orders sum the
+        // same flow in different f64 orders).
+        #[test]
+        fn incremental_retunes_match_scratch(
+            net in arb_net(),
+            retunes in proptest::collection::vec((any::<u16>(), 0.0f64..8.0, any::<bool>()), 1..30),
+        ) {
+            prop_assume!(!net.edges.is_empty());
+            let (s, t) = (0, net.n - 1);
+            let mut g = FlowGraph::new(net.n);
+            let handles: Vec<usize> =
+                net.edges.iter().map(|&(u, v, c)| g.add_edge(u, v, c)).collect();
+            g.max_flow(s, t);
+
+            let mut caps: Vec<f64> = net.edges.iter().map(|&(_, _, c)| c).collect();
+            for &(which, new_cap, resolve) in &retunes {
+                let e = (which as usize) % handles.len();
+                caps[e] = new_cap;
+                g.retune_edge(handles[e], new_cap);
+                if resolve {
+                    g.max_flow_incremental(s, t);
+                }
+            }
+            let warm_value = g.max_flow_incremental(s, t);
+            let warm_side = g.residual_reachable(s);
+
+            let mut cold = FlowGraph::new(net.n);
+            for (&(u, v, _), &c) in net.edges.iter().zip(&caps) {
+                cold.add_edge(u, v, c);
+            }
+            let cold_value = cold.max_flow(s, t);
+            let scale = cold_value.abs().max(1.0);
+            prop_assert!(
+                (warm_value - cold_value).abs() < 1e-9 * scale,
+                "warm {} cold {}", warm_value, cold_value
+            );
+            prop_assert_eq!(warm_side, cold.residual_reachable(s));
+            // The repaired flow is itself feasible and conserved.
+            for v in 1..net.n - 1 {
+                prop_assert!(g.imbalance(v).abs() < 1e-6 * scale);
+            }
+            for (&h, &c) in handles.iter().zip(&caps) {
+                let f = g.flow_on(h);
+                prop_assert!(f >= -1e-9 && f <= c + 1e-9 * scale.max(c));
+            }
+        }
+
+        // Warm-started bounded solves over a capacity-drift sequence stay
+        // bit-identical to cold solves on the min-cut side.
+        #[test]
+        fn warm_bounded_sequence_matches_cold(
+            net in arb_net(),
+            scales in proptest::collection::vec(
+                proptest::collection::vec(0.05f64..2.0, 1..8), 1..6),
+        ) {
+            prop_assume!(!net.edges.is_empty());
+            let (s, t) = (0, net.n - 1);
+            let mut warm = WarmStart::new();
+            let mut sol = crate::BoundedFlowSolution::default();
+            let tel = perseus_telemetry::Telemetry::disabled();
+            for round in &scales {
+                let mut p = BoundedFlowProblem::new(net.n);
+                for (i, &(u, v, c)) in net.edges.iter().enumerate() {
+                    p.add_edge(u, v, 0.0, c * round[i % round.len()]);
+                }
+                p.solve_warm_into(s, t, &mut warm, &mut sol, &tel).unwrap();
+                let cold = p.solve(s, t).unwrap();
+                prop_assert_eq!(&sol.source_side, &cold.source_side);
+                let scale = cold.value.abs().max(1.0);
+                prop_assert!((sol.value - cold.value).abs() < 1e-9 * scale);
+            }
+            prop_assert_eq!(warm.hits + warm.misses, scales.len() as u64);
+        }
+
         #[test]
         fn bounded_with_zero_lowers_matches_plain(net in arb_net()) {
             let mut g = FlowGraph::new(net.n);
@@ -358,6 +436,229 @@ fn parallel_multi_edges_accumulate() {
         g.add_edge(0, 1, 0.1);
     }
     assert!((g.max_flow(0, 1) - 5.0).abs() < 1e-9);
+}
+
+// ---- incremental / warm-started solving ----
+
+#[test]
+fn retune_raise_then_incremental_finds_more_flow() {
+    let mut g = FlowGraph::new(3);
+    let a = g.add_edge(0, 1, 2.0);
+    g.add_edge(1, 2, 10.0);
+    assert_eq!(g.max_flow(0, 2), 2.0);
+    g.retune_edge(a, 7.0);
+    assert_eq!(g.max_flow_incremental(0, 2), 7.0);
+}
+
+#[test]
+fn retune_lower_drains_excess() {
+    let mut g = FlowGraph::new(3);
+    let a = g.add_edge(0, 1, 8.0);
+    g.add_edge(1, 2, 10.0);
+    assert_eq!(g.max_flow(0, 2), 8.0);
+    g.retune_edge(a, 3.0);
+    assert_eq!(g.max_flow_incremental(0, 2), 3.0);
+    assert!((g.flow_on(a) - 3.0).abs() < 1e-9);
+    // Conservation held through the drain.
+    assert!(g.imbalance(1).abs() < 1e-9);
+}
+
+#[test]
+fn retune_lower_reroutes_through_parallel_path() {
+    // Two disjoint paths; shrinking one forces the flow onto the other.
+    let mut g = FlowGraph::new(4);
+    let a = g.add_edge(0, 1, 5.0);
+    g.add_edge(1, 3, 5.0);
+    g.add_edge(0, 2, 5.0);
+    g.add_edge(2, 3, 5.0);
+    assert_eq!(g.max_flow(0, 3), 10.0);
+    g.retune_edge(a, 1.0);
+    assert_eq!(g.max_flow_incremental(0, 3), 6.0);
+    for v in 1..3 {
+        assert!(g.imbalance(v).abs() < 1e-9, "imbalance at {v}");
+    }
+}
+
+#[test]
+fn retune_to_zero_kills_path() {
+    let mut g = FlowGraph::new(3);
+    let a = g.add_edge(0, 1, 4.0);
+    g.add_edge(1, 2, 4.0);
+    assert_eq!(g.max_flow(0, 2), 4.0);
+    g.retune_edge(a, 0.0);
+    assert_eq!(g.max_flow_incremental(0, 2), 0.0);
+}
+
+#[test]
+fn incremental_matches_scratch_min_cut() {
+    let mut g = FlowGraph::new(6);
+    let caps = [16.0, 13.0, 12.0, 4.0, 14.0, 9.0, 20.0, 7.0, 4.0];
+    let ends = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 1),
+        (2, 4),
+        (3, 2),
+        (3, 5),
+        (4, 3),
+        (4, 5),
+    ];
+    let handles: Vec<usize> = ends
+        .iter()
+        .zip(&caps)
+        .map(|(&(u, v), &c)| g.add_edge(u, v, c))
+        .collect();
+    g.max_flow(0, 5);
+    // Perturb a few capacities, then compare against a cold build.
+    let new_caps = [16.0, 6.0, 12.0, 4.0, 14.0, 9.0, 8.0, 7.0, 11.0];
+    for (&h, &c) in handles.iter().zip(&new_caps) {
+        g.retune_edge(h, c);
+    }
+    let warm_value = g.max_flow_incremental(0, 5);
+    let warm_side = g.residual_reachable(0);
+
+    let mut cold = FlowGraph::new(6);
+    for (&(u, v), &c) in ends.iter().zip(&new_caps) {
+        cold.add_edge(u, v, c);
+    }
+    let cold_value = cold.max_flow(0, 5);
+    assert!((warm_value - cold_value).abs() < 1e-9);
+    assert_eq!(warm_side, cold.residual_reachable(0));
+}
+
+#[test]
+fn fresh_and_swap_state_checkpoint_flow() {
+    let mut g = FlowGraph::new(3);
+    g.add_edge(0, 1, 2.0);
+    g.add_edge(1, 2, 3.0);
+    let mut blank = g.fresh_state();
+    assert_eq!(g.max_flow(0, 2), 2.0);
+    g.swap_state(&mut blank); // park the solved flow, restore zero flow
+    assert_eq!(g.max_flow(0, 2), 2.0);
+    g.swap_state(&mut blank); // bring the first solve back
+    assert_eq!(g.max_flow(0, 2), 0.0, "flow already routed");
+}
+
+#[test]
+#[should_panic(expected = "different topology")]
+fn swap_state_rejects_foreign_state() {
+    let mut g = FlowGraph::new(3);
+    g.add_edge(0, 1, 2.0);
+    let mut other = FlowGraph::new(3);
+    other.add_edge(0, 1, 2.0);
+    other.add_edge(1, 2, 2.0);
+    let mut st = other.fresh_state();
+    g.swap_state(&mut st);
+}
+
+#[test]
+fn warm_solve_hit_matches_cold_solution() {
+    let build = |caps: &[f64]| {
+        let mut p = BoundedFlowProblem::new(4);
+        p.add_edge(0, 1, 0.0, caps[0]);
+        p.add_edge(0, 2, 0.0, caps[1]);
+        p.add_edge(1, 3, 0.0, caps[2]);
+        p.add_edge(2, 3, 0.0, caps[3]);
+        p.add_edge(1, 2, 0.0, caps[4]);
+        p
+    };
+    let mut warm = WarmStart::new();
+    let first = build(&[3.0, 2.0, 2.0, 3.0, 1.0]);
+    let mut sol = crate::BoundedFlowSolution::default();
+    let hit = first
+        .solve_warm_into(
+            0,
+            3,
+            &mut warm,
+            &mut sol,
+            &perseus_telemetry::Telemetry::disabled(),
+        )
+        .unwrap();
+    assert!(!hit, "first solve must be cold");
+
+    let second = build(&[3.0, 0.5, 2.0, 3.0, 1.0]);
+    let hit = second
+        .solve_warm_into(
+            0,
+            3,
+            &mut warm,
+            &mut sol,
+            &perseus_telemetry::Telemetry::disabled(),
+        )
+        .unwrap();
+    assert!(hit, "same topology must reuse the cached graph");
+    assert_eq!(warm.hits, 1);
+    assert_eq!(warm.misses, 1);
+
+    let cold = second.solve(0, 3).unwrap();
+    assert_eq!(sol.source_side, cold.source_side);
+    assert!((sol.value - cold.value).abs() < 1e-9);
+}
+
+#[test]
+fn warm_solve_topology_change_is_a_miss() {
+    let mut warm = WarmStart::new();
+    let mut p = BoundedFlowProblem::new(3);
+    p.add_edge(0, 1, 0.0, 2.0);
+    p.add_edge(1, 2, 0.0, 2.0);
+    p.solve_warm(0, 2, &mut warm).unwrap();
+    let mut q = BoundedFlowProblem::new(3);
+    q.add_edge(0, 1, 0.0, 2.0);
+    q.add_edge(0, 2, 0.0, 2.0); // different endpoint
+    let mut sol = crate::BoundedFlowSolution::default();
+    let hit = q
+        .solve_warm_into(
+            0,
+            2,
+            &mut warm,
+            &mut sol,
+            &perseus_telemetry::Telemetry::disabled(),
+        )
+        .unwrap();
+    assert!(!hit);
+    assert_eq!(warm.misses, 2);
+}
+
+#[test]
+fn warm_solve_nonzero_lower_falls_back() {
+    let mut warm = WarmStart::new();
+    let mut p = BoundedFlowProblem::new(3);
+    p.add_edge(0, 1, 1.0, 5.0);
+    p.add_edge(1, 2, 0.0, 10.0);
+    let sol = p.solve_warm(0, 2, &mut warm).unwrap();
+    let cold = p.solve(0, 2).unwrap();
+    assert_eq!(sol.source_side, cold.source_side);
+    assert!((sol.value - cold.value).abs() < 1e-9);
+    assert_eq!(warm.hits, 0);
+}
+
+#[test]
+fn problem_reset_reuses_allocation() {
+    let mut p = BoundedFlowProblem::new(3);
+    p.add_edge(0, 1, 0.0, 2.0);
+    p.add_edge(1, 2, 0.0, 2.0);
+    assert!((p.solve(0, 2).unwrap().value - 2.0).abs() < 1e-9);
+    p.reset(2);
+    p.add_edge(0, 1, 0.0, 7.0);
+    assert_eq!(p.node_count(), 2);
+    assert!((p.solve(0, 1).unwrap().value - 7.0).abs() < 1e-9);
+}
+
+#[test]
+fn cut_edges_into_matches_allocating_variants() {
+    let mut p = BoundedFlowProblem::new(4);
+    p.add_edge(0, 1, 0.0, 1.0);
+    p.add_edge(1, 3, 0.0, 10.0);
+    p.add_edge(0, 2, 0.0, 10.0);
+    p.add_edge(2, 3, 0.0, 1.0);
+    p.add_edge(3, 1, 0.0, 4.0);
+    let sol = p.solve(0, 3).unwrap();
+    let (mut fwd, mut back) = (vec![42], vec![42]);
+    sol.forward_cut_edges_into(&p, &mut fwd);
+    sol.backward_cut_edges_into(&p, &mut back);
+    assert_eq!(fwd, sol.forward_cut_edges(&p));
+    assert_eq!(back, sol.backward_cut_edges(&p));
 }
 
 #[test]

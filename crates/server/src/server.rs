@@ -1006,6 +1006,34 @@ impl PerseusServer {
         })
     }
 
+    /// Batch variant of [`PerseusServer::submit_profiles`]: validates
+    /// every submission up front — all-or-nothing, so no worker time is
+    /// spent unless the whole batch is structurally sound — then schedules
+    /// all characterizations at once on the worker pool. Independent
+    /// per-pipeline frontier solves proceed in parallel across the pool's
+    /// threads (each against its own job's cached solver artifacts and
+    /// per-sweep [`perseus_core::SolverArena`]), which is the server-side
+    /// counterpart of [`perseus_core::FrontierSolver::characterize_all`].
+    /// Tickets come back in submission order; wait on them in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] / [`ServerError::InvalidProfile`] if
+    /// any entry is invalid; nothing is scheduled in that case.
+    pub fn submit_profiles_batch(
+        &self,
+        submissions: Vec<(String, ProfileDb<OpKey>, FrontierOptions)>,
+    ) -> Result<Vec<CharacterizeTicket>, ServerError> {
+        for (name, profiles, _) in &submissions {
+            self.job(name)?;
+            Self::validate_profiles(name, profiles)?;
+        }
+        submissions
+            .into_iter()
+            .map(|(name, profiles, opts)| self.submit_profiles(&name, profiles, &opts))
+            .collect()
+    }
+
     /// Rejects structurally invalid profile submissions at the API
     /// boundary: empty tables, non-finite or non-positive times/energies,
     /// zero frequencies, and non-monotone frequency tables (entries must

@@ -2,7 +2,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use perseus_core::{FrontierOptions, SolverStats};
+use perseus_core::FrontierOptions;
 use perseus_gpu::{FreqMHz, GpuSpec, SimGpu, Workload};
 use perseus_models::StageWorkloads;
 use perseus_pipeline::{CompKind, OpKey, PipelineBuilder, PipelineDag, ScheduleKind};
@@ -113,6 +113,73 @@ fn characterize_deploys_fastest_schedule() {
     let status = server.job_status(job).unwrap();
     assert_eq!(status.deployment.unwrap().version, 1);
     assert_eq!(status.epoch, 1);
+}
+
+#[test]
+fn batch_submission_characterizes_all_jobs_in_parallel() {
+    let gpu = GpuSpec::a100_pcie();
+    let server = PerseusServer::new();
+    let names = ["gpt-a", "gpt-b", "gpt-c"];
+    for name in names {
+        server
+            .register_job(JobSpec {
+                name: (*name).into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+            })
+            .unwrap();
+    }
+    let batch = names
+        .iter()
+        .map(|n| {
+            (
+                (*n).to_string(),
+                model_profiles(&gpu),
+                FrontierOptions::default(),
+            )
+        })
+        .collect();
+    let tickets = server.submit_profiles_batch(batch).unwrap();
+    assert_eq!(tickets.len(), names.len());
+    for (ticket, name) in tickets.into_iter().zip(names) {
+        assert_eq!(ticket.job(), name);
+        let d = ticket.wait().unwrap();
+        assert_eq!(d.version, 1);
+        assert_eq!(d.planned_time_s, server.frontier(name).unwrap().t_min());
+    }
+    // Identical pipelines + profiles characterize to identical frontiers
+    // regardless of which pool worker ran them.
+    let (fa, fb) = (
+        server.frontier("gpt-a").unwrap(),
+        server.frontier("gpt-b").unwrap(),
+    );
+    assert_eq!(fa.points().len(), fb.points().len());
+    for (pa, pb) in fa.points().iter().zip(fb.points().iter()) {
+        assert_eq!(pa.planned_time_s.to_bits(), pb.planned_time_s.to_bits());
+        assert_eq!(pa.planned_energy_j.to_bits(), pb.planned_energy_j.to_bits());
+    }
+}
+
+#[test]
+fn batch_submission_is_all_or_nothing() {
+    let (server, job) = server_with_job();
+    let gpu = GpuSpec::a100_pcie();
+    let batch = vec![
+        (
+            job.to_string(),
+            model_profiles(&gpu),
+            FrontierOptions::default(),
+        ),
+        (
+            "no-such-job".to_string(),
+            model_profiles(&gpu),
+            FrontierOptions::default(),
+        ),
+    ];
+    let err = server.submit_profiles_batch(batch).unwrap_err();
+    assert!(matches!(err, ServerError::UnknownJob(_)));
+    // The valid entry was not scheduled either: the job is untouched.
+    assert_eq!(server.job_status(job).unwrap().epoch, 0);
 }
 
 #[test]
@@ -379,11 +446,8 @@ fn resubmitting_profiles_reuses_solver_artifacts() {
     let gpu = GpuSpec::a100_pcie();
     let solver_of = |job: &str| server.job_status(job).unwrap().solver;
     assert_eq!(
-        solver_of(job),
-        SolverStats {
-            runs: 0,
-            artifact_reuses: 0
-        }
+        (solver_of(job).runs, solver_of(job).artifact_reuses),
+        (0, 0)
     );
     server
         .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
@@ -391,11 +455,8 @@ fn resubmitting_profiles_reuses_solver_artifacts() {
         .wait()
         .unwrap();
     assert_eq!(
-        solver_of(job),
-        SolverStats {
-            runs: 1,
-            artifact_reuses: 0
-        }
+        (solver_of(job).runs, solver_of(job).artifact_reuses),
+        (1, 0)
     );
     // Re-characterization (fresh profiles mid-training) reuses the job's
     // cached edge-centric DAG / topological order.
@@ -405,11 +466,8 @@ fn resubmitting_profiles_reuses_solver_artifacts() {
         .wait()
         .unwrap();
     assert_eq!(
-        solver_of(job),
-        SolverStats {
-            runs: 2,
-            artifact_reuses: 1
-        }
+        (solver_of(job).runs, solver_of(job).artifact_reuses),
+        (2, 1)
     );
     assert_eq!(d.version, 2);
 }
