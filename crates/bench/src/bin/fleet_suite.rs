@@ -1,0 +1,368 @@
+//! Fleet suite: the claim gate for fleet-scale multi-tenant planning and
+//! the fingerprint-keyed cross-job plan cache.
+//!
+//! Simulates a fleet serving **1000 jobs drawn from 20 distinct
+//! structures** (GPT-3 XL at varying pipeline depth and microbatch
+//! count) on a sharded [`FleetServer`]: a warm phase solves each
+//! structure once, then an open-loop phase pours the remaining 980 jobs
+//! through the shards — every one a fingerprint hit that skips the
+//! frontier solver. The process exits nonzero unless
+//!
+//!   1. the fleet cache hit rate is **>= 90%** across the run (the
+//!      structural-repetition claim: 1000 jobs / 20 structures),
+//!   2. admitting a cached job is **>= 10x faster** than a cold solve
+//!      (sequential timed samples of submit→deploy on both paths), and
+//!   3. every cache-hit plan is **bit-identical** to a fresh solve of
+//!      the same structure, field by field (`f64::to_bits` everywhere),
+//!      with all 20 structure fingerprints pairwise distinct.
+//!
+//! Stdout is deterministic: job counts, cache counters, and gate
+//! verdicts only. Throughput (jobs/sec), lookup p50/p99, and the timed
+//! speedup ratio go to **stderr** and, with `--bench-json <path>`, into
+//! the machine-readable artifact. With `--metrics`, the telemetry
+//! snapshot is printed to stderr; stdout stays byte-identical.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin fleet_suite -- \
+//!        [--jobs 1000] [--shards 4] [--metrics] \
+//!        [--bench-json BENCH_fleet.json]`
+
+use std::time::Instant;
+
+use perseus_core::{
+    plan_fingerprint, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
+};
+use perseus_gpu::GpuSpec;
+use perseus_models::{min_imbalance_partition, zoo};
+use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleKind};
+use perseus_server::{FleetConfig, FleetServer, JobSpec, TenantId};
+use perseus_telemetry::Telemetry;
+
+fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_usize(args: &[String], flag: &str) -> Option<usize> {
+    arg_str(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{flag} wants an integer, got {v:?}"))
+    })
+}
+
+/// Field-by-field bitwise comparison of two frontiers; returns a
+/// description of the first divergence, if any.
+fn frontier_divergence(a: &ParetoFrontier, b: &ParetoFrontier) -> Option<String> {
+    if a.points().len() != b.points().len() {
+        return Some(format!(
+            "point counts differ: {} vs {}",
+            a.points().len(),
+            b.points().len()
+        ));
+    }
+    for (i, (pa, pb)) in a.points().iter().zip(b.points().iter()).enumerate() {
+        if pa.planned_time_s.to_bits() != pb.planned_time_s.to_bits()
+            || pa.planned_energy_j.to_bits() != pb.planned_energy_j.to_bits()
+        {
+            return Some(format!("point {i}: planned time/energy bits differ"));
+        }
+        let (sa, sb) = (&pa.schedule, &pb.schedule);
+        if sa.time_s.to_bits() != sb.time_s.to_bits()
+            || sa.compute_j.to_bits() != sb.compute_j.to_bits()
+            || sa.freqs != sb.freqs
+        {
+            return Some(format!("point {i}: schedule time/energy/freqs differ"));
+        }
+        let same = |x: &[f64], y: &[f64]| {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|(u, v)| u.to_bits() == v.to_bits())
+        };
+        if !same(&sa.planned, &sb.planned)
+            || !same(&sa.realized_dur, &sb.realized_dur)
+            || !same(&sa.realized_energy, &sb.realized_energy)
+        {
+            return Some(format!("point {i}: per-node schedule vectors differ"));
+        }
+    }
+    None
+}
+
+/// One of the fleet's 20 distinct job structures.
+struct Structure {
+    pipe: PipelineDag,
+    stages: Vec<perseus_models::StageWorkloads>,
+    gpu: GpuSpec,
+}
+
+impl Structure {
+    fn ctx(&self) -> PlanContext<'_> {
+        PlanContext::from_model_profiles(&self.pipe, &self.gpu, &self.stages).expect("ctx")
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let bench_json = arg_str(&args, "--bench-json");
+    let n_jobs = arg_usize(&args, "--jobs").unwrap_or(1000);
+    let n_shards = arg_usize(&args, "--shards").unwrap_or(4);
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    // 20 distinct structures: GPT-3 XL at 4 depths x 5 microbatch
+    // counts. A fleet is structurally repetitive — the same zoo entries
+    // at the same parallelism degrees, over and over.
+    let model = zoo::gpt3_xl(4);
+    let gpu = GpuSpec::a100_pcie();
+    let depths = [2usize, 3, 4, 6];
+    let widths = [4usize, 6, 8, 10, 12];
+    let structures: Vec<Structure> = depths
+        .iter()
+        .flat_map(|&d| widths.iter().map(move |&w| (d, w)))
+        .map(|(d, w)| {
+            let weights = model.fwd_latency_weights(&gpu);
+            let partition = min_imbalance_partition(&weights, d).expect("partition");
+            let stages = model.stage_workloads(&partition, &gpu).expect("stages");
+            let pipe = PipelineBuilder::new(ScheduleKind::OneFOneB, d, w)
+                .build()
+                .expect("pipe");
+            Structure {
+                pipe,
+                stages,
+                gpu: gpu.clone(),
+            }
+        })
+        .collect();
+    let n_structures = structures.len();
+    let opts = FrontierOptions {
+        tau_s: Some(5e-3),
+        max_iters: 50_000,
+        ..FrontierOptions::default()
+    };
+
+    let fleet = FleetServer::with_telemetry(
+        FleetConfig::default().shards(n_shards).workers_per_shard(2),
+        tel.clone(),
+    );
+    let job_name = |i: usize| format!("fleet-job-{i:04}");
+    let tenant_of = |i: usize| TenantId(format!("tenant-{:02}", i % 10));
+    for i in 0..n_jobs {
+        let s = &structures[i % n_structures];
+        fleet
+            .register_job(JobSpec {
+                name: job_name(i),
+                pipe: s.pipe.clone(),
+                gpu: s.gpu.clone(),
+            })
+            .expect("register");
+    }
+
+    // Warm phase: the first job of each structure solves cold and fills
+    // the fleet cache. Timed one by one — these are the cold samples for
+    // the >=10x gate.
+    let mut cold_s = Vec::with_capacity(n_structures);
+    for i in 0..n_structures.min(n_jobs) {
+        let s = &structures[i % n_structures];
+        let profiles = s.ctx().profiles;
+        let t0 = Instant::now();
+        fleet
+            .submit_profiles(&tenant_of(i), &job_name(i), profiles, &opts)
+            .expect("warm submit")
+            .wait()
+            .expect("warm characterize");
+        cold_s.push(t0.elapsed().as_secs_f64());
+    }
+
+    // Open-loop phase: the rest of the fleet pours in without waiting
+    // for deployments; every job is a fingerprint hit.
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(n_jobs.saturating_sub(n_structures));
+    for i in n_structures.min(n_jobs)..n_jobs {
+        let s = &structures[i % n_structures];
+        let profiles = s.ctx().profiles;
+        tickets.push(
+            fleet
+                .submit_profiles(&tenant_of(i), &job_name(i), profiles, &opts)
+                .expect("open-loop submit"),
+        );
+    }
+    for t in tickets {
+        t.wait().expect("open-loop characterize");
+    }
+    let open_loop_s = t0.elapsed().as_secs_f64();
+    let open_loop_jobs = n_jobs.saturating_sub(n_structures);
+    let jobs_per_sec = open_loop_jobs as f64 / open_loop_s.max(1e-9);
+
+    // Lookup latency under the full fleet: p50/p99 of job_status.
+    let mut lookups_us: Vec<f64> = (0..n_jobs)
+        .map(|i| {
+            let t0 = Instant::now();
+            fleet
+                .job_status(&tenant_of(i), &job_name(i))
+                .expect("status");
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    lookups_us.sort_by(f64::total_cmp);
+    let (p50_us, p99_us) = (percentile(&lookups_us, 0.50), percentile(&lookups_us, 0.99));
+
+    // Cached admission samples: fresh probe jobs over the same (already
+    // cached) structures, timed submit→deploy one by one.
+    let mut cached_s = Vec::with_capacity(n_structures);
+    for (k, s) in structures.iter().enumerate() {
+        let name = format!("fleet-probe-{k:02}");
+        fleet
+            .register_job(JobSpec {
+                name: name.clone(),
+                pipe: s.pipe.clone(),
+                gpu: s.gpu.clone(),
+            })
+            .expect("register probe");
+        let profiles = s.ctx().profiles;
+        let t0 = Instant::now();
+        fleet
+            .submit_profiles(&tenant_of(k), &name, profiles, &opts)
+            .expect("probe submit")
+            .wait()
+            .expect("probe characterize");
+        cached_s.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let (cold_mean, cached_mean) = (mean(&cold_s), mean(&cached_s));
+    let speedup = cold_mean / cached_mean.max(1e-12);
+
+    let stats = fleet.stats();
+    let hit_rate = fleet.plan_cache().hit_rate();
+    println!("== Fleet suite: {n_jobs} jobs from {n_structures} structures, {n_shards} shards ==");
+    println!("submitted                    {:>12}", stats.submitted);
+    println!("admitted                     {:>12}", stats.admitted);
+    println!("cache inserts                {:>12}", stats.cache.inserts);
+    println!("cache hits                   {:>12}", stats.cache.hits);
+    println!("cache misses                 {:>12}", stats.cache.misses);
+    println!("hit rate                     {:>11.1}%", hit_rate * 100.0);
+    eprintln!(
+        "open loop: {open_loop_jobs} jobs in {open_loop_s:.3} s ({jobs_per_sec:.0} jobs/s); \
+         lookup p50 {p50_us:.1} us, p99 {p99_us:.1} us"
+    );
+    eprintln!(
+        "admission: cold {:.3} ms mean, cached {:.3} ms mean ({speedup:.1}x)",
+        cold_mean * 1e3,
+        cached_mean * 1e3
+    );
+
+    let mut failed = false;
+
+    // Gate 1: structural repetition pays — >= 90% of lookups hit.
+    if hit_rate >= 0.90 {
+        println!("GATE hit-rate>=90%: PASS");
+    } else {
+        println!("GATE hit-rate>=90%: FAIL ({:.1}%)", hit_rate * 100.0);
+        failed = true;
+    }
+
+    // Gate 2: a cache hit skips the solver — cached admission is >= 10x
+    // faster than a cold solve.
+    if speedup >= 10.0 {
+        println!("GATE cached>=10x: PASS");
+    } else {
+        println!("GATE cached>=10x: FAIL ({speedup:.1}x)");
+        failed = true;
+    }
+
+    // Gate 3: caching never changes what deploys. Every cached plan is
+    // bit-identical to a fresh solve, and the 20 fingerprints are
+    // pairwise distinct.
+    let mut identical = true;
+    let mut fps = Vec::with_capacity(n_structures);
+    for (k, s) in structures.iter().enumerate() {
+        let ctx = s.ctx();
+        let fp = plan_fingerprint("perseus", &s.pipe, &s.gpu, &ctx.profiles, &opts);
+        fps.push(fp);
+        let cached = fleet
+            .plan_cache()
+            .get(fp)
+            .and_then(|p| p.as_frontier().cloned());
+        let fresh = FrontierSolver::new(&s.pipe)
+            .characterize(&ctx, &opts)
+            .expect("fresh solve");
+        match cached {
+            None => {
+                println!("GATE hit==fresh: FAIL (structure {k} missing from cache)");
+                identical = false;
+            }
+            Some(cached) => {
+                if let Some(d) = frontier_divergence(&cached, &fresh) {
+                    println!("GATE hit==fresh: FAIL (structure {k}: {d})");
+                    identical = false;
+                }
+            }
+        }
+    }
+    fps.sort_unstable();
+    fps.dedup();
+    if fps.len() != n_structures {
+        println!(
+            "GATE hit==fresh: FAIL (only {} of {n_structures} fingerprints distinct)",
+            fps.len()
+        );
+        identical = false;
+    }
+    if identical {
+        println!("GATE hit==fresh: PASS");
+    } else {
+        failed = true;
+    }
+
+    if let Some(path) = bench_json {
+        let s0 = &structures[0];
+        let ctx = s0.ctx();
+        let frontier = fleet
+            .shard(fleet.shard_of(&job_name(0)))
+            .frontier(&job_name(0))
+            .expect("warm frontier");
+        let report = frontier.fastest().schedule.energy_report(&ctx, None);
+        let entry = perseus_bench::BenchEntry {
+            name: format!("fleet_suite/{n_jobs}jobs_{n_structures}structures"),
+            wall_time_s: cold_s.iter().sum::<f64>() + open_loop_s + cached_s.iter().sum::<f64>(),
+            total_energy_j: report.total_j(),
+            useful_j: report.compute_j + report.fixed_j,
+            intrinsic_j: report.blocking_j,
+            extrinsic_j: 0.0,
+            extras: Vec::new(),
+        }
+        .with_extra("jobs", n_jobs as f64)
+        .with_extra("structures", n_structures as f64)
+        .with_extra("shards", n_shards as f64)
+        .with_extra("cache_hits", stats.cache.hits as f64)
+        .with_extra("cache_misses", stats.cache.misses as f64)
+        .with_extra("cache_inserts", stats.cache.inserts as f64)
+        .with_extra("hit_rate", hit_rate)
+        .with_extra("jobs_per_sec", jobs_per_sec)
+        .with_extra("lookup_p50_us", p50_us)
+        .with_extra("lookup_p99_us", p99_us)
+        .with_extra("cold_admission_ms", cold_mean * 1e3)
+        .with_extra("cached_admission_ms", cached_mean * 1e3)
+        .with_extra("cached_speedup", speedup);
+        perseus_bench::write_bench_json(path.as_ref(), &[entry]).expect("write bench json");
+    }
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,13 @@
 //!    `CrashRestart` and `CorruptJournalTail` completes, recovers once
 //!    per crash, and reproduces bit-identical energy totals when run
 //!    again from a fresh directory.
+//! 4. **Fleet cache survives the crash** — a durable [`FleetServer`]
+//!    whose plan cache was filled by one job and hit by another, killed
+//!    and reopened, must (a) recover the cache entry from its WAL,
+//!    (b) replay both jobs *without* re-running the solver
+//!    (`recharacterizations_avoided`), (c) carry shard state
+//!    fingerprints bit-identical to the pre-crash server, and (d) serve
+//!    a brand-new job of the same structure as a pure hit.
 //!
 //! Stdout is deterministic (claim lines only); wall-clock recovery
 //! timings go to stderr.
@@ -30,7 +37,7 @@ use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_models::zoo;
 use perseus_pipeline::{OpKey, PipelineDag, ScheduleKind};
 use perseus_profiler::ProfileDb;
-use perseus_server::{JobSpec, PerseusServer};
+use perseus_server::{FleetConfig, FleetServer, JobSpec, PerseusServer, TenantId};
 use perseus_telemetry::Telemetry;
 
 fn cluster_config() -> ClusterConfig {
@@ -220,8 +227,89 @@ fn main() {
         &mut failed,
     );
 
+    // [4] Fleet cache durability: one solve feeds two jobs, the server
+    // dies, and recovery replays both from the WAL-journaled cache
+    // entry instead of the solver.
+    let fleet_dir = unique_dir("fleet");
+    let fleet_cfg = || FleetConfig::default().shards(2).workers_per_shard(1);
+    let tenant = TenantId::from("recovery-tenant");
+    let gpu = GpuSpec::a100_pcie();
+    let opts = FrontierOptions::default();
+    let pre_crash_fps;
+    {
+        let fleet = FleetServer::open(&fleet_dir, fleet_cfg()).expect("open fleet");
+        for name in ["fleet-a", "fleet-b"] {
+            fleet
+                .register_job(JobSpec {
+                    name: name.into(),
+                    pipe: pipe.clone(),
+                    gpu: gpu.clone(),
+                })
+                .expect("register fleet job");
+            fleet
+                .submit_profiles(&tenant, name, profiles.clone(), &opts)
+                .expect("fleet submit")
+                .wait()
+                .expect("fleet characterize");
+        }
+        let cache = fleet.plan_cache().stats();
+        claim(
+            "one solve feeds the whole fleet before the crash",
+            cache.inserts == 1 && cache.hits >= 1 && cache.entries == 1,
+            &mut failed,
+        );
+        pre_crash_fps = fleet.state_fingerprints();
+        // Dropped without any shutdown handshake — a crash.
+    }
+    let t0 = std::time::Instant::now();
+    let fleet = FleetServer::open(&fleet_dir, fleet_cfg()).expect("reopen fleet");
+    let fleet_recovery = t0.elapsed();
+    let avoided: u64 = (0..2)
+        .map(|i| fleet.shard(i).durability().recharacterizations_avoided)
+        .sum();
+    println!(
+        "fleet recovery          {} re-characterizations avoided, {} cache entries recovered",
+        avoided,
+        fleet.plan_cache().stats().recovered_entries
+    );
+    claim(
+        "fleet cache survives the crash and replay skips the solver",
+        fleet.plan_cache().stats().recovered_entries == 1 && avoided >= 1,
+        &mut failed,
+    );
+    claim(
+        "post-recovery fleet state bit-identical to pre-crash server",
+        fleet.state_fingerprints() == pre_crash_fps,
+        &mut failed,
+    );
+    let inserts_before = fleet.plan_cache().stats().inserts;
+    fleet
+        .register_job(JobSpec {
+            name: "fleet-c".into(),
+            pipe: pipe.clone(),
+            gpu: gpu.clone(),
+        })
+        .expect("register post-recovery job");
+    fleet
+        .submit_profiles(&tenant, "fleet-c", profiles.clone(), &opts)
+        .expect("post-recovery submit")
+        .wait()
+        .expect("post-recovery characterize");
+    claim(
+        "a new job after recovery is a pure cache hit",
+        fleet.plan_cache().stats().inserts == inserts_before
+            && fleet.plan_cache().stats().hits >= 1,
+        &mut failed,
+    );
+    eprintln!(
+        "fleet recovery wall time: {:.3} ms (2 shards, 1 cache entry)",
+        fleet_recovery.as_secs_f64() * 1e3
+    );
+    drop(fleet);
+
     let _ = std::fs::remove_dir_all(&snap_dir);
     let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&fleet_dir);
     if failed {
         std::process::exit(1);
     }

@@ -638,3 +638,53 @@ fn simulate_run_with_ledger_is_observation_only() {
     assert!(ledger.total().intrinsic_j > 0.0);
     assert!(ledger.total().extrinsic_j > 0.0);
 }
+
+/// The fleet plan cache's core promise, checked across every registered
+/// planner: a cache-hit `PlanOutput` is **bitwise identical** to a fresh
+/// solve of the same structure — caching can never change what deploys.
+#[test]
+fn cache_hit_plan_output_is_bitwise_identical_for_every_planner() {
+    use perseus_core::{plan_fingerprint, PlanCache};
+    use perseus_store::Persist;
+
+    let emu = Emulator::new(small_config()).unwrap();
+    let ctx = emu.ctx();
+    let opts = &emu.config().frontier;
+    let cache = PlanCache::new();
+    let mut fps = Vec::new();
+
+    let names: Vec<_> = emu.planners().names();
+    assert_eq!(names.len(), 6, "expected perseus + five baselines");
+    for (name, planner) in emu.planners().iter() {
+        let fp = plan_fingerprint(name, emu.pipe(), &emu.config().gpu, &ctx.profiles, opts);
+        assert!(
+            cache.get(fp).is_none(),
+            "{name}: fingerprint collided with another planner's entry"
+        );
+        let cold = planner.plan(&ctx).unwrap();
+        cache.insert(fp, cold.clone());
+        let hit = cache.get(fp).expect("just-inserted plan must hit");
+        assert_eq!(
+            cold.to_bytes(),
+            hit.to_bytes(),
+            "{name}: cached plan differs from the plan that was inserted"
+        );
+        // Differential: re-plan from scratch; the cached bytes must match
+        // the fresh solve exactly, float for float.
+        let fresh = planner.plan(&ctx).unwrap();
+        assert_eq!(
+            fresh.to_bytes(),
+            hit.to_bytes(),
+            "{name}: cache hit diverges from a fresh solve"
+        );
+        fps.push(fp);
+    }
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(
+        fps.len(),
+        6,
+        "planner fingerprints must be pairwise distinct"
+    );
+    assert_eq!(cache.stats().entries, 6);
+}

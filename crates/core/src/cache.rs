@@ -1,0 +1,526 @@
+//! The fleet-wide cross-job plan cache: [`PlanOutput`]s keyed by
+//! [`PlanFingerprint`].
+//!
+//! Planning is deterministic in its structural inputs (see
+//! [`crate::fingerprint`]), so a fleet of jobs drawn from a handful of
+//! (model, stages, schedule, GPU) structures re-derives the same plan
+//! over and over. The cache turns that redundancy into a lookup: a
+//! fingerprint hit returns the stored plan and skips the frontier solver
+//! entirely, extending the per-job `artifact_reuses` machinery of
+//! [`crate::FrontierSolver`] fleet-wide.
+//!
+//! # Semantics
+//!
+//! * **First insert wins.** Two racing misses for the same fingerprint
+//!   both solve; whichever inserts first sticks. Both produced
+//!   bit-identical plans (determinism), so the race is observable only in
+//!   the counters — never in what a lookup returns.
+//! * **Epoch invalidation.** Every entry records the cache epoch it was
+//!   inserted in. [`PlanCache::advance_epoch`] opens a new epoch;
+//!   [`PlanCache::invalidate_older_than`] drops every entry from epochs
+//!   before a floor. A server that re-characterizes a job (fresh profiles
+//!   mid-training) targets the stale key directly with
+//!   [`PlanCache::invalidate`] — the new profiles hash to a *new*
+//!   fingerprint, so the old entry would otherwise linger forever.
+//! * **Durability.** A cache opened with [`PlanCache::open`] journals
+//!   every insert, invalidation, and epoch advance to its own write-ahead
+//!   log (the same checksummed, torn-tail-truncating format as the
+//!   server's). Reopening replays the log, so a crash-and-restart resumes
+//!   serving hits without re-running a single solve; recovered entries
+//!   are counted in [`PlanCacheStats::recovered_entries`].
+//!
+//! Lookups and inserts cost one short mutex hold on a `HashMap` — the
+//! plans themselves live behind `Arc`s and are never copied on a hit.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use perseus_store::{ByteReader, ByteWriter, Journal, Persist, StoreError};
+use perseus_telemetry::Telemetry;
+
+use crate::fingerprint::PlanFingerprint;
+use crate::frontier::ParetoFrontier;
+use crate::planner::PlanOutput;
+
+/// One cached plan plus the epoch it entered the cache in.
+struct CacheEntry {
+    plan: Arc<PlanOutput>,
+    epoch: u64,
+    /// Shared frontier view, materialized at most once: every job on
+    /// every shard that hits this entry deploys from the *same*
+    /// allocation, so a fleet of a thousand jobs over twenty structures
+    /// holds twenty frontiers, not a thousand copies.
+    frontier: Option<Arc<ParetoFrontier>>,
+}
+
+/// Map + journal, guarded together so a journaled event and the map
+/// mutation it describes are atomic with respect to other writers.
+struct CacheInner {
+    entries: HashMap<PlanFingerprint, CacheEntry>,
+    /// Epoch stamped onto new inserts; starts at 1.
+    epoch: u64,
+    /// Write-ahead log; `None` for an in-memory cache.
+    journal: Option<Journal>,
+}
+
+/// One journaled cache mutation.
+enum CacheEvent {
+    /// A plan entered the cache.
+    Insert {
+        fp: PlanFingerprint,
+        epoch: u64,
+        plan: PlanOutput,
+    },
+    /// A fingerprint was invalidated.
+    Invalidate { fp: PlanFingerprint },
+    /// A new epoch opened.
+    AdvanceEpoch { epoch: u64 },
+    /// Entries from epochs before `floor` were dropped.
+    InvalidateOlderThan { floor: u64 },
+}
+
+impl Persist for CacheEvent {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            CacheEvent::Insert { fp, epoch, plan } => {
+                w.put_u8(0);
+                fp.encode(w);
+                w.put_u64(*epoch);
+                plan.encode(w);
+            }
+            CacheEvent::Invalidate { fp } => {
+                w.put_u8(1);
+                fp.encode(w);
+            }
+            CacheEvent::AdvanceEpoch { epoch } => {
+                w.put_u8(2);
+                w.put_u64(*epoch);
+            }
+            CacheEvent::InvalidateOlderThan { floor } => {
+                w.put_u8(3);
+                w.put_u64(*floor);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(CacheEvent::Insert {
+                fp: PlanFingerprint::decode(r)?,
+                epoch: r.get_u64()?,
+                plan: PlanOutput::decode(r)?,
+            }),
+            1 => Ok(CacheEvent::Invalidate {
+                fp: PlanFingerprint::decode(r)?,
+            }),
+            2 => Ok(CacheEvent::AdvanceEpoch {
+                epoch: r.get_u64()?,
+            }),
+            3 => Ok(CacheEvent::InvalidateOlderThan {
+                floor: r.get_u64()?,
+            }),
+            t => Err(StoreError::corrupt(format!("invalid CacheEvent tag {t}"))),
+        }
+    }
+}
+
+/// Counters of one [`PlanCache`], all monotone except `entries`/`epoch`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then solves).
+    pub misses: u64,
+    /// Plans inserted (first-wins; a lost insert race does not count).
+    pub inserts: u64,
+    /// Entries dropped by targeted or epoch invalidation.
+    pub invalidations: u64,
+    /// Entries restored by journal replay at open.
+    pub recovered_entries: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Current insert epoch.
+    pub epoch: u64,
+}
+
+/// The fleet-wide plan cache. `Send + Sync`; share it behind an `Arc`
+/// across every shard of a fleet.
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    invalidations: AtomicU64,
+    recovered: AtomicU64,
+    telemetry: Telemetry,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty in-memory cache (no journal), telemetry disabled.
+    pub fn new() -> PlanCache {
+        PlanCache::with_telemetry(Telemetry::disabled())
+    }
+
+    /// [`PlanCache::new`] emitting `perseus_plan_cache_{hits,misses,inserts}_total`
+    /// through `telemetry`.
+    pub fn with_telemetry(telemetry: Telemetry) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                epoch: 1,
+                journal: None,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            telemetry,
+        }
+    }
+
+    /// Opens (or creates) a durable cache journaled at `path`, telemetry
+    /// disabled. Existing records are replayed: inserts restore entries,
+    /// invalidations and epoch advances re-apply, and a torn tail is
+    /// truncated exactly like the server's journal. A record whose frame
+    /// passed CRC but whose payload fails to decode stops the replay —
+    /// everything before it is kept.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the journal cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> Result<PlanCache, StoreError> {
+        PlanCache::open_with(path, Telemetry::disabled())
+    }
+
+    /// [`PlanCache::open`] with a telemetry handle.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlanCache::open`].
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        telemetry: Telemetry,
+    ) -> Result<PlanCache, StoreError> {
+        let (journal, records) = Journal::open(path.as_ref())?;
+        let cache = PlanCache::with_telemetry(telemetry);
+        {
+            let mut inner = cache.inner.lock().expect("plan cache lock");
+            for rec in &records {
+                let Ok(event) = CacheEvent::from_bytes(&rec.payload) else {
+                    break;
+                };
+                match event {
+                    CacheEvent::Insert { fp, epoch, plan } => {
+                        inner.entries.entry(fp).or_insert(CacheEntry {
+                            plan: Arc::new(plan),
+                            epoch,
+                            frontier: None,
+                        });
+                    }
+                    CacheEvent::Invalidate { fp } => {
+                        inner.entries.remove(&fp);
+                    }
+                    CacheEvent::AdvanceEpoch { epoch } => {
+                        inner.epoch = inner.epoch.max(epoch);
+                    }
+                    CacheEvent::InvalidateOlderThan { floor } => {
+                        inner.entries.retain(|_, e| e.epoch >= floor);
+                    }
+                }
+            }
+            // Net entries that survived replay (inserts minus
+            // invalidations), not raw insert records: the number callers
+            // can actually hit after recovery.
+            cache
+                .recovered
+                .store(inner.entries.len() as u64, Ordering::Relaxed);
+            inner.journal = Some(journal);
+        }
+        Ok(cache)
+    }
+
+    /// Looks up a plan by fingerprint. A hit returns the shared plan
+    /// without copying it; a miss returns `None` and the caller solves
+    /// (then typically [`PlanCache::insert`]s).
+    pub fn get(&self, fp: PlanFingerprint) -> Option<Arc<PlanOutput>> {
+        let inner = self.inner.lock().expect("plan cache lock");
+        match inner.entries.get(&fp) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("perseus_plan_cache_hits_total")
+                        .inc();
+                }
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("perseus_plan_cache_misses_total")
+                        .inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Looks up `fp` and returns the entry's **shared frontier view**: an
+    /// `Arc<ParetoFrontier>` materialized at most once per entry and then
+    /// handed to every subsequent hit, so N jobs deploying the same
+    /// structure share one frontier allocation instead of cloning N
+    /// copies. Counts hits and misses exactly like [`PlanCache::get`].
+    /// Returns `None` on a miss or when the cached plan is not a
+    /// frontier.
+    pub fn frontier_view(&self, fp: PlanFingerprint) -> Option<Arc<ParetoFrontier>> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        match inner.entries.get_mut(&fp) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("perseus_plan_cache_hits_total")
+                        .inc();
+                }
+                if entry.frontier.is_none() {
+                    entry.frontier = entry.plan.as_frontier().cloned().map(Arc::new);
+                }
+                entry.frontier.clone()
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("perseus_plan_cache_misses_total")
+                        .inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Whether `fp` is cached, without touching the hit/miss counters.
+    pub fn contains(&self, fp: PlanFingerprint) -> bool {
+        self.inner
+            .lock()
+            .expect("plan cache lock")
+            .entries
+            .contains_key(&fp)
+    }
+
+    /// Inserts a plan under `fp`, journaling it if the cache is durable.
+    /// First insert wins: if the fingerprint is already present (a racing
+    /// solver got there first), the existing entry is kept, nothing is
+    /// journaled, and the stored plan is returned — determinism makes the
+    /// two plans bit-identical anyway.
+    pub fn insert(&self, fp: PlanFingerprint, plan: PlanOutput) -> Arc<PlanOutput> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if let Some(existing) = inner.entries.get(&fp) {
+            return Arc::clone(&existing.plan);
+        }
+        let epoch = inner.epoch;
+        let plan = Arc::new(plan);
+        // Encode before the map mutation so the journal never records an
+        // insert the map does not reflect.
+        let bytes = inner.journal.as_ref().map(|_| {
+            CacheEvent::Insert {
+                fp,
+                epoch,
+                plan: (*plan).clone(),
+            }
+            .to_bytes()
+        });
+        if let (Some(journal), Some(bytes)) = (inner.journal.as_mut(), bytes.as_ref()) {
+            // An unwritable journal degrades durability, never serving.
+            let _ = journal.append(bytes);
+        }
+        inner.entries.insert(
+            fp,
+            CacheEntry {
+                plan: Arc::clone(&plan),
+                epoch,
+                frontier: None,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("perseus_plan_cache_inserts_total")
+                .inc();
+        }
+        plan
+    }
+
+    /// [`PlanCache::insert`] for a frontier the caller already holds
+    /// behind an `Arc`: the entry's shared view *is* the caller's `Arc`,
+    /// so the solving job and every later hit deploy from one
+    /// allocation. First insert wins — if the fingerprint is already
+    /// present, the existing entry's view is returned instead.
+    pub fn insert_frontier(
+        &self,
+        fp: PlanFingerprint,
+        frontier: Arc<ParetoFrontier>,
+    ) -> Arc<ParetoFrontier> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if let Some(entry) = inner.entries.get_mut(&fp) {
+            if entry.frontier.is_none() {
+                entry.frontier = entry.plan.as_frontier().cloned().map(Arc::new);
+            }
+            return entry.frontier.clone().unwrap_or(frontier);
+        }
+        let epoch = inner.epoch;
+        let plan = Arc::new(PlanOutput::Frontier((*frontier).clone()));
+        let bytes = inner.journal.as_ref().map(|_| {
+            CacheEvent::Insert {
+                fp,
+                epoch,
+                plan: (*plan).clone(),
+            }
+            .to_bytes()
+        });
+        if let (Some(journal), Some(bytes)) = (inner.journal.as_mut(), bytes.as_ref()) {
+            let _ = journal.append(bytes);
+        }
+        inner.entries.insert(
+            fp,
+            CacheEntry {
+                plan,
+                epoch,
+                frontier: Some(Arc::clone(&frontier)),
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("perseus_plan_cache_inserts_total")
+                .inc();
+        }
+        frontier
+    }
+
+    /// Looks up `fp`, planning and inserting on a miss. Returns the
+    /// (shared) plan and whether it was a hit. The closure runs without
+    /// the cache lock held, so concurrent lookups are never blocked by a
+    /// slow solve.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the planning closure returns.
+    pub fn get_or_plan<E>(
+        &self,
+        fp: PlanFingerprint,
+        plan: impl FnOnce() -> Result<PlanOutput, E>,
+    ) -> Result<(Arc<PlanOutput>, bool), E> {
+        if let Some(hit) = self.get(fp) {
+            return Ok((hit, true));
+        }
+        let solved = plan()?;
+        Ok((self.insert(fp, solved), false))
+    }
+
+    /// Drops the entry under `fp`, if any. Called by a server when a job
+    /// re-characterizes: the fresh profiles hash to a new fingerprint, so
+    /// the entry under the old one is stale for that structure.
+    pub fn invalidate(&self, fp: PlanFingerprint) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if inner.entries.remove(&fp).is_some() {
+            let bytes = inner
+                .journal
+                .as_ref()
+                .map(|_| CacheEvent::Invalidate { fp }.to_bytes());
+            if let (Some(journal), Some(bytes)) = (inner.journal.as_mut(), bytes.as_ref()) {
+                let _ = journal.append(bytes);
+            }
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens a new insert epoch and returns it. Entries already cached
+    /// keep serving; the epoch only stamps *future* inserts, giving
+    /// [`PlanCache::invalidate_older_than`] a cutoff to sweep against.
+    pub fn advance_epoch(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let bytes = inner
+            .journal
+            .as_ref()
+            .map(|_| CacheEvent::AdvanceEpoch { epoch }.to_bytes());
+        if let (Some(journal), Some(bytes)) = (inner.journal.as_mut(), bytes.as_ref()) {
+            let _ = journal.append(bytes);
+        }
+        epoch
+    }
+
+    /// Drops every entry inserted before epoch `floor`. The sweep half of
+    /// epoch invalidation: advance the epoch when a fleet-wide input
+    /// changes (a driver update shifts every profile), let fresh plans
+    /// repopulate, then sweep the old epoch out.
+    pub fn invalidate_older_than(&self, floor: u64) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        let before = inner.entries.len();
+        inner.entries.retain(|_, e| e.epoch >= floor);
+        let dropped = (before - inner.entries.len()) as u64;
+        if dropped > 0 {
+            let bytes = inner
+                .journal
+                .as_ref()
+                .map(|_| CacheEvent::InvalidateOlderThan { floor }.to_bytes());
+            if let (Some(journal), Some(bytes)) = (inner.journal.as_mut(), bytes.as_ref()) {
+                let _ = journal.append(bytes);
+            }
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Every cached fingerprint, sorted (deterministic for tests).
+    pub fn fingerprints(&self) -> Vec<PlanFingerprint> {
+        let inner = self.inner.lock().expect("plan cache lock");
+        let mut fps: Vec<PlanFingerprint> = inner.entries.keys().copied().collect();
+        fps.sort();
+        fps
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().expect("plan cache lock");
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            recovered_entries: self.recovered.load(Ordering::Relaxed),
+            entries: inner.entries.len() as u64,
+            epoch: inner.epoch,
+        }
+    }
+
+    /// Hit rate over all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits.load(Ordering::Relaxed) as f64;
+        let misses = self.misses.load(Ordering::Relaxed) as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+
+    /// Whether this cache journals to disk.
+    pub fn is_durable(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("plan cache lock")
+            .journal
+            .is_some()
+    }
+}

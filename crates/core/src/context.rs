@@ -98,13 +98,24 @@ impl<'a> PlanContext<'a> {
         profiles: ProfileDb<OpKey>,
     ) -> Result<PlanContext<'a>, CoreError> {
         let mut plan_info: Vec<Option<NodePlanInfo>> = vec![None; pipe.dag.node_count()];
+        // Fits depend only on the (stage, kind) profile, not the node: a
+        // pipeline with m microbatches repeats each key m times, so memoize
+        // the fit per key instead of re-running the regression per node.
+        let mut fits: std::collections::HashMap<OpKey, ExpFit> = std::collections::HashMap::new();
         for (node, comp) in pipe.computations() {
             let key = comp.op_key();
             let profile = profiles.get(&key).ok_or(CoreError::MissingProfile {
                 stage: key.stage,
                 kind: key.kind,
             })?;
-            let fit = profile.fit()?;
+            let fit = match fits.get(&key) {
+                Some(fit) => fit.clone(),
+                None => {
+                    let fit = profile.fit()?;
+                    fits.insert(key, fit.clone());
+                    fit
+                }
+            };
             plan_info[node.index()] = Some(NodePlanInfo {
                 node,
                 key,

@@ -2,15 +2,18 @@
 //! frontier, plus the straggler lookup of §3.1.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use perseus_dag::NodeId;
 use perseus_gpu::FreqMHz;
 use perseus_pipeline::{node_schedule_gaps, node_start_times, PipeNode, PipelineDag};
 use perseus_telemetry::Telemetry;
 
+use crate::cache::PlanCache;
 use crate::context::{CoreError, PlanContext};
 use crate::cut::{get_next_pareto_arena, CutOutcome, CutSolver, SolverArena};
 use crate::energy::{pipeline_energy, PipelineEnergy};
+use crate::fingerprint::{plan_fingerprint, PlanFingerprint};
 use crate::parallel::parallel_map;
 
 /// A realized energy schedule: planned per-computation durations lowered
@@ -372,6 +375,12 @@ pub struct FrontierSolver {
     /// Estimated paths avoided by warm starts (see
     /// [`crate::cut::ArenaStats`]).
     augmenting_paths_saved: AtomicU64,
+    /// Fleet plan-cache hits observed by [`FrontierSolver::characterize_cached`].
+    cache_hits: AtomicU64,
+    /// Fleet plan-cache misses (each one ran the full solver).
+    cache_misses: AtomicU64,
+    /// Plans this solver inserted into a fleet cache.
+    cache_inserts: AtomicU64,
     telemetry: Telemetry,
 }
 
@@ -391,6 +400,13 @@ pub struct SolverStats {
     pub augmenting_paths: u64,
     /// Estimated augmenting-path searches avoided by warm starts.
     pub augmenting_paths_saved: u64,
+    /// Characterizations answered from the fleet plan cache — the solver
+    /// never ran (not counted in `runs`).
+    pub cache_hits: u64,
+    /// Cached characterizations that missed and ran the solver.
+    pub cache_misses: u64,
+    /// Frontiers this solver published into the fleet plan cache.
+    pub cache_inserts: u64,
 }
 
 impl FrontierSolver {
@@ -412,6 +428,9 @@ impl FrontierSolver {
             warm_start_hits: AtomicU64::new(0),
             augmenting_paths: AtomicU64::new(0),
             augmenting_paths_saved: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_inserts: AtomicU64::new(0),
             telemetry,
         }
     }
@@ -437,6 +456,9 @@ impl FrontierSolver {
             warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
             augmenting_paths: self.augmenting_paths.load(Ordering::Relaxed),
             augmenting_paths_saved: self.augmenting_paths_saved.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_inserts: self.cache_inserts.load(Ordering::Relaxed),
         }
     }
 
@@ -562,6 +584,59 @@ impl FrontierSolver {
                 .add(points.len() as u64);
         }
         Ok(ParetoFrontier { points })
+    }
+
+    /// [`FrontierSolver::characterize`] behind the fleet-wide plan cache:
+    /// fingerprints the problem (policy `"perseus"`), and on a hit returns
+    /// the cache entry's **shared** frontier — no solve, no profile fits,
+    /// no copy. `runs` does not advance, no Phillips–Dessouky iteration
+    /// happens, and not even the [`PlanContext`] is built: the fit
+    /// regression only pays off when the solver actually runs, so it is
+    /// deferred to the miss path. On a miss the context is built, the
+    /// full characterization runs, and its frontier is published into the
+    /// cache (first insert wins) for every other job — on any shard,
+    /// under any tenant — that shares the structure.
+    ///
+    /// Returns the shared frontier, whether it was a cache hit, and the
+    /// fingerprint (so callers can invalidate the entry if the job's
+    /// structure later drifts). The returned frontier is bit-identical
+    /// either way: planning is deterministic in the fingerprinted inputs,
+    /// which the differential tests and the `fleet_suite` gate pin. A
+    /// fleet of a thousand jobs drawn from twenty structures holds twenty
+    /// frontier allocations, not a thousand.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrontierSolver::characterize`]; a hit cannot fail.
+    pub fn characterize_cached(
+        &self,
+        pipe: &PipelineDag,
+        gpu: &perseus_gpu::GpuSpec,
+        profiles: &perseus_profiler::ProfileDb<perseus_pipeline::OpKey>,
+        opts: &FrontierOptions,
+        cache: &PlanCache,
+    ) -> Result<(Arc<ParetoFrontier>, bool, PlanFingerprint), CoreError> {
+        let fp = plan_fingerprint("perseus", pipe, gpu, profiles, opts);
+        if let Some(frontier) = cache.frontier_view(fp) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter("perseus_solver_cache_hits_total")
+                    .inc();
+            }
+            return Ok((frontier, true, fp));
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("perseus_solver_cache_misses_total")
+                .inc();
+        }
+        let ctx = PlanContext::new(pipe, gpu, profiles.clone())?;
+        let frontier = Arc::new(self.characterize(&ctx, opts)?);
+        let frontier = cache.insert_frontier(fp, frontier);
+        self.cache_inserts.fetch_add(1, Ordering::Relaxed);
+        Ok((frontier, false, fp))
     }
 
     /// Characterizes many independent pipelines in parallel on a scoped

@@ -39,16 +39,19 @@
 //! assert!(frontier.t_min() < frontier.t_star());
 //! ```
 
+mod cache;
 mod context;
 mod cut;
 mod energy;
 mod error;
+mod fingerprint;
 mod frontier;
 mod ledger;
 pub mod parallel;
 mod persist;
 mod planner;
 
+pub use cache::{PlanCache, PlanCacheStats};
 pub use context::{CoreError, NodePlanInfo, PlanContext};
 pub use cut::{
     get_next_pareto, get_next_pareto_arena, get_next_pareto_traced, get_next_pareto_with,
@@ -56,6 +59,7 @@ pub use cut::{
 };
 pub use energy::{pipeline_energy, PipelineEnergy};
 pub use error::Error;
+pub use fingerprint::{plan_fingerprint, PlanFingerprint};
 pub use frontier::{
     characterize, EnergySchedule, FrontierOptions, FrontierPoint, FrontierSolver, ParetoFrontier,
     SolverStats,

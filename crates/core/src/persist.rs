@@ -8,6 +8,7 @@ use perseus_gpu::FreqMHz;
 use perseus_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 use crate::frontier::{EnergySchedule, FrontierOptions, FrontierPoint, ParetoFrontier};
+use crate::planner::PlanOutput;
 
 impl Persist for EnergySchedule {
     fn encode(&self, w: &mut ByteWriter) {
@@ -75,6 +76,46 @@ impl Persist for ParetoFrontier {
             ));
         }
         Ok(ParetoFrontier::from_points(points))
+    }
+}
+
+impl Persist for PlanOutput {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PlanOutput::Schedule(s) => {
+                w.put_u8(0);
+                s.encode(w);
+            }
+            PlanOutput::Frontier(f) => {
+                w.put_u8(1);
+                f.encode(w);
+            }
+            PlanOutput::Sweep {
+                schedules,
+                no_straggler_deadline_s,
+            } => {
+                w.put_u8(2);
+                schedules.encode(w);
+                w.put_f64(*no_straggler_deadline_s);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(PlanOutput::Schedule(EnergySchedule::decode(r)?)),
+            1 => Ok(PlanOutput::Frontier(ParetoFrontier::decode(r)?)),
+            2 => {
+                let schedules = Vec::<EnergySchedule>::decode(r)?;
+                if schedules.is_empty() {
+                    return Err(StoreError::corrupt("sweep plan has no schedules"));
+                }
+                Ok(PlanOutput::Sweep {
+                    schedules,
+                    no_straggler_deadline_s: r.get_f64()?,
+                })
+            }
+            t => Err(StoreError::corrupt(format!("invalid PlanOutput tag {t}"))),
+        }
     }
 }
 

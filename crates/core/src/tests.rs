@@ -898,3 +898,387 @@ fn frontier_matches_brute_force_on_tiny_instance() {
     let t_floor = front.first().unwrap().0;
     assert!((frontier.fastest().schedule.time_s - t_floor).abs() < 1e-9);
 }
+
+mod fingerprint_and_cache {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::cache::PlanCache;
+    use crate::fingerprint::{plan_fingerprint, PlanFingerprint};
+    use crate::planner::{Perseus, PlanOutput, Planner};
+    use perseus_pipeline::{CompKind, OpKey};
+    use perseus_profiler::{OpProfile, ProfileDb};
+    use perseus_store::Persist;
+
+    /// All (key, profile) pairs for `scales`, in natural stage/kind order.
+    fn profile_pairs(gpu: &GpuSpec, scales: &[f64]) -> Vec<(OpKey, OpProfile)> {
+        let mut pairs = Vec::new();
+        for (s, sw) in stages_with_scales(scales).iter().enumerate() {
+            for (kind, w) in [
+                (CompKind::Forward, &sw.fwd),
+                (CompKind::Backward, &sw.bwd),
+                (CompKind::Recompute, &sw.fwd),
+            ] {
+                pairs.push((
+                    OpKey {
+                        stage: s,
+                        chunk: 0,
+                        kind,
+                    },
+                    OpProfile::from_model(gpu, w),
+                ));
+            }
+        }
+        pairs
+    }
+
+    fn db_in_order(pairs: &[(OpKey, OpProfile)], order: &[usize]) -> ProfileDb<OpKey> {
+        let mut db = ProfileDb::new();
+        for &i in order {
+            let (k, p) = &pairs[i];
+            db.insert(k.clone(), p.clone());
+        }
+        db
+    }
+
+    /// Tiny deterministic shuffle so proptest cases stay reproducible.
+    fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (seed >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        order
+    }
+
+    fn default_opts() -> FrontierOptions {
+        FrontierOptions {
+            tau_s: Some(5e-3),
+            max_iters: 50_000,
+            stretch: true,
+            warm_start: true,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_job_identity_and_insertion_order() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(3, 5);
+        let scales = [1.0, 1.1, 0.9];
+        let pairs = profile_pairs(&gpu, &scales);
+        let natural = db_in_order(&pairs, &(0..pairs.len()).collect::<Vec<_>>());
+        let opts = default_opts();
+        let fp = plan_fingerprint("perseus", &pipe, &gpu, &natural, &opts);
+        // The fingerprint API takes no job name and no tenant: two jobs
+        // with identical structure *cannot* fingerprint differently. Any
+        // insertion order of the same profiles agrees too.
+        for seed in [1u64, 7, 42, 1234] {
+            let shuffled_db = db_in_order(&pairs, &shuffled(pairs.len(), seed));
+            assert_eq!(
+                fp,
+                plan_fingerprint("perseus", &pipe, &gpu, &shuffled_db, &opts),
+                "insertion order (seed {seed}) changed the fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_every_structural_axis() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(3, 5);
+        let scales = [1.0, 1.1, 0.9];
+        let pairs = profile_pairs(&gpu, &scales);
+        let order: Vec<usize> = (0..pairs.len()).collect();
+        let db = db_in_order(&pairs, &order);
+        let opts = default_opts();
+
+        let mut fps = vec![plan_fingerprint("perseus", &pipe, &gpu, &db, &opts)];
+        // Different policy name.
+        fps.push(plan_fingerprint("zeus_global", &pipe, &gpu, &db, &opts));
+        // Different DAG shape: one more stage, one more microbatch, and a
+        // different schedule kind (different edge set at equal node
+        // counts per stage program).
+        let wider = build_pipe(4, 5);
+        let deeper = build_pipe(3, 6);
+        let gpipe = PipelineBuilder::new(ScheduleKind::GPipe, 3, 5)
+            .build()
+            .unwrap();
+        fps.push(plan_fingerprint("perseus", &wider, &gpu, &db, &opts));
+        fps.push(plan_fingerprint("perseus", &deeper, &gpu, &db, &opts));
+        fps.push(plan_fingerprint("perseus", &gpipe, &gpu, &db, &opts));
+        // Different GPU model.
+        fps.push(plan_fingerprint(
+            "perseus",
+            &pipe,
+            &GpuSpec::v100(),
+            &db,
+            &opts,
+        ));
+        fps.push(plan_fingerprint(
+            "perseus",
+            &pipe,
+            &GpuSpec::h100_sxm(),
+            &db,
+            &opts,
+        ));
+        // Different frontier options.
+        let coarse = FrontierOptions {
+            tau_s: Some(1e-2),
+            ..default_opts()
+        };
+        let no_stretch = FrontierOptions {
+            stretch: false,
+            ..default_opts()
+        };
+        fps.push(plan_fingerprint("perseus", &pipe, &gpu, &db, &coarse));
+        fps.push(plan_fingerprint("perseus", &pipe, &gpu, &db, &no_stretch));
+        // Perturbed profiles: one stage's workload nudged by 0.01%.
+        let nudged = db_in_order(&profile_pairs(&gpu, &[1.0001, 1.1, 0.9]), &order);
+        fps.push(plan_fingerprint("perseus", &pipe, &gpu, &nudged, &opts));
+
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "axes {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_keeps_first_insert() {
+        let cache = PlanCache::new();
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(2, 4);
+        let frontier = frontier_for(&gpu, &pipe, &[1.0, 1.2], Some(5e-3));
+        let fp = PlanFingerprint(0xdead_beef);
+
+        assert!(cache.get(fp).is_none());
+        cache.insert(fp, PlanOutput::Frontier(frontier.clone()));
+        let hit = cache.get(fp).expect("inserted entry must hit");
+        assert_eq!(
+            hit.to_bytes(),
+            PlanOutput::Frontier(frontier.clone()).to_bytes()
+        );
+        // Second insert under the same fingerprint is a no-op: the cache
+        // keeps the first plan (both were solved from identical inputs).
+        let other = frontier_for(&gpu, &pipe, &[1.3, 0.8], Some(5e-3));
+        let kept = cache.insert(fp, PlanOutput::Frontier(other));
+        assert_eq!(
+            kept.to_bytes(),
+            PlanOutput::Frontier(frontier.clone()).to_bytes()
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.inserts, stats.entries),
+            (1, 1, 1, 1)
+        );
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+
+        cache.invalidate(fp);
+        assert!(cache.get(fp).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn get_or_plan_skips_closure_on_hit() {
+        let cache = PlanCache::new();
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(2, 4);
+        let frontier = frontier_for(&gpu, &pipe, &[1.0, 1.2], Some(5e-3));
+        let fp = PlanFingerprint(7);
+        let mut solves = 0u32;
+        for _ in 0..3 {
+            let (_, was_hit) = cache
+                .get_or_plan::<()>(fp, || {
+                    solves += 1;
+                    Ok(PlanOutput::Frontier(frontier.clone()))
+                })
+                .unwrap();
+            assert_eq!(was_hit, solves > 0 && cache.stats().hits > 0);
+        }
+        assert_eq!(solves, 1, "only the first lookup may solve");
+    }
+
+    #[test]
+    fn epoch_invalidation_sweeps_stale_entries() {
+        let cache = PlanCache::new();
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(2, 4);
+        let f = PlanOutput::Frontier(frontier_for(&gpu, &pipe, &[1.0, 1.2], Some(5e-3)));
+        cache.insert(PlanFingerprint(1), f.clone());
+        let e2 = cache.advance_epoch();
+        cache.insert(PlanFingerprint(2), f);
+        cache.invalidate_older_than(e2);
+        assert!(
+            cache.get(PlanFingerprint(1)).is_none(),
+            "epoch-1 entry stays"
+        );
+        assert!(
+            cache.get(PlanFingerprint(2)).is_some(),
+            "epoch-2 entry swept"
+        );
+        assert_eq!(cache.stats().epoch, e2);
+    }
+
+    #[test]
+    fn solver_cache_hit_is_bitwise_identical_and_skips_the_solve() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(3, 5);
+        let stages = stages_with_scales(&[1.0, 1.1, 0.9]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let opts = default_opts();
+        let cache = PlanCache::new();
+
+        let cold_solver = FrontierSolver::new(&pipe);
+        let (cold, hit0, fp0) = cold_solver
+            .characterize_cached(&pipe, &gpu, &ctx.profiles, &opts, &cache)
+            .unwrap();
+        assert!(!hit0, "empty cache cannot hit");
+
+        // A *different* job (fresh solver — job identity lives in the
+        // solver/server, never in the fingerprint) hits the shared entry.
+        let warm_solver = FrontierSolver::new(&pipe);
+        let (warm, hit1, fp1) = warm_solver
+            .characterize_cached(&pipe, &gpu, &ctx.profiles, &opts, &cache)
+            .unwrap();
+        assert!(hit1, "identical structure must hit");
+        assert_eq!(fp0, fp1);
+        assert!(
+            Arc::ptr_eq(&cold, &warm),
+            "a hit must share the solving job's frontier allocation, not copy it"
+        );
+        assert_frontiers_bit_identical(&cold, &warm);
+        let ws = warm_solver.stats();
+        assert_eq!(ws.runs, 0, "a cache hit must not run the solver");
+        assert_eq!((ws.cache_hits, ws.cache_misses), (1, 0));
+        let cs = cold_solver.stats();
+        assert_eq!(
+            (cs.cache_hits, cs.cache_misses, cs.cache_inserts),
+            (0, 1, 1)
+        );
+
+        // And the cached PlanOutput is byte-identical to a fresh plan
+        // from the Perseus planner itself.
+        let fresh = Perseus::new(opts.clone()).plan(&ctx).unwrap();
+        assert_eq!(cache.get(fp0).unwrap().to_bytes(), fresh.to_bytes());
+    }
+
+    #[test]
+    fn durable_cache_reopens_with_entries_intact() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "perseus-core-cache-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("cache.wal");
+
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(2, 4);
+        let plan = PlanOutput::Frontier(frontier_for(&gpu, &pipe, &[1.0, 1.2], Some(5e-3)));
+        let fps = [
+            PlanFingerprint(10),
+            PlanFingerprint(20),
+            PlanFingerprint(30),
+        ];
+        {
+            let cache = PlanCache::open(&wal).unwrap();
+            assert!(cache.is_durable());
+            for fp in fps {
+                cache.insert(fp, plan.clone());
+            }
+            cache.invalidate(fps[2]);
+            // Dropped without any shutdown handshake — a crash.
+        }
+        let cache = PlanCache::open(&wal).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.recovered_entries, 2, "insert - invalidate survives");
+        assert_eq!(cache.fingerprints(), vec![fps[0], fps[1]]);
+        assert_eq!(cache.get(fps[0]).unwrap().to_bytes(), plan.to_bytes());
+        assert!(cache.get(fps[2]).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            // Equal (profiles, DAG, GPU, options) ⇒ equal fingerprint, no
+            // matter how the profile database was assembled.
+            #[test]
+            fn fingerprint_is_insertion_order_invariant(
+                n in 2usize..5,
+                m in 2usize..7,
+                scales in proptest::collection::vec(0.7f64..1.4, 2..5),
+                seed in any::<u64>(),
+            ) {
+                prop_assume!(scales.len() >= n);
+                let gpu = GpuSpec::a100_pcie();
+                let pipe = build_pipe(n, m);
+                let pairs = profile_pairs(&gpu, &scales[..n]);
+                let opts = default_opts();
+                let natural = db_in_order(&pairs, &(0..pairs.len()).collect::<Vec<_>>());
+                let permuted = db_in_order(&pairs, &shuffled(pairs.len(), seed));
+                prop_assert_eq!(
+                    plan_fingerprint("perseus", &pipe, &gpu, &natural, &opts),
+                    plan_fingerprint("perseus", &pipe, &gpu, &permuted, &opts)
+                );
+            }
+
+            // Any single perturbed profile value ⇒ a distinct fingerprint
+            // (no silent cross-job plan sharing between jobs that differ).
+            #[test]
+            fn fingerprint_detects_single_profile_perturbation(
+                n in 2usize..5,
+                m in 2usize..7,
+                scales in proptest::collection::vec(0.7f64..1.4, 2..5),
+                which in any::<proptest::sample::Index>(),
+                nudge in prop_oneof![Just(1.0001f64), Just(0.9999f64), Just(1.01f64)],
+            ) {
+                prop_assume!(scales.len() >= n);
+                let gpu = GpuSpec::a100_pcie();
+                let pipe = build_pipe(n, m);
+                let opts = default_opts();
+                let base: Vec<f64> = scales[..n].to_vec();
+                let mut bent = base.clone();
+                let i = which.index(n);
+                bent[i] *= nudge;
+                let order: Vec<usize> = (0..3 * n).collect();
+                let a = db_in_order(&profile_pairs(&gpu, &base), &order);
+                let b = db_in_order(&profile_pairs(&gpu, &bent), &order);
+                prop_assert_ne!(
+                    plan_fingerprint("perseus", &pipe, &gpu, &a, &opts),
+                    plan_fingerprint("perseus", &pipe, &gpu, &b, &opts)
+                );
+            }
+
+            // Any DAG edge-set change (schedule kind, depth, width) ⇒ a
+            // distinct fingerprint under identical profiles.
+            #[test]
+            fn fingerprint_detects_dag_shape_changes(
+                n in 2usize..5,
+                m in 2usize..7,
+                scales in proptest::collection::vec(0.7f64..1.4, 4..5),
+            ) {
+                let gpu = GpuSpec::a100_pcie();
+                let opts = default_opts();
+                let pairs = profile_pairs(&gpu, &scales[..n]);
+                let db = db_in_order(&pairs, &(0..pairs.len()).collect::<Vec<_>>());
+                let base = build_pipe(n, m);
+                let fp = |p: &PipelineDag| plan_fingerprint("perseus", p, &gpu, &db, &opts);
+                prop_assert_ne!(fp(&base), fp(&build_pipe(n, m + 1)));
+                prop_assert_ne!(fp(&base), fp(&build_pipe(n + 1, m)));
+                let gpipe = PipelineBuilder::new(ScheduleKind::GPipe, n, m).build().unwrap();
+                prop_assert_ne!(fp(&base), fp(&gpipe));
+            }
+        }
+    }
+}

@@ -107,9 +107,93 @@ impl Default for RetryPolicy {
     }
 }
 
+/// How retry delays are randomized. Private so [`ClientConfig`] can stay
+/// `Copy` and grow variants without breaking callers.
+#[derive(Debug, Clone, Copy)]
+enum Jitter {
+    /// Decorrelated jitter seeded from the job name — deterministic per
+    /// job, decorrelated across jobs (the default).
+    Auto,
+    /// Decorrelated jitter with an explicit seed (reproducible tests).
+    Seeded(u64),
+    /// Plain exponential backoff, no randomization (legacy behavior).
+    Off,
+}
+
+/// FNV-1a 64-bit — seeds per-job jitter and places jobs on the fleet's
+/// consistent-hash ring. Not cryptographic; stable across runs.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Decorrelated-jitter backoff: each delay is drawn uniformly from
+/// `[base, min(cap, 3 × previous delay)]`, so retry storms from many
+/// clients spread out instead of thundering in lockstep while the
+/// expected delay still grows geometrically. Deterministic for a given
+/// seed — the seeded-determinism tests rely on that.
+#[derive(Debug, Clone)]
+pub struct DecorrelatedJitter {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+impl DecorrelatedJitter {
+    /// A jitter source sleeping at least `base` and at most `cap` per
+    /// retry, driven by a SplitMix64 stream from `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> DecorrelatedJitter {
+        let cap = cap.max(base);
+        DecorrelatedJitter {
+            base,
+            cap,
+            prev: base,
+            state: seed,
+        }
+    }
+
+    /// Draws the next delay and advances the stream.
+    pub fn next_delay(&mut self) -> Duration {
+        let lo = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let hi = self
+            .prev
+            .saturating_mul(3)
+            .min(self.cap)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let span = hi.saturating_sub(lo);
+        let draw = if span == 0 {
+            lo
+        } else {
+            lo + splitmix64(&mut self.state) % (span + 1)
+        };
+        self.prev = Duration::from_nanos(draw);
+        self.prev
+    }
+
+    /// Rewinds the delay ladder to `base` (e.g. after a success) without
+    /// resetting the random stream.
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
 /// Builder-style configuration of a [`JobClient`]: retry budget, per-call
-/// timeout, and exponential backoff — the named replacement for the
-/// positional [`RetryPolicy`] constructor argument.
+/// timeout, and backoff with decorrelated jitter — the named replacement
+/// for the positional [`RetryPolicy`] constructor argument.
 ///
 /// ```
 /// use std::time::Duration;
@@ -124,16 +208,21 @@ impl Default for RetryPolicy {
 pub struct ClientConfig {
     max_attempts: u32,
     base_backoff: Duration,
+    max_backoff: Duration,
     timeout: Duration,
+    jitter: Jitter,
 }
 
 impl Default for ClientConfig {
-    /// 5 attempts, 2 ms base backoff, 500 ms per-call timeout.
+    /// 5 attempts, 2 ms base backoff capped at 512 ms, 500 ms per-call
+    /// timeout, jitter seeded from the job name.
     fn default() -> ClientConfig {
         ClientConfig {
             max_attempts: 5,
             base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(512),
             timeout: Duration::from_millis(500),
+            jitter: Jitter::Auto,
         }
     }
 }
@@ -153,10 +242,31 @@ impl ClientConfig {
         self
     }
 
-    /// Sets the wait before the first retry; doubles after every failed
-    /// attempt.
+    /// Sets the minimum retry delay — the floor of every jittered draw
+    /// (and the first rung of the legacy exponential ladder when jitter is
+    /// disabled).
     pub fn backoff(mut self, base_backoff: Duration) -> ClientConfig {
         self.base_backoff = base_backoff;
+        self
+    }
+
+    /// Sets the ceiling no retry delay ever exceeds.
+    pub fn max_backoff(mut self, max_backoff: Duration) -> ClientConfig {
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// Seeds the decorrelated jitter explicitly so a test can replay the
+    /// exact delay sequence; by default the seed derives from the job name.
+    pub fn jitter_seed(mut self, seed: u64) -> ClientConfig {
+        self.jitter = Jitter::Seeded(seed);
+        self
+    }
+
+    /// Disables jitter entirely: plain exponential backoff, delay
+    /// `base × 2^attempt` capped at the max backoff.
+    pub fn no_jitter(mut self) -> ClientConfig {
+        self.jitter = Jitter::Off;
         self
     }
 
@@ -170,9 +280,34 @@ impl ClientConfig {
         self.timeout
     }
 
-    /// Base backoff before the first retry.
+    /// Minimum retry delay.
     pub fn base_backoff(&self) -> Duration {
         self.base_backoff
+    }
+
+    /// Ceiling on any single retry delay.
+    pub fn backoff_cap(&self) -> Duration {
+        self.max_backoff
+    }
+
+    /// Whether retry delays are jittered.
+    pub fn jitter_enabled(&self) -> bool {
+        !matches!(self.jitter, Jitter::Off)
+    }
+
+    /// The jitter source this config produces for `job`, or `None` when
+    /// jitter is disabled.
+    fn make_jitter(&self, job: &str) -> Option<DecorrelatedJitter> {
+        let seed = match self.jitter {
+            Jitter::Auto => fnv64(job.as_bytes()),
+            Jitter::Seeded(s) => s,
+            Jitter::Off => return None,
+        };
+        Some(DecorrelatedJitter::new(
+            self.base_backoff,
+            self.max_backoff,
+            seed,
+        ))
     }
 }
 
@@ -182,7 +317,11 @@ impl From<RetryPolicy> for ClientConfig {
         ClientConfig {
             max_attempts: p.max_attempts.max(1),
             base_backoff: p.base_backoff,
+            // The legacy ladder stopped doubling at 2^8; keep that cap and
+            // its deterministic (unjittered) delays for policy users.
+            max_backoff: p.base_backoff.saturating_mul(1 << 8),
             timeout: p.timeout,
+            jitter: Jitter::Off,
         }
     }
 }
@@ -191,16 +330,18 @@ impl From<RetryPolicy> for ClientConfig {
 /// to the planning server about one job, hardened against the faults a
 /// production control plane actually sees — lost submissions, panicked
 /// characterization workers, slow responses. Every operation retries
-/// with exponential backoff up to the policy's budget; transient errors
+/// with jittered backoff up to the policy's budget; transient errors
 /// ([`ServerError::SubmissionLost`],
-/// [`ServerError::CharacterizationPanicked`], timeouts, and
-/// `NotCharacterized` races on straggler notifications) are retried,
-/// everything else surfaces immediately.
+/// [`ServerError::CharacterizationPanicked`], [`ServerError::Overloaded`]
+/// admission pushback, timeouts, and `NotCharacterized` races on
+/// straggler notifications) are retried, everything else surfaces
+/// immediately.
 pub struct JobClient {
     server: Arc<PerseusServer>,
     job: String,
     config: ClientConfig,
     retries: AtomicU64,
+    jitter: Mutex<Option<DecorrelatedJitter>>,
 }
 
 impl JobClient {
@@ -216,11 +357,15 @@ impl JobClient {
         job: impl Into<String>,
         config: impl Into<ClientConfig>,
     ) -> JobClient {
+        let job = job.into();
+        let config: ClientConfig = config.into();
+        let jitter = Mutex::new(config.make_jitter(&job));
         JobClient {
             server,
-            job: job.into(),
-            config: config.into(),
+            job,
+            config,
             retries: AtomicU64::new(0),
+            jitter,
         }
     }
 
@@ -249,11 +394,28 @@ impl JobClient {
         self.retries.load(Ordering::Relaxed)
     }
 
+    /// The delay the next retry will sleep: a decorrelated-jitter draw, or
+    /// the legacy exponential ladder when jitter is disabled. Split from
+    /// [`JobClient::backoff`] so determinism tests can observe delays
+    /// without sleeping (each call advances the jitter stream).
+    pub fn next_backoff_delay(&self, attempt: u32) -> Duration {
+        match self.jitter.lock().as_mut() {
+            Some(j) => j.next_delay(),
+            None => {
+                // Exponential: base × 2^attempt, capped so chaos tests
+                // stay fast.
+                let exp = attempt.min(8);
+                self.config
+                    .base_backoff
+                    .saturating_mul(1 << exp)
+                    .min(self.config.max_backoff)
+            }
+        }
+    }
+
     fn backoff(&self, attempt: u32) {
         self.retries.fetch_add(1, Ordering::Relaxed);
-        // Exponential: base × 2^attempt, capped so chaos tests stay fast.
-        let exp = attempt.min(8);
-        std::thread::sleep(self.config.base_backoff.saturating_mul(1 << exp));
+        std::thread::sleep(self.next_backoff_delay(attempt));
     }
 
     /// Submits profiles and waits for the resulting deployment, retrying
@@ -274,9 +436,19 @@ impl JobClient {
             if attempt > 0 {
                 self.backoff(attempt - 1);
             }
-            let ticket = self
+            let ticket = match self
                 .server
-                .submit_profiles(&self.job, profiles.clone(), opts)?;
+                .submit_profiles(&self.job, profiles.clone(), opts)
+            {
+                Ok(t) => t,
+                // Admission pushback: the server is at its in-flight
+                // characterization bound. A slot frees as soon as any
+                // running characterization finishes, so back off and retry
+                // — jitter keeps a fleet of pushed-back clients from
+                // re-stampeding in lockstep.
+                Err(ServerError::Overloaded { .. }) => continue,
+                Err(e) => return Err(e),
+            };
             match ticket.wait_timeout(self.config.timeout) {
                 Some(Ok(d)) => return Ok(d),
                 Some(Err(ServerError::Superseded(_))) => {

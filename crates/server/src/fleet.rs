@@ -1,0 +1,537 @@
+//! Fleet-scale multi-tenant planning: one front door over many
+//! [`PerseusServer`] shards.
+//!
+//! A hyperscaler runs thousands of concurrent training jobs, not one. The
+//! single-server design (one jobs map, one worker pool, one journal)
+//! serializes on its locks and its WAL long before that scale. The
+//! [`FleetServer`] keeps the per-job semantics bit-identical while scaling
+//! out three ways:
+//!
+//! * **Sharding** — job state is partitioned across N independent
+//!   [`PerseusServer`] shards by consistent hashing on the job name (a
+//!   hash ring with virtual nodes, so shard loads stay balanced and the
+//!   mapping is stable under job churn). Each shard has its own worker
+//!   pool, lock domain, and — when durable — its own journal directory.
+//! * **Admission control** — every shard bounds its in-flight
+//!   characterizations; past the bound, submissions are rejected with
+//!   [`ServerError::Overloaded`] and the [`crate::JobClient`] retries with
+//!   jittered backoff instead of queueing unboundedly.
+//! * **Per-tenant quotas** — a token bucket per [`TenantId`] rate-limits
+//!   submissions (and, optionally, lookups) so one runaway tenant cannot
+//!   starve the fleet. The bucket clock is the fleet's own deterministic
+//!   clock, advanced explicitly via [`FleetServer::advance_clock`], so
+//!   quota behavior is exactly testable.
+//!
+//! The headline cross-job optimization is the **fleet-wide plan cache**
+//! ([`PlanCache`]): all shards share one cache keyed by the structural
+//! [`perseus_core::PlanFingerprint`] of (profiles, DAG shape, GPU model,
+//! frontier options). Large fleets are structurally repetitive — the same
+//! model zoo entries at the same parallelism degrees — so most jobs hit a
+//! fingerprint some earlier job already solved and skip the frontier
+//! solver entirely.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use perseus_core::{FrontierOptions, PlanCache, PlanCacheStats};
+use perseus_pipeline::OpKey;
+use perseus_profiler::ProfileDb;
+use perseus_telemetry::Telemetry;
+
+use crate::client::{fnv64, ClientConfig, JobClient};
+use crate::server::{
+    CharacterizeTicket, Deployment, JobSpec, JobStatus, PerseusServer, ServerError,
+};
+
+/// An accounting principal: the team or workload class a job bills its
+/// planning-service usage to. Job names are globally unique; tenants
+/// group many jobs under one quota.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub String);
+
+impl TenantId {
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(s: &str) -> TenantId {
+        TenantId(s.to_string())
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(s: String) -> TenantId {
+        TenantId(s)
+    }
+}
+
+/// Shape of a [`FleetServer`]: shard fan-out, per-shard admission bounds,
+/// and per-tenant token-bucket quotas.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of [`PerseusServer`] shards (at least 1). For a durable
+    /// fleet this must match across reopens of the same root directory —
+    /// the ring, and therefore each job's home shard, is a function of it.
+    pub shards: usize,
+    /// Planning workers per shard.
+    pub workers_per_shard: usize,
+    /// In-flight characterization bound per shard; `0` = unbounded.
+    pub max_inflight_per_shard: u64,
+    /// Token-bucket capacity per tenant (burst). `f64::INFINITY` (the
+    /// default) disables quotas entirely.
+    pub tenant_burst: f64,
+    /// Token refill rate per tenant per second of fleet-clock time.
+    pub tenant_refill_per_s: f64,
+    /// Tokens one profile submission costs.
+    pub submit_cost: f64,
+    /// Tokens one status lookup costs (`0.0` = lookups are free).
+    pub lookup_cost: f64,
+    /// Virtual nodes per shard on the consistent-hash ring. More vnodes
+    /// flatten the load split at the price of a larger ring.
+    pub virtual_nodes: usize,
+}
+
+impl Default for FleetConfig {
+    /// 4 shards × 1 worker, unbounded admission, quotas disabled,
+    /// 32 virtual nodes per shard.
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            max_inflight_per_shard: 0,
+            tenant_burst: f64::INFINITY,
+            tenant_refill_per_s: 0.0,
+            submit_cost: 1.0,
+            lookup_cost: 0.0,
+            virtual_nodes: 32,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the shard count (floored at 1).
+    pub fn shards(mut self, shards: usize) -> FleetConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets planning workers per shard (floored at 1).
+    pub fn workers_per_shard(mut self, n: usize) -> FleetConfig {
+        self.workers_per_shard = n.max(1);
+        self
+    }
+
+    /// Sets the per-shard in-flight characterization bound (`0` =
+    /// unbounded).
+    pub fn max_inflight_per_shard(mut self, limit: u64) -> FleetConfig {
+        self.max_inflight_per_shard = limit;
+        self
+    }
+
+    /// Enables per-tenant quotas: `burst` tokens of capacity refilling at
+    /// `refill_per_s` tokens per fleet-clock second.
+    pub fn tenant_quota(mut self, burst: f64, refill_per_s: f64) -> FleetConfig {
+        self.tenant_burst = burst;
+        self.tenant_refill_per_s = refill_per_s;
+        self
+    }
+
+    /// Sets the token cost of one submission / one lookup.
+    pub fn costs(mut self, submit: f64, lookup: f64) -> FleetConfig {
+        self.submit_cost = submit;
+        self.lookup_cost = lookup;
+        self
+    }
+
+    /// Sets virtual nodes per shard on the hash ring (floored at 1).
+    pub fn virtual_nodes(mut self, vnodes: usize) -> FleetConfig {
+        self.virtual_nodes = vnodes.max(1);
+        self
+    }
+}
+
+/// One tenant's token bucket.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: f64,
+    /// Fleet-clock time of the last refill.
+    last_s: f64,
+}
+
+/// All quota state behind one lock: the fleet clock plus every tenant's
+/// bucket. Submissions touch it once (a refill + a compare) — far cheaper
+/// than the characterization they gate.
+#[derive(Debug)]
+struct TenantState {
+    clock_s: f64,
+    buckets: HashMap<TenantId, TokenBucket>,
+}
+
+/// A point-in-time snapshot of fleet accounting. The counters satisfy
+/// `submitted == admitted + rejected_quota + rejected_overloaded +
+/// rejected_other` — the concurrency stress tests pin that invariant.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Profile submissions offered to the fleet.
+    pub submitted: u64,
+    /// Submissions accepted onto a shard's worker pool.
+    pub admitted: u64,
+    /// Submissions rejected by a tenant's token bucket.
+    pub rejected_quota: u64,
+    /// Submissions rejected by shard admission control.
+    pub rejected_overloaded: u64,
+    /// Submissions rejected for any other reason (unknown job, invalid
+    /// profiles, …).
+    pub rejected_other: u64,
+    /// Lookups rejected by a tenant's token bucket.
+    pub lookups_rejected: u64,
+    /// Shared plan-cache counters.
+    pub cache: PlanCacheStats,
+}
+
+/// The fleet front door: routes per-job operations to their home shard,
+/// enforces tenant quotas and shard admission bounds, and shares one
+/// cross-job [`PlanCache`] across every shard. See the module docs for
+/// the design.
+pub struct FleetServer {
+    cfg: FleetConfig,
+    shards: Vec<Arc<PerseusServer>>,
+    /// Consistent-hash ring: `(point, shard)` sorted by point. A job
+    /// lands on the first shard whose point is ≥ `fnv64(job)`, wrapping.
+    ring: Vec<(u64, usize)>,
+    cache: Arc<PlanCache>,
+    tenants: Mutex<TenantState>,
+    telemetry: Telemetry,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_other: AtomicU64,
+    lookups_rejected: AtomicU64,
+}
+
+impl FleetServer {
+    /// An in-memory fleet (no durability) shaped by `cfg`.
+    pub fn new(cfg: FleetConfig) -> FleetServer {
+        FleetServer::with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// [`FleetServer::new`] emitting through `telemetry`; every shard and
+    /// the shared plan cache inherit the handle.
+    pub fn with_telemetry(cfg: FleetConfig, telemetry: Telemetry) -> FleetServer {
+        let cache = Arc::new(PlanCache::with_telemetry(telemetry.clone()));
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| {
+                Arc::new(PerseusServer::with_telemetry(
+                    cfg.workers_per_shard.max(1),
+                    telemetry.clone(),
+                ))
+            })
+            .collect();
+        FleetServer::assemble(cfg, shards, cache, telemetry)
+    }
+
+    /// Opens (or recovers) a durable fleet rooted at `root`: shard `i`
+    /// journals under `root/shard-<i>/`, and the shared plan cache keeps
+    /// its own write-ahead log at `root/plan-cache.wal`. Reopening after
+    /// a crash recovers every shard *and* the cache; journal-tail
+    /// re-characterizations that hit recovered cache entries skip the
+    /// solver (counted as `recharacterizations_avoided`).
+    ///
+    /// `cfg.shards` must match across reopens of the same root — the hash
+    /// ring, and therefore each job's home shard, is a function of it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] if the root or a shard directory cannot be
+    /// created or a journal cannot be opened.
+    pub fn open(root: impl AsRef<Path>, cfg: FleetConfig) -> Result<FleetServer, ServerError> {
+        FleetServer::open_with(root, cfg, Telemetry::disabled())
+    }
+
+    /// [`FleetServer::open`] emitting through `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetServer::open`].
+    pub fn open_with(
+        root: impl AsRef<Path>,
+        cfg: FleetConfig,
+        telemetry: Telemetry,
+    ) -> Result<FleetServer, ServerError> {
+        let root = root.as_ref();
+        std::fs::create_dir_all(root).map_err(perseus_store::StoreError::Io)?;
+        let cache = Arc::new(PlanCache::open_with(
+            root.join("plan-cache.wal"),
+            telemetry.clone(),
+        )?);
+        let mut shards = Vec::with_capacity(cfg.shards.max(1));
+        for i in 0..cfg.shards.max(1) {
+            shards.push(Arc::new(PerseusServer::open_with_cache(
+                root.join(format!("shard-{i}")),
+                cfg.workers_per_shard.max(1),
+                telemetry.clone(),
+                Arc::clone(&cache),
+            )?));
+        }
+        Ok(FleetServer::assemble(cfg, shards, cache, telemetry))
+    }
+
+    fn assemble(
+        cfg: FleetConfig,
+        shards: Vec<Arc<PerseusServer>>,
+        cache: Arc<PlanCache>,
+        telemetry: Telemetry,
+    ) -> FleetServer {
+        for shard in &shards {
+            shard.set_plan_cache(Some(Arc::clone(&cache)));
+            shard.set_max_inflight(cfg.max_inflight_per_shard);
+        }
+        let mut ring = Vec::with_capacity(shards.len() * cfg.virtual_nodes.max(1));
+        for (i, _) in shards.iter().enumerate() {
+            for v in 0..cfg.virtual_nodes.max(1) {
+                ring.push((fnv64(format!("shard-{i}-{v}").as_bytes()), i));
+            }
+        }
+        ring.sort_unstable();
+        FleetServer {
+            cfg,
+            shards,
+            ring,
+            cache,
+            tenants: Mutex::new(TenantState {
+                clock_s: 0.0,
+                buckets: HashMap::new(),
+            }),
+            telemetry,
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_other: AtomicU64::new(0),
+            lookups_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The home shard index for `job` — first ring point ≥ the job's
+    /// hash, wrapping around. Stable for the fleet's lifetime.
+    pub fn shard_of(&self, job: &str) -> usize {
+        let h = fnv64(job.as_bytes());
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[if i == self.ring.len() { 0 } else { i }].1
+    }
+
+    /// Direct handle to shard `idx` (tests and per-shard observability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn shard(&self, idx: usize) -> &Arc<PerseusServer> {
+        &self.shards[idx]
+    }
+
+    /// All shards, index-aligned with [`FleetServer::shard_of`].
+    pub fn shards(&self) -> &[Arc<PerseusServer>] {
+        &self.shards
+    }
+
+    /// The shared cross-job plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// This fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Advances the fleet clock by `dt_s` seconds; tenant token buckets
+    /// refill against this clock. Explicit, so quota tests are exact.
+    pub fn advance_clock(&self, dt_s: f64) {
+        if dt_s > 0.0 {
+            self.tenants.lock().clock_s += dt_s;
+        }
+    }
+
+    /// Charges `cost` tokens to `tenant`, refilling the bucket first.
+    fn charge(&self, tenant: &TenantId, cost: f64) -> Result<(), ServerError> {
+        if cost <= 0.0 || self.cfg.tenant_burst.is_infinite() {
+            return Ok(());
+        }
+        let mut state = self.tenants.lock();
+        let clock = state.clock_s;
+        let bucket = state.buckets.entry(tenant.clone()).or_insert(TokenBucket {
+            tokens: self.cfg.tenant_burst,
+            last_s: clock,
+        });
+        let dt = (clock - bucket.last_s).max(0.0);
+        bucket.tokens =
+            (bucket.tokens + dt * self.cfg.tenant_refill_per_s).min(self.cfg.tenant_burst);
+        bucket.last_s = clock;
+        if bucket.tokens >= cost {
+            bucket.tokens -= cost;
+            Ok(())
+        } else {
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter("perseus_fleet_quota_rejections_total")
+                    .inc();
+            }
+            Err(ServerError::QuotaExhausted {
+                tenant: tenant.0.clone(),
+            })
+        }
+    }
+
+    /// Registers a job on its home shard. Registration is not quota
+    /// charged — it is cheap and idempotent-ish (duplicate names error).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DuplicateJob`] if the name is taken on its shard.
+    pub fn register_job(&self, spec: JobSpec) -> Result<(), ServerError> {
+        self.shards[self.shard_of(&spec.name)].register_job(spec)
+    }
+
+    /// Submits profiles for `name` on behalf of `tenant`: charges the
+    /// tenant's token bucket, then routes to the home shard, which
+    /// enforces its own in-flight bound and consults the shared plan
+    /// cache before solving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::QuotaExhausted`] when the tenant's bucket is dry;
+    /// [`ServerError::Overloaded`] when the shard is at its in-flight
+    /// bound; shard-level errors (unknown job, invalid profiles)
+    /// otherwise. Every outcome is counted in [`FleetStats`].
+    pub fn submit_profiles(
+        &self,
+        tenant: &TenantId,
+        name: &str,
+        profiles: ProfileDb<OpKey>,
+        opts: &FrontierOptions,
+    ) -> Result<CharacterizeTicket, ServerError> {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = self.charge(tenant, self.cfg.submit_cost) {
+            self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        match self.shards[self.shard_of(name)].submit_profiles(name, profiles, opts) {
+            Ok(ticket) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(e @ ServerError::Overloaded { .. }) => {
+                self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Err(e) => {
+                self.rejected_other.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// The unified status of `name`, charged to `tenant`'s lookup quota
+    /// (free under the default config).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::QuotaExhausted`] when the tenant's bucket is dry;
+    /// [`ServerError::UnknownJob`] for unregistered names.
+    pub fn job_status(&self, tenant: &TenantId, name: &str) -> Result<JobStatus, ServerError> {
+        if let Err(e) = self.charge(tenant, self.cfg.lookup_cost) {
+            self.lookups_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.shards[self.shard_of(name)].job_status(name)
+    }
+
+    /// Routes a straggler notification to the job's home shard. Never
+    /// quota charged: straggler reaction is the latency-critical path —
+    /// throttling it would burn energy, the opposite of the point.
+    ///
+    /// # Errors
+    ///
+    /// As [`PerseusServer::set_straggler`].
+    pub fn set_straggler(
+        &self,
+        name: &str,
+        gpu_id: usize,
+        delay_s: f64,
+        degree: f64,
+    ) -> Result<Option<Deployment>, ServerError> {
+        self.shards[self.shard_of(name)].set_straggler(name, gpu_id, delay_s, degree)
+    }
+
+    /// A [`JobClient`] bound to `job`'s home shard with the default
+    /// [`ClientConfig`] — retries ride out both `Overloaded` pushback and
+    /// transient faults with per-job-seeded jitter.
+    pub fn client_for(&self, job: impl Into<String>) -> JobClient {
+        let job = job.into();
+        JobClient::new(Arc::clone(&self.shards[self.shard_of(&job)]), job)
+    }
+
+    /// [`FleetServer::client_for`] with an explicit [`ClientConfig`].
+    pub fn client_with_config(
+        &self,
+        job: impl Into<String>,
+        config: impl Into<ClientConfig>,
+    ) -> JobClient {
+        let job = job.into();
+        JobClient::with_config(Arc::clone(&self.shards[self.shard_of(&job)]), job, config)
+    }
+
+    /// Fleet-wide accounting snapshot; see [`FleetStats`] for the sum
+    /// invariant it maintains.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_other: self.rejected_other.load(Ordering::Relaxed),
+            lookups_rejected: self.lookups_rejected.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Per-shard state fingerprints, index-aligned with
+    /// [`FleetServer::shards`] — the stress tests compare these against a
+    /// sequential replay of each shard's admitted events.
+    pub fn state_fingerprints(&self) -> Vec<Vec<u8>> {
+        self.shards.iter().map(|s| s.state_fingerprint()).collect()
+    }
+
+    /// Remaining tokens in `tenant`'s bucket after refilling to the
+    /// current fleet clock (observability; `None` if the tenant has never
+    /// been charged or quotas are disabled).
+    pub fn tenant_tokens(&self, tenant: &TenantId) -> Option<f64> {
+        if self.cfg.tenant_burst.is_infinite() {
+            return None;
+        }
+        let mut state = self.tenants.lock();
+        let clock = state.clock_s;
+        let refill = self.cfg.tenant_refill_per_s;
+        let burst = self.cfg.tenant_burst;
+        state.buckets.get_mut(tenant).map(|b| {
+            let dt = (clock - b.last_s).max(0.0);
+            b.tokens = (b.tokens + dt * refill).min(burst);
+            b.last_s = clock;
+            b.tokens
+        })
+    }
+}

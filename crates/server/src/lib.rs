@@ -22,13 +22,23 @@
 //! periodically, so a crash-and-restart reconstructs bit-identical state
 //! (see the `store` module).
 
+//! At fleet scale, the [`FleetServer`] shards job state across many
+//! [`PerseusServer`]s by consistent hashing, bounds in-flight work per
+//! shard, rate-limits tenants, and shares one fingerprint-keyed
+//! [`perseus_core::PlanCache`] across every shard so structurally
+//! identical jobs skip the solver (see the `fleet` module docs).
+
 mod client;
+mod fleet;
 mod server;
 mod store;
 
 #[allow(deprecated)]
 pub use client::RetryPolicy;
-pub use client::{AsyncFrequencyController, ClientConfig, ClientSession, JobClient};
+pub use client::{
+    AsyncFrequencyController, ClientConfig, ClientSession, DecorrelatedJitter, JobClient,
+};
+pub use fleet::{FleetConfig, FleetServer, FleetStats, TenantId};
 pub use server::{
     ChaosStats, CharacterizeTicket, Deployment, FaultInjector, JobSpec, JobStatus, PerseusServer,
     ServerError, SubmissionFault, DEFAULT_LIVENESS_TIMEOUT,

@@ -40,8 +40,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::RwLock;
 use perseus_core::{
-    CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
-    SolverStats,
+    CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanCache,
+    PlanContext, PlanFingerprint, SolverStats,
 };
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_pipeline::{OpKey, PipelineDag};
@@ -121,6 +121,26 @@ pub enum ServerError {
     /// The durable backing store failed (journal or snapshot I/O,
     /// unrecoverable corruption).
     Store(StoreError),
+    /// Admission control rejected the submission: the server already has
+    /// its configured maximum of characterizations in flight (see
+    /// [`PerseusServer::set_max_inflight`]). Backpressure, not failure —
+    /// the client should back off and retry ([`crate::JobClient`] does).
+    Overloaded {
+        /// The job the submission targeted.
+        job: String,
+        /// Characterizations in flight when the submission arrived.
+        inflight: u64,
+        /// The configured in-flight bound.
+        limit: u64,
+    },
+    /// A per-tenant rate limit rejected the call: the tenant's token
+    /// bucket is empty (see [`crate::FleetServer`]). The tenant must wait
+    /// for refill; retrying immediately cannot succeed, so clients do
+    /// not retry this.
+    QuotaExhausted {
+        /// The tenant whose bucket ran dry.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -162,6 +182,20 @@ impl fmt::Display for ServerError {
                 write!(f, "invalid profile submitted for job {job:?}: {reason}")
             }
             ServerError::Store(e) => write!(f, "durable store failed: {e}"),
+            ServerError::Overloaded {
+                job,
+                inflight,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "submission for job {job:?} rejected: {inflight} characterizations \
+                     in flight (limit {limit})"
+                )
+            }
+            ServerError::QuotaExhausted { tenant } => {
+                write!(f, "tenant {tenant:?} exhausted its rate-limit quota")
+            }
         }
     }
 }
@@ -358,6 +392,34 @@ pub struct JobStatus {
     pub durability: DurabilityStats,
 }
 
+/// How a replayed journal event was applied — drives the
+/// `recharacterizations_replayed` vs `recharacterizations_avoided`
+/// durability counters.
+enum ReplayOutcome {
+    /// A `Characterized` event re-ran the solver (or was deduplicated /
+    /// unapplied — either way, no cache lookup answered it).
+    CharacterizedSolved,
+    /// A `Characterized` event was answered from the attached plan cache
+    /// without running the solver.
+    CharacterizedCached,
+    /// Any other event.
+    Other,
+}
+
+/// An admission slot for one in-flight characterization. Decrements the
+/// server's in-flight counter on drop, so a task that is dropped unrun
+/// (worker pool shutting down) releases its slot exactly like one that
+/// completed.
+struct InflightPermit {
+    counter: Arc<AtomicU64>,
+}
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Mutable per-job state, guarded by the job's `RwLock`.
 struct JobMut {
     frontier: Option<Arc<ParetoFrontier>>,
@@ -375,6 +437,12 @@ struct JobMut {
     clock_s: f64,
     version: u64,
     deployed: Option<Deployment>,
+    /// Structural fingerprint of the deployed frontier's planning inputs,
+    /// when a fleet plan cache is attached. Volatile (not persisted, not
+    /// part of [`PerseusServer::state_fingerprint`]): it is re-derived on
+    /// the next characterization and only drives targeted cache
+    /// invalidation when a re-characterization changes the structure.
+    plan_fingerprint: Option<PlanFingerprint>,
 }
 
 /// One registered job: immutable identity plus lock-guarded state. Shared
@@ -540,6 +608,16 @@ pub struct PerseusServer {
     /// Durable backing (journal + snapshots); `None` for in-memory
     /// servers. Lock order everywhere: journal → jobs map → job state.
     store: Option<Arc<Store>>,
+    /// The fleet-wide cross-job plan cache, when attached; consulted by
+    /// every characterization before the solver runs.
+    plan_cache: RwLock<Option<Arc<PlanCache>>>,
+    /// Characterizations currently admitted but not yet completed.
+    inflight: Arc<AtomicU64>,
+    /// High-water mark of `inflight` (stress tests assert it never
+    /// exceeds the configured bound).
+    peak_inflight: AtomicU64,
+    /// Admission bound on in-flight characterizations; 0 = unbounded.
+    max_inflight: AtomicU64,
 }
 
 impl Default for PerseusServer {
@@ -580,6 +658,10 @@ impl PerseusServer {
             flight: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY)),
             flight_dump: RwLock::new(None),
             store: None,
+            plan_cache: RwLock::new(None),
+            inflight: Arc::new(AtomicU64::new(0)),
+            peak_inflight: AtomicU64::new(0),
+            max_inflight: AtomicU64::new(0),
         }
     }
 
@@ -627,11 +709,40 @@ impl PerseusServer {
         n_workers: usize,
         telemetry: Telemetry,
     ) -> Result<PerseusServer, ServerError> {
-        let dir = dir.as_ref();
+        PerseusServer::open_inner(dir.as_ref(), n_workers, telemetry, None)
+    }
+
+    /// [`PerseusServer::open_with`] with a fleet plan cache attached
+    /// *before* recovery runs: journal-tail [`JournalEvent::Characterized`]
+    /// replays consult the cache first, so a cache recovered from its own
+    /// write-ahead log (see [`PlanCache::open`]) turns replayed
+    /// re-characterizations into lookups — counted as
+    /// `recharacterizations_avoided` instead of
+    /// `recharacterizations_replayed` in [`DurabilityStats`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PerseusServer::open`].
+    pub fn open_with_cache(
+        dir: impl AsRef<Path>,
+        n_workers: usize,
+        telemetry: Telemetry,
+        cache: Arc<PlanCache>,
+    ) -> Result<PerseusServer, ServerError> {
+        PerseusServer::open_inner(dir.as_ref(), n_workers, telemetry, Some(cache))
+    }
+
+    fn open_inner(
+        dir: &Path,
+        n_workers: usize,
+        telemetry: Telemetry,
+        cache: Option<Arc<PlanCache>>,
+    ) -> Result<PerseusServer, ServerError> {
         std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
         let (journal, records) = Journal::open(dir.join(JOURNAL_FILE))?;
         let snapshot_path = dir.join(SNAPSHOT_FILE);
         let mut server = PerseusServer::with_telemetry(n_workers, telemetry);
+        *server.plan_cache.write() = cache;
         let store = Arc::new(Store::new(
             journal,
             snapshot_path.clone(),
@@ -683,12 +794,19 @@ impl PerseusServer {
             match JournalEvent::from_bytes(&rec.payload) {
                 Ok(event) => {
                     store.replayed_events.fetch_add(1, Ordering::Relaxed);
-                    if matches!(event, JournalEvent::Characterized { .. }) {
-                        store
-                            .recharacterizations_replayed
-                            .fetch_add(1, Ordering::Relaxed);
+                    match server.replay_event(event) {
+                        ReplayOutcome::CharacterizedSolved => {
+                            store
+                                .recharacterizations_replayed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        ReplayOutcome::CharacterizedCached => {
+                            store
+                                .recharacterizations_avoided
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        ReplayOutcome::Other => {}
                     }
-                    server.replay_event(event);
                 }
                 Err(_) => {
                     store.truncated_records.fetch_add(1, Ordering::Relaxed);
@@ -745,6 +863,7 @@ impl PerseusServer {
                     clock_s: js.clock_s,
                     version: js.version,
                     deployed: js.deployed,
+                    plan_fingerprint: None,
                 }),
             });
             jobs.insert(name, job);
@@ -757,7 +876,7 @@ impl PerseusServer {
     /// records events that succeeded, and truncation only removes
     /// suffixes, so every event's prerequisites are present; a decode
     /// drift that violates that merely leaves the event unapplied.
-    fn replay_event(&self, event: JournalEvent) {
+    fn replay_event(&self, event: JournalEvent) -> ReplayOutcome {
         match event {
             JournalEvent::RegisterJob { name, pipe, gpu } => {
                 let _ = self.register_job(JobSpec { name, pipe, gpu });
@@ -767,7 +886,7 @@ impl PerseusServer {
                 epoch,
                 profiles,
                 opts,
-            } => self.replay_characterized(&name, epoch, profiles, &opts),
+            } => return self.replay_characterized(&name, epoch, profiles, &opts),
             JournalEvent::SetStraggler {
                 name,
                 gpu_id,
@@ -794,37 +913,59 @@ impl PerseusServer {
                 }
             }
         }
+        ReplayOutcome::Other
     }
 
     /// Replays a winning characterization: re-runs the deterministic
     /// solver on the journaled profiles and deploys, exactly as the
-    /// original worker did. Skipped if the job already carries this (or a
-    /// newer) epoch — replaying a duplicated record is a no-op, which is
-    /// what makes recovery idempotent.
+    /// original worker did — unless an attached plan cache already holds
+    /// the structure's frontier, in which case the lookup replaces the
+    /// solve (the `recharacterizations_avoided` path). Skipped if the job
+    /// already carries this (or a newer) epoch — replaying a duplicated
+    /// record is a no-op, which is what makes recovery idempotent.
     fn replay_characterized(
         &self,
         name: &str,
         epoch: u64,
         profiles: ProfileDb<OpKey>,
         opts: &FrontierOptions,
-    ) {
-        let Ok(job) = self.job(name) else { return };
+    ) -> ReplayOutcome {
+        let Ok(job) = self.job(name) else {
+            return ReplayOutcome::CharacterizedSolved;
+        };
         job.next_epoch.fetch_max(epoch, Ordering::Relaxed);
         if job.state.read().characterized_epoch >= epoch {
-            return;
+            return ReplayOutcome::CharacterizedSolved;
         }
-        let outcome = PlanContext::new(&job.pipe, &job.gpu, profiles.clone())
-            .and_then(|ctx| job.solver.characterize(&ctx, opts));
-        let Ok(frontier) = outcome else { return };
+        let cache = self.plan_cache.read().clone();
+        let outcome = match cache.as_deref() {
+            Some(cache) => job
+                .solver
+                .characterize_cached(&job.pipe, &job.gpu, &profiles, opts, cache),
+            None => PlanContext::new(&job.pipe, &job.gpu, profiles.clone())
+                .and_then(|ctx| job.solver.characterize(&ctx, opts))
+                .map(|f| (Arc::new(f), false, PlanFingerprint(0))),
+        };
+        let Ok((frontier, cache_hit, fp)) = outcome else {
+            return ReplayOutcome::CharacterizedSolved;
+        };
         let mut state = job.state.write();
         if state.characterized_epoch >= epoch {
-            return;
+            return ReplayOutcome::CharacterizedSolved;
         }
         state.characterized_epoch = epoch;
-        state.frontier = Some(Arc::new(frontier));
+        state.frontier = Some(frontier);
         state.profiles = Some(profiles);
         state.degraded = false;
+        if cache.is_some() {
+            state.plan_fingerprint = Some(fp);
+        }
         job.deploy_locked(&mut state);
+        if cache_hit {
+            ReplayOutcome::CharacterizedCached
+        } else {
+            ReplayOutcome::CharacterizedSolved
+        }
     }
 
     /// The server's flight recorder. The training loop records one
@@ -898,6 +1039,7 @@ impl PerseusServer {
                 clock_s: 0.0,
                 version: 0,
                 deployed: None,
+                plan_fingerprint: None,
             }),
         });
         let mut journal = self.store.as_ref().map(|s| s.journal.lock());
@@ -953,7 +1095,9 @@ impl PerseusServer {
     ) -> Result<CharacterizeTicket, ServerError> {
         let job = self.job(name)?;
         Self::validate_profiles(name, &profiles)?;
+        let permit = self.acquire_inflight(name)?;
         let store = self.store.clone();
+        let cache = self.plan_cache.read().clone();
         // Epoch 1 is the first submission; `characterized_epoch` 0 means
         // "nothing deployed yet", so every first submission wins.
         let epoch = job.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
@@ -982,8 +1126,19 @@ impl PerseusServer {
             };
             let result = {
                 let _span = span!(tel, "characterize", job = job.name);
-                Self::characterize_task(&job, epoch, profiles, &opts, fault, store.as_deref())
+                Self::characterize_task(
+                    &job,
+                    epoch,
+                    profiles,
+                    &opts,
+                    fault,
+                    store.as_deref(),
+                    cache.as_deref(),
+                )
             };
+            // Release the admission slot as soon as the work is done,
+            // before the (unbounded-latency) notification send.
+            drop(permit);
             if let Some(busy) = busy {
                 busy.add(-1);
             }
@@ -1119,6 +1274,45 @@ impl PerseusServer {
     /// [`JournalEvent::Characterized`], carrying the profiles + options
     /// so replay re-runs the deterministic solver); superseded and failed
     /// attempts leave no durable trace beyond the degradation flag.
+    /// Exact admission control: atomically claims an in-flight slot or
+    /// rejects with [`ServerError::Overloaded`]. `fetch_update` makes the
+    /// claim race-free — the counter never exceeds the bound, even under
+    /// concurrent submissions (the stress tests pin this via
+    /// [`PerseusServer::peak_inflight_characterizations`]).
+    fn acquire_inflight(&self, name: &str) -> Result<InflightPermit, ServerError> {
+        let limit = self.max_inflight.load(Ordering::Relaxed);
+        let claimed = self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                if limit == 0 || v < limit {
+                    Some(v + 1)
+                } else {
+                    None
+                }
+            });
+        match claimed {
+            Ok(prev) => {
+                self.peak_inflight.fetch_max(prev + 1, Ordering::Relaxed);
+                Ok(InflightPermit {
+                    counter: Arc::clone(&self.inflight),
+                })
+            }
+            Err(inflight) => {
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("perseus_server_overloaded_total")
+                        .inc();
+                }
+                Err(ServerError::Overloaded {
+                    job: name.to_string(),
+                    inflight,
+                    limit,
+                })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn characterize_task(
         job: &Job,
         epoch: u64,
@@ -1126,6 +1320,7 @@ impl PerseusServer {
         opts: &FrontierOptions,
         fault: SubmissionFault,
         store: Option<&Store>,
+        cache: Option<&PlanCache>,
     ) -> Result<Deployment, ServerError> {
         match fault {
             SubmissionFault::None => {}
@@ -1148,13 +1343,24 @@ impl PerseusServer {
             if fault == SubmissionFault::Panic {
                 panic!("injected chaos fault: characterization worker dies");
             }
-            let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles.clone())?;
-            job.solver
-                .characterize(&ctx, opts)
-                .map_err(ServerError::Core)
+            // A fleet cache hit skips the solver entirely — not even the
+            // planning context (profile fits) is built; the shared
+            // frontier is bit-identical to a fresh solve (planning is
+            // deterministic in the fingerprinted inputs).
+            match cache {
+                Some(cache) => job
+                    .solver
+                    .characterize_cached(&job.pipe, &job.gpu, &profiles, opts, cache)
+                    .map(|(f, _, fp)| (f, Some(fp)))
+                    .map_err(ServerError::Core),
+                None => PlanContext::new(&job.pipe, &job.gpu, profiles.clone())
+                    .and_then(|ctx| job.solver.characterize(&ctx, opts))
+                    .map(|f| (Arc::new(f), None))
+                    .map_err(ServerError::Core),
+            }
         }));
-        let frontier = match characterized {
-            Ok(Ok(frontier)) => frontier,
+        let (frontier, fingerprint) = match characterized {
+            Ok(Ok(out)) => out,
             Ok(Err(e)) => return Err(e),
             Err(_) => {
                 Self::contain_degraded(job, store);
@@ -1178,9 +1384,22 @@ impl PerseusServer {
             return Err(ServerError::Superseded(job.name.clone()));
         }
         state.characterized_epoch = epoch;
-        state.frontier = Some(Arc::new(frontier));
+        state.frontier = Some(frontier);
         state.profiles = Some(profiles);
         state.degraded = false;
+        // Epoch-based invalidation on re-characterization: when fresh
+        // profiles move this job to a *different* structural fingerprint,
+        // the entry under the old one describes profiles the fleet has
+        // watched drift — open a new cache epoch and drop it.
+        if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+            if let Some(prev) = state.plan_fingerprint {
+                if prev != fp {
+                    cache.advance_epoch();
+                    cache.invalidate(prev);
+                }
+            }
+            state.plan_fingerprint = Some(fp);
+        }
         if let (Some(store), Some(journal), Some(bytes)) = (store, journal.as_mut(), bytes.as_ref())
         {
             store.append_locked(journal, bytes);
@@ -1598,5 +1817,45 @@ impl PerseusServer {
         self.store
             .as_ref()
             .map(|s| s.journal.lock().path().to_path_buf())
+    }
+
+    /// Attaches (or, with `None`, detaches) the fleet-wide cross-job plan
+    /// cache. Subsequent characterizations consult it before running the
+    /// solver; a hit skips the solve entirely and is counted in the job's
+    /// [`SolverStats::cache_hits`]. Detaching never invalidates — the
+    /// cache belongs to the fleet, not this server.
+    pub fn set_plan_cache(&self, cache: Option<Arc<PlanCache>>) {
+        *self.plan_cache.write() = cache;
+    }
+
+    /// The attached fleet plan cache, if any.
+    pub fn plan_cache(&self) -> Option<Arc<PlanCache>> {
+        self.plan_cache.read().clone()
+    }
+
+    /// Bounds how many characterizations may be in flight at once
+    /// (admission control); further submissions are rejected with
+    /// [`ServerError::Overloaded`] until slots free up. `0` (the default)
+    /// means unbounded. Lowering the bound never cancels work already
+    /// admitted.
+    pub fn set_max_inflight(&self, limit: u64) {
+        self.max_inflight.store(limit, Ordering::Relaxed);
+    }
+
+    /// The configured in-flight bound (`0` = unbounded).
+    pub fn max_inflight(&self) -> u64 {
+        self.max_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Characterizations currently admitted but not yet completed.
+    pub fn inflight_characterizations(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently in-flight characterizations since
+    /// this server started — the stress tests assert it never exceeds
+    /// [`PerseusServer::max_inflight`].
+    pub fn peak_inflight_characterizations(&self) -> u64 {
+        self.peak_inflight.load(Ordering::Relaxed)
     }
 }

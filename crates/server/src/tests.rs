@@ -1207,3 +1207,467 @@ mod flight {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+mod fleet {
+    use super::*;
+    use std::time::Duration;
+
+    use perseus_store::Persist;
+
+    use crate::client::{ClientConfig, DecorrelatedJitter, JobClient};
+    use crate::fleet::{FleetConfig, FleetServer, TenantId};
+    use crate::server::{FaultInjector, SubmissionFault};
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            pipe: pipe(),
+            gpu: GpuSpec::a100_pcie(),
+        }
+    }
+
+    fn opts() -> FrontierOptions {
+        FrontierOptions {
+            tau_s: Some(5e-3),
+            max_iters: 50_000,
+            ..FrontierOptions::default()
+        }
+    }
+
+    #[test]
+    fn decorrelated_jitter_is_seed_deterministic_and_bounded() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(10);
+        let mut a = DecorrelatedJitter::new(base, cap, 42);
+        let mut b = DecorrelatedJitter::new(base, cap, 42);
+        let mut c = DecorrelatedJitter::new(base, cap, 43);
+        let mut diverged = false;
+        let mut prev = base;
+        for _ in 0..200 {
+            let da = a.next_delay();
+            // Same seed ⇒ the exact same delay sequence.
+            assert_eq!(da, b.next_delay());
+            diverged |= da != c.next_delay();
+            // Every draw honors the decorrelated-jitter envelope:
+            // uniform in [base, min(cap, 3 × previous draw)].
+            assert!(da >= base && da <= cap, "delay {da:?} out of [base, cap]");
+            assert!(
+                da <= (prev * 3).min(cap),
+                "delay {da:?} exceeds 3x previous {prev:?}"
+            );
+            prev = da;
+        }
+        assert!(diverged, "different seeds never diverged in 200 draws");
+
+        a.reset();
+        assert!(a.next_delay() <= (base * 3).min(cap));
+    }
+
+    #[test]
+    fn job_client_backoff_is_reproducible_and_legacy_ladder_is_exact() {
+        let (server, job) = server_with_job();
+        let server = std::sync::Arc::new(server);
+        let cfg = ClientConfig::default()
+            .backoff(Duration::from_micros(100))
+            .max_backoff(Duration::from_millis(5))
+            .jitter_seed(7);
+        let c1 = JobClient::with_config(std::sync::Arc::clone(&server), job, cfg);
+        let c2 = JobClient::with_config(std::sync::Arc::clone(&server), job, cfg);
+        for attempt in 0..32 {
+            assert_eq!(
+                c1.next_backoff_delay(attempt),
+                c2.next_backoff_delay(attempt),
+                "same seed must replay the same delays"
+            );
+        }
+
+        // Jitter off: the delay ladder is the exact legacy exponential.
+        let plain = JobClient::with_config(
+            std::sync::Arc::clone(&server),
+            job,
+            ClientConfig::default()
+                .backoff(Duration::from_millis(2))
+                .max_backoff(Duration::from_millis(512))
+                .no_jitter(),
+        );
+        for attempt in 0..12 {
+            let expect = Duration::from_millis(2)
+                .saturating_mul(1 << attempt.min(8))
+                .min(Duration::from_millis(512));
+            assert_eq!(plain.next_backoff_delay(attempt), expect);
+        }
+
+        // Auto mode seeds from the job name: deterministic per job, and
+        // two *different* jobs draw different sequences.
+        let auto1 = JobClient::new(std::sync::Arc::clone(&server), job);
+        let auto2 = JobClient::new(std::sync::Arc::clone(&server), job);
+        let other = JobClient::new(std::sync::Arc::clone(&server), "other-job");
+        let mut job_diverged = false;
+        for attempt in 0..32 {
+            let d = auto1.next_backoff_delay(attempt);
+            assert_eq!(d, auto2.next_backoff_delay(attempt));
+            job_diverged |= d != other.next_backoff_delay(attempt);
+        }
+        assert!(job_diverged, "distinct jobs should be decorrelated");
+    }
+
+    /// Holds the single admission slot with a real (delayed) task, then
+    /// verifies `Overloaded` both surfaces as a typed rejection and is
+    /// ridden out transparently by the retrying client.
+    #[test]
+    fn admission_control_rejects_then_client_retries_through() {
+        struct DelayFirst;
+        impl FaultInjector for DelayFirst {
+            fn submission_fault(&self, _job: &str, epoch: u64) -> SubmissionFault {
+                if epoch == 1 {
+                    SubmissionFault::Delay(Duration::from_millis(250))
+                } else {
+                    SubmissionFault::None
+                }
+            }
+        }
+
+        let (server, job) = server_with_job();
+        let server = std::sync::Arc::new(server);
+        server.set_max_inflight(1);
+        assert_eq!(server.max_inflight(), 1);
+        server.set_fault_injector(Some(std::sync::Arc::new(DelayFirst)));
+        let gpu = GpuSpec::a100_pcie();
+
+        // Claims the only slot and stalls in the worker for 250 ms.
+        let _slow = server
+            .submit_profiles(job, model_profiles(&gpu), &opts())
+            .unwrap();
+        // A bare resubmission is refused with the typed error...
+        match server.submit_profiles(job, model_profiles(&gpu), &opts()) {
+            Err(ServerError::Overloaded {
+                inflight, limit, ..
+            }) => {
+                assert_eq!((inflight, limit), (1, 1));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // ...while the retrying client backs off until the slot frees.
+        let client = JobClient::with_config(
+            std::sync::Arc::clone(&server),
+            job,
+            ClientConfig::default()
+                .retries(40)
+                .backoff(Duration::from_millis(10))
+                .max_backoff(Duration::from_millis(50))
+                .timeout(Duration::from_millis(500)),
+        );
+        let deployment = client
+            .submit_profiles_with_retry(&model_profiles(&gpu), &opts())
+            .expect("client must ride out Overloaded");
+        assert!(deployment.schedule.time_s > 0.0);
+        assert!(client.retries() > 0, "the client should have backed off");
+        assert!(server.peak_inflight_characterizations() <= 1);
+        assert_eq!(server.inflight_characterizations(), 0);
+    }
+
+    #[test]
+    fn fleet_shares_one_plan_cache_across_shards_and_jobs() {
+        let fleet = FleetServer::new(FleetConfig::default().shards(4).workers_per_shard(1));
+        let tenant = TenantId::from("ml-platform");
+        let gpu = GpuSpec::a100_pcie();
+        let names: Vec<String> = (0..12).map(|i| format!("fleet-job-{i}")).collect();
+        for n in &names {
+            fleet.register_job(spec(n)).unwrap();
+        }
+        // Jobs actually spread across shards.
+        let mut shards_used: Vec<usize> = names.iter().map(|n| fleet.shard_of(n)).collect();
+        shards_used.sort_unstable();
+        shards_used.dedup();
+        assert!(shards_used.len() > 1, "12 jobs all hashed to one shard");
+
+        // First job solves and fills the cache...
+        fleet
+            .submit_profiles(&tenant, &names[0], model_profiles(&gpu), &opts())
+            .unwrap()
+            .wait()
+            .unwrap();
+        // ...every structurally identical job after it hits, regardless
+        // of shard.
+        for n in &names[1..] {
+            fleet
+                .submit_profiles(&tenant, n, model_profiles(&gpu), &opts())
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.admitted, 12);
+        assert_eq!(stats.cache.inserts, 1, "one structure, one solve");
+        assert_eq!(stats.cache.hits, 11, "all later jobs reuse the plan");
+        // The deployed schedules are identical across jobs: selection on
+        // a shared plan.
+        let d0 = fleet
+            .job_status(&tenant, &names[0])
+            .unwrap()
+            .deployment
+            .unwrap();
+        for n in &names[1..] {
+            let d = fleet.job_status(&tenant, n).unwrap().deployment.unwrap();
+            assert_eq!(
+                d.schedule.to_bytes(),
+                d0.schedule.to_bytes(),
+                "{n}: cached deployment differs from the solved one"
+            );
+        }
+        // Straggler notifications route through the fleet too.
+        assert!(fleet
+            .set_straggler(&names[3], 0, 0.0, 1.3)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn tenant_quota_rejects_when_dry_and_refills_with_the_clock() {
+        let fleet = FleetServer::new(
+            FleetConfig::default().shards(2).tenant_quota(2.0, 1.0), // burst 2, +1 token per second
+        );
+        let tenant = TenantId::from("greedy");
+        let gpu = GpuSpec::a100_pcie();
+        for i in 0..3 {
+            fleet.register_job(spec(&format!("quota-{i}"))).unwrap();
+        }
+        fleet
+            .submit_profiles(&tenant, "quota-0", model_profiles(&gpu), &opts())
+            .unwrap()
+            .wait()
+            .unwrap();
+        fleet
+            .submit_profiles(&tenant, "quota-1", model_profiles(&gpu), &opts())
+            .unwrap()
+            .wait()
+            .unwrap();
+        match fleet.submit_profiles(&tenant, "quota-2", model_profiles(&gpu), &opts()) {
+            Err(ServerError::QuotaExhausted { tenant: t }) => assert_eq!(t, "greedy"),
+            other => panic!("expected QuotaExhausted, got {other:?}"),
+        }
+        assert_eq!(fleet.tenant_tokens(&tenant), Some(0.0));
+
+        // One fleet-clock second refills one token.
+        fleet.advance_clock(1.0);
+        assert_eq!(fleet.tenant_tokens(&tenant), Some(1.0));
+        fleet
+            .submit_profiles(&tenant, "quota-2", model_profiles(&gpu), &opts())
+            .unwrap()
+            .wait()
+            .unwrap();
+
+        let stats = fleet.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.rejected_quota, 1);
+        // An unquota'd tenant is never charged.
+        assert_eq!(fleet.tenant_tokens(&TenantId::from("idle")), None);
+    }
+
+    /// The tentpole stress test: many threads, many tenants, bounded
+    /// shards, finite quotas — and at the end, exact accounting plus
+    /// per-shard state equal to a sequential replay of the admitted work.
+    #[test]
+    fn concurrent_fleet_accounting_is_exact_and_replayable() {
+        const TENANTS: usize = 4;
+        const PER_TENANT: usize = 30;
+        const BURST: f64 = 20.0;
+
+        let cfg = FleetConfig::default()
+            .shards(3)
+            .workers_per_shard(1)
+            .max_inflight_per_shard(2)
+            .virtual_nodes(16)
+            .tenant_quota(BURST, 0.0);
+        let fleet = FleetServer::new(cfg);
+        let gpu = GpuSpec::a100_pcie();
+
+        let mut names = Vec::new();
+        for t in 0..TENANTS {
+            for i in 0..PER_TENANT {
+                let name = format!("stress-t{t}-job{i}");
+                fleet.register_job(spec(&name)).unwrap();
+                names.push(name);
+            }
+        }
+
+        // Each tenant submits from its own thread; outcomes are recorded
+        // locally so totals can be cross-checked against FleetStats.
+        let admitted: parking_lot::Mutex<Vec<String>> = parking_lot::Mutex::new(Vec::new());
+        let counts: parking_lot::Mutex<(u64, u64, u64)> = parking_lot::Mutex::new((0, 0, 0));
+        std::thread::scope(|s| {
+            for t in 0..TENANTS {
+                let fleet = &fleet;
+                let gpu = &gpu;
+                let admitted = &admitted;
+                let counts = &counts;
+                s.spawn(move || {
+                    let tenant = TenantId(format!("tenant-{t}"));
+                    let mut tickets = Vec::new();
+                    let (mut ok, mut quota, mut over) = (0u64, 0u64, 0u64);
+                    for i in 0..PER_TENANT {
+                        let name = format!("stress-t{t}-job{i}");
+                        match fleet.submit_profiles(&tenant, &name, model_profiles(gpu), &opts()) {
+                            Ok(ticket) => {
+                                ok += 1;
+                                admitted.lock().push(name);
+                                tickets.push(ticket);
+                            }
+                            Err(ServerError::QuotaExhausted { .. }) => quota += 1,
+                            Err(ServerError::Overloaded { .. }) => over += 1,
+                            Err(e) => panic!("unexpected error: {e:?}"),
+                        }
+                    }
+                    for ticket in tickets {
+                        ticket.wait().unwrap();
+                    }
+                    let mut c = counts.lock();
+                    c.0 += ok;
+                    c.1 += quota;
+                    c.2 += over;
+                });
+            }
+        });
+
+        let (ok, quota, over) = *counts.lock();
+        let stats = fleet.stats();
+        // Exact accounting: every submission landed in exactly one bucket,
+        // and the fleet's counters agree with the per-thread tallies.
+        assert_eq!(stats.submitted, (TENANTS * PER_TENANT) as u64);
+        assert_eq!(
+            stats.submitted,
+            stats.admitted
+                + stats.rejected_quota
+                + stats.rejected_overloaded
+                + stats.rejected_other
+        );
+        assert_eq!(stats.admitted, ok);
+        assert_eq!(stats.rejected_quota, quota);
+        assert_eq!(stats.rejected_overloaded, over);
+        assert_eq!(stats.rejected_other, 0);
+        // Quota math is deterministic per tenant (one thread each, zero
+        // refill): exactly burst-many submissions pass the bucket.
+        assert_eq!(
+            stats.rejected_quota,
+            (TENANTS * PER_TENANT) as u64 - TENANTS as u64 * BURST as u64
+        );
+        // No shard ever exceeded its in-flight bound.
+        for (i, shard) in fleet.shards().iter().enumerate() {
+            assert!(
+                shard.peak_inflight_characterizations() <= 2,
+                "shard {i} exceeded its admission bound: {}",
+                shard.peak_inflight_characterizations()
+            );
+            assert_eq!(shard.inflight_characterizations(), 0);
+        }
+
+        // Replay: a fresh single server per shard, fed the same
+        // registrations and only the admitted submissions, sequentially.
+        // Its state fingerprint must equal the concurrent shard's — the
+        // shared cache and the thread interleaving are both invisible in
+        // final state.
+        let admitted = admitted.lock();
+        for (i, shard) in fleet.shards().iter().enumerate() {
+            let replay = PerseusServer::with_workers(1);
+            for name in &names {
+                if fleet.shard_of(name) == i {
+                    replay.register_job(spec(name)).unwrap();
+                }
+            }
+            for name in admitted.iter() {
+                if fleet.shard_of(name) == i {
+                    replay
+                        .submit_profiles(name, model_profiles(&gpu), &opts())
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                }
+            }
+            assert_eq!(
+                shard.state_fingerprint(),
+                replay.state_fingerprint(),
+                "shard {i} diverged from its sequential replay"
+            );
+        }
+    }
+
+    /// Crash mid-fill, reopen, and the fleet cache keeps serving: replayed
+    /// characterizations hit recovered entries instead of re-solving.
+    #[test]
+    fn durable_fleet_cache_survives_crash_and_skips_resolves() {
+        let root = unique_test_dir("fleet-durable");
+        let cfg = FleetConfig::default().shards(2).workers_per_shard(1);
+        let gpu = GpuSpec::a100_pcie();
+
+        let (pre_frontier, pre_fps) = {
+            let fleet = FleetServer::open(&root, cfg.clone()).unwrap();
+            for n in ["crash-a", "crash-b"] {
+                fleet.register_job(spec(n)).unwrap();
+            }
+            let tenant = TenantId::from("acme");
+            fleet
+                .submit_profiles(&tenant, "crash-a", model_profiles(&gpu), &opts())
+                .unwrap()
+                .wait()
+                .unwrap();
+            fleet
+                .submit_profiles(&tenant, "crash-b", model_profiles(&gpu), &opts())
+                .unwrap()
+                .wait()
+                .unwrap();
+            let stats = fleet.stats();
+            assert!(fleet.plan_cache().is_durable());
+            assert_eq!(stats.cache.inserts, 1);
+            assert_eq!(stats.cache.hits, 1);
+            let frontier = fleet
+                .shard(fleet.shard_of("crash-a"))
+                .frontier("crash-a")
+                .unwrap()
+                .to_bytes();
+            (frontier, fleet.plan_cache().fingerprints())
+            // Dropped here without any graceful shutdown: the crash.
+        };
+
+        let fleet = FleetServer::open(&root, cfg).unwrap();
+        // The cache came back from its own WAL...
+        let stats = fleet.plan_cache().stats();
+        assert_eq!(stats.recovered_entries, 1, "cache entry lost in crash");
+        assert_eq!(fleet.plan_cache().fingerprints(), pre_fps);
+        // ...and journal replay answered re-characterizations from it:
+        // at least one replayed Characterized event became a lookup.
+        let avoided: u64 = fleet
+            .shards()
+            .iter()
+            .map(|s| s.durability().recharacterizations_avoided)
+            .sum();
+        assert!(avoided >= 1, "recovery re-solved despite a warm cache");
+        // Recovered state is bit-identical to the pre-crash state.
+        let post_frontier = fleet
+            .shard(fleet.shard_of("crash-a"))
+            .frontier("crash-a")
+            .unwrap()
+            .to_bytes();
+        assert_eq!(post_frontier, pre_frontier);
+        // New structurally identical work still hits without solving.
+        fleet.register_job(spec("crash-c")).unwrap();
+        fleet
+            .submit_profiles(
+                &TenantId::from("acme"),
+                "crash-c",
+                model_profiles(&gpu),
+                &opts(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let after = fleet.plan_cache().stats();
+        assert_eq!(
+            after.inserts, 0,
+            "a recovered entry should satisfy new jobs"
+        );
+        assert!(after.hits >= 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,7 +1,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::{span, Telemetry, TelemetrySink, TraceWriter};
+use crate::{Telemetry, TelemetrySink, TraceWriter};
 
 #[test]
 fn counters_register_and_accumulate() {

@@ -15,8 +15,8 @@ use std::ops::Range;
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -297,6 +297,77 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     }
 }
 
+/// Uniform choice between same-typed strategies (shim of the strategy
+/// union behind `proptest::prop_oneof!`; all arms are weighted equally).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> Union<T> {
+    /// A union drawing uniformly from `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Shim of `proptest::prop_oneof!`: picks one of the listed strategies
+/// uniformly per case (no weight syntax).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Sampling helpers (shim of `proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose size is only known inside the
+    /// test body (shim of `proptest::sample::Index`): draw one with
+    /// `any::<Index>()`, then project with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This index resolved against a collection of `size` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `size` is zero, as upstream does.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "cannot index an empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
 /// Collection strategies (shim of `proptest::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -411,6 +482,26 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr, $($fmt:tt)+) => {{
         let (l, r) = (&$left, &$right);
         if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Shim of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
         }
     }};
