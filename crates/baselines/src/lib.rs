@@ -23,9 +23,9 @@
 //!   microbatches individually, and (2) the tolerance-based acceptance can
 //!   degrade iteration time when the last stage is *not* the bottleneck.
 //!
-//! The pre-trait free functions ([`all_max_freq`], [`min_energy_oracle`],
-//! [`zeus_global_frontier`], [`zeus_per_stage_frontier`], [`envpipe`])
-//! remain as deprecated wrappers over the planner implementations.
+//! The [`Planner`] trait is the only entry point: the pre-trait free
+//! functions (`all_max_freq`, `min_energy_oracle`, `zeus_global_frontier`,
+//! `zeus_per_stage_frontier`, `envpipe`) have been removed.
 
 use perseus_core::{CoreError, EnergySchedule, PlanContext, PlanOutput, Planner};
 use perseus_gpu::FreqMHz;
@@ -324,72 +324,6 @@ pub fn potential_savings(ctx: &PlanContext<'_>) -> Result<f64, CoreError> {
     let base = all_max_schedule(ctx)?.energy_report(ctx, None);
     let oracle = min_energy_schedule(ctx)?.energy_report(ctx, None);
     Ok(1.0 - oracle.total_j() / base.total_j())
-}
-
-/// Every computation at maximum frequency — the savings baseline.
-///
-/// # Errors
-///
-/// Propagates realization errors from [`EnergySchedule::realize`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `AllMaxFreq` planner via `Planner::plan`"
-)]
-pub fn all_max_freq(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
-    all_max_schedule(ctx)
-}
-
-/// Every computation at its minimum-energy frequency.
-///
-/// # Errors
-///
-/// Propagates realization errors from [`EnergySchedule::realize`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `MinEnergyOracle` planner via `Planner::plan`"
-)]
-pub fn min_energy_oracle(ctx: &PlanContext<'_>) -> Result<EnergySchedule, CoreError> {
-    min_energy_schedule(ctx)
-}
-
-/// ZeusGlobal's raw candidate sweep. The caller Pareto-filters
-/// `(time, energy)` for frontier plots.
-///
-/// # Errors
-///
-/// Propagates realization errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `ZeusGlobal` planner via `Planner::plan`"
-)]
-pub fn zeus_global_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
-    zeus_global_sweep(ctx)
-}
-
-/// ZeusPerStage's raw candidate sweep.
-///
-/// # Errors
-///
-/// Propagates realization errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `ZeusPerStage` planner via `Planner::plan`"
-)]
-pub fn zeus_per_stage_frontier(ctx: &PlanContext<'_>) -> Result<Vec<EnergySchedule>, CoreError> {
-    zeus_per_stage_sweep(ctx)
-}
-
-/// EnvPipe's greedy schedule.
-///
-/// # Errors
-///
-/// Propagates realization errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `EnvPipe` planner via `Planner::plan`"
-)]
-pub fn envpipe(ctx: &PlanContext<'_>, opts: EnvPipeOptions) -> Result<EnergySchedule, CoreError> {
-    envpipe_schedule(ctx, opts)
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ fn main() {
                     useful_j: r.breakdown.useful_j,
                     intrinsic_j: r.breakdown.intrinsic_j,
                     extrinsic_j: r.breakdown.extrinsic_j,
+                    sleep_j: 0.0,
                 })
                 .collect(),
         });

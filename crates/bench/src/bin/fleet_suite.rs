@@ -167,6 +167,7 @@ fn main() {
                 name: job_name(i),
                 pipe: s.pipe.clone(),
                 gpu: s.gpu.clone(),
+                power_states: None,
             })
             .expect("register");
     }
@@ -230,6 +231,7 @@ fn main() {
                 name: name.clone(),
                 pipe: s.pipe.clone(),
                 gpu: s.gpu.clone(),
+                power_states: None,
             })
             .expect("register probe");
         let profiles = s.ctx().profiles;

@@ -1,0 +1,72 @@
+//! Kareus suite: joint frequency + sleep planning versus frequency-only
+//! Perseus across the Figure 8 strong-scaling sweep, with two
+//! machine-checked claim lines (Kareus never spends more than Perseus;
+//! strictly less wherever bubbles amortize sleep entry/exit latency).
+//! The process exits nonzero if either claim is violated — CI gates on
+//! it directly.
+//!
+//! With `--metrics`, characterization telemetry is recorded and the
+//! snapshot printed to **stderr**; stdout stays byte-identical. With
+//! `--bench-json <path>`, machine-readable per-config results are
+//! archived next to the stdout report. With `--svg <path>`, the
+//! per-config Kareus attribution is rendered as a stacked-bar chart with
+//! the static-sleep joules drawn as their own segment.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin kareus_suite \
+//!        [-- --metrics] [--bench-json BENCH_kareus.json] [--svg kareus.svg]`
+
+use perseus_telemetry::Telemetry;
+use perseus_viz::{breakdown_svg, BreakdownBar, BreakdownPlot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let bench_json = flag_value("--bench-json");
+    let svg_path = flag_value("--svg");
+    let tel = if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let stdout = std::io::stdout();
+    let entries =
+        perseus_bench::kareus_report_with(&mut stdout.lock(), &tel).expect("kareus claims hold");
+    if let Some(path) = bench_json {
+        perseus_bench::write_bench_json(path.as_ref(), &entries).expect("write bench json");
+    }
+    if let Some(path) = svg_path {
+        let svg = breakdown_svg(&BreakdownPlot {
+            title: "Kareus attribution (slowdown 1.2)".into(),
+            bars: entries
+                .iter()
+                .filter(|e| e.name.starts_with("kareus_suite/"))
+                .map(|e| {
+                    let sleep_j = e
+                        .extras
+                        .iter()
+                        .find(|(k, _)| k == "static_sleep_j")
+                        .map_or(0.0, |&(_, v)| v);
+                    BreakdownBar {
+                        label: e.name.trim_start_matches("kareus_suite/").into(),
+                        // StaticSleep books as useful (a parked GPU does
+                        // the cheapest possible thing); split it out so
+                        // the chart shows where Kareus parks.
+                        useful_j: e.useful_j - sleep_j,
+                        intrinsic_j: e.intrinsic_j,
+                        extrinsic_j: e.extrinsic_j,
+                        sleep_j,
+                    }
+                })
+                .collect(),
+        });
+        std::fs::write(path, svg).expect("write svg");
+    }
+    if metrics {
+        eprint!("{}", tel.snapshot().render());
+    }
+}

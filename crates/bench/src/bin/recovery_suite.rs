@@ -61,6 +61,7 @@ fn drive_history(server: &PerseusServer, pipe: &PipelineDag, profiles: &ProfileD
             name: "recovery".into(),
             pipe: pipe.clone(),
             gpu: gpu.clone(),
+            power_states: None,
         })
         .expect("register");
     server
@@ -244,6 +245,7 @@ fn main() {
                     name: name.into(),
                     pipe: pipe.clone(),
                     gpu: gpu.clone(),
+                    power_states: None,
                 })
                 .expect("register fleet job");
             fleet
@@ -288,6 +290,7 @@ fn main() {
             name: "fleet-c".into(),
             pipe: pipe.clone(),
             gpu: gpu.clone(),
+            power_states: None,
         })
         .expect("register post-recovery job");
     fleet

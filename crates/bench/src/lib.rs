@@ -12,8 +12,8 @@ pub use bench_json::{render_bench_json, write_bench_json, BenchEntry};
 pub use reports::{
     breakdown_reports_with, emulation_suite_report, emulation_suite_report_with,
     fig7_breakdown_report, fig7_breakdown_report_with, fig8_scaling_report,
-    fig8_scaling_report_with, fig9_report, fig9_report_with, table3_report, table3_report_with,
-    BreakdownRow,
+    fig8_scaling_report_with, fig9_report, fig9_report_with, kareus_report, kareus_report_with,
+    table3_report, table3_report_with, BreakdownRow,
 };
 
 use perseus_cluster::{ClusterConfig, Emulator, EmulatorError, Policy};

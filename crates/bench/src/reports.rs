@@ -727,3 +727,170 @@ pub fn breakdown_reports_with(
     fig8_scaling_impl(fig8_out, &mut cache, telemetry)?;
     Ok(rows)
 }
+
+/// The Kareus suite: joint dynamic + static planning versus
+/// frequency-only Perseus across the Figure 8 strong-scaling sweep.
+///
+/// Both policies ride the *same* Pareto frontier (Kareus starts from the
+/// Perseus characterization and only fills bubbles with sleep), so every
+/// cell compares identical iteration times; the delta is purely the
+/// static energy reclaimed from `P_blocking`. Two machine-checked claim
+/// lines gate CI:
+///
+/// 1. Kareus cluster joules never exceed Perseus at any (config,
+///    slowdown) cell, and
+/// 2. Kareus is *strictly* cheaper on every no-straggler cell whose
+///    pipeline has bubbles long enough to amortize a sleep state's
+///    entry + exit latency.
+///
+/// Returns the machine-readable entries `--bench-json` serializes.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn kareus_report(out: &mut impl Write) -> io::Result<Vec<BenchEntry>> {
+    kareus_report_with(out, &Telemetry::disabled())
+}
+
+/// Cluster-scaled joules of one attribution kind: non-straggler pipelines
+/// replicated, the straggler added, multiplied by the tensor-parallel
+/// degree — the same arithmetic as [`ClusterAttribution::total`].
+fn cluster_kind_j(a: &ClusterAttribution, kind: EnergyKind) -> f64 {
+    let stragglers = usize::from(a.straggler.is_some());
+    let non = a.non_straggler.kind(kind).total_j() * (a.n_pipelines - stragglers) as f64;
+    let s = a.straggler.as_ref().map_or(0.0, |s| s.kind(kind).total_j());
+    (non + s) * a.tensor_parallel as f64
+}
+
+/// [`kareus_report`] recording characterization counters into
+/// `telemetry`; the report is byte-identical either way.
+///
+/// # Errors
+///
+/// Propagates write failures from `out`.
+pub fn kareus_report_with(
+    out: &mut impl Write,
+    telemetry: &Telemetry,
+) -> io::Result<Vec<BenchEntry>> {
+    let suite_start = Instant::now();
+    let mut cache = BreakdownCache::new();
+    let scaling = strong_scaling_table5();
+    let degrees = [1.05, 1.1, 1.2, 1.3, 1.4, 1.5];
+    let mut dominance_holds = true;
+    let mut strict_holds = true;
+    let mut entries = Vec::new();
+
+    writeln!(
+        out,
+        "== Kareus: joint frequency + sleep planning vs frequency-only Perseus =="
+    )?;
+    writeln!(
+        out,
+        "(A100, Figure 8 strong-scaling sweep; % of Perseus cluster joules reclaimed"
+    )?;
+    writeln!(
+        out,
+        " by sleeping through pipeline bubbles; identical iteration times by design)"
+    )?;
+    for (mi, (name, _)) in SUITE_MODELS.iter().enumerate() {
+        writeln!(out, "--- {name} ---")?;
+        write!(out, "{:<26}   none", "config")?;
+        for d in degrees {
+            write!(out, " {d:>6.2}")?;
+        }
+        writeln!(out, "   windows")?;
+        for cfg in &scaling {
+            let emu = breakdown_emulator(&mut cache, mi, cfg, telemetry);
+            write!(
+                out,
+                "{:>5} GPUs x{:>3} pipes M{:<3}",
+                cfg.n_gpus, cfg.n_pipelines, cfg.n_microbatches
+            )?;
+            let causes = std::iter::once(None).chain(
+                degrees
+                    .iter()
+                    .map(|&d| Some(StragglerCause::Slowdown { degree: d })),
+            );
+            let mut no_straggler_saved = 0.0;
+            for (ci, cause) in causes.enumerate() {
+                let perseus = emu
+                    .report(Policy::Perseus, cause)
+                    .expect("report")
+                    .total_j();
+                let kareus = emu.report(Policy::Kareus, cause).expect("report").total_j();
+                dominance_holds &= kareus <= perseus + 1e-9;
+                if ci == 0 {
+                    no_straggler_saved = perseus - kareus;
+                }
+                write!(out, " {:>6.2}", (perseus - kareus) / perseus * 100.0)?;
+            }
+            // Bubbles long enough to amortize a sleep state exist exactly
+            // when the no-straggler plan carries windows; there, the win
+            // must be strict.
+            let plan = emu.plan_of(Policy::Kareus).expect("kareus plan");
+            let windows = plan
+                .sleep_plan(None)
+                .map_or(0, perseus_core::SleepPlan::window_count);
+            if windows > 0 {
+                strict_holds &= no_straggler_saved > 0.0;
+            }
+            writeln!(out, " {windows:>9}")?;
+
+            let attribution = emu
+                .attribute(
+                    Policy::Kareus,
+                    Some(StragglerCause::Slowdown { degree: 1.2 }),
+                )
+                .expect("attribution");
+            let attr = attribution.total();
+            let sleep_j = cluster_kind_j(&attribution, EnergyKind::StaticSleep);
+            let perseus_ref = emu
+                .report(
+                    Policy::Perseus,
+                    Some(StragglerCause::Slowdown { degree: 1.2 }),
+                )
+                .expect("report")
+                .total_j();
+            entries.push(
+                BenchEntry::from_breakdown(
+                    format!(
+                        "kareus_suite/{name}/{}gpus_m{}",
+                        cfg.n_gpus, cfg.n_microbatches
+                    ),
+                    0.0,
+                    &attr,
+                )
+                .with_extra("perseus_total_j", perseus_ref)
+                .with_extra("saved_vs_perseus_j", perseus_ref - attr.total_j())
+                .with_extra("static_sleep_j", sleep_j)
+                .with_extra("sleep_windows", windows as f64),
+            );
+        }
+    }
+    writeln!(
+        out,
+        "\nclaim (kareus/1): kareus cluster joules <= perseus at every cell: {}",
+        if dominance_holds { "HOLDS" } else { "VIOLATED" }
+    )?;
+    writeln!(
+        out,
+        "claim (kareus/2): strictly cheaper wherever bubbles amortize sleep latency: {}",
+        if strict_holds { "HOLDS" } else { "VIOLATED" }
+    )?;
+    if !(dominance_holds && strict_holds) {
+        return Err(io::Error::other("kareus claim gate violated"));
+    }
+    entries.insert(
+        0,
+        BenchEntry {
+            name: "kareus_suite".into(),
+            wall_time_s: suite_start.elapsed().as_secs_f64(),
+            total_energy_j: entries.iter().map(|e| e.total_energy_j).sum(),
+            useful_j: entries.iter().map(|e| e.useful_j).sum(),
+            intrinsic_j: entries.iter().map(|e| e.intrinsic_j).sum(),
+            extrinsic_j: entries.iter().map(|e| e.extrinsic_j).sum(),
+            extras: Vec::new(),
+        },
+    );
+    Ok(entries)
+}

@@ -305,6 +305,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         name: "chaos".into(),
         pipe: pipe.clone(),
         gpu: config.gpu.clone(),
+        power_states: None,
     };
     let mut server = boot()?;
     let injector = Arc::new(ScriptedInjector::new());

@@ -531,3 +531,52 @@ mod flight {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// Frequency caps interact with Kareus sleep: a cap re-clamps every
+/// cached plan and the kareus plan's sleep windows are recomputed against
+/// the capped (stretched) timeline. Under an identical fault plan that
+/// includes a cap and a straggler spike, the kareus run survives every
+/// fault and never spends more energy than frequency-only Perseus — the
+/// sleep lane only ever subtracts from idle draw.
+#[test]
+fn kareus_policy_rides_out_freq_caps_and_never_exceeds_perseus() {
+    let iterations = 40;
+    let seed = seed_with_cap_and_straggler(iterations);
+    let run = |policy: Policy| {
+        let mut emu = Emulator::new(small_config()).unwrap();
+        let cfg = ChaosConfig {
+            seed,
+            iterations,
+            policy,
+            ..Default::default()
+        };
+        let report = run_chaos(&mut emu, &cfg).unwrap();
+        (emu, report)
+    };
+    let (emu_kareus, kareus) = run(Policy::Kareus);
+    let (_, perseus) = run(Policy::Perseus);
+    assert!(kareus.faults_injected > 0, "seed {seed} must inject faults");
+    assert_eq!(kareus.faults_injected, perseus.faults_injected);
+    assert_eq!(kareus.notifications_answered, kareus.notifications_sent);
+    assert!(kareus.total_energy_j.is_finite());
+    assert!(
+        kareus.total_energy_j <= perseus.total_energy_j + 1e-6,
+        "kareus {} > perseus {}",
+        kareus.total_energy_j,
+        perseus.total_energy_j
+    );
+    // Iteration *time* is untouched: sleep fills bubbles, never the
+    // critical path, so both policies ride the same frontier.
+    assert_eq!(
+        kareus.total_time_s.to_bits(),
+        perseus.total_time_s.to_bits()
+    );
+    // The capped kareus plan still emits sleep, recomputed for the capped
+    // schedules rather than carried over stale.
+    let plan = emu_kareus.plan_of(Policy::Kareus).unwrap();
+    let sleep = plan.sleep_plan(None).expect("kareus emits a sleep plan");
+    assert!(
+        sleep.window_count() > 0,
+        "capped pipeline keeps its bubbles"
+    );
+}

@@ -9,8 +9,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use perseus_baselines::AllMaxFreq;
 use perseus_core::{
-    attribute_schedule, BloatLedger, CoreError, EnergyBreakdown, FrontierOptions, ParetoFrontier,
-    PipelineEnergy, PlanContext, PlanOutput, Planner, ScheduleAttribution,
+    attribute_schedule, attribute_schedule_with_sleep, BloatLedger, CoreError, EnergyBreakdown,
+    FrontierOptions, ParetoFrontier, PipelineEnergy, PlanContext, PlanOutput, Planner,
+    ScheduleAttribution,
 };
 use perseus_gpu::{FreqMHz, GpuSpec};
 use perseus_models::{
@@ -129,6 +130,9 @@ impl Policy {
     };
     /// Perseus: frontier lookup at `T_opt = min(T*, T')`.
     pub const Perseus: Policy = Policy { name: "perseus" };
+    /// Kareus: the Perseus frontier with sleep windows inserted into
+    /// pipeline bubbles (joint dynamic + static planning).
+    pub const Kareus: Policy = Policy { name: "kareus" };
     /// EnvPipe: intrinsic-only heuristic, unaware of stragglers.
     pub const EnvPipe: Policy = Policy { name: "envpipe" };
     /// ZeusGlobal: the lowest-energy global frequency cap whose iteration
@@ -333,7 +337,7 @@ impl Emulator {
             perseus_core::FrontierSolver::with_telemetry(&pipe, telemetry.clone())
                 .characterize(&ctx, &config.frontier)?
         };
-        let planners = PlannerRegistry::with_defaults(config.frontier.clone());
+        let planners = PlannerRegistry::with_defaults(config.frontier.clone(), &config.gpu);
         // Perseus is planned eagerly (it is the frontier just
         // characterized); baselines plan lazily on first use.
         let plan_cache = Mutex::new(HashMap::from([(
@@ -542,7 +546,12 @@ impl Emulator {
             None => None,
         };
         let plan = self.policy_plan(&ctx, policy)?;
-        let non_straggler = plan.select(t_prime).energy_report(&ctx, t_prime);
+        // Sleep-capable plans (Kareus) carry a sleep schedule per frontier
+        // point; frequency-only plans return `None` and report exactly as
+        // before.
+        let non_straggler =
+            plan.select(t_prime)
+                .energy_report_with_sleep(&ctx, t_prime, plan.sleep_plan(t_prime));
         let sync = t_prime
             .unwrap_or(non_straggler.iter_time_s)
             .max(non_straggler.iter_time_s);
@@ -588,7 +597,10 @@ impl Emulator {
         // If the belief is stale the non-straggler pipeline itself may be
         // the slowest participant.
         let sync = actual_t_prime.unwrap_or(0.0).max(schedule.time_s);
-        let non_straggler = schedule.energy_report(&ctx, Some(sync));
+        // The sleep plan follows the *believed* selection — it ships with
+        // the deployed schedule; a stale belief never re-plans sleep.
+        let non_straggler =
+            schedule.energy_report_with_sleep(&ctx, Some(sync), plan.sleep_plan(believed_t_prime));
         let straggler = match actual_t_prime {
             Some(t) => {
                 let base = self.policy_plan(&ctx, Policy::AllMax)?;
@@ -627,7 +639,12 @@ impl Emulator {
             None => None,
         };
         let plan = self.policy_plan(&ctx, policy)?;
-        let non_straggler = attribute_schedule(&ctx, plan.select(t_prime), t_prime);
+        let non_straggler = attribute_schedule_with_sleep(
+            &ctx,
+            plan.select(t_prime),
+            t_prime,
+            plan.sleep_plan(t_prime),
+        );
         let straggler = match t_prime {
             Some(t) => {
                 let base = self.policy_plan(&ctx, Policy::AllMax)?;
@@ -660,7 +677,12 @@ impl Emulator {
         let plan = self.policy_plan(&ctx, policy)?;
         let schedule = plan.select(believed_t_prime);
         let sync = actual_t_prime.unwrap_or(0.0).max(schedule.time_s);
-        let non_straggler = attribute_schedule(&ctx, schedule, Some(sync));
+        let non_straggler = attribute_schedule_with_sleep(
+            &ctx,
+            schedule,
+            Some(sync),
+            plan.sleep_plan(believed_t_prime),
+        );
         let straggler = match actual_t_prime {
             Some(t) => {
                 let base = self.policy_plan(&ctx, Policy::AllMax)?;

@@ -11,7 +11,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use perseus_baselines::{AllMaxFreq, EnvPipe, MinEnergyOracle, ZeusGlobal, ZeusPerStage};
-use perseus_core::{FrontierOptions, Perseus, Planner};
+use perseus_core::{FrontierOptions, KareusPlanner, Perseus, Planner};
+use perseus_gpu::{GpuSpec, PowerStateModel};
 
 /// A set of named [`Planner`]s behind shared trait objects.
 pub struct PlannerRegistry {
@@ -26,12 +27,18 @@ impl PlannerRegistry {
         }
     }
 
-    /// A registry holding Perseus (with the given characterization
-    /// options) and the five baselines, each under its
-    /// [`Planner::name`].
-    pub fn with_defaults(frontier: FrontierOptions) -> PlannerRegistry {
+    /// A registry holding Perseus and Kareus (with the given
+    /// characterization options), plus the five baselines, each under its
+    /// [`Planner::name`]. Kareus draws its sleep states from `gpu`'s
+    /// default power-state menu
+    /// ([`PowerStateModel::default_for`]).
+    pub fn with_defaults(frontier: FrontierOptions, gpu: &GpuSpec) -> PlannerRegistry {
         let mut r = PlannerRegistry::empty();
-        r.register(Arc::new(Perseus::new(frontier)));
+        r.register(Arc::new(Perseus::new(frontier.clone())));
+        r.register(Arc::new(KareusPlanner::new(
+            frontier,
+            PowerStateModel::default_for(gpu),
+        )));
         r.register(Arc::new(AllMaxFreq));
         r.register(Arc::new(MinEnergyOracle));
         r.register(Arc::new(EnvPipe::default()));

@@ -471,6 +471,26 @@ fn parallel_planner_sweep_matches_sequential() {
                     schedule_bits(s, &mut bits);
                 }
             }
+            PlanOutput::SleepFrontier {
+                frontier, sleep, ..
+            } => {
+                bits.push(4);
+                for pt in frontier.points() {
+                    bits.push(pt.planned_time_s.to_bits());
+                    bits.push(pt.planned_energy_j.to_bits());
+                    schedule_bits(&pt.schedule, &mut bits);
+                }
+                for plan in sleep {
+                    for stage in &plan.per_stage {
+                        bits.push(stage.len() as u64);
+                        for w in stage {
+                            bits.push(w.start_s.to_bits());
+                            bits.push(w.end_s.to_bits());
+                            bits.push(w.state_power_w.to_bits());
+                        }
+                    }
+                }
+            }
         }
         bits
     }
@@ -480,8 +500,8 @@ fn parallel_planner_sweep_matches_sequential() {
     let planners: Vec<(&'static str, Arc<dyn Planner>)> = emu.planners().iter().collect();
     assert_eq!(
         planners.len(),
-        6,
-        "Perseus plus the five baselines: {:?}",
+        7,
+        "Perseus, Kareus, and the five baselines: {:?}",
         emu.planners().names()
     );
     let sequential: Vec<Vec<u64>> = planners
@@ -654,7 +674,7 @@ fn cache_hit_plan_output_is_bitwise_identical_for_every_planner() {
     let mut fps = Vec::new();
 
     let names: Vec<_> = emu.planners().names();
-    assert_eq!(names.len(), 6, "expected perseus + five baselines");
+    assert_eq!(names.len(), 7, "expected perseus + kareus + five baselines");
     for (name, planner) in emu.planners().iter() {
         let fp = plan_fingerprint(name, emu.pipe(), &emu.config().gpu, &ctx.profiles, opts);
         assert!(
@@ -683,8 +703,174 @@ fn cache_hit_plan_output_is_bitwise_identical_for_every_planner() {
     fps.dedup();
     assert_eq!(
         fps.len(),
-        6,
+        7,
         "planner fingerprints must be pairwise distinct"
     );
-    assert_eq!(cache.stats().entries, 6);
+    assert_eq!(cache.stats().entries, 7);
+}
+
+mod kareus {
+    use super::*;
+    use std::sync::Arc;
+
+    use perseus_core::{EnergyKind, KareusPlanner, PlannerCapabilities};
+
+    #[test]
+    fn kareus_never_exceeds_perseus_and_wins_on_bubbles() {
+        let emu = Emulator::new(small_config()).unwrap();
+        for cause in [
+            None,
+            Some(StragglerCause::Slowdown { degree: 1.2 }),
+            Some(StragglerCause::Slowdown { degree: 1.4 }),
+        ] {
+            let perseus = emu.report(Policy::Perseus, cause).unwrap();
+            let kareus = emu.report(Policy::Kareus, cause).unwrap();
+            assert!(
+                kareus.total_j() <= perseus.total_j() + 1e-9,
+                "kareus burned more than perseus under {cause:?}"
+            );
+            // Deployed schedules are identical — sleep never slows the
+            // pipeline.
+            assert_eq!(
+                kareus.non_straggler.iter_time_s.to_bits(),
+                perseus.non_straggler.iter_time_s.to_bits()
+            );
+        }
+        // A 4-stage 6-microbatch 1F1B pipeline has warm-up/drain bubbles
+        // well past the default entry/exit latencies: strict win.
+        let perseus = emu.report(Policy::Perseus, None).unwrap();
+        let kareus = emu.report(Policy::Kareus, None).unwrap();
+        assert!(
+            kareus.total_j() < perseus.total_j(),
+            "bubbly pipeline must sleep profitably: {} vs {}",
+            kareus.total_j(),
+            perseus.total_j()
+        );
+    }
+
+    #[test]
+    fn kareus_attribution_moves_idle_into_static_sleep() {
+        let emu = Emulator::new(small_config()).unwrap();
+        let perseus = emu.attribute(Policy::Perseus, None).unwrap();
+        let kareus = emu.attribute(Policy::Kareus, None).unwrap();
+        let p_idle = perseus.non_straggler.kind(EnergyKind::Idle).useful_j;
+        let k_idle = kareus.non_straggler.kind(EnergyKind::Idle).useful_j;
+        let k_sleep = kareus.non_straggler.kind(EnergyKind::StaticSleep).useful_j;
+        assert_eq!(
+            perseus.non_straggler.kind(EnergyKind::StaticSleep).useful_j,
+            0.0,
+            "frequency-only planner must never book static-sleep joules"
+        );
+        assert!(k_sleep > 0.0, "kareus must book static-sleep joules");
+        assert!(k_idle < p_idle, "sleep must come out of the idle lane");
+        // Attribution total tracks the report total (conservation holds
+        // through the cluster path too).
+        let report = emu.report(Policy::Kareus, None).unwrap();
+        let attributed = kareus.total().total_j();
+        assert!(
+            (attributed - report.total_j()).abs() <= 1e-9 * report.total_j(),
+            "attributed {attributed} vs reported {}",
+            report.total_j()
+        );
+    }
+
+    #[test]
+    fn unamortizable_kareus_is_bit_identical_to_perseus() {
+        use perseus_gpu::{PowerState, PowerStateModel};
+
+        let mut emu = Emulator::new(small_config()).unwrap();
+        // Replace the registry's Kareus with one whose only state can
+        // never amortize inside a sub-second iteration.
+        emu.register_planner(Arc::new(KareusPlanner::new(
+            emu.config().frontier.clone(),
+            PowerStateModel {
+                states: vec![PowerState {
+                    name: "glacial",
+                    power_w: 1.0,
+                    entry_s: 1e6,
+                    exit_s: 1e6,
+                }],
+            },
+        )));
+        for cause in [None, Some(StragglerCause::Slowdown { degree: 1.3 })] {
+            let perseus = emu.report(Policy::Perseus, cause).unwrap();
+            let kareus = emu.report(Policy::Kareus, cause).unwrap();
+            assert_eq!(
+                kareus.total_j().to_bits(),
+                perseus.total_j().to_bits(),
+                "no profitable bubble: kareus must degenerate exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn freq_cap_reclamps_and_recomputes_sleep() {
+        let mut emu = Emulator::new(small_config()).unwrap();
+        // Prime the cache so the cap path re-clamps a cached SleepFrontier.
+        let before = emu.report(Policy::Kareus, None).unwrap();
+        let cap = FreqMHz(800);
+        emu.apply_freq_cap(cap).unwrap();
+        let after_k = emu.report(Policy::Kareus, None).unwrap();
+        let after_p = emu.report(Policy::Perseus, None).unwrap();
+        // The cap slows the pipeline; the joint plan still dominates.
+        assert!(after_k.non_straggler.iter_time_s >= before.non_straggler.iter_time_s);
+        assert!(after_k.total_j() <= after_p.total_j() + 1e-9);
+        // Sleep windows were recomputed against the capped timeline, not
+        // carried over: they still fit inside the capped iteration.
+        let plan = emu.plan_of(Policy::Kareus).unwrap();
+        let sleep = plan.sleep_plan(None).expect("kareus carries sleep");
+        let iter = plan.select(None).time_s;
+        for stage in 0..emu.config().n_stages {
+            for w in sleep.stage_windows(stage) {
+                assert!(w.end_s <= iter + 1e-9, "stale window past capped makespan");
+            }
+        }
+        assert!(sleep.window_count() > 0, "capped bubbles remain sleepable");
+    }
+
+    #[test]
+    fn registry_capabilities_replace_name_matching() {
+        let emu = Emulator::new(small_config()).unwrap();
+        for (name, planner) in emu.planners().iter() {
+            let caps = planner.capabilities();
+            if name == "kareus" {
+                assert!(caps.emits_sleep_plan);
+            } else {
+                assert_eq!(caps, PlannerCapabilities::default());
+            }
+            // Capability and output agree: only sleep-capable planners
+            // produce outputs whose sleep_plan is Some.
+            let plan = planner.plan(&emu.ctx()).unwrap();
+            assert_eq!(caps.emits_sleep_plan, plan.sleep_plan(None).is_some());
+        }
+    }
+
+    #[test]
+    fn simulate_run_books_static_sleep_for_kareus_only() {
+        use crate::run::{simulate_run_with_ledger, thermal_cycle_trace, RunConfig};
+        use perseus_core::BloatLedger;
+
+        let emu = Emulator::new(small_config()).unwrap();
+        let trace = thermal_cycle_trace(1, 1.3, 8, 3, 16);
+        let cfg = RunConfig {
+            iterations: 16,
+            reaction_delay_iters: 2,
+        };
+        let mut perseus_ledger = BloatLedger::new(4);
+        let perseus =
+            simulate_run_with_ledger(&emu, Policy::Perseus, &trace, &cfg, &mut perseus_ledger)
+                .unwrap();
+        let mut kareus_ledger = BloatLedger::new(4);
+        let kareus =
+            simulate_run_with_ledger(&emu, Policy::Kareus, &trace, &cfg, &mut kareus_ledger)
+                .unwrap();
+        assert!(kareus.total_energy_j < perseus.total_energy_j);
+        assert_eq!(perseus_ledger.kind(EnergyKind::StaticSleep).total_j(), 0.0);
+        assert!(kareus_ledger.kind(EnergyKind::StaticSleep).useful_j > 0.0);
+        // The ledger still accounts every joule of the kareus run.
+        assert!(
+            (kareus_ledger.total().total_j() - kareus.total_energy_j).abs()
+                <= 1e-9 * kareus.total_energy_j
+        );
+    }
 }

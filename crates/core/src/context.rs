@@ -45,6 +45,9 @@ pub enum CoreError {
     Fit(FitError),
     /// The frontier has no points (internal invariant breach).
     EmptyFrontier,
+    /// A power-state model is invalid for the target GPU (joint
+    /// dynamic+static planning).
+    PowerState(perseus_gpu::PowerStateError),
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +61,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Fit(e) => write!(f, "profile fit failed: {e}"),
             CoreError::EmptyFrontier => write!(f, "frontier characterization produced no points"),
+            CoreError::PowerState(e) => write!(f, "invalid power-state model: {e}"),
         }
     }
 }
@@ -109,10 +113,10 @@ impl<'a> PlanContext<'a> {
                 kind: key.kind,
             })?;
             let fit = match fits.get(&key) {
-                Some(fit) => fit.clone(),
+                Some(fit) => *fit,
                 None => {
                     let fit = profile.fit()?;
-                    fits.insert(key, fit.clone());
+                    fits.insert(key, fit);
                     fit
                 }
             };

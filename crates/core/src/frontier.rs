@@ -13,7 +13,7 @@ use crate::cache::PlanCache;
 use crate::context::{CoreError, PlanContext};
 use crate::cut::{get_next_pareto_arena, CutOutcome, CutSolver, SolverArena};
 use crate::energy::{pipeline_energy, PipelineEnergy};
-use crate::fingerprint::{plan_fingerprint, PlanFingerprint};
+use crate::fingerprint::{plan_fingerprint_with_power, PlanFingerprint};
 use crate::parallel::parallel_map;
 
 /// A realized energy schedule: planned per-computation durations lowered
@@ -114,6 +114,24 @@ impl EnergySchedule {
             ctx.gpu.blocking_w,
             t_prime,
         )
+    }
+
+    /// [`EnergySchedule::energy_report`] with an optional sleep plan
+    /// overlaid: each sleep window replaces its slice of `P_blocking`
+    /// idling with the state's actual draw, shrinking `blocking_j` by the
+    /// plan's total savings. With `None` (or an empty plan) the report is
+    /// identical to the frequency-only one.
+    pub fn energy_report_with_sleep(
+        &self,
+        ctx: &PlanContext<'_>,
+        t_prime: Option<f64>,
+        sleep: Option<&crate::sleep::SleepPlan>,
+    ) -> PipelineEnergy {
+        let mut report = self.energy_report(ctx, t_prime);
+        if let Some(plan) = sleep {
+            report.blocking_j -= plan.saved_j(ctx.gpu.blocking_w);
+        }
+        report
     }
 
     /// The frequency assigned to `node`, if it is a computation.
@@ -608,15 +626,23 @@ impl FrontierSolver {
     /// # Errors
     ///
     /// As [`FrontierSolver::characterize`]; a hit cannot fail.
+    /// The characterized frontier itself never depends on `power` — sleep
+    /// insertion happens downstream of characterization — but the
+    /// fingerprint does: a job carrying a power-state model must never
+    /// share a plan identity with a frequency-only job of the same
+    /// structure, because its deployments (frontier + sleep schedule)
+    /// differ. `None` keys exactly as before.
     pub fn characterize_cached(
         &self,
         pipe: &PipelineDag,
         gpu: &perseus_gpu::GpuSpec,
         profiles: &perseus_profiler::ProfileDb<perseus_pipeline::OpKey>,
         opts: &FrontierOptions,
+        power: Option<&perseus_gpu::PowerStateModel>,
         cache: &PlanCache,
     ) -> Result<(Arc<ParetoFrontier>, bool, PlanFingerprint), CoreError> {
-        let fp = plan_fingerprint("perseus", pipe, gpu, profiles, opts);
+        let policy = if power.is_some() { "kareus" } else { "perseus" };
+        let fp = plan_fingerprint_with_power(policy, pipe, gpu, profiles, opts, power);
         if let Some(frontier) = cache.frontier_view(fp) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             if self.telemetry.is_enabled() {

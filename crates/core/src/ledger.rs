@@ -25,6 +25,7 @@ use perseus_pipeline::{node_schedule_gaps, CompKind, PipeNode};
 
 use crate::context::PlanContext;
 use crate::frontier::EnergySchedule;
+use crate::sleep::SleepPlan;
 
 /// Joules split into the paper's three destinies.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -104,17 +105,22 @@ pub enum EnergyKind {
     /// Blocking while every stage waits for the straggler's gradient
     /// sync.
     SyncWait,
+    /// Bubble time spent parked in a GPU sleep state (transition drawn at
+    /// `P_blocking`, residual draw while parked) — the static-energy lane
+    /// a joint planner reclaims from `Idle`.
+    StaticSleep,
 }
 
 impl EnergyKind {
     /// Every kind, in ledger column order.
-    pub const ALL: [EnergyKind; 6] = [
+    pub const ALL: [EnergyKind; 7] = [
         EnergyKind::Forward,
         EnergyKind::Backward,
         EnergyKind::Recompute,
         EnergyKind::Fixed,
         EnergyKind::Idle,
         EnergyKind::SyncWait,
+        EnergyKind::StaticSleep,
     ];
 
     /// Dense index into a per-kind array (the order of
@@ -127,6 +133,7 @@ impl EnergyKind {
             EnergyKind::Fixed => 3,
             EnergyKind::Idle => 4,
             EnergyKind::SyncWait => 5,
+            EnergyKind::StaticSleep => 6,
         }
     }
 
@@ -140,6 +147,7 @@ impl EnergyKind {
             EnergyKind::Fixed => "fixed",
             EnergyKind::Idle => "idle",
             EnergyKind::SyncWait => "sync_wait",
+            EnergyKind::StaticSleep => "static_sleep",
         }
     }
 
@@ -168,7 +176,7 @@ pub struct ScheduleAttribution {
     /// Breakdown per physical stage (length = `n_stages`).
     pub per_stage: Vec<EnergyBreakdown>,
     /// Breakdown per [`EnergyKind`], indexed by [`EnergyKind::index`].
-    pub per_kind: [EnergyBreakdown; 6],
+    pub per_kind: [EnergyBreakdown; 7],
 }
 
 impl ScheduleAttribution {
@@ -198,6 +206,27 @@ pub fn attribute_schedule(
     schedule: &EnergySchedule,
     t_prime: Option<f64>,
 ) -> ScheduleAttribution {
+    attribute_schedule_with_sleep(ctx, schedule, t_prime, None)
+}
+
+/// [`attribute_schedule`] with an optional per-stage sleep plan overlaid.
+///
+/// Sleep windows carve energy out of the `Idle` lane: a window's span is
+/// priced at the sleep state's actual draw (blocking power during the
+/// entry/exit transitions, the residual state power while parked) and
+/// booked under [`EnergyKind::StaticSleep`] as useful energy — a GPU asleep
+/// in a bubble is doing exactly what the joint plan asked of it. The
+/// remaining bubble stays in `Idle` at `P_blocking`. Windows are computed
+/// by the planner against the same slack-filled timeline used here, so the
+/// per-stage window spans never exceed the idle pool and conservation
+/// stays exact: the attribution total drops by precisely the plan's
+/// [`SleepPlan::saved_j`].
+pub fn attribute_schedule_with_sleep(
+    ctx: &PlanContext<'_>,
+    schedule: &EnergySchedule,
+    t_prime: Option<f64>,
+    sleep: Option<&SleepPlan>,
+) -> ScheduleAttribution {
     let dag = &ctx.pipe.dag;
     let (gaps, makespan) = node_schedule_gaps(dag, |id, _| schedule.realized_dur[id.index()]);
     let sync = t_prime.map_or(makespan, |t| t.max(makespan));
@@ -205,7 +234,7 @@ pub fn attribute_schedule(
     let n_stages = ctx.pipe.n_stages;
 
     let mut per_stage = vec![EnergyBreakdown::default(); n_stages];
-    let mut per_kind = [EnergyBreakdown::default(); 6];
+    let mut per_kind = [EnergyBreakdown::default(); 7];
     // Per-stage occupancy of the slack-filling schedule: realized busy
     // time plus the slack each alternative additionally fills. Stages
     // execute serially and gaps never cross the next same-stage start, so
@@ -250,8 +279,19 @@ pub fn attribute_schedule(
     }
 
     // The bubble: in-pipeline blocking that survives even slack-filling.
+    // Sleep windows replace their slice of it with the state's actual
+    // draw; the subtraction is left unclamped so the lane totals match
+    // the sleep-aware energy report bit-for-bit.
     for (stage, fill) in busy_fill.iter().enumerate() {
-        let idle = p_blocking * (makespan - fill).max(0.0);
+        let mut idle = p_blocking * (makespan - fill).max(0.0);
+        if let Some(plan) = sleep {
+            for w in plan.stage_windows(stage) {
+                let cost = w.actual_j(p_blocking);
+                idle -= p_blocking * w.span_s();
+                per_stage[stage].useful_j += cost;
+                per_kind[EnergyKind::StaticSleep.index()].useful_j += cost;
+            }
+        }
         per_stage[stage].useful_j += idle;
         per_kind[EnergyKind::Idle.index()].useful_j += idle;
     }
@@ -289,7 +329,7 @@ pub struct BloatLedger {
     iterations: u64,
     total: EnergyBreakdown,
     per_stage: Vec<EnergyBreakdown>,
-    per_kind: [EnergyBreakdown; 6],
+    per_kind: [EnergyBreakdown; 7],
 }
 
 impl BloatLedger {
@@ -300,7 +340,7 @@ impl BloatLedger {
             iterations: 0,
             total: EnergyBreakdown::default(),
             per_stage: vec![EnergyBreakdown::default(); n_stages],
-            per_kind: [EnergyBreakdown::default(); 6],
+            per_kind: [EnergyBreakdown::default(); 7],
         }
     }
 

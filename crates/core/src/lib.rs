@@ -50,6 +50,7 @@ mod ledger;
 pub mod parallel;
 mod persist;
 mod planner;
+mod sleep;
 
 pub use cache::{PlanCache, PlanCacheStats};
 pub use context::{CoreError, NodePlanInfo, PlanContext};
@@ -59,15 +60,17 @@ pub use cut::{
 };
 pub use energy::{pipeline_energy, PipelineEnergy};
 pub use error::Error;
-pub use fingerprint::{plan_fingerprint, PlanFingerprint};
+pub use fingerprint::{plan_fingerprint, plan_fingerprint_with_power, PlanFingerprint};
 pub use frontier::{
     characterize, EnergySchedule, FrontierOptions, FrontierPoint, FrontierSolver, ParetoFrontier,
     SolverStats,
 };
 pub use ledger::{
-    attribute_schedule, BloatLedger, EnergyBreakdown, EnergyKind, ScheduleAttribution,
+    attribute_schedule, attribute_schedule_with_sleep, BloatLedger, EnergyBreakdown, EnergyKind,
+    ScheduleAttribution,
 };
-pub use planner::{Perseus, PlanOutput, Planner};
+pub use planner::{Perseus, PlanOutput, Planner, PlannerCapabilities};
+pub use sleep::{insert_sleep, KareusPlanner, SleepPlan, SleepWindow};
 
 #[cfg(test)]
 mod tests;

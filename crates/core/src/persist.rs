@@ -4,11 +4,12 @@
 //! time/energy), so recovery restores the exact curve the crashed server
 //! had characterized without re-running the solver.
 
-use perseus_gpu::FreqMHz;
+use perseus_gpu::{FreqMHz, PowerStateModel};
 use perseus_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 use crate::frontier::{EnergySchedule, FrontierOptions, FrontierPoint, ParetoFrontier};
 use crate::planner::PlanOutput;
+use crate::sleep::{SleepPlan, SleepWindow};
 
 impl Persist for EnergySchedule {
     fn encode(&self, w: &mut ByteWriter) {
@@ -79,6 +80,51 @@ impl Persist for ParetoFrontier {
     }
 }
 
+impl Persist for SleepWindow {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.start_s);
+        w.put_f64(self.end_s);
+        w.put_f64(self.state_power_w);
+        w.put_f64(self.entry_s);
+        w.put_f64(self.exit_s);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let window = SleepWindow {
+            start_s: r.get_f64()?,
+            end_s: r.get_f64()?,
+            state_power_w: r.get_f64()?,
+            entry_s: r.get_f64()?,
+            exit_s: r.get_f64()?,
+        };
+        // `>=` written via `partial_cmp` so a NaN endpoint is rejected too.
+        let ordered = matches!(
+            window.end_s.partial_cmp(&window.start_s),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        );
+        if !ordered {
+            return Err(StoreError::corrupt("sleep window ends before it starts"));
+        }
+        Ok(window)
+    }
+}
+
+impl Persist for SleepPlan {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.per_stage.len());
+        for stage in &self.per_stage {
+            stage.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let n = r.get_len(8)?;
+        let mut per_stage = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_stage.push(Vec::<SleepWindow>::decode(r)?);
+        }
+        Ok(SleepPlan { per_stage })
+    }
+}
+
 impl Persist for PlanOutput {
     fn encode(&self, w: &mut ByteWriter) {
         match self {
@@ -98,6 +144,16 @@ impl Persist for PlanOutput {
                 schedules.encode(w);
                 w.put_f64(*no_straggler_deadline_s);
             }
+            PlanOutput::SleepFrontier {
+                frontier,
+                power,
+                sleep,
+            } => {
+                w.put_u8(3);
+                frontier.encode(w);
+                power.encode(w);
+                sleep.encode(w);
+            }
         }
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
@@ -112,6 +168,21 @@ impl Persist for PlanOutput {
                 Ok(PlanOutput::Sweep {
                     schedules,
                     no_straggler_deadline_s: r.get_f64()?,
+                })
+            }
+            3 => {
+                let frontier = ParetoFrontier::decode(r)?;
+                let power = PowerStateModel::decode(r)?;
+                let sleep = Vec::<SleepPlan>::decode(r)?;
+                if sleep.len() != frontier.len() {
+                    return Err(StoreError::corrupt(
+                        "sleep plans do not match frontier point count",
+                    ));
+                }
+                Ok(PlanOutput::SleepFrontier {
+                    frontier,
+                    power,
+                    sleep,
                 })
             }
             t => Err(StoreError::corrupt(format!("invalid PlanOutput tag {t}"))),

@@ -14,10 +14,11 @@
 //! [`PlanOutput`] cacheable — plan once per (pipeline, profiles), select
 //! per straggler event.
 
-use perseus_gpu::FreqMHz;
+use perseus_gpu::{FreqMHz, PowerStateModel};
 
 use crate::context::{CoreError, PlanContext};
 use crate::frontier::{characterize, EnergySchedule, FrontierOptions, ParetoFrontier};
+use crate::sleep::{insert_sleep, SleepPlan};
 
 /// What a planner produced for one pipeline: the `T'`-independent artifact
 /// a deployment schedule is selected from.
@@ -39,6 +40,19 @@ pub enum PlanOutput {
         /// typically the pipeline's own all-max iteration time, so the
         /// policy never slows training unprompted.
         no_straggler_deadline_s: f64,
+    },
+    /// A frontier whose every point carries a per-stage sleep schedule
+    /// reclaiming static energy from pipeline bubbles (Kareus). Selection
+    /// is identical to `Frontier`; [`PlanOutput::sleep_plan`] exposes the
+    /// sleep schedule of the selected point.
+    SleepFrontier {
+        /// The underlying time–energy frontier.
+        frontier: ParetoFrontier,
+        /// The power-state menu the sleep plans were drawn from (kept so
+        /// frequency-cap re-clamps can re-run sleep insertion).
+        power: PowerStateModel,
+        /// One sleep plan per frontier point, in frontier order.
+        sleep: Vec<SleepPlan>,
     },
 }
 
@@ -62,7 +76,7 @@ impl PlanOutput {
     pub fn select(&self, t_prime: Option<f64>) -> &EnergySchedule {
         match self {
             PlanOutput::Schedule(s) => s,
-            PlanOutput::Frontier(f) => {
+            PlanOutput::Frontier(f) | PlanOutput::SleepFrontier { frontier: f, .. } => {
                 let t = t_prime.unwrap_or_else(|| f.t_min());
                 &f.lookup(t).schedule
             }
@@ -99,10 +113,28 @@ impl PlanOutput {
         }
     }
 
-    /// The frontier, if this is a `Frontier` output.
+    /// The frontier, if this is a `Frontier` or `SleepFrontier` output.
     pub fn as_frontier(&self) -> Option<&ParetoFrontier> {
         match self {
-            PlanOutput::Frontier(f) => Some(f),
+            PlanOutput::Frontier(f) | PlanOutput::SleepFrontier { frontier: f, .. } => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The sleep plan accompanying the schedule [`PlanOutput::select`]
+    /// picks for `t_prime`, if this output carries one.
+    ///
+    /// Uses the same frontier lookup as `select`, so the returned plan
+    /// always matches the selected schedule. `None` for frequency-only
+    /// outputs — callers treat that as "never sleeps".
+    pub fn sleep_plan(&self, t_prime: Option<f64>) -> Option<&SleepPlan> {
+        match self {
+            PlanOutput::SleepFrontier {
+                frontier, sleep, ..
+            } => {
+                let t = t_prime.unwrap_or_else(|| frontier.t_min());
+                sleep.get(frontier.lookup_index(t))
+            }
             _ => None,
         }
     }
@@ -126,7 +158,7 @@ impl PlanOutput {
     /// Consumes the output into its frontier, if any.
     pub fn into_frontier(self) -> Option<ParetoFrontier> {
         match self {
-            PlanOutput::Frontier(f) => Some(f),
+            PlanOutput::Frontier(f) | PlanOutput::SleepFrontier { frontier: f, .. } => Some(f),
             _ => None,
         }
     }
@@ -167,8 +199,39 @@ impl PlanOutput {
                 schedules: schedules.iter().map(recap).collect::<Result<_, _>>()?,
                 no_straggler_deadline_s: *no_straggler_deadline_s,
             },
+            PlanOutput::SleepFrontier {
+                frontier, power, ..
+            } => {
+                // The cap changes every point's realized timeline, so the
+                // sleep windows are re-derived from the clamped schedules
+                // rather than carried over.
+                let clamped = frontier.clamp_to_freq_cap(ctx, cap)?;
+                let sleep = clamped
+                    .points()
+                    .iter()
+                    .map(|p| insert_sleep(ctx, &p.schedule, power))
+                    .collect();
+                PlanOutput::SleepFrontier {
+                    frontier: clamped,
+                    power: power.clone(),
+                    sleep,
+                }
+            }
         })
     }
+}
+
+/// What a planner's outputs can carry, beyond the baseline "a schedule
+/// selectable by `T'`".
+///
+/// Registry consumers branch on capabilities instead of string-matching
+/// [`Planner::name`] — adding a planner never requires touching consumer
+/// `match`es again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerCapabilities {
+    /// The planner's outputs carry per-stage sleep schedules
+    /// ([`PlanOutput::sleep_plan`] can return `Some`).
+    pub emits_sleep_plan: bool,
 }
 
 /// An energy policy: plans the `T'`-independent artifact for one pipeline.
@@ -179,6 +242,13 @@ impl PlanOutput {
 pub trait Planner: Send + Sync {
     /// Stable identifier used for registry lookup and reporting.
     fn name(&self) -> &'static str;
+
+    /// What this planner's outputs carry. The default is the baseline
+    /// capability set (frequency plans only); planners that emit more
+    /// override it.
+    fn capabilities(&self) -> PlannerCapabilities {
+        PlannerCapabilities::default()
+    }
 
     /// Plans against `ctx`. The result depends only on the pipeline and
     /// its profiles, never on straggler state; selection happens in

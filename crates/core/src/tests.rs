@@ -1134,7 +1134,7 @@ mod fingerprint_and_cache {
 
         let cold_solver = FrontierSolver::new(&pipe);
         let (cold, hit0, fp0) = cold_solver
-            .characterize_cached(&pipe, &gpu, &ctx.profiles, &opts, &cache)
+            .characterize_cached(&pipe, &gpu, &ctx.profiles, &opts, None, &cache)
             .unwrap();
         assert!(!hit0, "empty cache cannot hit");
 
@@ -1142,7 +1142,7 @@ mod fingerprint_and_cache {
         // solver/server, never in the fingerprint) hits the shared entry.
         let warm_solver = FrontierSolver::new(&pipe);
         let (warm, hit1, fp1) = warm_solver
-            .characterize_cached(&pipe, &gpu, &ctx.profiles, &opts, &cache)
+            .characterize_cached(&pipe, &gpu, &ctx.profiles, &opts, None, &cache)
             .unwrap();
         assert!(hit1, "identical structure must hit");
         assert_eq!(fp0, fp1);
@@ -1278,6 +1278,319 @@ mod fingerprint_and_cache {
                 prop_assert_ne!(fp(&base), fp(&build_pipe(n + 1, m)));
                 let gpipe = PipelineBuilder::new(ScheduleKind::GPipe, n, m).build().unwrap();
                 prop_assert_ne!(fp(&base), fp(&gpipe));
+            }
+        }
+    }
+}
+
+mod sleep_tests {
+    use super::*;
+    use crate::ledger::attribute_schedule_with_sleep;
+    use crate::planner::{Perseus, PlanOutput, Planner, PlannerCapabilities};
+    use crate::sleep::{KareusPlanner, SleepPlan};
+    use perseus_gpu::{PowerState, PowerStateModel};
+
+    fn default_opts() -> FrontierOptions {
+        FrontierOptions {
+            tau_s: Some(2e-3),
+            ..FrontierOptions::default()
+        }
+    }
+
+    fn kareus_output(
+        ctx: &PlanContext<'_>,
+        power: PowerStateModel,
+    ) -> (ParetoFrontier, PowerStateModel, Vec<SleepPlan>) {
+        let planner = KareusPlanner::new(default_opts(), power);
+        assert_eq!(planner.name(), "kareus");
+        assert!(planner.capabilities().emits_sleep_plan);
+        match planner.plan(ctx).unwrap() {
+            PlanOutput::SleepFrontier {
+                frontier,
+                power,
+                sleep,
+            } => (frontier, power, sleep),
+            other => panic!("kareus must emit a sleep frontier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kareus_dominates_perseus_at_every_deadline() {
+        let gpu = GpuSpec::a100_pcie();
+        // A deep, imbalanced pipeline with few microbatches: long bubbles.
+        let pipe = build_pipe(4, 5);
+        let stages = stages_with_scales(&[1.0, 1.3, 0.8, 1.2]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let power = PowerStateModel::default_for(&gpu);
+        let (frontier, _, sleep) = kareus_output(&ctx, power);
+        let perseus = Perseus::new(default_opts()).plan(&ctx).unwrap();
+        assert_frontiers_bit_identical(&frontier, perseus.as_frontier().unwrap());
+
+        let mut any_strict = false;
+        for (point, plan) in frontier.points().iter().zip(&sleep) {
+            let t_prime = Some(point.planned_time_s);
+            let base = point.schedule.energy_report(&ctx, t_prime).total_j();
+            let joint = point
+                .schedule
+                .energy_report_with_sleep(&ctx, t_prime, Some(plan))
+                .total_j();
+            assert!(
+                joint <= base + 1e-9,
+                "kareus used more energy than perseus at T'={t_prime:?}"
+            );
+            if plan.window_count() > 0 {
+                assert!(joint < base, "windows inserted but nothing saved");
+                any_strict = true;
+            }
+        }
+        assert!(
+            any_strict,
+            "a bubbly pipeline must yield at least one profitable window"
+        );
+    }
+
+    #[test]
+    fn sleep_windows_fit_inside_the_iteration() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(4, 6);
+        let stages = stages_with_scales(&[1.0, 1.1, 0.95, 1.2]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let (frontier, _, sleep) = kareus_output(&ctx, PowerStateModel::default_for(&gpu));
+        assert_eq!(sleep.len(), frontier.len());
+        for (point, plan) in frontier.points().iter().zip(&sleep) {
+            for stage in 0..ctx.pipe.n_stages {
+                let mut prev_end = 0.0f64;
+                for w in plan.stage_windows(stage) {
+                    assert!(w.start_s >= prev_end - 1e-12, "windows overlap");
+                    assert!(w.end_s <= point.schedule.time_s + 1e-9);
+                    // Profitable by construction: the span amortizes the
+                    // transition.
+                    assert!(w.span_s() > w.entry_s + w.exit_s);
+                    assert!(w.saved_j(gpu.blocking_w) > 0.0);
+                    prev_end = w.end_s;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_latency_zero_power_state_reclaims_every_bubble() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(4, 4);
+        let stages = stages_with_scales(&[1.0, 1.25, 0.9, 1.1]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let power = PowerStateModel {
+            states: vec![PowerState {
+                name: "free-sleep",
+                power_w: 0.0,
+                entry_s: 0.0,
+                exit_s: 0.0,
+            }],
+        };
+        let (frontier, _, sleep) = kareus_output(&ctx, power);
+        for (point, plan) in frontier.points().iter().zip(&sleep) {
+            // Every positive-length bubble is reclaimed: the idle lane of
+            // the sleep-aware attribution collapses to (float) zero.
+            let attr = attribute_schedule_with_sleep(&ctx, &point.schedule, None, Some(plan));
+            let idle = attr.kind(EnergyKind::Idle).useful_j;
+            let total = attr.total.total_j();
+            assert!(
+                idle.abs() <= 1e-9 * total.max(1.0),
+                "idle lane not fully reclaimed: {idle} J of {total} J"
+            );
+            // A zero-power state draws nothing, so the static lane is
+            // free.
+            assert_eq!(attr.kind(EnergyKind::StaticSleep).useful_j, 0.0);
+        }
+    }
+
+    #[test]
+    fn unamortizable_latency_degenerates_to_perseus() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(3, 6);
+        let stages = stages_with_scales(&[1.0, 1.2, 0.9]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        // Entry alone outlasts any bubble a sub-second iteration can hold.
+        let power = PowerStateModel {
+            states: vec![PowerState {
+                name: "glacial",
+                power_w: 1.0,
+                entry_s: 1e6,
+                exit_s: 1e6,
+            }],
+        };
+        let (frontier, _, sleep) = kareus_output(&ctx, power);
+        let perseus = Perseus::new(default_opts()).plan(&ctx).unwrap();
+        assert_frontiers_bit_identical(&frontier, perseus.as_frontier().unwrap());
+        assert!(sleep.iter().all(SleepPlan::is_empty));
+        // Bit-identical selection and energy at every frontier deadline.
+        let joint = PlanOutput::SleepFrontier {
+            frontier: frontier.clone(),
+            power: PowerStateModel::none(),
+            sleep,
+        };
+        for point in perseus.as_frontier().unwrap().points() {
+            let t = Some(point.planned_time_s);
+            let a = joint.select(t);
+            let b = perseus.select(t);
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            let ja = a
+                .energy_report_with_sleep(&ctx, t, joint.sleep_plan(t))
+                .total_j();
+            let jb = b.energy_report(&ctx, t).total_j();
+            assert_eq!(ja.to_bits(), jb.to_bits());
+        }
+    }
+
+    #[test]
+    fn kareus_rejects_invalid_power_states() {
+        let gpu = GpuSpec::a100_pcie();
+        let pipe = build_pipe(2, 4);
+        let stages = stages_with_scales(&[1.0, 1.1]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let power = PowerStateModel {
+            states: vec![PowerState {
+                name: "hot",
+                power_w: gpu.blocking_w * 2.0,
+                entry_s: 0.0,
+                exit_s: 0.0,
+            }],
+        };
+        let planner = KareusPlanner::new(default_opts(), power);
+        assert!(matches!(
+            planner.plan(&ctx),
+            Err(crate::context::CoreError::PowerState(_))
+        ));
+    }
+
+    #[test]
+    fn default_planner_capabilities_are_baseline() {
+        let perseus = Perseus::new(default_opts());
+        assert_eq!(perseus.capabilities(), PlannerCapabilities::default());
+        assert!(!perseus.capabilities().emits_sleep_plan);
+    }
+
+    #[test]
+    fn sleep_frontier_persists_and_round_trips() {
+        use perseus_store::{ByteReader, ByteWriter, Persist};
+
+        let gpu = GpuSpec::a40();
+        let pipe = build_pipe(3, 5);
+        let stages = stages_with_scales(&[1.0, 1.15, 0.9]);
+        let ctx = PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+        let planner = KareusPlanner::new(default_opts(), PowerStateModel::default_for(&gpu));
+        let plan = planner.plan(&ctx).unwrap();
+
+        let mut w = ByteWriter::new();
+        plan.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = PlanOutput::decode(&mut r).unwrap();
+        match (&plan, &back) {
+            (
+                PlanOutput::SleepFrontier {
+                    frontier: fa,
+                    power: pa,
+                    sleep: sa,
+                },
+                PlanOutput::SleepFrontier {
+                    frontier: fb,
+                    power: pb,
+                    sleep: sb,
+                },
+            ) => {
+                assert_frontiers_bit_identical(fa, fb);
+                assert_eq!(pa, pb);
+                assert_eq!(sa, sb);
+            }
+            _ => panic!("round trip changed the PlanOutput variant"),
+        }
+
+        // A truncated sleep vector is refused, not silently accepted.
+        if let PlanOutput::SleepFrontier {
+            frontier,
+            power,
+            mut sleep,
+        } = plan
+        {
+            sleep.pop();
+            let broken = PlanOutput::SleepFrontier {
+                frontier,
+                power,
+                sleep,
+            };
+            let mut w = ByteWriter::new();
+            broken.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert!(PlanOutput::decode(&mut r).is_err());
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(10))]
+
+            // The conservation identity survives the sleep overlay: the
+            // sleep-aware attribution total equals the sleep-aware Eq. 3
+            // total to 1e-9 relative, and both drop below the
+            // frequency-only totals by exactly the plan's savings.
+            #[test]
+            fn sleep_attribution_conserves_energy(
+                n in 2usize..5,
+                m in 2usize..7,
+                scales in proptest::collection::vec(0.7f64..1.4, 4..5),
+                t_factor in -0.5f64..2.5,
+            ) {
+                let gpu = GpuSpec::a100_pcie();
+                let pipe = build_pipe(n, m);
+                let stages = stages_with_scales(&scales[..n]);
+                let ctx =
+                    PlanContext::from_model_profiles(&pipe, &gpu, &stages).unwrap();
+                let planner = KareusPlanner::new(
+                    default_opts(),
+                    PowerStateModel::default_for(&gpu),
+                );
+                let plan = planner.plan(&ctx).unwrap();
+                let t_prime = if t_factor < -0.25 {
+                    None
+                } else {
+                    Some(plan.select(None).time_s * t_factor)
+                };
+                let sched = plan.select(t_prime);
+                let sleep = plan.sleep_plan(t_prime);
+                prop_assert!(sleep.is_some(), "kareus always carries a plan");
+
+                let attr =
+                    attribute_schedule_with_sleep(&ctx, sched, t_prime, sleep);
+                let report = sched.energy_report_with_sleep(&ctx, t_prime, sleep);
+                let total = report.total_j();
+                prop_assert!(
+                    (attr.total.total_j() - total).abs() <= 1e-9 * total.max(1.0),
+                    "sleep conservation violated: attributed {} vs Eq.3 {}",
+                    attr.total.total_j(),
+                    total
+                );
+                let stage_sum: f64 =
+                    attr.per_stage.iter().map(|b| b.total_j()).sum();
+                let kind_sum: f64 =
+                    attr.per_kind.iter().map(|b| b.total_j()).sum();
+                prop_assert!((stage_sum - total).abs() <= 1e-9 * total.max(1.0));
+                prop_assert!((kind_sum - total).abs() <= 1e-9 * total.max(1.0));
+
+                // Differential claim at this deadline: joint never burns
+                // more than frequency-only, and the gap is exactly the
+                // plan's accounted savings.
+                let base = sched.energy_report(&ctx, t_prime).total_j();
+                let saved = sleep.unwrap().saved_j(gpu.blocking_w);
+                prop_assert!(saved >= 0.0);
+                prop_assert!(total <= base + 1e-9 * base.max(1.0));
+                prop_assert!(
+                    ((base - total) - saved).abs() <= 1e-9 * base.max(1.0)
+                );
             }
         }
     }

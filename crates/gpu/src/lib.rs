@@ -40,9 +40,11 @@
 mod device;
 mod model;
 mod persist;
+mod power_state;
 
 pub use device::{DeviceError, NoiseModel, SimGpu};
 pub use model::{FreqMHz, GpuSpec, ParetoPoint, Workload, CAP_ZONE_SLOPE};
+pub use power_state::{PowerState, PowerStateError, PowerStateModel};
 
 #[cfg(test)]
 mod tests;

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use perseus_store::{ByteReader, ByteWriter, Persist, StoreError};
 
 use crate::model::{FreqMHz, GpuSpec};
+use crate::power_state::{PowerState, PowerStateModel};
 
 impl Persist for FreqMHz {
     fn encode(&self, w: &mut ByteWriter) {
@@ -41,6 +42,54 @@ fn intern_name(name: String) -> &'static str {
     let leaked: &'static str = Box::leak(name.into_boxed_str());
     pool.push(leaked);
     leaked
+}
+
+impl Persist for PowerState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(self.name);
+        w.put_f64(self.power_w);
+        w.put_f64(self.entry_s);
+        w.put_f64(self.exit_s);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let name = intern_name(r.get_str()?);
+        let power_w = r.get_f64()?;
+        let entry_s = r.get_f64()?;
+        let exit_s = r.get_f64()?;
+        if !power_w.is_finite() || power_w < 0.0 {
+            return Err(StoreError::corrupt(format!(
+                "invalid power-state draw {power_w} W for {name:?}"
+            )));
+        }
+        if !entry_s.is_finite() || !exit_s.is_finite() || entry_s < 0.0 || exit_s < 0.0 {
+            return Err(StoreError::corrupt(format!(
+                "invalid power-state latency {entry_s}/{exit_s} s for {name:?}"
+            )));
+        }
+        Ok(PowerState {
+            name,
+            power_w,
+            entry_s,
+            exit_s,
+        })
+    }
+}
+
+impl Persist for PowerStateModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.states.len());
+        for s in &self.states {
+            s.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let n = r.get_len(8)?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(PowerState::decode(r)?);
+        }
+        Ok(PowerStateModel { states })
+    }
 }
 
 impl Persist for GpuSpec {

@@ -1,4 +1,7 @@
-use crate::{DeviceError, FreqMHz, GpuSpec, NoiseModel, SimGpu, Workload};
+use crate::{
+    DeviceError, FreqMHz, GpuSpec, NoiseModel, PowerState, PowerStateError, PowerStateModel,
+    SimGpu, Workload,
+};
 
 fn sample_workload() -> Workload {
     // Roughly a GPT-scale forward computation: ~50 ms at max A100 clock.
@@ -306,4 +309,97 @@ fn clock_skew_shifts_time_and_floors_at_zero() {
     // emulated NTP step never produces negative timestamps.
     gpu.apply_clock_skew(-1e9);
     assert_eq!(gpu.clock_s(), 0.0);
+}
+
+#[test]
+fn power_state_default_model_validates_everywhere() {
+    for gpu in [
+        GpuSpec::a100_pcie(),
+        GpuSpec::a100_sxm(),
+        GpuSpec::a40(),
+        GpuSpec::h100_sxm(),
+        GpuSpec::v100(),
+    ] {
+        let model = PowerStateModel::default_for(&gpu);
+        model.validate(&gpu).unwrap();
+        for s in &model.states {
+            assert!(s.power_w < gpu.blocking_w);
+        }
+    }
+}
+
+#[test]
+fn power_state_validation_rejects_bad_states() {
+    let gpu = GpuSpec::a100_pcie();
+    let hot = PowerStateModel {
+        states: vec![PowerState {
+            name: "hot",
+            power_w: gpu.blocking_w,
+            entry_s: 0.0,
+            exit_s: 0.0,
+        }],
+    };
+    assert!(matches!(
+        hot.validate(&gpu),
+        Err(PowerStateError::InvalidPower { .. })
+    ));
+    let laggy = PowerStateModel {
+        states: vec![PowerState {
+            name: "laggy",
+            power_w: 10.0,
+            entry_s: -1.0,
+            exit_s: 0.0,
+        }],
+    };
+    assert!(matches!(
+        laggy.validate(&gpu),
+        Err(PowerStateError::InvalidLatency { .. })
+    ));
+    // Empty models are valid: they just never sleep.
+    PowerStateModel::none().validate(&gpu).unwrap();
+}
+
+#[test]
+fn power_state_best_for_amortizes_transitions() {
+    let gpu = GpuSpec::a100_pcie();
+    let model = PowerStateModel::default_for(&gpu);
+    // Bubble shorter than every transition: no profitable state.
+    assert!(model.best_for(0.001, gpu.blocking_w).is_none());
+    // Medium bubble: the light state wins (deep can't amortize 100 ms).
+    let (s, saved) = model.best_for(0.020, gpu.blocking_w).unwrap();
+    assert_eq!(s.name, "clock-gate");
+    assert!(saved > 0.0);
+    // Long bubble: the deep state's lower draw dominates.
+    let (s, deep_saved) = model.best_for(2.0, gpu.blocking_w).unwrap();
+    assert_eq!(s.name, "deep-sleep");
+    assert!(deep_saved > saved);
+    // Savings formula matches the state's own accounting.
+    assert!((deep_saved - s.saved_j(2.0, gpu.blocking_w)).abs() < 1e-12);
+}
+
+#[test]
+fn power_state_model_persist_round_trips() {
+    use perseus_store::{ByteReader, ByteWriter, Persist};
+
+    let gpu = GpuSpec::a40();
+    let model = PowerStateModel::default_for(&gpu);
+    let mut w = ByteWriter::new();
+    model.encode(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = ByteReader::new(&bytes);
+    let back = PowerStateModel::decode(&mut r).unwrap();
+    assert_eq!(model, back);
+
+    // Corrupt draw is rejected at decode time.
+    let mut w = ByteWriter::new();
+    PowerState {
+        name: "nan",
+        power_w: f64::NAN,
+        entry_s: 0.0,
+        exit_s: 0.0,
+    }
+    .encode(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = ByteReader::new(&bytes);
+    assert!(PowerState::decode(&mut r).is_err());
 }

@@ -81,32 +81,6 @@ impl Drop for AsyncFrequencyController {
     }
 }
 
-/// How a [`JobClient`] rides out server-side trouble: per-call timeout,
-/// retry budget, and exponential backoff between attempts.
-#[deprecated(since = "0.1.0", note = "use the `ClientConfig` builder")]
-#[derive(Debug, Clone, Copy)]
-pub struct RetryPolicy {
-    /// Attempts per operation, including the first (at least 1).
-    pub max_attempts: u32,
-    /// Wait before the first retry; doubles after every failed attempt.
-    pub base_backoff: Duration,
-    /// How long one submission attempt may stay unanswered before the
-    /// client gives up on it and resubmits (epoch supersession on the
-    /// server makes resubmitting always safe).
-    pub timeout: Duration,
-}
-
-#[allow(deprecated)]
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 5,
-            base_backoff: Duration::from_millis(2),
-            timeout: Duration::from_millis(500),
-        }
-    }
-}
-
 /// How retry delays are randomized. Private so [`ClientConfig`] can stay
 /// `Copy` and grow variants without breaking callers.
 #[derive(Debug, Clone, Copy)]
@@ -192,8 +166,7 @@ impl DecorrelatedJitter {
 }
 
 /// Builder-style configuration of a [`JobClient`]: retry budget, per-call
-/// timeout, and backoff with decorrelated jitter — the named replacement
-/// for the positional [`RetryPolicy`] constructor argument.
+/// timeout, and backoff with decorrelated jitter.
 ///
 /// ```
 /// use std::time::Duration;
@@ -228,6 +201,21 @@ impl Default for ClientConfig {
 }
 
 impl ClientConfig {
+    /// Preset for Kareus jobs (registered with
+    /// [`JobSpec::power_states`](crate::JobSpec::power_states)): the
+    /// characterization a submission waits on also runs the sleep-insertion
+    /// pass over every frontier point, so the per-call timeout is doubled
+    /// (1 s) and the backoff cap raised (1024 ms). Retry budget and base
+    /// backoff match [`ClientConfig::default`]; further builder calls
+    /// refine it like any other config.
+    pub fn kareus() -> ClientConfig {
+        ClientConfig {
+            timeout: Duration::from_secs(1),
+            max_backoff: Duration::from_millis(1024),
+            ..ClientConfig::default()
+        }
+    }
+
     /// Sets the attempts per operation, including the first (floored at 1).
     pub fn retries(mut self, max_attempts: u32) -> ClientConfig {
         self.max_attempts = max_attempts.max(1);
@@ -311,21 +299,6 @@ impl ClientConfig {
     }
 }
 
-#[allow(deprecated)]
-impl From<RetryPolicy> for ClientConfig {
-    fn from(p: RetryPolicy) -> ClientConfig {
-        ClientConfig {
-            max_attempts: p.max_attempts.max(1),
-            base_backoff: p.base_backoff,
-            // The legacy ladder stopped doubling at 2^8; keep that cap and
-            // its deterministic (unjittered) delays for policy users.
-            max_backoff: p.base_backoff.saturating_mul(1 << 8),
-            timeout: p.timeout,
-            jitter: Jitter::Off,
-        }
-    }
-}
-
 /// The job-level client: the piece of the training framework that talks
 /// to the planning server about one job, hardened against the faults a
 /// production control plane actually sees — lost submissions, panicked
@@ -350,15 +323,13 @@ impl JobClient {
         JobClient::with_config(server, job, ClientConfig::default())
     }
 
-    /// A client for `job` on `server` with an explicit [`ClientConfig`]
-    /// (accepts a legacy [`RetryPolicy`] via `Into`).
+    /// A client for `job` on `server` with an explicit [`ClientConfig`].
     pub fn with_config(
         server: Arc<PerseusServer>,
         job: impl Into<String>,
-        config: impl Into<ClientConfig>,
+        config: ClientConfig,
     ) -> JobClient {
         let job = job.into();
-        let config: ClientConfig = config.into();
         let jitter = Mutex::new(config.make_jitter(&job));
         JobClient {
             server,

@@ -486,11 +486,7 @@ impl FleetServer {
     }
 
     /// [`FleetServer::client_for`] with an explicit [`ClientConfig`].
-    pub fn client_with_config(
-        &self,
-        job: impl Into<String>,
-        config: impl Into<ClientConfig>,
-    ) -> JobClient {
+    pub fn client_with_config(&self, job: impl Into<String>, config: ClientConfig) -> JobClient {
         let job = job.into();
         JobClient::with_config(Arc::clone(&self.shards[self.shard_of(&job)]), job, config)
     }

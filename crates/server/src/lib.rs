@@ -33,8 +33,6 @@ mod fleet;
 mod server;
 mod store;
 
-#[allow(deprecated)]
-pub use client::RetryPolicy;
 pub use client::{
     AsyncFrequencyController, ClientConfig, ClientSession, DecorrelatedJitter, JobClient,
 };

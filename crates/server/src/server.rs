@@ -40,10 +40,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::RwLock;
 use perseus_core::{
-    CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier, PlanCache,
-    PlanContext, PlanFingerprint, SolverStats,
+    insert_sleep, CoreError, EnergySchedule, FrontierOptions, FrontierSolver, ParetoFrontier,
+    PlanCache, PlanContext, PlanFingerprint, SleepPlan, SolverStats,
 };
-use perseus_gpu::{FreqMHz, GpuSpec};
+use perseus_gpu::{FreqMHz, GpuSpec, PowerStateModel};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
 use perseus_store::{load_snapshot, write_snapshot, Journal, Persist, StoreError};
@@ -76,6 +76,12 @@ pub struct JobSpec {
     pub pipe: PipelineDag,
     /// GPU model of the pipeline's accelerators.
     pub gpu: GpuSpec,
+    /// Sleep states the accelerators may enter during pipeline bubbles.
+    /// `Some` makes this a Kareus job: every characterization also derives
+    /// per-point [`SleepPlan`]s, and deployments carry the sleep schedule
+    /// for the deployed frontier point. `None` plans frequencies only
+    /// (classic Perseus), bit-identical to servers predating power states.
+    pub power_states: Option<PowerStateModel>,
 }
 
 /// Errors from server operations.
@@ -240,6 +246,10 @@ pub struct Deployment {
     pub planned_time_s: f64,
     /// The deployed schedule.
     pub schedule: EnergySchedule,
+    /// The sleep schedule for the deployed point, when the job was
+    /// registered with power states ([`JobSpec::power_states`]); `None`
+    /// for frequency-only jobs.
+    pub sleep: Option<SleepPlan>,
 }
 
 /// A fault to apply to one profile submission, decided by a
@@ -427,6 +437,9 @@ struct JobMut {
     characterized_epoch: u64,
     /// Profiles behind `frontier`, kept for cap-induced re-clamps.
     profiles: Option<ProfileDb<OpKey>>,
+    /// One [`SleepPlan`] per frontier point (same index order), when the
+    /// job plans sleep states; recomputed whenever `frontier` changes.
+    sleep: Option<Vec<SleepPlan>>,
     /// The last characterization attempt died (lost or panicked);
     /// lookups fall back to the previous frontier until a fresh
     /// submission deploys.
@@ -451,6 +464,9 @@ struct Job {
     name: String,
     pipe: PipelineDag,
     gpu: GpuSpec,
+    /// Sleep states available to this job's accelerators; `None` plans
+    /// frequencies only.
+    power: Option<PowerStateModel>,
     /// Reusable characterization artifacts for this job's pipeline.
     solver: FrontierSolver,
     /// Monotonic submission counter; newer submissions supersede older
@@ -465,6 +481,28 @@ struct Job {
 }
 
 impl Job {
+    /// Kareus sleep plans for every point of `frontier`, when this job was
+    /// registered with power states; `None` for frequency-only jobs.
+    /// Derived from the frontier's schedules alone (never from `T'`), so
+    /// the result is as straggler-independent as the frontier itself.
+    fn sleep_plans(
+        &self,
+        profiles: &ProfileDb<OpKey>,
+        frontier: &ParetoFrontier,
+    ) -> Result<Option<Vec<SleepPlan>>, CoreError> {
+        let Some(model) = self.power.as_ref() else {
+            return Ok(None);
+        };
+        let ctx = PlanContext::new(&self.pipe, &self.gpu, profiles.clone())?;
+        Ok(Some(
+            frontier
+                .points()
+                .iter()
+                .map(|p| insert_sleep(&ctx, &p.schedule, model))
+                .collect(),
+        ))
+    }
+
     /// Effective straggler iteration time given the active stragglers:
     /// `T' = T_min × max(degree)`.
     fn effective_t_prime(state: &JobMut) -> f64 {
@@ -496,13 +534,19 @@ impl Job {
         }
         let t_prime = Self::effective_t_prime(state);
         let frontier = state.frontier.as_ref().expect("characterized");
-        let point = frontier.lookup(t_prime);
+        let idx = frontier.lookup_index(t_prime);
+        let point = &frontier.points()[idx];
         state.version += 1;
         let deployment = Deployment {
             version: state.version,
             t_prime,
             planned_time_s: point.planned_time_s,
             schedule: point.schedule.clone(),
+            sleep: state
+                .sleep
+                .as_ref()
+                .and_then(|plans| plans.get(idx))
+                .cloned(),
         };
         state.deployed = Some(deployment.clone());
         if let Some(t0) = t0 {
@@ -840,6 +884,7 @@ impl PerseusServer {
                 name: js.name,
                 pipe: js.pipe,
                 gpu: js.gpu,
+                power: js.power,
                 solver,
                 next_epoch: AtomicU64::new(js.next_epoch),
                 degraded_lookups: AtomicU64::new(0),
@@ -849,6 +894,7 @@ impl PerseusServer {
                     frontier: js.frontier.map(Arc::new),
                     characterized_epoch: js.characterized_epoch,
                     profiles: js.profiles,
+                    sleep: js.sleep,
                     degraded: js.degraded,
                     stragglers: js.stragglers.into_iter().collect(),
                     pending: js
@@ -878,8 +924,18 @@ impl PerseusServer {
     /// drift that violates that merely leaves the event unapplied.
     fn replay_event(&self, event: JournalEvent) -> ReplayOutcome {
         match event {
-            JournalEvent::RegisterJob { name, pipe, gpu } => {
-                let _ = self.register_job(JobSpec { name, pipe, gpu });
+            JournalEvent::RegisterJob {
+                name,
+                pipe,
+                gpu,
+                power,
+            } => {
+                let _ = self.register_job(JobSpec {
+                    name,
+                    pipe,
+                    gpu,
+                    power_states: power,
+                });
             }
             JournalEvent::Characterized {
                 name,
@@ -939,9 +995,14 @@ impl PerseusServer {
         }
         let cache = self.plan_cache.read().clone();
         let outcome = match cache.as_deref() {
-            Some(cache) => job
-                .solver
-                .characterize_cached(&job.pipe, &job.gpu, &profiles, opts, cache),
+            Some(cache) => job.solver.characterize_cached(
+                &job.pipe,
+                &job.gpu,
+                &profiles,
+                opts,
+                job.power.as_ref(),
+                cache,
+            ),
             None => PlanContext::new(&job.pipe, &job.gpu, profiles.clone())
                 .and_then(|ctx| job.solver.characterize(&ctx, opts))
                 .map(|f| (Arc::new(f), false, PlanFingerprint(0))),
@@ -949,6 +1010,9 @@ impl PerseusServer {
         let Ok((frontier, cache_hit, fp)) = outcome else {
             return ReplayOutcome::CharacterizedSolved;
         };
+        // Sleep plans are a pure function of (profiles, frontier, power
+        // states), so replay rederives them bit-identically.
+        let sleep = job.sleep_plans(&profiles, &frontier).ok().flatten();
         let mut state = job.state.write();
         if state.characterized_epoch >= epoch {
             return ReplayOutcome::CharacterizedSolved;
@@ -956,6 +1020,7 @@ impl PerseusServer {
         state.characterized_epoch = epoch;
         state.frontier = Some(frontier);
         state.profiles = Some(profiles);
+        state.sleep = sleep;
         state.degraded = false;
         if cache.is_some() {
             state.plan_fingerprint = Some(fp);
@@ -1009,13 +1074,22 @@ impl PerseusServer {
     ///
     /// # Errors
     ///
-    /// [`ServerError::DuplicateJob`] if the name is taken.
+    /// [`ServerError::DuplicateJob`] if the name is taken;
+    /// [`ServerError::Core`] if the spec's power states are invalid for
+    /// its GPU (a sleep state must draw less than `P_blocking` and have
+    /// finite, non-negative transition latencies).
     pub fn register_job(&self, spec: JobSpec) -> Result<(), ServerError> {
+        if let Some(model) = spec.power_states.as_ref() {
+            model
+                .validate(&spec.gpu)
+                .map_err(|e| ServerError::Core(CoreError::PowerState(e)))?;
+        }
         let event = self.store.as_ref().map(|_| {
             JournalEvent::RegisterJob {
                 name: spec.name.clone(),
                 pipe: spec.pipe.clone(),
                 gpu: spec.gpu.clone(),
+                power: spec.power_states.clone(),
             }
             .to_bytes()
         });
@@ -1024,6 +1098,7 @@ impl PerseusServer {
             name: spec.name.clone(),
             pipe: spec.pipe,
             gpu: spec.gpu,
+            power: spec.power_states,
             solver,
             next_epoch: AtomicU64::new(0),
             degraded_lookups: AtomicU64::new(0),
@@ -1033,6 +1108,7 @@ impl PerseusServer {
                 frontier: None,
                 characterized_epoch: 0,
                 profiles: None,
+                sleep: None,
                 degraded: false,
                 stragglers: HashMap::new(),
                 pending: Vec::new(),
@@ -1350,7 +1426,14 @@ impl PerseusServer {
             match cache {
                 Some(cache) => job
                     .solver
-                    .characterize_cached(&job.pipe, &job.gpu, &profiles, opts, cache)
+                    .characterize_cached(
+                        &job.pipe,
+                        &job.gpu,
+                        &profiles,
+                        opts,
+                        job.power.as_ref(),
+                        cache,
+                    )
                     .map(|(f, _, fp)| (f, Some(fp)))
                     .map_err(ServerError::Core),
                 None => PlanContext::new(&job.pipe, &job.gpu, profiles.clone())
@@ -1358,8 +1441,16 @@ impl PerseusServer {
                     .map(|f| (Arc::new(f), None))
                     .map_err(ServerError::Core),
             }
+            .and_then(|(frontier, fp)| {
+                // The Kareus pass also runs off-lock: straggler lookups
+                // keep answering from the previous frontier + sleep plans.
+                let sleep = job
+                    .sleep_plans(&profiles, &frontier)
+                    .map_err(ServerError::Core)?;
+                Ok((frontier, fp, sleep))
+            })
         }));
-        let (frontier, fingerprint) = match characterized {
+        let (frontier, fingerprint, sleep) = match characterized {
             Ok(Ok(out)) => out,
             Ok(Err(e)) => return Err(e),
             Err(_) => {
@@ -1386,6 +1477,7 @@ impl PerseusServer {
         state.characterized_epoch = epoch;
         state.frontier = Some(frontier);
         state.profiles = Some(profiles);
+        state.sleep = sleep;
         state.degraded = false;
         // Epoch-based invalidation on re-characterization: when fresh
         // profiles move this job to a *different* structural fingerprint,
@@ -1579,11 +1671,22 @@ impl PerseusServer {
                 return Err(ServerError::NotCharacterized(name.to_string()));
             };
             job.faults_injected.fetch_add(1, Ordering::Relaxed);
-            let clamped = {
+            let (clamped, sleep) = {
                 let ctx = PlanContext::new(&job.pipe, &job.gpu, profiles)?;
-                frontier.clamp_to_freq_cap(&ctx, job.gpu.clamp_freq(cap))?
+                let clamped = frontier.clamp_to_freq_cap(&ctx, job.gpu.clamp_freq(cap))?;
+                // Capped schedules stretch, moving and widening bubbles:
+                // re-run the Kareus pass against the capped timeline.
+                let sleep = job.power.as_ref().map(|model| {
+                    clamped
+                        .points()
+                        .iter()
+                        .map(|p| insert_sleep(&ctx, &p.schedule, model))
+                        .collect::<Vec<SleepPlan>>()
+                });
+                (clamped, sleep)
             };
             state.frontier = Some(Arc::new(clamped));
+            state.sleep = sleep;
             // Journaled only on success: a cap that failed to re-realize
             // changed nothing and replays nothing.
             if let (Some(store), Some(journal), Some(bytes)) =
@@ -1601,9 +1704,7 @@ impl PerseusServer {
     /// Everything the server knows about one job in a single consistent
     /// read: current deployment, solver reuse stats, chaos counters,
     /// degradation flag, and the deployed submission epoch. This is the
-    /// one status API; the legacy `current_deployment` / `solver_stats` /
-    /// `chaos_stats` / `is_degraded` getters are deprecated wrappers over
-    /// it.
+    /// one status API.
     ///
     /// # Errors
     ///
@@ -1627,48 +1728,12 @@ impl PerseusServer {
         })
     }
 
-    /// The schedule currently deployed to the job's clients.
-    ///
-    /// # Errors
-    ///
-    /// [`ServerError::NotCharacterized`] before the first deployment.
-    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
-    pub fn current_deployment(&self, name: &str) -> Result<Deployment, ServerError> {
-        self.job_status(name)?
-            .deployment
-            .ok_or_else(|| ServerError::NotCharacterized(name.to_string()))
-    }
-
     /// The cached frontier for a job, if characterized.
     pub fn frontier(&self, name: &str) -> Option<Arc<ParetoFrontier>> {
         self.jobs
             .read()
             .get(name)
             .and_then(|j| j.state.read().frontier.clone())
-    }
-
-    /// Characterizations run for `name`, and how many of them reused the
-    /// job's cached solver artifacts (every run after the first).
-    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
-    pub fn solver_stats(&self, name: &str) -> Option<(usize, usize)> {
-        self.job_status(name)
-            .ok()
-            .map(|s| (s.solver.runs, s.solver.artifact_reuses))
-    }
-
-    /// Degradation/fault counters for `name`: lookups served while the job
-    /// was degraded, and faults the server absorbed for it.
-    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
-    pub fn chaos_stats(&self, name: &str) -> Option<ChaosStats> {
-        self.job_status(name).ok().map(|s| s.chaos)
-    }
-
-    /// Whether the job is currently degraded: its last characterization
-    /// attempt was lost or panicked, so lookups answer from the previous
-    /// deployed frontier until a fresh submission lands.
-    #[deprecated(since = "0.1.0", note = "use `PerseusServer::job_status`")]
-    pub fn is_degraded(&self, name: &str) -> bool {
-        self.job_status(name).is_ok_and(|s| s.degraded)
     }
 
     /// Registered job names.
@@ -1734,6 +1799,7 @@ impl PerseusServer {
                     name: job.name.clone(),
                     pipe: job.pipe.clone(),
                     gpu: job.gpu.clone(),
+                    power: job.power.clone(),
                     next_epoch: if for_fingerprint {
                         0
                     } else {
@@ -1742,6 +1808,7 @@ impl PerseusServer {
                     characterized_epoch: state.characterized_epoch,
                     frontier: state.frontier.as_ref().map(|f| (**f).clone()),
                     profiles: state.profiles.clone(),
+                    sleep: state.sleep.clone(),
                     degraded: state.degraded,
                     stragglers,
                     pending: state

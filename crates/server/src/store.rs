@@ -39,8 +39,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use perseus_core::{EnergySchedule, FrontierOptions, ParetoFrontier};
-use perseus_gpu::{FreqMHz, GpuSpec};
+use perseus_core::{EnergySchedule, FrontierOptions, ParetoFrontier, SleepPlan};
+use perseus_gpu::{FreqMHz, GpuSpec, PowerStateModel};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
 use perseus_store::{ByteReader, ByteWriter, Journal, Persist, StoreError};
@@ -67,6 +67,8 @@ pub(crate) enum JournalEvent {
         pipe: PipelineDag,
         /// The job's GPU model.
         gpu: GpuSpec,
+        /// Sleep states available to the job's accelerators, if any.
+        power: Option<PowerStateModel>,
     },
     /// A profile submission won epoch supersession and deployed: replay
     /// re-runs the (deterministic) characterization with these inputs.
@@ -123,11 +125,17 @@ pub(crate) enum JournalEvent {
 impl Persist for JournalEvent {
     fn encode(&self, w: &mut ByteWriter) {
         match self {
-            JournalEvent::RegisterJob { name, pipe, gpu } => {
+            JournalEvent::RegisterJob {
+                name,
+                pipe,
+                gpu,
+                power,
+            } => {
                 w.put_u8(0);
                 w.put_str(name);
                 pipe.encode(w);
                 gpu.encode(w);
+                power.encode(w);
             }
             JournalEvent::Characterized {
                 name,
@@ -181,6 +189,7 @@ impl Persist for JournalEvent {
                 name: r.get_str()?,
                 pipe: PipelineDag::decode(r)?,
                 gpu: GpuSpec::decode(r)?,
+                power: Persist::decode(r)?,
             }),
             1 => Ok(JournalEvent::Characterized {
                 name: r.get_str()?,
@@ -218,6 +227,7 @@ impl Persist for Deployment {
         w.put_f64(self.t_prime);
         w.put_f64(self.planned_time_s);
         self.schedule.encode(w);
+        self.sleep.encode(w);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         Ok(Deployment {
@@ -225,6 +235,7 @@ impl Persist for Deployment {
             t_prime: r.get_f64()?,
             planned_time_s: r.get_f64()?,
             schedule: EnergySchedule::decode(r)?,
+            sleep: Persist::decode(r)?,
         })
     }
 }
@@ -238,6 +249,8 @@ pub(crate) struct JobSnapshot {
     pub pipe: PipelineDag,
     /// The job's GPU model.
     pub gpu: GpuSpec,
+    /// Sleep states available to the job's accelerators, if any.
+    pub power: Option<PowerStateModel>,
     /// Next submission epoch counter.
     pub next_epoch: u64,
     /// Epoch of the deployed frontier (0 = none).
@@ -246,6 +259,8 @@ pub(crate) struct JobSnapshot {
     pub frontier: Option<ParetoFrontier>,
     /// Profiles behind the frontier, if any.
     pub profiles: Option<ProfileDb<OpKey>>,
+    /// One sleep plan per frontier point, for Kareus jobs.
+    pub sleep: Option<Vec<SleepPlan>>,
     /// Degradation flag.
     pub degraded: bool,
     /// Active stragglers, sorted by accelerator id for deterministic
@@ -267,10 +282,12 @@ impl Persist for JobSnapshot {
         w.put_str(&self.name);
         self.pipe.encode(w);
         self.gpu.encode(w);
+        self.power.encode(w);
         w.put_u64(self.next_epoch);
         w.put_u64(self.characterized_epoch);
         self.frontier.encode(w);
         self.profiles.encode(w);
+        self.sleep.encode(w);
         w.put_bool(self.degraded);
         self.stragglers.encode(w);
         self.pending.encode(w);
@@ -283,10 +300,12 @@ impl Persist for JobSnapshot {
             name: r.get_str()?,
             pipe: PipelineDag::decode(r)?,
             gpu: GpuSpec::decode(r)?,
+            power: Persist::decode(r)?,
             next_epoch: r.get_u64()?,
             characterized_epoch: r.get_u64()?,
             frontier: Persist::decode(r)?,
             profiles: Persist::decode(r)?,
+            sleep: Persist::decode(r)?,
             degraded: r.get_bool()?,
             stragglers: Persist::decode(r)?,
             pending: Persist::decode(r)?,

@@ -78,6 +78,7 @@ fn server_with_job() -> (PerseusServer, &'static str) {
             name: "gpt".into(),
             pipe: pipe(),
             gpu: GpuSpec::a100_pcie(),
+            power_states: None,
         })
         .unwrap();
     (server, "gpt")
@@ -91,6 +92,7 @@ fn register_and_duplicate() {
             name: "gpt".into(),
             pipe: pipe(),
             gpu: GpuSpec::a100_pcie(),
+            power_states: None,
         })
         .unwrap_err();
     assert!(matches!(err, ServerError::DuplicateJob(_)));
@@ -126,6 +128,7 @@ fn batch_submission_characterizes_all_jobs_in_parallel() {
                 name: (*name).into(),
                 pipe: pipe(),
                 gpu: gpu.clone(),
+                power_states: None,
             })
             .unwrap();
     }
@@ -527,6 +530,7 @@ fn concurrent_jobs_from_many_threads() {
                         name: name.clone(),
                         pipe: pipe(),
                         gpu: gpu.clone(),
+                        power_states: None,
                     })
                     .unwrap();
                 let mut last_version = 0;
@@ -591,6 +595,7 @@ fn faults_degrade_gracefully_and_are_counted() {
             name: "gpt".into(),
             pipe: pipe(),
             gpu: GpuSpec::a100_pcie(),
+            power_states: None,
         })
         .unwrap();
     let script = Arc::new(Script(Mutex::new(VecDeque::new())));
@@ -692,32 +697,27 @@ fn server_is_send_and_sync() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_getters_agree_with_job_status() {
-    // The legacy piecemeal getters are thin wrappers over job_status and
-    // must keep answering identically until they are removed.
+fn job_status_is_the_single_status_surface() {
+    // job_status answers everything the retired piecemeal getters
+    // (current_deployment / solver_stats / chaos_stats / is_degraded)
+    // used to, in one consistent read.
     let (server, job) = server_with_job();
     let gpu = GpuSpec::a100_pcie();
-    assert!(matches!(
-        server.current_deployment(job),
-        Err(ServerError::NotCharacterized(_))
-    ));
+    let before = server.job_status(job).unwrap();
+    assert!(before.deployment.is_none());
+    assert_eq!(before.epoch, 0);
     server
         .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
         .unwrap()
         .wait()
         .unwrap();
     let status = server.job_status(job).unwrap();
-    assert_eq!(
-        server.current_deployment(job).unwrap().version,
-        status.deployment.as_ref().unwrap().version
-    );
-    assert_eq!(
-        server.solver_stats(job),
-        Some((status.solver.runs, status.solver.artifact_reuses))
-    );
-    assert_eq!(server.chaos_stats(job), Some(status.chaos));
-    assert_eq!(server.is_degraded(job), status.degraded);
+    let deployment = status.deployment.as_ref().unwrap();
+    assert!(deployment.version >= 1);
+    assert_eq!(status.solver.runs, 1);
+    assert_eq!(status.chaos.faults_injected, 0);
+    assert!(!status.degraded);
+    assert!(status.epoch >= 1);
 }
 
 #[test]
@@ -732,6 +732,7 @@ fn client_status_surfaces_job_status() {
             name: "gpt".into(),
             pipe: pipe(),
             gpu: GpuSpec::a100_pcie(),
+            power_states: None,
         })
         .unwrap();
     let config = ClientConfig::default().retries(3);
@@ -785,6 +786,7 @@ mod durability {
                 name: "gpt".into(),
                 pipe: pipe(),
                 gpu: GpuSpec::a100_pcie(),
+                power_states: None,
             })
             .unwrap();
     }
@@ -1148,6 +1150,7 @@ mod flight {
                 name: "job".into(),
                 pipe: pipe(),
                 gpu: gpu.clone(),
+                power_states: None,
             })
             .unwrap();
         for i in 0..5 {
@@ -1170,6 +1173,7 @@ mod flight {
                 name: "job".into(),
                 pipe: pipe(),
                 gpu: gpu.clone(),
+                power_states: None,
             })
             .unwrap();
         let script = Arc::new(Script(Mutex::new(VecDeque::from([
@@ -1223,6 +1227,7 @@ mod fleet {
             name: name.into(),
             pipe: pipe(),
             gpu: GpuSpec::a100_pcie(),
+            power_states: None,
         }
     }
 
@@ -1669,5 +1674,150 @@ mod fleet {
         );
         assert!(after.hits >= 1);
         std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+mod kareus {
+    use perseus_gpu::PowerStateModel;
+
+    use super::*;
+
+    #[test]
+    fn kareus_client_config_preset_widens_timeouts() {
+        use std::time::Duration;
+
+        use crate::ClientConfig;
+
+        let cfg = ClientConfig::kareus();
+        let default = ClientConfig::default();
+        assert_eq!(cfg.call_timeout(), Duration::from_secs(1));
+        assert_eq!(cfg.backoff_cap(), Duration::from_millis(1024));
+        assert_eq!(cfg.max_attempts(), default.max_attempts());
+        assert_eq!(cfg.base_backoff(), default.base_backoff());
+        assert!(cfg.jitter_enabled());
+    }
+
+    fn kareus_server() -> (PerseusServer, &'static str) {
+        let gpu = GpuSpec::a100_pcie();
+        let server = PerseusServer::new();
+        server
+            .register_job(JobSpec {
+                name: "gpt-kareus".into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+                power_states: Some(PowerStateModel::default_for(&gpu)),
+            })
+            .unwrap();
+        (server, "gpt-kareus")
+    }
+
+    #[test]
+    fn kareus_jobs_deploy_sleep_plans_and_perseus_jobs_do_not() {
+        let gpu = GpuSpec::a100_pcie();
+        let (server, job) = kareus_server();
+        let deployment = server
+            .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let sleep = deployment.sleep.as_ref().expect("kareus job carries sleep");
+        // Every window fits inside the deployed point's iteration.
+        for stage in 0..3 {
+            for w in sleep.stage_windows(stage) {
+                assert!(w.start_s >= -1e-9);
+                assert!(w.end_s <= deployment.planned_time_s + 1e-9);
+            }
+        }
+
+        // A straggler lookup re-indexes the per-point sleep plans.
+        let slow = server
+            .set_straggler(job, 1, 0.0, 1.4)
+            .unwrap()
+            .expect("immediate deployment");
+        assert!(slow.sleep.is_some());
+
+        // A frequency-only job keeps the classic Perseus surface.
+        let (server, job) = server_with_job();
+        let deployment = server
+            .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(deployment.sleep.is_none());
+    }
+
+    #[test]
+    fn invalid_power_states_are_rejected_at_registration() {
+        let gpu = GpuSpec::a100_pcie();
+        let hot = PowerStateModel {
+            states: vec![perseus_gpu::PowerState {
+                name: "hot",
+                power_w: gpu.blocking_w * 2.0,
+                entry_s: 0.001,
+                exit_s: 0.001,
+            }],
+        };
+        let server = PerseusServer::new();
+        let err = server
+            .register_job(JobSpec {
+                name: "bad".into(),
+                pipe: pipe(),
+                gpu,
+                power_states: Some(hot),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Core(_)), "got {err:?}");
+        // The rejected job was never registered.
+        assert!(server.job_names().is_empty());
+    }
+
+    #[test]
+    fn freq_cap_recomputes_sleep_against_the_capped_timeline() {
+        let gpu = GpuSpec::a100_pcie();
+        let (server, job) = kareus_server();
+        server
+            .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let capped = server.apply_freq_cap(job, FreqMHz(800)).unwrap();
+        let sleep = capped.sleep.as_ref().expect("sleep survives the cap");
+        for stage in 0..3 {
+            for w in sleep.stage_windows(stage) {
+                assert!(w.end_s <= capped.planned_time_s + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kareus_state_survives_crash_recovery() {
+        let gpu = GpuSpec::a100_pcie();
+        let dir = unique_test_dir("kareus");
+        let fingerprint = {
+            let server = PerseusServer::open(&dir).unwrap();
+            server
+                .register_job(JobSpec {
+                    name: "gpt-kareus".into(),
+                    pipe: pipe(),
+                    gpu: gpu.clone(),
+                    power_states: Some(PowerStateModel::default_for(&gpu)),
+                })
+                .unwrap();
+            server
+                .submit_profiles(
+                    "gpt-kareus",
+                    model_profiles(&gpu),
+                    &FrontierOptions::default(),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+            server.state_fingerprint()
+        };
+        let recovered = PerseusServer::recover(&dir).unwrap();
+        assert_eq!(recovered.state_fingerprint(), fingerprint);
+        let status = recovered.job_status("gpt-kareus").unwrap();
+        assert!(status.deployment.unwrap().sleep.is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

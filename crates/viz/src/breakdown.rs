@@ -1,6 +1,7 @@
 //! Stacked-bar energy-breakdown charts (the paper's Figure 7 style):
 //! one bar per (workload, policy) with its joules split into useful /
-//! intrinsic-bloat / extrinsic-bloat segments.
+//! intrinsic-bloat / extrinsic-bloat segments, plus an optional static
+//! sleep segment for Kareus plans that park GPUs through bubbles.
 
 /// One stacked bar: a labeled energy split in joules.
 #[derive(Debug, Clone)]
@@ -11,13 +12,16 @@ pub struct BreakdownBar {
     pub useful_j: f64,
     /// Intrinsic-bloat joules (middle segment).
     pub intrinsic_j: f64,
-    /// Extrinsic-bloat joules (top segment).
+    /// Extrinsic-bloat joules (upper segment).
     pub extrinsic_j: f64,
+    /// Static joules spent parked in sleep states (top segment; zero
+    /// for frequency-only policies, where it is simply not drawn).
+    pub sleep_j: f64,
 }
 
 impl BreakdownBar {
     fn total(&self) -> f64 {
-        self.useful_j + self.intrinsic_j + self.extrinsic_j
+        self.useful_j + self.intrinsic_j + self.extrinsic_j + self.sleep_j
     }
 }
 
@@ -36,11 +40,12 @@ const MARGIN_L: f64 = 78.0;
 const MARGIN_R: f64 = 24.0;
 const MARGIN_T: f64 = 44.0;
 const MARGIN_B: f64 = 72.0;
-/// Segment colors, bottom to top: useful, intrinsic, extrinsic.
-const SEGMENTS: [(&str, &str); 3] = [
+/// Segment colors, bottom to top: useful, intrinsic, extrinsic, sleep.
+const SEGMENTS: [(&str, &str); 4] = [
     ("useful", "#2ca02c"),
     ("intrinsic bloat", "#ff7f0e"),
     ("extrinsic bloat", "#d62728"),
+    ("static sleep", "#1f77b4"),
 ];
 
 fn esc(s: &str) -> String {
@@ -133,7 +138,7 @@ pub fn breakdown_svg(plot: &BreakdownPlot) -> String {
         for ((_, color), seg) in
             SEGMENTS
                 .iter()
-                .zip([bar.useful_j, bar.intrinsic_j, bar.extrinsic_j])
+                .zip([bar.useful_j, bar.intrinsic_j, bar.extrinsic_j, bar.sleep_j])
         {
             if !seg.is_finite() || seg <= 0.0 {
                 continue;

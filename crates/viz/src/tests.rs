@@ -164,11 +164,12 @@ mod breakdown {
             useful_j: u,
             intrinsic_j: i,
             extrinsic_j: e,
+            sleep_j: 0.0,
         }
     }
 
     #[test]
-    fn breakdown_svg_stacks_three_segments_per_bar() {
+    fn breakdown_svg_stacks_segments_per_bar() {
         let svg = breakdown_svg(&BreakdownPlot {
             title: "Figure 7".into(),
             bars: vec![
@@ -178,13 +179,28 @@ mod breakdown {
         });
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
-        // 2 bars x 3 segments, plus 3 legend swatches, frame, background.
+        // 2 bars x 3 drawn segments, plus 4 legend swatches, frame,
+        // background; the zero sleep segment is legend-only.
         assert_eq!(svg.matches("#2ca02c").count(), 3); // 2 useful + legend
         assert_eq!(svg.matches("#ff7f0e").count(), 3);
         assert_eq!(svg.matches("#d62728").count(), 3);
+        assert_eq!(svg.matches("#1f77b4").count(), 1); // legend only
         assert!(svg.contains("all-max") && svg.contains("perseus"));
         assert!(svg.contains("extrinsic bloat"));
         assert!(svg.contains("energy (J)"));
+    }
+
+    #[test]
+    fn breakdown_svg_draws_static_sleep_as_its_own_segment() {
+        let mut kareus = bar("kareus", 100.0, 5.0, 10.0);
+        kareus.sleep_j = 4.0;
+        let svg = breakdown_svg(&BreakdownPlot {
+            title: "Kareus".into(),
+            bars: vec![bar("perseus", 100.0, 5.0, 10.0), kareus],
+        });
+        // One sleep rect for the Kareus bar plus the legend swatch.
+        assert_eq!(svg.matches("#1f77b4").count(), 2);
+        assert!(svg.contains("static sleep"));
     }
 
     #[test]

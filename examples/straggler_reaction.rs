@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name: "bloom-3b".into(),
         pipe: pipe.clone(),
         gpu: gpu.clone(),
+        power_states: None,
     })?;
 
     // Client side: the online profiler measures each computation type.

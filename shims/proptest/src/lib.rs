@@ -297,10 +297,13 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     }
 }
 
+/// One arm of a [`Union`]: a boxed generator drawing a value from the rng.
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
 /// Uniform choice between same-typed strategies (shim of the strategy
 /// union behind `proptest::prop_oneof!`; all arms are weighted equally).
 pub struct Union<T> {
-    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+    arms: Vec<UnionArm<T>>,
 }
 
 impl<T> Union<T> {
@@ -309,7 +312,7 @@ impl<T> Union<T> {
     /// # Panics
     ///
     /// Panics if `arms` is empty.
-    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
+    pub fn new(arms: Vec<UnionArm<T>>) -> Union<T> {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         Union { arms }
     }

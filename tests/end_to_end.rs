@@ -69,6 +69,7 @@ fn full_workflow_with_online_profiling() {
             name: "bert".into(),
             pipe: pipe.clone(),
             gpu: gpu.clone(),
+            power_states: None,
         })
         .expect("register");
     let d0 = server
