@@ -33,13 +33,13 @@
 //!        [--bench-json BENCH_perseus.json] [--flight-dump flight.json] \
 //!        [--durable-dir /tmp/perseus-journal]`
 
+use perseus_bench::SuiteTelemetry;
 use perseus_chaos::{run_chaos, ChaosConfig};
 use perseus_cluster::{ClusterConfig, Emulator, Policy};
 use perseus_core::FrontierOptions;
 use perseus_gpu::GpuSpec;
 use perseus_models::zoo;
 use perseus_pipeline::ScheduleKind;
-use perseus_telemetry::Telemetry;
 
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
@@ -63,15 +63,11 @@ fn main() {
     let seed = arg_value(&args, "--seed").unwrap_or(0);
     let iterations = arg_value(&args, "--iterations").unwrap_or(100) as usize;
     let max_degraded = arg_value(&args, "--max-degraded");
-    let metrics = args.iter().any(|a| a == "--metrics");
+    let suite = SuiteTelemetry::from_args(&args);
     let bench_json = arg_str(&args, "--bench-json");
     let flight_dump = arg_str(&args, "--flight-dump");
     let durable_dir = arg_str(&args, "--durable-dir");
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tel = suite.telemetry().clone();
 
     if seed == 0 {
         // Fault-free: exactly the emulation suite, same code path.
@@ -81,9 +77,7 @@ fn main() {
         if let Some(path) = bench_json {
             perseus_bench::write_bench_json(path.as_ref(), &entries).expect("write bench json");
         }
-        if metrics {
-            eprint!("{}", tel.snapshot().render());
-        }
+        suite.finish();
         return;
     }
 
@@ -198,10 +192,9 @@ fn main() {
             failed = true;
         }
     }
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
     if failed {
+        suite.finish();
         std::process::exit(1);
     }
+    suite.finish();
 }

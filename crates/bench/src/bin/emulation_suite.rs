@@ -17,28 +17,22 @@
 //! Run: `cargo run --release -p perseus-bench --bin emulation_suite \
 //!        [-- --metrics] [--bench-json BENCH_perseus.json]`
 
-use perseus_telemetry::Telemetry;
+use perseus_bench::SuiteTelemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics = args.iter().any(|a| a == "--metrics");
+    let suite = SuiteTelemetry::from_args(&args);
     let bench_json = args
         .iter()
         .position(|a| a == "--bench-json")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tel = suite.telemetry().clone();
     let stdout = std::io::stdout();
     let entries = perseus_bench::emulation_suite_report_with(&mut stdout.lock(), &tel)
         .expect("write to stdout");
     if let Some(path) = bench_json {
         perseus_bench::write_bench_json(path.as_ref(), &entries).expect("write bench json");
     }
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
+    suite.finish();
 }

@@ -11,22 +11,18 @@
 //! Run: `cargo run --release -p perseus-bench --bin fig7_breakdown \
 //!        [-- --svg fig7.svg] [--metrics]`
 
-use perseus_telemetry::Telemetry;
+use perseus_bench::SuiteTelemetry;
 use perseus_viz::{breakdown_svg, BreakdownBar, BreakdownPlot};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics = args.iter().any(|a| a == "--metrics");
+    let suite = SuiteTelemetry::from_args(&args);
     let svg_path = args
         .iter()
         .position(|a| a == "--svg")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tel = suite.telemetry().clone();
 
     let stdout = std::io::stdout();
     let rows = perseus_bench::fig7_breakdown_report_with(&mut stdout.lock(), &tel)
@@ -48,7 +44,5 @@ fn main() {
         });
         std::fs::write(&path, svg).expect("write svg");
     }
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
+    suite.finish();
 }

@@ -8,18 +8,13 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin fig8_scaling [-- --metrics]`
 
-use perseus_telemetry::Telemetry;
+use perseus_bench::SuiteTelemetry;
 
 fn main() {
-    let metrics = std::env::args().any(|a| a == "--metrics");
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite = SuiteTelemetry::from_args(&args);
+    let tel = suite.telemetry().clone();
     let stdout = std::io::stdout();
     perseus_bench::fig8_scaling_report_with(&mut stdout.lock(), &tel).expect("write to stdout");
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
+    suite.finish();
 }

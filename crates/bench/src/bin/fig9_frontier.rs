@@ -13,19 +13,14 @@
 //!
 //! Run: `cargo run --release -p perseus-bench --bin fig9_frontier [-- --appendix] [-- --metrics]`
 
-use perseus_telemetry::Telemetry;
+use perseus_bench::SuiteTelemetry;
 
 fn main() {
-    let appendix = std::env::args().any(|a| a == "--appendix");
-    let metrics = std::env::args().any(|a| a == "--metrics");
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let appendix = args.iter().any(|a| a == "--appendix");
+    let suite = SuiteTelemetry::from_args(&args);
+    let tel = suite.telemetry().clone();
     let stdout = std::io::stdout();
     perseus_bench::fig9_report_with(&mut stdout.lock(), appendix, &tel).expect("write to stdout");
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
+    suite.finish();
 }

@@ -28,6 +28,7 @@
 
 use std::time::Instant;
 
+use perseus_bench::SuiteTelemetry;
 use perseus_core::{
     plan_fingerprint, FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext,
 };
@@ -35,7 +36,6 @@ use perseus_gpu::GpuSpec;
 use perseus_models::{min_imbalance_partition, zoo};
 use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleKind};
 use perseus_server::{FleetConfig, FleetServer, JobSpec, TenantId};
-use perseus_telemetry::Telemetry;
 
 fn arg_str(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -113,15 +113,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics = args.iter().any(|a| a == "--metrics");
+    let suite = SuiteTelemetry::from_args(&args);
     let bench_json = arg_str(&args, "--bench-json");
     let n_jobs = arg_usize(&args, "--jobs").unwrap_or(1000);
     let n_shards = arg_usize(&args, "--shards").unwrap_or(4);
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tel = suite.telemetry().clone();
 
     // 20 distinct structures: GPT-3 XL at 4 depths x 5 microbatch
     // counts. A fleet is structurally repetitive — the same zoo entries
@@ -361,10 +357,9 @@ fn main() {
         .with_extra("cached_speedup", speedup);
         perseus_bench::write_bench_json(path.as_ref(), &[entry]).expect("write bench json");
     }
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
     if failed {
+        suite.finish();
         std::process::exit(1);
     }
+    suite.finish();
 }

@@ -15,12 +15,12 @@
 //! Run: `cargo run --release -p perseus-bench --bin kareus_suite \
 //!        [-- --metrics] [--bench-json BENCH_kareus.json] [--svg kareus.svg]`
 
-use perseus_telemetry::Telemetry;
+use perseus_bench::SuiteTelemetry;
 use perseus_viz::{breakdown_svg, BreakdownBar, BreakdownPlot};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let metrics = args.iter().any(|a| a == "--metrics");
+    let suite = SuiteTelemetry::from_args(&args);
     let flag_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -28,11 +28,7 @@ fn main() {
     };
     let bench_json = flag_value("--bench-json");
     let svg_path = flag_value("--svg");
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tel = suite.telemetry().clone();
     let stdout = std::io::stdout();
     let entries =
         perseus_bench::kareus_report_with(&mut stdout.lock(), &tel).expect("kareus claims hold");
@@ -66,7 +62,5 @@ fn main() {
         });
         std::fs::write(path, svg).expect("write svg");
     }
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
+    suite.finish();
 }

@@ -1,0 +1,288 @@
+//! Observability suite: the claim gate for the streaming telemetry
+//! pipeline (time-series store, drift detectors, SLO engine, fleet
+//! rollup, HTTP endpoint).
+//!
+//! Four claims, each gating the exit code:
+//!
+//! 1. **Drift caught within bound** — a scripted
+//!    [`FaultKind::DriftBurst`] (sustained 1.5× straggler) injected at a
+//!    known iteration of a chaos run must raise a firing alert within 10
+//!    iterations of onset, and no alert may precede the fault.
+//! 2. **Zero false positives** — the fault-free seed-0 chaos run must
+//!    emit zero alerts over its whole length.
+//! 3. **Exact fleet rollup** — under `sharded_telemetry`, every counter
+//!    and histogram sample in [`FleetServer::metrics_rollup`] must equal
+//!    the sum of the corresponding per-registry samples (shards plus the
+//!    fleet's own registry), exactly.
+//! 4. **Observation changes nothing** — the table 3 and figure 9 reports
+//!    rendered with live telemetry *and* a live streaming pipeline must
+//!    be byte-identical to the golden fixtures recorded without either.
+//!
+//! Stdout is deterministic (claim lines only); `--bench-json PATH`
+//! writes the machine-readable artifact. `--metrics` prints the suite's
+//! own telemetry snapshot to stderr; `--serve <addr>` keeps serving
+//! `/metrics`, `/alerts`, `/slo`, `/health` after the run.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin obs_suite \
+//!        [-- --bench-json BENCH_obs.json] [--metrics] [--serve 127.0.0.1:9184]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use perseus_bench::SuiteTelemetry;
+use perseus_chaos::{run_chaos, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+use perseus_cluster::{
+    simulate_run, simulate_run_observed, ClusterConfig, Emulator, Policy, RunConfig,
+};
+use perseus_core::FrontierOptions;
+use perseus_gpu::GpuSpec;
+use perseus_models::zoo;
+use perseus_pipeline::ScheduleKind;
+use perseus_server::{FleetConfig, FleetServer, JobSpec, TenantId};
+use perseus_telemetry::{AlertState, ObsPipeline, Telemetry};
+
+const TABLE3_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/table3_intrinsic.txt"
+);
+const FIG9_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/fig9_frontier.txt"
+);
+
+/// Iterations the detectors get to flag a drift burst.
+const DRIFT_BOUND: u64 = 10;
+
+fn cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        model: zoo::gpt3_xl(4),
+        gpu: GpuSpec::a100_pcie(),
+        n_stages: 4,
+        n_microbatches: 8,
+        n_pipelines: 4,
+        tensor_parallel: 1,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions {
+            tau_s: Some(2e-3),
+            max_iters: 50_000,
+            stretch: true,
+            warm_start: true,
+        },
+    }
+}
+
+fn claim(name: &str, holds: bool, failed: &mut bool) {
+    println!("{name}: {}", if holds { "HOLDS" } else { "FAILED" });
+    if !holds {
+        *failed = true;
+    }
+}
+
+fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = SuiteTelemetry::from_args(&args);
+    let bench_json = arg_str(&args, "--bench-json");
+    let tel = suite.telemetry().clone();
+    let mut failed = false;
+    let started = Instant::now();
+
+    println!("== Observability suite: drift detection + rollup + pipeline inertness ==");
+
+    // [1] Scripted drift burst: sustained 1.5x slowdown at iteration 60
+    // of 120. The streaming detectors watch energy/iteration, sync time,
+    // and degraded-lookup rate; any of them catching the step counts.
+    const ONSET: usize = 60;
+    let plan = FaultPlan::from_events(
+        0,
+        vec![FaultEvent {
+            at_iteration: ONSET,
+            kind: FaultKind::DriftBurst {
+                pipeline: 1,
+                degree: 1.5,
+            },
+        }],
+    );
+    let mut emu = Emulator::with_telemetry(cluster_config(), tel.clone()).expect("emulator");
+    let drifted = run_chaos(
+        &mut emu,
+        &ChaosConfig {
+            seed: 0,
+            iterations: 120,
+            plan: Some(plan),
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("drift chaos run");
+    let first_firing = drifted
+        .alerts
+        .iter()
+        .find(|a| a.state == AlertState::Firing)
+        .map(|a| a.iteration);
+    let detection_latency = first_firing.map(|at| at.saturating_sub(ONSET as u64));
+    claim(
+        "[1] drift burst flagged within 10 iterations of onset",
+        matches!(detection_latency, Some(lag) if lag <= DRIFT_BOUND)
+            && drifted.alerts.iter().all(|a| a.iteration >= ONSET as u64),
+        &mut failed,
+    );
+
+    // [2] Seed 0 is the empty plan: a fault-free run must stay silent.
+    let mut emu = Emulator::new(cluster_config()).expect("emulator");
+    let quiet = run_chaos(
+        &mut emu,
+        &ChaosConfig {
+            seed: 0,
+            iterations: 200,
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("fault-free chaos run");
+    claim(
+        "[2] zero false positives over 200 fault-free iterations (seed 0)",
+        quiet.faults_injected == 0 && quiet.alerts.is_empty(),
+        &mut failed,
+    );
+
+    // [3] Exact rollup: disjoint per-shard registries, so every
+    // rolled-up sample must equal the sum over the per-registry samples.
+    let fleet_tel = Telemetry::enabled();
+    let fleet = Arc::new(FleetServer::with_telemetry(
+        FleetConfig::default()
+            .shards(3)
+            .workers_per_shard(1)
+            .sharded_telemetry(true),
+        fleet_tel.clone(),
+    ));
+    let tenant = TenantId::from("obs-suite");
+    let emu = Emulator::new(cluster_config()).expect("emulator");
+    let profiles = perseus_chaos::model_profiles(emu.pipe(), &cluster_config().gpu, emu.stages());
+    for name in ["job-a", "job-b", "job-c", "job-d"] {
+        fleet
+            .register_job(JobSpec {
+                name: name.into(),
+                pipe: emu.pipe().clone(),
+                gpu: cluster_config().gpu,
+                power_states: None,
+            })
+            .expect("register");
+        fleet
+            .submit_profiles(&tenant, name, profiles.clone(), &FrontierOptions::default())
+            .expect("submit")
+            .wait()
+            .expect("characterize");
+        fleet.job_status(&tenant, name).expect("status");
+    }
+    let mut registries: Vec<_> = fleet
+        .shards()
+        .iter()
+        .map(|s| s.telemetry().snapshot())
+        .collect();
+    registries.push(fleet_tel.snapshot());
+    let rollup = fleet.metrics_rollup();
+    let mut samples_checked = 0usize;
+    let mut exact = true;
+    for (name, labels, value) in rollup.iter() {
+        if name.starts_with("perseus_fleet_") {
+            continue; // synthesized by the rollup itself
+        }
+        if name.ends_with("_p50") || name.ends_with("_p90") || name.ends_with("_p99") {
+            continue; // derived quantiles are not summable
+        }
+        let labels: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let sum: f64 = registries
+            .iter()
+            .filter_map(|s| s.value_of(name, &labels))
+            .sum();
+        if (value - sum).abs() > 1e-9 {
+            eprintln!("rollup mismatch: {name}{labels:?} rollup={value} sum={sum}");
+            exact = false;
+        }
+        samples_checked += 1;
+    }
+    claim(
+        "[3] sharded rollup equals per-registry sums exactly",
+        exact
+            && samples_checked > 0
+            && rollup.value_of("perseus_fleet_admitted_total", &[]) == Some(4.0),
+        &mut failed,
+    );
+
+    // [4] Pipeline inertness: table 3 and figure 9 rendered with live
+    // telemetry and a live obs pipeline must match the golden fixtures
+    // byte for byte. The pipeline here is additionally fed a full
+    // emulator run first, so "enabled" means genuinely active.
+    let obs = Arc::new(ObsPipeline::default());
+    let active_tel = Telemetry::enabled();
+    let emu = Emulator::with_telemetry(cluster_config(), active_tel.clone()).expect("emulator");
+    let run_cfg = RunConfig {
+        iterations: 16,
+        reaction_delay_iters: 1,
+    };
+    let plain = simulate_run(&emu, Policy::Perseus, &[], &run_cfg).expect("plain run");
+    let observed =
+        simulate_run_observed(&emu, Policy::Perseus, &[], &run_cfg, &obs).expect("observed run");
+    let runs_identical = plain.total_energy_j.to_bits() == observed.total_energy_j.to_bits()
+        && plain.total_time_s.to_bits() == observed.total_time_s.to_bits();
+
+    let mut table3_out = Vec::new();
+    perseus_bench::table3_report_with(&mut table3_out, &active_tel).expect("table3");
+    let mut fig9_out = Vec::new();
+    perseus_bench::fig9_report_with(&mut fig9_out, false, &active_tel).expect("fig9");
+    let table3_golden = std::fs::read(TABLE3_GOLDEN).expect("read table3 golden");
+    let fig9_golden = std::fs::read(FIG9_GOLDEN).expect("read fig9 golden");
+    claim(
+        "[4] enabled pipeline leaves table3/fig9 byte-identical to the goldens",
+        runs_identical && table3_out == table3_golden && fig9_out == fig9_golden,
+        &mut failed,
+    );
+
+    println!(
+        "alerts: drifted fired={} cleared={}; detection latency {} iters; \
+         rollup samples checked {samples_checked}",
+        drifted.alerts_fired,
+        drifted.alerts_cleared,
+        detection_latency.map_or(-1_i64, |l| l as i64),
+    );
+
+    if let Some(path) = bench_json {
+        let entry = perseus_bench::BenchEntry {
+            name: "obs_suite/drift_rollup_inertness".to_string(),
+            wall_time_s: started.elapsed().as_secs_f64(),
+            total_energy_j: drifted.total_energy_j,
+            useful_j: 0.0,
+            intrinsic_j: 0.0,
+            extrinsic_j: 0.0,
+            extras: Vec::new(),
+        }
+        .with_extra(
+            "detection_latency_iters",
+            detection_latency.map_or(-1.0, |l| l as f64),
+        )
+        .with_extra("alerts_fired", drifted.alerts_fired as f64)
+        .with_extra("alerts_cleared", drifted.alerts_cleared as f64)
+        .with_extra("false_positives_seed0", quiet.alerts.len() as f64)
+        .with_extra("rollup_samples_checked", samples_checked as f64)
+        .with_extra("obs_ingested", obs.ingested() as f64);
+        perseus_bench::write_bench_json(path.as_ref(), &[entry]).expect("write bench json");
+    }
+
+    // The served pipeline is the one the inertness run filled: /alerts
+    // and /slo reflect a real observed run, /metrics the suite's own
+    // registry.
+    suite.attach_pipeline(obs);
+    if failed {
+        suite.finish();
+        std::process::exit(1);
+    }
+    suite.finish();
+}

@@ -31,11 +31,11 @@
 
 use std::time::Instant;
 
+use perseus_bench::SuiteTelemetry;
 use perseus_core::{FrontierOptions, FrontierSolver, ParetoFrontier, PlanContext, SolverStats};
 use perseus_gpu::GpuSpec;
 use perseus_models::{min_imbalance_partition, zoo};
 use perseus_pipeline::{PipelineBuilder, PipelineDag, ScheduleKind};
-use perseus_telemetry::Telemetry;
 
 fn arg_str(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -124,7 +124,7 @@ impl Workbench {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics = args.iter().any(|a| a == "--metrics");
+    let suite = SuiteTelemetry::from_args(&args);
     let bench_json = arg_str(&args, "--bench-json");
     // Unit time in milliseconds; defaults to the paper's 1 ms testbed
     // setting. Fine steps are exactly the regime the incremental solver
@@ -134,11 +134,7 @@ fn main() {
     // the advantage shrinks — measurable via this flag.)
     let tau_s = Some(arg_f64(&args, "--tau-ms").map_or(1e-3, |ms| ms * 1e-3));
     let n_microbatches = arg_f64(&args, "--microbatches").map_or(32, |m| m as usize);
-    let tel = if metrics {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tel = suite.telemetry().clone();
 
     // The headline workload: GPT-3 6.7B has exactly 32 decoder layers, so
     // a 32-stage split puts one layer per stage — the deepest pipeline the
@@ -272,10 +268,9 @@ fn main() {
         .with_extra("frontier_points", warm_frontier.points().len() as f64);
         perseus_bench::write_bench_json(path.as_ref(), &[entry]).expect("write bench json");
     }
-    if metrics {
-        eprint!("{}", tel.snapshot().render());
-    }
     if failed {
+        suite.finish();
         std::process::exit(1);
     }
+    suite.finish();
 }

@@ -7,6 +7,7 @@
 
 mod bench_json;
 mod reports;
+mod suite;
 
 pub use bench_json::{render_bench_json, write_bench_json, BenchEntry};
 pub use reports::{
@@ -15,6 +16,7 @@ pub use reports::{
     fig8_scaling_report_with, fig9_report, fig9_report_with, kareus_report, kareus_report_with,
     table3_report, table3_report_with, BreakdownRow,
 };
+pub use suite::SuiteTelemetry;
 
 use perseus_cluster::{ClusterConfig, Emulator, EmulatorError, Policy};
 use perseus_core::FrontierOptions;

@@ -1,0 +1,102 @@
+//! Shared observability plumbing for the suite binaries.
+//!
+//! Every suite understands the same two flags:
+//!
+//! * `--metrics` — record telemetry during the run and print the metrics
+//!   snapshot to **stderr** when the suite finishes. Stdout stays
+//!   byte-identical to the flag-free run (the golden-trace CI gates rely
+//!   on this).
+//! * `--serve <addr>` — additionally keep the process alive after the
+//!   run, serving `/metrics`, `/alerts`, `/slo`, and `/health` over HTTP
+//!   at `addr` (e.g. `127.0.0.1:9184`; port 0 picks an ephemeral port).
+//!   The bound URL is announced on stderr.
+//!
+//! [`SuiteTelemetry`] centralizes the parsing, the enabled/disabled
+//! telemetry handle, and the end-of-run behavior, so every binary treats
+//! the flags identically.
+
+use std::sync::Arc;
+
+use perseus_telemetry::{Endpoints, ObsPipeline, Telemetry, TelemetryServer};
+
+/// The per-binary observability harness: parse once at startup, call
+/// [`SuiteTelemetry::finish`] after the suite's stdout is complete.
+pub struct SuiteTelemetry {
+    telemetry: Telemetry,
+    metrics: bool,
+    serve: Option<String>,
+    pipeline: Option<Arc<ObsPipeline>>,
+}
+
+impl SuiteTelemetry {
+    /// Parses `--metrics` and `--serve <addr>` out of `args` (the
+    /// program's arguments, program name already skipped). Telemetry is
+    /// enabled iff either flag is present.
+    pub fn from_args(args: &[String]) -> SuiteTelemetry {
+        let metrics = args.iter().any(|a| a == "--metrics");
+        let serve = args
+            .iter()
+            .position(|a| a == "--serve")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        let telemetry = if metrics || serve.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        SuiteTelemetry {
+            telemetry,
+            metrics,
+            serve,
+            pipeline: None,
+        }
+    }
+
+    /// The telemetry handle the suite should instrument with (disabled
+    /// unless `--metrics` or `--serve` was passed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Whether any observability flag was passed.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics || self.serve.is_some()
+    }
+
+    /// Attaches a streaming pipeline so a served `/alerts` and `/slo`
+    /// carry the suite's detector and SLO state instead of empty arrays.
+    pub fn attach_pipeline(&mut self, pipeline: Arc<ObsPipeline>) {
+        self.pipeline = Some(pipeline);
+    }
+
+    /// End-of-run behavior: under `--metrics`, prints the snapshot render
+    /// to stderr (exactly `eprint!("{}", snapshot.render())`, as the
+    /// suites always did); under `--serve`, binds the HTTP endpoint and
+    /// parks the process so the suite's results stay scrapeable.
+    pub fn finish(self) {
+        if self.metrics {
+            eprint!("{}", self.telemetry.snapshot().render());
+        }
+        if let Some(addr) = self.serve {
+            let mut endpoints = Endpoints::from_telemetry(self.telemetry.clone());
+            if let Some(pipeline) = self.pipeline {
+                endpoints = endpoints.with_pipeline(pipeline);
+            }
+            match TelemetryServer::bind(addr.as_str(), endpoints) {
+                Ok(server) => {
+                    eprintln!(
+                        "serving telemetry on {} (ctrl-c to stop)",
+                        server.base_url()
+                    );
+                    loop {
+                        std::thread::park();
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to bind telemetry server on {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}

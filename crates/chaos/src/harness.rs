@@ -20,7 +20,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use perseus_cluster::{Emulator, EmulatorError, Policy, StragglerTimeline, TraceEvent};
+use perseus_cluster::{
+    Emulator, EmulatorError, Policy, StragglerCause, StragglerTimeline, TraceEvent,
+};
 use perseus_gpu::GpuSpec;
 use perseus_models::StageWorkloads;
 use perseus_pipeline::{CompKind, OpKey, PipelineDag};
@@ -29,7 +31,7 @@ use perseus_server::{
     ClientConfig, DurabilityStats, FaultInjector, JobClient, JobSpec, PerseusServer, ServerError,
     SubmissionFault,
 };
-use perseus_telemetry::{FlightSnapshot, IterationSample};
+use perseus_telemetry::{Alert, AlertState, FlightSnapshot, IterationSample};
 
 use crate::plan::{FaultKind, FaultPlan};
 
@@ -99,6 +101,11 @@ pub struct ChaosConfig {
     /// and in-memory runs produce identical reports — durability is
     /// invisible to the planning path.
     pub durable_dir: Option<PathBuf>,
+    /// Explicit fault schedule, overriding seed derivation. The scripted
+    /// path (built with [`FaultPlan::from_events`]) is how tests place a
+    /// [`FaultKind::DriftBurst`] at a known iteration; `None` derives the
+    /// plan from `seed` as always.
+    pub plan: Option<FaultPlan>,
 }
 
 impl Default for ChaosConfig {
@@ -111,6 +118,7 @@ impl Default for ChaosConfig {
             retry: ClientConfig::default(),
             flight_dump: None,
             durable_dir: None,
+            plan: None,
         }
     }
 }
@@ -163,6 +171,15 @@ pub struct ChaosReport {
     /// run (each crash-restart starts a fresh set). All zero for
     /// in-memory runs.
     pub durability: DurabilityStats,
+    /// Every alert the streaming detectors emitted during the run, in
+    /// emission order — accumulated from [`PerseusServer::observe_iteration`]
+    /// as the run goes, so alerts survive a [`FaultKind::CrashRestart`]
+    /// that resets the server-side pipeline.
+    pub alerts: Vec<Alert>,
+    /// Alerts that transitioned to firing.
+    pub alerts_fired: u64,
+    /// Alerts that cleared again (hysteresis satisfied).
+    pub alerts_cleared: u64,
 }
 
 /// Accumulates `b` into `a`, field by field: each server incarnation
@@ -281,10 +298,12 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     // Durable runs draw from the extended fault vocabulary (crashes and
     // journal corruption need a durable directory to bite); in-memory
     // runs keep the historical stream so seeded traces stay byte-stable.
-    let plan = if cfg.durable_dir.is_some() {
-        FaultPlan::from_seed_durable(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu)
-    } else {
-        FaultPlan::from_seed(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu)
+    let plan = match &cfg.plan {
+        Some(plan) => plan.clone(),
+        None if cfg.durable_dir.is_some() => {
+            FaultPlan::from_seed_durable(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu)
+        }
+        None => FaultPlan::from_seed(cfg.seed, cfg.iterations, config.n_pipelines, &config.gpu),
     };
 
     // Server side: one registered job driven through the retrying client.
@@ -347,6 +366,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     let mut degraded_carry = 0u64;
     let mut retries_carry = 0u64;
     let mut durability_acc = DurabilityStats::default();
+    let mut alerts: Vec<Alert> = Vec::new();
 
     for iter in 0..cfg.iterations {
         let faults_before = faults_injected;
@@ -434,6 +454,21 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
                         journal_corruptions += 1;
                     }
                 }
+                FaultKind::DriftBurst { pipeline, degree } => {
+                    // A sustained slowdown: identical plumbing to a
+                    // straggler spike, but the degree is scripted, so the
+                    // step the detectors must catch is exact.
+                    trace.push(TraceEvent {
+                        at_iteration: iter,
+                        pipeline,
+                        cause: Some(StragglerCause::Slowdown {
+                            degree: degree.max(1.0),
+                        }),
+                    });
+                    notifications_sent += 1;
+                    client.notify_straggler_with_retry(pipeline, 0.0, degree.max(1.0))?;
+                    notifications_answered += 1;
+                }
             }
         }
 
@@ -445,11 +480,13 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         total_time += report.sync_time_s;
         min_iter_time = min_iter_time.min(report.sync_time_s);
 
-        // Flight recorder: one sample per iteration. The attribution twin
-        // of the report splits the same joules into useful / intrinsic /
-        // extrinsic; the deployed frequency envelope comes from the same
-        // believed-deadline selection the report uses. Observe-only — no
-        // accumulator above reads anything recorded here.
+        // Flight recorder + streaming detectors: one sample per
+        // iteration. The attribution twin of the report splits the same
+        // joules into useful / intrinsic / extrinsic; the deployed
+        // frequency envelope comes from the same believed-deadline
+        // selection the report uses. Observe-only — no accumulator above
+        // reads anything recorded here; the alerts the pipeline emits are
+        // collected into the report but never steer the run.
         let breakdown = emu
             .attribute_with_belief(cfg.policy, believed, actual)?
             .total();
@@ -461,18 +498,21 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         }
         let status = server.job_status("chaos")?;
         let degraded_now = status.chaos.degraded_lookups;
-        server.flight_recorder().record(IterationSample {
-            iteration: iter as u64,
-            sync_time_s: report.sync_time_s,
-            useful_j: breakdown.useful_j,
-            intrinsic_j: breakdown.intrinsic_j,
-            extrinsic_j: breakdown.extrinsic_j,
-            freq_min_mhz: if freq_min == u32::MAX { 0 } else { freq_min },
-            freq_max_mhz: freq_max,
-            degraded: status.degraded,
-            degraded_lookups: degraded_now - prev_degraded_lookups,
-            faults: faults_injected - faults_before,
-        });
+        alerts.extend(server.observe_iteration(
+            "chaos",
+            IterationSample {
+                iteration: iter as u64,
+                sync_time_s: report.sync_time_s,
+                useful_j: breakdown.useful_j,
+                intrinsic_j: breakdown.intrinsic_j,
+                extrinsic_j: breakdown.extrinsic_j,
+                freq_min_mhz: if freq_min == u32::MAX { 0 } else { freq_min },
+                freq_max_mhz: freq_max,
+                degraded: status.degraded,
+                degraded_lookups: degraded_now - prev_degraded_lookups,
+                faults: faults_injected - faults_before,
+            },
+        ));
         prev_degraded_lookups = degraded_now;
     }
 
@@ -511,5 +551,14 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         crashes_survived,
         journal_corruptions,
         durability: durability_acc,
+        alerts_fired: alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Firing)
+            .count() as u64,
+        alerts_cleared: alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Cleared)
+            .count() as u64,
+        alerts,
     })
 }

@@ -72,6 +72,19 @@ pub enum FaultKind {
         /// Bytes of garbage to scribble.
         len: usize,
     },
+    /// A sustained straggler: the pipeline slows to `degree ×` its normal
+    /// speed and *stays* slow until an explicit
+    /// [`FaultKind::StragglerRecover`]. This is the drift-detection
+    /// stimulus — a step change the streaming detectors must flag within
+    /// a bounded number of iterations. Never drawn by the seeded
+    /// constructors (their streams are byte-stable); scheduled explicitly
+    /// via [`FaultPlan::from_events`].
+    DriftBurst {
+        /// Pipeline hit by the sustained slowdown.
+        pipeline: usize,
+        /// Slowdown factor (> 1.0).
+        degree: f64,
+    },
 }
 
 /// A fault scheduled at a specific iteration of the chaos run.
@@ -170,6 +183,15 @@ impl FaultPlan {
         }
         // Stable sort: same-iteration events keep their generation order,
         // so the stream is a pure function of the seed.
+        events.sort_by_key(|e| e.at_iteration);
+        FaultPlan { seed, events }
+    }
+
+    /// A hand-scripted plan: exactly `events`, replayed in iteration
+    /// order. The scripted path is how the observability suite injects a
+    /// [`FaultKind::DriftBurst`] at a known iteration — no seed derives
+    /// one, so the seeded streams stay byte-stable.
+    pub fn from_events(seed: u64, mut events: Vec<FaultEvent>) -> FaultPlan {
         events.sort_by_key(|e| e.at_iteration);
         FaultPlan { seed, events }
     }

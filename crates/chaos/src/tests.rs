@@ -580,3 +580,113 @@ fn kareus_policy_rides_out_freq_caps_and_never_exceeds_perseus() {
         "capped pipeline keeps its bubbles"
     );
 }
+
+/// The drift-detection contract end to end: a scripted
+/// [`FaultKind::DriftBurst`] must be flagged by the streaming detectors
+/// within a bounded number of iterations of onset, and the fault-free
+/// seed-0 run must stay silent (zero false positives).
+#[test]
+fn drift_burst_is_caught_within_bound_and_seed_zero_is_silent() {
+    use crate::plan::FaultEvent;
+
+    // Seed 0: no faults, and the detectors must emit nothing.
+    let mut emu = Emulator::new(small_config()).unwrap();
+    let quiet = run_chaos(
+        &mut emu,
+        &ChaosConfig {
+            seed: 0,
+            iterations: 120,
+            ..ChaosConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(quiet.faults_injected, 0);
+    assert!(
+        quiet.alerts.is_empty(),
+        "fault-free run raised alerts: {:?}",
+        quiet.alerts
+    );
+
+    // Scripted drift burst at iteration 60 of 120: a sustained 1.5×
+    // slowdown the detectors must flag within 10 iterations.
+    const ONSET: usize = 60;
+    const BOUND: u64 = 10;
+    let plan = FaultPlan::from_events(
+        0,
+        vec![FaultEvent {
+            at_iteration: ONSET,
+            kind: FaultKind::DriftBurst {
+                pipeline: 1,
+                degree: 1.5,
+            },
+        }],
+    );
+    let mut emu = Emulator::new(small_config()).unwrap();
+    let report = run_chaos(
+        &mut emu,
+        &ChaosConfig {
+            seed: 0,
+            iterations: 120,
+            plan: Some(plan),
+            ..ChaosConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.faults_injected, 1);
+    assert!(report.alerts_fired >= 1, "drift burst raised no alert");
+    let first = report
+        .alerts
+        .iter()
+        .find(|a| a.state == perseus_telemetry::AlertState::Firing)
+        .unwrap();
+    assert!(
+        first.iteration >= ONSET as u64 && first.iteration <= ONSET as u64 + BOUND,
+        "first alert at iteration {} — outside [{ONSET}, {}]",
+        first.iteration,
+        ONSET as u64 + BOUND
+    );
+    // No alert precedes the fault: zero false positives before onset.
+    assert!(report.alerts.iter().all(|a| a.iteration >= ONSET as u64));
+}
+
+/// Scripted plans replay deterministically: the same events yield
+/// byte-identical alert streams across runs.
+#[test]
+fn scripted_chaos_alert_stream_replays_identically() {
+    use crate::plan::FaultEvent;
+
+    let run = || {
+        let plan = FaultPlan::from_events(
+            7,
+            vec![FaultEvent {
+                at_iteration: 40,
+                kind: FaultKind::DriftBurst {
+                    pipeline: 0,
+                    degree: 1.4,
+                },
+            }],
+        );
+        let mut emu = Emulator::new(small_config()).unwrap();
+        run_chaos(
+            &mut emu,
+            &ChaosConfig {
+                seed: 7,
+                iterations: 90,
+                plan: Some(plan),
+                ..ChaosConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    let render = |r: &crate::ChaosReport| {
+        r.alerts
+            .iter()
+            .map(perseus_telemetry::Alert::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert!(!a.alerts.is_empty());
+    assert_eq!(render(&a), render(&b), "alert streams must replay exactly");
+}

@@ -49,8 +49,8 @@ pub use emulator::{
 };
 pub use registry::PlannerRegistry;
 pub use run::{
-    simulate_run, simulate_run_with_ledger, thermal_cycle_trace, IterationRecord, RunConfig,
-    RunSummary, StragglerTimeline, TraceEvent,
+    simulate_run, simulate_run_observed, simulate_run_with_ledger, thermal_cycle_trace,
+    IterationRecord, RunConfig, RunSummary, StragglerTimeline, TraceEvent,
 };
 pub use scaling::{strong_scaling_table5, ScalingConfig};
 

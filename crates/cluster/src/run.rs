@@ -139,7 +139,7 @@ pub fn simulate_run(
     trace: &[TraceEvent],
     cfg: &RunConfig,
 ) -> Result<RunSummary, EmulatorError> {
-    simulate_run_impl(emu, policy, trace, cfg, None)
+    simulate_run_impl(emu, policy, trace, cfg, None, None)
 }
 
 /// Like [`simulate_run`], but each iteration's energy is additionally
@@ -159,7 +159,29 @@ pub fn simulate_run_with_ledger(
     cfg: &RunConfig,
     ledger: &mut BloatLedger,
 ) -> Result<RunSummary, EmulatorError> {
-    simulate_run_impl(emu, policy, trace, cfg, Some(ledger))
+    simulate_run_impl(emu, policy, trace, cfg, Some(ledger), None)
+}
+
+/// Like [`simulate_run`], but each iteration is additionally fed into the
+/// streaming observability pipeline `obs` (time series, drift detectors,
+/// SLOs) as an [`perseus_telemetry::IterationSample`].
+///
+/// Observation only: the pipeline reads the same per-iteration numbers
+/// the summary reports and never steers the run — the returned
+/// [`RunSummary`] is bit-identical to [`simulate_run`]'s for the same
+/// inputs.
+///
+/// # Errors
+///
+/// Propagates emulation failures (e.g. invalid straggler degrees).
+pub fn simulate_run_observed(
+    emu: &Emulator,
+    policy: Policy,
+    trace: &[TraceEvent],
+    cfg: &RunConfig,
+    obs: &perseus_telemetry::ObsPipeline,
+) -> Result<RunSummary, EmulatorError> {
+    simulate_run_impl(emu, policy, trace, cfg, None, Some(obs))
 }
 
 fn simulate_run_impl(
@@ -168,6 +190,7 @@ fn simulate_run_impl(
     trace: &[TraceEvent],
     cfg: &RunConfig,
     mut ledger: Option<&mut BloatLedger>,
+    obs: Option<&perseus_telemetry::ObsPipeline>,
 ) -> Result<RunSummary, EmulatorError> {
     let tel = emu.telemetry();
     let _span = perseus_telemetry::span!(tel, "simulate_run", policy = policy);
@@ -195,9 +218,33 @@ fn simulate_run_impl(
                 &mut stage_idle,
             )?;
         }
-        if let Some(ledger) = ledger.as_deref_mut() {
-            emu.attribute_with_belief(policy, believed, actual)?
-                .record_into(ledger);
+        if ledger.is_some() || obs.is_some() {
+            let attribution = emu.attribute_with_belief(policy, believed, actual)?;
+            if let Some(obs) = obs {
+                let breakdown = attribution.total();
+                let plan = emu.plan_of(policy)?;
+                let schedule = plan.select(believed);
+                let (mut freq_min, mut freq_max) = (u32::MAX, 0u32);
+                for freq in schedule.freqs.iter().flatten() {
+                    freq_min = freq_min.min(freq.0);
+                    freq_max = freq_max.max(freq.0);
+                }
+                obs.ingest(&perseus_telemetry::IterationSample {
+                    iteration: iter as u64,
+                    sync_time_s: report.sync_time_s,
+                    useful_j: breakdown.useful_j,
+                    intrinsic_j: breakdown.intrinsic_j,
+                    extrinsic_j: breakdown.extrinsic_j,
+                    freq_min_mhz: if freq_min == u32::MAX { 0 } else { freq_min },
+                    freq_max_mhz: freq_max,
+                    degraded: false,
+                    degraded_lookups: 0,
+                    faults: 0,
+                });
+            }
+            if let Some(ledger) = ledger.as_deref_mut() {
+                attribution.record_into(ledger);
+            }
         }
         per_iteration.push(IterationRecord {
             sync_time_s: report.sync_time_s,

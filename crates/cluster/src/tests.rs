@@ -874,3 +874,66 @@ mod kareus {
         );
     }
 }
+
+mod observed_run {
+    use super::*;
+    use crate::run::{
+        simulate_run, simulate_run_observed, thermal_cycle_trace, RunConfig, TraceEvent,
+    };
+    use perseus_telemetry::{pipeline::series, ObsPipeline};
+
+    /// Feeding the streaming pipeline is pure observation: the summary is
+    /// bit-identical to the unobserved run, and the pipeline holds one
+    /// sample per iteration.
+    #[test]
+    fn observed_run_is_bit_identical_and_fills_the_store() {
+        let emu = Emulator::new(small_config()).unwrap();
+        let trace = vec![TraceEvent {
+            at_iteration: 3,
+            pipeline: 2,
+            cause: Some(StragglerCause::Slowdown { degree: 1.2 }),
+        }];
+        let cfg = RunConfig {
+            iterations: 8,
+            reaction_delay_iters: 1,
+        };
+        let plain = simulate_run(&emu, Policy::Perseus, &trace, &cfg).unwrap();
+        let obs = ObsPipeline::default();
+        let observed = simulate_run_observed(&emu, Policy::Perseus, &trace, &cfg, &obs).unwrap();
+        assert_eq!(
+            plain.total_energy_j.to_bits(),
+            observed.total_energy_j.to_bits()
+        );
+        assert_eq!(
+            plain.total_time_s.to_bits(),
+            observed.total_time_s.to_bits()
+        );
+        assert_eq!(plain.per_iteration.len(), observed.per_iteration.len());
+        for (a, b) in plain.per_iteration.iter().zip(&observed.per_iteration) {
+            assert_eq!(a.sync_time_s.to_bits(), b.sync_time_s.to_bits());
+            assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        }
+        assert_eq!(obs.ingested(), 8);
+        let energy = obs.window(series::ENERGY_PER_ITERATION_J, 8).unwrap();
+        assert_eq!(energy.count, 8);
+        assert!((energy.mean * 8.0 - plain.total_energy_j).abs() < 1e-6);
+        let sync = obs.window(series::SYNC_TIME_S, 8).unwrap();
+        assert!((sync.mean * 8.0 - plain.total_time_s).abs() < 1e-9);
+    }
+
+    /// A thermal-cycling trace drives the sync-time series up and down;
+    /// the pipeline's window stats see the spread.
+    #[test]
+    fn observed_thermal_cycle_shows_spread() {
+        let emu = Emulator::new(small_config()).unwrap();
+        let trace = thermal_cycle_trace(1, 1.3, 8, 4, 32);
+        let cfg = RunConfig {
+            iterations: 32,
+            reaction_delay_iters: 1,
+        };
+        let obs = ObsPipeline::default();
+        simulate_run_observed(&emu, Policy::Perseus, &trace, &cfg, &obs).unwrap();
+        let w = obs.window(series::SYNC_TIME_S, 32).unwrap();
+        assert!(w.max > w.min, "cycling trace must move the series");
+    }
+}

@@ -40,7 +40,10 @@ use parking_lot::Mutex;
 use perseus_core::{FrontierOptions, PlanCache, PlanCacheStats};
 use perseus_pipeline::OpKey;
 use perseus_profiler::ProfileDb;
-use perseus_telemetry::Telemetry;
+use perseus_telemetry::{
+    pipeline::render_alerts_json, slo::render_slo_json, Endpoints, MetricsSnapshot,
+    SnapshotBuilder, Telemetry, TelemetryServer,
+};
 
 use crate::client::{fnv64, ClientConfig, JobClient};
 use crate::server::{
@@ -102,6 +105,13 @@ pub struct FleetConfig {
     /// Virtual nodes per shard on the consistent-hash ring. More vnodes
     /// flatten the load split at the price of a larger ring.
     pub virtual_nodes: usize,
+    /// Give each shard its own metric registry instead of sharing the
+    /// fleet's telemetry handle. With disjoint registries,
+    /// [`FleetServer::metrics_rollup`] is an exact sum over shards —
+    /// every rolled-up counter equals the sum of the per-shard counters
+    /// (the obs-suite gate). Off by default: one shared registry is
+    /// cheaper and fine when nobody reads per-shard breakdowns.
+    pub sharded_telemetry: bool,
 }
 
 impl Default for FleetConfig {
@@ -117,6 +127,7 @@ impl Default for FleetConfig {
             submit_cost: 1.0,
             lookup_cost: 0.0,
             virtual_nodes: 32,
+            sharded_telemetry: false,
         }
     }
 }
@@ -161,6 +172,13 @@ impl FleetConfig {
         self.virtual_nodes = vnodes.max(1);
         self
     }
+
+    /// Gives each shard a private metric registry so
+    /// [`FleetServer::metrics_rollup`] sums exactly over shards.
+    pub fn sharded_telemetry(mut self, on: bool) -> FleetConfig {
+        self.sharded_telemetry = on;
+        self
+    }
 }
 
 /// One tenant's token bucket.
@@ -202,6 +220,23 @@ pub struct FleetStats {
     pub cache: PlanCacheStats,
 }
 
+/// Per-tenant request accounting, kept outside the metric registry so a
+/// disabled-telemetry fleet still has exact numbers. Surfaced as
+/// `perseus_fleet_tenant_*_total{tenant=…}` in the rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Profile submissions offered by this tenant.
+    pub submitted: u64,
+    /// Submissions accepted onto a shard.
+    pub admitted: u64,
+    /// Submissions rejected (quota, overload, or shard error).
+    pub rejected: u64,
+    /// Status lookups made by this tenant.
+    pub lookups: u64,
+    /// Lookups rejected by the tenant's quota.
+    pub lookups_rejected: u64,
+}
+
 /// The fleet front door: routes per-job operations to their home shard,
 /// enforces tenant quotas and shard admission bounds, and shares one
 /// cross-job [`PlanCache`] across every shard. See the module docs for
@@ -214,6 +249,7 @@ pub struct FleetServer {
     ring: Vec<(u64, usize)>,
     cache: Arc<PlanCache>,
     tenants: Mutex<TenantState>,
+    tenant_stats: Mutex<HashMap<TenantId, TenantStats>>,
     telemetry: Telemetry,
     submitted: AtomicU64,
     admitted: AtomicU64,
@@ -237,11 +273,23 @@ impl FleetServer {
             .map(|_| {
                 Arc::new(PerseusServer::with_telemetry(
                     cfg.workers_per_shard.max(1),
-                    telemetry.clone(),
+                    FleetServer::shard_telemetry(&cfg, &telemetry),
                 ))
             })
             .collect();
         FleetServer::assemble(cfg, shards, cache, telemetry)
+    }
+
+    /// The telemetry handle a new shard gets: the fleet's own handle by
+    /// default, or a private registry under `sharded_telemetry` so the
+    /// rollup sums exactly over shards. The plan cache always keeps the
+    /// fleet handle.
+    fn shard_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Telemetry {
+        if cfg.sharded_telemetry && telemetry.is_enabled() {
+            Telemetry::enabled()
+        } else {
+            telemetry.clone()
+        }
     }
 
     /// Opens (or recovers) a durable fleet rooted at `root`: shard `i`
@@ -283,7 +331,7 @@ impl FleetServer {
             shards.push(Arc::new(PerseusServer::open_with_cache(
                 root.join(format!("shard-{i}")),
                 cfg.workers_per_shard.max(1),
-                telemetry.clone(),
+                FleetServer::shard_telemetry(&cfg, &telemetry),
                 Arc::clone(&cache),
             )?));
         }
@@ -316,6 +364,7 @@ impl FleetServer {
                 clock_s: 0.0,
                 buckets: HashMap::new(),
             }),
+            tenant_stats: Mutex::new(HashMap::new()),
             telemetry,
             submitted: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
@@ -425,21 +474,26 @@ impl FleetServer {
         opts: &FrontierOptions,
     ) -> Result<CharacterizeTicket, ServerError> {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tenant_stat(tenant, |s| s.submitted += 1);
         if let Err(e) = self.charge(tenant, self.cfg.submit_cost) {
             self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            self.tenant_stat(tenant, |s| s.rejected += 1);
             return Err(e);
         }
         match self.shards[self.shard_of(name)].submit_profiles(name, profiles, opts) {
             Ok(ticket) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.tenant_stat(tenant, |s| s.admitted += 1);
                 Ok(ticket)
             }
             Err(e @ ServerError::Overloaded { .. }) => {
                 self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                self.tenant_stat(tenant, |s| s.rejected += 1);
                 Err(e)
             }
             Err(e) => {
                 self.rejected_other.fetch_add(1, Ordering::Relaxed);
+                self.tenant_stat(tenant, |s| s.rejected += 1);
                 Err(e)
             }
         }
@@ -453,11 +507,19 @@ impl FleetServer {
     /// [`ServerError::QuotaExhausted`] when the tenant's bucket is dry;
     /// [`ServerError::UnknownJob`] for unregistered names.
     pub fn job_status(&self, tenant: &TenantId, name: &str) -> Result<JobStatus, ServerError> {
+        self.tenant_stat(tenant, |s| s.lookups += 1);
         if let Err(e) = self.charge(tenant, self.cfg.lookup_cost) {
             self.lookups_rejected.fetch_add(1, Ordering::Relaxed);
+            self.tenant_stat(tenant, |s| s.lookups_rejected += 1);
             return Err(e);
         }
         self.shards[self.shard_of(name)].job_status(name)
+    }
+
+    /// Applies `f` to `tenant`'s accounting entry, creating it on first
+    /// touch.
+    fn tenant_stat(&self, tenant: &TenantId, f: impl FnOnce(&mut TenantStats)) {
+        f(self.tenant_stats.lock().entry(tenant.clone()).or_default())
     }
 
     /// Routes a straggler notification to the job's home shard. Never
@@ -529,5 +591,166 @@ impl FleetServer {
             b.last_s = clock;
             b.tokens
         })
+    }
+
+    /// Per-tenant request accounting, sorted by tenant id for stable
+    /// output.
+    pub fn tenant_stats(&self) -> Vec<(TenantId, TenantStats)> {
+        let mut out: Vec<(TenantId, TenantStats)> = self
+            .tenant_stats
+            .lock()
+            .iter()
+            .map(|(t, s)| (t.clone(), *s))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Merges every shard's metric snapshot with the fleet's own counters
+    /// (admission, quota, plan cache, per-tenant breakdown) into one
+    /// [`MetricsSnapshot`] — what the fleet's `/metrics` route serves.
+    ///
+    /// Counters and histograms merge exactly: same-keyed scalars sum,
+    /// same-keyed histograms sum bucket-wise. Shards sharing one registry
+    /// (the default) are deduplicated by [`Telemetry::registry_id`] so
+    /// nothing is double-counted; under
+    /// [`FleetConfig::sharded_telemetry`] the registries are disjoint and
+    /// every rolled-up counter equals the sum of the per-shard counters.
+    pub fn metrics_rollup(&self) -> MetricsSnapshot {
+        let mut seen = std::collections::HashSet::new();
+        let mut snaps: Vec<MetricsSnapshot> = Vec::with_capacity(self.shards.len() + 2);
+        if self.telemetry.is_enabled() && seen.insert(self.telemetry.registry_id()) {
+            snaps.push(self.telemetry.snapshot());
+        }
+        for shard in &self.shards {
+            let tel = shard.telemetry();
+            if tel.is_enabled() && seen.insert(tel.registry_id()) {
+                snaps.push(tel.snapshot());
+            }
+        }
+        let mut fleet = SnapshotBuilder::new();
+        let stats = self.stats();
+        fleet
+            .scalar("perseus_fleet_submitted_total", &[], stats.submitted as f64)
+            .scalar("perseus_fleet_admitted_total", &[], stats.admitted as f64)
+            .scalar(
+                "perseus_fleet_rejected_quota_total",
+                &[],
+                stats.rejected_quota as f64,
+            )
+            .scalar(
+                "perseus_fleet_rejected_overloaded_total",
+                &[],
+                stats.rejected_overloaded as f64,
+            )
+            .scalar(
+                "perseus_fleet_rejected_other_total",
+                &[],
+                stats.rejected_other as f64,
+            )
+            .scalar(
+                "perseus_fleet_lookups_rejected_total",
+                &[],
+                stats.lookups_rejected as f64,
+            )
+            .scalar(
+                "perseus_fleet_cache_hits_total",
+                &[],
+                stats.cache.hits as f64,
+            )
+            .scalar(
+                "perseus_fleet_cache_misses_total",
+                &[],
+                stats.cache.misses as f64,
+            )
+            .scalar(
+                "perseus_fleet_cache_inserts_total",
+                &[],
+                stats.cache.inserts as f64,
+            )
+            .scalar(
+                "perseus_fleet_cache_invalidations_total",
+                &[],
+                stats.cache.invalidations as f64,
+            )
+            .scalar(
+                "perseus_fleet_cache_recovered_entries",
+                &[],
+                stats.cache.recovered_entries as f64,
+            )
+            .scalar(
+                "perseus_fleet_cache_entries",
+                &[],
+                stats.cache.entries as f64,
+            )
+            .scalar("perseus_fleet_cache_epoch", &[], stats.cache.epoch as f64)
+            .scalar("perseus_fleet_shards", &[], self.shards.len() as f64);
+        for (tenant, s) in self.tenant_stats() {
+            let labels = &[("tenant", tenant.as_str())];
+            fleet
+                .scalar(
+                    "perseus_fleet_tenant_submitted_total",
+                    labels,
+                    s.submitted as f64,
+                )
+                .scalar(
+                    "perseus_fleet_tenant_admitted_total",
+                    labels,
+                    s.admitted as f64,
+                )
+                .scalar(
+                    "perseus_fleet_tenant_rejected_total",
+                    labels,
+                    s.rejected as f64,
+                )
+                .scalar(
+                    "perseus_fleet_tenant_lookups_total",
+                    labels,
+                    s.lookups as f64,
+                )
+                .scalar(
+                    "perseus_fleet_tenant_lookups_rejected_total",
+                    labels,
+                    s.lookups_rejected as f64,
+                );
+        }
+        snaps.push(fleet.build());
+        MetricsSnapshot::merge_all(&snaps)
+    }
+
+    /// Serves the fleet's observability over HTTP: `/metrics` is the
+    /// [`FleetServer::metrics_rollup`], `/alerts` and `/slo` concatenate
+    /// every shard's pipeline output (shard order, so output is stable).
+    /// Bind port 0 for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_telemetry(
+        self: &Arc<Self>,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<TelemetryServer> {
+        let fleet = Arc::clone(self);
+        let alerts_fleet = Arc::clone(self);
+        let slo_fleet = Arc::clone(self);
+        let endpoints = Endpoints::default()
+            .with_metrics(move || fleet.metrics_rollup().render())
+            .with_alerts(move || {
+                let alerts: Vec<_> = alerts_fleet
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.obs().alerts())
+                    .collect();
+                render_alerts_json(&alerts)
+            })
+            .with_slo(move || {
+                let statuses: Vec<_> = slo_fleet
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.obs().slo_status())
+                    .collect();
+                render_slo_json(&statuses)
+            });
+        TelemetryServer::bind(addr, endpoints)
     }
 }

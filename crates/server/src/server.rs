@@ -47,7 +47,10 @@ use perseus_gpu::{FreqMHz, GpuSpec, PowerStateModel};
 use perseus_pipeline::{OpKey, PipelineDag};
 use perseus_profiler::ProfileDb;
 use perseus_store::{load_snapshot, write_snapshot, Journal, Persist, StoreError};
-use perseus_telemetry::{span, FlightRecorder, FlightSnapshot, FlightSummary, Telemetry};
+use perseus_telemetry::{
+    span, Alert, Endpoints, FlightRecorder, FlightSnapshot, FlightSummary, IterationSample,
+    ObsPipeline, SloStatus, Telemetry, TelemetryServer,
+};
 
 use crate::store::{
     DurabilityStats, JobSnapshot, JournalEvent, ServerSnapshot, Store, JOURNAL_FILE, SNAPSHOT_FILE,
@@ -400,6 +403,10 @@ pub struct JobStatus {
     /// Durability counters of the server's backing store (shared across
     /// jobs; all zero for an in-memory server).
     pub durability: DurabilityStats,
+    /// Per-objective SLO health with error-budget accounting, from the
+    /// server's observability pipeline (shared across jobs; empty until
+    /// iterations are observed — budgets only burn on evaluated ticks).
+    pub slo: Vec<SloStatus>,
 }
 
 /// How a replayed journal event was applied — drives the
@@ -649,6 +656,14 @@ pub struct PerseusServer {
     /// Where to auto-dump the flight record on containment; `None`
     /// disables auto-dumps.
     flight_dump: RwLock<Option<PathBuf>>,
+    /// Streaming observability: ring series, drift detectors, SLO
+    /// budgets. Fed by [`PerseusServer::observe_iteration`]; observe-only
+    /// (never influences planning), so enabling it keeps planner output
+    /// byte-identical.
+    obs: Arc<ObsPipeline>,
+    /// Whether the lookup-latency histogram of the first observed job has
+    /// been attached to the pipeline's SLO engine.
+    obs_lookup_attached: std::sync::atomic::AtomicBool,
     /// Durable backing (journal + snapshots); `None` for in-memory
     /// servers. Lock order everywhere: journal → jobs map → job state.
     store: Option<Arc<Store>>,
@@ -701,6 +716,8 @@ impl PerseusServer {
             telemetry,
             flight: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY)),
             flight_dump: RwLock::new(None),
+            obs: Arc::new(ObsPipeline::default()),
+            obs_lookup_attached: std::sync::atomic::AtomicBool::new(false),
             store: None,
             plan_cache: RwLock::new(None),
             inflight: Arc::new(AtomicU64::new(0)),
@@ -1060,6 +1077,61 @@ impl PerseusServer {
     /// built via [`PerseusServer::with_telemetry`]).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The server's streaming observability pipeline: per-metric ring
+    /// series, EWMA/Page–Hinkley drift detectors, and the SLO engine.
+    pub fn obs(&self) -> &Arc<ObsPipeline> {
+        &self.obs
+    }
+
+    /// Records one synchronized training iteration for `job`: the sample
+    /// goes to the flight recorder (post-mortem ring) *and* through the
+    /// observability pipeline (series → detectors → SLO budgets). This is
+    /// the one ingest call the training loop makes per iteration; it is
+    /// observe-only — planner state and future deployments are untouched.
+    ///
+    /// Returns the alerts this sample transitioned (usually none). An
+    /// unknown job name still records — observation must not depend on
+    /// registration timing.
+    ///
+    /// On the first call, the pipeline's SLO engine is pointed at `job`'s
+    /// `perseus_server_lookup_seconds` histogram so the p99-latency
+    /// objective evaluates against live lookups (first observed job wins;
+    /// no-op with disabled telemetry).
+    pub fn observe_iteration(&self, job: &str, sample: IterationSample) -> Vec<Alert> {
+        if self.telemetry.is_enabled()
+            && !self
+                .obs_lookup_attached
+                .swap(true, std::sync::atomic::Ordering::Relaxed)
+        {
+            // `histogram_with` wants 'static labels only for the keys;
+            // values may borrow. Creates-or-gets: by the first observed
+            // iteration the lookup path has typically registered it.
+            self.obs.attach_lookup_latency(
+                self.telemetry
+                    .histogram_with("perseus_server_lookup_seconds", &[("job", job)]),
+            );
+        }
+        self.flight.record(sample);
+        self.obs.ingest(&sample)
+    }
+
+    /// Starts the zero-dependency HTTP observability endpoint on `addr`
+    /// (`/metrics`, `/alerts`, `/slo`, `/health`); use port 0 for an
+    /// ephemeral port. The returned server shuts down on drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_telemetry(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<TelemetryServer> {
+        TelemetryServer::bind(
+            addr,
+            Endpoints::from_telemetry(self.telemetry.clone()).with_pipeline(Arc::clone(&self.obs)),
+        )
     }
 
     /// Installs (or, with `None`, removes) the fault injector consulted
@@ -1725,6 +1797,7 @@ impl PerseusServer {
             epoch: state.characterized_epoch,
             flight: self.flight.summary(),
             durability: self.durability(),
+            slo: self.obs.slo_status(),
         })
     }
 

@@ -1821,3 +1821,321 @@ mod kareus {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// Streaming-observability integration: the server-side pipeline, the
+/// fleet rollup, and the fleet HTTP endpoint.
+mod obs {
+    use super::*;
+
+    use std::io::{Read as _, Write as _};
+
+    use perseus_telemetry::{IterationSample, Telemetry};
+
+    use crate::fleet::{FleetConfig, FleetServer, TenantId};
+    use crate::server::JobSpec;
+
+    fn sample(iteration: u64, sync_time_s: f64) -> IterationSample {
+        IterationSample {
+            iteration,
+            sync_time_s,
+            useful_j: 900.0,
+            intrinsic_j: 60.0,
+            extrinsic_j: 40.0,
+            freq_min_mhz: 900,
+            freq_max_mhz: 1400,
+            degraded: false,
+            degraded_lookups: 0,
+            faults: 0,
+        }
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn observe_iteration_populates_job_status_slo() {
+        let gpu = GpuSpec::a100_pcie();
+        let server = PerseusServer::with_telemetry(1, Telemetry::enabled());
+        server
+            .register_job(JobSpec {
+                name: "gpt".into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+                power_states: None,
+            })
+            .unwrap();
+        server
+            .submit_profiles("gpt", model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        for i in 0..64 {
+            let alerts = server.observe_iteration("gpt", sample(i, 1.0));
+            assert!(alerts.is_empty(), "steady state must not alert: {alerts:?}");
+        }
+        let status = server.job_status("gpt").unwrap();
+        assert!(!status.slo.is_empty(), "JobStatus must surface SLO state");
+        assert!(
+            status.slo.iter().all(|s| s.healthy),
+            "steady state must be healthy: {:?}",
+            status.slo
+        );
+        // The pipeline saw every sample and the flight recorder too.
+        assert_eq!(server.obs().ingested(), 64);
+        assert_eq!(server.flight_recorder().summary().samples, 64);
+    }
+
+    #[test]
+    fn server_observe_flags_drift_burst() {
+        let server = PerseusServer::new();
+        let mut firing = Vec::new();
+        for i in 0..200 {
+            // Straggler onset at iteration 100: sync time jumps 40%.
+            let t = if i < 100 { 1.0 } else { 1.4 };
+            firing.extend(server.observe_iteration("gpt", sample(i, t)));
+        }
+        assert!(
+            firing
+                .iter()
+                .any(|a| a.iteration >= 100 && a.iteration <= 110),
+            "drift must be caught within 10 iterations of onset: {firing:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_rollup_dedups_shared_registry() {
+        let tel = Telemetry::enabled();
+        let fleet = FleetServer::with_telemetry(
+            FleetConfig::default().shards(4).workers_per_shard(1),
+            tel.clone(),
+        );
+        let tenant = TenantId::from("search");
+        let gpu = GpuSpec::a100_pcie();
+        for name in ["a", "b", "c"] {
+            fleet
+                .register_job(JobSpec {
+                    name: name.into(),
+                    pipe: pipe(),
+                    gpu: gpu.clone(),
+                    power_states: None,
+                })
+                .unwrap();
+            fleet
+                .submit_profiles(
+                    &tenant,
+                    name,
+                    model_profiles(&gpu),
+                    &FrontierOptions::default(),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let rollup = fleet.metrics_rollup();
+        // All shards share one registry: shard-emitted counters appear
+        // exactly once, not once per shard.
+        let shared = tel.snapshot();
+        for (name, labels, value) in shared.iter() {
+            let labels: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            assert_eq!(
+                rollup.value_of(name, &labels),
+                Some(value),
+                "{name} must not be double-counted"
+            );
+        }
+        // Fleet-level counters ride along.
+        assert_eq!(
+            rollup.value_of("perseus_fleet_submitted_total", &[]),
+            Some(3.0)
+        );
+        assert_eq!(
+            rollup.value_of("perseus_fleet_admitted_total", &[]),
+            Some(3.0)
+        );
+        assert_eq!(
+            rollup.value_of(
+                "perseus_fleet_tenant_submitted_total",
+                &[("tenant", "search")]
+            ),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn fleet_rollup_is_exact_sum_under_sharded_telemetry() {
+        let fleet_tel = Telemetry::enabled();
+        let fleet = FleetServer::with_telemetry(
+            FleetConfig::default()
+                .shards(3)
+                .workers_per_shard(1)
+                .sharded_telemetry(true),
+            fleet_tel.clone(),
+        );
+        let tenant = TenantId::from("ads");
+        let gpu = GpuSpec::a100_pcie();
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            fleet
+                .register_job(JobSpec {
+                    name: name.into(),
+                    pipe: pipe(),
+                    gpu: gpu.clone(),
+                    power_states: None,
+                })
+                .unwrap();
+            fleet
+                .submit_profiles(
+                    &tenant,
+                    name,
+                    model_profiles(&gpu),
+                    &FrontierOptions::default(),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        // Registries are disjoint, so every rolled-up sample equals the
+        // sum of that sample across the shard snapshots plus the fleet's
+        // own registry (the shared plan cache emits there).
+        let mut shard_snaps: Vec<_> = fleet
+            .shards()
+            .iter()
+            .map(|s| s.telemetry().snapshot())
+            .collect();
+        shard_snaps.push(fleet_tel.snapshot());
+        let rollup = fleet.metrics_rollup();
+        let mut checked = 0;
+        for (name, labels, value) in rollup.iter() {
+            if name.starts_with("perseus_fleet_") {
+                continue;
+            }
+            if name.ends_with("_p50") || name.ends_with("_p90") || name.ends_with("_p99") {
+                continue; // quantiles are derived, not summable
+            }
+            let labels: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let sum: f64 = shard_snaps
+                .iter()
+                .filter_map(|s| s.value_of(name, &labels))
+                .sum();
+            assert!(
+                (value - sum).abs() < 1e-9,
+                "{name}{labels:?}: rollup {value} != shard sum {sum}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "rollup had nothing to check");
+    }
+
+    #[test]
+    fn fleet_serves_rollup_over_http() {
+        let fleet = Arc::new(FleetServer::with_telemetry(
+            FleetConfig::default().shards(2).workers_per_shard(1),
+            Telemetry::enabled(),
+        ));
+        let tenant = TenantId::from("search");
+        let gpu = GpuSpec::a100_pcie();
+        fleet
+            .register_job(JobSpec {
+                name: "gpt".into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+                power_states: None,
+            })
+            .unwrap();
+        fleet
+            .submit_profiles(
+                &tenant,
+                "gpt",
+                model_profiles(&gpu),
+                &FrontierOptions::default(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        for i in 0..32 {
+            fleet
+                .shard(fleet.shard_of("gpt"))
+                .observe_iteration("gpt", sample(i, 1.0));
+        }
+        let http = fleet.serve_telemetry("127.0.0.1:0").unwrap();
+        let addr = http.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, fleet.metrics_rollup().render());
+        assert!(body.contains("perseus_fleet_submitted_total 1"));
+        assert!(body.contains("perseus_fleet_tenant_submitted_total{tenant=\"search\"} 1"));
+
+        let (head, body) = http_get(addr, "/slo");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+        assert!(body.contains("lookup_latency_p99"), "{body}");
+
+        let (head, body) = http_get(addr, "/alerts");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "[]", "steady state serves an empty alert list");
+
+        let (head, _) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        http.shutdown();
+    }
+
+    #[test]
+    fn tenant_stats_are_sorted_and_exact() {
+        let fleet = FleetServer::new(FleetConfig::default().shards(2));
+        let gpu = GpuSpec::a100_pcie();
+        fleet
+            .register_job(JobSpec {
+                name: "gpt".into(),
+                pipe: pipe(),
+                gpu: gpu.clone(),
+                power_states: None,
+            })
+            .unwrap();
+        for tenant in ["zeta", "alpha"] {
+            let tenant = TenantId::from(tenant);
+            fleet
+                .submit_profiles(
+                    &tenant,
+                    "gpt",
+                    model_profiles(&gpu),
+                    &FrontierOptions::default(),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+            fleet.job_status(&tenant, "gpt").unwrap();
+            // Unknown job: rejected, still charged to the tenant.
+            let _ = fleet.submit_profiles(
+                &tenant,
+                "nope",
+                model_profiles(&gpu),
+                &FrontierOptions::default(),
+            );
+        }
+        let stats = fleet.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0.as_str(), "alpha");
+        assert_eq!(stats[1].0.as_str(), "zeta");
+        for (_, s) in &stats {
+            assert_eq!(s.submitted, 2);
+            assert_eq!(s.admitted, 1);
+            assert_eq!(s.rejected, 1);
+            assert_eq!(s.lookups, 1);
+            assert_eq!(s.lookups_rejected, 0);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Deterministic drift and anomaly detection over streaming metrics.
+//!
+//! Two complementary detectors watch each tracked series:
+//!
+//! * [`EwmaDetector`] — an exponentially weighted moving average with a
+//!   deviation band. It learns the series' level and scale online and
+//!   fires when a sample leaves `mean ± k·dev`. A *relative floor* keeps
+//!   the band from collapsing on near-constant series (a flat
+//!   energy-per-iteration trace must never alert on float noise).
+//! * [`PageHinkley`] — the Page–Hinkley cumulative-sum test, which
+//!   accumulates small persistent deviations an instantaneous band
+//!   check misses: a 5% creep in iteration time fires PH long before it
+//!   would ever leave the EWMA band.
+//!
+//! Both are pure functions of the sample sequence — no wall clock, no
+//! randomness — so the same fault plan replayed twice produces
+//! byte-identical alert streams (a tested invariant). Alerts carry typed
+//! [`AlertEvidence`] so operators (and the SLO engine) see *why*: the
+//! observed value, the learned baseline, and the threshold crossed.
+
+use std::fmt;
+
+/// How loud an alert is. Ordering is meaningful (`Warning < Critical`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Drift worth a look; the job is still meeting its objectives.
+    Warning,
+    /// Sustained or extreme deviation; intervention expected.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// Whether an alert opens or closes an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// The detector crossed its threshold.
+    Firing,
+    /// The series returned in-band for the hysteresis window.
+    Cleared,
+}
+
+impl fmt::Display for AlertState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertState::Firing => write!(f, "firing"),
+            AlertState::Cleared => write!(f, "cleared"),
+        }
+    }
+}
+
+/// Why a detector fired: the numbers behind the decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertEvidence {
+    /// The sample that triggered the transition.
+    pub observed: f64,
+    /// The learned baseline (EWMA mean, or PH running mean).
+    pub baseline: f64,
+    /// The threshold that was crossed (band edge or PH lambda).
+    pub threshold: f64,
+    /// Detector-specific statistic (|z|-like deviation ratio for EWMA,
+    /// the cumulative PH statistic for Page–Hinkley).
+    pub statistic: f64,
+}
+
+/// One typed alert event, emitted by a detector on a state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Iteration (or caller-supplied tick) the transition happened at.
+    pub iteration: u64,
+    /// Series the detector watches, e.g. `energy_per_iteration_j`.
+    pub metric: String,
+    /// Which detector fired, e.g. `ewma` or `page_hinkley`.
+    pub detector: &'static str,
+    /// Firing or cleared.
+    pub state: AlertState,
+    pub severity: Severity,
+    pub evidence: AlertEvidence,
+}
+
+impl Alert {
+    /// Stable single-line rendering (used by the alert log, tests, and
+    /// the `/alerts` endpoint's JSON strings).
+    pub fn render(&self) -> String {
+        format!(
+            "iter={} metric={} detector={} state={} severity={} observed={:.6} baseline={:.6} threshold={:.6} statistic={:.6}",
+            self.iteration,
+            self.metric,
+            self.detector,
+            self.state,
+            self.severity,
+            self.evidence.observed,
+            self.evidence.baseline,
+            self.evidence.threshold,
+            self.evidence.statistic,
+        )
+    }
+}
+
+/// Tuning for an [`EwmaDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaConfig {
+    /// Smoothing factor for the mean (0 < alpha ≤ 1); smaller = slower.
+    pub alpha: f64,
+    /// Band half-width in deviation units (`k` in `mean ± k·dev`).
+    pub k: f64,
+    /// Deviation floor as a fraction of |mean|: the band never narrows
+    /// below `rel_floor · |mean|`, so constant series cannot false-fire.
+    pub rel_floor: f64,
+    /// Absolute band floor, in the metric's units. Zero by default; set
+    /// it for series whose healthy baseline is exactly zero (degraded
+    /// lookups), where a relative floor degenerates to a zero band and
+    /// the detector could never fire.
+    pub abs_floor: f64,
+    /// Samples to learn the baseline before the detector may fire.
+    pub warmup: u64,
+    /// Consecutive in-band samples required to clear a firing alert.
+    pub clear_after: u64,
+    /// Band multiple at which a Warning escalates to Critical.
+    pub critical_k: f64,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> EwmaConfig {
+        EwmaConfig {
+            alpha: 0.1,
+            k: 4.0,
+            rel_floor: 0.05,
+            abs_floor: 0.0,
+            warmup: 24,
+            clear_after: 8,
+            critical_k: 8.0,
+        }
+    }
+}
+
+/// EWMA band detector over one series. Feed with [`EwmaDetector::update`];
+/// a returned [`Alert`] is a state transition (fire or clear).
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    cfg: EwmaConfig,
+    metric: String,
+    mean: f64,
+    /// EWMA of |sample − mean| (mean absolute deviation).
+    dev: f64,
+    seen: u64,
+    firing: bool,
+    in_band_streak: u64,
+}
+
+impl EwmaDetector {
+    /// A fresh detector for `metric`.
+    pub fn new(metric: impl Into<String>, cfg: EwmaConfig) -> EwmaDetector {
+        EwmaDetector {
+            cfg,
+            metric: metric.into(),
+            mean: 0.0,
+            dev: 0.0,
+            seen: 0,
+            firing: false,
+            in_band_streak: 0,
+        }
+    }
+
+    /// Whether the detector currently considers the series out of band.
+    pub fn is_firing(&self) -> bool {
+        self.firing
+    }
+
+    /// Learned baseline mean.
+    pub fn baseline(&self) -> f64 {
+        self.mean
+    }
+
+    /// Feeds one sample; returns an alert on a fire/clear transition.
+    ///
+    /// The baseline only absorbs in-band samples once warm — an active
+    /// fault must not teach the detector that broken is normal.
+    pub fn update(&mut self, iteration: u64, value: f64) -> Option<Alert> {
+        self.seen += 1;
+        if self.seen == 1 {
+            self.mean = value;
+            self.dev = 0.0;
+            return None;
+        }
+        let band = (self.cfg.k * self.dev)
+            .max(self.cfg.rel_floor * self.mean.abs())
+            .max(self.cfg.abs_floor);
+        let deviation = (value - self.mean).abs();
+        let warm = self.seen > self.cfg.warmup;
+        let out_of_band = warm && band > 0.0 && deviation > band;
+
+        let mut alert = None;
+        if out_of_band {
+            self.in_band_streak = 0;
+            if !self.firing {
+                self.firing = true;
+                let critical_band = (self.cfg.critical_k * self.dev)
+                    .max(self.cfg.rel_floor * self.mean.abs())
+                    .max(self.cfg.abs_floor);
+                alert = Some(Alert {
+                    iteration,
+                    metric: self.metric.clone(),
+                    detector: "ewma",
+                    state: AlertState::Firing,
+                    severity: if deviation > critical_band {
+                        Severity::Critical
+                    } else {
+                        Severity::Warning
+                    },
+                    evidence: AlertEvidence {
+                        observed: value,
+                        baseline: self.mean,
+                        threshold: band,
+                        statistic: deviation / band,
+                    },
+                });
+            }
+        } else {
+            if self.firing {
+                self.in_band_streak += 1;
+                if self.in_band_streak >= self.cfg.clear_after {
+                    self.firing = false;
+                    self.in_band_streak = 0;
+                    alert = Some(Alert {
+                        iteration,
+                        metric: self.metric.clone(),
+                        detector: "ewma",
+                        state: AlertState::Cleared,
+                        severity: Severity::Warning,
+                        evidence: AlertEvidence {
+                            observed: value,
+                            baseline: self.mean,
+                            threshold: band,
+                            statistic: if band > 0.0 { deviation / band } else { 0.0 },
+                        },
+                    });
+                }
+            }
+            // Learn only from in-band (or pre-warm) samples.
+            self.mean += self.cfg.alpha * (value - self.mean);
+            self.dev += self.cfg.alpha * (deviation - self.dev);
+        }
+        alert
+    }
+}
+
+/// Tuning for a [`PageHinkley`] detector.
+#[derive(Debug, Clone, Copy)]
+pub struct PageHinkleyConfig {
+    /// Magnitude tolerance: deviations below `delta · |mean|` do not
+    /// accumulate. Relative, so one config fits joules and seconds.
+    pub delta: f64,
+    /// Firing threshold for the cumulative statistic, as a multiple of
+    /// `|mean|` (relative for the same reason).
+    pub lambda: f64,
+    /// Samples to learn the running mean before the test may fire.
+    pub warmup: u64,
+}
+
+impl Default for PageHinkleyConfig {
+    fn default() -> PageHinkleyConfig {
+        PageHinkleyConfig {
+            delta: 0.08,
+            lambda: 0.6,
+            warmup: 24,
+        }
+    }
+}
+
+/// Page–Hinkley cumulative-sum test for sustained upward drift (the
+/// direction that matters for energy and latency). Resets after firing
+/// so a recovered series can fire again on the next regression.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    cfg: PageHinkleyConfig,
+    metric: String,
+    mean: f64,
+    seen: u64,
+    /// Cumulative sum of positive deviations minus the tolerance.
+    cum: f64,
+    /// Running minimum of `cum` (the PH statistic is `cum - min`).
+    cum_min: f64,
+}
+
+impl PageHinkley {
+    /// A fresh test for `metric`.
+    pub fn new(metric: impl Into<String>, cfg: PageHinkleyConfig) -> PageHinkley {
+        PageHinkley {
+            cfg,
+            metric: metric.into(),
+            mean: 0.0,
+            seen: 0,
+            cum: 0.0,
+            cum_min: 0.0,
+        }
+    }
+
+    /// Learned running mean.
+    pub fn baseline(&self) -> f64 {
+        self.mean
+    }
+
+    /// Feeds one sample; returns a firing alert when the cumulative
+    /// statistic crosses lambda (then resets).
+    pub fn update(&mut self, iteration: u64, value: f64) -> Option<Alert> {
+        self.seen += 1;
+        // Incremental running mean over all samples seen so far.
+        self.mean += (value - self.mean) / self.seen as f64;
+        let tolerance = self.cfg.delta * self.mean.abs();
+        self.cum += (value - self.mean) - tolerance;
+        self.cum_min = self.cum_min.min(self.cum);
+        let statistic = self.cum - self.cum_min;
+        let lambda = self.cfg.lambda * self.mean.abs();
+        if self.seen > self.cfg.warmup && lambda > 0.0 && statistic > lambda {
+            let alert = Alert {
+                iteration,
+                metric: self.metric.clone(),
+                detector: "page_hinkley",
+                state: AlertState::Firing,
+                severity: Severity::Warning,
+                evidence: AlertEvidence {
+                    observed: value,
+                    baseline: self.mean,
+                    threshold: lambda,
+                    statistic,
+                },
+            };
+            self.cum = 0.0;
+            self.cum_min = 0.0;
+            return Some(alert);
+        }
+        None
+    }
+}
+
+/// A bounded, append-only log of alerts — the `/alerts` endpoint's
+/// backing store. Keeps the newest `capacity` alerts and a lifetime
+/// count so evictions are visible.
+#[derive(Debug)]
+pub struct AlertLog {
+    capacity: usize,
+    alerts: parking_lot::Mutex<std::collections::VecDeque<Alert>>,
+    total: std::sync::atomic::AtomicU64,
+}
+
+impl AlertLog {
+    /// An empty log retaining at most `capacity` alerts.
+    pub fn new(capacity: usize) -> AlertLog {
+        AlertLog {
+            capacity: capacity.max(1),
+            alerts: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            total: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one alert.
+    pub fn push(&self, alert: Alert) {
+        self.total
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut alerts = self.alerts.lock();
+        if alerts.len() == self.capacity {
+            alerts.pop_front();
+        }
+        alerts.push_back(alert);
+    }
+
+    /// Retained alerts, oldest first.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.alerts.lock().iter().cloned().collect()
+    }
+
+    /// Alerts ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Alerts currently in the firing state (a fire with no later clear
+    /// for the same metric+detector).
+    pub fn firing(&self) -> Vec<Alert> {
+        let alerts = self.alerts.lock();
+        let mut open: std::collections::BTreeMap<(String, &'static str), Alert> =
+            std::collections::BTreeMap::new();
+        for a in alerts.iter() {
+            let key = (a.metric.clone(), a.detector);
+            match a.state {
+                AlertState::Firing => {
+                    open.insert(key, a.clone());
+                }
+                AlertState::Cleared => {
+                    open.remove(&key);
+                }
+            }
+        }
+        let mut firing: Vec<Alert> = open.into_values().collect();
+        firing.sort_by_key(|a| a.iteration);
+        firing
+    }
+}

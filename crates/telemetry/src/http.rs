@@ -1,0 +1,237 @@
+//! A zero-dependency HTTP/1.1 endpoint for live observability.
+//!
+//! [`TelemetryServer`] serves four read-only routes from a background
+//! thread on a plain [`std::net::TcpListener`]:
+//!
+//! * `GET /metrics` — the Prometheus text rendering of the registry
+//!   snapshot (exactly what `--metrics` prints to stderr);
+//! * `GET /alerts` — the alert log as a JSON array;
+//! * `GET /slo` — per-objective SLO status as a JSON array;
+//! * `GET /health` — `200 ok` while the process is up.
+//!
+//! No HTTP library, no async runtime: the accept loop is nonblocking
+//! with a short sleep, each request is read with a socket timeout, and
+//! every response closes its connection — the simplest protocol subset
+//! a Prometheus scraper or `curl` needs. Scrape handlers snapshot on
+//! demand; nothing here touches the planner hot path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::pipeline::ObsPipeline;
+use crate::Telemetry;
+
+/// What the server serves: three closures, one per data route. Build
+/// from a [`Telemetry`] handle (plus optionally an [`ObsPipeline`]) or
+/// supply custom sources (the fleet points `/metrics` at its rollup).
+#[derive(Clone)]
+pub struct Endpoints {
+    metrics: Arc<dyn Fn() -> String + Send + Sync>,
+    alerts: Arc<dyn Fn() -> String + Send + Sync>,
+    slo: Arc<dyn Fn() -> String + Send + Sync>,
+}
+
+impl std::fmt::Debug for Endpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoints").finish_non_exhaustive()
+    }
+}
+
+impl Default for Endpoints {
+    /// Endpoints that serve empty documents.
+    fn default() -> Endpoints {
+        Endpoints {
+            metrics: Arc::new(String::new),
+            alerts: Arc::new(|| "[]".to_string()),
+            slo: Arc::new(|| "[]".to_string()),
+        }
+    }
+}
+
+impl Endpoints {
+    /// `/metrics` renders `telemetry`'s registry snapshot; the JSON
+    /// routes serve empty arrays until a pipeline is attached.
+    pub fn from_telemetry(telemetry: Telemetry) -> Endpoints {
+        Endpoints {
+            metrics: Arc::new(move || telemetry.snapshot().render()),
+            ..Endpoints::default()
+        }
+    }
+
+    /// Points `/alerts` and `/slo` at `pipeline`.
+    pub fn with_pipeline(mut self, pipeline: Arc<ObsPipeline>) -> Endpoints {
+        let alerts = Arc::clone(&pipeline);
+        self.alerts = Arc::new(move || alerts.alerts_json());
+        self.slo = Arc::new(move || pipeline.slo_json());
+        self
+    }
+
+    /// Overrides the `/metrics` source (e.g. a fleet rollup).
+    pub fn with_metrics(
+        mut self,
+        metrics: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Endpoints {
+        self.metrics = Arc::new(metrics);
+        self
+    }
+
+    /// Overrides the `/alerts` source with a custom JSON producer.
+    pub fn with_alerts(mut self, alerts: impl Fn() -> String + Send + Sync + 'static) -> Endpoints {
+        self.alerts = Arc::new(alerts);
+        self
+    }
+
+    /// Overrides the `/slo` source with a custom JSON producer.
+    pub fn with_slo(mut self, slo: impl Fn() -> String + Send + Sync + 'static) -> Endpoints {
+        self.slo = Arc::new(slo);
+        self
+    }
+}
+
+/// A running telemetry HTTP server. Shuts down (and joins its thread)
+/// on [`TelemetryServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        endpoints: Endpoints,
+    ) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_loop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("perseus-telemetry-http".to_string())
+            .spawn(move || accept_loop(listener, endpoints, stop_loop))
+            .expect("spawn telemetry http thread");
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `http://…` base URL of the server.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, endpoints: Endpoints, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: requests are tiny and responses are
+                // bounded, so one connection at a time keeps the server
+                // to a single thread with no pool to manage.
+                let _ = serve_connection(stream, &endpoints);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, endpoints: &Endpoints) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = read_request_head(&mut stream)?;
+    let (status, content_type, body) = match parse_request_line(&request) {
+        Some(("GET", "/metrics")) => ("200 OK", "text/plain; version=0.0.4", (endpoints.metrics)()),
+        Some(("GET", "/alerts")) => ("200 OK", "application/json", (endpoints.alerts)()),
+        Some(("GET", "/slo")) => ("200 OK", "application/json", (endpoints.slo)()),
+        Some(("GET", "/health")) => ("200 OK", "text/plain; version=0.0.4", "ok\n".to_string()),
+        Some(("GET", _)) => (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            "not found\n".to_string(),
+        ),
+        Some(_) => (
+            "405 Method Not Allowed",
+            "text/plain; version=0.0.4",
+            "method not allowed\n".to_string(),
+        ),
+        None => (
+            "400 Bad Request",
+            "text/plain; version=0.0.4",
+            "bad request\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n{body}",
+        len = body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`), bounded at 8 KiB
+/// — these routes never need a body.
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Splits `GET /path HTTP/1.1` into `(method, path)`; query strings are
+/// dropped (no route takes parameters).
+fn parse_request_line(request: &str) -> Option<(&str, &str)> {
+    let line = request.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}

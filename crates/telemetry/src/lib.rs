@@ -44,18 +44,28 @@
 //! );
 //! ```
 
+pub mod detector;
 mod flight;
+pub mod http;
 mod metrics;
+pub mod pipeline;
 mod registry;
 mod sink;
+pub mod slo;
 mod snapshot;
 mod span;
+pub mod timeseries;
 
+pub use detector::{Alert, AlertEvidence, AlertLog, AlertState, Severity};
 pub use flight::{FlightRecorder, FlightSnapshot, FlightSummary, IterationSample};
+pub use http::{Endpoints, TelemetryServer};
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram};
+pub use pipeline::{ObsPipeline, PipelineConfig};
 pub use sink::{SpanRecord, TelemetrySink, TraceWriter};
-pub use snapshot::MetricsSnapshot;
+pub use slo::{SloEngine, SloOp, SloSpec, SloStatus};
+pub use snapshot::{histogram_quantile, MetricsSnapshot, SnapshotBuilder};
 pub use span::Span;
+pub use timeseries::{SeriesConfig, TieredSeries, TimeSeriesStore, WindowStats};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,6 +127,14 @@ impl Telemetry {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Identity of the backing registry: two enabled handles share one
+    /// registry iff their ids are equal (`None` when disabled). The fleet
+    /// rollup dedups shard snapshots by this, so shards sharing a
+    /// telemetry handle are not double-counted.
+    pub fn registry_id(&self) -> Option<usize> {
+        self.inner.as_ref().map(|a| Arc::as_ptr(a) as usize)
     }
 
     /// Attaches an extra sink (for example a [`TraceWriter`]); span

@@ -179,6 +179,28 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// Quantile estimate over the recorded buckets (`0.0 < q <= 1.0`),
+    /// with the well-defined edge cases of
+    /// [`crate::histogram_quantile`]: `None` when empty, a bucket's
+    /// upper bound when every observation landed in that one bucket,
+    /// clamped to the last finite bound for overflow. This is the handle
+    /// the SLO engine reads p99 latency through without snapshotting the
+    /// whole registry.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let core = &*self.0;
+        let buckets: Vec<u64> = core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        crate::snapshot::histogram_quantile(
+            &core.bounds,
+            &buckets,
+            core.count.load(Ordering::Relaxed),
+            q,
+        )
+    }
+
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))

@@ -1,0 +1,303 @@
+//! The streaming observability pipeline: registry/flight samples in,
+//! series + alerts + SLO budgets out.
+//!
+//! Data flow (DESIGN.md §5e):
+//!
+//! ```text
+//! IterationSample ─┬─▶ TimeSeriesStore (ring series, tiers, windows)
+//!                  ├─▶ EwmaDetector / PageHinkley ─▶ AlertLog
+//!                  └─▶ SloEngine (error budgets) ─▶ JobStatus / /slo
+//! ```
+//!
+//! One [`ObsPipeline`] watches one job. [`ObsPipeline::ingest`] is the
+//! single entry point — the server, the chaos harness, and the cluster
+//! emulator all feed the same per-iteration sample they already hand the
+//! flight recorder, so enabling the pipeline changes *observation only*:
+//! planner outputs stay byte-identical (golden-gated).
+//!
+//! Everything downstream of `ingest` is deterministic in the sample
+//! sequence: same samples in, byte-identical alert stream and SLO report
+//! out. That is what the replay test locks down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::detector::{Alert, AlertLog, EwmaConfig, EwmaDetector, PageHinkley, PageHinkleyConfig};
+use crate::slo::{render_slo_json, SloEngine, SloSpec, SloStatus};
+use crate::timeseries::{SeriesConfig, TimeSeriesStore, WindowStats};
+use crate::{Histogram, IterationSample};
+
+/// Series names the pipeline derives from each [`IterationSample`].
+pub mod series {
+    /// Total joules of the iteration (useful + intrinsic + extrinsic).
+    pub const ENERGY_PER_ITERATION_J: &str = "energy_per_iteration_j";
+    /// Synchronized iteration time, seconds.
+    pub const SYNC_TIME_S: &str = "sync_time_s";
+    /// Extrinsic-bloat joules as a share of total energy.
+    pub const EXTRINSIC_SHARE: &str = "extrinsic_share";
+    /// Degraded frontier lookups in the iteration.
+    pub const DEGRADED_LOOKUP_RATE: &str = "degraded_lookup_rate";
+    /// Iterations a just-ended degraded episode lasted (one point per
+    /// recovery).
+    pub const RECOVERY_ITERS: &str = "recovery_iters";
+    /// p99 of the attached lookup-latency histogram, seconds.
+    pub const LOOKUP_LATENCY_P99_S: &str = "lookup_latency_p99_s";
+}
+
+/// Tuning for an [`ObsPipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Shape of every series ring.
+    pub series: SeriesConfig,
+    /// EWMA band config for the energy and time detectors.
+    pub ewma: EwmaConfig,
+    /// Page–Hinkley config for the energy and time drift tests.
+    pub page_hinkley: PageHinkleyConfig,
+    /// Objectives the SLO engine evaluates.
+    pub slos: Vec<SloSpec>,
+    /// Alerts retained by the log.
+    pub alert_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            series: SeriesConfig::default(),
+            ewma: EwmaConfig::default(),
+            page_hinkley: PageHinkleyConfig::default(),
+            slos: SloSpec::perseus_defaults(),
+            alert_capacity: 1024,
+        }
+    }
+}
+
+/// Detector pair watching one derived series.
+#[derive(Debug)]
+struct Watch {
+    ewma: EwmaDetector,
+    page_hinkley: Option<PageHinkley>,
+}
+
+impl Watch {
+    fn update(&mut self, iteration: u64, value: f64, out: &mut Vec<Alert>) {
+        if let Some(alert) = self.ewma.update(iteration, value) {
+            out.push(alert);
+        }
+        if let Some(ph) = &mut self.page_hinkley {
+            if let Some(alert) = ph.update(iteration, value) {
+                out.push(alert);
+            }
+        }
+    }
+}
+
+/// Mutable single-writer state behind the pipeline's ingest lock.
+#[derive(Debug)]
+struct PipelineState {
+    energy: Watch,
+    sync_time: Watch,
+    degraded_rate: Watch,
+    /// Length of the in-progress degraded episode, iterations.
+    degraded_streak: u64,
+    /// Histogram whose p99 the SLO engine reads each tick.
+    lookup_latency: Option<Histogram>,
+}
+
+/// The per-job streaming observability pipeline. Share via `Arc`; ingest
+/// from the iteration loop, read from status endpoints.
+#[derive(Debug)]
+pub struct ObsPipeline {
+    store: TimeSeriesStore,
+    alerts: AlertLog,
+    slo: SloEngine,
+    state: Mutex<PipelineState>,
+    ingested: AtomicU64,
+}
+
+impl Default for ObsPipeline {
+    fn default() -> ObsPipeline {
+        ObsPipeline::new(PipelineConfig::default())
+    }
+}
+
+impl ObsPipeline {
+    /// A fresh pipeline shaped by `cfg`.
+    pub fn new(cfg: PipelineConfig) -> ObsPipeline {
+        // The degraded-lookup watch needs an absolute floor: its healthy
+        // baseline is exactly zero, where relative bands have no width.
+        let degraded_ewma = EwmaConfig {
+            abs_floor: 0.5,
+            ..cfg.ewma
+        };
+        ObsPipeline {
+            store: TimeSeriesStore::new(cfg.series),
+            alerts: AlertLog::new(cfg.alert_capacity),
+            slo: SloEngine::new(cfg.slos),
+            state: Mutex::new(PipelineState {
+                energy: Watch {
+                    ewma: EwmaDetector::new(series::ENERGY_PER_ITERATION_J, cfg.ewma),
+                    page_hinkley: Some(PageHinkley::new(
+                        series::ENERGY_PER_ITERATION_J,
+                        cfg.page_hinkley,
+                    )),
+                },
+                sync_time: Watch {
+                    ewma: EwmaDetector::new(series::SYNC_TIME_S, cfg.ewma),
+                    page_hinkley: Some(PageHinkley::new(series::SYNC_TIME_S, cfg.page_hinkley)),
+                },
+                degraded_rate: Watch {
+                    ewma: EwmaDetector::new(series::DEGRADED_LOOKUP_RATE, degraded_ewma),
+                    page_hinkley: None,
+                },
+                degraded_streak: 0,
+                lookup_latency: None,
+            }),
+            ingested: AtomicU64::new(0),
+        }
+    }
+
+    /// The pipeline with default tuning and the Perseus SLO set.
+    pub fn perseus_defaults() -> Arc<ObsPipeline> {
+        Arc::new(ObsPipeline::default())
+    }
+
+    /// Attaches the lookup-latency histogram whose p99 the SLO engine
+    /// evaluates each tick (typically the server's
+    /// `perseus_server_lookup_seconds` handle).
+    pub fn attach_lookup_latency(&self, histogram: Histogram) {
+        self.state.lock().lookup_latency = Some(histogram);
+    }
+
+    /// Feeds one iteration through store, detectors, and SLO engine.
+    /// Returns the alerts this sample transitioned (usually none).
+    pub fn ingest(&self, sample: &IterationSample) -> Vec<Alert> {
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        let t = sample.iteration as f64;
+        let total_j = sample.total_j();
+        let extrinsic_share = if total_j > 0.0 {
+            sample.extrinsic_j / total_j
+        } else {
+            0.0
+        };
+        let degraded_rate = sample.degraded_lookups as f64;
+
+        self.store.push(series::ENERGY_PER_ITERATION_J, t, total_j);
+        self.store.push(series::SYNC_TIME_S, t, sample.sync_time_s);
+        self.store.push(series::EXTRINSIC_SHARE, t, extrinsic_share);
+        self.store
+            .push(series::DEGRADED_LOOKUP_RATE, t, degraded_rate);
+
+        let mut fired = Vec::new();
+        let mut slo_values: Vec<(&str, f64)> = vec![(series::EXTRINSIC_SHARE, extrinsic_share)];
+
+        let mut state = self.state.lock();
+        state.energy.update(sample.iteration, total_j, &mut fired);
+        state
+            .sync_time
+            .update(sample.iteration, sample.sync_time_s, &mut fired);
+        state
+            .degraded_rate
+            .update(sample.iteration, degraded_rate, &mut fired);
+
+        if sample.degraded {
+            state.degraded_streak += 1;
+        } else if state.degraded_streak > 0 {
+            let recovery = state.degraded_streak as f64;
+            state.degraded_streak = 0;
+            self.store.push(series::RECOVERY_ITERS, t, recovery);
+            slo_values.push((series::RECOVERY_ITERS, recovery));
+        }
+
+        if let Some(p99) = state.lookup_latency.as_ref().and_then(|h| h.quantile(0.99)) {
+            self.store.push(series::LOOKUP_LATENCY_P99_S, t, p99);
+            slo_values.push((series::LOOKUP_LATENCY_P99_S, p99));
+        }
+        drop(state);
+
+        self.slo.evaluate(sample.iteration, &slo_values);
+        for alert in &fired {
+            self.alerts.push(alert.clone());
+        }
+        fired
+    }
+
+    /// Samples ingested so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested.load(Ordering::Relaxed)
+    }
+
+    /// The time-series store (for window queries and series dumps).
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// Windowed aggregates of a derived series.
+    pub fn window(&self, metric: &str, window: usize) -> Option<WindowStats> {
+        self.store.window(metric, window)
+    }
+
+    /// The alert log.
+    pub fn alert_log(&self) -> &AlertLog {
+        &self.alerts
+    }
+
+    /// All retained alerts, oldest first.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.alerts.alerts()
+    }
+
+    /// Currently-firing alerts.
+    pub fn firing(&self) -> Vec<Alert> {
+        self.alerts.firing()
+    }
+
+    /// Per-objective SLO statuses, in spec order.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.slo.status()
+    }
+
+    /// Whether every SLO budget has headroom.
+    pub fn slo_healthy(&self) -> bool {
+        self.slo.all_healthy()
+    }
+
+    /// The `/alerts` endpoint body: retained alerts as a JSON array.
+    pub fn alerts_json(&self) -> String {
+        render_alerts_json(&self.alerts())
+    }
+
+    /// The `/slo` endpoint body: objective statuses as a JSON array.
+    pub fn slo_json(&self) -> String {
+        render_slo_json(&self.slo_status())
+    }
+}
+
+/// Renders alerts as a JSON array (used by `/alerts`).
+pub fn render_alerts_json(alerts: &[Alert]) -> String {
+    use crate::slo::{json_number, json_string};
+    use std::fmt::Write as _;
+
+    let mut out = String::from("[");
+    for (i, a) in alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"iteration\":{iter},\"metric\":{metric},\"detector\":\"{det}\",\"state\":\"{state}\",\"severity\":\"{sev}\",\"observed\":{obs},\"baseline\":{base},\"threshold\":{thr},\"statistic\":{stat}}}",
+            iter = a.iteration,
+            metric = json_string(&a.metric),
+            det = a.detector,
+            state = a.state,
+            sev = a.severity,
+            obs = json_number(a.evidence.observed),
+            base = json_number(a.evidence.baseline),
+            thr = json_number(a.evidence.threshold),
+            stat = json_number(a.evidence.statistic),
+        );
+    }
+    out.push(']');
+    out
+}

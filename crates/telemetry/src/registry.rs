@@ -11,7 +11,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::metrics::{default_bounds, Counter, FloatCounter, Gauge, Histogram, HistogramCore};
-use crate::snapshot::{MetricsSnapshot, Sample};
+use crate::snapshot::{Entry, EntryValue, MetricsSnapshot};
 use crate::Labels;
 
 const SHARDS: usize = 16;
@@ -134,20 +134,22 @@ impl Registry {
         )
     }
 
-    /// Flattens every metric into sorted scalar samples. Histograms expand
-    /// to cumulative `_bucket{le=..}` samples plus `_sum` and `_count`.
+    /// Reads every metric into structured entries and hands them to the
+    /// snapshot constructor, which applies the canonical `(name, labels)`
+    /// sort and flattens histograms — shard iteration order never reaches
+    /// the rendered output.
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
-        let mut entries: Vec<(Key, SnapValue)> = Vec::new();
+        let mut entries: Vec<Entry> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock();
             for (key, metric) in shard.iter() {
                 let value = match metric {
-                    Metric::Counter(c) => SnapValue::Scalar(c.load(Ordering::Relaxed) as f64),
+                    Metric::Counter(c) => EntryValue::Scalar(c.load(Ordering::Relaxed) as f64),
                     Metric::FloatCounter(c) => {
-                        SnapValue::Scalar(f64::from_bits(c.load(Ordering::Relaxed)))
+                        EntryValue::Scalar(f64::from_bits(c.load(Ordering::Relaxed)))
                     }
-                    Metric::Gauge(g) => SnapValue::Scalar(g.load(Ordering::Relaxed) as f64),
-                    Metric::Histogram(core) => SnapValue::Histogram {
+                    Metric::Gauge(g) => EntryValue::Scalar(g.load(Ordering::Relaxed) as f64),
+                    Metric::Histogram(core) => EntryValue::Histogram {
                         bounds: core.bounds.clone(),
                         buckets: core
                             .buckets
@@ -158,109 +160,17 @@ impl Registry {
                         sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
                     },
                 };
-                entries.push((key.clone(), value));
-            }
-        }
-        entries.sort_unstable_by(|(a, _), (b, _)| {
-            a.name.cmp(b.name).then_with(|| a.labels.cmp(&b.labels))
-        });
-
-        let mut samples = Vec::with_capacity(entries.len());
-        for (key, value) in entries {
-            let labels: Vec<(String, String)> = key
-                .labels
-                .iter()
-                .map(|(k, v)| ((*k).to_string(), v.clone()))
-                .collect();
-            match value {
-                SnapValue::Scalar(v) => samples.push(Sample {
+                entries.push(Entry {
                     name: key.name.to_string(),
-                    labels,
-                    value: v,
-                }),
-                SnapValue::Histogram {
-                    bounds,
-                    buckets,
-                    count,
-                    sum,
-                } => {
-                    let mut cumulative = 0u64;
-                    for (bound, in_bucket) in bounds.iter().zip(&buckets) {
-                        cumulative += in_bucket;
-                        samples.push(Sample {
-                            name: format!("{}_bucket", key.name),
-                            labels: with_le(&labels, crate::snapshot::format_value(*bound)),
-                            value: cumulative as f64,
-                        });
-                    }
-                    samples.push(Sample {
-                        name: format!("{}_bucket", key.name),
-                        labels: with_le(&labels, "+Inf".to_string()),
-                        value: count as f64,
-                    });
-                    samples.push(Sample {
-                        name: format!("{}_sum", key.name),
-                        labels: labels.clone(),
-                        value: sum,
-                    });
-                    samples.push(Sample {
-                        name: format!("{}_count", key.name),
-                        labels: labels.clone(),
-                        value: count as f64,
-                    });
-                    // Interpolated quantiles, Prometheus `histogram_quantile`
-                    // style; omitted entirely for an empty histogram.
-                    if count > 0 {
-                        for (q, suffix) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
-                            samples.push(Sample {
-                                name: format!("{}_{suffix}", key.name),
-                                labels: labels.clone(),
-                                value: interpolate_quantile(&bounds, &buckets, count, q),
-                            });
-                        }
-                    }
-                }
+                    labels: key
+                        .labels
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), v.clone()))
+                        .collect(),
+                    value,
+                });
             }
         }
-        MetricsSnapshot::from_samples(samples)
+        MetricsSnapshot::from_entries(entries)
     }
-}
-
-enum SnapValue {
-    Scalar(f64),
-    Histogram {
-        bounds: Vec<f64>,
-        buckets: Vec<u64>,
-        count: u64,
-        sum: f64,
-    },
-}
-
-/// Prometheus-style quantile estimate over cumulative histogram buckets:
-/// find the bucket the `q`-rank observation falls into and interpolate
-/// linearly within it. Observations beyond the highest finite bound clamp
-/// to that bound (the `+Inf` bucket has no width to interpolate over);
-/// the first bucket interpolates from zero. `count` must be positive.
-fn interpolate_quantile(bounds: &[f64], buckets: &[u64], count: u64, q: f64) -> f64 {
-    let rank = q * count as f64;
-    let mut cumulative = 0u64;
-    for (i, (bound, in_bucket)) in bounds.iter().zip(buckets).enumerate() {
-        let below = cumulative as f64;
-        cumulative += in_bucket;
-        if (cumulative as f64) >= rank {
-            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
-            if *in_bucket == 0 {
-                return *bound;
-            }
-            return lower + (bound - lower) * ((rank - below) / *in_bucket as f64);
-        }
-    }
-    // The rank lands in the +Inf bucket: clamp to the highest finite bound.
-    bounds.last().copied().unwrap_or(0.0)
-}
-
-fn with_le(labels: &[(String, String)], le: String) -> Vec<(String, String)> {
-    let mut out = labels.to_vec();
-    out.push(("le".to_string(), le));
-    out
 }

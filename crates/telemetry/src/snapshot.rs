@@ -1,8 +1,45 @@
-//! Point-in-time view of the metric registry, flattened to scalar samples
-//! and rendered as stable, sorted, Prometheus-style text — the format the
-//! golden fixtures under `tests/golden/` lock down.
+//! Point-in-time view of the metric registry: structured entries (one per
+//! registered metric) flattened to scalar samples and rendered as stable,
+//! sorted, Prometheus-style text — the format the golden fixtures under
+//! `tests/golden/` lock down.
+//!
+//! Snapshots are also the fleet's merge unit: [`MetricsSnapshot::merge`]
+//! combines per-shard snapshots with *exact* counter and histogram
+//! arithmetic (bucket-wise sums, quantiles recomputed from the merged
+//! buckets), so a fleet rollup's counters equal the sum of its shards'
+//! counters to the bit.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// The structured value of one registry entry, before flattening.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum EntryValue {
+    /// Counters, float counters, and gauges all flatten to one scalar and
+    /// merge by summation.
+    Scalar(f64),
+    /// A histogram keeps its bucket structure so merges stay exact and
+    /// quantiles can be recomputed from merged buckets.
+    Histogram {
+        /// Upper bounds (inclusive) of each bucket.
+        bounds: Vec<f64>,
+        /// Per-bucket (non-cumulative) observation counts.
+        buckets: Vec<u64>,
+        /// Total observations (including beyond the last bound).
+        count: u64,
+        /// Sum of all observations.
+        sum: f64,
+    },
+}
+
+/// One registry entry: a metric identity plus its structured value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    /// Sorted by label key.
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) value: EntryValue,
+}
 
 /// One flattened metric sample: histograms have already been expanded into
 /// `_bucket`/`_sum`/`_count` scalars by the time a sample exists.
@@ -17,11 +54,15 @@ pub(crate) struct Sample {
 
 /// A stable snapshot of every registered metric.
 ///
-/// Samples are ordered by `(name, labels)` with histogram buckets kept in
-/// bound order, so [`MetricsSnapshot::render`] is deterministic for a
-/// deterministic workload — suitable for byte-exact golden tests.
+/// Entries are canonically ordered by `(name, labels)` — a **tested
+/// invariant**, not an accident of registry iteration: the constructor
+/// sorts whatever order the 16 registry shards happened to yield, so
+/// [`MetricsSnapshot::render`] is deterministic for a deterministic
+/// workload no matter how metrics interleaved across shards or threads.
+/// Histogram buckets are kept in bound order within their entry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
+    entries: Vec<Entry>,
     samples: Vec<Sample>,
 }
 
@@ -31,8 +72,17 @@ impl MetricsSnapshot {
         MetricsSnapshot::default()
     }
 
-    pub(crate) fn from_samples(samples: Vec<Sample>) -> MetricsSnapshot {
-        MetricsSnapshot { samples }
+    /// Builds a snapshot from raw entries: applies the canonical
+    /// `(name, labels)` sort, then flattens histograms into cumulative
+    /// `_bucket{le=..}` samples plus `_sum`/`_count` and interpolated
+    /// `_p50`/`_p90`/`_p99` quantiles (omitted for empty histograms).
+    pub(crate) fn from_entries(mut entries: Vec<Entry>) -> MetricsSnapshot {
+        entries.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        let mut samples = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            flatten_into(entry, &mut samples);
+        }
+        MetricsSnapshot { entries, samples }
     }
 
     /// Whether the snapshot holds any samples.
@@ -71,6 +121,50 @@ impl MetricsSnapshot {
             .map(|s| (s.name.as_str(), s.labels.as_slice(), s.value))
     }
 
+    /// Merges two snapshots with exact metric arithmetic: scalars
+    /// (counters, float counters, gauges) sum; histograms sum bucket-wise
+    /// (`_sum`/`_count` included) and their quantiles are recomputed from
+    /// the merged buckets. Entries present on only one side pass through
+    /// unchanged. This is the fleet-rollup primitive: merged counters
+    /// equal the sum of the inputs' counters exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `(name, labels)` identity is a scalar on one
+    /// side and a histogram on the other, or if two histograms disagree
+    /// on bucket bounds — both indicate a metric-identity bug upstream.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot::merge_all([self, other])
+    }
+
+    /// [`MetricsSnapshot::merge`] over any number of snapshots.
+    pub fn merge_all<'a>(snaps: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut merged: BTreeMap<(String, Vec<(String, String)>), EntryValue> = BTreeMap::new();
+        for snap in snaps {
+            for entry in &snap.entries {
+                let key = (entry.name.clone(), entry.labels.clone());
+                match merged.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(entry.value.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        merge_value(&entry.name, slot.get_mut(), &entry.value);
+                    }
+                }
+            }
+        }
+        MetricsSnapshot::from_entries(
+            merged
+                .into_iter()
+                .map(|((name, labels), value)| Entry {
+                    name,
+                    labels,
+                    value,
+                })
+                .collect(),
+        )
+    }
+
     /// Renders Prometheus-style text: one `name{k="v"} value` line per
     /// sample, sorted, `\n`-terminated (empty snapshot renders to `""`).
     pub fn render(&self) -> String {
@@ -91,6 +185,174 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Accumulates `add` into `into`, with exact semantics per kind.
+fn merge_value(name: &str, into: &mut EntryValue, add: &EntryValue) {
+    match (into, add) {
+        (EntryValue::Scalar(a), EntryValue::Scalar(b)) => *a += b,
+        (
+            EntryValue::Histogram {
+                bounds: ab,
+                buckets: abk,
+                count: ac,
+                sum: asum,
+            },
+            EntryValue::Histogram {
+                bounds: bb,
+                buckets: bbk,
+                count: bc,
+                sum: bsum,
+            },
+        ) => {
+            assert_eq!(
+                ab, bb,
+                "metric {name:?}: merging histograms with different bucket bounds"
+            );
+            for (a, b) in abk.iter_mut().zip(bbk) {
+                *a += b;
+            }
+            *ac += bc;
+            *asum += bsum;
+        }
+        _ => panic!("metric {name:?}: merging a scalar with a histogram"),
+    }
+}
+
+/// A builder for synthesized snapshots — counters a subsystem tracks
+/// outside the registry (fleet admission accounting, per-tenant
+/// breakdowns) rendered in the same stable format and mergeable with
+/// registry snapshots.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    entries: Vec<Entry>,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder.
+    pub fn new() -> SnapshotBuilder {
+        SnapshotBuilder::default()
+    }
+
+    /// Adds one scalar sample (counter or gauge semantics are the
+    /// caller's business; merges sum either way).
+    pub fn scalar(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        self.entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            value: EntryValue::Scalar(value),
+        });
+        self
+    }
+
+    /// Finishes the snapshot (canonically sorted, like every snapshot).
+    pub fn build(self) -> MetricsSnapshot {
+        MetricsSnapshot::from_entries(self.entries)
+    }
+}
+
+/// Flattens one entry into samples, in the canonical per-entry order:
+/// buckets (bound order), `+Inf`, `_sum`, `_count`, quantiles.
+fn flatten_into(entry: &Entry, samples: &mut Vec<Sample>) {
+    match &entry.value {
+        EntryValue::Scalar(v) => samples.push(Sample {
+            name: entry.name.clone(),
+            labels: entry.labels.clone(),
+            value: *v,
+        }),
+        EntryValue::Histogram {
+            bounds,
+            buckets,
+            count,
+            sum,
+        } => {
+            let mut cumulative = 0u64;
+            for (bound, in_bucket) in bounds.iter().zip(buckets) {
+                cumulative += in_bucket;
+                samples.push(Sample {
+                    name: format!("{}_bucket", entry.name),
+                    labels: with_le(&entry.labels, format_value(*bound)),
+                    value: cumulative as f64,
+                });
+            }
+            samples.push(Sample {
+                name: format!("{}_bucket", entry.name),
+                labels: with_le(&entry.labels, "+Inf".to_string()),
+                value: *count as f64,
+            });
+            samples.push(Sample {
+                name: format!("{}_sum", entry.name),
+                labels: entry.labels.clone(),
+                value: *sum,
+            });
+            samples.push(Sample {
+                name: format!("{}_count", entry.name),
+                labels: entry.labels.clone(),
+                value: *count as f64,
+            });
+            for (q, suffix) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+                if let Some(value) = histogram_quantile(bounds, buckets, *count, q) {
+                    samples.push(Sample {
+                        name: format!("{}_{suffix}", entry.name),
+                        labels: entry.labels.clone(),
+                        value,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Prometheus-style quantile estimate over histogram buckets, with
+/// well-defined edge cases instead of interpolating off the end:
+///
+/// * an **empty** histogram has no quantiles (`None` — callers omit the
+///   samples entirely);
+/// * when every observation landed in **one** bucket (a single sample,
+///   or all-equal samples), the quantile is that bucket's upper bound —
+///   the tightest true statement the buckets support, with no fictitious
+///   interpolation from the bucket's lower edge;
+/// * observations beyond the highest finite bound clamp to that bound
+///   (the `+Inf` bucket has no width to interpolate over);
+/// * otherwise: find the bucket the `q`-rank observation falls into and
+///   interpolate linearly within it (the first bucket interpolates from
+///   zero).
+pub fn histogram_quantile(bounds: &[f64], buckets: &[u64], count: u64, q: f64) -> Option<f64> {
+    if count == 0 {
+        return None;
+    }
+    let in_finite: u64 = buckets.iter().sum();
+    if in_finite == 0 {
+        // Everything overflowed the last finite bound.
+        return bounds.last().copied();
+    }
+    if buckets.iter().filter(|b| **b > 0).count() == 1 && in_finite == count {
+        let only = buckets.iter().position(|b| *b > 0).expect("one nonzero");
+        return Some(bounds[only]);
+    }
+    let rank = q * count as f64;
+    let mut cumulative = 0u64;
+    for (i, (bound, in_bucket)) in bounds.iter().zip(buckets).enumerate() {
+        let below = cumulative as f64;
+        cumulative += in_bucket;
+        if (cumulative as f64) >= rank && *in_bucket > 0 {
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            return Some(lower + (bound - lower) * ((rank - below) / *in_bucket as f64));
+        }
+    }
+    // The rank lands in the +Inf bucket: clamp to the highest finite bound.
+    bounds.last().copied()
+}
+
+fn with_le(labels: &[(String, String)], le: String) -> Vec<(String, String)> {
+    let mut out = labels.to_vec();
+    out.push(("le".to_string(), le));
+    out
 }
 
 /// Stable scalar formatting: integral values print without a fractional

@@ -302,8 +302,9 @@ mod quantiles {
     fn quantiles_interpolate_within_buckets() {
         let tel = Telemetry::enabled();
         let h = tel.histogram("latency_seconds");
-        // 100 observations right at 0.15s: they land in the (0.1, 0.25]
-        // bucket, so every quantile interpolates inside it.
+        // 100 observations right at 0.15s: they all land in the
+        // (0.1, 0.25] bucket, so every quantile reports that bucket's
+        // upper bound (the all-in-one-bucket edge-case rule).
         for _ in 0..100 {
             h.observe(0.15);
         }
@@ -672,5 +673,774 @@ mod chrome_trace_roundtrip {
                 .len(),
             0
         );
+    }
+}
+
+mod snapshot_invariants {
+    use crate::{MetricsSnapshot, SnapshotBuilder, Telemetry};
+
+    /// Satellite: render order is a tested invariant — stable sort by
+    /// metric name then label set, independent of registration order.
+    #[test]
+    fn render_order_is_independent_of_registration_order() {
+        let forward = Telemetry::enabled();
+        let reverse = Telemetry::enabled();
+        let metrics: Vec<(&'static str, &'static str)> = vec![
+            ("zeta_total", "b"),
+            ("alpha_total", "z"),
+            ("mid_total", "m"),
+            ("alpha_total", "a"),
+            ("zeta_total", "a"),
+        ];
+        for (name, label) in &metrics {
+            forward.counter_with(name, &[("shard", label)]).inc();
+        }
+        for (name, label) in metrics.iter().rev() {
+            reverse.counter_with(name, &[("shard", label)]).inc();
+        }
+        let rendered = forward.snapshot().render();
+        assert_eq!(rendered, reverse.snapshot().render());
+        // And the order is the canonical (name, labels) sort.
+        let lines: Vec<&str> = rendered.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "render output is sorted");
+    }
+
+    #[test]
+    fn render_order_is_stable_under_threaded_registration() {
+        let tel = Telemetry::enabled();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let tel = tel.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16 {
+                    let shard = format!("{}", (t * 16 + i) % 7);
+                    tel.counter_with("threaded_total", &[("shard", &shard)])
+                        .inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rendered = tel.snapshot().render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "threaded registration still renders sorted");
+        assert_eq!(lines.len(), 7);
+    }
+
+    /// Tentpole: merged counters equal the sum of the inputs' counters
+    /// exactly, and histograms merge bucket-wise.
+    #[test]
+    fn merge_sums_scalars_and_histograms_exactly() {
+        let a = Telemetry::enabled();
+        let b = Telemetry::enabled();
+        a.counter("requests_total").add(3);
+        b.counter("requests_total").add(39);
+        a.counter_with("only_a_total", &[("k", "v")]).add(7);
+        b.float_counter("joules_total").add(0.125);
+        let ha = a.histogram("lat_seconds");
+        let hb = b.histogram("lat_seconds");
+        for _ in 0..10 {
+            ha.observe(1e-3);
+        }
+        for _ in 0..30 {
+            hb.observe(0.9);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.value_of("requests_total", &[]), Some(42.0));
+        assert_eq!(merged.value_of("only_a_total", &[("k", "v")]), Some(7.0));
+        assert_eq!(merged.value_of("joules_total", &[]), Some(0.125));
+        assert_eq!(merged.value_of("lat_seconds_count", &[]), Some(40.0));
+        let sum = merged.value_of("lat_seconds_sum", &[]).unwrap();
+        assert!((sum - (10.0 * 1e-3 + 30.0 * 0.9)).abs() < 1e-9);
+        // Quantiles are recomputed from the merged buckets: 3/4 of the
+        // mass sits at 0.9, so the median lives in the slow mode.
+        let p50 = merged.value_of("lat_seconds_p50", &[]).unwrap();
+        assert!(p50 > 0.25, "median of merged mass in the slow mode: {p50}");
+    }
+
+    #[test]
+    fn merge_all_equals_pairwise_merges() {
+        let tels: Vec<Telemetry> = (0..4).map(|_| Telemetry::enabled()).collect();
+        for (i, tel) in tels.iter().enumerate() {
+            tel.counter("shard_total").add(i as u64 + 1);
+        }
+        let snaps: Vec<MetricsSnapshot> = tels.iter().map(|t| t.snapshot()).collect();
+        let all = MetricsSnapshot::merge_all(snaps.iter());
+        let pairwise = snaps[0].merge(&snaps[1]).merge(&snaps[2]).merge(&snaps[3]);
+        assert_eq!(all.render(), pairwise.render());
+        assert_eq!(all.value_of("shard_total", &[]), Some(10.0));
+    }
+
+    #[test]
+    fn builder_snapshots_merge_with_registry_snapshots() {
+        let tel = Telemetry::enabled();
+        tel.counter("requests_total").add(5);
+        let mut builder = SnapshotBuilder::new();
+        builder.scalar("requests_total", &[], 7.0).scalar(
+            "fleet_admitted_total",
+            &[("tenant", "a")],
+            3.0,
+        );
+        let merged = tel.snapshot().merge(&builder.build());
+        assert_eq!(merged.value_of("requests_total", &[]), Some(12.0));
+        assert_eq!(
+            merged.value_of("fleet_admitted_total", &[("tenant", "a")]),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "merging a scalar with a histogram")]
+    fn merge_panics_on_kind_mismatch() {
+        let a = Telemetry::enabled();
+        let b = Telemetry::enabled();
+        a.counter("m").inc();
+        b.histogram("m").observe(1.0);
+        let _ = a.snapshot().merge(&b.snapshot());
+    }
+}
+
+mod quantile_edges {
+    use crate::{histogram_quantile, Telemetry};
+
+    /// Satellite: empty, single-sample, and all-equal histograms return
+    /// well-defined quantiles.
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(histogram_quantile(&[1.0, 2.0], &[0, 0], 0, 0.99), None);
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("idle_seconds");
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_reports_its_bucket_bound() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("one_seconds");
+        h.observe(0.15); // lands in the (0.1, 0.25] bucket
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), Some(0.25), "q={q}");
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.value_of("one_seconds_p50", &[]), Some(0.25));
+        assert_eq!(snap.value_of("one_seconds_p99", &[]), Some(0.25));
+    }
+
+    #[test]
+    fn all_equal_samples_report_their_bucket_bound() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("const_seconds");
+        for _ in 0..1000 {
+            h.observe(2e-3); // all in the (1e-3, 2.5e-3] bucket
+        }
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), Some(2.5e-3), "q={q}");
+        }
+    }
+
+    #[test]
+    fn all_overflow_clamps_to_last_finite_bound() {
+        assert_eq!(
+            histogram_quantile(&[1.0, 5.0, 10.0], &[0, 0, 0], 4, 0.5),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn mixed_mass_still_interpolates() {
+        // 2 obs in (0,1], 2 in (1,5]: the median is the first bucket's
+        // upper bound, p99 interpolates inside the second bucket.
+        let bounds = [1.0, 5.0];
+        let buckets = [2, 2];
+        let p50 = histogram_quantile(&bounds, &buckets, 4, 0.5).unwrap();
+        assert!((p50 - 1.0).abs() < 1e-12);
+        let p99 = histogram_quantile(&bounds, &buckets, 4, 0.99).unwrap();
+        assert!(p99 > 4.0 && p99 <= 5.0, "p99 = {p99}");
+    }
+}
+
+mod timeseries {
+    use crate::timeseries::{SeriesConfig, TieredSeries, TimeSeriesStore};
+
+    fn cfg(capacity: usize, tiers: usize, factor: usize) -> SeriesConfig {
+        SeriesConfig {
+            capacity,
+            tiers,
+            factor,
+        }
+    }
+
+    #[test]
+    fn raw_ring_evicts_oldest() {
+        let mut s = TieredSeries::new(cfg(4, 1, 2));
+        for i in 0..10 {
+            s.push(i as f64, i as f64);
+        }
+        assert_eq!(s.pushed(), 10);
+        assert_eq!(s.dropped(), 6);
+        let raw = s.tier(0);
+        let values: Vec<f64> = raw.iter().map(|b| b.mean).collect();
+        assert_eq!(values, vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(s.last(), Some(9.0));
+    }
+
+    #[test]
+    fn tiers_fold_mean_min_max_count() {
+        let mut s = TieredSeries::new(cfg(16, 2, 4));
+        for i in 0..8 {
+            s.push(i as f64, i as f64);
+        }
+        let t1 = s.tier(1);
+        assert_eq!(t1.len(), 2, "8 points / factor 4 = 2 folded bins");
+        assert_eq!(t1[0].count, 4);
+        assert!((t1[0].mean - 1.5).abs() < 1e-12); // mean of 0..=3
+        assert_eq!(t1[0].min, 0.0);
+        assert_eq!(t1[0].max, 3.0);
+        assert!((t1[1].mean - 5.5).abs() < 1e-12); // mean of 4..=7
+        assert_eq!(t1[1].t, 7.0, "bin keeps its newest timestamp");
+    }
+
+    #[test]
+    fn third_tier_folds_tier_one_bins() {
+        let mut s = TieredSeries::new(cfg(64, 3, 2));
+        for i in 0..8 {
+            s.push(i as f64, 1.0);
+        }
+        // 8 raw → 4 tier-1 bins (factor 2) → 2 tier-2 bins.
+        assert_eq!(s.tier(1).len(), 4);
+        assert_eq!(s.tier(2).len(), 2);
+        assert_eq!(s.tier(2)[0].count, 4, "tier-2 bins cover 4 raw points");
+    }
+
+    #[test]
+    fn window_stats_cover_newest_points() {
+        let mut s = TieredSeries::new(cfg(128, 1, 2));
+        for i in 0..100 {
+            s.push(i as f64, if i < 90 { 1.0 } else { 11.0 });
+        }
+        let w = s.window(10).unwrap();
+        assert_eq!(w.count, 10);
+        assert_eq!(w.min, 11.0, "newest 10 points are all 11.0");
+        assert_eq!(w.max, 11.0);
+        assert_eq!(w.p50, 11.0);
+        assert_eq!(w.p99, 11.0);
+        let wide = s.window(100).unwrap();
+        assert_eq!(wide.min, 1.0);
+        assert!((wide.mean - (90.0 * 1.0 + 10.0 * 11.0) / 100.0).abs() < 1e-12);
+        assert_eq!(wide.p50, 1.0);
+        assert_eq!(wide.p99, 11.0);
+    }
+
+    #[test]
+    fn empty_series_has_no_window() {
+        let s = TieredSeries::new(cfg(8, 1, 2));
+        assert!(s.window(4).is_none());
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn store_creates_series_on_first_push() {
+        let store = TimeSeriesStore::new(cfg(8, 1, 2));
+        assert!(store.is_empty());
+        store.push("a", 0.0, 1.0);
+        store.push("b", 0.0, 2.0);
+        store.push("a", 1.0, 3.0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.last("a"), Some(3.0));
+        assert_eq!(store.window("a", 8).unwrap().count, 2);
+        assert!(store.window("missing", 8).is_none());
+    }
+
+    #[test]
+    fn store_ingests_registry_snapshots_skipping_buckets() {
+        let tel = crate::Telemetry::enabled();
+        tel.counter("requests_total").add(4);
+        tel.counter_with("hits_total", &[("job", "a")]).add(2);
+        tel.histogram("lat_seconds").observe(1e-3);
+        let store = TimeSeriesStore::default();
+        store.ingest_snapshot(0.0, &tel.snapshot());
+        tel.counter("requests_total").add(1);
+        store.ingest_snapshot(1.0, &tel.snapshot());
+        assert_eq!(store.last("requests_total"), Some(5.0));
+        assert_eq!(store.last("hits_total{job=\"a\"}"), Some(2.0));
+        assert_eq!(store.last("lat_seconds_count"), Some(1.0));
+        assert!(
+            store.names().iter().all(|n| !n.contains("_bucket")),
+            "bucket samples are not ingested: {:?}",
+            store.names()
+        );
+    }
+}
+
+mod detectors {
+    use crate::detector::{
+        AlertState, EwmaConfig, EwmaDetector, PageHinkley, PageHinkleyConfig, Severity,
+    };
+
+    #[test]
+    fn ewma_fires_on_step_and_clears_on_recovery() {
+        let mut d = EwmaDetector::new("energy", EwmaConfig::default());
+        let mut alerts = Vec::new();
+        // 100 in-band iterations, then a 3x spike for 20, then recovery.
+        for i in 0..100u64 {
+            let v = 100.0 + (i % 5) as f64; // small periodic wobble
+            if let Some(a) = d.update(i, v) {
+                alerts.push(a);
+            }
+        }
+        assert!(alerts.is_empty(), "no false positives in-band: {alerts:?}");
+        for i in 100..120u64 {
+            if let Some(a) = d.update(i, 300.0) {
+                alerts.push(a);
+            }
+        }
+        assert_eq!(alerts.len(), 1, "one firing transition: {alerts:?}");
+        assert_eq!(alerts[0].state, AlertState::Firing);
+        assert_eq!(alerts[0].severity, Severity::Critical);
+        assert!(d.is_firing());
+        for i in 120..160u64 {
+            if let Some(a) = d.update(i, 100.0 + (i % 5) as f64) {
+                alerts.push(a);
+            }
+        }
+        assert_eq!(alerts.len(), 2, "then one cleared transition");
+        assert_eq!(alerts[1].state, AlertState::Cleared);
+        assert!(!d.is_firing());
+    }
+
+    #[test]
+    fn ewma_never_fires_on_constant_series() {
+        let mut d = EwmaDetector::new("flat", EwmaConfig::default());
+        for i in 0..10_000u64 {
+            assert!(d.update(i, 42.0).is_none(), "constant series fired at {i}");
+        }
+    }
+
+    #[test]
+    fn ewma_abs_floor_gates_zero_baseline_series() {
+        let cfg = EwmaConfig {
+            abs_floor: 0.5,
+            ..EwmaConfig::default()
+        };
+        let mut d = EwmaDetector::new("degraded_rate", cfg);
+        for i in 0..100u64 {
+            assert!(d.update(i, 0.0).is_none());
+        }
+        let alert = d
+            .update(100, 3.0)
+            .expect("jump past the absolute floor fires");
+        assert_eq!(alert.state, AlertState::Firing);
+    }
+
+    #[test]
+    fn page_hinkley_catches_slow_creep() {
+        let mut ph = PageHinkley::new("time", PageHinkleyConfig::default());
+        let mut fired_at = None;
+        for i in 0..400u64 {
+            // 1.0 baseline for 100 iters, then a persistent +20% creep —
+            // small enough to stay inside an EWMA band scaled by larger
+            // wobble, but PH accumulates it.
+            let v = if i < 100 { 1.0 } else { 1.2 };
+            if let Some(a) = ph.update(i, v) {
+                fired_at = Some(a.iteration);
+                break;
+            }
+        }
+        let at = fired_at.expect("PH fires on sustained creep");
+        assert!(
+            at >= 100,
+            "no false positive before the creep, fired at {at}"
+        );
+        assert!(at < 200, "fires within 100 iterations of onset, at {at}");
+    }
+
+    #[test]
+    fn page_hinkley_quiet_on_stationary_noise() {
+        let mut ph = PageHinkley::new("noise", PageHinkleyConfig::default());
+        // Deterministic bounded zig-zag around 1.0.
+        for i in 0..10_000u64 {
+            let v = 1.0 + 0.02 * ((i % 7) as f64 - 3.0);
+            assert!(ph.update(i, v).is_none(), "stationary noise fired at {i}");
+        }
+    }
+
+    /// Satellite: the same sample sequence replayed twice produces
+    /// byte-identical alert streams.
+    #[test]
+    fn detector_replay_is_byte_identical() {
+        let run = || {
+            let mut d = EwmaDetector::new("energy", EwmaConfig::default());
+            let mut ph = PageHinkley::new("energy", PageHinkleyConfig::default());
+            let mut log = String::new();
+            for i in 0..600u64 {
+                // Piecewise series with two drift episodes.
+                let v = match i {
+                    0..=199 => 100.0 + (i % 4) as f64,
+                    200..=259 => 260.0,
+                    260..=449 => 100.0 + (i % 4) as f64,
+                    _ => 130.0,
+                };
+                if let Some(a) = d.update(i, v) {
+                    log.push_str(&a.render());
+                    log.push('\n');
+                }
+                if let Some(a) = ph.update(i, v) {
+                    log.push_str(&a.render());
+                    log.push('\n');
+                }
+            }
+            log
+        };
+        let first = run();
+        let second = run();
+        assert!(!first.is_empty(), "the drift episodes produce alerts");
+        assert_eq!(first, second, "replay is byte-identical");
+    }
+
+    #[test]
+    fn alert_log_retains_newest_and_reports_firing() {
+        use crate::detector::{Alert, AlertEvidence, AlertLog};
+        let log = AlertLog::new(2);
+        let mk = |iter: u64, state: AlertState| Alert {
+            iteration: iter,
+            metric: "m".to_string(),
+            detector: "ewma",
+            state,
+            severity: Severity::Warning,
+            evidence: AlertEvidence {
+                observed: 1.0,
+                baseline: 0.5,
+                threshold: 0.2,
+                statistic: 2.5,
+            },
+        };
+        log.push(mk(1, AlertState::Firing));
+        log.push(mk(2, AlertState::Cleared));
+        log.push(mk(3, AlertState::Firing));
+        assert_eq!(log.total(), 3);
+        let kept = log.alerts();
+        assert_eq!(kept.len(), 2, "capacity bound holds");
+        assert_eq!(kept[0].iteration, 2);
+        let firing = log.firing();
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].iteration, 3);
+    }
+}
+
+mod slo {
+    use super::json;
+    use crate::slo::{render_slo_json, SloEngine, SloOp, SloSpec};
+
+    #[test]
+    fn budgets_track_violations_exactly() {
+        let engine = SloEngine::new(vec![SloSpec::new("latency", "p99_s", SloOp::Lte, 1.0)
+            .with_budget(0.1)
+            .with_window(4)]);
+        // 10 ticks, 2 violations: exactly 2x the 10% budget.
+        for i in 0..10u64 {
+            let v = if i == 3 || i == 7 { 5.0 } else { 0.5 };
+            engine.evaluate(i, &[("p99_s", v)]);
+        }
+        let status = &engine.status()[0];
+        assert_eq!(status.ticks, 10);
+        assert_eq!(status.violations, 2);
+        assert!((status.budget_consumed - 2.0).abs() < 1e-12);
+        assert!(!status.healthy);
+        assert_eq!(status.last_violation_iter, Some(7));
+        // Window of 4 saw one violation (iter 7) → burn rate 2.5x.
+        assert_eq!(status.window_violations, 1);
+        assert!((status.burn_rate - 2.5).abs() < 1e-12);
+        assert!(!engine.all_healthy());
+    }
+
+    #[test]
+    fn absent_metrics_consume_no_budget() {
+        let engine = SloEngine::new(vec![SloSpec::new("rec", "recovery_iters", SloOp::Lte, 3.0)]);
+        for i in 0..100u64 {
+            engine.evaluate(i, &[("other_metric", 1.0)]);
+        }
+        let status = &engine.status()[0];
+        assert_eq!(status.ticks, 0);
+        assert_eq!(status.budget_consumed, 0.0);
+        assert!(status.healthy);
+        assert_eq!(status.last_value, None);
+    }
+
+    #[test]
+    fn gte_objectives_hold_above_target() {
+        let engine = SloEngine::new(vec![SloSpec::new("tput", "iters_per_s", SloOp::Gte, 10.0)]);
+        engine.evaluate(0, &[("iters_per_s", 12.0)]);
+        engine.evaluate(1, &[("iters_per_s", 8.0)]);
+        let status = &engine.status()[0];
+        assert_eq!(status.violations, 1);
+    }
+
+    #[test]
+    fn slo_json_is_valid_and_complete() {
+        let engine = SloEngine::perseus_defaults();
+        engine.evaluate(0, &[("extrinsic_share", 0.2), ("recovery_iters", 1.0)]);
+        let text = render_slo_json(&engine.status());
+        let value = json::parse(&text).expect("/slo body is valid JSON");
+        let arr = value.as_array().unwrap();
+        assert_eq!(arr.len(), 3, "three default objectives");
+        let first = arr[0].as_object().unwrap();
+        assert!(first.contains_key("name"));
+        assert!(first.contains_key("budget_consumed"));
+        assert!(first.contains_key("healthy"));
+        // The never-evaluated latency objective serializes its null.
+        let latency = arr
+            .iter()
+            .filter_map(|v| v.as_object())
+            .find(|o| o["name"].as_str() == Some("lookup_latency_p99"))
+            .unwrap();
+        assert_eq!(latency["last_value"], json::Value::Null);
+    }
+}
+
+mod pipeline {
+    use super::json;
+    use crate::pipeline::{render_alerts_json, series, ObsPipeline};
+    use crate::{IterationSample, Telemetry};
+
+    fn sample(iteration: u64, sync_time_s: f64, extrinsic_j: f64) -> IterationSample {
+        IterationSample {
+            iteration,
+            sync_time_s,
+            useful_j: 100.0,
+            intrinsic_j: 8.0,
+            extrinsic_j,
+            freq_min_mhz: 990,
+            freq_max_mhz: 1410,
+            degraded: false,
+            degraded_lookups: 0,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn pipeline_builds_series_and_catches_drift() {
+        let pipeline = ObsPipeline::default();
+        let mut alerts = Vec::new();
+        for i in 0..200u64 {
+            alerts.extend(pipeline.ingest(&sample(i, 0.5 + (i % 3) as f64 * 0.001, 2.0)));
+        }
+        assert!(
+            alerts.is_empty(),
+            "healthy run produces no alerts: {alerts:?}"
+        );
+        // Sustained straggler: sync time and extrinsic joules triple.
+        let mut fired_at = None;
+        for i in 200..260u64 {
+            let fired = pipeline.ingest(&sample(i, 1.6, 160.0));
+            if fired_at.is_none() && !fired.is_empty() {
+                fired_at = Some(i);
+            }
+        }
+        let at = fired_at.expect("drift fires an alert");
+        assert!(at <= 210, "alert within 10 iterations of onset, got {at}");
+        assert!(!pipeline.firing().is_empty());
+        assert_eq!(pipeline.ingested(), 260);
+        // Derived series exist with the documented names.
+        for name in [
+            series::ENERGY_PER_ITERATION_J,
+            series::SYNC_TIME_S,
+            series::EXTRINSIC_SHARE,
+            series::DEGRADED_LOOKUP_RATE,
+        ] {
+            assert!(
+                pipeline.store().last(name).is_some(),
+                "series {name} missing"
+            );
+        }
+        let w = pipeline.window(series::SYNC_TIME_S, 16).unwrap();
+        assert!(w.max >= 1.6);
+    }
+
+    #[test]
+    fn recovery_episodes_feed_the_slo_engine() {
+        let pipeline = ObsPipeline::default();
+        for i in 0..50u64 {
+            let mut s = sample(i, 0.5, 2.0);
+            s.degraded = (10..=14).contains(&i); // a 5-iteration episode
+            pipeline.ingest(&s);
+        }
+        assert_eq!(pipeline.store().last(series::RECOVERY_ITERS), Some(5.0));
+        let status = pipeline.slo_status();
+        let recovery = status.iter().find(|s| s.name == "recovery_iters").unwrap();
+        assert_eq!(recovery.ticks, 1, "one recovery episode evaluated");
+        assert_eq!(recovery.violations, 1, "5 iters > the 3-iter objective");
+    }
+
+    #[test]
+    fn lookup_latency_histogram_feeds_p99_objective() {
+        let tel = Telemetry::enabled();
+        let hist = tel.histogram("perseus_server_lookup_seconds");
+        let pipeline = ObsPipeline::default();
+        pipeline.attach_lookup_latency(hist.clone());
+        hist.observe(2e-6);
+        pipeline.ingest(&sample(0, 0.5, 2.0));
+        let status = pipeline.slo_status();
+        let latency = status
+            .iter()
+            .find(|s| s.name == "lookup_latency_p99")
+            .unwrap();
+        assert_eq!(latency.ticks, 1);
+        assert_eq!(latency.violations, 0, "2 µs is inside the 50 µs objective");
+        assert!(pipeline
+            .store()
+            .last(series::LOOKUP_LATENCY_P99_S)
+            .is_some());
+    }
+
+    /// Satellite: no-fault soak — 10k healthy iterations, zero alerts.
+    #[test]
+    fn ten_thousand_iteration_soak_produces_zero_alerts() {
+        let pipeline = ObsPipeline::default();
+        // Deterministic small jitter from SplitMix64 (seeded, no RNG dep).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        for i in 0..10_000u64 {
+            let jitter = next() * 0.02 - 0.01; // ±1%
+            let fired = pipeline.ingest(&sample(i, 0.5 * (1.0 + jitter), 2.0 * (1.0 + jitter)));
+            assert!(fired.is_empty(), "soak fired at iteration {i}: {fired:?}");
+        }
+        assert_eq!(pipeline.alert_log().total(), 0);
+        assert!(pipeline.slo_healthy());
+    }
+
+    #[test]
+    fn alerts_json_is_valid() {
+        let pipeline = ObsPipeline::default();
+        for i in 0..120u64 {
+            pipeline.ingest(&sample(i, 0.5, 2.0));
+        }
+        for i in 120..140u64 {
+            pipeline.ingest(&sample(i, 2.5, 200.0));
+        }
+        let text = pipeline.alerts_json();
+        let value = json::parse(&text).expect("/alerts body is valid JSON");
+        let arr = value.as_array().unwrap();
+        assert!(!arr.is_empty());
+        let first = arr[0].as_object().unwrap();
+        assert_eq!(first["state"].as_str(), Some("firing"));
+        assert!(first.contains_key("observed"));
+        assert!(first.contains_key("baseline"));
+        // Empty log renders an empty array.
+        assert_eq!(render_alerts_json(&[]), "[]");
+    }
+}
+
+mod http_server {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    use super::json;
+    use crate::pipeline::ObsPipeline;
+    use crate::{Endpoints, IterationSample, Telemetry, TelemetryServer};
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a blank line");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_alerts_slo_and_health() {
+        let tel = Telemetry::enabled();
+        tel.counter("requests_total").add(3);
+        let pipeline = Arc::new(ObsPipeline::default());
+        pipeline.ingest(&IterationSample {
+            iteration: 0,
+            sync_time_s: 0.5,
+            useful_j: 100.0,
+            intrinsic_j: 8.0,
+            extrinsic_j: 2.0,
+            ..IterationSample::default()
+        });
+        let server = TelemetryServer::bind(
+            "127.0.0.1:0",
+            Endpoints::from_telemetry(tel.clone()).with_pipeline(Arc::clone(&pipeline)),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Content-Type: text/plain"), "{head}");
+        assert_eq!(body, tel.snapshot().render(), "/metrics serves the render");
+
+        let (head, body) = get(addr, "/alerts");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("application/json"));
+        json::parse(&body).expect("/alerts is valid JSON");
+
+        let (head, body) = get(addr, "/slo");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        let value = json::parse(&body).expect("/slo is valid JSON");
+        assert_eq!(value.as_array().unwrap().len(), 3);
+
+        let (head, body) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+        // After shutdown the port stops accepting (bind it again to prove
+        // the listener is gone).
+        std::net::TcpListener::bind(addr).expect("port released after shutdown");
+    }
+
+    #[test]
+    fn metrics_reflect_live_updates() {
+        let tel = Telemetry::enabled();
+        let server =
+            TelemetryServer::bind("127.0.0.1:0", Endpoints::from_telemetry(tel.clone())).unwrap();
+        let addr = server.addr();
+        let (_, body) = get(addr, "/metrics");
+        assert_eq!(body, "");
+        tel.counter("live_total").add(7);
+        let (_, body) = get(addr, "/metrics");
+        assert_eq!(body, "live_total 7\n", "scrape reflects the update");
+    }
+
+    #[test]
+    fn custom_metrics_source_overrides_default() {
+        let server = TelemetryServer::bind(
+            "127.0.0.1:0",
+            Endpoints::default().with_metrics(|| "rollup_total 42\n".to_string()),
+        )
+        .unwrap();
+        let (_, body) = get(server.addr(), "/metrics");
+        assert_eq!(body, "rollup_total 42\n");
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = TelemetryServer::bind("127.0.0.1:0", Endpoints::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
     }
 }

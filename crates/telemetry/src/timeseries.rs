@@ -1,0 +1,349 @@
+//! Streaming time-series storage: fixed-capacity per-metric ring series
+//! with tiered downsampling and windowed aggregates.
+//!
+//! Point-in-time snapshots answer "what is the counter now"; re-planning
+//! needs "how has energy-per-iteration moved over the last thousand
+//! iterations". A [`TimeSeriesStore`] keeps that history bounded: every
+//! metric gets a [`TieredSeries`] — a raw ring of the most recent points
+//! plus coarser tiers where each bin folds `factor` bins of the tier
+//! below into `(mean, min, max, count)` — so an hour of history costs the
+//! same memory as a minute, just at lower resolution (the classic
+//! RRD/Gorilla layout, hand-rolled to stay zero-dependency).
+//!
+//! Everything here is deterministic: points are keyed by caller-supplied
+//! timestamps (iteration indices in the emulator, seconds in a live
+//! deployment), no wall clock is ever read, and aggregates are pure
+//! functions of the retained points — which is what lets the drift
+//! detectors downstream be golden-tested.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use parking_lot::Mutex;
+
+/// One retained bin of a series tier. Tier 0 bins are raw points
+/// (`count == 1`, `mean == min == max`); higher tiers fold `factor`
+/// lower-tier bins each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesBin {
+    /// Timestamp of the newest point folded into this bin.
+    pub t: f64,
+    /// Mean of the folded points.
+    pub mean: f64,
+    /// Minimum of the folded points.
+    pub min: f64,
+    /// Maximum of the folded points.
+    pub max: f64,
+    /// Raw points folded into this bin.
+    pub count: u64,
+}
+
+impl SeriesBin {
+    fn raw(t: f64, value: f64) -> SeriesBin {
+        SeriesBin {
+            t,
+            mean: value,
+            min: value,
+            max: value,
+            count: 1,
+        }
+    }
+
+    /// Folds `other` into `self` (weighted mean, min/max envelope).
+    fn fold(&mut self, other: &SeriesBin) {
+        let total = self.count + other.count;
+        self.mean =
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count = total;
+        self.t = self.t.max(other.t);
+    }
+}
+
+/// Windowed aggregates over the newest raw points of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Points the window actually covered (≤ the requested width).
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (lower-nearest-rank over the sorted window).
+    pub p50: f64,
+    /// 99th percentile (lower-nearest-rank over the sorted window).
+    pub p99: f64,
+}
+
+/// One ring of bins with a fixed capacity.
+#[derive(Debug, Clone)]
+struct Ring {
+    capacity: usize,
+    bins: VecDeque<SeriesBin>,
+    /// Bins evicted because the ring was full.
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            capacity,
+            bins: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, bin: SeriesBin) {
+        if self.bins.len() == self.capacity {
+            self.bins.pop_front();
+            self.dropped += 1;
+        }
+        self.bins.push_back(bin);
+    }
+}
+
+/// Shape of a [`TieredSeries`]: ring capacity per tier, number of tiers,
+/// and the downsampling factor between adjacent tiers.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesConfig {
+    /// Bins retained per tier (minimum 2).
+    pub capacity: usize,
+    /// Tiers including the raw tier (minimum 1).
+    pub tiers: usize,
+    /// Lower-tier bins folded into one bin of the next tier (minimum 2).
+    pub factor: usize,
+}
+
+impl Default for SeriesConfig {
+    /// 1024 bins × 3 tiers at factor 16: ~1k iterations raw, ~16k at
+    /// tier 1, ~262k at tier 2 — a full training segment in three rings.
+    fn default() -> SeriesConfig {
+        SeriesConfig {
+            capacity: 1024,
+            tiers: 3,
+            factor: 16,
+        }
+    }
+}
+
+impl SeriesConfig {
+    fn clamped(self) -> SeriesConfig {
+        SeriesConfig {
+            capacity: self.capacity.max(2),
+            tiers: self.tiers.max(1),
+            factor: self.factor.max(2),
+        }
+    }
+}
+
+/// A fixed-memory series for one metric: a raw ring plus downsampled
+/// tiers. All mutation goes through [`TieredSeries::push`]; reads copy.
+#[derive(Debug, Clone)]
+pub struct TieredSeries {
+    cfg: SeriesConfig,
+    tiers: Vec<Ring>,
+    /// Per-tier fold-in-progress: the bin accumulating the next `factor`
+    /// lower-tier bins (index 0 accumulates raw points for tier 1).
+    pending: Vec<Option<(SeriesBin, usize)>>,
+    /// Total raw points ever pushed.
+    pushed: u64,
+}
+
+impl TieredSeries {
+    /// An empty series shaped by `cfg`.
+    pub fn new(cfg: SeriesConfig) -> TieredSeries {
+        let cfg = cfg.clamped();
+        TieredSeries {
+            cfg,
+            tiers: (0..cfg.tiers).map(|_| Ring::new(cfg.capacity)).collect(),
+            pending: vec![None; cfg.tiers.saturating_sub(1)],
+            pushed: 0,
+        }
+    }
+
+    /// Appends one raw point and cascades completed folds up the tiers.
+    pub fn push(&mut self, t: f64, value: f64) {
+        self.pushed += 1;
+        let mut bin = SeriesBin::raw(t, value);
+        self.tiers[0].push(bin);
+        for tier in 1..self.cfg.tiers {
+            let slot = &mut self.pending[tier - 1];
+            match slot {
+                None => *slot = Some((bin, 1)),
+                Some((acc, n)) => {
+                    acc.fold(&bin);
+                    *n += 1;
+                }
+            }
+            let full = matches!(slot, Some((_, n)) if *n >= self.cfg.factor);
+            if !full {
+                break;
+            }
+            let (acc, _) = slot.take().expect("pending fold present");
+            self.tiers[tier].push(acc);
+            bin = acc;
+        }
+    }
+
+    /// Total raw points ever pushed (retained or evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Retained bins of `tier` (0 = raw), oldest first.
+    pub fn tier(&self, tier: usize) -> Vec<SeriesBin> {
+        self.tiers
+            .get(tier)
+            .map(|r| r.bins.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of tiers (including raw).
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Raw bins evicted from tier 0 so far.
+    pub fn dropped(&self) -> u64 {
+        self.tiers[0].dropped
+    }
+
+    /// The newest raw value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.tiers[0].bins.back().map(|b| b.mean)
+    }
+
+    /// Aggregates over the newest `window` raw points (fewer when the
+    /// ring holds fewer). `None` when the series is empty. Quantiles use
+    /// lower-nearest-rank over the sorted window — exact, deterministic,
+    /// and free of interpolation artifacts on small windows.
+    pub fn window(&self, window: usize) -> Option<WindowStats> {
+        let bins = &self.tiers[0].bins;
+        if bins.is_empty() || window == 0 {
+            return None;
+        }
+        let take = window.min(bins.len());
+        let mut values: Vec<f64> = bins.iter().rev().take(take).map(|b| b.mean).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("series values are never NaN"));
+        let n = values.len();
+        let rank = |q: f64| values[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+        Some(WindowStats {
+            count: n,
+            mean: values.iter().sum::<f64>() / n as f64,
+            min: values[0],
+            max: values[n - 1],
+            p50: rank(0.50),
+            p99: rank(0.99),
+        })
+    }
+}
+
+/// A named collection of [`TieredSeries`], the store behind the streaming
+/// observability pipeline. Cheap to share (`&self` everywhere, one mutex
+/// around the map); series are created on first push.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    cfg: SeriesConfig,
+    series: Mutex<BTreeMap<String, TieredSeries>>,
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> TimeSeriesStore {
+        TimeSeriesStore::new(SeriesConfig::default())
+    }
+}
+
+impl TimeSeriesStore {
+    /// An empty store; every new series inherits `cfg`.
+    pub fn new(cfg: SeriesConfig) -> TimeSeriesStore {
+        TimeSeriesStore {
+            cfg: cfg.clamped(),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Appends a point to `metric`'s series, creating it on first use.
+    pub fn push(&self, metric: &str, t: f64, value: f64) {
+        let mut series = self.series.lock();
+        series
+            .entry(metric.to_string())
+            .or_insert_with(|| TieredSeries::new(self.cfg))
+            .push(t, value);
+    }
+
+    /// The registry adapter: appends every non-bucket scalar sample of a
+    /// [`crate::MetricsSnapshot`] as a point at time `t`. Cumulative
+    /// `_bucket` samples are skipped — their per-le label sets would
+    /// explode the store without adding trend signal; `_sum`/`_count`
+    /// and the quantile samples carry the history that matters.
+    pub fn ingest_snapshot(&self, t: f64, snap: &crate::MetricsSnapshot) {
+        let mut series = self.series.lock();
+        for (name, labels, value) in snap.iter() {
+            if name.ends_with("_bucket") {
+                continue;
+            }
+            let key = series_key(name, labels);
+            series
+                .entry(key)
+                .or_insert_with(|| TieredSeries::new(self.cfg))
+                .push(t, value);
+        }
+    }
+
+    /// Registered series names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.series.lock().keys().cloned().collect()
+    }
+
+    /// A copy of `metric`'s series, if it exists.
+    pub fn series(&self, metric: &str) -> Option<TieredSeries> {
+        self.series.lock().get(metric).cloned()
+    }
+
+    /// Windowed aggregates over the newest `window` points of `metric`.
+    pub fn window(&self, metric: &str, window: usize) -> Option<WindowStats> {
+        self.series
+            .lock()
+            .get(metric)
+            .and_then(|s| s.window(window))
+    }
+
+    /// The newest value of `metric`, if any.
+    pub fn last(&self, metric: &str) -> Option<f64> {
+        self.series.lock().get(metric).and_then(|s| s.last())
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.lock().len()
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.lock().is_empty()
+    }
+}
+
+/// Flattens a labeled sample into one stable series key:
+/// `name{k="v",..}` (labels are already sorted by the snapshot).
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        key.push_str(v);
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
