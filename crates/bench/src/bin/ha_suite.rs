@@ -1,0 +1,460 @@
+//! HA suite: the claim gate for replicated serving, leader failover, and
+//! live re-planning on profile drift.
+//!
+//! Seven claims, each gating the exit code:
+//!
+//! 1. **Bit-identical promotion** — a follower fed the leader's journal
+//!    by WAL shipping, then promoted after the leader dies, must carry a
+//!    state fingerprint equal to the leader's at the shipped watermark.
+//! 2. **Bounded tail replay** — promotion replays only the
+//!    shipped-but-unapplied queue (≤ the configured lag bound), never
+//!    the journal from genesis.
+//! 3. **Drift triggers a warm-started re-plan** — accumulated profile
+//!    drift past the watcher threshold must re-characterize through the
+//!    warm-started solver (`warm_start_hits` increases), bump the
+//!    deployment epoch, and advance + invalidate the fleet plan cache;
+//!    drift below the threshold must be a no-op.
+//! 4. **Staleness SLO** — after the drift re-plan triggers, lookups must
+//!    be served from the re-characterized frontier within the
+//!    `drift_staleness` SLO bound (tracked through the observability
+//!    pipeline as a real error-budgeted objective).
+//! 5. **Torn follower tail** — a follower whose journal loses its tail
+//!    mid-record (torn write) must truncate at open exactly like the
+//!    leader's recovery does, then resynchronize from the leader's
+//!    watermark to a bit-identical state.
+//! 6. **Failover mid-run** — a chaos run that kills the leader and
+//!    promotes a follower at a scheduled iteration must complete, and a
+//!    rerun from a fresh directory must be bit-identical (energy, time).
+//! 7. **Watcher inertness** — table 3 and figure 9 rendered with a live
+//!    drift watcher active in the same process (shared telemetry) must
+//!    stay byte-identical to the golden fixtures.
+//!
+//! Stdout is deterministic (claim lines only); promotion/recovery wall
+//! times go to stderr. `--bench-json PATH` writes the machine-readable
+//! artifact; `--metrics` prints the suite's telemetry snapshot.
+//!
+//! Run: `cargo run --release -p perseus-bench --bin ha_suite \
+//!        [-- --bench-json BENCH_ha.json] [--metrics]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use perseus_bench::SuiteTelemetry;
+use perseus_chaos::{model_profiles, run_chaos, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+use perseus_cluster::{ClusterConfig, Emulator};
+use perseus_core::{FrontierOptions, PlanCache};
+use perseus_gpu::{FreqMHz, GpuSpec, NoiseModel};
+use perseus_models::zoo;
+use perseus_pipeline::{OpKey, PipelineDag, ScheduleKind};
+use perseus_profiler::{ProfileDb, ProfileDrift};
+use perseus_server::{
+    FollowerServer, JobSpec, PerseusServer, Replicator, Role, DEFAULT_DRIFT_THRESHOLD,
+};
+use perseus_telemetry::pipeline::series;
+use perseus_telemetry::{ObsPipeline, PipelineConfig, SloSpec, Telemetry};
+
+const TABLE3_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/table3_intrinsic.txt"
+);
+const FIG9_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/fig9_frontier.txt"
+);
+
+/// Iterations a drift re-plan gets before lookups must come from the
+/// re-characterized frontier.
+const STALENESS_BOUND_ITERS: f64 = 5.0;
+
+/// Shipped-but-unapplied records the promotion test's follower tolerates.
+const MAX_LAG: u64 = 2;
+
+fn cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        model: zoo::gpt3_xl(4),
+        gpu: GpuSpec::a100_pcie(),
+        n_stages: 4,
+        n_microbatches: 8,
+        n_pipelines: 4,
+        tensor_parallel: 1,
+        schedule: ScheduleKind::OneFOneB,
+        frontier: FrontierOptions {
+            tau_s: Some(2e-3),
+            max_iters: 50_000,
+            stretch: true,
+            warm_start: true,
+        },
+    }
+}
+
+fn job_spec(name: &str, pipe: &PipelineDag) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        pipe: pipe.clone(),
+        gpu: GpuSpec::a100_pcie(),
+        power_states: None,
+    }
+}
+
+/// Drives one scripted history covering every journaled event kind, so
+/// replication ships a representative WAL.
+fn drive_history(server: &PerseusServer, pipe: &PipelineDag, profiles: &ProfileDb<OpKey>) {
+    let gpu = GpuSpec::a100_pcie();
+    server.register_job(job_spec("ha", pipe)).expect("register");
+    server
+        .submit_profiles("ha", profiles.clone(), &FrontierOptions::default())
+        .expect("submit")
+        .wait()
+        .expect("characterize");
+    server.set_straggler("ha", 0, 0.0, 1.25).expect("straggler");
+    let cap = FreqMHz((gpu.min_freq_mhz + gpu.max_freq_mhz) / 2);
+    server.apply_freq_cap("ha", cap).expect("freq cap");
+    server
+        .set_straggler("ha", 2, 60.0, 1.4)
+        .expect("pending straggler");
+    server.advance_time("ha", 10.0).expect("advance");
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("perseus-ha-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn claim(name: &str, holds: bool, failed: &mut bool) {
+    println!("{name}: {}", if holds { "HOLDS" } else { "FAILED" });
+    if !holds {
+        *failed = true;
+    }
+}
+
+fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite = SuiteTelemetry::from_args(&args);
+    let bench_json = arg_str(&args, "--bench-json");
+    let mut failed = false;
+    let started = Instant::now();
+
+    let config = cluster_config();
+    let emu = Emulator::new(config.clone()).expect("emulator builds");
+    let pipe = emu.pipe().clone();
+    let profiles = model_profiles(&pipe, &config.gpu, emu.stages());
+    drop(emu);
+
+    println!("== HA suite: replication + failover + live re-planning ==");
+
+    // [1][2] WAL-shipped follower, bounded lag, kill leader, promote.
+    let leader_dir = unique_dir("leader");
+    let follower_dir = unique_dir("follower");
+    let leader = Arc::new(
+        PerseusServer::open_with(&leader_dir, 1, Telemetry::disabled()).expect("open leader"),
+    );
+    drive_history(&leader, &pipe, &profiles);
+    let leader_fp = leader.state_fingerprint();
+    let watermark = leader.replication_watermark().expect("watermark");
+
+    let mut follower = FollowerServer::open(&follower_dir).expect("open follower");
+    follower.set_max_lag(MAX_LAG);
+    let replicator = Replicator::new(Arc::clone(&leader));
+    replicator.sync(&mut follower).expect("sync");
+    let lag_at_kill = follower.stats();
+    drop(replicator);
+    drop(leader); // the leader dies
+
+    let t0 = Instant::now();
+    let (promoted, report) = follower.promote().expect("promote");
+    let promotion = t0.elapsed();
+    claim(
+        "[1] promoted follower fingerprint bit-identical to leader at shipped watermark",
+        promoted.state_fingerprint() == leader_fp && promoted.role() == Role::Leader,
+        &mut failed,
+    );
+    claim(
+        "[2] promotion replays only the bounded pending tail, never from genesis",
+        report.replayed_records <= MAX_LAG
+            && report.replayed_records == lag_at_kill.lag_records
+            && watermark > report.replayed_records,
+        &mut failed,
+    );
+    println!(
+        "promotion replayed {} of {} journaled records (lag bound {})",
+        report.replayed_records, watermark, MAX_LAG
+    );
+    eprintln!(
+        "promotion wall time: {:.3} ms",
+        promotion.as_secs_f64() * 1e3
+    );
+    // The promoted server keeps serving: a mutation must succeed.
+    promoted
+        .set_straggler("ha", 1, 0.0, 1.1)
+        .expect("promoted leader serves mutations");
+    drop(promoted);
+
+    // [3][4] Drift accumulation → threshold trip → warm-started re-plan,
+    // epoch bump, cache invalidation, and the staleness SLO.
+    let server = Arc::new(PerseusServer::with_workers(1));
+    let cache = Arc::new(PlanCache::new());
+    server.set_plan_cache(Some(Arc::clone(&cache)));
+    server
+        .register_job(job_spec("ha", &pipe))
+        .expect("register");
+    let opts = cluster_config().frontier;
+    server
+        .submit_profiles("ha", profiles.clone(), &opts)
+        .expect("submit")
+        .wait()
+        .expect("characterize");
+    let before = server.job_status("ha").expect("status");
+    let cache_epoch0 = cache.stats().epoch;
+
+    let mut drift = ProfileDrift::new(
+        profiles.clone(),
+        NoiseModel {
+            time_rel_sigma: 0.0,
+            energy_rel_sigma: 0.0,
+            seed: 7,
+        },
+    );
+    // Below threshold: 1% drift against the 5% default must be a no-op.
+    let small = drift.shift_all(1.01, 1.01);
+    let no_replan = server.ingest_drift("ha", &small).expect("ingest small");
+    let untouched = server.job_status("ha").expect("status");
+    // Accumulate past the threshold: cumulative ≈ 7% time drift.
+    let big = drift.shift_all(1.06, 1.05);
+    let trigger_iter: u64 = 100; // the simulated iteration of the trip
+    let ticket = server
+        .ingest_drift("ha", &big)
+        .expect("ingest big")
+        .expect("threshold crossed must re-plan");
+    ticket.wait().expect("re-characterize");
+    // The client-visible poll loop: iterations until a lookup answers
+    // from the re-characterized frontier.
+    let mut staleness = 0u64;
+    for i in 1..=STALENESS_BOUND_ITERS as u64 {
+        let status = server.job_status("ha").expect("status");
+        if status.epoch > before.epoch {
+            staleness = i;
+            break;
+        }
+    }
+    let after = server.job_status("ha").expect("status");
+    claim(
+        "[3] drift past threshold re-plans warm-started; below threshold is a no-op",
+        no_replan.is_none()
+            && untouched.epoch == before.epoch
+            && server.drift_replans() == 1
+            && after.epoch > before.epoch
+            && after.solver.warm_start_hits > before.solver.warm_start_hits
+            && cache.stats().epoch > cache_epoch0
+            && cache.stats().invalidations >= 1,
+        &mut failed,
+    );
+    let obs = ObsPipeline::new(PipelineConfig {
+        slos: vec![SloSpec::drift_staleness(STALENESS_BOUND_ITERS)],
+        ..PipelineConfig::default()
+    });
+    obs.observe_metric(
+        trigger_iter + staleness,
+        series::DRIFT_STALENESS_ITERS,
+        staleness as f64,
+    );
+    let slo = obs.slo_status();
+    claim(
+        "[4] post-drift lookups served within the staleness SLO",
+        staleness >= 1
+            && obs.slo_healthy()
+            && slo.len() == 1
+            && slo[0].ticks == 1
+            && slo[0].violations == 0,
+        &mut failed,
+    );
+    println!(
+        "drift watcher: threshold {:.2}, replans {}, staleness {} iters (bound {})",
+        DEFAULT_DRIFT_THRESHOLD,
+        server.drift_replans(),
+        staleness,
+        STALENESS_BOUND_ITERS
+    );
+    let warm_start_delta = after.solver.warm_start_hits - before.solver.warm_start_hits;
+    drop(server);
+
+    // [5] Torn follower tail: tear the shipped journal mid-record, reopen
+    // (truncates like `Journal::open` always does), resync, converge.
+    let leader_dir2 = unique_dir("leader2");
+    let follower_dir2 = unique_dir("follower2");
+    let leader = Arc::new(
+        PerseusServer::open_with(&leader_dir2, 1, Telemetry::disabled()).expect("open leader"),
+    );
+    leader
+        .register_job(job_spec("ha", &pipe))
+        .expect("register");
+    leader
+        .submit_profiles("ha", profiles.clone(), &FrontierOptions::default())
+        .expect("submit")
+        .wait()
+        .expect("characterize");
+    let mut follower = FollowerServer::open(&follower_dir2).expect("open follower");
+    let replicator = Replicator::new(Arc::clone(&leader));
+    replicator.sync(&mut follower).expect("sync");
+    let shipped_before_tear = follower.shipped_seq();
+    drop(follower); // follower process dies mid-ship…
+
+    // …with the last shipped record torn: the tail loses 7 bytes.
+    let journal_path = follower_dir2.join("server.journal");
+    let len = std::fs::metadata(&journal_path)
+        .expect("journal metadata")
+        .len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&journal_path)
+        .expect("open follower journal");
+    file.set_len(len - 7).expect("tear journal tail");
+    drop(file);
+
+    // Meanwhile the leader keeps mutating.
+    leader.set_straggler("ha", 3, 0.0, 1.2).expect("straggler");
+    leader.advance_time("ha", 5.0).expect("advance");
+
+    let mut follower = FollowerServer::open(&follower_dir2).expect("reopen follower");
+    let truncated = follower.shipped_seq() < shipped_before_tear;
+    replicator.sync(&mut follower).expect("resync");
+    follower.apply_all();
+    claim(
+        "[5] torn follower tail truncated at open and resynced bit-identical",
+        truncated
+            && follower.shipped_seq() == leader.replication_watermark().expect("watermark")
+            && follower.server().state_fingerprint() == leader.state_fingerprint(),
+        &mut failed,
+    );
+    drop(replicator);
+    drop(leader);
+    drop(follower);
+
+    // [6] Leader failover mid-chaos-run, replayed bit-identically.
+    let failover_chaos = |tag: &str| {
+        let dir = unique_dir(tag);
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent {
+                    at_iteration: 10,
+                    kind: FaultKind::DriftBurst {
+                        pipeline: 1,
+                        degree: 1.4,
+                    },
+                },
+                FaultEvent {
+                    at_iteration: 20,
+                    kind: FaultKind::LeaderFailover,
+                },
+                FaultEvent {
+                    at_iteration: 30,
+                    kind: FaultKind::StragglerRecover { pipeline: 1 },
+                },
+            ],
+        );
+        let mut emu = Emulator::new(cluster_config()).expect("emulator builds");
+        let report = run_chaos(
+            &mut emu,
+            &ChaosConfig {
+                seed: 0,
+                iterations: 40,
+                durable_dir: Some(dir.clone()),
+                plan: Some(plan),
+                ..ChaosConfig::default()
+            },
+        )
+        .expect("failover chaos run");
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    };
+    let a = failover_chaos("chaos-a");
+    let b = failover_chaos("chaos-b");
+    claim(
+        "[6] mid-run leader failover survives and replays bit-identical",
+        a.leader_failovers == 1
+            && b.leader_failovers == 1
+            && a.faults_injected == a.faults_scheduled
+            && a.total_energy_j.to_bits() == b.total_energy_j.to_bits()
+            && a.total_time_s.to_bits() == b.total_time_s.to_bits(),
+        &mut failed,
+    );
+
+    // [7] Watcher inertness: a drift watcher re-planning in-process,
+    // sharing the live telemetry handle, must leave table 3 and figure 9
+    // byte-identical to the goldens.
+    let active_tel = Telemetry::enabled();
+    let watched = Arc::new(PerseusServer::with_telemetry(1, active_tel.clone()));
+    watched
+        .register_job(job_spec("ha", &pipe))
+        .expect("register");
+    watched
+        .submit_profiles("ha", profiles.clone(), &opts)
+        .expect("submit")
+        .wait()
+        .expect("characterize");
+    let mut watched_drift = ProfileDrift::new(
+        profiles.clone(),
+        NoiseModel {
+            time_rel_sigma: 0.0,
+            energy_rel_sigma: 0.0,
+            seed: 11,
+        },
+    );
+    let deltas = watched_drift.shift_all(1.08, 1.06);
+    watched
+        .ingest_drift("ha", &deltas)
+        .expect("ingest")
+        .expect("re-plan")
+        .wait()
+        .expect("re-characterize");
+    let mut table3_out = Vec::new();
+    perseus_bench::table3_report_with(&mut table3_out, &active_tel).expect("table3");
+    let mut fig9_out = Vec::new();
+    perseus_bench::fig9_report_with(&mut fig9_out, false, &active_tel).expect("fig9");
+    let table3_golden = std::fs::read(TABLE3_GOLDEN).expect("read table3 golden");
+    let fig9_golden = std::fs::read(FIG9_GOLDEN).expect("read fig9 golden");
+    claim(
+        "[7] live drift watcher leaves table3/fig9 byte-identical to the goldens",
+        watched.drift_replans() == 1 && table3_out == table3_golden && fig9_out == fig9_golden,
+        &mut failed,
+    );
+    drop(watched);
+
+    if let Some(path) = bench_json {
+        let entry = perseus_bench::BenchEntry {
+            name: "ha_suite/replication_failover_replanning".to_string(),
+            wall_time_s: started.elapsed().as_secs_f64(),
+            total_energy_j: a.total_energy_j,
+            useful_j: 0.0,
+            intrinsic_j: 0.0,
+            extrinsic_j: 0.0,
+            extras: Vec::new(),
+        }
+        .with_extra("journal_records", watermark as f64)
+        .with_extra("promotion_replayed_records", report.replayed_records as f64)
+        .with_extra("promotion_lag_bound", MAX_LAG as f64)
+        .with_extra("promotion_wall_ms", promotion.as_secs_f64() * 1e3)
+        .with_extra("drift_staleness_iters", staleness as f64)
+        .with_extra("warm_start_hits_delta", warm_start_delta as f64)
+        .with_extra("leader_failovers", a.leader_failovers as f64);
+        perseus_bench::write_bench_json(path.as_ref(), &[entry]).expect("write bench json");
+    }
+
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    let _ = std::fs::remove_dir_all(&leader_dir2);
+    let _ = std::fs::remove_dir_all(&follower_dir2);
+    if failed {
+        suite.finish();
+        std::process::exit(1);
+    }
+    suite.finish();
+}

@@ -28,8 +28,8 @@ use perseus_models::StageWorkloads;
 use perseus_pipeline::{CompKind, OpKey, PipelineDag};
 use perseus_profiler::{OpProfile, ProfileDb};
 use perseus_server::{
-    ClientConfig, DurabilityStats, FaultInjector, JobClient, JobSpec, PerseusServer, ServerError,
-    SubmissionFault,
+    ClientConfig, DurabilityStats, FaultInjector, FollowerServer, JobClient, JobSpec,
+    PerseusServer, Replicator, ServerError, SubmissionFault,
 };
 use perseus_telemetry::{Alert, AlertState, FlightSnapshot, IterationSample};
 
@@ -165,6 +165,9 @@ pub struct ChaosReport {
     /// Crash-restarts the run survived (0 unless the plan schedules
     /// [`FaultKind::CrashRestart`]).
     pub crashes_survived: u64,
+    /// Leader failovers the run survived (0 unless the plan schedules
+    /// [`FaultKind::LeaderFailover`]).
+    pub leader_failovers: u64,
     /// Journal-tail scribbles that actually hit a durable journal.
     pub journal_corruptions: u64,
     /// Durability counters summed over every server incarnation of the
@@ -314,10 +317,22 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         .min(4);
     let telemetry = emu.telemetry().clone();
     let pipe = emu.pipe().clone();
-    let boot = move || -> Result<Arc<PerseusServer>, ChaosError> {
-        Ok(match &cfg.durable_dir {
-            Some(dir) => Arc::new(PerseusServer::open_with(dir, n_workers, telemetry.clone())?),
-            None => Arc::new(PerseusServer::with_telemetry(n_workers, telemetry.clone())),
+    // The active durable directory: starts at the configured one but
+    // moves to the promoted follower's after a LeaderFailover, so later
+    // CrashRestarts recover the surviving lineage.
+    let mut active_dir = cfg.durable_dir.clone();
+    let boot_telemetry = telemetry.clone();
+    let boot = move |dir: &Option<PathBuf>| -> Result<Arc<PerseusServer>, ChaosError> {
+        Ok(match dir {
+            Some(dir) => Arc::new(PerseusServer::open_with(
+                dir,
+                n_workers,
+                boot_telemetry.clone(),
+            )?),
+            None => Arc::new(PerseusServer::with_telemetry(
+                n_workers,
+                boot_telemetry.clone(),
+            )),
         })
     };
     let spec = || JobSpec {
@@ -326,7 +341,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         gpu: config.gpu.clone(),
         power_states: None,
     };
-    let mut server = boot()?;
+    let mut server = boot(&active_dir)?;
     let injector = Arc::new(ScriptedInjector::new());
     server.set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
     // Containment dumps: if a characterization is lost or panics and the
@@ -361,6 +376,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
     // durability stats restart at zero after a crash, so the run-level
     // totals accumulate what every retired incarnation had absorbed.
     let mut crashes_survived = 0u64;
+    let mut leader_failovers = 0u64;
     let mut journal_corruptions = 0u64;
     let mut absorbed_carry = 0u64;
     let mut degraded_carry = 0u64;
@@ -429,7 +445,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
                     retries_carry += client.retries();
                     drop(client);
                     drop(server);
-                    server = boot()?;
+                    server = boot(&active_dir)?;
                     server
                         .set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
                     server.arm_flight_dump(cfg.flight_dump.clone());
@@ -468,6 +484,53 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
                     notifications_sent += 1;
                     client.notify_straggler_with_retry(pipeline, 0.0, degree.max(1.0))?;
                     notifications_answered += 1;
+                }
+                FaultKind::LeaderFailover => {
+                    leader_failovers += 1;
+                    // Bank the retiring leader's counters, exactly like a
+                    // crash-restart: the promoted incarnation starts its
+                    // volatile counters at zero.
+                    if let Ok(status) = server.job_status("chaos") {
+                        absorbed_carry += status.chaos.faults_injected;
+                        degraded_carry += status.chaos.degraded_lookups;
+                    }
+                    accumulate(&mut durability_acc, server.durability());
+                    retries_carry += client.retries();
+                    drop(client);
+                    if let Some(dir) = &active_dir {
+                        // Ship the leader's journal to a fresh follower,
+                        // kill the leader, promote the follower. The
+                        // promoted server recovers the full job state from
+                        // replication alone — its bounded pending tail,
+                        // never the journal from genesis.
+                        let follower_dir = dir.join(format!("failover-{leader_failovers}"));
+                        let mut follower =
+                            FollowerServer::open_with(&follower_dir, n_workers, telemetry.clone())?;
+                        let replicator = Replicator::new(Arc::clone(&server));
+                        replicator.sync(&mut follower)?;
+                        drop(replicator);
+                        drop(server);
+                        let (promoted, _report) = follower.promote()?;
+                        server = Arc::new(promoted);
+                        active_dir = Some(follower_dir);
+                    } else {
+                        // No journal to ship on an in-memory run: rebuild
+                        // from scratch like CrashRestart.
+                        drop(server);
+                        server = boot(&active_dir)?;
+                    }
+                    server
+                        .set_fault_injector(Some(Arc::clone(&injector) as Arc<dyn FaultInjector>));
+                    server.arm_flight_dump(cfg.flight_dump.clone());
+                    match server.register_job(spec()) {
+                        Err(ServerError::DuplicateJob(_)) => {}
+                        other => other?,
+                    }
+                    client = JobClient::with_config(Arc::clone(&server), "chaos", cfg.retry);
+                    if server.job_status("chaos")?.deployment.is_none() {
+                        client.submit_profiles_with_retry(&profiles, &config.frontier)?;
+                    }
+                    prev_degraded_lookups = 0;
                 }
             }
         }
@@ -549,6 +612,7 @@ pub fn run_chaos(emu: &mut Emulator, cfg: &ChaosConfig) -> Result<ChaosReport, C
         fault_free_critical_path_s,
         flight: server.flight_record(),
         crashes_survived,
+        leader_failovers,
         journal_corruptions,
         durability: durability_acc,
         alerts_fired: alerts

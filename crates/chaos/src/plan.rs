@@ -85,6 +85,19 @@ pub enum FaultKind {
         /// Slowdown factor (> 1.0).
         degree: f64,
     },
+    /// The leader is killed mid-run and a replication follower is
+    /// promoted in its place: on a durable run the harness ships the
+    /// leader's journal to a fresh follower, drops the leader, promotes
+    /// the follower ([`FollowerServer::promote`]
+    /// — bounded tail replay, never from genesis), and rewires the
+    /// client to the promoted server. On an in-memory run there is no
+    /// journal to ship, so the harness rebuilds from scratch like
+    /// [`FaultKind::CrashRestart`]. Never drawn by the seeded
+    /// constructors (their streams are byte-stable); scheduled
+    /// explicitly via [`FaultPlan::from_events`] — the `ha_suite` path.
+    ///
+    /// [`FollowerServer::promote`]: perseus_server::FollowerServer::promote
+    LeaderFailover,
 }
 
 /// A fault scheduled at a specific iteration of the chaos run.

@@ -33,10 +33,12 @@
 //! assert!(fit.energy(profile.t_min()) > fit.energy(profile.t_max()));
 //! ```
 
+mod drift;
 mod fit;
 mod persist;
 mod profile;
 
+pub use drift::{scale_profile, ProfileDelta, ProfileDrift};
 pub use fit::{ExpFit, FitError};
 pub use profile::{OnlineProfiler, OpProfile, ProfileDb, ProfileEntry, ProfileError};
 

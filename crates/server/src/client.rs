@@ -9,7 +9,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use perseus_core::{EnergySchedule, FrontierOptions};
 use perseus_gpu::{FreqMHz, SimGpu, Workload};
@@ -309,11 +309,23 @@ impl ClientConfig {
 /// admission pushback, timeouts, and `NotCharacterized` races on
 /// straggler notifications) are retried, everything else surfaces
 /// immediately.
+///
+/// [`ServerError::NotLeader`] is also retryable: the target demoted (or
+/// we were pointed at a replication follower), so the client re-resolves
+/// the leader through its [resolver](JobClient::set_resolver) — swapping
+/// its server handle to the answer — and retries there. Without a
+/// resolver the retry budget simply drains against the follower,
+/// surfacing [`ServerError::RetriesExhausted`].
 pub struct JobClient {
-    server: Arc<PerseusServer>,
+    /// Swapped on failover — see [`JobClient::set_resolver`].
+    server: RwLock<Arc<PerseusServer>>,
     job: String,
     config: ClientConfig,
     retries: AtomicU64,
+    /// Successful leader re-resolutions (handle swaps) so far.
+    failovers: AtomicU64,
+    #[allow(clippy::type_complexity)]
+    resolver: Mutex<Option<Box<dyn Fn(&str) -> Option<Arc<PerseusServer>> + Send + Sync>>>,
     jitter: Mutex<Option<DecorrelatedJitter>>,
 }
 
@@ -332,10 +344,12 @@ impl JobClient {
         let job = job.into();
         let jitter = Mutex::new(config.make_jitter(&job));
         JobClient {
-            server,
+            server: RwLock::new(server),
             job,
             config,
             retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            resolver: Mutex::new(None),
             jitter,
         }
     }
@@ -343,6 +357,43 @@ impl JobClient {
     /// The job this client manages.
     pub fn job(&self) -> &str {
         &self.job
+    }
+
+    /// The server handle the next call will use (swapped on failover).
+    pub fn server(&self) -> Arc<PerseusServer> {
+        Arc::clone(&self.server.read())
+    }
+
+    /// Installs the leader resolver: on [`ServerError::NotLeader`] the
+    /// client calls it with the error's hint (possibly empty) and, if it
+    /// answers, swaps its server handle to the returned leader before
+    /// retrying. This is the in-process stand-in for DNS / service
+    /// discovery re-resolution in a networked deployment.
+    pub fn set_resolver(
+        &self,
+        resolver: impl Fn(&str) -> Option<Arc<PerseusServer>> + Send + Sync + 'static,
+    ) {
+        *self.resolver.lock() = Some(Box::new(resolver));
+    }
+
+    /// Successful leader re-resolutions so far (observability).
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Handles a [`ServerError::NotLeader`] answer: re-resolve the leader
+    /// and swap the handle. Returns whether the handle changed.
+    fn re_resolve(&self, hint: &str) -> bool {
+        let resolver = self.resolver.lock();
+        let Some(resolve) = resolver.as_ref() else {
+            return false;
+        };
+        let Some(leader) = resolve(hint) else {
+            return false;
+        };
+        *self.server.write() = leader;
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// This client's configuration.
@@ -357,7 +408,7 @@ impl JobClient {
     ///
     /// [`ServerError::UnknownJob`] if the job was never registered.
     pub fn status(&self) -> Result<JobStatus, ServerError> {
-        self.server.job_status(&self.job)
+        self.server.read().job_status(&self.job)
     }
 
     /// Retries performed so far across all operations (observability).
@@ -407,10 +458,8 @@ impl JobClient {
             if attempt > 0 {
                 self.backoff(attempt - 1);
             }
-            let ticket = match self
-                .server
-                .submit_profiles(&self.job, profiles.clone(), opts)
-            {
+            let server = self.server();
+            let ticket = match server.submit_profiles(&self.job, profiles.clone(), opts) {
                 Ok(t) => t,
                 // Admission pushback: the server is at its in-flight
                 // characterization bound. A slot frees as soon as any
@@ -418,14 +467,23 @@ impl JobClient {
                 // — jitter keeps a fleet of pushed-back clients from
                 // re-stampeding in lockstep.
                 Err(ServerError::Overloaded { .. }) => continue,
+                // Demoted target (or we were handed a follower): swap to
+                // the hinted leader and retry there. Without a resolver
+                // retrying is hopeless — the role won't change under us —
+                // so surface the error instead of burning the budget.
+                Err(ServerError::NotLeader { hint }) => {
+                    if !self.re_resolve(&hint) {
+                        return Err(ServerError::NotLeader { hint });
+                    }
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             match ticket.wait_timeout(self.config.timeout) {
                 Some(Ok(d)) => return Ok(d),
                 Some(Err(ServerError::Superseded(_))) => {
                     // A newer submission won; its deployment answers ours.
-                    return self
-                        .server
+                    return server
                         .job_status(&self.job)?
                         .deployment
                         .ok_or_else(|| ServerError::NotCharacterized(self.job.clone()));
@@ -462,13 +520,21 @@ impl JobClient {
                 self.backoff(attempt - 1);
             }
             match self
-                .server
+                .server()
                 .set_straggler(&self.job, gpu_id, delay_s, degree)
             {
                 Ok(d) => return Ok(d),
                 // Not characterized *yet*: an initial characterization may
                 // still be in flight on the worker pool.
                 Err(ServerError::NotCharacterized(_)) => continue,
+                // Demoted target: re-resolve the leader and retry there;
+                // unresolvable demotions surface immediately.
+                Err(ServerError::NotLeader { hint }) => {
+                    if !self.re_resolve(&hint) {
+                        return Err(ServerError::NotLeader { hint });
+                    }
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
         }

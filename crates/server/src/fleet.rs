@@ -685,6 +685,42 @@ impl FleetServer {
             )
             .scalar("perseus_fleet_cache_epoch", &[], stats.cache.epoch as f64)
             .scalar("perseus_fleet_shards", &[], self.shards.len() as f64);
+        // Replication posture, aggregated across shards. Gated on actual
+        // replication activity so an all-leader fleet (the common case,
+        // and everything the golden fixtures cover) emits byte-identical
+        // rollups with or without this block.
+        let mut followers = 0u64;
+        let mut repl = crate::ReplicationStats::default();
+        for shard in &self.shards {
+            if shard.role() == crate::Role::Follower {
+                followers += 1;
+            }
+            let s = shard.replication_stats();
+            repl.shipped += s.shipped;
+            repl.applied += s.applied;
+            repl.lag_records += s.lag_records;
+            repl.lag_bytes += s.lag_bytes;
+        }
+        if followers > 0 || repl != crate::ReplicationStats::default() {
+            fleet
+                .scalar("perseus_replication_followers", &[], followers as f64)
+                .scalar(
+                    "perseus_replication_shipped_records",
+                    &[],
+                    repl.shipped as f64,
+                )
+                .scalar(
+                    "perseus_replication_applied_records",
+                    &[],
+                    repl.applied as f64,
+                )
+                .scalar(
+                    "perseus_replication_lag_records",
+                    &[],
+                    repl.lag_records as f64,
+                )
+                .scalar("perseus_replication_lag_bytes", &[], repl.lag_bytes as f64);
+        }
         for (tenant, s) in self.tenant_stats() {
             let labels = &[("tenant", tenant.as_str())];
             fleet

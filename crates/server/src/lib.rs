@@ -30,6 +30,7 @@
 
 mod client;
 mod fleet;
+mod replica;
 mod server;
 mod store;
 
@@ -37,9 +38,10 @@ pub use client::{
     AsyncFrequencyController, ClientConfig, ClientSession, DecorrelatedJitter, JobClient,
 };
 pub use fleet::{FleetConfig, FleetServer, FleetStats, TenantId};
+pub use replica::{FollowerServer, PromotionReport, ReplicationStats, Replicator, DEFAULT_MAX_LAG};
 pub use server::{
     ChaosStats, CharacterizeTicket, Deployment, FaultInjector, JobSpec, JobStatus, PerseusServer,
-    ServerError, SubmissionFault, DEFAULT_LIVENESS_TIMEOUT,
+    Role, ServerError, SubmissionFault, DEFAULT_DRIFT_THRESHOLD, DEFAULT_LIVENESS_TIMEOUT,
 };
 pub use store::DurabilityStats;
 

@@ -1,0 +1,386 @@
+//! WAL-shipping replication and leader failover.
+//!
+//! The leader's write-ahead journal is already a total order over every
+//! state mutation, so replication is journal shipping: a [`Replicator`]
+//! reads the leader's tail past the follower's shipped watermark
+//! ([`PerseusServer::replication_tail`]) and hands the records to a
+//! [`FollowerServer`], which appends them to its *own* journal first
+//! (ship-then-apply — a crashed follower recovers from its local WAL,
+//! exactly like a crashed leader) and then applies them through the same
+//! `replay_event` path recovery uses. Apply lag is bounded: the follower
+//! keeps at most `max_lag` shipped-but-unapplied records, so promotion
+//! replays at most that many — never from genesis.
+//!
+//! When the leader compacts its journal below the follower's position,
+//! the gap is bridged by a checkpoint transfer
+//! ([`PerseusServer::replication_checkpoint`]): the follower installs
+//! the full-state snapshot at the leader's watermark and resumes
+//! tailing from there. Still never from genesis.
+//!
+//! [`FollowerServer::promote`] applies the pending tail, attaches the
+//! follower's journal + snapshot as a durable [`Store`], and flips the
+//! role to [`Role::Leader`]. Because planning is deterministic in the
+//! journaled inputs, the promoted server's
+//! [`PerseusServer::state_fingerprint`] is bit-identical to the
+//! leader's at the shipped watermark — the `ha_suite` gate.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use perseus_store::{load_snapshot, write_snapshot, Journal, Persist, Record, StoreError};
+use perseus_telemetry::Telemetry;
+
+use crate::server::{PerseusServer, Role, ServerError};
+use crate::store::{JournalEvent, ServerSnapshot, Store, JOURNAL_FILE, SNAPSHOT_FILE};
+
+/// Journal frame overhead per record: `len:u32 + crc:u32 + seq:u64`.
+const FRAME_OVERHEAD: u64 = 16;
+
+/// How many shipped-but-unapplied records a follower tolerates before
+/// applying synchronously during [`FollowerServer::receive`]. Promotion
+/// replays at most this many records.
+pub const DEFAULT_MAX_LAG: u64 = 64;
+
+/// Point-in-time replication position of one follower. `shipped` and
+/// `applied` are journal sequence watermarks; the lag fields describe
+/// the queue between them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Highest sequence shipped into the follower's journal.
+    pub shipped: u64,
+    /// Highest sequence applied into the follower's in-memory state.
+    pub applied: u64,
+    /// Records shipped but not yet applied (`<= max_lag` after every
+    /// [`FollowerServer::receive`]).
+    pub lag_records: u64,
+    /// Bytes (payload + frame) of the shipped-but-unapplied queue.
+    pub lag_bytes: u64,
+}
+
+/// What a promotion did: how much tail it had to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionReport {
+    /// Shipped-but-unapplied records replayed during promotion — bounded
+    /// by the follower's `max_lag`, never the journal's full length.
+    pub replayed_records: u64,
+}
+
+/// A replication follower: a read-only [`PerseusServer`] plus the local
+/// journal the leader's records are shipped into. See the module docs.
+pub struct FollowerServer {
+    snapshot_path: PathBuf,
+    journal: Journal,
+    state: PerseusServer,
+    /// Shipped-but-unapplied records, oldest first.
+    pending: VecDeque<Record>,
+    pending_bytes: u64,
+    shipped_seq: u64,
+    applied_seq: u64,
+    max_lag: u64,
+    n_workers: usize,
+}
+
+impl FollowerServer {
+    /// Opens (or creates) a follower rooted at `dir` with one worker and
+    /// telemetry disabled. State already in `dir` — a previous follower
+    /// lifetime, including one that crashed mid-ship — is recovered from
+    /// the local snapshot + journal; a torn shipped record is truncated
+    /// exactly like [`Journal::open`] always does, and the next
+    /// [`Replicator::sync`] re-ships the lost suffix from the leader.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] if the directory or journal is unusable.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FollowerServer, ServerError> {
+        FollowerServer::open_with(dir, 1, Telemetry::disabled())
+    }
+
+    /// [`FollowerServer::open`] with an explicit worker count and
+    /// telemetry handle (both inherited by the promoted leader).
+    ///
+    /// # Errors
+    ///
+    /// As [`FollowerServer::open`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        n_workers: usize,
+        telemetry: Telemetry,
+    ) -> Result<FollowerServer, ServerError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+        let (journal, records) = Journal::open(dir.join(JOURNAL_FILE))?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let state = PerseusServer::with_telemetry(n_workers, telemetry);
+        state.set_role(Role::Follower);
+
+        // Tolerate a corrupt local snapshot the same way leader recovery
+        // does: fall back to journal-only replay.
+        let snapshot = match load_snapshot(&snapshot_path) {
+            Ok(None) => None,
+            Ok(Some(bytes)) => ServerSnapshot::from_bytes(&bytes).ok(),
+            Err(StoreError::Corrupt { .. }) => None,
+            Err(e) => return Err(ServerError::Store(e)),
+        };
+        let mut applied_seq = snapshot.as_ref().map_or(0, |s| s.applied_seq);
+        if let Some(snap) = snapshot {
+            state.restore_snapshot(snap);
+        }
+        for rec in &records {
+            if rec.seq <= applied_seq {
+                continue;
+            }
+            match JournalEvent::from_bytes(&rec.payload) {
+                Ok(event) => {
+                    state.replay_event(event);
+                    applied_seq = rec.seq;
+                }
+                Err(_) => break,
+            }
+        }
+        let follower = FollowerServer {
+            snapshot_path,
+            journal,
+            state,
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            shipped_seq: applied_seq,
+            applied_seq,
+            max_lag: DEFAULT_MAX_LAG,
+            n_workers,
+        };
+        follower.publish_stats();
+        Ok(follower)
+    }
+
+    /// The follower's read-only server: statuses, frontiers, and
+    /// fingerprints reflect everything applied so far; every mutation
+    /// answers [`ServerError::NotLeader`].
+    pub fn server(&self) -> &PerseusServer {
+        &self.state
+    }
+
+    /// Bounds the shipped-but-unapplied queue (floored at 0 = apply
+    /// everything synchronously on receive).
+    pub fn set_max_lag(&mut self, max_lag: u64) {
+        self.max_lag = max_lag;
+        while self.pending.len() as u64 > self.max_lag {
+            self.apply_front();
+        }
+        self.publish_stats();
+    }
+
+    /// The configured lag bound.
+    pub fn max_lag(&self) -> u64 {
+        self.max_lag
+    }
+
+    /// Where [`ServerError::NotLeader`] answers point callers.
+    pub fn set_leader_hint(&mut self, hint: impl Into<String>) {
+        self.state.set_leader_hint(hint.into());
+    }
+
+    /// Highest sequence shipped into the local journal.
+    pub fn shipped_seq(&self) -> u64 {
+        self.shipped_seq
+    }
+
+    /// Highest sequence applied into the in-memory state.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Current replication position.
+    pub fn stats(&self) -> ReplicationStats {
+        ReplicationStats {
+            shipped: self.shipped_seq,
+            applied: self.applied_seq,
+            lag_records: self.pending.len() as u64,
+            lag_bytes: self.pending_bytes,
+        }
+    }
+
+    fn publish_stats(&self) {
+        self.state.set_replication_stats(self.stats());
+    }
+
+    /// Ingests a gap-free run of leader records: each is appended to the
+    /// local journal (ship), queued, and — once the queue exceeds
+    /// `max_lag` — applied oldest-first until the lag bound holds again.
+    /// Records at or below the shipped watermark are skipped, so
+    /// re-shipping after a retry or a torn-tail resync is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] on journal I/O failures or on a sequence
+    /// gap (the caller should bootstrap via
+    /// [`Replicator::sync`]'s checkpoint path).
+    pub fn receive(&mut self, records: &[Record]) -> Result<ReplicationStats, ServerError> {
+        for rec in records {
+            if rec.seq <= self.shipped_seq {
+                continue;
+            }
+            if rec.seq != self.shipped_seq + 1 {
+                return Err(ServerError::Store(StoreError::Corrupt {
+                    reason: format!(
+                        "replication gap: expected sequence {}, got {}",
+                        self.shipped_seq + 1,
+                        rec.seq
+                    ),
+                }));
+            }
+            self.journal.append_with_seq(rec.seq, &rec.payload)?;
+            self.shipped_seq = rec.seq;
+            self.pending_bytes += rec.payload.len() as u64 + FRAME_OVERHEAD;
+            self.pending.push_back(rec.clone());
+        }
+        while self.pending.len() as u64 > self.max_lag {
+            self.apply_front();
+        }
+        self.publish_stats();
+        Ok(self.stats())
+    }
+
+    /// Applies every shipped-but-unapplied record, catching the state up
+    /// to the shipped watermark. Returns how many were applied.
+    pub fn apply_all(&mut self) -> u64 {
+        let n = self.pending.len() as u64;
+        while !self.pending.is_empty() {
+            self.apply_front();
+        }
+        self.publish_stats();
+        n
+    }
+
+    fn apply_front(&mut self) {
+        let Some(rec) = self.pending.pop_front() else {
+            return;
+        };
+        self.pending_bytes = self
+            .pending_bytes
+            .saturating_sub(rec.payload.len() as u64 + FRAME_OVERHEAD);
+        if let Ok(event) = JournalEvent::from_bytes(&rec.payload) {
+            self.state.replay_event(event);
+        }
+        self.applied_seq = rec.seq;
+    }
+
+    /// Installs a full-state checkpoint from the leader (compaction gap
+    /// bridge): the in-memory state is rebuilt from the snapshot, the
+    /// snapshot is persisted locally, the local journal drops everything
+    /// the checkpoint covers, and shipping resumes from the checkpoint's
+    /// watermark.
+    pub(crate) fn install_checkpoint(&mut self, snap: ServerSnapshot) -> Result<(), ServerError> {
+        let fresh = PerseusServer::with_telemetry(self.n_workers, self.state.telemetry().clone());
+        fresh.set_role(Role::Follower);
+        fresh.set_leader_hint(self.state.leader_hint());
+        write_snapshot(&self.snapshot_path, &snap.to_bytes())?;
+        self.journal.compact_below(snap.applied_seq)?;
+        self.shipped_seq = snap.applied_seq;
+        self.applied_seq = snap.applied_seq;
+        self.pending.clear();
+        self.pending_bytes = 0;
+        fresh.restore_snapshot(snap);
+        self.state = fresh;
+        self.publish_stats();
+        Ok(())
+    }
+
+    /// Promotes this follower to leader: the pending tail (at most
+    /// `max_lag` records — never the journal from genesis) is applied,
+    /// the local journal + snapshot become the promoted server's durable
+    /// [`Store`], and the role flips to [`Role::Leader`]. The promoted
+    /// server's [`PerseusServer::state_fingerprint`] is bit-identical to
+    /// the old leader's at the shipped watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] if folding the promoted state into a
+    /// snapshot fails (the state itself is already consistent).
+    pub fn promote(mut self) -> Result<(PerseusServer, PromotionReport), ServerError> {
+        let replayed_records = self.apply_all();
+        let telemetry = self.state.telemetry().clone();
+        let FollowerServer {
+            snapshot_path,
+            journal,
+            mut state,
+            ..
+        } = self;
+        let store = Arc::new(Store::new(journal, snapshot_path, telemetry));
+        state.attach_store(store);
+        state.set_role(Role::Leader);
+        state.set_leader_hint(String::new());
+        state.set_replication_stats(ReplicationStats {
+            shipped: 0,
+            applied: 0,
+            lag_records: 0,
+            lag_bytes: 0,
+        });
+        // Fold the promoted state into a fresh snapshot so the next open
+        // of this directory recovers from it instead of the full tail.
+        state.snapshot_now()?;
+        Ok((state, PromotionReport { replayed_records }))
+    }
+}
+
+/// Ships the leader's journal to followers. Stateless beyond the leader
+/// handle — the follower owns its own position, so one replicator can
+/// serve any number of followers.
+pub struct Replicator {
+    leader: Arc<PerseusServer>,
+}
+
+impl Replicator {
+    /// A replicator shipping from `leader` (which must be durable —
+    /// the journal is the shipping medium).
+    pub fn new(leader: Arc<PerseusServer>) -> Replicator {
+        Replicator { leader }
+    }
+
+    /// The leader this replicator ships from.
+    pub fn leader(&self) -> &Arc<PerseusServer> {
+        &self.leader
+    }
+
+    /// Ships everything the follower has not yet seen. If the leader has
+    /// compacted past the follower's position, a checkpoint transfer
+    /// bridges the gap first ([`FollowerServer::install_checkpoint`]);
+    /// tailing then resumes from the checkpoint watermark. Returns the
+    /// number of records shipped this call.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] on journal I/O failures, on an in-memory
+    /// leader, or if the follower reports a position ahead of the leader
+    /// (divergent histories — a follower of a *different* leader).
+    pub fn sync(&self, follower: &mut FollowerServer) -> Result<u64, ServerError> {
+        let watermark = self.leader.replication_watermark()?;
+        let from = follower.shipped_seq();
+        if from > watermark {
+            return Err(ServerError::Store(StoreError::Corrupt {
+                reason: format!(
+                    "follower at sequence {from} is ahead of leader watermark {watermark}: \
+                     divergent histories"
+                ),
+            }));
+        }
+        let tail = self.leader.replication_tail(from)?;
+        let contiguous = tail
+            .first()
+            .map_or(from >= watermark, |r| r.seq == from + 1);
+        if !contiguous {
+            // Compaction dropped the needed range: bridge with a
+            // checkpoint, then tail from its watermark.
+            let snap = self.leader.replication_checkpoint()?;
+            follower.install_checkpoint(snap)?;
+            let tail = self.leader.replication_tail(follower.shipped_seq())?;
+            let shipped = tail.len() as u64;
+            follower.receive(&tail)?;
+            return Ok(shipped);
+        }
+        let shipped = tail.len() as u64;
+        follower.receive(&tail)?;
+        Ok(shipped)
+    }
+}

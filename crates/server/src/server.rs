@@ -45,13 +45,14 @@ use perseus_core::{
 };
 use perseus_gpu::{FreqMHz, GpuSpec, PowerStateModel};
 use perseus_pipeline::{OpKey, PipelineDag};
-use perseus_profiler::ProfileDb;
-use perseus_store::{load_snapshot, write_snapshot, Journal, Persist, StoreError};
+use perseus_profiler::{scale_profile, ProfileDb, ProfileDelta};
+use perseus_store::{load_snapshot, write_snapshot, Journal, Persist, Record, StoreError};
 use perseus_telemetry::{
     span, Alert, Endpoints, FlightRecorder, FlightSnapshot, FlightSummary, IterationSample,
     ObsPipeline, SloStatus, Telemetry, TelemetryServer,
 };
 
+use crate::replica::ReplicationStats;
 use crate::store::{
     DurabilityStats, JobSnapshot, JournalEvent, ServerSnapshot, Store, JOURNAL_FILE, SNAPSHOT_FILE,
 };
@@ -67,6 +68,11 @@ const FLIGHT_CAPACITY: usize = 256;
 /// bounded well below this), short enough that a wedged or dead worker
 /// surfaces as a typed error instead of a hung client.
 pub const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default drift-watcher threshold: a job re-characterizes once any
+/// computation's pending time or energy factor moves 5% from where the
+/// last plan left it (see [`PerseusServer::ingest_drift`]).
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.05;
 
 /// A training job registration: the computation DAG plus the GPU model the
 /// pipeline runs on ("a training job is primarily specified by its
@@ -150,6 +156,14 @@ pub enum ServerError {
         /// The tenant whose bucket ran dry.
         tenant: String,
     },
+    /// The call reached a replication follower, which serves reads only.
+    /// `hint` names where the leader was last known to be (empty when
+    /// unknown); [`crate::JobClient`] treats this as retryable and
+    /// re-resolves its target, so callers ride through failover.
+    NotLeader {
+        /// Last known leader location, or empty.
+        hint: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -204,6 +218,16 @@ impl fmt::Display for ServerError {
             }
             ServerError::QuotaExhausted { tenant } => {
                 write!(f, "tenant {tenant:?} exhausted its rate-limit quota")
+            }
+            ServerError::NotLeader { hint } => {
+                if hint.is_empty() {
+                    write!(f, "this server is a replication follower, not the leader")
+                } else {
+                    write!(
+                        f,
+                        "this server is a replication follower; the leader is at {hint:?}"
+                    )
+                }
             }
         }
     }
@@ -358,6 +382,27 @@ impl CharacterizeTicket {
     }
 }
 
+/// Which side of the replication pair a server is on. Leaders accept
+/// mutations and ship their journal; followers apply shipped records and
+/// answer every mutation with [`ServerError::NotLeader`] until promoted
+/// (see [`crate::FollowerServer::promote`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations; the replication source.
+    Leader,
+    /// Read-only replica applying the leader's shipped journal.
+    Follower,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Leader => write!(f, "leader"),
+            Role::Follower => write!(f, "follower"),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PendingStraggler {
     fire_at: f64,
@@ -407,12 +452,18 @@ pub struct JobStatus {
     /// server's observability pipeline (shared across jobs; empty until
     /// iterations are observed — budgets only burn on evaluated ticks).
     pub slo: Vec<SloStatus>,
+    /// Whether the answering server is the leader or a replication
+    /// follower (shared across jobs).
+    pub role: Role,
+    /// Records shipped from the leader but not yet applied here; always 0
+    /// on a leader (shared across jobs).
+    pub replication_lag: u64,
 }
 
 /// How a replayed journal event was applied — drives the
 /// `recharacterizations_replayed` vs `recharacterizations_avoided`
 /// durability counters.
-enum ReplayOutcome {
+pub(crate) enum ReplayOutcome {
     /// A `Characterized` event re-ran the solver (or was deduplicated /
     /// unapplied — either way, no cache lookup answered it).
     CharacterizedSolved,
@@ -434,6 +485,47 @@ struct InflightPermit {
 impl Drop for InflightPermit {
     fn drop(&mut self) {
         self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Drift-watcher bookkeeping for one computation: the cumulative factors
+/// the last re-plan already absorbed (`applied`) and the most recently
+/// ingested ones (`latest`). The watcher trips on the *pending* ratio
+/// `latest / applied`, so each re-plan resets the trigger without the
+/// drift source having to know re-plans happen.
+#[derive(Debug, Clone, Copy)]
+struct DriftAccum {
+    applied: (f64, f64),
+    latest: (f64, f64),
+}
+
+impl Default for DriftAccum {
+    fn default() -> DriftAccum {
+        DriftAccum {
+            applied: (1.0, 1.0),
+            latest: (1.0, 1.0),
+        }
+    }
+}
+
+impl DriftAccum {
+    /// `(time, energy)` factors accumulated since the last re-plan.
+    fn pending_factors(&self) -> (f64, f64) {
+        (
+            self.latest.0 / self.applied.0,
+            self.latest.1 / self.applied.1,
+        )
+    }
+
+    /// Largest pending relative deviation.
+    fn pending_magnitude(&self) -> f64 {
+        let (t, e) = self.pending_factors();
+        (t - 1.0).abs().max((e - 1.0).abs())
+    }
+
+    /// Marks the pending drift as absorbed by a re-plan.
+    fn commit(&mut self) {
+        self.applied = self.latest;
     }
 }
 
@@ -463,6 +555,15 @@ struct JobMut {
     /// the next characterization and only drives targeted cache
     /// invalidation when a re-characterization changes the structure.
     plan_fingerprint: Option<PlanFingerprint>,
+    /// Options of the last winning characterization, reused by
+    /// drift-triggered re-plans. Volatile (not persisted, not
+    /// fingerprinted): recovery replays re-set it from the journaled
+    /// `Characterized` event, and the fallback is the default options.
+    last_opts: Option<FrontierOptions>,
+    /// Drift-watcher state per computation (see [`DriftAccum`]).
+    /// Volatile: drift deltas arriving before the threshold trips are
+    /// observation, not durable planning state.
+    drift: HashMap<OpKey, DriftAccum>,
 }
 
 /// One registered job: immutable identity plus lock-guarded state. Shared
@@ -677,6 +778,27 @@ pub struct PerseusServer {
     peak_inflight: AtomicU64,
     /// Admission bound on in-flight characterizations; 0 = unbounded.
     max_inflight: AtomicU64,
+    /// [`Role::Leader`] (0) or [`Role::Follower`] (1). Followers reject
+    /// every public mutator with [`ServerError::NotLeader`]; replicated
+    /// applies go through [`PerseusServer::replay_event`], which bypasses
+    /// the guard by construction.
+    role: std::sync::atomic::AtomicU8,
+    /// Where [`ServerError::NotLeader`] points callers (empty = unknown).
+    leader_hint: RwLock<String>,
+    /// Replication counters mirrored from the follower machinery so
+    /// [`JobStatus`] and `/metrics` can surface them: records shipped,
+    /// records applied, lag in records, lag in bytes. All zero on
+    /// leaders and standalone servers.
+    repl_shipped: AtomicU64,
+    repl_applied: AtomicU64,
+    repl_lag_records: AtomicU64,
+    repl_lag_bytes: AtomicU64,
+    /// Drift-watcher threshold (f64 bits): a job re-characterizes once
+    /// its largest pending per-computation drift factor deviates from 1
+    /// by at least this much.
+    drift_threshold: AtomicU64,
+    /// Drift-triggered re-characterizations submitted so far.
+    drift_replans: AtomicU64,
 }
 
 impl Default for PerseusServer {
@@ -723,6 +845,14 @@ impl PerseusServer {
             inflight: Arc::new(AtomicU64::new(0)),
             peak_inflight: AtomicU64::new(0),
             max_inflight: AtomicU64::new(0),
+            role: std::sync::atomic::AtomicU8::new(0),
+            leader_hint: RwLock::new(String::new()),
+            repl_shipped: AtomicU64::new(0),
+            repl_applied: AtomicU64::new(0),
+            repl_lag_records: AtomicU64::new(0),
+            repl_lag_bytes: AtomicU64::new(0),
+            drift_threshold: AtomicU64::new(DEFAULT_DRIFT_THRESHOLD.to_bits()),
+            drift_replans: AtomicU64::new(0),
         }
     }
 
@@ -892,7 +1022,7 @@ impl PerseusServer {
     /// each is rebuilt from the job's pipeline (deterministic artifacts).
     /// Volatile observability counters (degraded lookups, faults
     /// absorbed) restart at zero, like any process-local counter.
-    fn restore_snapshot(&self, snap: ServerSnapshot) {
+    pub(crate) fn restore_snapshot(&self, snap: ServerSnapshot) {
         let mut jobs = self.jobs.write();
         for js in snap.jobs {
             let solver = FrontierSolver::with_telemetry(&js.pipe, self.telemetry.clone());
@@ -927,19 +1057,24 @@ impl PerseusServer {
                     version: js.version,
                     deployed: js.deployed,
                     plan_fingerprint: None,
+                    last_opts: None,
+                    drift: HashMap::new(),
                 }),
             });
             jobs.insert(name, job);
         }
     }
 
-    /// Applies one journaled event during recovery. The store is detached
-    /// while this runs, so the mutators apply state without
-    /// re-journaling. Errors are ignored by design: the journal only
-    /// records events that succeeded, and truncation only removes
-    /// suffixes, so every event's prerequisites are present; a decode
-    /// drift that violates that merely leaves the event unapplied.
-    fn replay_event(&self, event: JournalEvent) -> ReplayOutcome {
+    /// Applies one journaled event during recovery or replication. The
+    /// store is detached while this runs (recovery) or never attached
+    /// (follower apply), so the mutators apply state without
+    /// re-journaling. Deliberately bypasses the leader guard — a
+    /// follower's *only* write path is this one. Errors are ignored by
+    /// design: the journal only records events that succeeded, and
+    /// truncation only removes suffixes, so every event's prerequisites
+    /// are present; a decode drift that violates that merely leaves the
+    /// event unapplied.
+    pub(crate) fn replay_event(&self, event: JournalEvent) -> ReplayOutcome {
         match event {
             JournalEvent::RegisterJob {
                 name,
@@ -947,7 +1082,7 @@ impl PerseusServer {
                 gpu,
                 power,
             } => {
-                let _ = self.register_job(JobSpec {
+                let _ = self.register_job_inner(JobSpec {
                     name,
                     pipe,
                     gpu,
@@ -966,16 +1101,16 @@ impl PerseusServer {
                 delay_s,
                 degree,
             } => {
-                let _ = self.set_straggler(&name, gpu_id, delay_s, degree);
+                let _ = self.set_straggler_inner(&name, gpu_id, delay_s, degree);
             }
             JournalEvent::AdvanceTime { name, dt_s } => {
-                let _ = self.advance_time(&name, dt_s);
+                let _ = self.advance_time_inner(&name, dt_s);
             }
             JournalEvent::SkewClock { name, skew_s } => {
-                let _ = self.skew_clock(&name, skew_s);
+                let _ = self.skew_clock_inner(&name, skew_s);
             }
             JournalEvent::FreqCap { name, cap } => {
-                let _ = self.apply_freq_cap(&name, cap);
+                let _ = self.apply_freq_cap_inner(&name, cap);
             }
             JournalEvent::Degraded { name } => {
                 if let Ok(job) = self.job(&name) {
@@ -1039,6 +1174,7 @@ impl PerseusServer {
         state.profiles = Some(profiles);
         state.sleep = sleep;
         state.degraded = false;
+        state.last_opts = Some(opts.clone());
         if cache.is_some() {
             state.plan_fingerprint = Some(fp);
         }
@@ -1149,8 +1285,14 @@ impl PerseusServer {
     /// [`ServerError::DuplicateJob`] if the name is taken;
     /// [`ServerError::Core`] if the spec's power states are invalid for
     /// its GPU (a sleep state must draw less than `P_blocking` and have
-    /// finite, non-negative transition latencies).
+    /// finite, non-negative transition latencies);
+    /// [`ServerError::NotLeader`] on a replication follower.
     pub fn register_job(&self, spec: JobSpec) -> Result<(), ServerError> {
+        self.ensure_leader()?;
+        self.register_job_inner(spec)
+    }
+
+    fn register_job_inner(&self, spec: JobSpec) -> Result<(), ServerError> {
         if let Some(model) = spec.power_states.as_ref() {
             model
                 .validate(&spec.gpu)
@@ -1188,6 +1330,8 @@ impl PerseusServer {
                 version: 0,
                 deployed: None,
                 plan_fingerprint: None,
+                last_opts: None,
+                drift: HashMap::new(),
             }),
         });
         let mut journal = self.store.as_ref().map(|s| s.journal.lock());
@@ -1241,6 +1385,7 @@ impl PerseusServer {
         profiles: ProfileDb<OpKey>,
         opts: &FrontierOptions,
     ) -> Result<CharacterizeTicket, ServerError> {
+        self.ensure_leader()?;
         let job = self.job(name)?;
         Self::validate_profiles(name, &profiles)?;
         let permit = self.acquire_inflight(name)?;
@@ -1551,6 +1696,7 @@ impl PerseusServer {
         state.profiles = Some(profiles);
         state.sleep = sleep;
         state.degraded = false;
+        state.last_opts = Some(opts.clone());
         // Epoch-based invalidation on re-characterization: when fresh
         // profiles move this job to a *different* structural fingerprint,
         // the entry under the old one describes profiles the fleet has
@@ -1584,8 +1730,20 @@ impl PerseusServer {
     /// # Errors
     ///
     /// [`ServerError::InvalidDegree`] for degrees below 1.0,
-    /// [`ServerError::NotCharacterized`] before profiles are submitted.
+    /// [`ServerError::NotCharacterized`] before profiles are submitted,
+    /// [`ServerError::NotLeader`] on a replication follower.
     pub fn set_straggler(
+        &self,
+        name: &str,
+        gpu_id: usize,
+        delay_s: f64,
+        degree: f64,
+    ) -> Result<Option<Deployment>, ServerError> {
+        self.ensure_leader()?;
+        self.set_straggler_inner(name, gpu_id, delay_s, degree)
+    }
+
+    fn set_straggler_inner(
         &self,
         name: &str,
         gpu_id: usize,
@@ -1645,8 +1803,14 @@ impl PerseusServer {
     ///
     /// # Errors
     ///
-    /// [`ServerError::UnknownJob`] for unregistered names.
+    /// [`ServerError::UnknownJob`] for unregistered names,
+    /// [`ServerError::NotLeader`] on a replication follower.
     pub fn advance_time(&self, name: &str, dt_s: f64) -> Result<Vec<Deployment>, ServerError> {
+        self.ensure_leader()?;
+        self.advance_time_inner(name, dt_s)
+    }
+
+    fn advance_time_inner(&self, name: &str, dt_s: f64) -> Result<Vec<Deployment>, ServerError> {
         let job = self.job(name)?;
         let event = self.store.as_ref().map(|_| {
             JournalEvent::AdvanceTime {
@@ -1686,8 +1850,14 @@ impl PerseusServer {
     ///
     /// # Errors
     ///
-    /// [`ServerError::UnknownJob`] for unregistered names.
+    /// [`ServerError::UnknownJob`] for unregistered names,
+    /// [`ServerError::NotLeader`] on a replication follower.
     pub fn skew_clock(&self, name: &str, skew_s: f64) -> Result<Vec<Deployment>, ServerError> {
+        self.ensure_leader()?;
+        self.skew_clock_inner(name, skew_s)
+    }
+
+    fn skew_clock_inner(&self, name: &str, skew_s: f64) -> Result<Vec<Deployment>, ServerError> {
         let job = self.job(name)?;
         job.faults_injected.fetch_add(1, Ordering::Relaxed);
         let event = self.store.as_ref().map(|_| {
@@ -1725,8 +1895,14 @@ impl PerseusServer {
     /// # Errors
     ///
     /// [`ServerError::NotCharacterized`] before profiles are submitted;
+    /// [`ServerError::NotLeader`] on a replication follower;
     /// otherwise propagates re-realization failures.
     pub fn apply_freq_cap(&self, name: &str, cap: FreqMHz) -> Result<Deployment, ServerError> {
+        self.ensure_leader()?;
+        self.apply_freq_cap_inner(name, cap)
+    }
+
+    fn apply_freq_cap_inner(&self, name: &str, cap: FreqMHz) -> Result<Deployment, ServerError> {
         let job = self.job(name)?;
         let event = self.store.as_ref().map(|_| {
             JournalEvent::FreqCap {
@@ -1798,6 +1974,8 @@ impl PerseusServer {
             flight: self.flight.summary(),
             durability: self.durability(),
             slo: self.obs.slo_status(),
+            role: self.role(),
+            replication_lag: self.repl_lag_records.load(Ordering::Relaxed),
         })
     }
 
@@ -1856,7 +2034,7 @@ impl PerseusServer {
     /// states always yield equal bytes. `for_fingerprint` zeroes the
     /// in-flight submission counter (see
     /// [`PerseusServer::state_fingerprint`]).
-    fn snapshot_jobs(&self, for_fingerprint: bool) -> Vec<JobSnapshot> {
+    pub(crate) fn snapshot_jobs(&self, for_fingerprint: bool) -> Vec<JobSnapshot> {
         let jobs = self.jobs.read();
         let mut names: Vec<&String> = jobs.keys().collect();
         names.sort();
@@ -1957,6 +2135,248 @@ impl PerseusServer {
         self.store
             .as_ref()
             .map(|s| s.journal.lock().path().to_path_buf())
+    }
+
+    /// Whether this server is the replication leader or a follower.
+    /// Standalone servers are leaders.
+    pub fn role(&self) -> Role {
+        if self.role.load(Ordering::Relaxed) == 0 {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+
+    /// Flips the serving role (promotion / follower construction).
+    pub(crate) fn set_role(&self, role: Role) {
+        let v = match role {
+            Role::Leader => 0,
+            Role::Follower => 1,
+        };
+        self.role.store(v, Ordering::Relaxed);
+    }
+
+    /// Sets where [`ServerError::NotLeader`] points callers.
+    pub(crate) fn set_leader_hint(&self, hint: String) {
+        *self.leader_hint.write() = hint;
+    }
+
+    /// The configured leader hint (empty when unset).
+    pub(crate) fn leader_hint(&self) -> String {
+        self.leader_hint.read().clone()
+    }
+
+    /// Fails with [`ServerError::NotLeader`] unless this server is the
+    /// leader. Every public mutator calls this; the replicated-apply path
+    /// ([`PerseusServer::replay_event`]) deliberately does not.
+    fn ensure_leader(&self) -> Result<(), ServerError> {
+        if self.role() == Role::Leader {
+            return Ok(());
+        }
+        Err(ServerError::NotLeader {
+            hint: self.leader_hint.read().clone(),
+        })
+    }
+
+    /// Replication counters last mirrored from the follower machinery
+    /// (all zero on leaders and standalone servers).
+    pub fn replication_stats(&self) -> ReplicationStats {
+        ReplicationStats {
+            shipped: self.repl_shipped.load(Ordering::Relaxed),
+            applied: self.repl_applied.load(Ordering::Relaxed),
+            lag_records: self.repl_lag_records.load(Ordering::Relaxed),
+            lag_bytes: self.repl_lag_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mirrors follower replication counters into the server (and, with
+    /// telemetry enabled, the `perseus_replication_*` gauges) so
+    /// [`JobStatus::replication_lag`] and `/metrics` stay current.
+    pub(crate) fn set_replication_stats(&self, stats: ReplicationStats) {
+        self.repl_shipped.store(stats.shipped, Ordering::Relaxed);
+        self.repl_applied.store(stats.applied, Ordering::Relaxed);
+        self.repl_lag_records
+            .store(stats.lag_records, Ordering::Relaxed);
+        self.repl_lag_bytes
+            .store(stats.lag_bytes, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("perseus_replication_shipped_records")
+                .set(stats.shipped as i64);
+            self.telemetry
+                .gauge("perseus_replication_applied_records")
+                .set(stats.applied as i64);
+            self.telemetry
+                .gauge("perseus_replication_lag_records")
+                .set(stats.lag_records as i64);
+            self.telemetry
+                .gauge("perseus_replication_lag_bytes")
+                .set(stats.lag_bytes as i64);
+        }
+    }
+
+    /// Every journal record with sequence strictly greater than
+    /// `after_seq` — the replication feed a [`crate::Replicator`] ships to
+    /// followers. The records form a gap-free run ending at the journal's
+    /// last appended sequence; if compaction has dropped part of the
+    /// requested range, the run starts later than `after_seq + 1` and the
+    /// caller must fall back to [`PerseusServer::replication_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] on journal I/O failures or when this server
+    /// is in-memory (nothing to ship).
+    pub fn replication_tail(&self, after_seq: u64) -> Result<Vec<Record>, ServerError> {
+        let store = self.durable_store()?;
+        let mut journal = store.journal.lock();
+        Ok(journal.tail_from(after_seq)?)
+    }
+
+    /// Sequence number of the last journaled mutation — the watermark a
+    /// fully-caught-up follower has shipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Store`] when this server is in-memory.
+    pub fn replication_watermark(&self) -> Result<u64, ServerError> {
+        let store = self.durable_store()?;
+        let journal = store.journal.lock();
+        Ok(journal.next_seq().saturating_sub(1))
+    }
+
+    /// A consistent full-state checkpoint for follower bootstrap: the
+    /// complete jobs map frozen at the journal watermark. Used when the
+    /// follower's shipped position predates the leader's oldest surviving
+    /// journal record (compaction) — the follower installs the checkpoint
+    /// and resumes tailing from its watermark, never replaying from
+    /// genesis.
+    pub(crate) fn replication_checkpoint(&self) -> Result<ServerSnapshot, ServerError> {
+        let store = self.durable_store()?;
+        let journal = store.journal.lock();
+        Ok(ServerSnapshot {
+            applied_seq: journal.next_seq().saturating_sub(1),
+            jobs: self.snapshot_jobs(false),
+        })
+    }
+
+    fn durable_store(&self) -> Result<&Arc<Store>, ServerError> {
+        self.store.as_ref().ok_or_else(|| {
+            ServerError::Store(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "in-memory server has no journal to replicate",
+            )))
+        })
+    }
+
+    /// Attaches the durable backing a promotion built (see
+    /// [`crate::FollowerServer::promote`]). The server must not already
+    /// have a store.
+    pub(crate) fn attach_store(&mut self, store: Arc<Store>) {
+        debug_assert!(self.store.is_none(), "attach_store on a durable server");
+        self.store = Some(store);
+    }
+
+    /// Sets the drift-watcher threshold: the largest pending
+    /// per-computation factor deviation a job tolerates before
+    /// [`PerseusServer::ingest_drift`] triggers re-characterization.
+    /// Non-finite or non-positive values are ignored.
+    pub fn set_drift_threshold(&self, threshold: f64) {
+        if threshold.is_finite() && threshold > 0.0 {
+            self.drift_threshold
+                .store(threshold.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The active drift-watcher threshold
+    /// ([`DEFAULT_DRIFT_THRESHOLD`] unless overridden).
+    pub fn drift_threshold(&self) -> f64 {
+        f64::from_bits(self.drift_threshold.load(Ordering::Relaxed))
+    }
+
+    /// Drift-triggered re-characterizations submitted so far.
+    pub fn drift_replans(&self) -> u64 {
+        self.drift_replans.load(Ordering::Relaxed)
+    }
+
+    /// Feeds streaming profile-drift deltas (cumulative factors vs. the
+    /// profiling baseline, e.g. from
+    /// [`perseus_profiler::ProfileDrift::step`]) into the job's drift
+    /// watcher. Deltas accumulate silently until the largest *pending*
+    /// deviation — drift not yet absorbed by a re-plan — reaches the
+    /// threshold; then the job's current profiles are rescaled by the
+    /// pending factors and resubmitted through the normal
+    /// characterization path: epoch bump, warm-started solve on the
+    /// job's cached [`FrontierSolver`] artifacts, Kareus sleep plans
+    /// re-derived, and — when a fleet [`PlanCache`] is attached — a cache
+    /// epoch advance plus `InvalidateOlderThan`, because drifted profiles
+    /// invalidate structurally-shared plans fleet-wide.
+    ///
+    /// Returns `Ok(None)` while below threshold, `Ok(Some(ticket))` for
+    /// the re-characterization it triggered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] / [`ServerError::NotCharacterized`]
+    /// when there is nothing to re-plan;
+    /// [`ServerError::NotLeader`] on a replication follower.
+    pub fn ingest_drift(
+        &self,
+        name: &str,
+        deltas: &[ProfileDelta<OpKey>],
+    ) -> Result<Option<CharacterizeTicket>, ServerError> {
+        self.ensure_leader()?;
+        let job = self.job(name)?;
+        let threshold = self.drift_threshold();
+        let replan = {
+            let mut state = job.state.write();
+            if state.profiles.is_none() {
+                return Err(ServerError::NotCharacterized(name.to_string()));
+            }
+            for d in deltas {
+                let acc = state.drift.entry(d.key).or_default();
+                acc.latest = (d.time_factor, d.energy_factor);
+            }
+            let pending = state
+                .drift
+                .values()
+                .map(DriftAccum::pending_magnitude)
+                .fold(0.0, f64::max);
+            if pending < threshold {
+                None
+            } else {
+                let profiles = state.profiles.as_ref().expect("checked above");
+                let mut scaled = ProfileDb::new();
+                for (key, profile) in profiles.iter() {
+                    let (tf, ef) = state
+                        .drift
+                        .get(key)
+                        .map_or((1.0, 1.0), DriftAccum::pending_factors);
+                    scaled.insert(*key, scale_profile(profile, tf, ef));
+                }
+                let opts = state.last_opts.clone().unwrap_or_default();
+                for acc in state.drift.values_mut() {
+                    acc.commit();
+                }
+                Some((scaled, opts))
+            }
+        };
+        let Some((profiles, opts)) = replan else {
+            return Ok(None);
+        };
+        self.drift_replans.fetch_add(1, Ordering::Relaxed);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_with("perseus_server_drift_replans_total", &[("job", name)])
+                .inc();
+        }
+        // Drifted profiles poison structurally-shared plans fleet-wide:
+        // open a new cache epoch and drop everything older (journaled as
+        // `InvalidateOlderThan` by durable caches).
+        if let Some(cache) = self.plan_cache.read().clone() {
+            let epoch = cache.advance_epoch();
+            cache.invalidate_older_than(epoch);
+        }
+        self.submit_profiles(name, profiles, &opts).map(Some)
     }
 
     /// Attaches (or, with `None`, detaches) the fleet-wide cross-job plan

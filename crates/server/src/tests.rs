@@ -2139,3 +2139,284 @@ mod obs {
         }
     }
 }
+
+mod replication {
+    use std::sync::Arc;
+
+    use perseus_core::FrontierOptions;
+    use perseus_gpu::{FreqMHz, GpuSpec};
+    use perseus_pipeline::{CompKind, OpKey};
+    use perseus_profiler::ProfileDelta;
+    use perseus_telemetry::Telemetry;
+
+    use super::{model_profiles, pipe, unique_test_dir};
+    use crate::replica::{FollowerServer, Replicator};
+    use crate::server::{JobSpec, PerseusServer, Role, ServerError};
+    use crate::JobClient;
+
+    fn register(server: &PerseusServer) {
+        server
+            .register_job(JobSpec {
+                name: "gpt".into(),
+                pipe: pipe(),
+                gpu: GpuSpec::a100_pcie(),
+                power_states: None,
+            })
+            .unwrap();
+    }
+
+    /// Drives a durable leader through a short journaled history (one
+    /// record per mutation) ending in a solved, deployed frontier.
+    fn drive_leader(server: &PerseusServer) {
+        let gpu = GpuSpec::a100_pcie();
+        register(server);
+        server
+            .submit_profiles("gpt", model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        server.set_straggler("gpt", 0, 0.0, 1.2).unwrap();
+        server.set_straggler("gpt", 2, 30.0, 1.4).unwrap();
+        server.advance_time("gpt", 10.0).unwrap();
+        let cap = FreqMHz((gpu.min_freq_mhz + gpu.max_freq_mhz) / 2);
+        server.apply_freq_cap("gpt", cap).unwrap();
+    }
+
+    #[test]
+    fn follower_rejects_mutations_with_not_leader() {
+        let (server, job) = super::server_with_job();
+        let gpu = GpuSpec::a100_pcie();
+        server
+            .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+
+        server.set_role(Role::Follower);
+        server.set_leader_hint("leader-1".into());
+        assert_eq!(server.role(), Role::Follower);
+
+        // Every public mutator bounces with the configured hint.
+        let err = server
+            .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap_err();
+        assert!(matches!(&err, ServerError::NotLeader { hint } if hint == "leader-1"));
+        let err = server.set_straggler(job, 0, 0.0, 1.2).unwrap_err();
+        assert!(matches!(&err, ServerError::NotLeader { hint } if hint == "leader-1"));
+        let err = server
+            .register_job(JobSpec {
+                name: "other".into(),
+                pipe: pipe(),
+                gpu: GpuSpec::a100_pcie(),
+                power_states: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServerError::NotLeader { .. }));
+        let err = server
+            .ingest_drift(
+                job,
+                &[ProfileDelta {
+                    key: OpKey {
+                        stage: 0,
+                        chunk: 0,
+                        kind: CompKind::Forward,
+                    },
+                    time_factor: 1.5,
+                    energy_factor: 1.5,
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServerError::NotLeader { .. }));
+
+        // Reads still serve: a follower answers status (reporting its
+        // role) and frontier lookups from replicated state.
+        let status = server.job_status(job).unwrap();
+        assert_eq!(status.role, Role::Follower);
+        assert!(server.frontier(job).is_some());
+
+        // Promotion flips the same switch back.
+        server.set_role(Role::Leader);
+        assert!(server.set_straggler(job, 0, 0.0, 1.2).is_ok());
+    }
+
+    #[test]
+    fn client_fails_over_to_resolved_leader() {
+        let gpu = GpuSpec::a100_pcie();
+        let leader = Arc::new(PerseusServer::new());
+        register(&leader);
+
+        // A follower with the same job replicated; the client starts here.
+        let follower = Arc::new(PerseusServer::new());
+        register(&follower);
+        follower.set_role(Role::Follower);
+        follower.set_leader_hint("leader-1".into());
+
+        let client = JobClient::new(Arc::clone(&follower), "gpt");
+        let resolved_leader = Arc::clone(&leader);
+        client.set_resolver(move |hint| {
+            assert_eq!(hint, "leader-1");
+            Some(Arc::clone(&resolved_leader))
+        });
+
+        // NotLeader is retryable: the client re-resolves mid-call and the
+        // submission lands on the leader without surfacing an error.
+        let d = client
+            .submit_profiles_with_retry(&model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap();
+        assert!(d.version > 0);
+        assert_eq!(client.failovers(), 1);
+        assert!(Arc::ptr_eq(&client.server(), &leader));
+        assert_eq!(leader.job_status("gpt").unwrap().role, Role::Leader);
+        assert!(follower.job_status("gpt").unwrap().deployment.is_none());
+
+        // Without a resolver the error surfaces instead of burning the
+        // retry budget against a server whose role won't change.
+        let stuck = JobClient::new(Arc::clone(&follower), "gpt");
+        let err = stuck.notify_straggler_with_retry(0, 0.0, 1.2).unwrap_err();
+        assert!(matches!(&err, ServerError::NotLeader { hint } if hint == "leader-1"));
+    }
+
+    #[test]
+    fn replication_round_trip_promotes_bit_identical() {
+        let leader_dir = unique_test_dir("repl-leader");
+        let follower_dir = unique_test_dir("repl-follower");
+        let leader = PerseusServer::open_with(&leader_dir, 1, Telemetry::disabled()).unwrap();
+        drive_leader(&leader);
+        let want = leader.state_fingerprint();
+        let watermark = leader.replication_watermark().unwrap();
+
+        let leader = Arc::new(leader);
+        let mut follower = FollowerServer::open(&follower_dir).unwrap();
+        follower.set_max_lag(2);
+        let replicator = Replicator::new(Arc::clone(&leader));
+        let shipped = replicator.sync(&mut follower).unwrap();
+        assert_eq!(shipped, watermark);
+        let lag = follower.stats();
+        assert_eq!(lag.shipped, watermark);
+        assert!(lag.lag_records <= 2, "lag bounded by max_lag");
+        assert!(lag.lag_bytes > 0);
+
+        // Promotion replays only the bounded unapplied tail — never the
+        // journal from genesis — and lands bit-identical to the leader.
+        let (promoted, report) = follower.promote().unwrap();
+        assert!(report.replayed_records <= 2);
+        assert!(
+            report.replayed_records < watermark,
+            "promotion must not replay from genesis"
+        );
+        assert_eq!(promoted.state_fingerprint(), want);
+        assert_eq!(promoted.role(), Role::Leader);
+        // The promoted server is live: it accepts mutations and journals
+        // them into its own (now-leading) durable lineage.
+        promoted.set_straggler("gpt", 1, 0.0, 1.3).unwrap();
+        assert!(promoted.replication_watermark().unwrap() > watermark);
+
+        drop(promoted);
+        drop(leader);
+        let _ = std::fs::remove_dir_all(&leader_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn follower_truncates_torn_tail_and_resyncs() {
+        let leader_dir = unique_test_dir("torn-leader");
+        let follower_dir = unique_test_dir("torn-follower");
+        let leader = PerseusServer::open_with(&leader_dir, 1, Telemetry::disabled()).unwrap();
+        drive_leader(&leader);
+        let leader = Arc::new(leader);
+        let replicator = Replicator::new(Arc::clone(&leader));
+
+        let mut follower = FollowerServer::open(&follower_dir).unwrap();
+        replicator.sync(&mut follower).unwrap();
+        let synced = follower.shipped_seq();
+        drop(follower);
+
+        // Tear the follower's journal tail mid-record (a torn write on
+        // the follower's disk), then keep mutating the leader.
+        let journal = follower_dir.join("server.journal");
+        let len = std::fs::metadata(&journal).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&journal)
+            .unwrap();
+        file.set_len(len - 7).unwrap();
+        drop(file);
+        leader.set_straggler("gpt", 1, 40.0, 1.3).unwrap();
+        leader.advance_time("gpt", 50.0).unwrap();
+
+        // Reopen truncates to the last valid record — the shipped
+        // watermark regresses — and resync ships the gap again.
+        let mut follower = FollowerServer::open(&follower_dir).unwrap();
+        assert!(
+            follower.shipped_seq() < synced,
+            "torn tail must drop the last shipped record"
+        );
+        replicator.sync(&mut follower).unwrap();
+        follower.apply_all();
+        assert_eq!(
+            follower.shipped_seq(),
+            leader.replication_watermark().unwrap()
+        );
+        assert_eq!(
+            follower.server().state_fingerprint(),
+            leader.state_fingerprint(),
+            "resynced follower must be bit-identical to the leader"
+        );
+
+        drop(follower);
+        drop(leader);
+        let _ = std::fs::remove_dir_all(&leader_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn ingest_drift_trips_only_at_threshold() {
+        let (server, job) = super::server_with_job();
+        let gpu = GpuSpec::a100_pcie();
+        server
+            .submit_profiles(job, model_profiles(&gpu), &FrontierOptions::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let before = server.job_status(job).unwrap();
+        server.set_drift_threshold(0.05);
+
+        let delta = |tf: f64, ef: f64| ProfileDelta {
+            key: OpKey {
+                stage: 0,
+                chunk: 0,
+                kind: CompKind::Forward,
+            },
+            time_factor: tf,
+            energy_factor: ef,
+        };
+
+        // Below threshold: deltas accumulate silently, nothing re-plans.
+        assert!(server
+            .ingest_drift(job, &[delta(1.02, 1.01)])
+            .unwrap()
+            .is_none());
+        assert_eq!(server.drift_replans(), 0);
+        assert_eq!(server.job_status(job).unwrap().epoch, before.epoch);
+
+        // Crossing it: one re-characterization through the normal epoch
+        // machinery, serving the drift-corrected frontier afterwards.
+        let ticket = server
+            .ingest_drift(job, &[delta(1.10, 1.08)])
+            .unwrap()
+            .expect("threshold crossed");
+        let d = ticket.wait().unwrap();
+        assert!(d.version > before.deployment.unwrap().version);
+        assert_eq!(server.drift_replans(), 1);
+        let after = server.job_status(job).unwrap();
+        assert!(after.epoch > before.epoch);
+
+        // The commit absorbed the drift: replaying the same cumulative
+        // factors is pending-zero and must not re-plan again.
+        assert!(server
+            .ingest_drift(job, &[delta(1.10, 1.08)])
+            .unwrap()
+            .is_none());
+        assert_eq!(server.drift_replans(), 1);
+    }
+}

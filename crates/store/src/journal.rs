@@ -280,6 +280,43 @@ impl Journal {
         Ok(())
     }
 
+    /// Every valid record with sequence strictly greater than
+    /// `after_seq`, in order — the replication feed. Re-reads the
+    /// journal's own valid range (like [`Journal::compact_below`]), so a
+    /// scribbled-but-unflushed tail never ships downstream.
+    ///
+    /// Compaction may have dropped records at or below a snapshot
+    /// watermark; callers asking for a tail older than the oldest
+    /// surviving record must fall back to a checkpoint transfer. The
+    /// returned records always form a gap-free run ending at the
+    /// journal's last appended sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn tail_from(&mut self, after_seq: u64) -> Result<Vec<Record>, StoreError> {
+        let mut bytes = Vec::with_capacity(self.end as usize);
+        self.file.seek(SeekFrom::Start(0))?;
+        std::io::Read::by_ref(&mut self.file)
+            .take(self.end)
+            .read_to_end(&mut bytes)?;
+        self.file.seek(SeekFrom::Start(self.end))?;
+        let mut out = Vec::new();
+        let mut pos = HEADER_LEN as usize;
+        let mut expect = 1u64;
+        while let Some((seq, payload, next_pos)) = next_record(&bytes, pos, expect) {
+            if seq > after_seq {
+                out.push(Record {
+                    seq,
+                    payload: payload.to_vec(),
+                });
+            }
+            expect = seq + 1;
+            pos = next_pos;
+        }
+        Ok(out)
+    }
+
     /// Chaos hook: writes `garbage` straight into the record stream at
     /// the journal's cursor, simulating a scribbled tail. Every record
     /// appended *after* the scribble is unreachable on the next open

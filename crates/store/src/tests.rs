@@ -307,3 +307,60 @@ fn snapshot_detects_corruption() {
     std::fs::write(&path, b"PS").unwrap();
     assert!(load_snapshot(&path).is_err());
 }
+
+#[test]
+fn journal_tail_from_ships_exactly_the_suffix() {
+    let scratch = Scratch::new("tail");
+    let path = scratch.path("wal");
+    let (mut j, _) = Journal::open(&path).unwrap();
+    for payload in [b"one".as_ref(), b"two", b"three", b"four"] {
+        j.append(payload).unwrap();
+    }
+
+    // The full feed, an interior suffix, and the empty tail.
+    let all = j.tail_from(0).unwrap();
+    assert_eq!(all.iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 2, 3, 4]);
+    assert_eq!(all[0].payload, b"one");
+    let tail = j.tail_from(2).unwrap();
+    assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), [3, 4]);
+    assert_eq!(tail[1].payload, b"four");
+    assert!(j.tail_from(4).unwrap().is_empty());
+    assert!(j.tail_from(99).unwrap().is_empty());
+
+    // Tailing must not disturb the append cursor.
+    j.append(b"five").unwrap();
+    let tail = j.tail_from(4).unwrap();
+    assert_eq!(tail.len(), 1);
+    assert_eq!(tail[0].payload, b"five");
+}
+
+#[test]
+fn journal_tail_from_never_ships_scribbled_suffix() {
+    let scratch = Scratch::new("tail-scribble");
+    let path = scratch.path("wal");
+    let (mut j, _) = Journal::open(&path).unwrap();
+    j.append(b"good").unwrap();
+    j.append(b"also good").unwrap();
+    // Garbage past the valid range: replication must never ship it.
+    j.scribble_garbage(&[0xFF; 32]).unwrap();
+    let tail = j.tail_from(0).unwrap();
+    assert_eq!(tail.len(), 2);
+    assert_eq!(tail[1].payload, b"also good");
+}
+
+#[test]
+fn journal_tail_from_after_compaction_starts_late() {
+    let scratch = Scratch::new("tail-compact");
+    let path = scratch.path("wal");
+    let (mut j, _) = Journal::open(&path).unwrap();
+    for payload in [b"one".as_ref(), b"two", b"three", b"four"] {
+        j.append(payload).unwrap();
+    }
+    j.compact_below(2).unwrap();
+    // A follower at seq 1 asks for 2..: compaction dropped it, so the
+    // tail starts later than after_seq + 1 — the caller's signal to fall
+    // back to a checkpoint transfer.
+    let tail = j.tail_from(1).unwrap();
+    assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), [3, 4]);
+    assert_ne!(tail[0].seq, 2);
+}

@@ -44,6 +44,10 @@ pub mod series {
     pub const RECOVERY_ITERS: &str = "recovery_iters";
     /// p99 of the attached lookup-latency histogram, seconds.
     pub const LOOKUP_LATENCY_P99_S: &str = "lookup_latency_p99_s";
+    /// Iterations between a drift re-characterization trigger and the
+    /// first lookup served from the re-characterized frontier (one point
+    /// per drift re-plan, fed via [`crate::ObsPipeline::observe_metric`]).
+    pub const DRIFT_STALENESS_ITERS: &str = "drift_staleness_iters";
 }
 
 /// Tuning for an [`ObsPipeline`].
@@ -221,6 +225,17 @@ impl ObsPipeline {
             self.alerts.push(alert.clone());
         }
         fired
+    }
+
+    /// Records one point of an out-of-band metric — a series not derived
+    /// from [`IterationSample`], e.g.
+    /// [`series::DRIFT_STALENESS_ITERS`] — into the store and evaluates
+    /// any SLOs reading it. Detectors are untouched: out-of-band metrics
+    /// are sparse (one point per event), which is exactly the shape
+    /// streaming change detectors mis-read.
+    pub fn observe_metric(&self, iteration: u64, metric: &str, value: f64) {
+        self.store.push(metric, iteration as f64, value);
+        self.slo.evaluate(iteration, &[(metric, value)]);
     }
 
     /// Samples ingested so far.

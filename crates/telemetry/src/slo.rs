@@ -90,6 +90,26 @@ impl SloSpec {
         self
     }
 
+    /// The HA serving staleness objective: after a profile-drift
+    /// re-characterization triggers, lookups must be served from the
+    /// re-characterized frontier within `max_iters` iterations. Fed by
+    /// the `drift_staleness_iters` series
+    /// ([`crate::pipeline::series::DRIFT_STALENESS_ITERS`]) via
+    /// [`crate::ObsPipeline::observe_metric`] — one point per drift
+    /// re-plan, so the zero budget means *every* re-plan must land in
+    /// time. Deliberately not part of [`SloSpec::perseus_defaults`]
+    /// (which golden fixtures pin); HA harnesses add it explicitly.
+    pub fn drift_staleness(max_iters: f64) -> SloSpec {
+        SloSpec::new(
+            "drift_staleness",
+            "drift_staleness_iters",
+            SloOp::Lte,
+            max_iters,
+        )
+        .with_budget(0.0)
+        .with_window(64)
+    }
+
     /// The three objectives the paper's deployment story cares about:
     /// planner lookups must stay fast, energy bloat must stay mostly
     /// intrinsic, and straggler recovery must be prompt.
